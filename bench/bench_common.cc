@@ -1,0 +1,131 @@
+#include "bench/bench_common.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+
+#include "join/impute.h"
+#include "util/string_util.h"
+
+namespace arda::bench {
+
+BenchOptions ParseOptions(int argc, char** argv) {
+  BenchOptions options;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--fast") == 0) {
+      options.fast = true;
+    } else if (StartsWith(argv[i], "--seed=")) {
+      int64_t seed = 0;
+      if (ParseInt64(argv[i] + 7, &seed)) {
+        options.seed = static_cast<uint64_t>(seed);
+      }
+    }
+  }
+  const char* env = std::getenv("ARDA_BENCH_FAST");
+  if (env != nullptr && std::strcmp(env, "1") == 0) {
+    options.fast = true;
+  }
+  return options;
+}
+
+core::ArdaConfig DefaultConfig(const BenchOptions& options) {
+  core::ArdaConfig config;
+  config.seed = options.seed;
+  config.rifs.num_rounds = options.rifs_rounds();
+  return config;
+}
+
+core::ArdaReport RunArda(const data::Scenario& scenario,
+                         const core::ArdaConfig& config) {
+  core::Arda arda(config);
+  Result<core::ArdaReport> report = arda.Run(scenario.MakeTask());
+  if (!report.ok()) {
+    std::fprintf(stderr, "ARDA run failed on %s: %s\n",
+                 scenario.name.c_str(), report.status().ToString().c_str());
+    std::abort();
+  }
+  return std::move(report).value();
+}
+
+ml::Dataset MaterializeAll(const data::Scenario& scenario,
+                           const core::ArdaConfig& config, Rng* rng) {
+  df::DataFrame working = scenario.base;
+  for (const discovery::CandidateJoin& cand : scenario.candidates) {
+    Result<const df::DataFrame*> foreign =
+        scenario.repo.Get(cand.foreign_table);
+    if (!foreign.ok()) continue;
+    Result<df::DataFrame> joined = join::ExecuteLeftJoin(
+        working, *foreign.value(), cand, config.join, rng);
+    if (joined.ok()) working = std::move(joined).value();
+  }
+  join::ImputeInPlace(&working, rng);
+  Result<ml::Dataset> data = core::BuildDataset(
+      working, scenario.target_column, scenario.task, config.encode);
+  ARDA_CHECK(data.ok());
+  return std::move(data).value();
+}
+
+ml::Dataset BaseDataset(const data::Scenario& scenario,
+                        const core::ArdaConfig& config) {
+  df::DataFrame base = scenario.base;
+  Rng rng(config.seed);
+  join::ImputeInPlace(&base, &rng);
+  Result<ml::Dataset> data = core::BuildDataset(
+      base, scenario.target_column, scenario.task, config.encode);
+  ARDA_CHECK(data.ok());
+  return std::move(data).value();
+}
+
+std::vector<SelectorRunRow> RunSelectorSweep(
+    const data::Scenario& scenario, const BenchOptions& options,
+    const std::vector<std::string>& selectors, double* base_score_out) {
+  core::ArdaConfig config = DefaultConfig(options);
+  ml::Dataset base_data = BaseDataset(scenario, config);
+  ml::Evaluator base_eval(base_data, config.test_fraction, config.seed);
+  double base_score = base_eval.FinalScore(
+      ml::AllFeatureIndices(base_data.NumFeatures()));
+  if (base_score_out != nullptr) *base_score_out = base_score;
+
+  std::vector<SelectorRunRow> rows;
+  for (const std::string& selector : selectors) {
+    core::ArdaConfig run_config = config;
+    run_config.selector = selector;
+    core::ArdaReport report = RunArda(scenario, run_config);
+    SelectorRunRow row;
+    row.method = selector;
+    row.score = report.final_score;
+    row.seconds = report.selection_seconds;
+    row.improvement = ImprovementPercent(base_score, report.final_score);
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+double ImprovementPercent(double base, double score) {
+  if (std::fabs(base) < 1e-12) return (score - base) * 100.0;
+  return (score - base) / std::fabs(base) * 100.0;
+}
+
+double DisplayMetric(ml::TaskType task, double score) {
+  return task == ml::TaskType::kClassification ? score * 100.0 : -score;
+}
+
+std::string Pad(const std::string& text, size_t width) {
+  if (text.size() >= width) return text.substr(0, width);
+  return text + std::string(width - text.size(), ' ');
+}
+
+void PrintRow(const std::vector<std::string>& cells, size_t width) {
+  std::string line;
+  for (const std::string& cell : cells) {
+    line += Pad(cell, width);
+    line += ' ';
+  }
+  std::printf("%s\n", line.c_str());
+}
+
+void PrintRule(size_t columns, size_t width) {
+  std::printf("%s\n", std::string(columns * (width + 1), '-').c_str());
+}
+
+}  // namespace arda::bench

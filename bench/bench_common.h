@@ -1,0 +1,88 @@
+#ifndef ARDA_BENCH_BENCH_COMMON_H_
+#define ARDA_BENCH_BENCH_COMMON_H_
+
+#include <string>
+#include <vector>
+
+#include "core/arda.h"
+#include "data/generators.h"
+#include "featsel/selector.h"
+
+namespace arda::bench {
+
+/// Shared knobs for the experiment harnesses. `--fast` shrinks scenarios
+/// and round counts so a full sweep finishes in seconds while preserving
+/// the qualitative ordering; default settings mirror the paper's setup at
+/// laptop scale.
+struct BenchOptions {
+  bool fast = false;
+  uint64_t seed = 17;
+
+  data::ScenarioScale scale() const {
+    return fast ? data::ScenarioScale::kSmall : data::ScenarioScale::kFull;
+  }
+  size_t rifs_rounds() const { return fast ? 4 : 10; }
+  double automl_budget_seconds() const { return fast ? 1.0 : 5.0; }
+};
+
+/// Parses --fast / --seed=N from argv.
+BenchOptions ParseOptions(int argc, char** argv);
+
+/// Default ARDA configuration used across experiments (budget join,
+/// RIFS with `rounds` injection rounds).
+core::ArdaConfig DefaultConfig(const BenchOptions& options);
+
+/// Runs the ARDA pipeline on a scenario with the given selector name and
+/// returns the report (aborts on configuration errors — these are
+/// programmer mistakes in the bench).
+core::ArdaReport RunArda(const data::Scenario& scenario,
+                         const core::ArdaConfig& config);
+
+/// Joins ALL candidate tables of the scenario into one frame (full
+/// materialization), imputes, and returns the encoded dataset — the
+/// "all features / no selection" baseline of Figures 3-4 and Table 1.
+ml::Dataset MaterializeAll(const data::Scenario& scenario,
+                           const core::ArdaConfig& config, Rng* rng);
+
+/// Builds the base-table-only dataset for a scenario.
+ml::Dataset BaseDataset(const data::Scenario& scenario,
+                        const core::ArdaConfig& config);
+
+/// Percent improvement of `score` over `base` under higher-is-better
+/// scores (regression scores are negative MAE, so this reads as % error
+/// reduction).
+double ImprovementPercent(double base, double score);
+
+/// Converts a higher-is-better score to the paper's display metric:
+/// accuracy % for classification, MAE for regression.
+double DisplayMetric(ml::TaskType task, double score);
+
+/// One row of a per-selector sweep (Table 1 / Figure 4).
+struct SelectorRunRow {
+  std::string method;
+  /// Final-estimator holdout score of the ARDA run with this selector.
+  double score = 0.0;
+  /// Feature-selection + evaluation seconds (the paper's time column).
+  double seconds = 0.0;
+  /// % improvement over the base-table score.
+  double improvement = 0.0;
+};
+
+/// Runs the full ARDA pipeline once per selector name and returns one row
+/// per method, plus the base score via `base_score_out`.
+std::vector<SelectorRunRow> RunSelectorSweep(
+    const data::Scenario& scenario, const BenchOptions& options,
+    const std::vector<std::string>& selectors, double* base_score_out);
+
+/// Left-pads/truncates for aligned table output.
+std::string Pad(const std::string& text, size_t width);
+
+/// Prints a row of fixed-width cells.
+void PrintRow(const std::vector<std::string>& cells, size_t width = 14);
+
+/// Prints a separator line sized to `columns` cells.
+void PrintRule(size_t columns, size_t width = 14);
+
+}  // namespace arda::bench
+
+#endif  // ARDA_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,59 @@
+// Reproduces Figure 4: % improvement over the base-table score vs feature-
+// selection time for every selector on every scenario (a score/time series
+// per method; the paper plots these, we print the coordinates).
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "ml/evaluator.h"
+#include "util/string_util.h"
+#include "util/timer.h"
+
+namespace arda::bench {
+namespace {
+
+void RunScenario(const data::Scenario& scenario,
+                 const BenchOptions& options) {
+  std::printf("\n--- %s ---\n", scenario.name.c_str());
+  PrintRow({"method", "time_s", "improvement%"}, 22);
+  PrintRule(3, 22);
+
+  double base_score = 0.0;
+  std::vector<std::string> selectors =
+      featsel::PaperSelectorNames(scenario.task);
+  selectors.push_back("all_features");
+  std::vector<SelectorRunRow> rows =
+      RunSelectorSweep(scenario, options, selectors, &base_score);
+
+  // Sort by time so the printed series reads like the plot's x axis.
+  std::sort(rows.begin(), rows.end(),
+            [](const SelectorRunRow& a, const SelectorRunRow& b) {
+              return a.seconds < b.seconds;
+            });
+  for (const SelectorRunRow& row : rows) {
+    PrintRow({row.method, StrFormat("%.2f", row.seconds),
+              StrFormat("%+.1f", row.improvement)}, 22);
+  }
+
+  // Identify the winner, paper-style narration.
+  const SelectorRunRow* best = &rows.front();
+  for (const SelectorRunRow& row : rows) {
+    if (row.improvement > best->improvement) best = &row;
+  }
+  std::printf("best: %s (%+.1f%%)\n", best->method.c_str(),
+              best->improvement);
+}
+
+}  // namespace
+}  // namespace arda::bench
+
+int main(int argc, char** argv) {
+  using namespace arda::bench;
+  BenchOptions options = ParseOptions(argc, argv);
+  std::printf("=== Figure 4: score vs feature-selection time ===\n");
+  for (const arda::data::Scenario& scenario :
+       arda::data::MakeAllScenarios(options.seed, options.scale())) {
+    RunScenario(scenario, options);
+  }
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Reproduces Figure 5: error achieved by the four time-series join
+// techniques — two-way nearest neighbour, nearest neighbour, plain hard
+// join, and time-resampled hard join — on the Pickup and Taxi scenarios
+// across feature selectors.
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "util/string_util.h"
+
+namespace arda::bench {
+namespace {
+
+struct JoinTechnique {
+  const char* name;
+  join::SoftJoinMethod method;
+  bool time_resample;
+};
+
+constexpr JoinTechnique kTechniques[] = {
+    {"2way_nearest", join::SoftJoinMethod::kTwoWayNearest, true},
+    {"nearest", join::SoftJoinMethod::kNearest, true},
+    {"hard", join::SoftJoinMethod::kHardExact, false},
+    {"time_resampled", join::SoftJoinMethod::kHardExact, true},
+};
+
+void RunScenario(const data::Scenario& scenario,
+                 const BenchOptions& options) {
+  const std::vector<std::string> selectors = {
+      "rifs",        "all_features",     "backward_selection",
+      "f_test",      "forward_selection", "lasso",
+      "mutual_info", "random_forest",    "relief",
+      "rfe",         "sparse_regression"};
+
+  std::printf("\n--- %s (MAE per join technique) ---\n",
+              scenario.name.c_str());
+  PrintRow({"method", "2way", "nearest", "hard", "resampled"}, 19);
+  PrintRule(5, 19);
+
+  for (const std::string& selector : selectors) {
+    std::vector<std::string> cells = {selector};
+    for (const JoinTechnique& technique : kTechniques) {
+      core::ArdaConfig config = DefaultConfig(options);
+      config.selector = selector;
+      config.join.soft_method = technique.method;
+      config.join.time_resample = technique.time_resample;
+      core::ArdaReport report = RunArda(scenario, config);
+      cells.push_back(StrFormat("%.3f", -report.final_score));
+    }
+    PrintRow(cells, 19);
+  }
+}
+
+}  // namespace
+}  // namespace arda::bench
+
+int main(int argc, char** argv) {
+  using namespace arda::bench;
+  using namespace arda;
+  BenchOptions options = ParseOptions(argc, argv);
+  std::printf("=== Figure 5: soft-join techniques on time-series keys "
+              "===\n");
+  RunScenario(data::MakePickupScenario(options.seed, options.scale()),
+              options);
+  RunScenario(data::MakeTaxiScenario(options.seed, options.scale()),
+              options);
+  return 0;
+}

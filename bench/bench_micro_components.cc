@@ -1,0 +1,177 @@
+// Component micro-benchmarks (google-benchmark): the hot operations the
+// ARDA pipeline is built from — hash joins, soft joins, group-by
+// aggregation, encoding, forest training, sparse-regression ranking, one
+// RIFS injection round, and CountSketch row sketching.
+
+#include <benchmark/benchmark.h>
+
+#include "coreset/coreset.h"
+#include "dataframe/aggregate.h"
+#include "dataframe/encode.h"
+#include "featsel/model_rankers.h"
+#include "featsel/rifs.h"
+#include "join/join_executor.h"
+#include "ml/random_forest.h"
+#include "util/rng.h"
+
+namespace arda {
+namespace {
+
+df::DataFrame MakeKeyedTable(size_t rows, size_t values, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<int64_t> keys(rows);
+  std::vector<double> v(rows);
+  for (size_t i = 0; i < rows; ++i) {
+    keys[i] = static_cast<int64_t>(i % (rows / 2 + 1));
+    v[i] = rng.Normal();
+  }
+  df::DataFrame table;
+  ARDA_CHECK(table.AddColumn(df::Column::Int64("id", keys)).ok());
+  for (size_t c = 0; c < values; ++c) {
+    std::vector<double> col(rows);
+    for (double& x : col) x = rng.Normal();
+    ARDA_CHECK(table
+                   .AddColumn(df::Column::Double("v" + std::to_string(c),
+                                                 col))
+                   .ok());
+  }
+  (void)v;
+  return table;
+}
+
+ml::Dataset MakeDataset(size_t rows, size_t cols, uint64_t seed) {
+  Rng rng(seed);
+  ml::Dataset data;
+  data.task = ml::TaskType::kRegression;
+  data.x = la::Matrix(rows, cols);
+  data.y.resize(rows);
+  for (size_t r = 0; r < rows; ++r) {
+    for (size_t c = 0; c < cols; ++c) data.x(r, c) = rng.Normal();
+    data.y[r] = data.x(r, 0) + rng.Normal(0.0, 0.2);
+  }
+  for (size_t c = 0; c < cols; ++c) {
+    data.feature_names.push_back("f" + std::to_string(c));
+  }
+  return data;
+}
+
+void BM_HardHashJoin(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  df::DataFrame base = MakeKeyedTable(n, 2, 1);
+  df::DataFrame foreign = MakeKeyedTable(n, 4, 2);
+  discovery::CandidateJoin cand;
+  cand.foreign_table = "f";
+  cand.keys = {discovery::JoinKeyPair{"id", "id",
+                                      discovery::KeyKind::kHard}};
+  Rng rng(3);
+  for (auto _ : state) {
+    auto joined = join::ExecuteLeftJoin(base, foreign, cand, {}, &rng);
+    benchmark::DoNotOptimize(joined);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n));
+}
+BENCHMARK(BM_HardHashJoin)->Arg(1000)->Arg(4000);
+
+void BM_SoftTwoWayJoin(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  Rng rng(5);
+  df::DataFrame base, foreign;
+  std::vector<double> bt(n), ft(n), fv(n);
+  for (size_t i = 0; i < n; ++i) {
+    bt[i] = static_cast<double>(i);
+    ft[i] = static_cast<double>(i) + 0.37;
+    fv[i] = rng.Normal();
+  }
+  ARDA_CHECK(base.AddColumn(df::Column::Double("t", bt)).ok());
+  ARDA_CHECK(foreign.AddColumn(df::Column::Double("t", ft)).ok());
+  ARDA_CHECK(foreign.AddColumn(df::Column::Double("v", fv)).ok());
+  discovery::CandidateJoin cand;
+  cand.foreign_table = "f";
+  cand.keys = {discovery::JoinKeyPair{"t", "t", discovery::KeyKind::kSoft}};
+  join::JoinOptions options;
+  options.soft_method = join::SoftJoinMethod::kTwoWayNearest;
+  for (auto _ : state) {
+    auto joined = join::ExecuteLeftJoin(base, foreign, cand, options, &rng);
+    benchmark::DoNotOptimize(joined);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n));
+}
+BENCHMARK(BM_SoftTwoWayJoin)->Arg(1000)->Arg(4000);
+
+void BM_GroupByAggregate(benchmark::State& state) {
+  df::DataFrame table =
+      MakeKeyedTable(static_cast<size_t>(state.range(0)), 4, 7);
+  for (auto _ : state) {
+    auto grouped = df::GroupByAggregate(table, {"id"});
+    benchmark::DoNotOptimize(grouped);
+  }
+}
+BENCHMARK(BM_GroupByAggregate)->Arg(1000)->Arg(8000);
+
+void BM_EncodeFeatures(benchmark::State& state) {
+  df::DataFrame table =
+      MakeKeyedTable(static_cast<size_t>(state.range(0)), 8, 9);
+  for (auto _ : state) {
+    auto encoded = df::EncodeFeatures(table, {});
+    benchmark::DoNotOptimize(encoded);
+  }
+}
+BENCHMARK(BM_EncodeFeatures)->Arg(1000)->Arg(8000);
+
+void BM_RandomForestFit(benchmark::State& state) {
+  ml::Dataset data =
+      MakeDataset(600, static_cast<size_t>(state.range(0)), 11);
+  ml::ForestConfig config;
+  config.task = ml::TaskType::kRegression;
+  config.num_trees = 20;
+  for (auto _ : state) {
+    ml::RandomForest forest(config);
+    forest.Fit(data.x, data.y);
+    benchmark::DoNotOptimize(forest.feature_importances());
+  }
+}
+BENCHMARK(BM_RandomForestFit)->Arg(20)->Arg(100)->Arg(400);
+
+void BM_SparseRegressionRank(benchmark::State& state) {
+  ml::Dataset data =
+      MakeDataset(400, static_cast<size_t>(state.range(0)), 13);
+  featsel::SparseRegressionRanker ranker;
+  Rng rng(15);
+  for (auto _ : state) {
+    auto scores = ranker.Rank(data, &rng);
+    benchmark::DoNotOptimize(scores);
+  }
+}
+BENCHMARK(BM_SparseRegressionRank)->Arg(50)->Arg(200);
+
+void BM_RifsNoiseRound(benchmark::State& state) {
+  ml::Dataset data =
+      MakeDataset(400, static_cast<size_t>(state.range(0)), 17);
+  Rng rng(19);
+  for (auto _ : state) {
+    la::Matrix noise = featsel::MakeNoiseFeatures(
+        data, data.NumFeatures() / 5 + 1,
+        featsel::NoiseKind::kMomentMatched, &rng);
+    benchmark::DoNotOptimize(noise);
+  }
+}
+BENCHMARK(BM_RifsNoiseRound)->Arg(50)->Arg(200);
+
+void BM_CountSketch(benchmark::State& state) {
+  ml::Dataset data =
+      MakeDataset(static_cast<size_t>(state.range(0)), 50, 21);
+  Rng rng(23);
+  for (auto _ : state) {
+    ml::Dataset sketched =
+        coreset::SketchRows(data, data.NumRows() / 4, &rng);
+    benchmark::DoNotOptimize(sketched);
+  }
+}
+BENCHMARK(BM_CountSketch)->Arg(2000)->Arg(8000);
+
+}  // namespace
+}  // namespace arda
+
+BENCHMARK_MAIN();

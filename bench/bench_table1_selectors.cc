@@ -1,0 +1,101 @@
+// Reproduces Table 1: error (MAE, regression) or accuracy (classification)
+// plus feature-selection time on the five real-world-style scenarios, for
+// ARDA run with each feature-selection method, alongside the baseline
+// (base table only), all-features, TR-rule and AutoML rows.
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "discovery/tuple_ratio.h"
+#include "ml/automl.h"
+#include "ml/evaluator.h"
+#include "util/string_util.h"
+#include "util/timer.h"
+
+namespace arda::bench {
+namespace {
+
+void RunScenario(const data::Scenario& scenario,
+                 const BenchOptions& options) {
+  core::ArdaConfig config = DefaultConfig(options);
+  Rng rng(options.seed);
+  const char* metric_name = scenario.task == ml::TaskType::kClassification
+                                ? "accuracy%"
+                                : "MAE";
+
+  std::printf("\n--- %s (%s; metric: %s; %zu candidate tables) ---\n",
+              scenario.name.c_str(), ml::TaskTypeName(scenario.task),
+              metric_name, scenario.candidates.size());
+  PrintRow({"method", "metric", "time"}, 22);
+  PrintRule(3, 22);
+
+  double base_score = 0.0;
+  std::vector<std::string> selectors = {"rifs"};
+  for (const std::string& name :
+       featsel::PaperSelectorNames(scenario.task)) {
+    if (name != "rifs") selectors.push_back(name);
+  }
+  std::vector<SelectorRunRow> rows =
+      RunSelectorSweep(scenario, options, selectors, &base_score);
+
+  auto print_metric_row = [&](const std::string& method, double score,
+                              double seconds) {
+    PrintRow({method,
+              StrFormat("%.2f", DisplayMetric(scenario.task, score)),
+              StrFormat("%.1fs", seconds)}, 22);
+  };
+
+  print_metric_row("baseline (our)", base_score, 0.0);
+
+  {
+    Stopwatch watch;
+    ml::Dataset all_data = MaterializeAll(scenario, config, &rng);
+    ml::Evaluator evaluator(all_data, config.test_fraction, config.seed);
+    double score =
+        evaluator.FinalScore(ml::AllFeatureIndices(all_data.NumFeatures()));
+    print_metric_row("all features (our)", score, watch.ElapsedSeconds());
+
+    ml::AutoMlConfig automl;
+    automl.time_budget_seconds = options.automl_budget_seconds();
+    automl.seed = options.seed;
+    ml::AutoMlResult result = ml::RunRandomSearchAutoMl(all_data, automl);
+    print_metric_row("all features (AutoML)", result.best_score,
+                     result.elapsed_seconds);
+    ml::Dataset base_data = BaseDataset(scenario, config);
+    result = ml::RunRandomSearchAutoMl(base_data, automl);
+    print_metric_row("baseline (AutoML)", result.best_score,
+                     result.elapsed_seconds);
+  }
+  {
+    Stopwatch watch;
+    discovery::TupleRatioFilterResult filtered =
+        discovery::FilterByTupleRatio(scenario.repo, scenario.base,
+                                      scenario.candidates,
+                                      config.tuple_ratio_tau);
+    data::Scenario kept = scenario;
+    kept.candidates = filtered.kept;
+    ml::Dataset tr_data = MaterializeAll(kept, config, &rng);
+    ml::Evaluator evaluator(tr_data, config.test_fraction, config.seed);
+    double score =
+        evaluator.FinalScore(ml::AllFeatureIndices(tr_data.NumFeatures()));
+    print_metric_row("TR rule", score, watch.ElapsedSeconds());
+  }
+  for (const SelectorRunRow& row : rows) {
+    print_metric_row(row.method, row.score, row.seconds);
+  }
+}
+
+}  // namespace
+}  // namespace arda::bench
+
+int main(int argc, char** argv) {
+  using namespace arda::bench;
+  BenchOptions options = ParseOptions(argc, argv);
+  std::printf("=== Table 1: feature selectors on real-world scenarios "
+              "===\n");
+  for (const arda::data::Scenario& scenario :
+       arda::data::MakeAllScenarios(options.seed, options.scale())) {
+    RunScenario(scenario, options);
+  }
+  return 0;
+}

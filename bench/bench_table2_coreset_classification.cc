@@ -1,0 +1,109 @@
+// Reproduces Table 2: accuracy change of stratified sampling and of
+// CountSketch row sketching over uniform sampling, for classification
+// datasets (School S, Digits, Kraken) across feature-selection methods.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <map>
+
+#include "bench/bench_common.h"
+#include "coreset/coreset.h"
+#include "util/string_util.h"
+
+namespace arda::bench {
+namespace {
+
+// Uniform / stratified row subsample of a dataset.
+ml::Dataset SubsampleRows(const ml::Dataset& data, size_t m,
+                          bool stratified, Rng* rng) {
+  if (m >= data.NumRows()) return data;
+  std::vector<size_t> chosen;
+  if (stratified) {
+    std::map<int, std::vector<size_t>> groups;
+    for (size_t r = 0; r < data.NumRows(); ++r) {
+      groups[static_cast<int>(std::lround(data.y[r]))].push_back(r);
+    }
+    for (auto& [label, rows] : groups) {
+      size_t want = std::max<size_t>(
+          1, static_cast<size_t>(std::lround(
+                 static_cast<double>(m) * static_cast<double>(rows.size()) /
+                 static_cast<double>(data.NumRows()))));
+      want = std::min(want, rows.size());
+      for (size_t p : rng->SampleWithoutReplacement(rows.size(), want)) {
+        chosen.push_back(rows[p]);
+      }
+    }
+  } else {
+    chosen = rng->SampleWithoutReplacement(data.NumRows(), m);
+  }
+  std::sort(chosen.begin(), chosen.end());
+  return data.SelectRows(chosen);
+}
+
+double SelectorScore(const ml::Dataset& data, const std::string& method,
+                     uint64_t seed) {
+  std::unique_ptr<featsel::FeatureSelector> selector =
+      featsel::MakeSelector(method);
+  ARDA_CHECK(selector != nullptr);
+  ml::Evaluator evaluator(data, 0.25, seed);
+  Rng rng(seed ^ 0xC0DEULL);
+  return selector->Select(data, evaluator, &rng).score;
+}
+
+void RunDataset(const std::string& name, const ml::Dataset& full,
+                const BenchOptions& options) {
+  const size_t m = full.NumRows() / 2;
+  Rng rng(options.seed);
+  ml::Dataset uniform = SubsampleRows(full, m, /*stratified=*/false, &rng);
+  ml::Dataset stratified = SubsampleRows(full, m, /*stratified=*/true, &rng);
+  ml::Dataset sketched = coreset::SketchRows(full, m, &rng);
+
+  const std::vector<std::string> methods = {
+      "f_test",       "mutual_info", "random_forest",
+      "sparse_regression", "all_features", "rifs",
+      "forward_selection", "linear_svc",   "relief"};
+  std::printf("\n--- %s (%zu rows -> coresets of ~%zu) ---\n", name.c_str(),
+              full.NumRows(), m);
+  PrintRow({"method", "stratified", "sketch"}, 20);
+  PrintRule(3, 20);
+  for (const std::string& method : methods) {
+    double u = SelectorScore(uniform, method, options.seed);
+    double s = SelectorScore(stratified, method, options.seed);
+    double k = SelectorScore(sketched, method, options.seed);
+    PrintRow({method, StrFormat("%+.2f%%", (s - u) * 100.0),
+              StrFormat("%+.2f%%", (k - u) * 100.0)},
+             20);
+  }
+}
+
+}  // namespace
+}  // namespace arda::bench
+
+int main(int argc, char** argv) {
+  using namespace arda::bench;
+  using namespace arda;
+  BenchOptions options = ParseOptions(argc, argv);
+  std::printf("=== Table 2: coreset strategies vs uniform sampling "
+              "(classification; accuracy change) ===\n");
+
+  {
+    data::Scenario school =
+        data::MakeSchoolScenario(false, options.seed, options.scale());
+    core::ArdaConfig config = DefaultConfig(options);
+    Rng rng(options.seed);
+    ml::Dataset data = MaterializeAll(school, config, &rng);
+    RunDataset("school_s", data, options);
+  }
+  {
+    data::MicroBenchmark digits = data::MakeDigitsBenchmark(
+        options.seed, options.fast ? 2.0 : 10.0);
+    RunDataset("digits", digits.data, options);
+  }
+  {
+    data::MicroBenchmark kraken = data::MakeKrakenBenchmark(
+        options.seed, options.fast ? 2.0 : 10.0);
+    RunDataset("kraken", kraken.data, options);
+  }
+  return 0;
+}

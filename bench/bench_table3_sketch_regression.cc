@@ -1,0 +1,66 @@
+// Reproduces Table 3: % change of CountSketch row sketching over uniform
+// sampling for the regression scenarios (Taxi, Pickup, Poverty) across
+// feature-selection methods. Scores are negative MAE, so the reported
+// %-change is improvement in error.
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "coreset/coreset.h"
+#include "util/string_util.h"
+
+namespace arda::bench {
+namespace {
+
+double SelectorScore(const ml::Dataset& data, const std::string& method,
+                     uint64_t seed) {
+  std::unique_ptr<featsel::FeatureSelector> selector =
+      featsel::MakeSelector(method);
+  ARDA_CHECK(selector != nullptr);
+  ml::Evaluator evaluator(data, 0.25, seed);
+  Rng rng(seed ^ 0xC0DEULL);
+  return selector->Select(data, evaluator, &rng).score;
+}
+
+void RunScenario(const data::Scenario& scenario,
+                 const BenchOptions& options) {
+  core::ArdaConfig config = DefaultConfig(options);
+  Rng rng(options.seed);
+  ml::Dataset full = MaterializeAll(scenario, config, &rng);
+  const size_t m = full.NumRows() / 2;
+  std::vector<size_t> rows = rng.SampleWithoutReplacement(full.NumRows(), m);
+  std::sort(rows.begin(), rows.end());
+  ml::Dataset uniform = full.SelectRows(rows);
+  ml::Dataset sketched = coreset::SketchRows(full, m, &rng);
+
+  const std::vector<std::string> methods = {
+      "rifs",        "sparse_regression", "f_test",
+      "lasso",       "mutual_info",       "relief",
+      "all_features", "random_forest",    "forward_selection"};
+  std::printf("\n--- %s (%zu rows -> coresets of ~%zu) ---\n",
+              scenario.name.c_str(), full.NumRows(), m);
+  PrintRow({"method", "sketch_vs_uniform"}, 20);
+  PrintRule(2, 20);
+  for (const std::string& method : methods) {
+    double u = SelectorScore(uniform, method, options.seed);
+    double k = SelectorScore(sketched, method, options.seed);
+    PrintRow({method, StrFormat("%+.2f%%", ImprovementPercent(u, k))}, 20);
+  }
+}
+
+}  // namespace
+}  // namespace arda::bench
+
+int main(int argc, char** argv) {
+  using namespace arda::bench;
+  using namespace arda;
+  BenchOptions options = ParseOptions(argc, argv);
+  std::printf("=== Table 3: sketching vs uniform sampling (regression; "
+              "%%-change in score) ===\n");
+  for (data::Scenario (*make)(uint64_t, data::ScenarioScale) :
+       {&data::MakeTaxiScenario, &data::MakePickupScenario,
+        &data::MakePovertyScenario}) {
+    RunScenario(make(options.seed, options.scale()), options);
+  }
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Reproduces Table 4: using the Kumar et al. Tuple-Ratio decision rule as
+// a table-prefiltering step before ARDA's feature selection — score
+// change, speed-up, number of tables removed, and the per-dataset tuned
+// threshold tau.
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "discovery/tuple_ratio.h"
+#include "util/string_util.h"
+#include "util/timer.h"
+
+namespace arda::bench {
+namespace {
+
+void RunScenario(const data::Scenario& scenario,
+                 const BenchOptions& options) {
+  core::ArdaConfig config = DefaultConfig(options);
+
+  Stopwatch plain_watch;
+  core::ArdaReport plain = RunArda(scenario, config);
+  double plain_seconds = plain_watch.ElapsedSeconds();
+
+  // Tune tau per dataset (the paper reports per-dataset optimized
+  // thresholds): try a few values and keep the best filtered score.
+  const double taus[] = {2.0, 5.0, 10.0, 24.0, 50.0};
+  double best_score = -1e300;
+  double best_tau = 0.0;
+  double best_seconds = 0.0;
+  size_t best_removed = 0;
+  for (double tau : taus) {
+    core::ArdaConfig filtered_config = config;
+    filtered_config.use_tuple_ratio_prefilter = true;
+    filtered_config.tuple_ratio_tau = tau;
+    Stopwatch watch;
+    core::ArdaReport filtered = RunArda(scenario, filtered_config);
+    double seconds = watch.ElapsedSeconds();
+    if (filtered.final_score > best_score) {
+      best_score = filtered.final_score;
+      best_tau = tau;
+      best_seconds = seconds;
+      best_removed = filtered.tables_filtered_by_tuple_ratio;
+    }
+  }
+
+  PrintRow({scenario.name,
+            StrFormat("%+.2f%%",
+                      ImprovementPercent(plain.final_score, best_score)),
+            StrFormat("%.2fx", best_seconds > 0.0
+                                   ? plain_seconds / best_seconds
+                                   : 0.0),
+            StrFormat("%zu", best_removed), StrFormat("%.0f", best_tau)},
+           16);
+}
+
+}  // namespace
+}  // namespace arda::bench
+
+int main(int argc, char** argv) {
+  using namespace arda::bench;
+  BenchOptions options = ParseOptions(argc, argv);
+  std::printf("=== Table 4: Tuple-Ratio rule as a prefilter for ARDA "
+              "(RIFS) ===\n");
+  PrintRow({"dataset", "score_change", "speedup", "removed", "tau"}, 16);
+  PrintRule(5, 16);
+  for (const arda::data::Scenario& scenario :
+       arda::data::MakeAllScenarios(options.seed, options.scale())) {
+    RunScenario(scenario, options);
+  }
+  return 0;
+}

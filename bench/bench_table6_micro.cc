@@ -1,0 +1,111 @@
+// Reproduces Table 6: accuracy and feature-selection time per selector on
+// the micro-benchmark datasets (Kraken, Digits) with 10x injected noise,
+// plus the baseline (original features only), all-features, AutoML rows,
+// and the RIFS ensemble-weight (nu) ablation from DESIGN.md.
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "ml/automl.h"
+#include "ml/evaluator.h"
+#include "util/string_util.h"
+
+namespace arda::bench {
+namespace {
+
+void RunBenchmark(const data::MicroBenchmark& bench,
+                  const BenchOptions& options, bool ablate_nu) {
+  std::printf("\n--- %s: %zu rows, %zu original + %zu noise features "
+              "---\n",
+              bench.name.c_str(), bench.data.NumRows(), bench.num_original,
+              bench.data.NumFeatures() - bench.num_original);
+  PrintRow({"method", "accuracy", "time"}, 22);
+  PrintRule(3, 22);
+
+  ml::Evaluator evaluator(bench.data, 0.25, options.seed);
+
+  // Baseline: the original features only (pre-injection).
+  std::vector<size_t> original(bench.num_original);
+  for (size_t f = 0; f < bench.num_original; ++f) original[f] = f;
+  PrintRow({"baseline (our)",
+            StrFormat("%.2f%%", evaluator.FinalScore(original) * 100.0),
+            "-"},
+           22);
+  PrintRow({"all features (our)",
+            StrFormat("%.2f%%",
+                      evaluator.FinalScore(ml::AllFeatureIndices(
+                          bench.data.NumFeatures())) *
+                          100.0),
+            "-"},
+           22);
+  {
+    ml::AutoMlConfig automl;
+    automl.time_budget_seconds = options.automl_budget_seconds();
+    automl.seed = options.seed;
+    ml::AutoMlResult result =
+        ml::RunRandomSearchAutoMl(bench.data, automl);
+    PrintRow({"all features (AutoML)",
+              StrFormat("%.2f%%", result.best_score * 100.0),
+              StrFormat("%.1fs", result.elapsed_seconds)},
+             22);
+    ml::Dataset base = bench.data.SelectFeatures(original);
+    result = ml::RunRandomSearchAutoMl(base, automl);
+    PrintRow({"baseline (AutoML)",
+              StrFormat("%.2f%%", result.best_score * 100.0),
+              StrFormat("%.1fs", result.elapsed_seconds)},
+             22);
+  }
+
+  std::vector<std::string> methods =
+      featsel::PaperSelectorNames(ml::TaskType::kClassification);
+  for (const std::string& method : methods) {
+    std::unique_ptr<featsel::FeatureSelector> selector =
+        featsel::MakeSelector(method);
+    Rng rng(options.seed ^ 0x77ULL);
+    featsel::SelectionResult result =
+        selector->Select(bench.data, evaluator, &rng);
+    PrintRow({method, StrFormat("%.2f%%", result.score * 100.0),
+              StrFormat("%.1fs", result.seconds)},
+             22);
+  }
+
+  if (ablate_nu) {
+    std::printf("RIFS ensemble-weight ablation (nu * RF + (1-nu) * "
+                "sparse regression):\n");
+    for (double nu : {0.0, 0.25, 0.5, 0.75, 1.0}) {
+      featsel::RifsConfig config;
+      config.num_rounds = options.rifs_rounds();
+      config.nu = nu;
+      std::unique_ptr<featsel::FeatureSelector> selector =
+          featsel::MakeRifsSelector(config,
+                                    StrFormat("rifs(nu=%.2f)", nu));
+      Rng rng(options.seed ^ 0x88ULL);
+      featsel::SelectionResult result =
+          selector->Select(bench.data, evaluator, &rng);
+      PrintRow({selector->name(),
+                StrFormat("%.2f%%", result.score * 100.0),
+                StrFormat("%.1fs", result.seconds)},
+               22);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace arda::bench
+
+int main(int argc, char** argv) {
+  using namespace arda::bench;
+  using namespace arda;
+  BenchOptions options = ParseOptions(argc, argv);
+  bool ablate_nu = true;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--no-ablate-nu") ablate_nu = false;
+  }
+  std::printf("=== Table 6: micro-benchmark selector comparison ===\n");
+  double multiplier = options.fast ? 2.0 : 10.0;
+  RunBenchmark(data::MakeKrakenBenchmark(options.seed, multiplier), options,
+               ablate_nu);
+  RunBenchmark(data::MakeDigitsBenchmark(options.seed, multiplier), options,
+               ablate_nu);
+  return 0;
+}

@@ -1,0 +1,75 @@
+// Example: auditing an augmentation like an analyst would. After ARDA
+// proposes an augmented table, we (1) eyeball the data with Describe,
+// (2) check the selection is *stable* under bootstrap perturbation, and
+// (3) certify the improvement with a permutation significance test —
+// the trust-building steps around the core pipeline.
+
+#include <cstdio>
+
+#include "core/arda.h"
+#include "data/generators.h"
+#include "dataframe/describe.h"
+#include "featsel/significance.h"
+#include "featsel/stability.h"
+
+int main() {
+  using namespace arda;
+
+  data::Scenario scenario = data::MakePovertyScenario(/*seed=*/17);
+  core::ArdaConfig config;
+  config.seed = 17;
+  config.rifs.num_rounds = 8;
+  core::Arda arda(config);
+  Result<core::ArdaReport> run = arda.Run(scenario.MakeTask());
+  ARDA_CHECK(run.ok());
+  const core::ArdaReport& report = run.value();
+  std::printf("ARDA: base MAE %.3f -> augmented MAE %.3f (%zu of %zu "
+              "tables joined)\n\n",
+              -report.base_score, -report.final_score,
+              report.tables_joined, report.tables_considered);
+
+  // 1. What does the augmented table look like?
+  std::printf("augmented table summary:\n%s\n",
+              df::DescribeToString(report.augmented).c_str());
+
+  // 2. Is the feature selection stable, or an artifact of one split?
+  Result<ml::Dataset> augmented_data = core::BuildDataset(
+      report.augmented, scenario.target_column, scenario.task);
+  ARDA_CHECK(augmented_data.ok());
+  {
+    featsel::RifsConfig rifs;
+    rifs.num_rounds = 6;
+    std::unique_ptr<featsel::FeatureSelector> selector =
+        featsel::MakeRifsSelector(rifs);
+    featsel::StabilityOptions options;
+    options.num_bootstraps = 6;
+    featsel::StabilityResult stability =
+        featsel::AnalyzeSelectionStability(*augmented_data, *selector,
+                                           options);
+    std::printf("selection stability (mean pairwise Jaccard over %zu "
+                "bootstraps): %.2f\n",
+                stability.selections.size(), stability.mean_jaccard);
+    std::printf("features selected in >=80%% of bootstraps:\n");
+    for (size_t f = 0; f < stability.selection_frequency.size(); ++f) {
+      if (stability.selection_frequency[f] >= 0.8) {
+        std::printf("  %-28s %.0f%%\n",
+                    augmented_data->feature_names[f].c_str(),
+                    stability.selection_frequency[f] * 100.0);
+      }
+    }
+  }
+
+  // 3. Is the improvement statistically significant?
+  Result<ml::Dataset> base_data = core::BuildDataset(
+      report.augmented.Select(scenario.base.ColumnNames()).value(),
+      scenario.target_column, scenario.task);
+  ARDA_CHECK(base_data.ok());
+  featsel::SignificanceResult significance =
+      featsel::TestAugmentationSignificance(*base_data, *augmented_data);
+  std::printf("\nsignificance: mean improvement %.3f, p = %.4f -> %s\n",
+              significance.mean_improvement, significance.p_value,
+              significance.SignificantAt(0.05)
+                  ? "keep the augmentation"
+                  : "reject the augmentation");
+  return 0;
+}

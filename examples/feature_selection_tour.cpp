@@ -1,0 +1,52 @@
+// Example: a tour of the feature-selection toolbox on a dataset with
+// known ground truth. We take the Kraken micro-benchmark (24 sensors, 10x
+// injected noise features) and run every selector in the registry,
+// reporting how much planted noise each one lets through — a miniature of
+// the paper's Figure 6 / Table 6 evaluation.
+
+#include <cstdio>
+
+#include "data/generators.h"
+#include "featsel/selector.h"
+#include "ml/evaluator.h"
+
+int main() {
+  using namespace arda;
+
+  data::MicroBenchmark bench = data::MakeKrakenBenchmark(/*seed=*/17);
+  std::printf("Kraken: %zu rows, %zu original sensors + %zu injected "
+              "noise features\n\n",
+              bench.data.NumRows(), bench.num_original,
+              bench.data.NumFeatures() - bench.num_original);
+
+  ml::Evaluator evaluator(bench.data, 0.25, 17);
+  std::vector<size_t> original(bench.num_original);
+  for (size_t f = 0; f < bench.num_original; ++f) original[f] = f;
+  std::printf("%-22s %8s %9s %9s %8s\n", "method", "accuracy", "selected",
+              "noise_in", "time");
+  std::printf("%s\n", std::string(62, '-').c_str());
+  std::printf("%-22s %7.1f%% %9zu %9s %8s\n", "original features only",
+              evaluator.ScoreFeatures(original) * 100.0,
+              bench.num_original, "0", "-");
+
+  for (const std::string& name :
+       featsel::PaperSelectorNames(ml::TaskType::kClassification)) {
+    std::unique_ptr<featsel::FeatureSelector> selector =
+        featsel::MakeSelector(name);
+    Rng rng(17);
+    featsel::SelectionResult result =
+        selector->Select(bench.data, evaluator, &rng);
+    size_t noise_kept = 0;
+    for (size_t f : result.selected) noise_kept += bench.IsNoiseFeature(f);
+    std::printf("%-22s %7.1f%% %9zu %9zu %7.1fs\n", name.c_str(),
+                result.score * 100.0, result.selected.size(), noise_kept,
+                result.seconds);
+  }
+
+  std::printf(
+      "\nRanking-based methods pair a ranker with the paper's exponential\n"
+      "search; forward/backward/RFE retrain the model per step (watch the\n"
+      "time column); RIFS compares every feature against injected random\n"
+      "noise and keeps only consistent winners.\n");
+  return 0;
+}

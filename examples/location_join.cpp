@@ -1,0 +1,142 @@
+// Example: the three extensions implemented from the paper's future-work
+// list (Section 9) —
+//   1. location-based (2-D) soft joins,
+//   2. transitive (two-hop) augmentation,
+//   3. statistical significance testing of augmented features.
+// A housing-price table is augmented with the nearest weather station's
+// climate data (lat/lon soft join) and with city crime statistics that
+// are only reachable through a station->city lookup (transitive join);
+// a permutation test then certifies the improvement.
+
+#include <cmath>
+#include <cstdio>
+
+#include "core/arda.h"
+#include "discovery/transitive.h"
+#include "featsel/significance.h"
+#include "join/geo_join.h"
+#include "join/impute.h"
+#include "join/transitive_join.h"
+
+int main() {
+  using namespace arda;
+  Rng rng(2024);
+
+  // --- Houses: the base table. Price depends on size, the local climate
+  //     (held by the nearest station) and the city crime rate (held two
+  //     hops away). ------------------------------------------------------
+  const size_t n = 400;
+  const size_t num_stations = 25;
+  std::vector<double> st_lat(num_stations), st_lon(num_stations),
+      st_rainfall(num_stations);
+  std::vector<std::string> st_city(num_stations);
+  std::vector<double> city_crime = {1.0, 4.0, 2.5, 6.0, 0.5};
+  for (size_t s = 0; s < num_stations; ++s) {
+    st_lat[s] = rng.Uniform(0.0, 100.0);
+    st_lon[s] = rng.Uniform(0.0, 100.0);
+    st_rainfall[s] = rng.Uniform(20.0, 80.0);
+    st_city[s] = "city_" + std::to_string(s % city_crime.size());
+  }
+
+  df::DataFrame houses;
+  std::vector<double> lat(n), lon(n), sqft(n), price(n);
+  for (size_t i = 0; i < n; ++i) {
+    lat[i] = rng.Uniform(0.0, 100.0);
+    lon[i] = rng.Uniform(0.0, 100.0);
+    sqft[i] = rng.Uniform(60.0, 250.0);
+    // Nearest station determines the hidden attributes.
+    size_t nearest = 0;
+    double best = 1e300;
+    for (size_t s = 0; s < num_stations; ++s) {
+      double d = (lat[i] - st_lat[s]) * (lat[i] - st_lat[s]) +
+                 (lon[i] - st_lon[s]) * (lon[i] - st_lon[s]);
+      if (d < best) {
+        best = d;
+        nearest = s;
+      }
+    }
+    size_t city = nearest % city_crime.size();
+    price[i] = 2.0 * sqft[i] - 1.5 * st_rainfall[nearest] -
+               25.0 * city_crime[city] + rng.Normal(0.0, 10.0);
+  }
+  ARDA_CHECK(houses.AddColumn(df::Column::Double("lat", lat)).ok());
+  ARDA_CHECK(houses.AddColumn(df::Column::Double("lon", lon)).ok());
+  ARDA_CHECK(houses.AddColumn(df::Column::Double("sqft", sqft)).ok());
+  ARDA_CHECK(houses.AddColumn(df::Column::Double("price", price)).ok());
+
+  // --- The repository: stations (geo-keyed) and city stats. ------------
+  discovery::DataRepository repo;
+  {
+    df::DataFrame stations;
+    ARDA_CHECK(stations.AddColumn(df::Column::Double("lat", st_lat)).ok());
+    ARDA_CHECK(stations.AddColumn(df::Column::Double("lon", st_lon)).ok());
+    ARDA_CHECK(
+        stations.AddColumn(df::Column::Double("rainfall", st_rainfall))
+            .ok());
+    ARDA_CHECK(
+        stations.AddColumn(df::Column::String("city", st_city)).ok());
+    ARDA_CHECK(repo.Add("stations", std::move(stations)).ok());
+
+    df::DataFrame cities;
+    std::vector<std::string> names;
+    for (size_t c = 0; c < city_crime.size(); ++c) {
+      names.push_back("city_" + std::to_string(c));
+    }
+    ARDA_CHECK(cities.AddColumn(df::Column::String("city", names)).ok());
+    ARDA_CHECK(
+        cities.AddColumn(df::Column::Double("crime_rate", city_crime))
+            .ok());
+    ARDA_CHECK(repo.Add("city_stats", std::move(cities)).ok());
+    ARDA_CHECK(repo.Add("houses", houses).ok());
+  }
+
+  // --- 1. Location soft join: nearest station in (lat, lon). -----------
+  discovery::CandidateJoin geo_cand;
+  geo_cand.foreign_table = "stations";
+  geo_cand.keys = {
+      discovery::JoinKeyPair{"lat", "lat", discovery::KeyKind::kSoft},
+      discovery::JoinKeyPair{"lon", "lon", discovery::KeyKind::kSoft}};
+  join::GeoJoinOptions geo_options;
+  Result<df::DataFrame> with_station =
+      join::ExecuteGeoLeftJoin(houses, repo.GetOrDie("stations"), geo_cand,
+                               geo_options, &rng);
+  ARDA_CHECK(with_station.ok());
+  std::printf("geo join added columns: rainfall, city (nearest of %zu "
+              "stations)\n",
+              num_stations);
+
+  // --- 2. Transitive hop: station -> city -> crime stats. --------------
+  std::vector<discovery::TransitiveCandidate> paths =
+      discovery::DiscoverTransitiveCandidates(repo, "houses", "price");
+  std::printf("transitive paths discovered: %zu\n", paths.size());
+  df::DataFrame augmented = *with_station;
+  {
+    // The joined station city gives a hard key into city_stats.
+    discovery::CandidateJoin city_cand;
+    city_cand.foreign_table = "city_stats";
+    city_cand.keys = {discovery::JoinKeyPair{"city", "city",
+                                             discovery::KeyKind::kHard}};
+    Result<df::DataFrame> with_city = join::ExecuteLeftJoin(
+        augmented, repo.GetOrDie("city_stats"), city_cand, {}, &rng);
+    ARDA_CHECK(with_city.ok());
+    augmented = std::move(with_city).value();
+  }
+  join::ImputeInPlace(&augmented, &rng);
+  std::printf("augmented columns: %zu\n", augmented.NumCols());
+
+  // --- 3. Does the augmentation significantly improve the model? -------
+  Result<ml::Dataset> base_data =
+      core::BuildDataset(houses, "price", ml::TaskType::kRegression);
+  Result<ml::Dataset> aug_data =
+      core::BuildDataset(augmented, "price", ml::TaskType::kRegression);
+  ARDA_CHECK(base_data.ok());
+  ARDA_CHECK(aug_data.ok());
+  featsel::SignificanceResult significance =
+      featsel::TestAugmentationSignificance(*base_data, *aug_data);
+  std::printf(
+      "mean holdout improvement: %.2f MAE, p-value %.4f (%s at "
+      "alpha=0.05)\n",
+      significance.mean_improvement, significance.p_value,
+      significance.SignificantAt(0.05) ? "significant" : "not significant");
+  return 0;
+}

@@ -1,0 +1,330 @@
+#include "core/arda.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <set>
+
+#include "discovery/discovery.h"
+#include "discovery/tuple_ratio.h"
+#include "featsel/selector.h"
+#include "join/impute.h"
+#include "util/timer.h"
+
+namespace arda::core {
+
+const char* JoinPlanKindName(JoinPlanKind kind) {
+  switch (kind) {
+    case JoinPlanKind::kTableAtATime:
+      return "table";
+    case JoinPlanKind::kBudget:
+      return "budget";
+    case JoinPlanKind::kFullMaterialization:
+      return "full";
+  }
+  return "unknown";
+}
+
+double ArdaReport::ImprovementPercent() const {
+  if (std::fabs(base_score) < 1e-12) {
+    return (final_score - base_score) * 100.0;
+  }
+  // Scores are higher-is-better (accuracy, or negative MAE); normalize by
+  // the magnitude of the base score so regression reads as % error
+  // reduction and classification as % accuracy gain.
+  return (final_score - base_score) / std::fabs(base_score) * 100.0;
+}
+
+size_t EstimateEncodedFeatures(const df::DataFrame& table,
+                               const df::EncodeOptions& encode) {
+  size_t count = 0;
+  for (size_t c = 0; c < table.NumCols(); ++c) {
+    const df::Column& col = table.col(c);
+    if (col.IsNumeric()) {
+      ++count;
+    } else {
+      count += std::min(col.DistinctValuesAsString().size(),
+                        encode.max_categories);
+    }
+  }
+  return count;
+}
+
+std::vector<std::vector<discovery::CandidateJoin>> BuildJoinPlan(
+    const std::vector<discovery::CandidateJoin>& candidates,
+    const discovery::DataRepository& repo, JoinPlanKind plan, size_t budget,
+    const df::EncodeOptions& encode) {
+  std::vector<std::vector<discovery::CandidateJoin>> batches;
+  if (candidates.empty()) return batches;
+  if (plan == JoinPlanKind::kFullMaterialization) {
+    batches.push_back(candidates);
+    return batches;
+  }
+  if (plan == JoinPlanKind::kTableAtATime) {
+    for (const discovery::CandidateJoin& cand : candidates) {
+      batches.push_back({cand});
+    }
+    return batches;
+  }
+  // Budget batching: pack candidates (already in priority order) until
+  // the estimated feature count would exceed the budget. A single table
+  // above the budget still ships alone (the paper's exception).
+  std::vector<discovery::CandidateJoin> current;
+  size_t current_cost = 0;
+  for (const discovery::CandidateJoin& cand : candidates) {
+    size_t cost = 1;
+    if (repo.Has(cand.foreign_table)) {
+      cost = EstimateEncodedFeatures(repo.GetOrDie(cand.foreign_table),
+                                     encode);
+    }
+    if (!current.empty() && budget > 0 && current_cost + cost > budget) {
+      batches.push_back(std::move(current));
+      current.clear();
+      current_cost = 0;
+    }
+    current.push_back(cand);
+    current_cost += cost;
+  }
+  if (!current.empty()) batches.push_back(std::move(current));
+  return batches;
+}
+
+Result<ml::Dataset> BuildDataset(const df::DataFrame& frame,
+                                 const std::string& target_column,
+                                 ml::TaskType task,
+                                 const df::EncodeOptions& encode) {
+  if (!frame.HasColumn(target_column)) {
+    return Status::NotFound("no such target column: " + target_column);
+  }
+  const df::Column& target = frame.col(target_column);
+  ml::Dataset data;
+  data.task = task;
+  data.y.reserve(frame.NumRows());
+  if (target.IsNumeric()) {
+    for (size_t r = 0; r < frame.NumRows(); ++r) {
+      if (target.IsNull(r)) {
+        return Status::InvalidArgument("target column contains nulls");
+      }
+      double v = target.NumericAt(r);
+      if (task == ml::TaskType::kClassification) {
+        v = std::lround(v);
+        if (v < 0) {
+          return Status::InvalidArgument(
+              "classification labels must be non-negative");
+        }
+      }
+      data.y.push_back(v);
+    }
+  } else {
+    if (task == ml::TaskType::kRegression) {
+      return Status::InvalidArgument(
+          "regression target must be numeric: " + target_column);
+    }
+    std::vector<std::string> values = target.DistinctValuesAsString();
+    std::map<std::string, double> ids;
+    for (size_t i = 0; i < values.size(); ++i) {
+      ids[values[i]] = static_cast<double>(i);
+    }
+    for (size_t r = 0; r < frame.NumRows(); ++r) {
+      if (target.IsNull(r)) {
+        return Status::InvalidArgument("target column contains nulls");
+      }
+      data.y.push_back(ids[target.StringAt(r)]);
+    }
+  }
+  df::EncodedFeatures encoded =
+      df::EncodeFeatures(frame, {target_column}, encode);
+  data.x = std::move(encoded.x);
+  data.feature_names = std::move(encoded.names);
+  return data;
+}
+
+namespace {
+
+// Selected encoded feature indices -> owning source columns of `frame`.
+std::set<std::string> SourceColumnsOf(const df::DataFrame& frame,
+                                      const df::EncodedFeatures& encoded,
+                                      const std::vector<size_t>& features) {
+  std::set<std::string> columns;
+  for (size_t f : features) {
+    columns.insert(frame.col(encoded.source_column[f]).name());
+  }
+  return columns;
+}
+
+}  // namespace
+
+Arda::Arda(const ArdaConfig& config) : config_(config) {}
+
+Result<ArdaReport> Arda::Run(const AugmentationTask& task) const {
+  Stopwatch total_watch;
+  if (task.repo == nullptr) {
+    return Status::InvalidArgument("task.repo must be set");
+  }
+  if (!task.base.HasColumn(task.target_column)) {
+    return Status::NotFound("no such target column: " + task.target_column);
+  }
+  Rng rng(config_.seed);
+
+  // 1. Coreset construction on the base table.
+  ARDA_ASSIGN_OR_RETURN(
+      df::DataFrame coreset_base,
+      coreset::SampleCoreset(task.base, task.target_column, task.task,
+                             config_.coreset, &rng));
+
+  // 2. Candidate joins: provided, or discovered in the repository.
+  std::vector<discovery::CandidateJoin> candidates = task.candidates;
+  if (candidates.empty()) {
+    candidates = discovery::DiscoverCandidates(
+        *task.repo, task.base_table_name, task.target_column);
+  }
+
+  ArdaReport report;
+  report.tables_considered = candidates.size();
+
+  // Optional Tuple-Ratio prefilter (Kumar et al. decision rule).
+  if (config_.use_tuple_ratio_prefilter) {
+    discovery::TupleRatioFilterResult filtered =
+        discovery::FilterByTupleRatio(*task.repo, coreset_base, candidates,
+                                      config_.tuple_ratio_tau);
+    report.tables_filtered_by_tuple_ratio = filtered.removed.size();
+    candidates = std::move(filtered.kept);
+  }
+
+  // 3. Join plan.
+  size_t budget = config_.budget == 0 ? coreset_base.NumRows()
+                                      : config_.budget;
+  std::vector<std::vector<discovery::CandidateJoin>> batches = BuildJoinPlan(
+      candidates, *task.repo, config_.plan, budget, config_.encode);
+
+  std::unique_ptr<featsel::FeatureSelector> selector =
+      config_.selector == "rifs"
+          ? featsel::MakeRifsSelector(config_.rifs)
+          : featsel::MakeSelector(config_.selector);
+  if (selector == nullptr) {
+    return Status::InvalidArgument("unknown selector: " + config_.selector);
+  }
+
+  // `current` always holds the accepted augmentation so far (starts as
+  // the base coreset) with nulls imputed.
+  df::DataFrame current = coreset_base;
+  join::ImputeInPlace(&current, &rng);
+
+  ARDA_ASSIGN_OR_RETURN(ml::Dataset current_data,
+                        BuildDataset(current, task.target_column, task.task,
+                                     config_.encode));
+  ml::Evaluator base_evaluator(current_data, config_.test_fraction,
+                               config_.seed);
+  double current_score = base_evaluator.ScoreAllFeatures();
+
+  // 4. Batched join execution + feature selection.
+  for (const std::vector<discovery::CandidateJoin>& batch : batches) {
+    BatchLog log;
+    Stopwatch join_watch;
+    df::DataFrame working = current;
+    bool joined_any = false;
+    for (const discovery::CandidateJoin& cand : batch) {
+      Result<const df::DataFrame*> foreign =
+          task.repo->Get(cand.foreign_table);
+      if (!foreign.ok()) continue;
+      Result<df::DataFrame> joined = join::ExecuteLeftJoin(
+          working, *foreign.value(), cand, config_.join, &rng);
+      if (!joined.ok()) continue;  // skip malformed candidates
+      working = std::move(joined).value();
+      log.tables.push_back(cand.foreign_table);
+      joined_any = true;
+    }
+    log.join_seconds = join_watch.ElapsedSeconds();
+    report.join_seconds += log.join_seconds;
+    if (!joined_any) {
+      report.batches.push_back(std::move(log));
+      continue;
+    }
+    join::ImputeInPlace(&working, &rng);
+
+    Stopwatch select_watch;
+    ARDA_ASSIGN_OR_RETURN(ml::Dataset working_data,
+                          BuildDataset(working, task.target_column,
+                                       task.task, config_.encode));
+    // Optional sketch coreset of the selection data (post-join only).
+    ml::Dataset selection_data = working_data;
+    if (config_.coreset.method == coreset::CoresetMethod::kSketch) {
+      size_t rows = config_.coreset.size == 0
+                        ? coreset::HeuristicCoresetSize(
+                              working_data.NumRows())
+                        : config_.coreset.size;
+      selection_data = coreset::SketchRows(working_data, rows, &rng);
+    }
+    ml::Evaluator evaluator(selection_data, config_.test_fraction,
+                            config_.seed);
+    Rng selector_rng = rng.Fork();
+    featsel::SelectionResult selection =
+        selector->Select(selection_data, evaluator, &selector_rng);
+    log.selection_seconds = select_watch.ElapsedSeconds();
+    report.selection_seconds += log.selection_seconds;
+
+    // Which *new* source columns did the selection keep?
+    df::EncodedFeatures encoded =
+        df::EncodeFeatures(working, {task.target_column}, config_.encode);
+    std::set<std::string> kept_columns =
+        SourceColumnsOf(working, encoded, selection.selected);
+    std::vector<std::string> new_columns;
+    for (const std::string& name : kept_columns) {
+      if (!current.HasColumn(name)) new_columns.push_back(name);
+    }
+    log.features_considered = working_data.NumFeatures();
+    log.features_kept = new_columns.size();
+
+    if (!new_columns.empty()) {
+      // Accept the batch only if the kept columns actually improve the
+      // holdout score over the current augmentation.
+      df::DataFrame candidate_frame = current;
+      for (const std::string& name : new_columns) {
+        Status st = candidate_frame.AddColumn(working.col(name));
+        ARDA_CHECK(st.ok());
+      }
+      ARDA_ASSIGN_OR_RETURN(ml::Dataset candidate_data,
+                            BuildDataset(candidate_frame,
+                                         task.target_column, task.task,
+                                         config_.encode));
+      ml::Evaluator accept_evaluator(candidate_data, config_.test_fraction,
+                                     config_.seed);
+      double candidate_score = accept_evaluator.ScoreAllFeatures();
+      if (candidate_score > current_score + config_.min_improvement) {
+        current = std::move(candidate_frame);
+        current_score = candidate_score;
+        report.tables_joined += log.tables.size();
+        log.accepted = true;
+      }
+    }
+    log.score_after = current_score;
+    report.batches.push_back(std::move(log));
+  }
+
+  // 5. Final estimate on the augmented table.
+  ARDA_ASSIGN_OR_RETURN(ml::Dataset final_data,
+                        BuildDataset(current, task.target_column, task.task,
+                                     config_.encode));
+  ml::Evaluator final_evaluator(final_data, config_.test_fraction,
+                                config_.seed);
+  report.final_score =
+      final_evaluator.FinalScore(ml::AllFeatureIndices(
+          final_data.NumFeatures()));
+  report.selected_features = final_data.feature_names;
+
+  ARDA_ASSIGN_OR_RETURN(ml::Dataset base_data,
+                        BuildDataset(current.Select(
+                                         coreset_base.ColumnNames())
+                                         .value(),
+                                     task.target_column, task.task,
+                                     config_.encode));
+  ml::Evaluator base_final(base_data, config_.test_fraction, config_.seed);
+  report.base_score = base_final.FinalScore(
+      ml::AllFeatureIndices(base_data.NumFeatures()));
+
+  report.augmented = std::move(current);
+  report.total_seconds = total_watch.ElapsedSeconds();
+  return report;
+}
+
+}  // namespace arda::core

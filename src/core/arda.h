@@ -1,0 +1,106 @@
+#ifndef ARDA_CORE_ARDA_H_
+#define ARDA_CORE_ARDA_H_
+
+#include <string>
+#include <vector>
+
+#include "core/config.h"
+#include "discovery/candidate.h"
+#include "discovery/repository.h"
+#include "ml/dataset.h"
+#include "util/status.h"
+
+namespace arda::core {
+
+/// Input bundle for an ARDA run: the user's base table with its prediction
+/// target, the data repository, and the candidate joins supplied by a data
+/// discovery system (leave empty to run the built-in discovery
+/// heuristics).
+struct AugmentationTask {
+  df::DataFrame base;
+  std::string target_column;
+  ml::TaskType task = ml::TaskType::kRegression;
+  const discovery::DataRepository* repo = nullptr;
+  std::vector<discovery::CandidateJoin> candidates;
+  /// Name of the base table inside `repo` (skipped during discovery).
+  std::string base_table_name = "base";
+};
+
+/// Per-batch log entry of the join plan execution.
+struct BatchLog {
+  std::vector<std::string> tables;
+  size_t features_considered = 0;
+  size_t features_kept = 0;
+  /// Holdout score after deciding this batch.
+  double score_after = 0.0;
+  bool accepted = false;
+  double join_seconds = 0.0;
+  double selection_seconds = 0.0;
+};
+
+/// Everything an ARDA run produces.
+struct ArdaReport {
+  /// Final-estimator holdout score on the base features alone.
+  double base_score = 0.0;
+  /// Final-estimator holdout score on the augmented features.
+  double final_score = 0.0;
+  /// The augmented table: every base column plus the kept foreign
+  /// columns, imputed (coreset rows).
+  df::DataFrame augmented;
+  /// Encoded feature names of the final selection.
+  std::vector<std::string> selected_features;
+  std::vector<BatchLog> batches;
+  size_t tables_considered = 0;
+  size_t tables_joined = 0;
+  size_t tables_filtered_by_tuple_ratio = 0;
+  double join_seconds = 0.0;
+  double selection_seconds = 0.0;
+  double total_seconds = 0.0;
+
+  /// Percent improvement of final_score over base_score, the number the
+  /// paper's Figure 3 reports. Regression scores are negative MAE, so the
+  /// improvement is measured as error reduction.
+  double ImprovementPercent() const;
+};
+
+/// The end-to-end Automatic Relational Data Augmentation system
+/// (Figure 1): coreset construction -> join plan -> batched join
+/// execution with soft keys / aggregation / imputation -> feature
+/// selection (RIFS by default) -> final estimate.
+class Arda {
+ public:
+  explicit Arda(const ArdaConfig& config);
+
+  /// Runs the full pipeline. Fails on malformed inputs (missing target,
+  /// unknown selector, missing tables).
+  Result<ArdaReport> Run(const AugmentationTask& task) const;
+
+ private:
+  ArdaConfig config_;
+};
+
+/// Groups candidates into join-plan batches under `plan`/`budget`, where
+/// each candidate costs the estimated encoded feature count of its table.
+/// Exposed for the table-grouping experiments (Table 5).
+std::vector<std::vector<discovery::CandidateJoin>> BuildJoinPlan(
+    const std::vector<discovery::CandidateJoin>& candidates,
+    const discovery::DataRepository& repo, JoinPlanKind plan, size_t budget,
+    const df::EncodeOptions& encode);
+
+/// Estimated number of encoded features `table` contributes (numeric
+/// columns count 1, categorical columns their capped cardinality).
+size_t EstimateEncodedFeatures(const df::DataFrame& table,
+                               const df::EncodeOptions& encode);
+
+/// Encodes `frame` into a supervised dataset: the target column becomes
+/// `y` (string classification targets are mapped to dense label ids in
+/// sorted value order) and every other column is encoded per `encode`.
+/// Fails if the target is missing, or non-numeric for regression.
+Result<ml::Dataset> BuildDataset(const df::DataFrame& frame,
+                                 const std::string& target_column,
+                                 ml::TaskType task,
+                                 const df::EncodeOptions& encode = {});
+
+}  // namespace arda::core
+
+#endif  // ARDA_CORE_ARDA_H_

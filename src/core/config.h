@@ -1,0 +1,56 @@
+#ifndef ARDA_CORE_CONFIG_H_
+#define ARDA_CORE_CONFIG_H_
+
+#include <string>
+
+#include "coreset/coreset.h"
+#include "dataframe/encode.h"
+#include "featsel/rifs.h"
+#include "join/join_executor.h"
+
+namespace arda::core {
+
+/// Table-grouping strategy for the join plan (Section 4 "Table grouping").
+enum class JoinPlanKind {
+  /// One candidate table per batch — cheap per step but misses
+  /// co-predicting features split across tables.
+  kTableAtATime,
+  /// As many tables per batch as fit in the feature budget (ARDA's
+  /// default).
+  kBudget,
+  /// Every candidate table in a single batch before feature selection.
+  kFullMaterialization,
+};
+
+/// Returns "table", "budget" or "full".
+const char* JoinPlanKindName(JoinPlanKind kind);
+
+/// End-to-end configuration of an ARDA run.
+struct ArdaConfig {
+  coreset::CoresetConfig coreset;
+  JoinPlanKind plan = JoinPlanKind::kBudget;
+  /// Max encoded features considered per batch; 0 = the coreset row count
+  /// (the paper's default). A single table larger than the budget still
+  /// gets its own batch.
+  size_t budget = 0;
+  join::JoinOptions join;
+  df::EncodeOptions encode;
+  /// Feature-selection method name (featsel::MakeSelector registry);
+  /// "rifs" (default) uses the `rifs` config below.
+  std::string selector = "rifs";
+  featsel::RifsConfig rifs;
+  /// Holdout fraction used by the internal evaluator.
+  double test_fraction = 0.25;
+  /// Apply the Kumar et al. Tuple-Ratio rule to drop candidate tables
+  /// before any joins (Table 4 experiment).
+  bool use_tuple_ratio_prefilter = false;
+  double tuple_ratio_tau = 20.0;
+  /// A batch's new features are kept only if they improve the holdout
+  /// score by more than this margin.
+  double min_improvement = 0.0;
+  uint64_t seed = 42;
+};
+
+}  // namespace arda::core
+
+#endif  // ARDA_CORE_CONFIG_H_

@@ -1,0 +1,107 @@
+#include "core/report_io.h"
+
+#include <fstream>
+
+#include "util/string_util.h"
+
+namespace arda::core {
+
+std::string JsonEscape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size() + 2);
+  for (char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += StrFormat("\\u%04x", c);
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+namespace {
+
+std::string JsonStringArray(const std::vector<std::string>& values) {
+  std::string out = "[";
+  for (size_t i = 0; i < values.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += "\"" + JsonEscape(values[i]) + "\"";
+  }
+  out += "]";
+  return out;
+}
+
+}  // namespace
+
+std::string ReportToJson(const ArdaReport& report) {
+  std::string out = "{\n";
+  out += StrFormat("  \"base_score\": %.10g,\n", report.base_score);
+  out += StrFormat("  \"final_score\": %.10g,\n", report.final_score);
+  out += StrFormat("  \"improvement_percent\": %.6g,\n",
+                   report.ImprovementPercent());
+  out += StrFormat("  \"tables_considered\": %zu,\n",
+                   report.tables_considered);
+  out += StrFormat("  \"tables_joined\": %zu,\n", report.tables_joined);
+  out += StrFormat("  \"tables_filtered_by_tuple_ratio\": %zu,\n",
+                   report.tables_filtered_by_tuple_ratio);
+  out += StrFormat("  \"join_seconds\": %.6g,\n", report.join_seconds);
+  out += StrFormat("  \"selection_seconds\": %.6g,\n",
+                   report.selection_seconds);
+  out += StrFormat("  \"total_seconds\": %.6g,\n", report.total_seconds);
+  out += StrFormat("  \"augmented_rows\": %zu,\n",
+                   report.augmented.NumRows());
+  out += "  \"augmented_columns\": " +
+         JsonStringArray(report.augmented.ColumnNames()) + ",\n";
+  out += "  \"selected_features\": " +
+         JsonStringArray(report.selected_features) + ",\n";
+  out += "  \"batches\": [\n";
+  for (size_t i = 0; i < report.batches.size(); ++i) {
+    const BatchLog& batch = report.batches[i];
+    out += "    {";
+    out += "\"tables\": " + JsonStringArray(batch.tables) + ", ";
+    out += StrFormat("\"features_considered\": %zu, ",
+                     batch.features_considered);
+    out += StrFormat("\"features_kept\": %zu, ", batch.features_kept);
+    out += StrFormat("\"accepted\": %s, ",
+                     batch.accepted ? "true" : "false");
+    out += StrFormat("\"score_after\": %.10g, ", batch.score_after);
+    out += StrFormat("\"join_seconds\": %.6g, ", batch.join_seconds);
+    out += StrFormat("\"selection_seconds\": %.6g}",
+                     batch.selection_seconds);
+    out += i + 1 < report.batches.size() ? ",\n" : "\n";
+  }
+  out += "  ]\n}\n";
+  return out;
+}
+
+Status WriteReportJson(const ArdaReport& report, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    return Status::IoError("cannot open file for writing: " + path);
+  }
+  out << ReportToJson(report);
+  if (!out) {
+    return Status::IoError("failed writing file: " + path);
+  }
+  return Status::Ok();
+}
+
+}  // namespace arda::core

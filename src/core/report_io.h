@@ -1,0 +1,25 @@
+#ifndef ARDA_CORE_REPORT_IO_H_
+#define ARDA_CORE_REPORT_IO_H_
+
+#include <string>
+
+#include "core/arda.h"
+
+namespace arda::core {
+
+/// Serializes an ArdaReport as a JSON object (scores, timings, per-batch
+/// log, selected feature names and augmented-table schema — not the data
+/// itself). Stable key names; intended for dashboards and the CLI's
+/// --report-json flag.
+std::string ReportToJson(const ArdaReport& report);
+
+/// Writes ReportToJson(report) to `path`.
+Status WriteReportJson(const ArdaReport& report, const std::string& path);
+
+/// Escapes a string for embedding in JSON (quotes, backslashes, control
+/// characters).
+std::string JsonEscape(const std::string& text);
+
+}  // namespace arda::core
+
+#endif  // ARDA_CORE_REPORT_IO_H_

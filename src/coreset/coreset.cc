@@ -1,0 +1,151 @@
+#include "coreset/coreset.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+namespace arda::coreset {
+
+const char* CoresetMethodName(CoresetMethod method) {
+  switch (method) {
+    case CoresetMethod::kNone:
+      return "none";
+    case CoresetMethod::kUniform:
+      return "uniform";
+    case CoresetMethod::kStratified:
+      return "stratified";
+    case CoresetMethod::kSketch:
+      return "sketch";
+  }
+  return "unknown";
+}
+
+size_t HeuristicCoresetSize(size_t num_rows) {
+  if (num_rows <= 1000) return num_rows;
+  return std::min(num_rows,
+                  1000 + static_cast<size_t>(std::sqrt(
+                             static_cast<double>(num_rows - 1000))));
+}
+
+Result<df::DataFrame> SampleCoreset(const df::DataFrame& base,
+                                    const std::string& label_column,
+                                    ml::TaskType task,
+                                    const CoresetConfig& config, Rng* rng) {
+  if (!base.HasColumn(label_column)) {
+    return Status::NotFound("no such label column: " + label_column);
+  }
+  const size_t n = base.NumRows();
+  size_t size = config.size == 0 ? HeuristicCoresetSize(n) : config.size;
+  size = std::min(size, n);
+  if (config.method == CoresetMethod::kNone || size == n) {
+    return base;
+  }
+
+  if (config.method == CoresetMethod::kStratified &&
+      task == ml::TaskType::kClassification) {
+    // Proportional allocation per label with at least one row per class.
+    const df::Column& label = base.col(label_column);
+    std::map<std::string, std::vector<size_t>> strata;
+    for (size_t r = 0; r < n; ++r) {
+      strata[label.IsNull(r) ? "\x1e<null>" : label.ValueToString(r)]
+          .push_back(r);
+    }
+    std::vector<size_t> chosen;
+    for (auto& [value, rows] : strata) {
+      size_t want = static_cast<size_t>(std::lround(
+          static_cast<double>(size) * static_cast<double>(rows.size()) /
+          static_cast<double>(n)));
+      want = std::clamp<size_t>(want, 1, rows.size());
+      std::vector<size_t> picks =
+          rng->SampleWithoutReplacement(rows.size(), want);
+      for (size_t p : picks) chosen.push_back(rows[p]);
+    }
+    std::sort(chosen.begin(), chosen.end());
+    return base.Take(chosen);
+  }
+
+  // Uniform (also used for kSketch pre-join and for stratified regression).
+  std::vector<size_t> chosen = rng->SampleWithoutReplacement(n, size);
+  std::sort(chosen.begin(), chosen.end());
+  return base.Take(chosen);
+}
+
+ml::Dataset SketchRows(const ml::Dataset& data, size_t target_rows,
+                       Rng* rng) {
+  const size_t n = data.NumRows();
+  const size_t d = data.NumFeatures();
+  if (target_rows >= n || n == 0) return data;
+
+  ml::Dataset out;
+  out.task = data.task;
+  out.feature_names = data.feature_names;
+
+  if (data.task == ml::TaskType::kClassification) {
+    // Sketch independently within each label (the matrix analogue of
+    // stratified sampling); sketched rows keep the group's label.
+    std::map<int, std::vector<size_t>> groups;
+    for (size_t r = 0; r < n; ++r) {
+      groups[static_cast<int>(std::lround(data.y[r]))].push_back(r);
+    }
+    std::vector<std::vector<double>> out_rows;
+    for (auto& [label, rows] : groups) {
+      size_t want = std::max<size_t>(
+          1, static_cast<size_t>(std::lround(
+                 static_cast<double>(target_rows) *
+                 static_cast<double>(rows.size()) / static_cast<double>(n))));
+      want = std::min(want, rows.size());
+      // CountSketch: each input row lands in one random bucket with a
+      // random sign.
+      std::vector<std::vector<double>> buckets(want,
+                                               std::vector<double>(d, 0.0));
+      std::vector<size_t> bucket_fill(want, 0);
+      for (size_t row : rows) {
+        size_t b = static_cast<size_t>(rng->UniformUint64(want));
+        double sign = rng->Bernoulli(0.5) ? 1.0 : -1.0;
+        const double* src = data.x.RowPtr(row);
+        for (size_t c = 0; c < d; ++c) buckets[b][c] += sign * src[c];
+        ++bucket_fill[b];
+      }
+      for (size_t b = 0; b < want; ++b) {
+        if (bucket_fill[b] == 0) continue;
+        // CountSketch buckets are raw signed sums: cross terms cancel in
+        // expectation, so norms (and the subspace) are preserved.
+        out_rows.push_back(std::move(buckets[b]));
+        out.y.push_back(static_cast<double>(label));
+      }
+    }
+    out.x = la::Matrix(out_rows.size(), d);
+    for (size_t r = 0; r < out_rows.size(); ++r) {
+      out.x.SetRow(r, out_rows[r]);
+    }
+    return out;
+  }
+
+  // Regression: sketch the augmented matrix [X | y] so the target is
+  // transformed consistently with the features.
+  std::vector<std::vector<double>> buckets(target_rows,
+                                           std::vector<double>(d + 1, 0.0));
+  std::vector<size_t> bucket_fill(target_rows, 0);
+  for (size_t r = 0; r < n; ++r) {
+    size_t b = static_cast<size_t>(rng->UniformUint64(target_rows));
+    double sign = rng->Bernoulli(0.5) ? 1.0 : -1.0;
+    const double* src = data.x.RowPtr(r);
+    for (size_t c = 0; c < d; ++c) buckets[b][c] += sign * src[c];
+    buckets[b][d] += sign * data.y[r];
+    ++bucket_fill[b];
+  }
+  std::vector<std::vector<double>> kept;
+  for (size_t b = 0; b < target_rows; ++b) {
+    if (bucket_fill[b] == 0) continue;
+    kept.push_back(std::move(buckets[b]));
+  }
+  out.x = la::Matrix(kept.size(), d);
+  out.y.resize(kept.size());
+  for (size_t r = 0; r < kept.size(); ++r) {
+    for (size_t c = 0; c < d; ++c) out.x(r, c) = kept[r][c];
+    out.y[r] = kept[r][d];
+  }
+  return out;
+}
+
+}  // namespace arda::coreset

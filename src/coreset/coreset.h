@@ -1,0 +1,63 @@
+#ifndef ARDA_CORESET_CORESET_H_
+#define ARDA_CORESET_CORESET_H_
+
+#include <string>
+
+#include "dataframe/data_frame.h"
+#include "ml/dataset.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace arda::coreset {
+
+/// Coreset construction strategy (Section 3.1 of the paper).
+enum class CoresetMethod {
+  /// Keep the full base table.
+  kNone,
+  /// Uniform row sampling (ARDA's default).
+  kUniform,
+  /// Per-label uniform sampling so no class is overlooked; falls back to
+  /// uniform for regression targets.
+  kStratified,
+  /// Uniform sampling of rows before the join, then a CountSketch/OSNAP
+  /// subspace embedding of the joined numeric matrix (see SketchRows).
+  kSketch,
+};
+
+/// Returns "none", "uniform", "stratified" or "sketch".
+const char* CoresetMethodName(CoresetMethod method);
+
+/// Coreset configuration.
+struct CoresetConfig {
+  CoresetMethod method = CoresetMethod::kUniform;
+  /// Desired number of rows; 0 means HeuristicCoresetSize(n).
+  size_t size = 0;
+};
+
+/// ARDA's default coreset-size heuristic: the whole table up to 1000 rows,
+/// then 1000 + sqrt(n - 1000), capped at n.
+size_t HeuristicCoresetSize(size_t num_rows);
+
+/// Samples a row coreset of the base table. `label_column` is used for
+/// stratification of classification targets and must exist in `base`.
+/// kSketch behaves like kUniform here — the linear-combination sketch can
+/// only run after joining, since sketched key values would no longer match
+/// any foreign table (Section 3.1).
+Result<df::DataFrame> SampleCoreset(const df::DataFrame& base,
+                                    const std::string& label_column,
+                                    ml::TaskType task,
+                                    const CoresetConfig& config, Rng* rng);
+
+/// CountSketch (OSNAP with one nonzero per column) subspace embedding of a
+/// fully numeric dataset: each input row is assigned a random output row
+/// and added with a random sign. For classification the sketch runs
+/// independently within each label so sketched rows keep a meaningful
+/// label (the paper's per-label sketching); for regression the target is
+/// sketched alongside the features. `target_rows` is a lower bound on the
+/// output size (per-label rounding can add a few rows).
+ml::Dataset SketchRows(const ml::Dataset& data, size_t target_rows,
+                       Rng* rng);
+
+}  // namespace arda::coreset
+
+#endif  // ARDA_CORESET_CORESET_H_

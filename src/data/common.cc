@@ -1,0 +1,137 @@
+#include "data/common.h"
+
+#include <algorithm>
+
+#include "util/string_util.h"
+
+namespace arda::data::internal {
+
+void AddTableWithCandidate(Scenario* scenario, const std::string& table_name,
+                           df::DataFrame table,
+                           const std::vector<discovery::JoinKeyPair>& keys,
+                           double score, bool is_signal) {
+  Status st = scenario->repo.Add(table_name, std::move(table));
+  ARDA_CHECK(st.ok());
+  discovery::CandidateJoin candidate;
+  candidate.foreign_table = table_name;
+  candidate.keys = keys;
+  candidate.score = score;
+  scenario->candidates.push_back(std::move(candidate));
+  if (is_signal) scenario->signal_tables.push_back(table_name);
+}
+
+std::string RandomCategory(size_t cardinality, Rng* rng) {
+  return "cat_" + std::to_string(rng->UniformUint64(cardinality));
+}
+
+df::DataFrame MakeNoiseTable(const std::string& table_name,
+                             const std::string& key_name,
+                             const std::vector<std::string>& key_values,
+                             df::DataType key_type, size_t numeric_cols,
+                             size_t cat_cols, double coverage,
+                             bool duplicate_keys, Rng* rng) {
+  // Choose the covered subset of keys.
+  std::vector<std::string> covered = key_values;
+  rng->Shuffle(&covered);
+  size_t keep = std::max<size_t>(
+      1, static_cast<size_t>(coverage * static_cast<double>(covered.size())));
+  covered.resize(std::min(keep, covered.size()));
+
+  // Expand with duplicates to exercise one-to-many pre-aggregation.
+  std::vector<std::string> rows = covered;
+  if (duplicate_keys) {
+    for (const std::string& key : covered) {
+      size_t copies = static_cast<size_t>(rng->UniformInt(0, 2));
+      for (size_t i = 0; i < copies; ++i) rows.push_back(key);
+    }
+    rng->Shuffle(&rows);
+  }
+
+  df::DataFrame table;
+  df::Column key_col = df::Column::Empty(key_name, key_type);
+  for (const std::string& value : rows) {
+    switch (key_type) {
+      case df::DataType::kInt64: {
+        int64_t parsed = 0;
+        ARDA_CHECK(ParseInt64(value, &parsed));
+        key_col.AppendInt64(parsed);
+        break;
+      }
+      case df::DataType::kDouble: {
+        double parsed = 0.0;
+        ARDA_CHECK(ParseDouble(value, &parsed));
+        key_col.AppendDouble(parsed);
+        break;
+      }
+      case df::DataType::kString:
+        key_col.AppendString(value);
+        break;
+    }
+  }
+  Status st = table.AddColumn(std::move(key_col));
+  ARDA_CHECK(st.ok());
+
+  for (size_t c = 0; c < numeric_cols; ++c) {
+    std::vector<double> values(rows.size());
+    // Randomized distribution family and parameters per column.
+    int family = static_cast<int>(rng->UniformUint64(3));
+    double a = rng->Uniform(-5.0, 5.0);
+    double b = rng->Uniform(0.5, 4.0);
+    for (double& v : values) {
+      switch (family) {
+        case 0:
+          v = rng->Normal(a, b);
+          break;
+        case 1:
+          v = rng->Uniform(a, a + b * 3.0);
+          break;
+        default:
+          v = static_cast<double>(rng->Poisson(b));
+          break;
+      }
+    }
+    st = table.AddColumn(df::Column::Double(
+        StrFormat("%s_num%zu", table_name.c_str(), c), std::move(values)));
+    ARDA_CHECK(st.ok());
+  }
+  for (size_t c = 0; c < cat_cols; ++c) {
+    size_t cardinality = static_cast<size_t>(rng->UniformInt(2, 12));
+    std::vector<std::string> values(rows.size());
+    for (std::string& v : values) v = RandomCategory(cardinality, rng);
+    st = table.AddColumn(df::Column::String(
+        StrFormat("%s_cat%zu", table_name.c_str(), c), std::move(values)));
+    ARDA_CHECK(st.ok());
+  }
+  return table;
+}
+
+std::vector<std::string> KeyDomain(const df::DataFrame& base,
+                                   const std::string& column) {
+  return base.col(column).DistinctValuesAsString();
+}
+
+void AddNoiseTables(Scenario* scenario, const std::string& base_key_column,
+                    size_t count, Rng* rng) {
+  std::vector<std::string> domain =
+      KeyDomain(scenario->base, base_key_column);
+  df::DataType key_type = scenario->base.col(base_key_column).type();
+  for (size_t i = 0; i < count; ++i) {
+    std::string name =
+        StrFormat("%s_noise_%s_%zu", scenario->name.c_str(),
+                  base_key_column.c_str(), i);
+    size_t numeric_cols = static_cast<size_t>(rng->UniformInt(1, 4));
+    size_t cat_cols = static_cast<size_t>(rng->UniformInt(0, 2));
+    double coverage = rng->Uniform(0.55, 1.0);
+    bool duplicates = rng->Bernoulli(0.3);
+    df::DataFrame table =
+        MakeNoiseTable(name, base_key_column, domain, key_type, numeric_cols,
+                       cat_cols, coverage, duplicates, rng);
+    AddTableWithCandidate(
+        scenario, name, std::move(table),
+        {discovery::JoinKeyPair{base_key_column, base_key_column,
+                                discovery::KeyKind::kHard}},
+        /*score=*/rng->Uniform(0.2, 0.7), /*is_signal=*/false);
+  }
+}
+
+}  // namespace arda::data::internal

@@ -1,0 +1,48 @@
+#ifndef ARDA_DATA_COMMON_H_
+#define ARDA_DATA_COMMON_H_
+
+#include <string>
+#include <vector>
+
+#include "data/scenario.h"
+#include "util/rng.h"
+
+namespace arda::data::internal {
+
+/// Registers `table` in the scenario repository and appends a candidate
+/// join on the given key pair.
+void AddTableWithCandidate(Scenario* scenario, const std::string& table_name,
+                           df::DataFrame table,
+                           const std::vector<discovery::JoinKeyPair>& keys,
+                           double score, bool is_signal);
+
+/// Builds a noise table: a foreign key column named `key_name` whose
+/// values are drawn from `key_values` (covering roughly
+/// `coverage` of them, with duplicates when `duplicate_keys`), plus
+/// `numeric_cols` random numeric columns and `cat_cols` random categorical
+/// columns. Column names embed `table_name` so they stay distinguishable
+/// after joining.
+df::DataFrame MakeNoiseTable(const std::string& table_name,
+                             const std::string& key_name,
+                             const std::vector<std::string>& key_values,
+                             df::DataType key_type, size_t numeric_cols,
+                             size_t cat_cols, double coverage,
+                             bool duplicate_keys, Rng* rng);
+
+/// Adds `count` noise tables (hard key on `base_key_column`) to the
+/// scenario, with randomized shapes, and registers candidates with scores
+/// below the signal tables'.
+void AddNoiseTables(Scenario* scenario, const std::string& base_key_column,
+                    size_t count, Rng* rng);
+
+/// Distinct non-null values of a base column as strings (key domain for
+/// noise tables).
+std::vector<std::string> KeyDomain(const df::DataFrame& base,
+                                   const std::string& column);
+
+/// Random draw from a fixed list of category labels.
+std::string RandomCategory(size_t cardinality, Rng* rng);
+
+}  // namespace arda::data::internal
+
+#endif  // ARDA_DATA_COMMON_H_

@@ -1,0 +1,67 @@
+#ifndef ARDA_DATA_GENERATORS_H_
+#define ARDA_DATA_GENERATORS_H_
+
+#include <cstdint>
+
+#include "data/scenario.h"
+
+namespace arda::data {
+
+/// Size knob for the scenario generators: kFull mirrors the paper's
+/// relative table counts at laptop scale; kSmall shrinks rows and table
+/// counts further for unit tests.
+enum class ScenarioScale { kSmall, kFull };
+
+/// Taxi (regression): predict daily taxi trips per (day, borough). Signal
+/// lives in an hourly WEATHER table reachable through a *soft* time key
+/// (exercising time resampling) and a daily EVENTS table; 20+ noise
+/// tables mimic the crawled NYC open-data pool.
+Scenario MakeTaxiScenario(uint64_t seed,
+                          ScenarioScale scale = ScenarioScale::kFull);
+
+/// Pickup (regression): hourly LGA passenger pickups. Signal tables are
+/// time series sampled on misaligned clocks, so two-way nearest-neighbour
+/// interpolation outperforms plain nearest/hard joins (the Fig. 5 story).
+Scenario MakePickupScenario(uint64_t seed,
+                            ScenarioScale scale = ScenarioScale::kFull);
+
+/// Poverty (regression): county-level socio-economic indicators with pure
+/// hard FIPS-key joins; signal is spread over several tables
+/// (unemployment, education, income) among many irrelevant ones.
+Scenario MakePovertyScenario(uint64_t seed,
+                             ScenarioScale scale = ScenarioScale::kFull);
+
+/// School (classification): predict standardized-test performance of
+/// schools. `large` mirrors School (L): many more joinable tables with
+/// co-predicting features split across tables (the budget-join story);
+/// otherwise School (S) with a handful of tables.
+Scenario MakeSchoolScenario(bool large, uint64_t seed,
+                            ScenarioScale scale = ScenarioScale::kFull);
+
+/// Kraken micro-benchmark (binary classification, 568/432 labels):
+/// anonymized supercomputer sensors predicting machine failure, plus
+/// `noise_multiplier` x original-count injected noise features drawn from
+/// mixed distributions with random parameters.
+MicroBenchmark MakeKrakenBenchmark(uint64_t seed,
+                                   double noise_multiplier = 10.0);
+
+/// Digits micro-benchmark (10-class classification, ~180 rows per class,
+/// 64 grid features) with injected noise, mirroring the sklearn digits
+/// setup of Section 7.2.
+MicroBenchmark MakeDigitsBenchmark(uint64_t seed,
+                                   double noise_multiplier = 10.0);
+
+/// Appends `multiplier` x d noise features (uniform / Gaussian /
+/// Bernoulli with randomized parameters) to a dataset — the paper's
+/// micro-benchmark construction. Returns the number of appended features.
+size_t InjectNoiseFeatures(ml::Dataset* data, double multiplier, Rng* rng);
+
+/// All five real-world-style scenarios in the paper's order:
+/// pickup, poverty, school (L), school (S), taxi.
+std::vector<Scenario> MakeAllScenarios(uint64_t seed,
+                                       ScenarioScale scale =
+                                           ScenarioScale::kFull);
+
+}  // namespace arda::data
+
+#endif  // ARDA_DATA_GENERATORS_H_

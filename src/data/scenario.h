@@ -1,0 +1,57 @@
+#ifndef ARDA_DATA_SCENARIO_H_
+#define ARDA_DATA_SCENARIO_H_
+
+#include <string>
+#include <vector>
+
+#include "core/arda.h"
+#include "dataframe/data_frame.h"
+#include "discovery/candidate.h"
+#include "discovery/repository.h"
+#include "ml/dataset.h"
+
+namespace arda::data {
+
+/// A complete augmentation scenario: the stand-in for one of the paper's
+/// real-world evaluation datasets. The repository holds the base table
+/// plus joinable foreign tables — a few carrying planted signal, the rest
+/// noise — and `candidates` is what a join-discovery system would hand
+/// ARDA.
+struct Scenario {
+  std::string name;
+  df::DataFrame base;
+  std::string target_column;
+  ml::TaskType task = ml::TaskType::kRegression;
+  discovery::DataRepository repo;
+  std::vector<discovery::CandidateJoin> candidates;
+  /// Ground truth: names of foreign tables that actually carry signal.
+  std::vector<std::string> signal_tables;
+
+  /// Packages the scenario as an ARDA input.
+  core::AugmentationTask MakeTask() const {
+    core::AugmentationTask task_out;
+    task_out.base = base;
+    task_out.target_column = target_column;
+    task_out.task = task;
+    task_out.repo = &repo;
+    task_out.candidates = candidates;
+    task_out.base_table_name = name;
+    return task_out;
+  }
+};
+
+/// A micro-benchmark dataset (Section 7.2): a fully numeric dataset whose
+/// trailing features are known injected noise, so selector filtering
+/// quality can be measured exactly.
+struct MicroBenchmark {
+  std::string name;
+  ml::Dataset data;
+  /// Features [0, num_original) are original; the rest are planted noise.
+  size_t num_original = 0;
+
+  bool IsNoiseFeature(size_t index) const { return index >= num_original; }
+};
+
+}  // namespace arda::data
+
+#endif  // ARDA_DATA_SCENARIO_H_

@@ -1,0 +1,118 @@
+#include <cmath>
+
+#include "data/common.h"
+#include "data/generators.h"
+
+namespace arda::data {
+
+namespace {
+
+using internal::AddNoiseTables;
+using internal::AddTableWithCandidate;
+
+// Smooth latent process sampled at arbitrary times.
+double Latent(double t, double phase, double period) {
+  return std::sin(2.0 * M_PI * (t + phase) / period) +
+         0.4 * std::sin(2.0 * M_PI * (t + phase) / (period * 3.7));
+}
+
+}  // namespace
+
+Scenario MakePickupScenario(uint64_t seed, ScenarioScale scale) {
+  Rng rng(seed ^ 0x9B1CULL);
+  Scenario scenario;
+  scenario.name = "pickup";
+  scenario.task = ml::TaskType::kRegression;
+  scenario.target_column = "pickups";
+
+  const size_t num_hours = scale == ScenarioScale::kFull ? 840 : 120;
+  const size_t noise_tables = scale == ScenarioScale::kFull ? 21 : 3;
+
+  // Base table: one row per hour. The target depends on two latent
+  // continuous-time processes (flight arrivals, weather discomfort) that
+  // the foreign tables record on *misaligned* clocks, so the base hour
+  // never exactly matches a foreign timestamp: the two-way nearest-
+  // neighbour interpolation recovers the latent value best, plain nearest
+  // is second, and an exact hard join finds no matches at all (Fig. 5).
+  std::vector<double> hour_col(num_hours);
+  std::vector<int64_t> hod_col(num_hours);
+  std::vector<int64_t> dow_col(num_hours);
+  std::vector<double> pickups(num_hours);
+  const double flight_phase = rng.Uniform(0.0, 24.0);
+  const double weather_phase = rng.Uniform(0.0, 24.0);
+  for (size_t h = 0; h < num_hours; ++h) {
+    double t = static_cast<double>(h);
+    hour_col[h] = t;
+    hod_col[h] = static_cast<int64_t>(h % 24);
+    dow_col[h] = static_cast<int64_t>((h / 24) % 7);
+    double rush = (h % 24 >= 7 && h % 24 <= 9) ||
+                          (h % 24 >= 16 && h % 24 <= 19)
+                      ? 1.0
+                      : 0.0;
+    double flights = 20.0 + 12.0 * Latent(t, flight_phase, 24.0);
+    double discomfort = 2.0 * Latent(t, weather_phase, 31.0);
+    pickups[h] = 25.0 + 9.0 * rush + 0.8 * flights - 5.0 * discomfort +
+                 rng.Normal(0.0, 2.0);
+  }
+  Status st;
+  st = scenario.base.AddColumn(df::Column::Double("hour", hour_col));
+  ARDA_CHECK(st.ok());
+  st = scenario.base.AddColumn(df::Column::Int64("hour_of_day", hod_col));
+  ARDA_CHECK(st.ok());
+  st = scenario.base.AddColumn(df::Column::Int64("day_of_week", dow_col));
+  ARDA_CHECK(st.ok());
+  st = scenario.base.AddColumn(df::Column::Double("pickups", pickups));
+  ARDA_CHECK(st.ok());
+
+  // Signal table 1: FLIGHTS sampled every 1.37 h (misaligned clock).
+  {
+    df::DataFrame flights;
+    std::vector<double> f_time, f_value, f_delay;
+    for (double t = 0.21; t < static_cast<double>(num_hours); t += 1.37) {
+      f_time.push_back(t);
+      f_value.push_back(20.0 + 12.0 * Latent(t, flight_phase, 24.0) +
+                        rng.Normal(0.0, 0.5));
+      f_delay.push_back(std::max(0.0, rng.Normal(10.0, 6.0)));
+    }
+    st = flights.AddColumn(df::Column::Double("hour", f_time));
+    ARDA_CHECK(st.ok());
+    st = flights.AddColumn(df::Column::Double("arrivals", f_value));
+    ARDA_CHECK(st.ok());
+    st = flights.AddColumn(df::Column::Double("avg_delay", f_delay));
+    ARDA_CHECK(st.ok());
+    AddTableWithCandidate(
+        &scenario, "flights", std::move(flights),
+        {discovery::JoinKeyPair{"hour", "hour", discovery::KeyKind::kSoft}},
+        /*score=*/0.95, /*is_signal=*/true);
+  }
+
+  // Signal table 2: WEATHER sampled every 0.77 h.
+  {
+    df::DataFrame weather;
+    std::vector<double> w_time, w_value, w_wind;
+    for (double t = 0.4; t < static_cast<double>(num_hours); t += 0.77) {
+      w_time.push_back(t);
+      w_value.push_back(2.0 * Latent(t, weather_phase, 31.0) +
+                        rng.Normal(0.0, 0.1));
+      w_wind.push_back(std::max(0.0, rng.Normal(12.0, 5.0)));
+    }
+    st = weather.AddColumn(df::Column::Double("hour", w_time));
+    ARDA_CHECK(st.ok());
+    st = weather.AddColumn(df::Column::Double("discomfort", w_value));
+    ARDA_CHECK(st.ok());
+    st = weather.AddColumn(df::Column::Double("wind", w_wind));
+    ARDA_CHECK(st.ok());
+    AddTableWithCandidate(
+        &scenario, "weather", std::move(weather),
+        {discovery::JoinKeyPair{"hour", "hour", discovery::KeyKind::kSoft}},
+        /*score=*/0.9, /*is_signal=*/true);
+  }
+
+  AddNoiseTables(&scenario, "hour", noise_tables, &rng);
+
+  Status add_base = scenario.repo.Add(scenario.name, scenario.base);
+  ARDA_CHECK(add_base.ok());
+  return scenario;
+}
+
+}  // namespace arda::data

@@ -1,0 +1,98 @@
+#include <cmath>
+
+#include "data/common.h"
+#include "data/generators.h"
+
+namespace arda::data {
+
+namespace {
+
+using internal::AddNoiseTables;
+using internal::AddTableWithCandidate;
+
+constexpr const char* kStates[] = {"ny", "ca", "tx", "fl", "il",
+                                   "pa", "oh", "ga", "nc", "mi"};
+
+}  // namespace
+
+Scenario MakePovertyScenario(uint64_t seed, ScenarioScale scale) {
+  Rng rng(seed ^ 0x9017ULL);
+  Scenario scenario;
+  scenario.name = "poverty";
+  scenario.task = ml::TaskType::kRegression;
+  scenario.target_column = "poverty_rate";
+
+  const size_t num_counties = scale == ScenarioScale::kFull ? 750 : 120;
+  const size_t noise_tables = scale == ScenarioScale::kFull ? 35 : 4;
+
+  // Hidden per-county socio-economic indicators, stored in separate
+  // foreign tables keyed by FIPS code (pure hard joins).
+  std::vector<double> unemployment(num_counties);
+  std::vector<double> education(num_counties);
+  std::vector<double> income(num_counties);
+  std::vector<double> pop_change(num_counties);
+  for (size_t c = 0; c < num_counties; ++c) {
+    unemployment[c] = std::max(0.5, rng.Normal(6.0, 2.5));
+    education[c] = std::clamp(rng.Normal(0.55, 0.15), 0.1, 0.95);
+    income[c] = std::max(18.0, rng.Normal(52.0, 14.0));  // $k
+    pop_change[c] = rng.Normal(0.0, 3.0);
+  }
+
+  // Base table: FIPS id, state, rural flag, and the target.
+  std::vector<int64_t> fips(num_counties);
+  std::vector<std::string> state(num_counties);
+  std::vector<int64_t> rural(num_counties);
+  std::vector<double> rate(num_counties);
+  for (size_t c = 0; c < num_counties; ++c) {
+    fips[c] = 10000 + static_cast<int64_t>(c);
+    state[c] = kStates[rng.UniformUint64(10)];
+    rural[c] = rng.Bernoulli(0.4) ? 1 : 0;
+    rate[c] = 4.0 + 1.1 * unemployment[c] - 9.0 * education[c] -
+              0.09 * income[c] - 0.35 * pop_change[c] +
+              1.5 * static_cast<double>(rural[c]) + rng.Normal(0.0, 0.8);
+  }
+  Status st;
+  st = scenario.base.AddColumn(df::Column::Int64("fips", fips));
+  ARDA_CHECK(st.ok());
+  st = scenario.base.AddColumn(df::Column::String("state", state));
+  ARDA_CHECK(st.ok());
+  st = scenario.base.AddColumn(df::Column::Int64("rural", rural));
+  ARDA_CHECK(st.ok());
+  st = scenario.base.AddColumn(df::Column::Double("poverty_rate", rate));
+  ARDA_CHECK(st.ok());
+
+  // Signal tables, one indicator each (plus a correlated spare column).
+  auto add_indicator = [&](const std::string& name,
+                           const std::vector<double>& values,
+                           const std::string& column, double score) {
+    df::DataFrame table;
+    Status status = table.AddColumn(df::Column::Int64("fips", fips));
+    ARDA_CHECK(status.ok());
+    status = table.AddColumn(df::Column::Double(column, values));
+    ARDA_CHECK(status.ok());
+    std::vector<double> spare(values.size());
+    for (size_t i = 0; i < values.size(); ++i) {
+      spare[i] = values[i] * rng.Uniform(0.8, 1.2) + rng.Normal(0.0, 0.5);
+    }
+    status = table.AddColumn(
+        df::Column::Double(column + "_trailing_year", spare));
+    ARDA_CHECK(status.ok());
+    AddTableWithCandidate(
+        &scenario, name, std::move(table),
+        {discovery::JoinKeyPair{"fips", "fips", discovery::KeyKind::kHard}},
+        score, /*is_signal=*/true);
+  };
+  add_indicator("unemployment", unemployment, "unemployment_rate", 0.97);
+  add_indicator("education", education, "college_share", 0.94);
+  add_indicator("income", income, "median_income", 0.91);
+  add_indicator("population", pop_change, "population_change", 0.88);
+
+  AddNoiseTables(&scenario, "fips", noise_tables - noise_tables / 4, &rng);
+  AddNoiseTables(&scenario, "state", noise_tables / 4, &rng);
+
+  Status add_base = scenario.repo.Add(scenario.name, scenario.base);
+  ARDA_CHECK(add_base.ok());
+  return scenario;
+}
+
+}  // namespace arda::data

@@ -1,0 +1,141 @@
+#include <cmath>
+
+#include "data/common.h"
+#include "data/generators.h"
+#include "util/string_util.h"
+
+namespace arda::data {
+
+namespace {
+
+using internal::AddNoiseTables;
+using internal::AddTableWithCandidate;
+
+}  // namespace
+
+Scenario MakeSchoolScenario(bool large, uint64_t seed, ScenarioScale scale) {
+  Rng rng(seed ^ (large ? 0x5C11ULL : 0x5C05ULL));
+  Scenario scenario;
+  scenario.name = large ? "school_l" : "school_s";
+  scenario.task = ml::TaskType::kClassification;
+  scenario.target_column = "passed";
+
+  const size_t num_schools = scale == ScenarioScale::kFull ? 650 : 150;
+  const size_t num_districts = num_schools / 10 + 1;
+  const size_t total_tables =
+      scale == ScenarioScale::kFull ? (large ? 350 : 16) : (large ? 20 : 6);
+
+  // Hidden attributes spread across foreign tables.
+  std::vector<double> teacher_ratio(num_schools);   // students per teacher
+  std::vector<double> attendance(num_schools);      // fraction
+  std::vector<double> funding(num_districts);       // $k per student
+  std::vector<double> tutoring(num_schools);        // co-predictor A
+  std::vector<double> parent_index(num_schools);    // co-predictor B
+  for (size_t s = 0; s < num_schools; ++s) {
+    teacher_ratio[s] = std::max(8.0, rng.Normal(18.0, 4.0));
+    attendance[s] = std::clamp(rng.Normal(0.92, 0.05), 0.6, 1.0);
+    tutoring[s] = rng.Bernoulli(0.5) ? 1.0 : 0.0;
+    parent_index[s] = rng.Normal(0.0, 1.0);
+  }
+  for (size_t d = 0; d < num_districts; ++d) {
+    funding[d] = std::max(4.0, rng.Normal(11.0, 3.0));
+  }
+
+  // Base table.
+  std::vector<int64_t> school_id(num_schools);
+  std::vector<std::string> district(num_schools);
+  std::vector<double> enrollment(num_schools);
+  std::vector<std::string> level(num_schools);
+  std::vector<int64_t> passed(num_schools);
+  std::vector<size_t> district_of(num_schools);
+  for (size_t s = 0; s < num_schools; ++s) {
+    school_id[s] = 1000 + static_cast<int64_t>(s);
+    district_of[s] = rng.UniformUint64(num_districts);
+    district[s] = StrFormat("district_%zu", district_of[s]);
+    enrollment[s] = std::max(80.0, rng.Normal(500.0, 180.0));
+    level[s] = rng.Bernoulli(0.5) ? "elementary"
+                                  : (rng.Bernoulli(0.5) ? "middle" : "high");
+    // Latent pass score: base features carry a little signal; foreign
+    // tables carry most of it. School (L) additionally hides an
+    // interaction between two *different* tables (tutoring x parent
+    // engagement) — the co-predictor the paper's budget-join discovers
+    // and table-at-a-time joins miss.
+    // The tutoring x parent-engagement interaction is a *co-predictor*
+    // split across two different tables: neither column helps alone, so
+    // table-at-a-time join plans miss it while budget joins (which see
+    // both tables in one batch) can discover it — the paper's Table 5
+    // observation.
+    double latent = -0.12 * (teacher_ratio[s] - 18.0) +
+                    9.0 * (attendance[s] - 0.9) +
+                    0.35 * (funding[district_of[s]] - 11.0) +
+                    0.0008 * (enrollment[s] - 500.0) +
+                    1.6 * (tutoring[s] - 0.5) * parent_index[s];
+    latent += rng.Normal(0.0, 0.55);
+    passed[s] = latent > 0.0 ? 1 : 0;
+  }
+  Status st;
+  st = scenario.base.AddColumn(df::Column::Int64("school_id", school_id));
+  ARDA_CHECK(st.ok());
+  st = scenario.base.AddColumn(df::Column::String("district", district));
+  ARDA_CHECK(st.ok());
+  st = scenario.base.AddColumn(df::Column::Double("enrollment", enrollment));
+  ARDA_CHECK(st.ok());
+  st = scenario.base.AddColumn(df::Column::String("level", level));
+  ARDA_CHECK(st.ok());
+  st = scenario.base.AddColumn(df::Column::Int64("passed", passed));
+  ARDA_CHECK(st.ok());
+
+  // Signal tables.
+  auto add_school_table = [&](const std::string& name,
+                              const std::string& column,
+                              const std::vector<double>& values,
+                              double score) {
+    df::DataFrame table;
+    Status status = table.AddColumn(df::Column::Int64("school_id",
+                                                      school_id));
+    ARDA_CHECK(status.ok());
+    std::vector<double> noisy(values);
+    for (double& v : noisy) v += rng.Normal(0.0, 0.01);
+    status = table.AddColumn(df::Column::Double(column, noisy));
+    ARDA_CHECK(status.ok());
+    AddTableWithCandidate(&scenario, name, std::move(table),
+                          {discovery::JoinKeyPair{"school_id", "school_id",
+                                                  discovery::KeyKind::kHard}},
+                          score, /*is_signal=*/true);
+  };
+  add_school_table("staffing", "students_per_teacher", teacher_ratio, 0.96);
+  add_school_table("attendance", "attendance_rate", attendance, 0.93);
+  add_school_table("tutoring", "tutoring_program", tutoring, 0.88);
+  add_school_table("parents", "parent_engagement", parent_index, 0.86);
+  {
+    df::DataFrame funding_table;
+    std::vector<std::string> d_names(num_districts);
+    std::vector<double> d_funding(num_districts);
+    for (size_t d = 0; d < num_districts; ++d) {
+      d_names[d] = StrFormat("district_%zu", d);
+      d_funding[d] = funding[d];
+    }
+    st = funding_table.AddColumn(df::Column::String("district", d_names));
+    ARDA_CHECK(st.ok());
+    st = funding_table.AddColumn(
+        df::Column::Double("funding_per_student", d_funding));
+    ARDA_CHECK(st.ok());
+    AddTableWithCandidate(&scenario, "funding", std::move(funding_table),
+                          {discovery::JoinKeyPair{"district", "district",
+                                                  discovery::KeyKind::kHard}},
+                          0.9, /*is_signal=*/true);
+  }
+  const size_t signal_count = 5;
+
+  const size_t noise_count =
+      total_tables > signal_count ? total_tables - signal_count : 0;
+  AddNoiseTables(&scenario, "school_id", noise_count - noise_count / 5,
+                 &rng);
+  AddNoiseTables(&scenario, "district", noise_count / 5, &rng);
+
+  Status add_base = scenario.repo.Add(scenario.name, scenario.base);
+  ARDA_CHECK(add_base.ok());
+  return scenario;
+}
+
+}  // namespace arda::data

@@ -1,0 +1,165 @@
+#include <cmath>
+
+#include "data/common.h"
+#include "data/generators.h"
+#include "util/string_util.h"
+
+namespace arda::data {
+
+namespace {
+
+using internal::AddNoiseTables;
+using internal::AddTableWithCandidate;
+
+constexpr const char* kBoroughs[] = {"manhattan", "brooklyn", "queens",
+                                     "bronx", "staten_island"};
+
+}  // namespace
+
+Scenario MakeTaxiScenario(uint64_t seed, ScenarioScale scale) {
+  Rng rng(seed ^ 0x7A71ULL);
+  Scenario scenario;
+  scenario.name = "taxi";
+  scenario.task = ml::TaskType::kRegression;
+  scenario.target_column = "trips";
+
+  const size_t num_days = scale == ScenarioScale::kFull ? 140 : 30;
+  const size_t num_boroughs = 5;
+  const size_t noise_tables = scale == ScenarioScale::kFull ? 27 : 3;
+
+  // Hidden hourly weather process; the base target depends on its *daily
+  // aggregate*, which ARDA can only recover by time-resampling the hourly
+  // WEATHER table onto the day-granularity base key.
+  std::vector<double> hourly_temp(num_days * 24);
+  std::vector<double> hourly_precip(num_days * 24);
+  std::vector<bool> rainy(num_days);
+  for (size_t d = 0; d < num_days; ++d) rainy[d] = rng.Bernoulli(0.3);
+  for (size_t h = 0; h < hourly_temp.size(); ++h) {
+    size_t day_idx = h / 24;
+    double day = static_cast<double>(h) / 24.0;
+    hourly_temp[h] = 15.0 + 10.0 * std::sin(day / 20.0) +
+                     4.0 * std::sin(2.0 * M_PI * (static_cast<double>(h % 24) / 24.0)) +
+                     rng.Normal(0.0, 1.5);
+    // Rain arrives in day-long episodes: the *daily mean* is the strong
+    // predictor, and any single hourly reading (e.g. what a naive hard
+    // join at midnight picks up) is a noisy proxy — exactly the situation
+    // time resampling is for.
+    hourly_precip[h] =
+        rainy[day_idx] ? std::max(0.0, rng.Normal(1.2, 0.8)) : 0.0;
+  }
+  auto daily_mean = [&](const std::vector<double>& hourly, size_t day) {
+    double sum = 0.0;
+    for (size_t h = 0; h < 24; ++h) sum += hourly[day * 24 + h];
+    return sum / 24.0;
+  };
+
+  // Daily event scale per (day, borough).
+  std::vector<double> event_scale(num_days * num_boroughs);
+  for (double& v : event_scale) {
+    v = rng.Bernoulli(0.15) ? rng.Uniform(2.0, 6.0) : 0.0;
+  }
+
+  // Base table: one row per (day, borough).
+  std::vector<double> day_col;
+  std::vector<std::string> borough_col;
+  std::vector<int64_t> dow_col;
+  std::vector<double> fleet_col;
+  std::vector<double> trips_col;
+  for (size_t day = 0; day < num_days; ++day) {
+    double temp_d = daily_mean(hourly_temp, day);
+    double precip_d = daily_mean(hourly_precip, day);
+    for (size_t b = 0; b < num_boroughs; ++b) {
+      double fleet = rng.Uniform(50.0, 150.0);
+      double borough_effect = 8.0 * static_cast<double>(b);
+      double dow = static_cast<double>(day % 7);
+      double trips = 60.0 + borough_effect + 0.25 * fleet +
+                     5.0 * std::sin(2.0 * M_PI * dow / 7.0) +
+                     1.1 * temp_d - 7.0 * precip_d +
+                     4.0 * event_scale[day * num_boroughs + b] +
+                     rng.Normal(0.0, 3.0);
+      day_col.push_back(static_cast<double>(day));
+      borough_col.push_back(kBoroughs[b]);
+      dow_col.push_back(static_cast<int64_t>(day) % 7);
+      fleet_col.push_back(fleet);
+      trips_col.push_back(trips);
+    }
+  }
+  Status st;
+  st = scenario.base.AddColumn(df::Column::Double("day", day_col));
+  ARDA_CHECK(st.ok());
+  st = scenario.base.AddColumn(df::Column::String("borough", borough_col));
+  ARDA_CHECK(st.ok());
+  st = scenario.base.AddColumn(df::Column::Int64("day_of_week", dow_col));
+  ARDA_CHECK(st.ok());
+  st = scenario.base.AddColumn(df::Column::Double("fleet_size", fleet_col));
+  ARDA_CHECK(st.ok());
+  st = scenario.base.AddColumn(df::Column::Double("trips", trips_col));
+  ARDA_CHECK(st.ok());
+
+  // Signal table 1: WEATHER, hourly granularity, soft time key.
+  {
+    df::DataFrame weather;
+    std::vector<double> time_col(num_days * 24);
+    std::vector<double> temp_col(num_days * 24);
+    std::vector<double> precip_col(num_days * 24);
+    for (size_t h = 0; h < time_col.size(); ++h) {
+      time_col[h] = static_cast<double>(h) / 24.0;  // day units
+      temp_col[h] = hourly_temp[h];
+      precip_col[h] = hourly_precip[h];
+    }
+    st = weather.AddColumn(df::Column::Double("day", time_col));
+    ARDA_CHECK(st.ok());
+    st = weather.AddColumn(df::Column::Double("temperature", temp_col));
+    ARDA_CHECK(st.ok());
+    st = weather.AddColumn(df::Column::Double("precipitation", precip_col));
+    ARDA_CHECK(st.ok());
+    AddTableWithCandidate(
+        &scenario, "weather", std::move(weather),
+        {discovery::JoinKeyPair{"day", "day", discovery::KeyKind::kSoft}},
+        /*score=*/0.95, /*is_signal=*/true);
+  }
+
+  // Signal table 2: EVENTS, composite hard key (day, borough).
+  {
+    df::DataFrame events;
+    std::vector<double> e_day;
+    std::vector<std::string> e_borough;
+    std::vector<double> e_scale;
+    std::vector<std::string> e_kind;
+    for (size_t day = 0; day < num_days; ++day) {
+      for (size_t b = 0; b < num_boroughs; ++b) {
+        double scale_v = event_scale[day * num_boroughs + b];
+        if (scale_v == 0.0 && !rng.Bernoulli(0.3)) continue;  // sparse table
+        e_day.push_back(static_cast<double>(day));
+        e_borough.push_back(kBoroughs[b]);
+        e_scale.push_back(scale_v);
+        e_kind.push_back(scale_v > 4.0 ? "stadium" : "street_fair");
+      }
+    }
+    st = events.AddColumn(df::Column::Double("day", e_day));
+    ARDA_CHECK(st.ok());
+    st = events.AddColumn(df::Column::String("borough", e_borough));
+    ARDA_CHECK(st.ok());
+    st = events.AddColumn(df::Column::Double("event_scale", e_scale));
+    ARDA_CHECK(st.ok());
+    st = events.AddColumn(df::Column::String("event_kind", e_kind));
+    ARDA_CHECK(st.ok());
+    AddTableWithCandidate(
+        &scenario, "events", std::move(events),
+        {discovery::JoinKeyPair{"day", "day", discovery::KeyKind::kHard},
+         discovery::JoinKeyPair{"borough", "borough",
+                                discovery::KeyKind::kHard}},
+        /*score=*/0.9, /*is_signal=*/true);
+  }
+
+  // Noise tables on both keys.
+  AddNoiseTables(&scenario, "day", noise_tables / 2 + noise_tables % 2,
+                 &rng);
+  AddNoiseTables(&scenario, "borough", noise_tables / 2, &rng);
+
+  Status add_base = scenario.repo.Add(scenario.name, scenario.base);
+  ARDA_CHECK(add_base.ok());
+  return scenario;
+}
+
+}  // namespace arda::data

@@ -1,0 +1,154 @@
+#include "dataframe/aggregate.h"
+
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+
+namespace arda::df {
+
+namespace {
+
+constexpr char kKeySeparator = '\x1f';
+constexpr const char* kNullMarker = "\x1e<null>";
+
+double AggregateNumeric(const std::vector<double>& values, NumericAgg agg) {
+  ARDA_CHECK(!values.empty());
+  switch (agg) {
+    case NumericAgg::kMean: {
+      double sum = 0.0;
+      for (double v : values) sum += v;
+      return sum / static_cast<double>(values.size());
+    }
+    case NumericAgg::kMedian: {
+      std::vector<double> copy = values;
+      size_t mid = copy.size() / 2;
+      std::nth_element(copy.begin(), copy.begin() + mid, copy.end());
+      double upper = copy[mid];
+      if (copy.size() % 2 == 1) return upper;
+      double lower = *std::max_element(copy.begin(), copy.begin() + mid);
+      return 0.5 * (lower + upper);
+    }
+    case NumericAgg::kSum: {
+      double sum = 0.0;
+      for (double v : values) sum += v;
+      return sum;
+    }
+    case NumericAgg::kMin:
+      return *std::min_element(values.begin(), values.end());
+    case NumericAgg::kMax:
+      return *std::max_element(values.begin(), values.end());
+    case NumericAgg::kFirst:
+      return values.front();
+  }
+  return 0.0;
+}
+
+std::string AggregateCategorical(const std::vector<std::string>& values,
+                                 CategoricalAgg agg) {
+  ARDA_CHECK(!values.empty());
+  if (agg == CategoricalAgg::kFirst) return values.front();
+  std::map<std::string, size_t> counts;
+  for (const std::string& v : values) ++counts[v];
+  // Mode; ties broken by lexicographic order (std::map iteration).
+  size_t best = 0;
+  const std::string* winner = &values.front();
+  for (const auto& [value, count] : counts) {
+    if (count > best) {
+      best = count;
+      winner = &value;
+    }
+  }
+  return *winner;
+}
+
+}  // namespace
+
+Result<DataFrame> GroupByAggregate(const DataFrame& frame,
+                                   const std::vector<std::string>& keys,
+                                   const AggregateOptions& options) {
+  if (keys.empty()) {
+    return Status::InvalidArgument("GroupByAggregate requires key columns");
+  }
+  std::vector<size_t> key_idx;
+  for (const std::string& key : keys) {
+    size_t i = frame.ColumnIndex(key);
+    if (i == DataFrame::kNpos) {
+      return Status::NotFound("no such key column: " + key);
+    }
+    key_idx.push_back(i);
+  }
+
+  const size_t n = frame.NumRows();
+  // Group id per row, groups numbered in first-occurrence order.
+  std::unordered_map<std::string, size_t> group_of;
+  std::vector<size_t> row_group(n);
+  std::vector<size_t> group_first_row;
+  for (size_t r = 0; r < n; ++r) {
+    std::string composite;
+    for (size_t ki : key_idx) {
+      const Column& kc = frame.col(ki);
+      composite += kc.IsNull(r) ? kNullMarker : kc.ValueToString(r);
+      composite += kKeySeparator;
+    }
+    auto [it, inserted] =
+        group_of.emplace(std::move(composite), group_first_row.size());
+    if (inserted) group_first_row.push_back(r);
+    row_group[r] = it->second;
+  }
+  const size_t num_groups = group_first_row.size();
+
+  DataFrame out;
+  // Key columns: take the first row of each group.
+  for (size_t ki : key_idx) {
+    ARDA_RETURN_IF_ERROR(
+        out.AddColumn(frame.col(ki).Take(group_first_row)));
+  }
+
+  // Value columns.
+  for (size_t ci = 0; ci < frame.NumCols(); ++ci) {
+    if (std::find(key_idx.begin(), key_idx.end(), ci) != key_idx.end()) {
+      continue;
+    }
+    const Column& col = frame.col(ci);
+    if (col.IsNumeric()) {
+      std::vector<std::vector<double>> buckets(num_groups);
+      for (size_t r = 0; r < n; ++r) {
+        if (!col.IsNull(r)) buckets[row_group[r]].push_back(col.NumericAt(r));
+      }
+      Column agg_col = Column::Empty(col.name(), DataType::kDouble);
+      for (size_t g = 0; g < num_groups; ++g) {
+        if (buckets[g].empty()) {
+          agg_col.AppendNull();
+        } else {
+          agg_col.AppendDouble(AggregateNumeric(buckets[g], options.numeric));
+        }
+      }
+      ARDA_RETURN_IF_ERROR(out.AddColumn(std::move(agg_col)));
+    } else {
+      std::vector<std::vector<std::string>> buckets(num_groups);
+      for (size_t r = 0; r < n; ++r) {
+        if (!col.IsNull(r)) buckets[row_group[r]].push_back(col.StringAt(r));
+      }
+      Column agg_col = Column::Empty(col.name(), DataType::kString);
+      for (size_t g = 0; g < num_groups; ++g) {
+        if (buckets[g].empty()) {
+          agg_col.AppendNull();
+        } else {
+          agg_col.AppendString(
+              AggregateCategorical(buckets[g], options.categorical));
+        }
+      }
+      ARDA_RETURN_IF_ERROR(out.AddColumn(std::move(agg_col)));
+    }
+  }
+
+  if (options.add_count) {
+    std::vector<int64_t> counts(num_groups, 0);
+    for (size_t r = 0; r < n; ++r) ++counts[row_group[r]];
+    ARDA_RETURN_IF_ERROR(
+        out.AddColumn(Column::Int64("__group_count", std::move(counts))));
+  }
+  return out;
+}
+
+}  // namespace arda::df

@@ -1,0 +1,217 @@
+#include "dataframe/column.h"
+
+#include <algorithm>
+#include <set>
+
+#include "util/string_util.h"
+
+namespace arda::df {
+
+const char* DataTypeName(DataType type) {
+  switch (type) {
+    case DataType::kDouble:
+      return "double";
+    case DataType::kInt64:
+      return "int64";
+    case DataType::kString:
+      return "string";
+  }
+  return "unknown";
+}
+
+Column Column::Double(std::string name, std::vector<double> values) {
+  Column col(std::move(name), DataType::kDouble);
+  col.valid_.assign(values.size(), 1);
+  col.doubles_ = std::move(values);
+  return col;
+}
+
+Column Column::Int64(std::string name, std::vector<int64_t> values) {
+  Column col(std::move(name), DataType::kInt64);
+  col.valid_.assign(values.size(), 1);
+  col.ints_ = std::move(values);
+  return col;
+}
+
+Column Column::String(std::string name, std::vector<std::string> values) {
+  Column col(std::move(name), DataType::kString);
+  col.valid_.assign(values.size(), 1);
+  col.strings_ = std::move(values);
+  return col;
+}
+
+Column Column::Empty(std::string name, DataType type) {
+  return Column(std::move(name), type);
+}
+
+size_t Column::NullCount() const {
+  size_t count = 0;
+  for (uint8_t v : valid_) count += (v == 0);
+  return count;
+}
+
+double Column::DoubleAt(size_t i) const {
+  ARDA_CHECK(type_ == DataType::kDouble);
+  ARDA_CHECK(!IsNull(i));
+  return doubles_[i];
+}
+
+int64_t Column::Int64At(size_t i) const {
+  ARDA_CHECK(type_ == DataType::kInt64);
+  ARDA_CHECK(!IsNull(i));
+  return ints_[i];
+}
+
+const std::string& Column::StringAt(size_t i) const {
+  ARDA_CHECK(type_ == DataType::kString);
+  ARDA_CHECK(!IsNull(i));
+  return strings_[i];
+}
+
+double Column::NumericAt(size_t i) const {
+  ARDA_CHECK(IsNumeric());
+  ARDA_CHECK(!IsNull(i));
+  return type_ == DataType::kDouble ? doubles_[i]
+                                    : static_cast<double>(ints_[i]);
+}
+
+void Column::AppendDouble(double value) {
+  ARDA_CHECK(type_ == DataType::kDouble);
+  doubles_.push_back(value);
+  valid_.push_back(1);
+}
+
+void Column::AppendInt64(int64_t value) {
+  ARDA_CHECK(type_ == DataType::kInt64);
+  ints_.push_back(value);
+  valid_.push_back(1);
+}
+
+void Column::AppendString(std::string value) {
+  ARDA_CHECK(type_ == DataType::kString);
+  strings_.push_back(std::move(value));
+  valid_.push_back(1);
+}
+
+void Column::AppendNull() {
+  switch (type_) {
+    case DataType::kDouble:
+      doubles_.push_back(0.0);
+      break;
+    case DataType::kInt64:
+      ints_.push_back(0);
+      break;
+    case DataType::kString:
+      strings_.emplace_back();
+      break;
+  }
+  valid_.push_back(0);
+}
+
+void Column::AppendFrom(const Column& other, size_t i) {
+  ARDA_CHECK(type_ == other.type_);
+  if (other.IsNull(i)) {
+    AppendNull();
+    return;
+  }
+  switch (type_) {
+    case DataType::kDouble:
+      AppendDouble(other.doubles_[i]);
+      break;
+    case DataType::kInt64:
+      AppendInt64(other.ints_[i]);
+      break;
+    case DataType::kString:
+      AppendString(other.strings_[i]);
+      break;
+  }
+}
+
+void Column::SetDouble(size_t i, double value) {
+  ARDA_CHECK(type_ == DataType::kDouble);
+  ARDA_CHECK_LT(i, size());
+  doubles_[i] = value;
+  valid_[i] = 1;
+}
+
+void Column::SetInt64(size_t i, int64_t value) {
+  ARDA_CHECK(type_ == DataType::kInt64);
+  ARDA_CHECK_LT(i, size());
+  ints_[i] = value;
+  valid_[i] = 1;
+}
+
+void Column::SetString(size_t i, std::string value) {
+  ARDA_CHECK(type_ == DataType::kString);
+  ARDA_CHECK_LT(i, size());
+  strings_[i] = std::move(value);
+  valid_[i] = 1;
+}
+
+void Column::SetNull(size_t i) {
+  ARDA_CHECK_LT(i, size());
+  valid_[i] = 0;
+}
+
+Column Column::Take(const std::vector<size_t>& indices) const {
+  Column out(name_, type_);
+  out.valid_.reserve(indices.size());
+  for (size_t idx : indices) {
+    ARDA_CHECK_LT(idx, size());
+    out.AppendFrom(*this, idx);
+  }
+  return out;
+}
+
+std::vector<double> Column::NonNullNumericValues() const {
+  ARDA_CHECK(IsNumeric());
+  std::vector<double> out;
+  out.reserve(size());
+  for (size_t i = 0; i < size(); ++i) {
+    if (valid_[i]) out.push_back(NumericAt(i));
+  }
+  return out;
+}
+
+double Column::NumericMedian() const {
+  std::vector<double> values = NonNullNumericValues();
+  if (values.empty()) return 0.0;
+  size_t mid = values.size() / 2;
+  std::nth_element(values.begin(), values.begin() + mid, values.end());
+  double upper = values[mid];
+  if (values.size() % 2 == 1) return upper;
+  double lower = *std::max_element(values.begin(), values.begin() + mid);
+  return 0.5 * (lower + upper);
+}
+
+double Column::NumericMean() const {
+  std::vector<double> values = NonNullNumericValues();
+  if (values.empty()) return 0.0;
+  double sum = 0.0;
+  for (double v : values) sum += v;
+  return sum / static_cast<double>(values.size());
+}
+
+std::vector<std::string> Column::DistinctValuesAsString() const {
+  std::set<std::string> distinct;
+  for (size_t i = 0; i < size(); ++i) {
+    if (valid_[i]) distinct.insert(ValueToString(i));
+  }
+  return std::vector<std::string>(distinct.begin(), distinct.end());
+}
+
+std::string Column::ValueToString(size_t i) const {
+  ARDA_CHECK_LT(i, size());
+  if (!valid_[i]) return "";
+  switch (type_) {
+    case DataType::kDouble:
+      return StrFormat("%.10g", doubles_[i]);
+    case DataType::kInt64:
+      return StrFormat("%lld", static_cast<long long>(ints_[i]));
+    case DataType::kString:
+      return strings_[i];
+  }
+  return "";
+}
+
+}  // namespace arda::df

@@ -1,0 +1,107 @@
+#ifndef ARDA_DATAFRAME_COLUMN_H_
+#define ARDA_DATAFRAME_COLUMN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/check.h"
+
+namespace arda::df {
+
+/// Physical type of a column. Timestamps are stored as kInt64
+/// (seconds since epoch); categorical data as kString.
+enum class DataType {
+  kDouble,
+  kInt64,
+  kString,
+};
+
+/// Returns "double", "int64" or "string".
+const char* DataTypeName(DataType type);
+
+/// A named, typed, nullable column of values. Storage is one dense vector
+/// per type plus a validity mask; only the vector matching type() is used.
+class Column {
+ public:
+  /// Builds a non-null double column.
+  static Column Double(std::string name, std::vector<double> values);
+  /// Builds a non-null int64 column.
+  static Column Int64(std::string name, std::vector<int64_t> values);
+  /// Builds a non-null string column.
+  static Column String(std::string name, std::vector<std::string> values);
+  /// Builds an empty column of the given type, ready for appends.
+  static Column Empty(std::string name, DataType type);
+
+  const std::string& name() const { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+  DataType type() const { return type_; }
+  size_t size() const { return valid_.size(); }
+
+  bool IsNull(size_t i) const {
+    ARDA_CHECK_LT(i, size());
+    return valid_[i] == 0;
+  }
+  /// Number of null entries.
+  size_t NullCount() const;
+
+  /// Value accessors; aborts on type mismatch or null (check IsNull first).
+  double DoubleAt(size_t i) const;
+  int64_t Int64At(size_t i) const;
+  const std::string& StringAt(size_t i) const;
+
+  /// Numeric view: returns the value of a kDouble or kInt64 column as a
+  /// double. Aborts for string columns and for nulls.
+  double NumericAt(size_t i) const;
+  /// True for kDouble and kInt64 columns.
+  bool IsNumeric() const { return type_ != DataType::kString; }
+
+  /// Appends a value (type must match) or a null.
+  void AppendDouble(double value);
+  void AppendInt64(int64_t value);
+  void AppendString(std::string value);
+  void AppendNull();
+  /// Appends row `i` of `other` (same type), null-preserving.
+  void AppendFrom(const Column& other, size_t i);
+
+  /// Replaces entry i with a value (clears the null bit).
+  void SetDouble(size_t i, double value);
+  void SetInt64(size_t i, int64_t value);
+  void SetString(size_t i, std::string value);
+  /// Marks entry i as null.
+  void SetNull(size_t i);
+
+  /// Returns a column with the rows at `indices`, in order (repeats OK).
+  Column Take(const std::vector<size_t>& indices) const;
+
+  /// Non-null numeric values, in row order (numeric columns only).
+  std::vector<double> NonNullNumericValues() const;
+
+  /// Median of non-null numeric values; 0 if the column has none.
+  double NumericMedian() const;
+
+  /// Mean of non-null numeric values; 0 if the column has none.
+  double NumericMean() const;
+
+  /// Distinct non-null values rendered as strings (used for stratification
+  /// and key-overlap scoring).
+  std::vector<std::string> DistinctValuesAsString() const;
+
+  /// Renders entry i for display/CSV ("" for null).
+  std::string ValueToString(size_t i) const;
+
+ private:
+  Column(std::string name, DataType type)
+      : name_(std::move(name)), type_(type) {}
+
+  std::string name_;
+  DataType type_;
+  std::vector<uint8_t> valid_;
+  std::vector<double> doubles_;
+  std::vector<int64_t> ints_;
+  std::vector<std::string> strings_;
+};
+
+}  // namespace arda::df
+
+#endif  // ARDA_DATAFRAME_COLUMN_H_

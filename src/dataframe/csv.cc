@@ -1,0 +1,187 @@
+#include "dataframe/csv.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "util/string_util.h"
+
+namespace arda::df {
+
+namespace {
+
+// Splits one CSV record honoring double-quote quoting ("" escapes a quote).
+std::vector<std::string> SplitCsvRecord(const std::string& line, char delim) {
+  std::vector<std::string> fields;
+  std::string current;
+  bool in_quotes = false;
+  for (size_t i = 0; i < line.size(); ++i) {
+    char c = line[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          current += '"';
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        current += c;
+      }
+    } else if (c == '"') {
+      in_quotes = true;
+    } else if (c == delim) {
+      fields.push_back(std::move(current));
+      current.clear();
+    } else {
+      current += c;
+    }
+  }
+  fields.push_back(std::move(current));
+  return fields;
+}
+
+std::string QuoteCsvField(const std::string& field, char delim) {
+  bool needs_quote = field.find(delim) != std::string::npos ||
+                     field.find('"') != std::string::npos ||
+                     field.find('\n') != std::string::npos;
+  if (!needs_quote) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += "\"\"";
+    else out += c;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+Result<DataFrame> ReadCsvString(const std::string& text,
+                                const CsvOptions& options) {
+  std::vector<std::string> lines;
+  {
+    std::string line;
+    std::istringstream stream(text);
+    while (std::getline(stream, line)) {
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      lines.push_back(line);
+    }
+  }
+  if (lines.empty()) {
+    return Status::InvalidArgument("CSV input is empty (no header)");
+  }
+  std::vector<std::string> header =
+      SplitCsvRecord(lines[0], options.delimiter);
+  const size_t ncols = header.size();
+  std::vector<std::vector<std::string>> cells(ncols);
+  for (size_t li = 1; li < lines.size(); ++li) {
+    if (lines[li].empty()) continue;
+    std::vector<std::string> fields =
+        SplitCsvRecord(lines[li], options.delimiter);
+    if (fields.size() != ncols) {
+      return Status::InvalidArgument(
+          StrFormat("CSV row %zu has %zu fields, expected %zu", li,
+                    fields.size(), ncols));
+    }
+    for (size_t c = 0; c < ncols; ++c) {
+      cells[c].push_back(std::move(fields[c]));
+    }
+  }
+
+  DataFrame frame;
+  for (size_t c = 0; c < ncols; ++c) {
+    DataType type = DataType::kString;
+    if (options.infer_types) {
+      bool all_int = true;
+      bool all_double = true;
+      bool any_value = false;
+      for (const std::string& cell : cells[c]) {
+        if (Trim(cell).empty()) continue;  // null
+        any_value = true;
+        int64_t iv;
+        double dv;
+        if (!ParseInt64(cell, &iv)) all_int = false;
+        if (!ParseDouble(cell, &dv)) {
+          all_double = false;
+          break;
+        }
+      }
+      if (any_value && all_int) type = DataType::kInt64;
+      else if (any_value && all_double) type = DataType::kDouble;
+    }
+    Column col = Column::Empty(header[c], type);
+    for (const std::string& cell : cells[c]) {
+      std::string_view trimmed = Trim(cell);
+      if (trimmed.empty() && type != DataType::kString) {
+        col.AppendNull();
+        continue;
+      }
+      switch (type) {
+        case DataType::kInt64: {
+          int64_t iv = 0;
+          ARDA_CHECK(ParseInt64(cell, &iv));
+          col.AppendInt64(iv);
+          break;
+        }
+        case DataType::kDouble: {
+          double dv = 0.0;
+          ARDA_CHECK(ParseDouble(cell, &dv));
+          col.AppendDouble(dv);
+          break;
+        }
+        case DataType::kString:
+          col.AppendString(cell);
+          break;
+      }
+    }
+    ARDA_RETURN_IF_ERROR(frame.AddColumn(std::move(col)));
+  }
+  return frame;
+}
+
+Result<DataFrame> ReadCsvFile(const std::string& path,
+                              const CsvOptions& options) {
+  std::ifstream in(path);
+  if (!in) {
+    return Status::IoError("cannot open file: " + path);
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return ReadCsvString(buffer.str(), options);
+}
+
+std::string WriteCsvString(const DataFrame& frame,
+                           const CsvOptions& options) {
+  std::string out;
+  for (size_t c = 0; c < frame.NumCols(); ++c) {
+    if (c > 0) out += options.delimiter;
+    out += QuoteCsvField(frame.col(c).name(), options.delimiter);
+  }
+  out += '\n';
+  for (size_t r = 0; r < frame.NumRows(); ++r) {
+    for (size_t c = 0; c < frame.NumCols(); ++c) {
+      if (c > 0) out += options.delimiter;
+      const Column& col = frame.col(c);
+      if (!col.IsNull(r)) {
+        out += QuoteCsvField(col.ValueToString(r), options.delimiter);
+      }
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+Status WriteCsvFile(const DataFrame& frame, const std::string& path,
+                    const CsvOptions& options) {
+  std::ofstream out(path);
+  if (!out) {
+    return Status::IoError("cannot open file for writing: " + path);
+  }
+  out << WriteCsvString(frame, options);
+  if (!out) {
+    return Status::IoError("failed writing file: " + path);
+  }
+  return Status::Ok();
+}
+
+}  // namespace arda::df

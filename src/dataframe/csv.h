@@ -1,0 +1,39 @@
+#ifndef ARDA_DATAFRAME_CSV_H_
+#define ARDA_DATAFRAME_CSV_H_
+
+#include <string>
+
+#include "dataframe/data_frame.h"
+#include "util/status.h"
+
+namespace arda::df {
+
+/// CSV reading options.
+struct CsvOptions {
+  char delimiter = ',';
+  /// When true (default) column types are inferred from the data:
+  /// all-integer -> int64, otherwise all-numeric -> double, else string.
+  /// Empty fields become nulls.
+  bool infer_types = true;
+};
+
+/// Parses a CSV string (first line is the header) into a DataFrame.
+Result<DataFrame> ReadCsvString(const std::string& text,
+                                const CsvOptions& options = {});
+
+/// Reads a CSV file (first line is the header) into a DataFrame.
+Result<DataFrame> ReadCsvFile(const std::string& path,
+                              const CsvOptions& options = {});
+
+/// Serializes a DataFrame to CSV text (header + rows; nulls are empty
+/// fields; fields containing the delimiter, quotes or newlines are quoted).
+std::string WriteCsvString(const DataFrame& frame,
+                           const CsvOptions& options = {});
+
+/// Writes a DataFrame to a CSV file.
+Status WriteCsvFile(const DataFrame& frame, const std::string& path,
+                    const CsvOptions& options = {});
+
+}  // namespace arda::df
+
+#endif  // ARDA_DATAFRAME_CSV_H_

@@ -1,0 +1,192 @@
+#include "dataframe/data_frame.h"
+
+#include <algorithm>
+
+#include "util/string_util.h"
+
+namespace arda::df {
+
+Status DataFrame::AddColumn(Column column) {
+  if (HasColumn(column.name())) {
+    return Status::AlreadyExists("column already exists: " + column.name());
+  }
+  if (!columns_.empty() && column.size() != NumRows()) {
+    return Status::InvalidArgument(StrFormat(
+        "column '%s' has %zu rows, frame has %zu", column.name().c_str(),
+        column.size(), NumRows()));
+  }
+  columns_.push_back(std::move(column));
+  return Status::Ok();
+}
+
+bool DataFrame::HasColumn(const std::string& name) const {
+  return ColumnIndex(name) != kNpos;
+}
+
+size_t DataFrame::ColumnIndex(const std::string& name) const {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i].name() == name) return i;
+  }
+  return kNpos;
+}
+
+const Column& DataFrame::col(size_t i) const {
+  ARDA_CHECK_LT(i, columns_.size());
+  return columns_[i];
+}
+
+Column& DataFrame::col(size_t i) {
+  ARDA_CHECK_LT(i, columns_.size());
+  return columns_[i];
+}
+
+const Column& DataFrame::col(const std::string& name) const {
+  size_t i = ColumnIndex(name);
+  ARDA_CHECK(i != kNpos);
+  return columns_[i];
+}
+
+Column& DataFrame::col(const std::string& name) {
+  size_t i = ColumnIndex(name);
+  ARDA_CHECK(i != kNpos);
+  return columns_[i];
+}
+
+std::vector<Field> DataFrame::schema() const {
+  std::vector<Field> fields;
+  fields.reserve(columns_.size());
+  for (const Column& c : columns_) {
+    fields.push_back(Field{c.name(), c.type()});
+  }
+  return fields;
+}
+
+std::vector<std::string> DataFrame::ColumnNames() const {
+  std::vector<std::string> names;
+  names.reserve(columns_.size());
+  for (const Column& c : columns_) names.push_back(c.name());
+  return names;
+}
+
+DataFrame DataFrame::Take(const std::vector<size_t>& indices) const {
+  DataFrame out;
+  for (const Column& c : columns_) {
+    Status st = out.AddColumn(c.Take(indices));
+    ARDA_CHECK(st.ok());
+  }
+  return out;
+}
+
+Result<DataFrame> DataFrame::Select(
+    const std::vector<std::string>& names) const {
+  DataFrame out;
+  for (const std::string& name : names) {
+    size_t i = ColumnIndex(name);
+    if (i == kNpos) {
+      return Status::NotFound("no such column: " + name);
+    }
+    ARDA_RETURN_IF_ERROR(out.AddColumn(columns_[i]));
+  }
+  return out;
+}
+
+DataFrame DataFrame::Drop(const std::vector<std::string>& names) const {
+  DataFrame out;
+  for (const Column& c : columns_) {
+    if (std::find(names.begin(), names.end(), c.name()) != names.end()) {
+      continue;
+    }
+    Status st = out.AddColumn(c);
+    ARDA_CHECK(st.ok());
+  }
+  return out;
+}
+
+Status DataFrame::RemoveColumn(const std::string& name) {
+  size_t i = ColumnIndex(name);
+  if (i == kNpos) return Status::NotFound("no such column: " + name);
+  columns_.erase(columns_.begin() + static_cast<ptrdiff_t>(i));
+  return Status::Ok();
+}
+
+Status DataFrame::RenameColumn(const std::string& from,
+                               const std::string& to) {
+  size_t i = ColumnIndex(from);
+  if (i == kNpos) return Status::NotFound("no such column: " + from);
+  if (from != to && HasColumn(to)) {
+    return Status::AlreadyExists("column already exists: " + to);
+  }
+  columns_[i].set_name(to);
+  return Status::Ok();
+}
+
+Status DataFrame::HStack(const DataFrame& other, const std::string& prefix) {
+  if (!columns_.empty() && other.NumCols() > 0 &&
+      other.NumRows() != NumRows()) {
+    return Status::InvalidArgument(
+        StrFormat("HStack row mismatch: %zu vs %zu", NumRows(),
+                  other.NumRows()));
+  }
+  for (size_t i = 0; i < other.NumCols(); ++i) {
+    Column c = other.col(i);
+    if (HasColumn(c.name())) {
+      std::string renamed = prefix + c.name();
+      int suffix = 2;
+      while (HasColumn(renamed)) {
+        renamed = prefix + c.name() + "_" + std::to_string(suffix++);
+      }
+      c.set_name(renamed);
+    }
+    ARDA_RETURN_IF_ERROR(AddColumn(std::move(c)));
+  }
+  return Status::Ok();
+}
+
+Status DataFrame::VStack(const DataFrame& other) {
+  if (NumCols() != other.NumCols()) {
+    return Status::InvalidArgument("VStack schema mismatch (column count)");
+  }
+  for (size_t i = 0; i < NumCols(); ++i) {
+    if (columns_[i].name() != other.col(i).name() ||
+        columns_[i].type() != other.col(i).type()) {
+      return Status::InvalidArgument("VStack schema mismatch at column " +
+                                     columns_[i].name());
+    }
+  }
+  for (size_t i = 0; i < NumCols(); ++i) {
+    const Column& src = other.col(i);
+    for (size_t r = 0; r < src.size(); ++r) {
+      columns_[i].AppendFrom(src, r);
+    }
+  }
+  return Status::Ok();
+}
+
+std::string DataFrame::Head(size_t n) const {
+  const size_t rows = std::min(n, NumRows());
+  std::vector<std::vector<std::string>> cells(rows + 1);
+  cells[0] = ColumnNames();
+  for (size_t r = 0; r < rows; ++r) {
+    cells[r + 1].reserve(NumCols());
+    for (size_t c = 0; c < NumCols(); ++c) {
+      cells[r + 1].push_back(columns_[c].ValueToString(r));
+    }
+  }
+  std::vector<size_t> widths(NumCols(), 0);
+  for (const auto& row : cells) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  std::string out;
+  for (const auto& row : cells) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      out += row[c];
+      out.append(widths[c] - row[c].size() + 2, ' ');
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace arda::df

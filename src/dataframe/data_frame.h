@@ -1,0 +1,83 @@
+#ifndef ARDA_DATAFRAME_DATA_FRAME_H_
+#define ARDA_DATAFRAME_DATA_FRAME_H_
+
+#include <string>
+#include <vector>
+
+#include "dataframe/column.h"
+#include "util/status.h"
+
+namespace arda::df {
+
+/// Name + type of one column; the frame's schema is the ordered list.
+struct Field {
+  std::string name;
+  DataType type;
+};
+
+/// An in-memory relational table: an ordered set of equal-length named
+/// columns. All mutating operations preserve the invariant that column
+/// names are unique and lengths agree.
+class DataFrame {
+ public:
+  DataFrame() = default;
+
+  /// Appends a column. Fails if the name already exists or the length
+  /// disagrees with existing columns.
+  Status AddColumn(Column column);
+
+  size_t NumRows() const {
+    return columns_.empty() ? 0 : columns_.front().size();
+  }
+  size_t NumCols() const { return columns_.size(); }
+
+  bool HasColumn(const std::string& name) const;
+  /// Index of a column by name, or npos when absent.
+  size_t ColumnIndex(const std::string& name) const;
+  static constexpr size_t kNpos = static_cast<size_t>(-1);
+
+  /// Column access by position (bounds-checked).
+  const Column& col(size_t i) const;
+  Column& col(size_t i);
+  /// Column access by name (aborts if absent; use HasColumn to probe).
+  const Column& col(const std::string& name) const;
+  Column& col(const std::string& name);
+
+  /// Ordered schema of the frame.
+  std::vector<Field> schema() const;
+  /// Column names, in order.
+  std::vector<std::string> ColumnNames() const;
+
+  /// Returns a frame with the rows at `indices`, in order (repeats OK).
+  DataFrame Take(const std::vector<size_t>& indices) const;
+
+  /// Returns a frame with only the named columns, in the given order.
+  /// Fails if any name is absent.
+  Result<DataFrame> Select(const std::vector<std::string>& names) const;
+
+  /// Returns a frame without the named columns (absent names ignored).
+  DataFrame Drop(const std::vector<std::string>& names) const;
+
+  /// Removes a column by name. Fails if absent.
+  Status RemoveColumn(const std::string& name);
+
+  /// Renames a column. Fails if `from` is absent or `to` already exists.
+  Status RenameColumn(const std::string& from, const std::string& to);
+
+  /// Appends all columns of `other` (same row count). Name collisions get
+  /// `prefix` prepended; if still colliding, a numeric suffix is added.
+  Status HStack(const DataFrame& other, const std::string& prefix);
+
+  /// Appends the rows of `other`; schemas must match exactly.
+  Status VStack(const DataFrame& other);
+
+  /// First `n` rows rendered as an aligned text table (debugging aid).
+  std::string Head(size_t n = 10) const;
+
+ private:
+  std::vector<Column> columns_;
+};
+
+}  // namespace arda::df
+
+#endif  // ARDA_DATAFRAME_DATA_FRAME_H_

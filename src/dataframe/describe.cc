@@ -1,0 +1,88 @@
+#include "dataframe/describe.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "util/string_util.h"
+
+namespace arda::df {
+
+std::vector<ColumnSummary> Describe(const DataFrame& frame) {
+  std::vector<ColumnSummary> summaries;
+  summaries.reserve(frame.NumCols());
+  for (size_t ci = 0; ci < frame.NumCols(); ++ci) {
+    const Column& col = frame.col(ci);
+    ColumnSummary summary;
+    summary.name = col.name();
+    summary.type = col.type();
+    summary.null_count = col.NullCount();
+    summary.count = col.size() - summary.null_count;
+
+    std::map<std::string, size_t> counts;
+    for (size_t r = 0; r < col.size(); ++r) {
+      if (!col.IsNull(r)) ++counts[col.ValueToString(r)];
+    }
+    summary.distinct = counts.size();
+    size_t best = 0;
+    for (const auto& [value, count] : counts) {
+      if (count > best) {
+        best = count;
+        summary.mode = value;
+      }
+    }
+
+    if (col.IsNumeric() && summary.count > 0) {
+      std::vector<double> values = col.NonNullNumericValues();
+      double sum = 0.0;
+      for (double v : values) sum += v;
+      summary.mean = sum / static_cast<double>(values.size());
+      double var = 0.0;
+      for (double v : values) {
+        var += (v - summary.mean) * (v - summary.mean);
+      }
+      summary.stddev = std::sqrt(var / static_cast<double>(values.size()));
+      auto [lo, hi] = std::minmax_element(values.begin(), values.end());
+      summary.min = *lo;
+      summary.max = *hi;
+      summary.median = col.NumericMedian();
+    }
+    summaries.push_back(std::move(summary));
+  }
+  return summaries;
+}
+
+std::string DescribeToString(const DataFrame& frame) {
+  std::vector<ColumnSummary> summaries = Describe(frame);
+  std::vector<std::vector<std::string>> rows;
+  rows.push_back({"column", "type", "count", "nulls", "distinct", "mean",
+                  "std", "min", "median", "max", "mode"});
+  for (const ColumnSummary& s : summaries) {
+    bool numeric = s.type != DataType::kString;
+    rows.push_back(
+        {s.name, DataTypeName(s.type), StrFormat("%zu", s.count),
+         StrFormat("%zu", s.null_count), StrFormat("%zu", s.distinct),
+         numeric ? StrFormat("%.4g", s.mean) : "-",
+         numeric ? StrFormat("%.4g", s.stddev) : "-",
+         numeric ? StrFormat("%.4g", s.min) : "-",
+         numeric ? StrFormat("%.4g", s.median) : "-",
+         numeric ? StrFormat("%.4g", s.max) : "-", s.mode});
+  }
+  std::vector<size_t> widths(rows[0].size(), 0);
+  for (const auto& row : rows) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  std::string out;
+  for (const auto& row : rows) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      out += row[c];
+      out.append(widths[c] - row[c].size() + 2, ' ');
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace arda::df

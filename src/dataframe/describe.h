@@ -1,0 +1,37 @@
+#ifndef ARDA_DATAFRAME_DESCRIBE_H_
+#define ARDA_DATAFRAME_DESCRIBE_H_
+
+#include <string>
+#include <vector>
+
+#include "dataframe/data_frame.h"
+
+namespace arda::df {
+
+/// Summary statistics of one column.
+struct ColumnSummary {
+  std::string name;
+  DataType type = DataType::kDouble;
+  size_t count = 0;       ///< non-null entries
+  size_t null_count = 0;
+  size_t distinct = 0;    ///< distinct non-null values
+  // Numeric-only fields (zero for string columns):
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double median = 0.0;
+  double max = 0.0;
+  /// Most frequent value rendered as a string ("" when empty).
+  std::string mode;
+};
+
+/// Computes per-column summaries of `frame`, pandas-describe style.
+std::vector<ColumnSummary> Describe(const DataFrame& frame);
+
+/// Renders Describe(frame) as an aligned text table (exploration aid for
+/// examples and the CLI).
+std::string DescribeToString(const DataFrame& frame);
+
+}  // namespace arda::df
+
+#endif  // ARDA_DATAFRAME_DESCRIBE_H_

@@ -1,0 +1,109 @@
+#include "dataframe/encode.h"
+
+#include <algorithm>
+#include <map>
+
+namespace arda::df {
+
+namespace {
+
+// Chooses the categories that get their own indicator column: all of them
+// if there are at most max_categories, otherwise the most frequent ones.
+std::vector<std::string> PickCategories(const Column& col,
+                                        size_t max_categories) {
+  std::map<std::string, size_t> counts;
+  for (size_t i = 0; i < col.size(); ++i) {
+    if (!col.IsNull(i)) ++counts[col.StringAt(i)];
+  }
+  std::vector<std::pair<std::string, size_t>> sorted(counts.begin(),
+                                                     counts.end());
+  std::stable_sort(sorted.begin(), sorted.end(),
+                   [](const auto& a, const auto& b) {
+                     return a.second > b.second;
+                   });
+  if (sorted.size() > max_categories) sorted.resize(max_categories);
+  std::vector<std::string> categories;
+  categories.reserve(sorted.size());
+  for (auto& [value, count] : sorted) categories.push_back(value);
+  std::sort(categories.begin(), categories.end());
+  return categories;
+}
+
+}  // namespace
+
+EncodedFeatures EncodeFeatures(const DataFrame& frame,
+                               const std::vector<std::string>& exclude,
+                               const EncodeOptions& options) {
+  const size_t n = frame.NumRows();
+  std::vector<std::vector<double>> feature_cols;
+  EncodedFeatures out;
+
+  for (size_t ci = 0; ci < frame.NumCols(); ++ci) {
+    const Column& col = frame.col(ci);
+    if (std::find(exclude.begin(), exclude.end(), col.name()) !=
+        exclude.end()) {
+      continue;
+    }
+    if (col.IsNumeric()) {
+      double fill = options.impute_numeric_nulls ? col.NumericMedian() : 0.0;
+      std::vector<double> values(n);
+      for (size_t r = 0; r < n; ++r) {
+        values[r] = col.IsNull(r) ? fill : col.NumericAt(r);
+      }
+      feature_cols.push_back(std::move(values));
+      out.names.push_back(col.name());
+      out.source_column.push_back(ci);
+      continue;
+    }
+    // String column: one-hot over the selected categories plus optional
+    // "other" and "null" indicators.
+    std::vector<std::string> categories =
+        PickCategories(col, options.max_categories);
+    bool truncated = categories.size() == options.max_categories &&
+                     col.DistinctValuesAsString().size() > categories.size();
+    bool has_null = col.NullCount() > 0;
+    std::vector<std::vector<double>> indicators(
+        categories.size() + (truncated ? 1 : 0) + (has_null ? 1 : 0),
+        std::vector<double>(n, 0.0));
+    const size_t other_idx = categories.size();
+    const size_t null_idx = other_idx + (truncated ? 1 : 0);
+    for (size_t r = 0; r < n; ++r) {
+      if (col.IsNull(r)) {
+        if (has_null) indicators[null_idx][r] = 1.0;
+        continue;
+      }
+      const std::string& value = col.StringAt(r);
+      auto it = std::lower_bound(categories.begin(), categories.end(), value);
+      if (it != categories.end() && *it == value) {
+        indicators[static_cast<size_t>(it - categories.begin())][r] = 1.0;
+      } else if (truncated) {
+        indicators[other_idx][r] = 1.0;
+      }
+    }
+    for (size_t k = 0; k < categories.size(); ++k) {
+      feature_cols.push_back(std::move(indicators[k]));
+      out.names.push_back(col.name() + "=" + categories[k]);
+      out.source_column.push_back(ci);
+    }
+    if (truncated) {
+      feature_cols.push_back(std::move(indicators[other_idx]));
+      out.names.push_back(col.name() + "=<other>");
+      out.source_column.push_back(ci);
+    }
+    if (has_null) {
+      feature_cols.push_back(std::move(indicators[null_idx]));
+      out.names.push_back(col.name() + "=<null>");
+      out.source_column.push_back(ci);
+    }
+  }
+
+  out.x = la::Matrix(n, feature_cols.size());
+  for (size_t c = 0; c < feature_cols.size(); ++c) {
+    for (size_t r = 0; r < n; ++r) {
+      out.x(r, c) = feature_cols[c][r];
+    }
+  }
+  return out;
+}
+
+}  // namespace arda::df

@@ -1,0 +1,42 @@
+#ifndef ARDA_DATAFRAME_ENCODE_H_
+#define ARDA_DATAFRAME_ENCODE_H_
+
+#include <string>
+#include <vector>
+
+#include "dataframe/data_frame.h"
+#include "la/matrix.h"
+
+namespace arda::df {
+
+/// Options controlling DataFrame -> numeric matrix encoding.
+struct EncodeOptions {
+  /// String columns with at most this many distinct values are one-hot
+  /// encoded per category; above it only the most frequent categories get
+  /// indicator columns and the rest collapse into an "other" bucket.
+  size_t max_categories = 20;
+  /// Remaining nulls in numeric columns are replaced by the column median
+  /// when true, by 0 otherwise. (The join pipeline normally imputes before
+  /// encoding; this is a safety net.)
+  bool impute_numeric_nulls = true;
+};
+
+/// Numeric feature matrix produced from a DataFrame (the paper's
+/// "binarization" of categoricals into numeric features).
+struct EncodedFeatures {
+  la::Matrix x;                       ///< n rows x d encoded features
+  std::vector<std::string> names;     ///< encoded feature names
+  std::vector<size_t> source_column;  ///< frame column index each came from
+};
+
+/// Encodes every column of `frame` except those in `exclude` into numeric
+/// features: numeric columns pass through (nulls imputed), string columns
+/// are one-hot binarized (null category gets its own indicator when
+/// present). Feature names are "col" or "col=value".
+EncodedFeatures EncodeFeatures(const DataFrame& frame,
+                               const std::vector<std::string>& exclude,
+                               const EncodeOptions& options = {});
+
+}  // namespace arda::df
+
+#endif  // ARDA_DATAFRAME_ENCODE_H_

@@ -1,0 +1,85 @@
+#include "dataframe/transform.h"
+
+#include <algorithm>
+
+namespace arda::df {
+
+DataFrame Filter(const DataFrame& frame, const RowPredicate& predicate) {
+  std::vector<size_t> kept;
+  for (size_t r = 0; r < frame.NumRows(); ++r) {
+    if (predicate(frame, r)) kept.push_back(r);
+  }
+  return frame.Take(kept);
+}
+
+Result<DataFrame> FilterNumericRange(const DataFrame& frame,
+                                     const std::string& column, double lo,
+                                     double hi) {
+  size_t idx = frame.ColumnIndex(column);
+  if (idx == DataFrame::kNpos) {
+    return Status::NotFound("no such column: " + column);
+  }
+  if (!frame.col(idx).IsNumeric()) {
+    return Status::InvalidArgument("column is not numeric: " + column);
+  }
+  return Filter(frame, [&, idx](const DataFrame& f, size_t r) {
+    const Column& col = f.col(idx);
+    if (col.IsNull(r)) return false;
+    double v = col.NumericAt(r);
+    return v >= lo && v <= hi;
+  });
+}
+
+Result<DataFrame> FilterEquals(const DataFrame& frame,
+                               const std::string& column,
+                               const std::string& value) {
+  size_t idx = frame.ColumnIndex(column);
+  if (idx == DataFrame::kNpos) {
+    return Status::NotFound("no such column: " + column);
+  }
+  if (frame.col(idx).type() != DataType::kString) {
+    return Status::InvalidArgument("column is not a string: " + column);
+  }
+  return Filter(frame, [&, idx](const DataFrame& f, size_t r) {
+    const Column& col = f.col(idx);
+    return !col.IsNull(r) && col.StringAt(r) == value;
+  });
+}
+
+Result<DataFrame> SortBy(const DataFrame& frame, const std::string& column,
+                         bool ascending) {
+  size_t idx = frame.ColumnIndex(column);
+  if (idx == DataFrame::kNpos) {
+    return Status::NotFound("no such column: " + column);
+  }
+  const Column& col = frame.col(idx);
+  std::vector<size_t> order(frame.NumRows());
+  for (size_t r = 0; r < order.size(); ++r) order[r] = r;
+  auto less = [&](size_t a, size_t b) {
+    bool null_a = col.IsNull(a);
+    bool null_b = col.IsNull(b);
+    if (null_a || null_b) return !null_a && null_b;  // nulls last
+    if (col.IsNumeric()) {
+      double va = col.NumericAt(a);
+      double vb = col.NumericAt(b);
+      return ascending ? va < vb : vb < va;
+    }
+    const std::string& sa = col.StringAt(a);
+    const std::string& sb = col.StringAt(b);
+    return ascending ? sa < sb : sb < sa;
+  };
+  std::stable_sort(order.begin(), order.end(), less);
+  return frame.Take(order);
+}
+
+Status AddComputedColumn(DataFrame* frame, const std::string& name,
+                         const std::function<double(const DataFrame&,
+                                                    size_t)>& fn) {
+  std::vector<double> values(frame->NumRows());
+  for (size_t r = 0; r < frame->NumRows(); ++r) {
+    values[r] = fn(*frame, r);
+  }
+  return frame->AddColumn(Column::Double(name, std::move(values)));
+}
+
+}  // namespace arda::df

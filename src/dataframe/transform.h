@@ -1,0 +1,44 @@
+#ifndef ARDA_DATAFRAME_TRANSFORM_H_
+#define ARDA_DATAFRAME_TRANSFORM_H_
+
+#include <functional>
+#include <string>
+
+#include "dataframe/data_frame.h"
+#include "util/status.h"
+
+namespace arda::df {
+
+/// Row predicate: receives the frame and a row index, returns keep/drop.
+using RowPredicate = std::function<bool(const DataFrame&, size_t)>;
+
+/// Returns the rows of `frame` for which `predicate` is true, in order.
+DataFrame Filter(const DataFrame& frame, const RowPredicate& predicate);
+
+/// Returns the rows where the numeric column `column` lies in
+/// [lo, hi]; null entries are dropped. Fails if the column is missing or
+/// non-numeric.
+Result<DataFrame> FilterNumericRange(const DataFrame& frame,
+                                     const std::string& column, double lo,
+                                     double hi);
+
+/// Returns the rows where string column `column` equals `value`
+/// (nulls dropped). Fails if the column is missing or not a string.
+Result<DataFrame> FilterEquals(const DataFrame& frame,
+                               const std::string& column,
+                               const std::string& value);
+
+/// Returns `frame` sorted by `column` (ascending by default; stable).
+/// Nulls sort last. Fails if the column is missing.
+Result<DataFrame> SortBy(const DataFrame& frame, const std::string& column,
+                         bool ascending = true);
+
+/// Appends a computed double column: `fn` receives the frame and a row
+/// index and returns the new value. Fails on name collisions.
+Status AddComputedColumn(DataFrame* frame, const std::string& name,
+                         const std::function<double(const DataFrame&,
+                                                    size_t)>& fn);
+
+}  // namespace arda::df
+
+#endif  // ARDA_DATAFRAME_TRANSFORM_H_

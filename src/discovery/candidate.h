@@ -1,0 +1,41 @@
+#ifndef ARDA_DISCOVERY_CANDIDATE_H_
+#define ARDA_DISCOVERY_CANDIDATE_H_
+
+#include <string>
+#include <vector>
+
+namespace arda::discovery {
+
+/// Whether a join key must match exactly (hard) or joins to the closest
+/// value (soft — e.g. timestamps, GPS coordinates, ages).
+enum class KeyKind { kHard, kSoft };
+
+/// One base-column/foreign-column pairing of a (possibly composite) join
+/// key.
+struct JoinKeyPair {
+  std::string base_column;
+  std::string foreign_column;
+  KeyKind kind = KeyKind::kHard;
+};
+
+/// A candidate join produced by the data-discovery system: which foreign
+/// table to join, on which keys, with a relevance score used by ARDA to
+/// prioritize its join plan (higher is more promising).
+struct CandidateJoin {
+  std::string foreign_table;
+  std::vector<JoinKeyPair> keys;
+  /// Discovery relevance score (e.g. intersection score); higher first.
+  double score = 0.0;
+
+  /// True if any key pair is soft.
+  bool HasSoftKey() const {
+    for (const JoinKeyPair& key : keys) {
+      if (key.kind == KeyKind::kSoft) return true;
+    }
+    return false;
+  }
+};
+
+}  // namespace arda::discovery
+
+#endif  // ARDA_DISCOVERY_CANDIDATE_H_

@@ -1,0 +1,104 @@
+#include "discovery/discovery.h"
+
+#include <algorithm>
+#include <set>
+
+#include "discovery/minhash.h"
+#include "util/string_util.h"
+
+namespace arda::discovery {
+
+double IntersectionScore(const df::Column& base, const df::Column& foreign) {
+  std::vector<std::string> base_values = base.DistinctValuesAsString();
+  if (base_values.empty()) return 0.0;
+  std::vector<std::string> foreign_values = foreign.DistinctValuesAsString();
+  std::set<std::string> foreign_set(foreign_values.begin(),
+                                    foreign_values.end());
+  size_t hits = 0;
+  for (const std::string& v : base_values) {
+    if (foreign_set.count(v) > 0) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(base_values.size());
+}
+
+double RangeOverlap(const df::Column& base, const df::Column& foreign) {
+  if (!base.IsNumeric() || !foreign.IsNumeric()) return 0.0;
+  std::vector<double> bv = base.NonNullNumericValues();
+  std::vector<double> fv = foreign.NonNullNumericValues();
+  if (bv.empty() || fv.empty()) return 0.0;
+  auto [b_lo_it, b_hi_it] = std::minmax_element(bv.begin(), bv.end());
+  auto [f_lo_it, f_hi_it] = std::minmax_element(fv.begin(), fv.end());
+  double b_lo = *b_lo_it, b_hi = *b_hi_it;
+  double f_lo = *f_lo_it, f_hi = *f_hi_it;
+  double inter = std::min(b_hi, f_hi) - std::max(b_lo, f_lo);
+  if (inter <= 0.0) return 0.0;
+  double base_span = b_hi - b_lo;
+  if (base_span <= 0.0) return 1.0;  // single base value inside the range
+  return std::min(1.0, inter / base_span);
+}
+
+std::vector<CandidateJoin> DiscoverCandidates(
+    const DataRepository& repo, const std::string& base_name,
+    const std::string& target_column, const DiscoveryOptions& options) {
+  std::vector<CandidateJoin> candidates;
+  Result<const df::DataFrame*> base_result = repo.Get(base_name);
+  if (!base_result.ok()) return candidates;
+  const df::DataFrame& base = *base_result.value();
+
+  for (const std::string& table_name : repo.Names()) {
+    if (table_name == base_name) continue;
+    const df::DataFrame& foreign = repo.GetOrDie(table_name);
+    CandidateJoin best;
+    best.foreign_table = table_name;
+    for (size_t bi = 0; bi < base.NumCols(); ++bi) {
+      const df::Column& base_col = base.col(bi);
+      if (base_col.name() == target_column) continue;
+      for (size_t fi = 0; fi < foreign.NumCols(); ++fi) {
+        const df::Column& foreign_col = foreign.col(fi);
+        if (options.require_name_match &&
+            ToLower(base_col.name()) != ToLower(foreign_col.name())) {
+          continue;
+        }
+        if (base_col.type() != foreign_col.type()) continue;
+        // Exact-overlap hard key? (Or its MinHash estimate.)
+        double inter;
+        if (options.use_minhash) {
+          MinHashSignature base_sig(base_col, options.minhash_hashes);
+          MinHashSignature foreign_sig(foreign_col,
+                                       options.minhash_hashes);
+          inter = base_sig.EstimateJaccard(foreign_sig);
+        } else {
+          inter = IntersectionScore(base_col, foreign_col);
+        }
+        if (inter >= options.min_intersection && inter >= best.score) {
+          best.score = inter;
+          best.keys = {JoinKeyPair{base_col.name(), foreign_col.name(),
+                                   KeyKind::kHard}};
+          continue;
+        }
+        // Numeric near-alignment soft key (e.g. timestamps at different
+        // granularities never match exactly but cover the same range).
+        if (base_col.IsNumeric()) {
+          double overlap = RangeOverlap(base_col, foreign_col);
+          // Soft candidates rank below equally strong hard ones.
+          double score = 0.5 * overlap;
+          if (overlap >= options.min_range_overlap && score > best.score) {
+            best.score = score;
+            best.keys = {JoinKeyPair{base_col.name(), foreign_col.name(),
+                                     KeyKind::kSoft}};
+          }
+        }
+      }
+    }
+    if (!best.keys.empty()) {
+      candidates.push_back(std::move(best));
+    }
+  }
+  std::stable_sort(candidates.begin(), candidates.end(),
+                   [](const CandidateJoin& a, const CandidateJoin& b) {
+                     return a.score > b.score;
+                   });
+  return candidates;
+}
+
+}  // namespace arda::discovery

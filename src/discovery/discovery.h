@@ -1,0 +1,52 @@
+#ifndef ARDA_DISCOVERY_DISCOVERY_H_
+#define ARDA_DISCOVERY_DISCOVERY_H_
+
+#include <string>
+#include <vector>
+
+#include "dataframe/data_frame.h"
+#include "discovery/candidate.h"
+#include "discovery/repository.h"
+
+namespace arda::discovery {
+
+/// Options for the simulated join-discovery heuristics.
+struct DiscoveryOptions {
+  /// Minimum intersection score for a hard-key candidate.
+  double min_intersection = 0.05;
+  /// Numeric columns whose value ranges overlap by at least this fraction
+  /// and whose names match become soft-key candidates.
+  double min_range_overlap = 0.3;
+  /// Column-name pairs must match exactly (case-insensitive) when true;
+  /// otherwise any type-compatible pair with enough value overlap joins.
+  bool require_name_match = true;
+  /// Score hard-key overlap with MinHash-estimated Jaccard similarity
+  /// instead of the exact intersection score — how index-based discovery
+  /// systems (Aurum) avoid comparing full value sets. Cheaper on wide
+  /// repositories, at the cost of estimation error.
+  bool use_minhash = false;
+  /// Signature width when use_minhash is set.
+  size_t minhash_hashes = 64;
+};
+
+/// Fraction of the base column's distinct values that also appear in the
+/// foreign column — the paper's "intersection-score" used to rank
+/// candidate joins when the discovery system provides no score.
+double IntersectionScore(const df::Column& base, const df::Column& foreign);
+
+/// Fractional overlap of the numeric value ranges of two columns
+/// (0 when disjoint, 1 when the base range is fully covered).
+double RangeOverlap(const df::Column& base, const df::Column& foreign);
+
+/// Simulated Aurum/Auctus: scans every repository table (except
+/// `base_name`) for columns joinable with base-table columns and returns
+/// scored candidates, hard keys for exact value overlap and soft keys for
+/// numeric near-alignment. `target_column` is never proposed as a key.
+/// Results are sorted by descending score.
+std::vector<CandidateJoin> DiscoverCandidates(
+    const DataRepository& repo, const std::string& base_name,
+    const std::string& target_column, const DiscoveryOptions& options = {});
+
+}  // namespace arda::discovery
+
+#endif  // ARDA_DISCOVERY_DISCOVERY_H_

@@ -1,0 +1,79 @@
+#include "discovery/minhash.h"
+
+#include <algorithm>
+#include <limits>
+#include <set>
+#include <string>
+
+#include "util/check.h"
+
+namespace arda::discovery {
+
+namespace {
+
+// 64-bit FNV-1a over a string.
+uint64_t Fnv1a(const std::string& text) {
+  uint64_t hash = 0xCBF29CE484222325ULL;
+  for (char c : text) {
+    hash ^= static_cast<uint8_t>(c);
+    hash *= 0x100000001B3ULL;
+  }
+  return hash;
+}
+
+// Mixes a value hash with a per-permutation key (xorshift-multiply).
+uint64_t Mix(uint64_t value, uint64_t key) {
+  uint64_t x = value ^ (key * 0x9E3779B97F4A7C15ULL);
+  x ^= x >> 33;
+  x *= 0xFF51AFD7ED558CCDULL;
+  x ^= x >> 33;
+  x *= 0xC4CEB9FE1A85EC53ULL;
+  x ^= x >> 33;
+  return x;
+}
+
+}  // namespace
+
+MinHashSignature::MinHashSignature(const df::Column& column,
+                                   size_t num_hashes, uint64_t seed) {
+  ARDA_CHECK_GT(num_hashes, 0u);
+  slots_.assign(num_hashes, std::numeric_limits<uint64_t>::max());
+  for (const std::string& value : column.DistinctValuesAsString()) {
+    empty_ = false;
+    uint64_t base = Fnv1a(value);
+    for (size_t h = 0; h < num_hashes; ++h) {
+      uint64_t mixed = Mix(base, seed + h);
+      if (mixed < slots_[h]) slots_[h] = mixed;
+    }
+  }
+}
+
+double MinHashSignature::EstimateJaccard(
+    const MinHashSignature& other) const {
+  ARDA_CHECK_EQ(slots_.size(), other.slots_.size());
+  if (empty_ || other.empty_) return 0.0;
+  size_t matches = 0;
+  for (size_t h = 0; h < slots_.size(); ++h) {
+    matches += slots_[h] == other.slots_[h];
+  }
+  return static_cast<double>(matches) /
+         static_cast<double>(slots_.size());
+}
+
+double ExactJaccard(const df::Column& a, const df::Column& b) {
+  std::vector<std::string> va = a.DistinctValuesAsString();
+  std::vector<std::string> vb = b.DistinctValuesAsString();
+  if (va.empty() || vb.empty()) return 0.0;
+  std::set<std::string> sa(va.begin(), va.end());
+  size_t intersection = 0;
+  for (const std::string& value : vb) {
+    intersection += sa.count(value);
+  }
+  size_t unions = sa.size() + vb.size() - intersection;
+  return unions == 0
+             ? 0.0
+             : static_cast<double>(intersection) /
+                   static_cast<double>(unions);
+}
+
+}  // namespace arda::discovery

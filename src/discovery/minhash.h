@@ -1,0 +1,44 @@
+#ifndef ARDA_DISCOVERY_MINHASH_H_
+#define ARDA_DISCOVERY_MINHASH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "dataframe/column.h"
+
+namespace arda::discovery {
+
+/// MinHash signature of a column's distinct-value set. Data-discovery
+/// systems like Aurum index columns by exactly such signatures so that
+/// candidate joins can be proposed without comparing full value sets —
+/// the resemblance (Jaccard similarity) of two sets is estimated as the
+/// fraction of matching signature slots.
+class MinHashSignature {
+ public:
+  /// Builds the signature of `column`'s distinct non-null values using
+  /// `num_hashes` independent hash permutations derived from `seed`.
+  /// All signatures that will be compared must use the same num_hashes
+  /// and seed.
+  MinHashSignature(const df::Column& column, size_t num_hashes = 64,
+                   uint64_t seed = 0x51u);
+
+  /// Estimated Jaccard similarity with another signature (same
+  /// num_hashes/seed required). Empty columns give 0.
+  double EstimateJaccard(const MinHashSignature& other) const;
+
+  size_t num_hashes() const { return slots_.size(); }
+  bool empty() const { return empty_; }
+  const std::vector<uint64_t>& slots() const { return slots_; }
+
+ private:
+  std::vector<uint64_t> slots_;
+  bool empty_ = true;
+};
+
+/// Exact Jaccard similarity of two columns' distinct-value sets
+/// (reference implementation for testing the estimator; O(n log n)).
+double ExactJaccard(const df::Column& a, const df::Column& b);
+
+}  // namespace arda::discovery
+
+#endif  // ARDA_DISCOVERY_MINHASH_H_

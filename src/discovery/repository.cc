@@ -1,0 +1,50 @@
+#include "discovery/repository.h"
+
+namespace arda::discovery {
+
+Status DataRepository::Add(std::string name, df::DataFrame table) {
+  auto [it, inserted] = tables_.emplace(std::move(name), std::move(table));
+  if (!inserted) {
+    return Status::AlreadyExists("table already registered: " + it->first);
+  }
+  return Status::Ok();
+}
+
+void DataRepository::AddOrReplace(std::string name, df::DataFrame table) {
+  tables_[std::move(name)] = std::move(table);
+}
+
+bool DataRepository::Has(const std::string& name) const {
+  return tables_.count(name) > 0;
+}
+
+Result<const df::DataFrame*> DataRepository::Get(
+    const std::string& name) const {
+  auto it = tables_.find(name);
+  if (it == tables_.end()) {
+    return Status::NotFound("no such table: " + name);
+  }
+  return &it->second;
+}
+
+const df::DataFrame& DataRepository::GetOrDie(const std::string& name) const {
+  auto it = tables_.find(name);
+  ARDA_CHECK(it != tables_.end());
+  return it->second;
+}
+
+Status DataRepository::Remove(const std::string& name) {
+  if (tables_.erase(name) == 0) {
+    return Status::NotFound("no such table: " + name);
+  }
+  return Status::Ok();
+}
+
+std::vector<std::string> DataRepository::Names() const {
+  std::vector<std::string> names;
+  names.reserve(tables_.size());
+  for (const auto& [name, table] : tables_) names.push_back(name);
+  return names;
+}
+
+}  // namespace arda::discovery

@@ -1,0 +1,46 @@
+#ifndef ARDA_DISCOVERY_REPOSITORY_H_
+#define ARDA_DISCOVERY_REPOSITORY_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "dataframe/data_frame.h"
+#include "util/status.h"
+
+namespace arda::discovery {
+
+/// An in-process stand-in for a data lake / open-data repository: a named
+/// collection of tables the discovery system searches and ARDA joins
+/// against.
+class DataRepository {
+ public:
+  /// Registers a table under `name`. Fails on duplicate names.
+  Status Add(std::string name, df::DataFrame table);
+
+  /// Replaces or inserts a table.
+  void AddOrReplace(std::string name, df::DataFrame table);
+
+  bool Has(const std::string& name) const;
+
+  /// Returns the table; fails with NotFound for unknown names.
+  Result<const df::DataFrame*> Get(const std::string& name) const;
+
+  /// Returns the table, aborting on unknown names (use after Has).
+  const df::DataFrame& GetOrDie(const std::string& name) const;
+
+  /// Removes a table; fails with NotFound if absent.
+  Status Remove(const std::string& name);
+
+  /// All table names, sorted.
+  std::vector<std::string> Names() const;
+
+  size_t size() const { return tables_.size(); }
+
+ private:
+  std::map<std::string, df::DataFrame> tables_;
+};
+
+}  // namespace arda::discovery
+
+#endif  // ARDA_DISCOVERY_REPOSITORY_H_

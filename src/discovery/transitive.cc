@@ -1,0 +1,46 @@
+#include "discovery/transitive.h"
+
+#include <algorithm>
+#include <set>
+
+namespace arda::discovery {
+
+std::vector<TransitiveCandidate> DiscoverTransitiveCandidates(
+    const DataRepository& repo, const std::string& base_name,
+    const std::string& target_column, const DiscoveryOptions& options) {
+  std::vector<TransitiveCandidate> paths;
+  std::vector<CandidateJoin> direct =
+      DiscoverCandidates(repo, base_name, target_column, options);
+  std::set<std::string> directly_reachable;
+  directly_reachable.insert(base_name);
+  for (const CandidateJoin& cand : direct) {
+    directly_reachable.insert(cand.foreign_table);
+  }
+
+  for (const CandidateJoin& first_hop : direct) {
+    // Discover joins *from the via table*; the via table's target concept
+    // doesn't exist, so pass an empty target column.
+    std::vector<CandidateJoin> second_hops =
+        DiscoverCandidates(repo, first_hop.foreign_table, "", options);
+    for (const CandidateJoin& second_hop : second_hops) {
+      if (directly_reachable.count(second_hop.foreign_table) > 0) {
+        continue;  // already joinable in one hop (or the base itself)
+      }
+      TransitiveCandidate path;
+      path.via_table = first_hop.foreign_table;
+      path.base_to_via = first_hop.keys;
+      path.final_table = second_hop.foreign_table;
+      path.via_to_final = second_hop.keys;
+      path.score = std::min(first_hop.score, second_hop.score);
+      paths.push_back(std::move(path));
+    }
+  }
+  std::stable_sort(paths.begin(), paths.end(),
+                   [](const TransitiveCandidate& a,
+                      const TransitiveCandidate& b) {
+                     return a.score > b.score;
+                   });
+  return paths;
+}
+
+}  // namespace arda::discovery

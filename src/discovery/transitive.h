@@ -1,0 +1,43 @@
+#ifndef ARDA_DISCOVERY_TRANSITIVE_H_
+#define ARDA_DISCOVERY_TRANSITIVE_H_
+
+#include <string>
+#include <vector>
+
+#include "discovery/candidate.h"
+#include "discovery/discovery.h"
+#include "discovery/repository.h"
+
+namespace arda::discovery {
+
+/// A two-hop augmentation path (the paper's future work on "automation of
+/// augmentation via transitive joins"): the base table joins `via_table`
+/// on `base_to_via`, and `via_table` joins `final_table` on
+/// `via_to_final`, pulling the final table's columns within reach of the
+/// base table even though they share no key with it directly.
+struct TransitiveCandidate {
+  std::string via_table;
+  std::vector<JoinKeyPair> base_to_via;
+  std::string final_table;
+  std::vector<JoinKeyPair> via_to_final;
+  /// min of the two hop scores.
+  double score = 0.0;
+
+  /// Name for the materialized bridge ("via+final").
+  std::string MaterializedName() const {
+    return via_table + "+" + final_table;
+  }
+};
+
+/// Finds two-hop paths: for every direct candidate (base -> via), runs
+/// discovery from `via` over the remaining repository tables. Paths back
+/// to the base table or to tables already directly joinable are skipped.
+/// Materialize a path into a joinable table with
+/// join::MaterializeTransitive.
+std::vector<TransitiveCandidate> DiscoverTransitiveCandidates(
+    const DataRepository& repo, const std::string& base_name,
+    const std::string& target_column, const DiscoveryOptions& options = {});
+
+}  // namespace arda::discovery
+
+#endif  // ARDA_DISCOVERY_TRANSITIVE_H_

@@ -1,0 +1,50 @@
+#include "discovery/tuple_ratio.h"
+
+#include <set>
+
+namespace arda::discovery {
+
+double TupleRatio(const df::DataFrame& base, const df::DataFrame& foreign,
+                  const CandidateJoin& candidate) {
+  const double ns = static_cast<double>(base.NumRows());
+  // Foreign-key domain size: distinct key combinations in the foreign
+  // table on the candidate's key columns.
+  std::set<std::string> domain;
+  if (candidate.keys.empty() || foreign.NumRows() == 0) {
+    return ns;  // degenerate: treat the domain as size 1
+  }
+  for (size_t r = 0; r < foreign.NumRows(); ++r) {
+    std::string composite;
+    for (const JoinKeyPair& key : candidate.keys) {
+      if (!foreign.HasColumn(key.foreign_column)) return ns;
+      const df::Column& col = foreign.col(key.foreign_column);
+      composite += col.IsNull(r) ? "\x1e" : col.ValueToString(r);
+      composite += '\x1f';
+    }
+    domain.insert(std::move(composite));
+  }
+  if (domain.empty()) return ns;
+  return ns / static_cast<double>(domain.size());
+}
+
+TupleRatioFilterResult FilterByTupleRatio(
+    const DataRepository& repo, const df::DataFrame& base,
+    const std::vector<CandidateJoin>& candidates, double tau) {
+  TupleRatioFilterResult result;
+  for (const CandidateJoin& candidate : candidates) {
+    Result<const df::DataFrame*> foreign = repo.Get(candidate.foreign_table);
+    if (!foreign.ok()) {
+      result.removed.push_back(candidate);
+      continue;
+    }
+    double ratio = TupleRatio(base, *foreign.value(), candidate);
+    if (ratio <= tau) {
+      result.kept.push_back(candidate);
+    } else {
+      result.removed.push_back(candidate);
+    }
+  }
+  return result;
+}
+
+}  // namespace arda::discovery

@@ -1,0 +1,37 @@
+#ifndef ARDA_DISCOVERY_TUPLE_RATIO_H_
+#define ARDA_DISCOVERY_TUPLE_RATIO_H_
+
+#include <vector>
+
+#include "dataframe/data_frame.h"
+#include "discovery/candidate.h"
+#include "discovery/repository.h"
+
+namespace arda::discovery {
+
+/// The Tuple Ratio of Kumar et al. ("To join or not to join?", SIGMOD'16):
+/// nS / nR, where nS is the number of base-table training examples and nR
+/// the size of the foreign-key domain (distinct key combinations in the
+/// foreign table). Their VC-dimension analysis shows a foreign table is
+/// highly unlikely to help a classifier when the ratio exceeds a
+/// model-dependent threshold, because the key itself already carries all
+/// the information the join could add.
+double TupleRatio(const df::DataFrame& base, const df::DataFrame& foreign,
+                  const CandidateJoin& candidate);
+
+/// Result of applying the TR decision rule as a prefilter.
+struct TupleRatioFilterResult {
+  std::vector<CandidateJoin> kept;
+  std::vector<CandidateJoin> removed;
+};
+
+/// Keeps only candidates whose tuple ratio is at most `tau` (the paper's
+/// Table 4 experiment: prefilter tables before feature selection).
+/// Candidates referencing missing tables or key columns are removed.
+TupleRatioFilterResult FilterByTupleRatio(
+    const DataRepository& repo, const df::DataFrame& base,
+    const std::vector<CandidateJoin>& candidates, double tau);
+
+}  // namespace arda::discovery
+
+#endif  // ARDA_DISCOVERY_TUPLE_RATIO_H_

@@ -1,0 +1,185 @@
+#include "featsel/filter_rankers.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "la/matrix.h"
+#include "util/check.h"
+
+namespace arda::featsel {
+
+namespace {
+
+// Assigns each value to one of `bins` quantile buckets.
+std::vector<size_t> QuantileBin(const std::vector<double>& values,
+                                size_t bins) {
+  std::vector<double> sorted = values;
+  std::sort(sorted.begin(), sorted.end());
+  std::vector<double> edges;
+  edges.reserve(bins - 1);
+  for (size_t b = 1; b < bins; ++b) {
+    size_t idx = b * sorted.size() / bins;
+    edges.push_back(sorted[std::min(idx, sorted.size() - 1)]);
+  }
+  std::vector<size_t> out(values.size());
+  for (size_t i = 0; i < values.size(); ++i) {
+    out[i] = static_cast<size_t>(
+        std::upper_bound(edges.begin(), edges.end(), values[i]) -
+        edges.begin());
+  }
+  return out;
+}
+
+double MutualInformation(const std::vector<size_t>& a, size_t a_card,
+                         const std::vector<size_t>& b, size_t b_card) {
+  ARDA_CHECK_EQ(a.size(), b.size());
+  const double n = static_cast<double>(a.size());
+  if (a.empty()) return 0.0;
+  std::vector<double> pa(a_card, 0.0), pb(b_card, 0.0);
+  std::vector<double> joint(a_card * b_card, 0.0);
+  for (size_t i = 0; i < a.size(); ++i) {
+    pa[a[i]] += 1.0;
+    pb[b[i]] += 1.0;
+    joint[a[i] * b_card + b[i]] += 1.0;
+  }
+  double mi = 0.0;
+  for (size_t i = 0; i < a_card; ++i) {
+    for (size_t j = 0; j < b_card; ++j) {
+      double pij = joint[i * b_card + j] / n;
+      if (pij <= 0.0) continue;
+      mi += pij * std::log(pij * n * n / (pa[i] * pb[j]));
+    }
+  }
+  return std::max(0.0, mi);
+}
+
+}  // namespace
+
+std::vector<double> PearsonRanker::Rank(const ml::Dataset& data,
+                                        Rng* rng) const {
+  (void)rng;
+  std::vector<double> scores(data.NumFeatures());
+  for (size_t f = 0; f < data.NumFeatures(); ++f) {
+    scores[f] = std::fabs(la::PearsonCorrelation(data.x.Col(f), data.y));
+  }
+  return scores;
+}
+
+std::vector<double> FTestRanker::Rank(const ml::Dataset& data,
+                                      Rng* rng) const {
+  (void)rng;
+  const size_t n = data.NumRows();
+  std::vector<double> scores(data.NumFeatures(), 0.0);
+  if (data.task == ml::TaskType::kRegression) {
+    // F = r^2 / (1 - r^2) * (n - 2).
+    for (size_t f = 0; f < data.NumFeatures(); ++f) {
+      double r = la::PearsonCorrelation(data.x.Col(f), data.y);
+      double r2 = std::min(r * r, 1.0 - 1e-12);
+      scores[f] = r2 / (1.0 - r2) * static_cast<double>(n >= 2 ? n - 2 : 0);
+    }
+    return scores;
+  }
+  // One-way ANOVA per feature.
+  std::map<int, std::vector<size_t>> groups;
+  for (size_t i = 0; i < n; ++i) {
+    groups[static_cast<int>(std::lround(data.y[i]))].push_back(i);
+  }
+  const size_t k = groups.size();
+  if (k < 2 || n <= k) return scores;
+  for (size_t f = 0; f < data.NumFeatures(); ++f) {
+    std::vector<double> col = data.x.Col(f);
+    double grand_mean = la::Mean(col);
+    double ss_between = 0.0, ss_within = 0.0;
+    for (const auto& [label, rows] : groups) {
+      double group_mean = 0.0;
+      for (size_t r : rows) group_mean += col[r];
+      group_mean /= static_cast<double>(rows.size());
+      ss_between += static_cast<double>(rows.size()) *
+                    (group_mean - grand_mean) * (group_mean - grand_mean);
+      for (size_t r : rows) {
+        ss_within += (col[r] - group_mean) * (col[r] - group_mean);
+      }
+    }
+    double df_between = static_cast<double>(k - 1);
+    double df_within = static_cast<double>(n - k);
+    if (ss_within <= 1e-12) {
+      scores[f] = ss_between > 1e-12 ? 1e12 : 0.0;
+    } else {
+      scores[f] = (ss_between / df_between) / (ss_within / df_within);
+    }
+  }
+  return scores;
+}
+
+std::vector<double> MutualInfoRanker::Rank(const ml::Dataset& data,
+                                           Rng* rng) const {
+  (void)rng;
+  const size_t n = data.NumRows();
+  std::vector<double> scores(data.NumFeatures(), 0.0);
+  if (n == 0) return scores;
+
+  std::vector<size_t> target_bins;
+  size_t target_card;
+  if (data.task == ml::TaskType::kClassification) {
+    target_card = data.NumClasses();
+    target_bins.resize(n);
+    for (size_t i = 0; i < n; ++i) {
+      target_bins[i] = static_cast<size_t>(std::lround(data.y[i]));
+    }
+  } else {
+    target_card = std::min<size_t>(bins_, n);
+    target_bins = QuantileBin(data.y, target_card);
+  }
+
+  const size_t feature_card = std::min<size_t>(bins_, n);
+  for (size_t f = 0; f < data.NumFeatures(); ++f) {
+    std::vector<size_t> feature_bins =
+        QuantileBin(data.x.Col(f), feature_card);
+    scores[f] = MutualInformation(feature_bins, feature_card, target_bins,
+                                  target_card);
+  }
+  return scores;
+}
+
+std::vector<double> ChiSquaredRanker::Rank(const ml::Dataset& data,
+                                           Rng* rng) const {
+  (void)rng;
+  const size_t n = data.NumRows();
+  std::vector<double> scores(data.NumFeatures(), 0.0);
+  if (n == 0 || data.task != ml::TaskType::kClassification) return scores;
+
+  const size_t classes = data.NumClasses();
+  std::vector<size_t> labels(n);
+  std::vector<double> class_totals(classes, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    labels[i] = static_cast<size_t>(std::lround(data.y[i]));
+    class_totals[labels[i]] += 1.0;
+  }
+
+  const size_t bins = std::min<size_t>(bins_, n);
+  for (size_t f = 0; f < data.NumFeatures(); ++f) {
+    std::vector<size_t> feature_bins = QuantileBin(data.x.Col(f), bins);
+    std::vector<double> observed(bins * classes, 0.0);
+    std::vector<double> bin_totals(bins, 0.0);
+    for (size_t i = 0; i < n; ++i) {
+      observed[feature_bins[i] * classes + labels[i]] += 1.0;
+      bin_totals[feature_bins[i]] += 1.0;
+    }
+    double chi2 = 0.0;
+    for (size_t b = 0; b < bins; ++b) {
+      if (bin_totals[b] <= 0.0) continue;
+      for (size_t c = 0; c < classes; ++c) {
+        double expected =
+            bin_totals[b] * class_totals[c] / static_cast<double>(n);
+        if (expected <= 1e-12) continue;
+        double diff = observed[b * classes + c] - expected;
+        chi2 += diff * diff / expected;
+      }
+    }
+    scores[f] = chi2;
+  }
+  return scores;
+}
+
+}  // namespace arda::featsel

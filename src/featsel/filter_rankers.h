@@ -1,0 +1,55 @@
+#ifndef ARDA_FEATSEL_FILTER_RANKERS_H_
+#define ARDA_FEATSEL_FILTER_RANKERS_H_
+
+#include "featsel/ranker.h"
+
+namespace arda::featsel {
+
+/// |Pearson correlation| between each feature and the target.
+class PearsonRanker : public FeatureRanker {
+ public:
+  std::string name() const override { return "pearson"; }
+  std::vector<double> Rank(const ml::Dataset& data, Rng* rng) const override;
+};
+
+/// Univariate F statistic: one-way ANOVA across classes for
+/// classification, the regression F statistic derived from the Pearson
+/// correlation for regression (sklearn's f_classif / f_regression).
+class FTestRanker : public FeatureRanker {
+ public:
+  std::string name() const override { return "f_test"; }
+  std::vector<double> Rank(const ml::Dataset& data, Rng* rng) const override;
+};
+
+/// Histogram-estimated mutual information between each feature and the
+/// target. Features are quantile-binned; regression targets are binned
+/// the same way, classification labels are used directly.
+class MutualInfoRanker : public FeatureRanker {
+ public:
+  explicit MutualInfoRanker(size_t bins = 10) : bins_(bins) {}
+  std::string name() const override { return "mutual_info"; }
+  std::vector<double> Rank(const ml::Dataset& data, Rng* rng) const override;
+
+ private:
+  size_t bins_;
+};
+
+/// Chi-squared independence statistic between the quantile-binned feature
+/// and the class label (classification only; one of the classic filter
+/// statistics the paper lists in Section 5).
+class ChiSquaredRanker : public FeatureRanker {
+ public:
+  explicit ChiSquaredRanker(size_t bins = 10) : bins_(bins) {}
+  std::string name() const override { return "chi_squared"; }
+  bool SupportsTask(ml::TaskType task) const override {
+    return task == ml::TaskType::kClassification;
+  }
+  std::vector<double> Rank(const ml::Dataset& data, Rng* rng) const override;
+
+ private:
+  size_t bins_;
+};
+
+}  // namespace arda::featsel
+
+#endif  // ARDA_FEATSEL_FILTER_RANKERS_H_

@@ -1,0 +1,31 @@
+#include "featsel/ranker.h"
+
+#include <algorithm>
+
+namespace arda::featsel {
+
+std::vector<size_t> DescendingOrder(const std::vector<double>& scores) {
+  std::vector<size_t> order(scores.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return scores[a] > scores[b];
+  });
+  return order;
+}
+
+std::vector<double> MinMaxNormalize(const std::vector<double>& scores) {
+  if (scores.empty()) return {};
+  auto [lo_it, hi_it] = std::minmax_element(scores.begin(), scores.end());
+  double lo = *lo_it, hi = *hi_it;
+  std::vector<double> out(scores.size());
+  if (hi - lo <= 1e-300) {
+    std::fill(out.begin(), out.end(), 0.5);
+    return out;
+  }
+  for (size_t i = 0; i < scores.size(); ++i) {
+    out[i] = (scores[i] - lo) / (hi - lo);
+  }
+  return out;
+}
+
+}  // namespace arda::featsel

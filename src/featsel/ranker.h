@@ -1,0 +1,45 @@
+#ifndef ARDA_FEATSEL_RANKER_H_
+#define ARDA_FEATSEL_RANKER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ml/dataset.h"
+#include "util/rng.h"
+
+namespace arda::featsel {
+
+/// Produces a relevance score per feature (higher = more relevant).
+/// Rankers are the building blocks of every ranking-based selector and of
+/// the RIFS ensemble.
+class FeatureRanker {
+ public:
+  virtual ~FeatureRanker() = default;
+
+  /// Short identifier ("random_forest", "f_test", ...).
+  virtual std::string name() const = 0;
+
+  /// Scores each feature of `data`. Scores are only meaningful relative
+  /// to one another within a single call.
+  virtual std::vector<double> Rank(const ml::Dataset& data,
+                                   Rng* rng) const = 0;
+
+  /// Whether the ranker supports the task (e.g. Lasso is
+  /// regression-only, logistic regression classification-only).
+  virtual bool SupportsTask(ml::TaskType task) const {
+    (void)task;
+    return true;
+  }
+};
+
+/// Indices of `scores` sorted by descending score (stable: ties keep the
+/// original feature order).
+std::vector<size_t> DescendingOrder(const std::vector<double>& scores);
+
+/// Min-max normalizes scores into [0, 1]; constant vectors map to all 0.5.
+std::vector<double> MinMaxNormalize(const std::vector<double>& scores);
+
+}  // namespace arda::featsel
+
+#endif  // ARDA_FEATSEL_RANKER_H_

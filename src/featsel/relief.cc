@@ -1,0 +1,146 @@
+#include "featsel/relief.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "util/check.h"
+
+namespace arda::featsel {
+
+namespace {
+
+// Min-max normalizes every column into [0, 1] (constant columns -> 0).
+la::Matrix NormalizeFeatures(const la::Matrix& x) {
+  la::Matrix out(x.rows(), x.cols());
+  for (size_t c = 0; c < x.cols(); ++c) {
+    double lo = 1e300, hi = -1e300;
+    for (size_t r = 0; r < x.rows(); ++r) {
+      lo = std::min(lo, x(r, c));
+      hi = std::max(hi, x(r, c));
+    }
+    double span = hi - lo;
+    for (size_t r = 0; r < x.rows(); ++r) {
+      out(r, c) = span > 1e-12 ? (x(r, c) - lo) / span : 0.0;
+    }
+  }
+  return out;
+}
+
+// Indices of the k nearest rows to `query` among `candidates` (excluding
+// `query` itself), by L1 distance on the normalized matrix.
+std::vector<size_t> NearestNeighbors(const la::Matrix& x, size_t query,
+                                     const std::vector<size_t>& candidates,
+                                     size_t k) {
+  std::vector<std::pair<double, size_t>> distances;
+  distances.reserve(candidates.size());
+  const double* q = x.RowPtr(query);
+  for (size_t cand : candidates) {
+    if (cand == query) continue;
+    const double* row = x.RowPtr(cand);
+    double dist = 0.0;
+    for (size_t c = 0; c < x.cols(); ++c) dist += std::fabs(q[c] - row[c]);
+    distances.emplace_back(dist, cand);
+  }
+  size_t keep = std::min(k, distances.size());
+  std::partial_sort(distances.begin(), distances.begin() + keep,
+                    distances.end());
+  std::vector<size_t> out;
+  out.reserve(keep);
+  for (size_t i = 0; i < keep; ++i) out.push_back(distances[i].second);
+  return out;
+}
+
+}  // namespace
+
+std::vector<double> ReliefRanker::Rank(const ml::Dataset& data,
+                                       Rng* rng) const {
+  const size_t n = data.NumRows();
+  const size_t d = data.NumFeatures();
+  std::vector<double> weights(d, 0.0);
+  if (n < 3 || d == 0) return weights;
+
+  la::Matrix x = NormalizeFeatures(data.x);
+  size_t m = config_.num_samples == 0 ? n : std::min(config_.num_samples, n);
+  std::vector<size_t> sampled = rng->SampleWithoutReplacement(n, m);
+  const size_t k = std::max<size_t>(1, config_.num_neighbors);
+
+  if (data.task == ml::TaskType::kClassification) {
+    // ReliefF with class-prior weighting of misses.
+    std::map<int, std::vector<size_t>> by_label;
+    for (size_t i = 0; i < n; ++i) {
+      by_label[static_cast<int>(std::lround(data.y[i]))].push_back(i);
+    }
+    std::map<int, double> prior;
+    for (const auto& [label, rows] : by_label) {
+      prior[label] = static_cast<double>(rows.size()) /
+                     static_cast<double>(n);
+    }
+    for (size_t query : sampled) {
+      int label = static_cast<int>(std::lround(data.y[query]));
+      const double* q = x.RowPtr(query);
+      // Nearest hits.
+      std::vector<size_t> hits =
+          NearestNeighbors(x, query, by_label[label], k);
+      for (size_t hit : hits) {
+        const double* row = x.RowPtr(hit);
+        for (size_t c = 0; c < d; ++c) {
+          weights[c] -= std::fabs(q[c] - row[c]) /
+                        (static_cast<double>(m) *
+                         static_cast<double>(hits.size()));
+        }
+      }
+      // Nearest misses from each other class, prior-weighted.
+      for (const auto& [other, rows] : by_label) {
+        if (other == label) continue;
+        std::vector<size_t> misses = NearestNeighbors(x, query, rows, k);
+        if (misses.empty()) continue;
+        double scale = prior[other] / (1.0 - prior[label]);
+        for (size_t miss : misses) {
+          const double* row = x.RowPtr(miss);
+          for (size_t c = 0; c < d; ++c) {
+            weights[c] += scale * std::fabs(q[c] - row[c]) /
+                          (static_cast<double>(m) *
+                           static_cast<double>(misses.size()));
+          }
+        }
+      }
+    }
+    return weights;
+  }
+
+  // RReliefF for regression.
+  double y_lo = *std::min_element(data.y.begin(), data.y.end());
+  double y_hi = *std::max_element(data.y.begin(), data.y.end());
+  double y_span = std::max(1e-12, y_hi - y_lo);
+  std::vector<size_t> all_rows(n);
+  for (size_t i = 0; i < n; ++i) all_rows[i] = i;
+
+  double n_dc = 0.0;                    // P(different target)
+  std::vector<double> n_df(d, 0.0);     // P(different feature)
+  std::vector<double> n_dc_df(d, 0.0);  // P(diff target & diff feature)
+  double total_pairs = 0.0;
+  for (size_t query : sampled) {
+    const double* q = x.RowPtr(query);
+    std::vector<size_t> neighbors = NearestNeighbors(x, query, all_rows, k);
+    for (size_t nb : neighbors) {
+      const double* row = x.RowPtr(nb);
+      double target_diff = std::fabs(data.y[query] - data.y[nb]) / y_span;
+      n_dc += target_diff;
+      total_pairs += 1.0;
+      for (size_t c = 0; c < d; ++c) {
+        double feature_diff = std::fabs(q[c] - row[c]);
+        n_df[c] += feature_diff;
+        n_dc_df[c] += target_diff * feature_diff;
+      }
+    }
+  }
+  if (n_dc <= 1e-12 || total_pairs - n_dc <= 1e-12) return weights;
+  for (size_t c = 0; c < d; ++c) {
+    weights[c] =
+        n_dc_df[c] / n_dc - (n_df[c] - n_dc_df[c]) / (total_pairs - n_dc);
+  }
+  return weights;
+}
+
+}  // namespace arda::featsel

@@ -1,0 +1,36 @@
+#ifndef ARDA_FEATSEL_RELIEF_H_
+#define ARDA_FEATSEL_RELIEF_H_
+
+#include "featsel/ranker.h"
+
+namespace arda::featsel {
+
+/// Configuration for the Relief family.
+struct ReliefConfig {
+  /// Instances sampled for weight updates (m); 0 means all rows, capped.
+  size_t num_samples = 150;
+  /// Nearest hits/misses considered per instance (k).
+  size_t num_neighbors = 5;
+};
+
+/// ReliefF (classification) / RReliefF (regression) feature weighting:
+/// features that separate nearest neighbors of different labels (or
+/// different target values) score high; features that vary among nearest
+/// same-label neighbors score low. Distances are computed on min-max
+/// normalized features, the standard Relief convention. As the paper
+/// notes (Section 5), Relief's reliance on nearest neighbors in the
+/// original feature space makes it fragile under heavy noise — visible in
+/// the micro-benchmarks.
+class ReliefRanker : public FeatureRanker {
+ public:
+  explicit ReliefRanker(const ReliefConfig& config = {}) : config_(config) {}
+  std::string name() const override { return "relief"; }
+  std::vector<double> Rank(const ml::Dataset& data, Rng* rng) const override;
+
+ private:
+  ReliefConfig config_;
+};
+
+}  // namespace arda::featsel
+
+#endif  // ARDA_FEATSEL_RELIEF_H_

@@ -1,0 +1,80 @@
+#include "featsel/search.h"
+
+#include <algorithm>
+
+#include "featsel/ranker.h"
+#include "util/check.h"
+
+namespace arda::featsel {
+
+namespace {
+
+// Evaluates the top-`count` prefix of `order`, updating the best result.
+double EvaluatePrefix(const std::vector<size_t>& order, size_t count,
+                      const ml::Evaluator& evaluator, SearchResult* best) {
+  std::vector<size_t> subset(order.begin(),
+                             order.begin() + static_cast<ptrdiff_t>(count));
+  double score = evaluator.ScoreFeatures(subset);
+  ++best->evaluations;
+  if (score > best->score) {
+    best->score = score;
+    best->selected = std::move(subset);
+  }
+  return score;
+}
+
+}  // namespace
+
+SearchResult ExponentialSearchSelect(const std::vector<double>& ranking,
+                                     const ml::Evaluator& evaluator) {
+  SearchResult best;
+  const size_t d = ranking.size();
+  ARDA_CHECK_GT(d, 0u);
+  std::vector<size_t> order = DescendingOrder(ranking);
+
+  // Doubling phase: 2, 4, 8, ... until the score decreases.
+  size_t prev_count = 0;
+  double prev_score = -1e300;
+  size_t count = std::min<size_t>(2, d);
+  for (;;) {
+    double score = EvaluatePrefix(order, count, evaluator, &best);
+    if (score < prev_score || count == d) {
+      if (score >= prev_score) prev_count = count;  // monotone to the end
+      break;
+    }
+    prev_score = score;
+    prev_count = count;
+    count = std::min(count * 2, d);
+  }
+
+  // Binary search inside (prev_count, count) for the turning point.
+  size_t lo = prev_count;
+  size_t hi = count;
+  while (hi - lo > 1) {
+    size_t mid = lo + (hi - lo) / 2;
+    double mid_score = EvaluatePrefix(order, mid, evaluator, &best);
+    if (mid_score >= prev_score) {
+      prev_score = mid_score;
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return best;
+}
+
+SearchResult LinearPrefixSearchSelect(const std::vector<double>& ranking,
+                                      const ml::Evaluator& evaluator,
+                                      size_t max_prefix) {
+  SearchResult best;
+  const size_t d = ranking.size();
+  ARDA_CHECK_GT(d, 0u);
+  std::vector<size_t> order = DescendingOrder(ranking);
+  size_t limit = max_prefix == 0 ? d : std::min(max_prefix, d);
+  for (size_t count = 1; count <= limit; ++count) {
+    EvaluatePrefix(order, count, evaluator, &best);
+  }
+  return best;
+}
+
+}  // namespace arda::featsel

@@ -1,0 +1,39 @@
+#ifndef ARDA_FEATSEL_SEARCH_H_
+#define ARDA_FEATSEL_SEARCH_H_
+
+#include <vector>
+
+#include "ml/evaluator.h"
+
+namespace arda::featsel {
+
+/// Result of a subset search over a feature ranking.
+struct SearchResult {
+  /// Selected feature indices (into the evaluated dataset).
+  std::vector<size_t> selected;
+  /// Holdout score of the selected subset.
+  double score = -1e300;
+  /// Number of model trainings performed.
+  size_t evaluations = 0;
+};
+
+/// The paper's modified exponential search (Section 6.3, after Bentley &
+/// Yao): order features by descending score, test prefixes of size 2, 4,
+/// 8, ... until the holdout score first decreases at 2^k, then binary
+/// search between 2^(k-1) and 2^k. Returns the best prefix seen anywhere
+/// during the search (rankings are not perfectly monotone in practice).
+SearchResult ExponentialSearchSelect(const std::vector<double>& ranking,
+                                     const ml::Evaluator& evaluator);
+
+/// Linear prefix search over a ranking (the "forward selection over a
+/// ranking" strategy the paper contrasts with exponential search): tests
+/// every prefix of the ranking up to `max_prefix` (0 = all) and returns
+/// the best. Trains the model once per prefix — expensive, as the paper
+/// observes.
+SearchResult LinearPrefixSearchSelect(const std::vector<double>& ranking,
+                                      const ml::Evaluator& evaluator,
+                                      size_t max_prefix = 0);
+
+}  // namespace arda::featsel
+
+#endif  // ARDA_FEATSEL_SEARCH_H_

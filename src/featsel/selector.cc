@@ -1,0 +1,202 @@
+#include "featsel/selector.h"
+
+#include <utility>
+
+#include "featsel/filter_rankers.h"
+#include "featsel/model_rankers.h"
+#include "featsel/relief.h"
+#include "featsel/wrappers.h"
+#include "util/timer.h"
+
+namespace arda::featsel {
+
+namespace {
+
+// Ranking method + exponential search.
+class RankingSelector : public FeatureSelector {
+ public:
+  explicit RankingSelector(std::unique_ptr<FeatureRanker> ranker)
+      : ranker_(std::move(ranker)) {}
+
+  std::string name() const override { return ranker_->name(); }
+  bool SupportsTask(ml::TaskType task) const override {
+    return ranker_->SupportsTask(task);
+  }
+
+  SelectionResult Select(const ml::Dataset& data,
+                         const ml::Evaluator& evaluator,
+                         Rng* rng) const override {
+    Stopwatch watch;
+    std::vector<double> scores = ranker_->Rank(data, rng);
+    SearchResult search = ExponentialSearchSelect(scores, evaluator);
+    SelectionResult result;
+    result.method = name();
+    result.selected = std::move(search.selected);
+    result.score = search.score;
+    result.evaluations = search.evaluations;
+    result.seconds = watch.ElapsedSeconds();
+    return result;
+  }
+
+ private:
+  std::unique_ptr<FeatureRanker> ranker_;
+};
+
+class AllFeaturesSelector : public FeatureSelector {
+ public:
+  std::string name() const override { return "all_features"; }
+  SelectionResult Select(const ml::Dataset& data,
+                         const ml::Evaluator& evaluator,
+                         Rng* rng) const override {
+    (void)rng;
+    SelectionResult result;
+    result.method = name();
+    result.selected = ml::AllFeatureIndices(data.NumFeatures());
+    result.score = evaluator.ScoreFeatures(result.selected);
+    result.evaluations = 1;
+    result.seconds = 0.0;  // no selection work, matching the paper's plots
+    return result;
+  }
+};
+
+class RifsSelector : public FeatureSelector {
+ public:
+  RifsSelector(const RifsConfig& config, std::string name)
+      : config_(config), name_(std::move(name)) {}
+
+  std::string name() const override { return name_; }
+  SelectionResult Select(const ml::Dataset& data,
+                         const ml::Evaluator& evaluator,
+                         Rng* rng) const override {
+    Stopwatch watch;
+    RifsResult rifs = RunRifs(data, evaluator, config_, rng);
+    SelectionResult result;
+    result.method = name_;
+    result.selected = std::move(rifs.selected);
+    result.score = rifs.score;
+    result.evaluations = rifs.evaluations;
+    result.seconds = watch.ElapsedSeconds();
+    return result;
+  }
+
+ private:
+  RifsConfig config_;
+  std::string name_;
+};
+
+enum class WrapperKind { kForward, kBackward, kRfe };
+
+class WrapperSelector : public FeatureSelector {
+ public:
+  WrapperSelector(WrapperKind kind, std::string name)
+      : kind_(kind), name_(std::move(name)) {}
+
+  std::string name() const override { return name_; }
+  SelectionResult Select(const ml::Dataset& data,
+                         const ml::Evaluator& evaluator,
+                         Rng* rng) const override {
+    Stopwatch watch;
+    SearchResult search;
+    switch (kind_) {
+      case WrapperKind::kForward:
+        search = ForwardSelection(data, evaluator, rng);
+        break;
+      case WrapperKind::kBackward:
+        search = BackwardElimination(data, evaluator, rng);
+        break;
+      case WrapperKind::kRfe:
+        search = RecursiveFeatureElimination(data, evaluator, rng);
+        break;
+    }
+    SelectionResult result;
+    result.method = name_;
+    result.selected = std::move(search.selected);
+    result.score = search.score;
+    result.evaluations = search.evaluations;
+    result.seconds = watch.ElapsedSeconds();
+    return result;
+  }
+
+ private:
+  WrapperKind kind_;
+  std::string name_;
+};
+
+}  // namespace
+
+std::unique_ptr<FeatureSelector> MakeSelector(const std::string& name) {
+  if (name == "rifs") return MakeRifsSelector(RifsConfig{});
+  if (name == "all_features") return std::make_unique<AllFeaturesSelector>();
+  if (name == "forward_selection") {
+    return std::make_unique<WrapperSelector>(WrapperKind::kForward, name);
+  }
+  if (name == "backward_selection") {
+    return std::make_unique<WrapperSelector>(WrapperKind::kBackward, name);
+  }
+  if (name == "rfe") {
+    return std::make_unique<WrapperSelector>(WrapperKind::kRfe, name);
+  }
+  if (name == "random_forest") {
+    return std::make_unique<RankingSelector>(
+        std::make_unique<RandomForestRanker>());
+  }
+  if (name == "sparse_regression") {
+    return std::make_unique<RankingSelector>(
+        std::make_unique<SparseRegressionRanker>());
+  }
+  if (name == "mutual_info") {
+    return std::make_unique<RankingSelector>(
+        std::make_unique<MutualInfoRanker>());
+  }
+  if (name == "chi_squared") {
+    return std::make_unique<RankingSelector>(
+        std::make_unique<ChiSquaredRanker>());
+  }
+  if (name == "f_test") {
+    return std::make_unique<RankingSelector>(std::make_unique<FTestRanker>());
+  }
+  if (name == "pearson") {
+    return std::make_unique<RankingSelector>(
+        std::make_unique<PearsonRanker>());
+  }
+  if (name == "lasso") {
+    return std::make_unique<RankingSelector>(std::make_unique<LassoRanker>());
+  }
+  if (name == "relief") {
+    return std::make_unique<RankingSelector>(
+        std::make_unique<ReliefRanker>());
+  }
+  if (name == "linear_svc") {
+    return std::make_unique<RankingSelector>(
+        std::make_unique<LinearSvcRanker>());
+  }
+  if (name == "logistic_reg") {
+    return std::make_unique<RankingSelector>(
+        std::make_unique<LogisticRanker>());
+  }
+  return nullptr;
+}
+
+std::unique_ptr<FeatureSelector> MakeRifsSelector(const RifsConfig& config,
+                                                  std::string name) {
+  return std::make_unique<RifsSelector>(config, std::move(name));
+}
+
+std::vector<std::string> PaperSelectorNames(ml::TaskType task) {
+  std::vector<std::string> names = {
+      "rifs",      "backward_selection", "forward_selection",
+      "rfe",       "sparse_regression",  "random_forest",
+      "f_test",    "lasso",              "mutual_info",
+      "relief",    "linear_svc",         "logistic_reg",
+  };
+  std::vector<std::string> applicable;
+  for (const std::string& name : names) {
+    std::unique_ptr<FeatureSelector> selector = MakeSelector(name);
+    if (selector != nullptr && selector->SupportsTask(task)) {
+      applicable.push_back(name);
+    }
+  }
+  return applicable;
+}
+
+}  // namespace arda::featsel

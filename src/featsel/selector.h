@@ -1,0 +1,63 @@
+#ifndef ARDA_FEATSEL_SELECTOR_H_
+#define ARDA_FEATSEL_SELECTOR_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "featsel/rifs.h"
+#include "featsel/search.h"
+#include "ml/evaluator.h"
+
+namespace arda::featsel {
+
+/// Outcome of one feature-selection run, with the timing the paper
+/// reports per method.
+struct SelectionResult {
+  std::string method;
+  std::vector<size_t> selected;
+  /// Holdout score of the selection under the fixed default estimator.
+  double score = -1e300;
+  /// Wall-clock seconds spent selecting (0 for "all features").
+  double seconds = 0.0;
+  /// Model trainings performed.
+  size_t evaluations = 0;
+};
+
+/// Uniform interface over every feature-selection method the paper
+/// benchmarks, so experiment harnesses can iterate a name list.
+class FeatureSelector {
+ public:
+  virtual ~FeatureSelector() = default;
+  virtual std::string name() const = 0;
+  virtual bool SupportsTask(ml::TaskType task) const {
+    (void)task;
+    return true;
+  }
+  /// Runs selection, timing it. `data` must match the evaluator's
+  /// feature space.
+  virtual SelectionResult Select(const ml::Dataset& data,
+                                 const ml::Evaluator& evaluator,
+                                 Rng* rng) const = 0;
+};
+
+/// Creates a selector by its paper name:
+///   "rifs", "all_features", "forward_selection", "backward_selection",
+///   "rfe", "random_forest", "sparse_regression", "mutual_info", "f_test",
+///   "pearson", "lasso", "relief", "linear_svc", "logistic_reg".
+/// Ranking methods use the paper's exponential search over their ranking.
+/// Returns nullptr for unknown names.
+std::unique_ptr<FeatureSelector> MakeSelector(const std::string& name);
+
+/// Creates a RIFS selector with an explicit configuration (used by the
+/// ablation benches).
+std::unique_ptr<FeatureSelector> MakeRifsSelector(const RifsConfig& config,
+                                                  std::string name = "rifs");
+
+/// The selector names benchmarked in the paper's Table 1, in its row
+/// order, filtered to those applicable to `task`.
+std::vector<std::string> PaperSelectorNames(ml::TaskType task);
+
+}  // namespace arda::featsel
+
+#endif  // ARDA_FEATSEL_SELECTOR_H_

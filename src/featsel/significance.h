@@ -1,0 +1,49 @@
+#ifndef ARDA_FEATSEL_SIGNIFICANCE_H_
+#define ARDA_FEATSEL_SIGNIFICANCE_H_
+
+#include <vector>
+
+#include "ml/dataset.h"
+#include "util/rng.h"
+
+namespace arda::featsel {
+
+/// Options for the augmentation significance test.
+struct SignificanceOptions {
+  /// Independent train/holdout resplits to measure the improvement on.
+  size_t num_splits = 12;
+  /// Sign-flip permutations of the per-split deltas.
+  size_t num_permutations = 2000;
+  double test_fraction = 0.25;
+  uint64_t seed = 97;
+};
+
+/// Result of the significance test.
+struct SignificanceResult {
+  /// Mean over splits of (augmented score - base score); scores are
+  /// higher-is-better (accuracy or -MAE).
+  double mean_improvement = 0.0;
+  /// Per-split improvements (length = num_splits).
+  std::vector<double> split_improvements;
+  /// One-sided p-value of H0 "the augmentation does not improve the
+  /// score" under a sign-flip permutation test on the per-split deltas.
+  double p_value = 1.0;
+
+  bool SignificantAt(double alpha = 0.05) const { return p_value < alpha; }
+};
+
+/// Statistical significance test for augmented features (the paper's
+/// future-work item "statistical significance tests for augmented
+/// features"). Both datasets must have identical rows and targets; the
+/// augmented one carries extra feature columns. For each of k random
+/// (shared) train/holdout splits, the default estimator is trained on
+/// both feature sets and the holdout score difference recorded; a
+/// sign-flip permutation test then asks how often random sign assignments
+/// of those deltas produce a mean at least as large as observed.
+SignificanceResult TestAugmentationSignificance(
+    const ml::Dataset& base, const ml::Dataset& augmented,
+    const SignificanceOptions& options = {});
+
+}  // namespace arda::featsel
+
+#endif  // ARDA_FEATSEL_SIGNIFICANCE_H_

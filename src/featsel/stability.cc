@@ -1,0 +1,65 @@
+#include "featsel/stability.h"
+
+#include <algorithm>
+#include <set>
+
+#include "util/check.h"
+
+namespace arda::featsel {
+
+double SelectionJaccard(const std::vector<size_t>& a,
+                        const std::vector<size_t>& b) {
+  if (a.empty() && b.empty()) return 1.0;
+  std::set<size_t> sa(a.begin(), a.end());
+  std::set<size_t> sb(b.begin(), b.end());
+  size_t intersection = 0;
+  for (size_t v : sb) intersection += sa.count(v);
+  size_t unions = sa.size() + sb.size() - intersection;
+  return unions == 0 ? 1.0
+                     : static_cast<double>(intersection) /
+                           static_cast<double>(unions);
+}
+
+StabilityResult AnalyzeSelectionStability(const ml::Dataset& data,
+                                          const FeatureSelector& selector,
+                                          const StabilityOptions& options) {
+  ARDA_CHECK_GE(options.num_bootstraps, 2u);
+  ARDA_CHECK_GT(options.sample_fraction, 0.0);
+  Rng rng(options.seed);
+  const size_t n = data.NumRows();
+  const size_t sample_size = std::max<size_t>(
+      4, static_cast<size_t>(options.sample_fraction *
+                             static_cast<double>(n)));
+
+  StabilityResult result;
+  result.selection_frequency.assign(data.NumFeatures(), 0.0);
+  for (size_t b = 0; b < options.num_bootstraps; ++b) {
+    std::vector<size_t> rows = rng.SampleWithReplacement(n, sample_size);
+    ml::Dataset sample = data.SelectRows(rows);
+    ml::Evaluator evaluator(sample, options.test_fraction,
+                            options.seed + b);
+    Rng selector_rng = rng.Fork();
+    SelectionResult selection =
+        selector.Select(sample, evaluator, &selector_rng);
+    for (size_t f : selection.selected) {
+      result.selection_frequency[f] += 1.0;
+    }
+    result.selections.push_back(std::move(selection.selected));
+  }
+  for (double& freq : result.selection_frequency) {
+    freq /= static_cast<double>(options.num_bootstraps);
+  }
+
+  double total = 0.0;
+  size_t pairs = 0;
+  for (size_t i = 0; i < result.selections.size(); ++i) {
+    for (size_t j = i + 1; j < result.selections.size(); ++j) {
+      total += SelectionJaccard(result.selections[i], result.selections[j]);
+      ++pairs;
+    }
+  }
+  result.mean_jaccard = pairs == 0 ? 1.0 : total / static_cast<double>(pairs);
+  return result;
+}
+
+}  // namespace arda::featsel

@@ -1,0 +1,48 @@
+#ifndef ARDA_FEATSEL_STABILITY_H_
+#define ARDA_FEATSEL_STABILITY_H_
+
+#include <vector>
+
+#include "featsel/selector.h"
+#include "ml/dataset.h"
+#include "util/rng.h"
+
+namespace arda::featsel {
+
+/// Options for selection-stability analysis.
+struct StabilityOptions {
+  /// Bootstrap resamples to run the selector on.
+  size_t num_bootstraps = 8;
+  /// Bootstrap size as a fraction of n (sampled with replacement).
+  double sample_fraction = 0.8;
+  double test_fraction = 0.25;
+  uint64_t seed = 131;
+};
+
+/// Result of a stability analysis.
+struct StabilityResult {
+  /// Mean pairwise Jaccard similarity of the selected sets across
+  /// bootstraps — 1.0 means the selector always picks the same features.
+  double mean_jaccard = 0.0;
+  /// Fraction of bootstraps in which each feature was selected.
+  std::vector<double> selection_frequency;
+  /// Selected sets per bootstrap.
+  std::vector<std::vector<size_t>> selections;
+};
+
+/// Measures how stable a feature selector's output is under bootstrap
+/// perturbation of the rows — a standard robustness diagnostic for
+/// selection methods (unstable selections are a red flag even when
+/// accuracy looks fine). The selector runs once per bootstrap with its
+/// own evaluator on the resampled rows.
+StabilityResult AnalyzeSelectionStability(
+    const ml::Dataset& data, const FeatureSelector& selector,
+    const StabilityOptions& options = {});
+
+/// Jaccard similarity of two index sets (inputs need not be sorted).
+double SelectionJaccard(const std::vector<size_t>& a,
+                        const std::vector<size_t>& b);
+
+}  // namespace arda::featsel
+
+#endif  // ARDA_FEATSEL_STABILITY_H_

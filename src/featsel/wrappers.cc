@@ -1,0 +1,125 @@
+#include "featsel/wrappers.h"
+
+#include <algorithm>
+
+#include "featsel/model_rankers.h"
+#include "util/check.h"
+
+namespace arda::featsel {
+
+namespace {
+
+bool Budget(const WrapperConfig& config, size_t used) {
+  return config.max_evaluations == 0 || used < config.max_evaluations;
+}
+
+}  // namespace
+
+SearchResult ForwardSelection(const ml::Dataset& data,
+                              const ml::Evaluator& evaluator, Rng* rng,
+                              const WrapperConfig& config) {
+  ARDA_CHECK_GT(data.NumFeatures(), 0u);
+  RandomForestRanker ranker;
+  std::vector<size_t> order = DescendingOrder(ranker.Rank(data, rng));
+
+  SearchResult result;
+  std::vector<size_t> current;
+  double current_score = -1e300;
+  for (size_t f : order) {
+    if (!Budget(config, result.evaluations)) break;
+    current.push_back(f);
+    double score = evaluator.ScoreFeatures(current);
+    ++result.evaluations;
+    if (score >= current_score || current.size() == 1) {
+      current_score = score;
+    } else {
+      current.pop_back();  // the candidate hurt; drop it
+    }
+    if (current_score > result.score) {
+      result.score = current_score;
+      result.selected = current;
+    }
+  }
+  return result;
+}
+
+SearchResult BackwardElimination(const ml::Dataset& data,
+                                 const ml::Evaluator& evaluator, Rng* rng,
+                                 const WrapperConfig& config) {
+  ARDA_CHECK_GT(data.NumFeatures(), 0u);
+  RandomForestRanker ranker;
+  std::vector<size_t> order = DescendingOrder(ranker.Rank(data, rng));
+  std::reverse(order.begin(), order.end());  // worst first
+
+  SearchResult result;
+  std::vector<size_t> current =
+      ml::AllFeatureIndices(data.NumFeatures());
+  double current_score = evaluator.ScoreFeatures(current);
+  ++result.evaluations;
+  result.score = current_score;
+  result.selected = current;
+
+  for (size_t f : order) {
+    if (current.size() <= 1) break;
+    if (!Budget(config, result.evaluations)) break;
+    std::vector<size_t> without;
+    without.reserve(current.size() - 1);
+    for (size_t g : current) {
+      if (g != f) without.push_back(g);
+    }
+    double score = evaluator.ScoreFeatures(without);
+    ++result.evaluations;
+    if (score >= current_score) {
+      current = std::move(without);
+      current_score = score;
+      // Ties prefer the smaller set: elimination is the point.
+      if (current_score >= result.score) {
+        result.score = current_score;
+        result.selected = current;
+      }
+    }
+  }
+  return result;
+}
+
+SearchResult RecursiveFeatureElimination(const ml::Dataset& data,
+                                         const ml::Evaluator& evaluator,
+                                         Rng* rng, double drop_fraction,
+                                         const WrapperConfig& config) {
+  ARDA_CHECK_GT(data.NumFeatures(), 0u);
+  ARDA_CHECK_GT(drop_fraction, 0.0);
+  ARDA_CHECK_LT(drop_fraction, 1.0);
+  RandomForestRanker ranker;
+
+  SearchResult result;
+  std::vector<size_t> current =
+      ml::AllFeatureIndices(data.NumFeatures());
+  while (!current.empty()) {
+    double score = evaluator.ScoreFeatures(current);
+    ++result.evaluations;
+    if (score > result.score) {
+      result.score = score;
+      result.selected = current;
+    }
+    if (current.size() <= 2 || !Budget(config, result.evaluations)) break;
+    // Re-rank the surviving features and drop the weakest tail.
+    ml::Dataset sub = data.SelectFeatures(current);
+    std::vector<size_t> order = DescendingOrder(ranker.Rank(sub, rng));
+    size_t keep = current.size() -
+                  std::max<size_t>(1, static_cast<size_t>(
+                                          drop_fraction *
+                                          static_cast<double>(current.size())));
+    keep = std::max<size_t>(keep, 2);
+    std::vector<size_t> next;
+    next.reserve(keep);
+    for (size_t i = 0; i < keep && i < order.size(); ++i) {
+      next.push_back(current[order[i]]);
+    }
+    std::sort(next.begin(), next.end());
+    if (next.size() >= current.size()) break;
+    current = std::move(next);
+  }
+  return result;
+}
+
+}  // namespace arda::featsel

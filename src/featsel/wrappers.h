@@ -1,0 +1,45 @@
+#ifndef ARDA_FEATSEL_WRAPPERS_H_
+#define ARDA_FEATSEL_WRAPPERS_H_
+
+#include "featsel/ranker.h"
+#include "featsel/search.h"
+#include "ml/evaluator.h"
+
+namespace arda::featsel {
+
+/// Limits on wrapper methods (they retrain the model per step; the paper
+/// measures them as orders of magnitude slower than ranking methods).
+struct WrapperConfig {
+  /// Hard cap on model trainings; 0 = no cap.
+  size_t max_evaluations = 100;
+};
+
+/// Forward selection guided by a random-forest ranking: walk the ranking
+/// from best to worst, tentatively adding each feature and keeping it only
+/// if the holdout score does not drop (the paper's linear-search-over-
+/// ranking strategy). One model training per feature considered.
+SearchResult ForwardSelection(const ml::Dataset& data,
+                              const ml::Evaluator& evaluator, Rng* rng,
+                              const WrapperConfig& config = {});
+
+/// Backward elimination guided by a random-forest ranking: start from all
+/// features and walk the ranking from worst to best, removing a feature
+/// whenever doing so does not hurt the holdout score. Trains on large
+/// feature sets throughout, hence the slowest method in the paper's
+/// Table 1.
+SearchResult BackwardElimination(const ml::Dataset& data,
+                                 const ml::Evaluator& evaluator, Rng* rng,
+                                 const WrapperConfig& config = {});
+
+/// Recursive feature elimination: repeatedly fit the random-forest
+/// ranker and drop the lowest-ranked `drop_fraction` of surviving
+/// features, scoring each stage; returns the best stage seen.
+SearchResult RecursiveFeatureElimination(const ml::Dataset& data,
+                                         const ml::Evaluator& evaluator,
+                                         Rng* rng,
+                                         double drop_fraction = 0.25,
+                                         const WrapperConfig& config = {});
+
+}  // namespace arda::featsel
+
+#endif  // ARDA_FEATSEL_WRAPPERS_H_

@@ -1,0 +1,192 @@
+#include "join/geo_join.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <unordered_map>
+
+#include "dataframe/aggregate.h"
+
+namespace arda::join {
+
+namespace {
+
+constexpr size_t kNoMatch = static_cast<size_t>(-1);
+constexpr char kSep = '\x1f';
+constexpr const char* kNull = "\x1e<null>";
+
+std::string ComposeKey(const df::DataFrame& frame,
+                       const std::vector<std::string>& columns, size_t row) {
+  std::string key;
+  for (const std::string& name : columns) {
+    const df::Column& col = frame.col(name);
+    key += col.IsNull(row) ? kNull : col.ValueToString(row);
+    key += kSep;
+  }
+  return key;
+}
+
+}  // namespace
+
+Result<df::DataFrame> ExecuteGeoLeftJoin(const df::DataFrame& base,
+                                         const df::DataFrame& foreign,
+                                         const discovery::CandidateJoin& cand,
+                                         const GeoJoinOptions& options,
+                                         Rng* rng) {
+  (void)rng;
+  // Classify and validate the composite key.
+  std::vector<discovery::JoinKeyPair> soft_keys;
+  std::vector<std::string> hard_base_cols;
+  std::vector<std::string> hard_foreign_cols;
+  std::vector<std::string> foreign_key_cols;
+  for (const discovery::JoinKeyPair& key : cand.keys) {
+    if (!base.HasColumn(key.base_column)) {
+      return Status::NotFound("base key column missing: " + key.base_column);
+    }
+    if (!foreign.HasColumn(key.foreign_column)) {
+      return Status::NotFound("foreign key column missing: " +
+                              key.foreign_column);
+    }
+    foreign_key_cols.push_back(key.foreign_column);
+    if (key.kind == discovery::KeyKind::kSoft) {
+      if (!base.col(key.base_column).IsNumeric() ||
+          !foreign.col(key.foreign_column).IsNumeric()) {
+        return Status::InvalidArgument("geo soft keys must be numeric: " +
+                                       key.base_column);
+      }
+      soft_keys.push_back(key);
+    } else {
+      hard_base_cols.push_back(key.base_column);
+      hard_foreign_cols.push_back(key.foreign_column);
+    }
+  }
+  if (soft_keys.size() < 2) {
+    return Status::InvalidArgument(
+        "geo join needs >= 2 soft key dimensions (use ExecuteLeftJoin "
+        "for 1-D soft keys)");
+  }
+
+  // Pre-aggregate duplicates on the full key so each coordinate tuple
+  // appears once.
+  df::DataFrame working = foreign;
+  {
+    std::set<std::string> seen;
+    bool duplicates = false;
+    for (size_t r = 0; r < working.NumRows() && !duplicates; ++r) {
+      duplicates = !seen.insert(ComposeKey(working, foreign_key_cols, r))
+                        .second;
+    }
+    if (duplicates) {
+      ARDA_ASSIGN_OR_RETURN(
+          working, df::GroupByAggregate(working, foreign_key_cols, {}));
+    }
+  }
+
+  // Per-dimension normalization scales from the *base* column ranges.
+  const size_t dims = soft_keys.size();
+  std::vector<double> scale(dims, 1.0);
+  if (options.normalize) {
+    for (size_t d = 0; d < dims; ++d) {
+      std::vector<double> values =
+          base.col(soft_keys[d].base_column).NonNullNumericValues();
+      if (values.empty()) continue;
+      auto [lo, hi] = std::minmax_element(values.begin(), values.end());
+      double span = *hi - *lo;
+      scale[d] = span > 1e-12 ? 1.0 / span : 1.0;
+    }
+  }
+
+  // Partition foreign rows by the hard key part; store coordinates.
+  struct Point {
+    std::vector<double> coords;
+    size_t row;
+  };
+  std::unordered_map<std::string, std::vector<Point>> partitions;
+  for (size_t r = 0; r < working.NumRows(); ++r) {
+    Point point;
+    point.row = r;
+    point.coords.resize(dims);
+    bool any_null = false;
+    for (size_t d = 0; d < dims; ++d) {
+      const df::Column& col = working.col(soft_keys[d].foreign_column);
+      if (col.IsNull(r)) {
+        any_null = true;
+        break;
+      }
+      point.coords[d] = col.NumericAt(r) * scale[d];
+    }
+    if (any_null) continue;
+    partitions[ComposeKey(working, hard_foreign_cols, r)].push_back(
+        std::move(point));
+  }
+
+  // Nearest-neighbour match per base row (linear scan per partition).
+  const size_t n = base.NumRows();
+  std::vector<size_t> match(n, kNoMatch);
+  std::vector<double> query(dims);
+  for (size_t r = 0; r < n; ++r) {
+    bool any_null = false;
+    for (const std::string& name : hard_base_cols) {
+      if (base.col(name).IsNull(r)) {
+        any_null = true;
+        break;
+      }
+    }
+    for (size_t d = 0; d < dims && !any_null; ++d) {
+      const df::Column& col = base.col(soft_keys[d].base_column);
+      if (col.IsNull(r)) {
+        any_null = true;
+      } else {
+        query[d] = col.NumericAt(r) * scale[d];
+      }
+    }
+    if (any_null) continue;
+    auto it = partitions.find(ComposeKey(base, hard_base_cols, r));
+    if (it == partitions.end()) continue;
+    double best_dist_sq = 1e300;
+    size_t best_row = kNoMatch;
+    for (const Point& point : it->second) {
+      double dist_sq = 0.0;
+      for (size_t d = 0; d < dims; ++d) {
+        double diff = query[d] - point.coords[d];
+        dist_sq += diff * diff;
+      }
+      if (dist_sq < best_dist_sq) {
+        best_dist_sq = dist_sq;
+        best_row = point.row;
+      }
+    }
+    if (best_row != kNoMatch &&
+        (options.tolerance <= 0.0 ||
+         std::sqrt(best_dist_sq) <= options.tolerance)) {
+      match[r] = best_row;
+    }
+  }
+
+  // Assemble output.
+  df::DataFrame out = base;
+  std::string prefix = options.column_prefix.empty()
+                           ? cand.foreign_table + "."
+                           : options.column_prefix;
+  df::DataFrame joined_cols;
+  for (size_t ci = 0; ci < working.NumCols(); ++ci) {
+    const df::Column& src = working.col(ci);
+    if (std::find(foreign_key_cols.begin(), foreign_key_cols.end(),
+                  src.name()) != foreign_key_cols.end()) {
+      continue;
+    }
+    df::Column dst = df::Column::Empty(src.name(), src.type());
+    for (size_t r = 0; r < n; ++r) {
+      if (match[r] == kNoMatch) {
+        dst.AppendNull();
+      } else {
+        dst.AppendFrom(src, match[r]);
+      }
+    }
+    ARDA_RETURN_IF_ERROR(joined_cols.AddColumn(std::move(dst)));
+  }
+  ARDA_RETURN_IF_ERROR(out.HStack(joined_cols, prefix));
+  return out;
+}
+
+}  // namespace arda::join

@@ -1,0 +1,48 @@
+#ifndef ARDA_JOIN_GEO_JOIN_H_
+#define ARDA_JOIN_GEO_JOIN_H_
+
+#include <string>
+#include <vector>
+
+#include "dataframe/data_frame.h"
+#include "discovery/candidate.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace arda::join {
+
+/// Options for multi-dimensional (location-style) soft joins — the
+/// paper's explicitly-unexplored future work ("location-based joins
+/// remain unexplored", Section 9).
+struct GeoJoinOptions {
+  /// Matches farther than this (in normalized per-dimension units, see
+  /// `normalize`) produce nulls; 0 = unlimited.
+  double tolerance = 0.0;
+  /// Scale every soft dimension by the base column's value range before
+  /// measuring distance, so a degree of longitude and a metre of altitude
+  /// are commensurable.
+  bool normalize = true;
+  /// Prefix applied to foreign value columns on collision; defaults to
+  /// "<table>.".
+  std::string column_prefix;
+};
+
+/// LEFT JOIN where the key is a *composite of two or more numeric soft
+/// columns* (e.g. latitude + longitude): each base row joins the foreign
+/// row minimizing Euclidean distance over the (optionally normalized)
+/// soft dimensions. Any hard keys in the candidate partition the search
+/// space first, exactly like the 1-D soft join. One-to-many duplicates on
+/// identical coordinates are pre-aggregated.
+///
+/// Requires at least two soft key pairs, all numeric. Base rows keep
+/// their multiplicity; unmatched rows (empty partition or beyond
+/// tolerance) carry nulls.
+Result<df::DataFrame> ExecuteGeoLeftJoin(const df::DataFrame& base,
+                                         const df::DataFrame& foreign,
+                                         const discovery::CandidateJoin& cand,
+                                         const GeoJoinOptions& options,
+                                         Rng* rng);
+
+}  // namespace arda::join
+
+#endif  // ARDA_JOIN_GEO_JOIN_H_

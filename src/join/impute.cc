@@ -1,0 +1,50 @@
+#include "join/impute.h"
+
+#include <cmath>
+
+namespace arda::join {
+
+void ImputeInPlace(df::DataFrame* frame, Rng* rng) {
+  for (size_t ci = 0; ci < frame->NumCols(); ++ci) {
+    df::Column& col = frame->col(ci);
+    if (col.NullCount() == 0) continue;
+    if (col.IsNumeric()) {
+      const double median = col.NumericMedian();
+      for (size_t r = 0; r < col.size(); ++r) {
+        if (!col.IsNull(r)) continue;
+        if (col.type() == df::DataType::kDouble) {
+          col.SetDouble(r, median);
+        } else {
+          col.SetInt64(r, static_cast<int64_t>(std::llround(median)));
+        }
+      }
+      continue;
+    }
+    // Categorical: uniform random draw from the observed values.
+    std::vector<size_t> non_null_rows;
+    non_null_rows.reserve(col.size());
+    for (size_t r = 0; r < col.size(); ++r) {
+      if (!col.IsNull(r)) non_null_rows.push_back(r);
+    }
+    for (size_t r = 0; r < col.size(); ++r) {
+      if (!col.IsNull(r)) continue;
+      if (non_null_rows.empty()) {
+        col.SetString(r, "<missing>");
+      } else {
+        size_t pick = non_null_rows[static_cast<size_t>(
+            rng->UniformUint64(non_null_rows.size()))];
+        col.SetString(r, col.StringAt(pick));
+      }
+    }
+  }
+}
+
+size_t TotalNullCount(const df::DataFrame& frame) {
+  size_t count = 0;
+  for (size_t ci = 0; ci < frame.NumCols(); ++ci) {
+    count += frame.col(ci).NullCount();
+  }
+  return count;
+}
+
+}  // namespace arda::join

@@ -1,0 +1,20 @@
+#ifndef ARDA_JOIN_IMPUTE_H_
+#define ARDA_JOIN_IMPUTE_H_
+
+#include "dataframe/data_frame.h"
+#include "util/rng.h"
+
+namespace arda::join {
+
+/// ARDA's imputation policy (Section 4): LEFT JOINs leave nulls for
+/// unmatched rows, which are filled with the column median for numeric
+/// columns and with a uniformly random non-null value for categorical
+/// columns. Columns that are entirely null become constant 0 / "<missing>".
+void ImputeInPlace(df::DataFrame* frame, Rng* rng);
+
+/// Number of null cells across all columns (used to verify imputation).
+size_t TotalNullCount(const df::DataFrame& frame);
+
+}  // namespace arda::join
+
+#endif  // ARDA_JOIN_IMPUTE_H_

@@ -1,0 +1,66 @@
+#include "join/resample.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/string_util.h"
+
+namespace arda::join {
+
+double DetectGranularity(const df::Column& column) {
+  if (!column.IsNumeric()) return 0.0;
+  std::vector<double> values = column.NonNullNumericValues();
+  std::sort(values.begin(), values.end());
+  values.erase(std::unique(values.begin(), values.end()), values.end());
+  if (values.size() < 2) return 0.0;
+  std::vector<double> gaps;
+  gaps.reserve(values.size() - 1);
+  for (size_t i = 1; i < values.size(); ++i) {
+    double gap = values[i] - values[i - 1];
+    if (gap > 0.0) gaps.push_back(gap);
+  }
+  if (gaps.empty()) return 0.0;
+  size_t mid = gaps.size() / 2;
+  std::nth_element(gaps.begin(), gaps.begin() + mid, gaps.end());
+  // Snap to 9 significant digits: gaps computed from accumulated floats
+  // come out as 0.19999999999999996 or 1.0000000000000002, and using them
+  // raw would shift bucket boundaries across exact key values.
+  double snapped = 0.0;
+  ARDA_CHECK(ParseDouble(StrFormat("%.9g", gaps[mid]), &snapped));
+  return snapped;
+}
+
+Result<df::DataFrame> TimeResample(const df::DataFrame& foreign,
+                                   const std::string& key_column,
+                                   double target_granularity,
+                                   const df::AggregateOptions& options) {
+  if (!foreign.HasColumn(key_column)) {
+    return Status::NotFound("no such key column: " + key_column);
+  }
+  const df::Column& key = foreign.col(key_column);
+  if (!key.IsNumeric()) {
+    return Status::InvalidArgument("time resampling needs a numeric key: " +
+                                   key_column);
+  }
+  if (target_granularity <= 0.0) {
+    return Status::InvalidArgument("granularity must be positive");
+  }
+
+  // Replace the key with its bucket representative, then aggregate.
+  df::DataFrame bucketed = foreign.Drop({key_column});
+  df::Column bucket_key = df::Column::Empty(key_column,
+                                            df::DataType::kDouble);
+  for (size_t r = 0; r < foreign.NumRows(); ++r) {
+    if (key.IsNull(r)) {
+      bucket_key.AppendNull();
+    } else {
+      double v = key.NumericAt(r);
+      bucket_key.AppendDouble(std::floor(v / target_granularity) *
+                              target_granularity);
+    }
+  }
+  ARDA_RETURN_IF_ERROR(bucketed.AddColumn(std::move(bucket_key)));
+  return df::GroupByAggregate(bucketed, {key_column}, options);
+}
+
+}  // namespace arda::join

@@ -1,0 +1,34 @@
+#ifndef ARDA_JOIN_RESAMPLE_H_
+#define ARDA_JOIN_RESAMPLE_H_
+
+#include <string>
+
+#include "dataframe/aggregate.h"
+#include "dataframe/data_frame.h"
+#include "util/status.h"
+
+namespace arda::join {
+
+/// Estimates the granularity of a numeric (time) column as the median
+/// positive gap between consecutive sorted distinct values. Returns 0 for
+/// columns with fewer than two distinct values.
+double DetectGranularity(const df::Column& column);
+
+/// Time resampling (Section 4 "Time-Resampling"): when the base table's
+/// time key is coarser than the foreign table's, every foreign row is
+/// bucketed to the base granularity (floor to a multiple of
+/// `target_granularity`) and the foreign table is aggregated per bucket
+/// before the join, so a day-level key absorbs all of that day's
+/// minute-level rows instead of matching one arbitrary row.
+///
+/// Returns the resampled foreign table whose `key_column` (a kDouble
+/// column in the output) holds bucket representatives. Fails if the key is
+/// missing or non-numeric, or the granularity is not positive.
+Result<df::DataFrame> TimeResample(const df::DataFrame& foreign,
+                                   const std::string& key_column,
+                                   double target_granularity,
+                                   const df::AggregateOptions& options = {});
+
+}  // namespace arda::join
+
+#endif  // ARDA_JOIN_RESAMPLE_H_

@@ -1,0 +1,30 @@
+#include "join/transitive_join.h"
+
+namespace arda::join {
+
+Result<discovery::CandidateJoin> MaterializeTransitive(
+    discovery::DataRepository* repo,
+    const discovery::TransitiveCandidate& path,
+    const JoinOptions& options, Rng* rng) {
+  ARDA_ASSIGN_OR_RETURN(const df::DataFrame* via,
+                        repo->Get(path.via_table));
+  ARDA_ASSIGN_OR_RETURN(const df::DataFrame* final_table,
+                        repo->Get(path.final_table));
+
+  discovery::CandidateJoin second_hop;
+  second_hop.foreign_table = path.final_table;
+  second_hop.keys = path.via_to_final;
+  ARDA_ASSIGN_OR_RETURN(
+      df::DataFrame bridged,
+      ExecuteLeftJoin(*via, *final_table, second_hop, options, rng));
+
+  repo->AddOrReplace(path.MaterializedName(), std::move(bridged));
+
+  discovery::CandidateJoin first_hop;
+  first_hop.foreign_table = path.MaterializedName();
+  first_hop.keys = path.base_to_via;
+  first_hop.score = path.score;
+  return first_hop;
+}
+
+}  // namespace arda::join

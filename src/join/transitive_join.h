@@ -1,0 +1,24 @@
+#ifndef ARDA_JOIN_TRANSITIVE_JOIN_H_
+#define ARDA_JOIN_TRANSITIVE_JOIN_H_
+
+#include "discovery/transitive.h"
+#include "join/join_executor.h"
+
+namespace arda::join {
+
+/// Materializes a two-hop path into an ordinary single-hop candidate:
+/// LEFT-joins `final_table` onto `via_table` (per the path's second-hop
+/// keys), registers the bridged table in `repo` under
+/// path.MaterializedName() (replacing any previous bridge), and returns
+/// the candidate describing the base -> bridge join on the first-hop
+/// keys. After this, ARDA processes the bridge like any other candidate —
+/// which is exactly how transitive augmentation composes with the
+/// existing pipeline.
+Result<discovery::CandidateJoin> MaterializeTransitive(
+    discovery::DataRepository* repo,
+    const discovery::TransitiveCandidate& path,
+    const JoinOptions& options, Rng* rng);
+
+}  // namespace arda::join
+
+#endif  // ARDA_JOIN_TRANSITIVE_JOIN_H_

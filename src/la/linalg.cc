@@ -1,0 +1,206 @@
+#include "la/linalg.h"
+
+#include <cmath>
+
+namespace arda::la {
+
+Result<Matrix> Cholesky(const Matrix& a) {
+  ARDA_CHECK_EQ(a.rows(), a.cols());
+  const size_t n = a.rows();
+  Matrix l(n, n);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j <= i; ++j) {
+      double sum = a(i, j);
+      for (size_t k = 0; k < j; ++k) sum -= l(i, k) * l(j, k);
+      if (i == j) {
+        if (sum <= 0.0 || !std::isfinite(sum)) {
+          return Status::FailedPrecondition(
+              "matrix is not positive definite");
+        }
+        l(i, j) = std::sqrt(sum);
+      } else {
+        l(i, j) = sum / l(j, j);
+      }
+    }
+  }
+  return l;
+}
+
+std::vector<double> ForwardSubstitute(const Matrix& l,
+                                      const std::vector<double>& b) {
+  const size_t n = l.rows();
+  ARDA_CHECK_EQ(b.size(), n);
+  std::vector<double> y(n);
+  for (size_t i = 0; i < n; ++i) {
+    double sum = b[i];
+    for (size_t k = 0; k < i; ++k) sum -= l(i, k) * y[k];
+    y[i] = sum / l(i, i);
+  }
+  return y;
+}
+
+std::vector<double> BackwardSubstitute(const Matrix& l,
+                                       const std::vector<double>& y) {
+  const size_t n = l.rows();
+  ARDA_CHECK_EQ(y.size(), n);
+  std::vector<double> x(n);
+  for (size_t ii = n; ii > 0; --ii) {
+    size_t i = ii - 1;
+    double sum = y[i];
+    for (size_t k = i + 1; k < n; ++k) sum -= l(k, i) * x[k];
+    x[i] = sum / l(i, i);
+  }
+  return x;
+}
+
+Result<std::vector<double>> SolveSpd(const Matrix& a,
+                                     const std::vector<double>& b) {
+  ARDA_ASSIGN_OR_RETURN(Matrix l, Cholesky(a));
+  std::vector<double> y = ForwardSubstitute(l, b);
+  return BackwardSubstitute(l, y);
+}
+
+std::vector<double> RidgeSolve(const Matrix& x, const std::vector<double>& y,
+                               double lambda) {
+  ARDA_CHECK_EQ(x.rows(), y.size());
+  ARDA_CHECK_GT(lambda, 0.0);
+  const size_t d = x.cols();
+  // Gram matrix X^T X + lambda I.
+  Matrix gram(d, d);
+  for (size_t r = 0; r < x.rows(); ++r) {
+    const double* row = x.RowPtr(r);
+    for (size_t i = 0; i < d; ++i) {
+      const double xi = row[i];
+      if (xi == 0.0) continue;
+      double* grow = gram.RowPtr(i);
+      for (size_t j = i; j < d; ++j) grow[j] += xi * row[j];
+    }
+  }
+  for (size_t i = 0; i < d; ++i) {
+    gram(i, i) += lambda;
+    for (size_t j = 0; j < i; ++j) gram(i, j) = gram(j, i);
+  }
+  std::vector<double> rhs = x.TransposeMultiplyVec(y);
+  Result<std::vector<double>> solved = SolveSpd(gram, rhs);
+  if (solved.ok()) return std::move(solved).value();
+  // Extremely ill-conditioned inputs: retry with a heavier diagonal.
+  for (size_t i = 0; i < d; ++i) gram(i, i) += 1e-3 + lambda * 10.0;
+  Result<std::vector<double>> retried = SolveSpd(gram, rhs);
+  if (retried.ok()) return std::move(retried).value();
+  return std::vector<double>(d, 0.0);
+}
+
+ColumnStats ComputeColumnStats(const Matrix& x) {
+  ColumnStats stats;
+  const size_t n = x.rows();
+  const size_t d = x.cols();
+  stats.mean.assign(d, 0.0);
+  stats.stddev.assign(d, 1.0);
+  if (n == 0) return stats;
+  for (size_t r = 0; r < n; ++r) {
+    const double* row = x.RowPtr(r);
+    for (size_t c = 0; c < d; ++c) stats.mean[c] += row[c];
+  }
+  for (size_t c = 0; c < d; ++c) stats.mean[c] /= static_cast<double>(n);
+  std::vector<double> var(d, 0.0);
+  for (size_t r = 0; r < n; ++r) {
+    const double* row = x.RowPtr(r);
+    for (size_t c = 0; c < d; ++c) {
+      const double delta = row[c] - stats.mean[c];
+      var[c] += delta * delta;
+    }
+  }
+  for (size_t c = 0; c < d; ++c) {
+    double sd = std::sqrt(var[c] / static_cast<double>(n));
+    stats.stddev[c] = sd < 1e-12 ? 1.0 : sd;
+  }
+  return stats;
+}
+
+Matrix Standardize(const Matrix& x, const ColumnStats& stats) {
+  ARDA_CHECK_EQ(stats.mean.size(), x.cols());
+  Matrix out(x.rows(), x.cols());
+  for (size_t r = 0; r < x.rows(); ++r) {
+    const double* row = x.RowPtr(r);
+    double* orow = out.RowPtr(r);
+    for (size_t c = 0; c < x.cols(); ++c) {
+      orow[c] = (row[c] - stats.mean[c]) / stats.stddev[c];
+    }
+  }
+  return out;
+}
+
+FeatureMoments ComputeFeatureMoments(const Matrix& x) {
+  // Columns of x are the observations (each feature vector lives in R^n).
+  const size_t n = x.rows();
+  const size_t d = x.cols();
+  FeatureMoments moments;
+  moments.mean.assign(n, 0.0);
+  moments.covariance = Matrix(n, n);
+  if (d == 0) return moments;
+  for (size_t r = 0; r < n; ++r) {
+    const double* row = x.RowPtr(r);
+    double sum = 0.0;
+    for (size_t c = 0; c < d; ++c) sum += row[c];
+    moments.mean[r] = sum / static_cast<double>(d);
+  }
+  for (size_t c = 0; c < d; ++c) {
+    // Accumulate (col - mu)(col - mu)^T.
+    for (size_t i = 0; i < n; ++i) {
+      const double di = x(i, c) - moments.mean[i];
+      if (di == 0.0) continue;
+      double* crow = moments.covariance.RowPtr(i);
+      for (size_t j = i; j < n; ++j) {
+        crow[j] += di * (x(j, c) - moments.mean[j]);
+      }
+    }
+  }
+  const double inv_d = 1.0 / static_cast<double>(d);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i; j < n; ++j) {
+      moments.covariance(i, j) *= inv_d;
+      moments.covariance(j, i) = moments.covariance(i, j);
+    }
+  }
+  return moments;
+}
+
+Matrix SampleMultivariateNormal(const FeatureMoments& moments, size_t count,
+                                Rng* rng) {
+  const size_t n = moments.mean.size();
+  Matrix samples(n, count);  // each *column* is one sampled feature vector
+  Matrix sigma = moments.covariance;
+  // Jitter the diagonal until Cholesky succeeds (bounded retries).
+  double jitter = 1e-8;
+  Result<Matrix> chol = Cholesky(sigma);
+  for (int attempt = 0; attempt < 6 && !chol.ok(); ++attempt) {
+    for (size_t i = 0; i < n; ++i) sigma(i, i) += jitter;
+    jitter *= 10.0;
+    chol = Cholesky(sigma);
+  }
+  if (chol.ok()) {
+    const Matrix& l = chol.value();
+    std::vector<double> z(n);
+    for (size_t s = 0; s < count; ++s) {
+      for (size_t i = 0; i < n; ++i) z[i] = rng->Normal();
+      for (size_t i = 0; i < n; ++i) {
+        double sum = moments.mean[i];
+        const double* lrow = l.RowPtr(i);
+        for (size_t k = 0; k <= i; ++k) sum += lrow[k] * z[k];
+        samples(i, s) = sum;
+      }
+    }
+    return samples;
+  }
+  // Diagonal fallback: independent normals matching per-coordinate variance.
+  for (size_t s = 0; s < count; ++s) {
+    for (size_t i = 0; i < n; ++i) {
+      double var = moments.covariance(i, i);
+      double sd = var > 0.0 ? std::sqrt(var) : 1.0;
+      samples(i, s) = rng->Normal(moments.mean[i], sd);
+    }
+  }
+  return samples;
+}
+
+}  // namespace arda::la

@@ -1,0 +1,69 @@
+#ifndef ARDA_LA_LINALG_H_
+#define ARDA_LA_LINALG_H_
+
+#include <vector>
+
+#include "la/matrix.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace arda::la {
+
+/// Computes the lower-triangular Cholesky factor L of a symmetric
+/// positive-definite matrix A (A = L L^T). Fails if A is not SPD within
+/// numerical tolerance.
+Result<Matrix> Cholesky(const Matrix& a);
+
+/// Solves A x = b for SPD A via Cholesky factorization.
+Result<std::vector<double>> SolveSpd(const Matrix& a,
+                                     const std::vector<double>& b);
+
+/// Solves L y = b (forward substitution) for lower-triangular L.
+std::vector<double> ForwardSubstitute(const Matrix& l,
+                                      const std::vector<double>& b);
+
+/// Solves L^T x = y (backward substitution) for lower-triangular L.
+std::vector<double> BackwardSubstitute(const Matrix& l,
+                                       const std::vector<double>& y);
+
+/// Solves the ridge-regularized least squares problem
+///   min_w ||X w - y||^2 + lambda ||w||^2
+/// via the normal equations (X^T X + lambda I) w = X^T y. `lambda` > 0
+/// guarantees the system is SPD, so this never fails for positive lambda.
+std::vector<double> RidgeSolve(const Matrix& x, const std::vector<double>& y,
+                               double lambda);
+
+/// Per-column mean/stddev statistics used to z-score a feature matrix.
+struct ColumnStats {
+  std::vector<double> mean;
+  std::vector<double> stddev;  // entries are >= epsilon (never zero)
+};
+
+/// Computes per-column mean and stddev of `x`; stddev entries below 1e-12
+/// are clamped to 1 so constant columns map to zero after standardization.
+ColumnStats ComputeColumnStats(const Matrix& x);
+
+/// Returns a copy of `x` with each column z-scored using `stats`.
+Matrix Standardize(const Matrix& x, const ColumnStats& stats);
+
+/// Covariance matrix of the *columns* of `x` treated as observations of
+/// row-dimension vectors; this is the d-observation estimate RIFS uses
+/// (Algorithm 2 of the paper): mu = mean over columns, Sigma =
+/// 1/d sum_i (x_i - mu)(x_i - mu)^T where x_i is the i-th column.
+struct FeatureMoments {
+  std::vector<double> mean;  // length = rows of x
+  Matrix covariance;         // rows x rows
+};
+
+/// Computes the empirical feature moments used by RIFS noise injection.
+FeatureMoments ComputeFeatureMoments(const Matrix& x);
+
+/// Samples `count` vectors from N(mu, Sigma) using a jittered Cholesky
+/// factor of Sigma; each sample has mu.size() entries. Falls back to
+/// diagonal sampling if Sigma is numerically singular even after jitter.
+Matrix SampleMultivariateNormal(const FeatureMoments& moments, size_t count,
+                                Rng* rng);
+
+}  // namespace arda::la
+
+#endif  // ARDA_LA_LINALG_H_

@@ -1,0 +1,174 @@
+#include "la/matrix.h"
+
+#include <cmath>
+
+namespace arda::la {
+
+std::vector<double> Matrix::Row(size_t r) const {
+  ARDA_CHECK_LT(r, rows_);
+  return std::vector<double>(data_.begin() + r * cols_,
+                             data_.begin() + (r + 1) * cols_);
+}
+
+std::vector<double> Matrix::Col(size_t c) const {
+  ARDA_CHECK_LT(c, cols_);
+  std::vector<double> out(rows_);
+  for (size_t r = 0; r < rows_; ++r) out[r] = data_[r * cols_ + c];
+  return out;
+}
+
+void Matrix::SetRow(size_t r, const std::vector<double>& values) {
+  ARDA_CHECK_LT(r, rows_);
+  ARDA_CHECK_EQ(values.size(), cols_);
+  std::copy(values.begin(), values.end(), data_.begin() + r * cols_);
+}
+
+void Matrix::SetCol(size_t c, const std::vector<double>& values) {
+  ARDA_CHECK_LT(c, cols_);
+  ARDA_CHECK_EQ(values.size(), rows_);
+  for (size_t r = 0; r < rows_; ++r) data_[r * cols_ + c] = values[r];
+}
+
+Matrix Matrix::Transposed() const {
+  Matrix out(cols_, rows_);
+  for (size_t r = 0; r < rows_; ++r) {
+    for (size_t c = 0; c < cols_; ++c) {
+      out(c, r) = (*this)(r, c);
+    }
+  }
+  return out;
+}
+
+Matrix Matrix::Multiply(const Matrix& other) const {
+  ARDA_CHECK_EQ(cols_, other.rows_);
+  Matrix out(rows_, other.cols_);
+  for (size_t i = 0; i < rows_; ++i) {
+    for (size_t k = 0; k < cols_; ++k) {
+      const double aik = (*this)(i, k);
+      if (aik == 0.0) continue;
+      const double* brow = other.RowPtr(k);
+      double* orow = out.RowPtr(i);
+      for (size_t j = 0; j < other.cols_; ++j) {
+        orow[j] += aik * brow[j];
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<double> Matrix::MultiplyVec(const std::vector<double>& x) const {
+  ARDA_CHECK_EQ(x.size(), cols_);
+  std::vector<double> out(rows_, 0.0);
+  for (size_t r = 0; r < rows_; ++r) {
+    const double* row = RowPtr(r);
+    double sum = 0.0;
+    for (size_t c = 0; c < cols_; ++c) sum += row[c] * x[c];
+    out[r] = sum;
+  }
+  return out;
+}
+
+std::vector<double> Matrix::TransposeMultiplyVec(
+    const std::vector<double>& x) const {
+  ARDA_CHECK_EQ(x.size(), rows_);
+  std::vector<double> out(cols_, 0.0);
+  for (size_t r = 0; r < rows_; ++r) {
+    const double xr = x[r];
+    if (xr == 0.0) continue;
+    const double* row = RowPtr(r);
+    for (size_t c = 0; c < cols_; ++c) out[c] += xr * row[c];
+  }
+  return out;
+}
+
+Matrix Matrix::SelectCols(const std::vector<size_t>& cols) const {
+  Matrix out(rows_, cols.size());
+  for (size_t r = 0; r < rows_; ++r) {
+    const double* row = RowPtr(r);
+    double* orow = out.RowPtr(r);
+    for (size_t j = 0; j < cols.size(); ++j) {
+      ARDA_CHECK_LT(cols[j], cols_);
+      orow[j] = row[cols[j]];
+    }
+  }
+  return out;
+}
+
+Matrix Matrix::SelectRows(const std::vector<size_t>& rows) const {
+  Matrix out(rows.size(), cols_);
+  for (size_t i = 0; i < rows.size(); ++i) {
+    ARDA_CHECK_LT(rows[i], rows_);
+    const double* src = RowPtr(rows[i]);
+    std::copy(src, src + cols_, out.RowPtr(i));
+  }
+  return out;
+}
+
+Matrix Matrix::HStack(const Matrix& right) const {
+  if (empty()) return right;
+  if (right.empty()) return *this;
+  ARDA_CHECK_EQ(rows_, right.rows_);
+  Matrix out(rows_, cols_ + right.cols_);
+  for (size_t r = 0; r < rows_; ++r) {
+    const double* a = RowPtr(r);
+    const double* b = right.RowPtr(r);
+    double* o = out.RowPtr(r);
+    std::copy(a, a + cols_, o);
+    std::copy(b, b + right.cols_, o + cols_);
+  }
+  return out;
+}
+
+Matrix Identity(size_t n) {
+  Matrix out(n, n);
+  for (size_t i = 0; i < n; ++i) out(i, i) = 1.0;
+  return out;
+}
+
+double Dot(const std::vector<double>& a, const std::vector<double>& b) {
+  ARDA_CHECK_EQ(a.size(), b.size());
+  double sum = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) sum += a[i] * b[i];
+  return sum;
+}
+
+double Norm2(const std::vector<double>& a) { return std::sqrt(Dot(a, a)); }
+
+void Axpy(double scale, const std::vector<double>& b,
+          std::vector<double>* a) {
+  ARDA_CHECK_EQ(a->size(), b.size());
+  for (size_t i = 0; i < b.size(); ++i) (*a)[i] += scale * b[i];
+}
+
+double Mean(const std::vector<double>& a) {
+  if (a.empty()) return 0.0;
+  double sum = 0.0;
+  for (double v : a) sum += v;
+  return sum / static_cast<double>(a.size());
+}
+
+double Variance(const std::vector<double>& a) {
+  if (a.size() < 2) return 0.0;
+  double mean = Mean(a);
+  double sum = 0.0;
+  for (double v : a) sum += (v - mean) * (v - mean);
+  return sum / static_cast<double>(a.size());
+}
+
+double PearsonCorrelation(const std::vector<double>& a,
+                          const std::vector<double>& b) {
+  ARDA_CHECK_EQ(a.size(), b.size());
+  if (a.size() < 2) return 0.0;
+  double ma = Mean(a);
+  double mb = Mean(b);
+  double cov = 0.0, va = 0.0, vb = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    cov += (a[i] - ma) * (b[i] - mb);
+    va += (a[i] - ma) * (a[i] - ma);
+    vb += (b[i] - mb) * (b[i] - mb);
+  }
+  if (va <= 0.0 || vb <= 0.0) return 0.0;
+  return cov / std::sqrt(va * vb);
+}
+
+}  // namespace arda::la

@@ -1,0 +1,119 @@
+#ifndef ARDA_LA_MATRIX_H_
+#define ARDA_LA_MATRIX_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "util/check.h"
+
+namespace arda::la {
+
+/// Dense row-major matrix of doubles. This is the numeric workhorse behind
+/// model training, sketching and RIFS; it deliberately stays small (no
+/// expression templates) and favors obvious loops the compiler vectorizes.
+class Matrix {
+ public:
+  /// Creates an empty 0x0 matrix.
+  Matrix() : rows_(0), cols_(0) {}
+
+  /// Creates a rows x cols matrix initialized to `fill`.
+  Matrix(size_t rows, size_t cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  /// Creates a matrix from row-major `data`; data.size() must equal
+  /// rows * cols.
+  Matrix(size_t rows, size_t cols, std::vector<double> data)
+      : rows_(rows), cols_(cols), data_(std::move(data)) {
+    ARDA_CHECK_EQ(data_.size(), rows_ * cols_);
+  }
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+  bool empty() const { return rows_ == 0 || cols_ == 0; }
+
+  double& At(size_t r, size_t c) {
+    ARDA_CHECK_LT(r, rows_);
+    ARDA_CHECK_LT(c, cols_);
+    return data_[r * cols_ + c];
+  }
+  double At(size_t r, size_t c) const {
+    ARDA_CHECK_LT(r, rows_);
+    ARDA_CHECK_LT(c, cols_);
+    return data_[r * cols_ + c];
+  }
+
+  /// Unchecked element access for hot loops.
+  double& operator()(size_t r, size_t c) { return data_[r * cols_ + c]; }
+  double operator()(size_t r, size_t c) const { return data_[r * cols_ + c]; }
+
+  /// Returns a pointer to the start of row `r`.
+  double* RowPtr(size_t r) { return data_.data() + r * cols_; }
+  const double* RowPtr(size_t r) const { return data_.data() + r * cols_; }
+
+  /// Copies row `r` into a vector.
+  std::vector<double> Row(size_t r) const;
+  /// Copies column `c` into a vector.
+  std::vector<double> Col(size_t c) const;
+  /// Overwrites row `r`; `values.size()` must equal cols().
+  void SetRow(size_t r, const std::vector<double>& values);
+  /// Overwrites column `c`; `values.size()` must equal rows().
+  void SetCol(size_t c, const std::vector<double>& values);
+
+  /// Returns the transpose.
+  Matrix Transposed() const;
+
+  /// Matrix product this * other; inner dimensions must agree.
+  Matrix Multiply(const Matrix& other) const;
+
+  /// Matrix-vector product; `x.size()` must equal cols().
+  std::vector<double> MultiplyVec(const std::vector<double>& x) const;
+
+  /// Transposed matrix-vector product A^T x; `x.size()` must equal rows().
+  std::vector<double> TransposeMultiplyVec(const std::vector<double>& x) const;
+
+  /// Returns a new matrix containing only the listed columns, in order.
+  Matrix SelectCols(const std::vector<size_t>& cols) const;
+
+  /// Returns a new matrix containing only the listed rows, in order.
+  /// Indices may repeat (bootstrap sampling).
+  Matrix SelectRows(const std::vector<size_t>& rows) const;
+
+  /// Horizontally concatenates `right` (same row count) to this matrix.
+  Matrix HStack(const Matrix& right) const;
+
+  /// Raw row-major storage.
+  const std::vector<double>& data() const { return data_; }
+  std::vector<double>& mutable_data() { return data_; }
+
+ private:
+  size_t rows_;
+  size_t cols_;
+  std::vector<double> data_;
+};
+
+/// Returns the n x n identity.
+Matrix Identity(size_t n);
+
+/// Dot product; sizes must match.
+double Dot(const std::vector<double>& a, const std::vector<double>& b);
+
+/// Euclidean norm.
+double Norm2(const std::vector<double>& a);
+
+/// a += scale * b, in place; sizes must match.
+void Axpy(double scale, const std::vector<double>& b, std::vector<double>* a);
+
+/// Mean of the entries (0 for empty input).
+double Mean(const std::vector<double>& a);
+
+/// Population variance of the entries (0 for fewer than 2 entries).
+double Variance(const std::vector<double>& a);
+
+/// Pearson correlation of two equally sized vectors (0 if either is
+/// constant).
+double PearsonCorrelation(const std::vector<double>& a,
+                          const std::vector<double>& b);
+
+}  // namespace arda::la
+
+#endif  // ARDA_LA_MATRIX_H_

@@ -1,0 +1,113 @@
+#include "ml/automl.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "ml/decision_tree.h"
+#include "ml/gradient_boosting.h"
+#include "ml/linear.h"
+#include "ml/metrics.h"
+#include "ml/random_forest.h"
+#include "ml/split.h"
+#include "ml/svm_rbf.h"
+#include "util/string_util.h"
+#include "util/timer.h"
+
+namespace arda::ml {
+
+namespace {
+
+struct Candidate {
+  std::unique_ptr<Model> model;
+  std::string description;
+};
+
+Candidate SampleCandidate(TaskType task, size_t num_rows, Rng* rng) {
+  // Family weights: forests and boosting dominate the zoo, mirroring
+  // what the paper's AutoML systems end up picking for tabular data.
+  const int family = static_cast<int>(rng->UniformUint64(7));
+  if (family == 6) {
+    BoostingConfig config;
+    config.task = task;
+    config.num_rounds = static_cast<size_t>(rng->UniformInt(30, 120));
+    config.learning_rate = rng->Uniform(0.03, 0.3);
+    config.max_depth = static_cast<size_t>(rng->UniformInt(2, 5));
+    config.seed = rng->NextUint64();
+    return {std::make_unique<GradientBoosting>(config),
+            StrFormat("gbdt(rounds=%zu, lr=%.2f, depth=%zu)",
+                      config.num_rounds, config.learning_rate,
+                      config.max_depth)};
+  }
+  if (family <= 2) {
+    ForestConfig config;
+    config.task = task;
+    config.num_trees = static_cast<size_t>(rng->UniformInt(15, 60));
+    config.max_depth = static_cast<size_t>(rng->UniformInt(4, 16));
+    config.min_samples_leaf = static_cast<size_t>(rng->UniformInt(1, 4));
+    config.seed = rng->NextUint64();
+    return {std::make_unique<RandomForest>(config),
+            StrFormat("random_forest(trees=%zu, depth=%zu)",
+                      config.num_trees, config.max_depth)};
+  }
+  if (family == 3) {
+    TreeConfig config;
+    config.task = task;
+    config.max_depth = static_cast<size_t>(rng->UniformInt(3, 14));
+    config.min_samples_leaf = static_cast<size_t>(rng->UniformInt(1, 8));
+    config.seed = rng->NextUint64();
+    return {std::make_unique<DecisionTree>(config),
+            StrFormat("decision_tree(depth=%zu)", config.max_depth)};
+  }
+  if (task == TaskType::kRegression) {
+    if (family == 4) {
+      double lambda = std::pow(10.0, rng->Uniform(-4.0, 1.0));
+      return {std::make_unique<RidgeRegression>(lambda),
+              StrFormat("ridge(lambda=%.4g)", lambda)};
+    }
+    double alpha = std::pow(10.0, rng->Uniform(-3.0, 0.0));
+    return {std::make_unique<Lasso>(alpha),
+            StrFormat("lasso(alpha=%.4g)", alpha)};
+  }
+  if (family == 4) {
+    double l2 = std::pow(10.0, rng->Uniform(-4.0, 0.0));
+    return {std::make_unique<LogisticRegression>(l2),
+            StrFormat("logistic(l2=%.4g)", l2)};
+  }
+  if (num_rows <= 2000 && rng->Bernoulli(0.5)) {
+    RbfSvmConfig config;
+    config.c = std::pow(10.0, rng->Uniform(-1.0, 1.5));
+    config.seed = rng->NextUint64();
+    return {std::make_unique<RbfSvm>(config),
+            StrFormat("rbf_svm(C=%.4g)", config.c)};
+  }
+  double c = std::pow(10.0, rng->Uniform(-1.0, 1.5));
+  return {std::make_unique<LinearSvm>(c),
+          StrFormat("linear_svm(C=%.4g)", c)};
+}
+
+}  // namespace
+
+AutoMlResult RunRandomSearchAutoMl(const Dataset& data,
+                                   const AutoMlConfig& config) {
+  Rng rng(config.seed);
+  TrainTestSplit split =
+      MakeTrainTestSplit(data, config.test_fraction, &rng);
+  Stopwatch watch;
+  AutoMlResult result;
+  while (result.configs_tried < config.max_configs &&
+         watch.ElapsedSeconds() < config.time_budget_seconds) {
+    Candidate candidate = SampleCandidate(data.task, data.NumRows(), &rng);
+    candidate.model->Fit(split.train.x, split.train.y);
+    std::vector<double> pred = candidate.model->Predict(split.test.x);
+    double score = HigherIsBetterScore(data.task, split.test.y, pred);
+    ++result.configs_tried;
+    if (score > result.best_score) {
+      result.best_score = score;
+      result.best_config = std::move(candidate.description);
+    }
+  }
+  result.elapsed_seconds = watch.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace arda::ml

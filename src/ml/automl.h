@@ -1,0 +1,45 @@
+#ifndef ARDA_ML_AUTOML_H_
+#define ARDA_ML_AUTOML_H_
+
+#include <memory>
+#include <string>
+
+#include "ml/dataset.h"
+#include "ml/model.h"
+
+namespace arda::ml {
+
+/// Options for the budgeted random-search AutoML baseline.
+struct AutoMlConfig {
+  /// Wall-clock budget; the search stops after the first config that
+  /// finishes past this point (scaled-down stand-in for the paper's 1 h
+  /// Azure AutoML / Alpine Meadow runs).
+  double time_budget_seconds = 5.0;
+  /// Hard cap on configurations tried regardless of time.
+  size_t max_configs = 200;
+  double test_fraction = 0.25;
+  uint64_t seed = 71;
+};
+
+/// Result of an AutoML run.
+struct AutoMlResult {
+  /// Best holdout score found (higher is better: accuracy or -MAE).
+  double best_score = -1e300;
+  /// Human-readable description of the winning configuration.
+  std::string best_config;
+  /// Configurations evaluated within the budget.
+  size_t configs_tried = 0;
+  /// Wall-clock seconds actually spent.
+  double elapsed_seconds = 0.0;
+};
+
+/// Time-budgeted random search over the model zoo (random forests,
+/// decision trees, ridge/Lasso for regression, logistic / linear SVM /
+/// RBF SVM for classification) with randomized hyperparameters. Plays the
+/// role of the black-box AutoML estimators the paper compares against.
+AutoMlResult RunRandomSearchAutoMl(const Dataset& data,
+                                   const AutoMlConfig& config = {});
+
+}  // namespace arda::ml
+
+#endif  // ARDA_ML_AUTOML_H_

@@ -1,0 +1,54 @@
+#include "ml/dataset.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "util/check.h"
+
+namespace arda::ml {
+
+const char* TaskTypeName(TaskType task) {
+  return task == TaskType::kRegression ? "regression" : "classification";
+}
+
+size_t Dataset::NumClasses() const {
+  if (task != TaskType::kClassification || y.empty()) return 0;
+  double max_label = *std::max_element(y.begin(), y.end());
+  ARDA_CHECK_GE(max_label, 0.0);
+  return static_cast<size_t>(std::lround(max_label)) + 1;
+}
+
+Dataset Dataset::SelectFeatures(const std::vector<size_t>& features) const {
+  Dataset out;
+  out.x = x.SelectCols(features);
+  out.y = y;
+  out.task = task;
+  out.feature_names.reserve(features.size());
+  for (size_t f : features) {
+    ARDA_CHECK_LT(f, feature_names.size());
+    out.feature_names.push_back(feature_names[f]);
+  }
+  return out;
+}
+
+Dataset Dataset::SelectRows(const std::vector<size_t>& rows) const {
+  Dataset out;
+  out.x = x.SelectRows(rows);
+  out.task = task;
+  out.feature_names = feature_names;
+  out.y.reserve(rows.size());
+  for (size_t r : rows) {
+    ARDA_CHECK_LT(r, y.size());
+    out.y.push_back(y[r]);
+  }
+  return out;
+}
+
+std::vector<int> DistinctLabels(const std::vector<double>& y) {
+  std::set<int> labels;
+  for (double v : y) labels.insert(static_cast<int>(std::lround(v)));
+  return std::vector<int>(labels.begin(), labels.end());
+}
+
+}  // namespace arda::ml

@@ -1,0 +1,46 @@
+#ifndef ARDA_ML_DATASET_H_
+#define ARDA_ML_DATASET_H_
+
+#include <string>
+#include <vector>
+
+#include "la/matrix.h"
+
+namespace arda::ml {
+
+/// Learning task kind. Classification labels are small non-negative
+/// integers stored as doubles in `y`; regression targets are arbitrary
+/// doubles.
+enum class TaskType { kRegression, kClassification };
+
+/// Returns "regression" or "classification".
+const char* TaskTypeName(TaskType task);
+
+/// A fully numeric supervised-learning dataset: feature matrix, target
+/// vector, feature names and task kind. Produced by encoding an augmented
+/// DataFrame; consumed by models, rankers and selectors.
+struct Dataset {
+  la::Matrix x;
+  std::vector<double> y;
+  std::vector<std::string> feature_names;
+  TaskType task = TaskType::kRegression;
+
+  size_t NumRows() const { return x.rows(); }
+  size_t NumFeatures() const { return x.cols(); }
+
+  /// Number of distinct classes (max label + 1); 0 for regression.
+  size_t NumClasses() const;
+
+  /// Returns the dataset restricted to the given feature indices.
+  Dataset SelectFeatures(const std::vector<size_t>& features) const;
+
+  /// Returns the dataset restricted to the given row indices (repeats OK).
+  Dataset SelectRows(const std::vector<size_t>& rows) const;
+};
+
+/// Distinct class labels present in `y`, sorted ascending.
+std::vector<int> DistinctLabels(const std::vector<double>& y);
+
+}  // namespace arda::ml
+
+#endif  // ARDA_ML_DATASET_H_

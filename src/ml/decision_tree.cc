@@ -1,0 +1,215 @@
+#include "ml/decision_tree.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace arda::ml {
+
+namespace {
+
+// Counts per integer class label; labels are assumed in [0, num_classes).
+size_t NumClassesIn(const std::vector<double>& y) {
+  double max_label = 0.0;
+  for (double v : y) max_label = std::max(max_label, v);
+  return static_cast<size_t>(std::lround(max_label)) + 1;
+}
+
+double GiniTimesCount(const std::vector<double>& counts, double total) {
+  if (total <= 0.0) return 0.0;
+  double sum_sq = 0.0;
+  for (double c : counts) sum_sq += c * c;
+  return total - sum_sq / total;  // total * (1 - sum p_i^2)
+}
+
+}  // namespace
+
+DecisionTree::DecisionTree(const TreeConfig& config) : config_(config) {}
+
+void DecisionTree::Fit(const la::Matrix& x, const std::vector<double>& y) {
+  ARDA_CHECK_EQ(x.rows(), y.size());
+  ARDA_CHECK_GT(x.rows(), 0u);
+  nodes_.clear();
+  num_features_ = x.cols();
+  importances_.assign(num_features_, 0.0);
+  std::vector<size_t> indices(x.rows());
+  for (size_t i = 0; i < indices.size(); ++i) indices[i] = i;
+  Rng rng(config_.seed);
+  BuildNode(x, y, &indices, 0, indices.size(), 0, &rng);
+  double total = 0.0;
+  for (double v : importances_) total += v;
+  if (total > 0.0) {
+    for (double& v : importances_) v /= total;
+  }
+}
+
+int DecisionTree::BuildNode(const la::Matrix& x, const std::vector<double>& y,
+                            std::vector<size_t>* indices, size_t begin,
+                            size_t end, size_t depth, Rng* rng) {
+  const size_t count = end - begin;
+  ARDA_CHECK_GT(count, 0u);
+  const int node_id = static_cast<int>(nodes_.size());
+  nodes_.emplace_back();
+
+  const bool classification = config_.task == TaskType::kClassification;
+  const size_t num_classes = classification ? NumClassesIn(y) : 0;
+
+  // Node statistics: impurity (scaled by count) and the leaf prediction.
+  double node_impurity = 0.0;
+  double leaf_value = 0.0;
+  std::vector<double> class_counts;
+  if (classification) {
+    class_counts.assign(num_classes, 0.0);
+    for (size_t i = begin; i < end; ++i) {
+      class_counts[static_cast<size_t>(std::lround(y[(*indices)[i]]))] += 1.0;
+    }
+    node_impurity = GiniTimesCount(class_counts, static_cast<double>(count));
+    size_t best_class = 0;
+    for (size_t c = 1; c < num_classes; ++c) {
+      if (class_counts[c] > class_counts[best_class]) best_class = c;
+    }
+    leaf_value = static_cast<double>(best_class);
+  } else {
+    double sum = 0.0, sum_sq = 0.0;
+    for (size_t i = begin; i < end; ++i) {
+      double v = y[(*indices)[i]];
+      sum += v;
+      sum_sq += v * v;
+    }
+    leaf_value = sum / static_cast<double>(count);
+    node_impurity = sum_sq - sum * sum / static_cast<double>(count);  // SSE
+  }
+  nodes_[node_id].value = leaf_value;
+
+  const bool pure = node_impurity <= 1e-12;
+  if (depth >= config_.max_depth || count < config_.min_samples_split ||
+      count < 2 * config_.min_samples_leaf || pure) {
+    return node_id;
+  }
+
+  // Feature subset for this node.
+  std::vector<size_t> features;
+  if (config_.max_features == 0 || config_.max_features >= num_features_) {
+    features.resize(num_features_);
+    for (size_t f = 0; f < num_features_; ++f) features[f] = f;
+  } else {
+    features = rng->SampleWithoutReplacement(num_features_,
+                                             config_.max_features);
+  }
+
+  // Best split search.
+  double best_gain = config_.min_impurity_decrease;
+  size_t best_feature = 0;
+  double best_threshold = 0.0;
+  std::vector<std::pair<double, double>> sorted(count);  // (value, y)
+  std::vector<double> left_counts;
+  for (size_t f : features) {
+    for (size_t i = 0; i < count; ++i) {
+      size_t row = (*indices)[begin + i];
+      sorted[i] = {x(row, f), y[row]};
+    }
+    std::sort(sorted.begin(), sorted.end());
+    if (sorted.front().first == sorted.back().first) continue;  // constant
+
+    if (classification) {
+      left_counts.assign(num_classes, 0.0);
+      double left_n = 0.0;
+      for (size_t i = 0; i + 1 < count; ++i) {
+        left_counts[static_cast<size_t>(std::lround(sorted[i].second))] += 1.0;
+        left_n += 1.0;
+        if (sorted[i].first == sorted[i + 1].first) continue;
+        const double right_n = static_cast<double>(count) - left_n;
+        if (left_n < config_.min_samples_leaf ||
+            right_n < config_.min_samples_leaf) {
+          continue;
+        }
+        double left_imp = GiniTimesCount(left_counts, left_n);
+        double right_imp = 0.0;
+        {
+          double sum_sq = 0.0;
+          for (size_t c = 0; c < num_classes; ++c) {
+            double rc = class_counts[c] - left_counts[c];
+            sum_sq += rc * rc;
+          }
+          right_imp = right_n - sum_sq / right_n;
+        }
+        double gain = node_impurity - left_imp - right_imp;
+        if (gain > best_gain) {
+          best_gain = gain;
+          best_feature = f;
+          best_threshold = 0.5 * (sorted[i].first + sorted[i + 1].first);
+        }
+      }
+    } else {
+      double total_sum = 0.0, total_sq = 0.0;
+      for (const auto& [value, target] : sorted) {
+        total_sum += target;
+        total_sq += target * target;
+      }
+      double left_sum = 0.0, left_sq = 0.0, left_n = 0.0;
+      for (size_t i = 0; i + 1 < count; ++i) {
+        left_sum += sorted[i].second;
+        left_sq += sorted[i].second * sorted[i].second;
+        left_n += 1.0;
+        if (sorted[i].first == sorted[i + 1].first) continue;
+        const double right_n = static_cast<double>(count) - left_n;
+        if (left_n < config_.min_samples_leaf ||
+            right_n < config_.min_samples_leaf) {
+          continue;
+        }
+        double left_sse = left_sq - left_sum * left_sum / left_n;
+        double right_sum = total_sum - left_sum;
+        double right_sse =
+            (total_sq - left_sq) - right_sum * right_sum / right_n;
+        double gain = node_impurity - left_sse - right_sse;
+        if (gain > best_gain) {
+          best_gain = gain;
+          best_feature = f;
+          best_threshold = 0.5 * (sorted[i].first + sorted[i + 1].first);
+        }
+      }
+    }
+  }
+
+  if (best_gain <= config_.min_impurity_decrease) {
+    return node_id;  // no useful split found
+  }
+
+  // Partition index range by the chosen split.
+  auto middle = std::partition(
+      indices->begin() + static_cast<ptrdiff_t>(begin),
+      indices->begin() + static_cast<ptrdiff_t>(end),
+      [&](size_t row) { return x(row, best_feature) <= best_threshold; });
+  size_t mid = static_cast<size_t>(middle - indices->begin());
+  if (mid == begin || mid == end) {
+    return node_id;  // numerically degenerate split
+  }
+
+  importances_[best_feature] += best_gain;
+  nodes_[node_id].is_leaf = false;
+  nodes_[node_id].feature = best_feature;
+  nodes_[node_id].threshold = best_threshold;
+  int left = BuildNode(x, y, indices, begin, mid, depth + 1, rng);
+  int right = BuildNode(x, y, indices, mid, end, depth + 1, rng);
+  nodes_[node_id].left = left;
+  nodes_[node_id].right = right;
+  return node_id;
+}
+
+std::vector<double> DecisionTree::Predict(const la::Matrix& x) const {
+  ARDA_CHECK(!nodes_.empty());
+  ARDA_CHECK_EQ(x.cols(), num_features_);
+  std::vector<double> out(x.rows());
+  for (size_t r = 0; r < x.rows(); ++r) {
+    int node = 0;
+    while (!nodes_[static_cast<size_t>(node)].is_leaf) {
+      const Node& nd = nodes_[static_cast<size_t>(node)];
+      node = x(r, nd.feature) <= nd.threshold ? nd.left : nd.right;
+    }
+    out[r] = nodes_[static_cast<size_t>(node)].value;
+  }
+  return out;
+}
+
+}  // namespace arda::ml

@@ -1,0 +1,67 @@
+#ifndef ARDA_ML_DECISION_TREE_H_
+#define ARDA_ML_DECISION_TREE_H_
+
+#include <vector>
+
+#include "ml/model.h"
+#include "util/rng.h"
+
+namespace arda::ml {
+
+/// Hyperparameters for a CART decision tree.
+struct TreeConfig {
+  TaskType task = TaskType::kRegression;
+  size_t max_depth = 12;
+  size_t min_samples_split = 2;
+  size_t min_samples_leaf = 1;
+  /// Features examined per split; 0 means all, otherwise a random subset
+  /// of this size is drawn per node (random-forest style).
+  size_t max_features = 0;
+  /// Splits must reduce weighted impurity by at least this much.
+  double min_impurity_decrease = 1e-9;
+  uint64_t seed = 7;
+};
+
+/// CART decision tree: variance reduction for regression, Gini for
+/// classification. Supports per-node feature subsampling and exposes
+/// impurity-based feature importances (both needed by the random forest
+/// and the RIFS ranking ensemble).
+class DecisionTree : public Model {
+ public:
+  explicit DecisionTree(const TreeConfig& config);
+
+  void Fit(const la::Matrix& x, const std::vector<double>& y) override;
+  std::vector<double> Predict(const la::Matrix& x) const override;
+
+  /// Total impurity decrease attributed to each feature during Fit,
+  /// normalized to sum to 1 (all zeros if the tree is a single leaf).
+  const std::vector<double>& feature_importances() const {
+    return importances_;
+  }
+
+  /// Number of nodes in the fitted tree.
+  size_t NumNodes() const { return nodes_.size(); }
+
+ private:
+  struct Node {
+    bool is_leaf = true;
+    size_t feature = 0;
+    double threshold = 0.0;
+    double value = 0.0;  // prediction for leaves
+    int left = -1;
+    int right = -1;
+  };
+
+  int BuildNode(const la::Matrix& x, const std::vector<double>& y,
+                std::vector<size_t>* indices, size_t begin, size_t end,
+                size_t depth, Rng* rng);
+
+  TreeConfig config_;
+  std::vector<Node> nodes_;
+  std::vector<double> importances_;
+  size_t num_features_ = 0;
+};
+
+}  // namespace arda::ml
+
+#endif  // ARDA_ML_DECISION_TREE_H_

@@ -1,0 +1,62 @@
+#ifndef ARDA_ML_EVALUATOR_H_
+#define ARDA_ML_EVALUATOR_H_
+
+#include <memory>
+#include <vector>
+
+#include "ml/dataset.h"
+#include "ml/model.h"
+#include "ml/split.h"
+
+namespace arda::ml {
+
+/// Scores feature subsets of one dataset on a fixed train/holdout split.
+///
+/// All of ARDA's comparisons (RIFS threshold sweep, exponential search,
+/// wrapper selectors, final augmentation decisions) are "did the holdout
+/// score improve?" questions, so the split is frozen at construction —
+/// every candidate subset is judged on exactly the same rows.
+///
+/// Scores are "higher is better": accuracy for classification, negative
+/// MAE for regression (see HigherIsBetterScore).
+class Evaluator {
+ public:
+  /// Freezes a stratified train/holdout split of `data`.
+  Evaluator(const Dataset& data, double test_fraction, uint64_t seed);
+
+  /// Holdout score of the paper's *fixed* default estimator (a modest
+  /// random forest) trained on the given feature subset. This is the fast
+  /// inner-loop scorer used during feature selection.
+  double ScoreFeatures(const std::vector<size_t>& features) const;
+
+  /// ScoreFeatures over all features.
+  double ScoreAllFeatures() const;
+
+  /// Holdout score of the paper's final estimate: a lightly tuned random
+  /// forest (two depth settings) plus, for classification, an RBF-kernel
+  /// SVM — the best holdout score is reported (Section 7).
+  double FinalScore(const std::vector<size_t>& features) const;
+
+  /// Holdout score of a caller-supplied model on a feature subset.
+  double ScoreModel(Model* model, const std::vector<size_t>& features) const;
+
+  TaskType task() const { return train_.task; }
+  size_t NumFeatures() const { return train_.NumFeatures(); }
+  const Dataset& train() const { return train_; }
+  const Dataset& test() const { return test_; }
+
+  /// Fresh instance of the fixed default estimator.
+  std::unique_ptr<Model> MakeDefaultModel() const;
+
+ private:
+  Dataset train_;
+  Dataset test_;
+  uint64_t seed_;
+};
+
+/// All feature indices [0, count).
+std::vector<size_t> AllFeatureIndices(size_t count);
+
+}  // namespace arda::ml
+
+#endif  // ARDA_ML_EVALUATOR_H_

@@ -1,0 +1,152 @@
+#include "ml/gradient_boosting.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace arda::ml {
+
+namespace {
+
+double Sigmoid(double z) {
+  if (z >= 0.0) return 1.0 / (1.0 + std::exp(-z));
+  double e = std::exp(z);
+  return e / (1.0 + e);
+}
+
+}  // namespace
+
+GradientBoosting::GradientBoosting(const BoostingConfig& config)
+    : config_(config) {
+  ARDA_CHECK_GT(config.num_rounds, 0u);
+  ARDA_CHECK_GT(config.learning_rate, 0.0);
+  ARDA_CHECK_GT(config.subsample, 0.0);
+  ARDA_CHECK_LE(config.subsample, 1.0);
+}
+
+GradientBoosting::Ensemble GradientBoosting::FitBinary(
+    const la::Matrix& x, const std::vector<double>& target, bool logistic,
+    Rng* rng) const {
+  const size_t n = x.rows();
+  Ensemble ensemble;
+  if (logistic) {
+    // Initialize at the log-odds of the positive rate.
+    double positives = 0.0;
+    for (double t : target) positives += t;
+    double rate =
+        std::clamp(positives / static_cast<double>(n), 1e-6, 1.0 - 1e-6);
+    ensemble.base_score = std::log(rate / (1.0 - rate));
+  } else {
+    double mean = 0.0;
+    for (double t : target) mean += t;
+    ensemble.base_score = mean / static_cast<double>(n);
+  }
+
+  std::vector<double> score(n, ensemble.base_score);
+  std::vector<double> residual(n);
+  const size_t sample_size = std::max<size_t>(
+      2, static_cast<size_t>(config_.subsample * static_cast<double>(n)));
+
+  TreeConfig tree_config;
+  tree_config.task = TaskType::kRegression;  // trees fit the gradient
+  tree_config.max_depth = config_.max_depth;
+  tree_config.min_samples_leaf = config_.min_samples_leaf;
+
+  for (size_t round = 0; round < config_.num_rounds; ++round) {
+    // Negative gradient of the loss at the current scores.
+    for (size_t i = 0; i < n; ++i) {
+      residual[i] = logistic ? target[i] - Sigmoid(score[i])
+                             : target[i] - score[i];
+    }
+    std::vector<size_t> rows =
+        sample_size >= n ? std::vector<size_t>()
+                         : rng->SampleWithoutReplacement(n, sample_size);
+    tree_config.seed = rng->NextUint64();
+    DecisionTree tree(tree_config);
+    if (rows.empty()) {
+      tree.Fit(x, residual);
+    } else {
+      la::Matrix xs = x.SelectRows(rows);
+      std::vector<double> rs(rows.size());
+      for (size_t i = 0; i < rows.size(); ++i) rs[i] = residual[rows[i]];
+      tree.Fit(xs, rs);
+    }
+    std::vector<double> update = tree.Predict(x);
+    for (size_t i = 0; i < n; ++i) {
+      score[i] += config_.learning_rate * update[i];
+    }
+    ensemble.trees.push_back(std::move(tree));
+  }
+  return ensemble;
+}
+
+void GradientBoosting::Fit(const la::Matrix& x,
+                           const std::vector<double>& y) {
+  ARDA_CHECK_EQ(x.rows(), y.size());
+  ARDA_CHECK_GT(x.rows(), 1u);
+  ensembles_.clear();
+  Rng rng(config_.seed);
+
+  if (config_.task == TaskType::kRegression) {
+    num_classes_ = 0;
+    ensembles_.push_back(FitBinary(x, y, /*logistic=*/false, &rng));
+    return;
+  }
+  double max_label = *std::max_element(y.begin(), y.end());
+  num_classes_ = static_cast<size_t>(std::lround(max_label)) + 1;
+  const size_t models = num_classes_ <= 2 ? 1 : num_classes_;
+  std::vector<double> target(y.size());
+  for (size_t m = 0; m < models; ++m) {
+    const double positive = num_classes_ <= 2 ? 1.0 : static_cast<double>(m);
+    for (size_t i = 0; i < y.size(); ++i) {
+      target[i] = std::lround(y[i]) == std::lround(positive) ? 1.0 : 0.0;
+    }
+    ensembles_.push_back(FitBinary(x, target, /*logistic=*/true, &rng));
+  }
+}
+
+std::vector<double> GradientBoosting::RawScores(const Ensemble& ensemble,
+                                                const la::Matrix& x) const {
+  std::vector<double> score(x.rows(), ensemble.base_score);
+  for (const DecisionTree& tree : ensemble.trees) {
+    std::vector<double> update = tree.Predict(x);
+    for (size_t i = 0; i < score.size(); ++i) {
+      score[i] += config_.learning_rate * update[i];
+    }
+  }
+  return score;
+}
+
+std::vector<double> GradientBoosting::Predict(const la::Matrix& x) const {
+  ARDA_CHECK(!ensembles_.empty());
+  if (config_.task == TaskType::kRegression) {
+    return RawScores(ensembles_[0], x);
+  }
+  if (num_classes_ <= 2) {
+    std::vector<double> score = RawScores(ensembles_[0], x);
+    for (double& s : score) s = s >= 0.0 ? 1.0 : 0.0;
+    return score;
+  }
+  std::vector<std::vector<double>> scores;
+  scores.reserve(ensembles_.size());
+  for (const Ensemble& ensemble : ensembles_) {
+    scores.push_back(RawScores(ensemble, x));
+  }
+  std::vector<double> out(x.rows());
+  for (size_t i = 0; i < x.rows(); ++i) {
+    size_t best = 0;
+    for (size_t m = 1; m < scores.size(); ++m) {
+      if (scores[m][i] > scores[best][i]) best = m;
+    }
+    out[i] = static_cast<double>(best);
+  }
+  return out;
+}
+
+size_t GradientBoosting::NumRounds() const {
+  return ensembles_.empty() ? 0 : ensembles_[0].trees.size();
+}
+
+}  // namespace arda::ml

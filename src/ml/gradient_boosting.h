@@ -1,0 +1,55 @@
+#ifndef ARDA_ML_GRADIENT_BOOSTING_H_
+#define ARDA_ML_GRADIENT_BOOSTING_H_
+
+#include <vector>
+
+#include "ml/decision_tree.h"
+#include "ml/model.h"
+
+namespace arda::ml {
+
+/// Hyperparameters for gradient-boosted trees.
+struct BoostingConfig {
+  TaskType task = TaskType::kRegression;
+  size_t num_rounds = 60;
+  double learning_rate = 0.1;
+  size_t max_depth = 3;
+  size_t min_samples_leaf = 3;
+  /// Rows sampled (without replacement) per round; 1.0 = all.
+  double subsample = 0.8;
+  uint64_t seed = 37;
+};
+
+/// Gradient-boosted shallow CART trees: squared loss for regression,
+/// one-vs-rest logistic loss for classification. Rounds out the model zoo
+/// the random-search AutoML baseline draws from (real AutoML systems lean
+/// heavily on boosting for tabular data).
+class GradientBoosting : public Model {
+ public:
+  explicit GradientBoosting(const BoostingConfig& config);
+
+  void Fit(const la::Matrix& x, const std::vector<double>& y) override;
+  std::vector<double> Predict(const la::Matrix& x) const override;
+
+  size_t NumRounds() const;
+
+ private:
+  /// One boosted ensemble (regression, or one one-vs-rest class).
+  struct Ensemble {
+    double base_score = 0.0;
+    std::vector<DecisionTree> trees;
+  };
+
+  std::vector<double> RawScores(const Ensemble& ensemble,
+                                const la::Matrix& x) const;
+  Ensemble FitBinary(const la::Matrix& x, const std::vector<double>& target,
+                     bool logistic, Rng* rng) const;
+
+  BoostingConfig config_;
+  std::vector<Ensemble> ensembles_;
+  size_t num_classes_ = 0;
+};
+
+}  // namespace arda::ml
+
+#endif  // ARDA_ML_GRADIENT_BOOSTING_H_

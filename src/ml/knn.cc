@@ -1,0 +1,84 @@
+#include "ml/knn.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace arda::ml {
+
+KNearestNeighbors::KNearestNeighbors(const KnnConfig& config)
+    : config_(config) {
+  ARDA_CHECK_GT(config.k, 0u);
+}
+
+void KNearestNeighbors::Fit(const la::Matrix& x,
+                            const std::vector<double>& y) {
+  ARDA_CHECK_EQ(x.rows(), y.size());
+  ARDA_CHECK_GT(x.rows(), 0u);
+  stats_ = la::ComputeColumnStats(x);
+  train_x_ = la::Standardize(x, stats_);
+  train_y_ = y;
+  if (config_.task == TaskType::kClassification) {
+    double max_label = *std::max_element(y.begin(), y.end());
+    num_classes_ = static_cast<size_t>(std::lround(max_label)) + 1;
+  }
+}
+
+std::vector<double> KNearestNeighbors::Predict(const la::Matrix& x) const {
+  ARDA_CHECK_GT(train_x_.rows(), 0u);
+  ARDA_CHECK_EQ(x.cols(), train_x_.cols());
+  la::Matrix xs = la::Standardize(x, stats_);
+  const size_t n_train = train_x_.rows();
+  const size_t k = std::min(config_.k, n_train);
+
+  std::vector<double> out(xs.rows());
+  std::vector<std::pair<double, size_t>> distances(n_train);
+  for (size_t q = 0; q < xs.rows(); ++q) {
+    const double* query = xs.RowPtr(q);
+    for (size_t t = 0; t < n_train; ++t) {
+      const double* row = train_x_.RowPtr(t);
+      double dist_sq = 0.0;
+      for (size_t c = 0; c < xs.cols(); ++c) {
+        double diff = query[c] - row[c];
+        dist_sq += diff * diff;
+      }
+      distances[t] = {dist_sq, t};
+    }
+    std::partial_sort(distances.begin(),
+                      distances.begin() + static_cast<ptrdiff_t>(k),
+                      distances.end());
+    if (config_.task == TaskType::kRegression) {
+      double total_weight = 0.0;
+      double sum = 0.0;
+      for (size_t i = 0; i < k; ++i) {
+        double weight =
+            config_.distance_weighted
+                ? 1.0 / (std::sqrt(distances[i].first) + 1e-9)
+                : 1.0;
+        sum += weight * train_y_[distances[i].second];
+        total_weight += weight;
+      }
+      out[q] = sum / total_weight;
+    } else {
+      std::vector<double> votes(num_classes_, 0.0);
+      for (size_t i = 0; i < k; ++i) {
+        double weight =
+            config_.distance_weighted
+                ? 1.0 / (std::sqrt(distances[i].first) + 1e-9)
+                : 1.0;
+        size_t label = static_cast<size_t>(
+            std::lround(train_y_[distances[i].second]));
+        if (label < num_classes_) votes[label] += weight;
+      }
+      size_t best = 0;
+      for (size_t c = 1; c < num_classes_; ++c) {
+        if (votes[c] > votes[best]) best = c;
+      }
+      out[q] = static_cast<double>(best);
+    }
+  }
+  return out;
+}
+
+}  // namespace arda::ml

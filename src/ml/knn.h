@@ -1,0 +1,40 @@
+#ifndef ARDA_ML_KNN_H_
+#define ARDA_ML_KNN_H_
+
+#include <vector>
+
+#include "la/linalg.h"
+#include "ml/model.h"
+
+namespace arda::ml {
+
+/// Hyperparameters for k-nearest-neighbours prediction.
+struct KnnConfig {
+  TaskType task = TaskType::kRegression;
+  size_t k = 5;
+  /// Weight neighbours by inverse distance rather than uniformly.
+  bool distance_weighted = false;
+};
+
+/// Brute-force k-NN on standardized features: majority vote for
+/// classification, (weighted) mean for regression. Quadratic in the
+/// number of rows, intended for coreset-scale data; rounds out the model
+/// zoo and gives the Relief family a reference predictor.
+class KNearestNeighbors : public Model {
+ public:
+  explicit KNearestNeighbors(const KnnConfig& config = {});
+
+  void Fit(const la::Matrix& x, const std::vector<double>& y) override;
+  std::vector<double> Predict(const la::Matrix& x) const override;
+
+ private:
+  KnnConfig config_;
+  la::ColumnStats stats_;
+  la::Matrix train_x_;
+  std::vector<double> train_y_;
+  size_t num_classes_ = 0;
+};
+
+}  // namespace arda::ml
+
+#endif  // ARDA_ML_KNN_H_

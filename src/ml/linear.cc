@@ -1,0 +1,323 @@
+#include "ml/linear.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace arda::ml {
+
+namespace {
+
+double SoftThreshold(double value, double threshold) {
+  if (value > threshold) return value - threshold;
+  if (value < -threshold) return value + threshold;
+  return 0.0;
+}
+
+double Sigmoid(double z) {
+  if (z >= 0.0) {
+    return 1.0 / (1.0 + std::exp(-z));
+  }
+  double e = std::exp(z);
+  return e / (1.0 + e);
+}
+
+size_t CountClasses(const std::vector<double>& y) {
+  double max_label = 0.0;
+  for (double v : y) max_label = std::max(max_label, v);
+  return static_cast<size_t>(std::lround(max_label)) + 1;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- Ridge --
+
+RidgeRegression::RidgeRegression(double lambda) : lambda_(lambda) {
+  ARDA_CHECK_GT(lambda, 0.0);
+}
+
+void RidgeRegression::Fit(const la::Matrix& x, const std::vector<double>& y) {
+  ARDA_CHECK_EQ(x.rows(), y.size());
+  stats_ = la::ComputeColumnStats(x);
+  la::Matrix xs = la::Standardize(x, stats_);
+  intercept_ = la::Mean(y);
+  std::vector<double> centered(y.size());
+  for (size_t i = 0; i < y.size(); ++i) centered[i] = y[i] - intercept_;
+  weights_ = la::RidgeSolve(xs, centered, lambda_);
+}
+
+std::vector<double> RidgeRegression::Predict(const la::Matrix& x) const {
+  ARDA_CHECK_EQ(x.cols(), weights_.size());
+  la::Matrix xs = la::Standardize(x, stats_);
+  std::vector<double> out = xs.MultiplyVec(weights_);
+  for (double& v : out) v += intercept_;
+  return out;
+}
+
+// ---------------------------------------------------------------- Lasso --
+
+Lasso::Lasso(double alpha, size_t max_iters, double tolerance)
+    : alpha_(alpha), max_iters_(max_iters), tolerance_(tolerance) {
+  ARDA_CHECK_GE(alpha, 0.0);
+}
+
+void Lasso::Fit(const la::Matrix& x, const std::vector<double>& y) {
+  ARDA_CHECK_EQ(x.rows(), y.size());
+  const size_t n = x.rows();
+  const size_t d = x.cols();
+  stats_ = la::ComputeColumnStats(x);
+  la::Matrix xs = la::Standardize(x, stats_);
+  intercept_ = la::Mean(y);
+  std::vector<double> residual(n);
+  for (size_t i = 0; i < n; ++i) residual[i] = y[i] - intercept_;
+
+  weights_.assign(d, 0.0);
+  // Column squared norms (constant across iterations).
+  std::vector<double> col_sq(d, 0.0);
+  for (size_t r = 0; r < n; ++r) {
+    const double* row = xs.RowPtr(r);
+    for (size_t c = 0; c < d; ++c) col_sq[c] += row[c] * row[c];
+  }
+  const double n_alpha = alpha_ * static_cast<double>(n);
+
+  for (size_t iter = 0; iter < max_iters_; ++iter) {
+    double max_delta = 0.0;
+    for (size_t c = 0; c < d; ++c) {
+      if (col_sq[c] <= 1e-12) continue;
+      // rho = x_c^T (residual + w_c * x_c)
+      double rho = 0.0;
+      for (size_t r = 0; r < n; ++r) rho += xs(r, c) * residual[r];
+      rho += weights_[c] * col_sq[c];
+      double new_w = SoftThreshold(rho, n_alpha) / col_sq[c];
+      double delta = new_w - weights_[c];
+      if (delta != 0.0) {
+        for (size_t r = 0; r < n; ++r) residual[r] -= delta * xs(r, c);
+        weights_[c] = new_w;
+        max_delta = std::max(max_delta, std::fabs(delta));
+      }
+    }
+    if (max_delta < tolerance_) break;
+  }
+}
+
+std::vector<double> Lasso::Predict(const la::Matrix& x) const {
+  ARDA_CHECK_EQ(x.cols(), weights_.size());
+  la::Matrix xs = la::Standardize(x, stats_);
+  std::vector<double> out = xs.MultiplyVec(weights_);
+  for (double& v : out) v += intercept_;
+  return out;
+}
+
+size_t Lasso::NumNonZero() const {
+  size_t count = 0;
+  for (double w : weights_) count += (w != 0.0);
+  return count;
+}
+
+// ------------------------------------------------------------- Logistic --
+
+LogisticRegression::LogisticRegression(double l2, size_t max_iters,
+                                       double learning_rate)
+    : l2_(l2), max_iters_(max_iters), learning_rate_(learning_rate) {}
+
+void LogisticRegression::Fit(const la::Matrix& x,
+                             const std::vector<double>& y) {
+  ARDA_CHECK_EQ(x.rows(), y.size());
+  const size_t n = x.rows();
+  const size_t d = x.cols();
+  stats_ = la::ComputeColumnStats(x);
+  la::Matrix xs = la::Standardize(x, stats_);
+  num_classes_ = CountClasses(y);
+  const size_t models = num_classes_ <= 2 ? 1 : num_classes_;
+  weights_ = la::Matrix(models, d);
+  intercepts_.assign(models, 0.0);
+
+  std::vector<double> margin(n), grad(d);
+  for (size_t m = 0; m < models; ++m) {
+    const double positive = num_classes_ <= 2 ? 1.0 : static_cast<double>(m);
+    std::vector<double> target(n);
+    for (size_t i = 0; i < n; ++i) {
+      target[i] = std::lround(y[i]) == std::lround(positive) ? 1.0 : 0.0;
+    }
+    std::vector<double> w(d, 0.0);
+    double b = 0.0;
+    double lr = learning_rate_;
+    for (size_t iter = 0; iter < max_iters_; ++iter) {
+      // margin = xs w + b; residual = sigmoid(margin) - target
+      for (size_t i = 0; i < n; ++i) {
+        const double* row = xs.RowPtr(i);
+        double z = b;
+        for (size_t c = 0; c < d; ++c) z += row[c] * w[c];
+        margin[i] = Sigmoid(z) - target[i];
+      }
+      std::fill(grad.begin(), grad.end(), 0.0);
+      double grad_b = 0.0;
+      for (size_t i = 0; i < n; ++i) {
+        const double* row = xs.RowPtr(i);
+        const double g = margin[i];
+        grad_b += g;
+        for (size_t c = 0; c < d; ++c) grad[c] += g * row[c];
+      }
+      const double inv_n = 1.0 / static_cast<double>(n);
+      double step_norm = 0.0;
+      for (size_t c = 0; c < d; ++c) {
+        double g = grad[c] * inv_n + l2_ * w[c];
+        w[c] -= lr * g;
+        step_norm += g * g;
+      }
+      b -= lr * grad_b * inv_n;
+      if (std::sqrt(step_norm) * lr < 1e-7) break;
+    }
+    weights_.SetRow(m, w);
+    intercepts_[m] = b;
+  }
+}
+
+std::vector<double> LogisticRegression::Predict(const la::Matrix& x) const {
+  ARDA_CHECK_EQ(x.cols(), weights_.cols());
+  la::Matrix xs = la::Standardize(x, stats_);
+  const size_t n = xs.rows();
+  std::vector<double> out(n);
+  if (num_classes_ <= 2) {
+    for (size_t i = 0; i < n; ++i) {
+      const double* row = xs.RowPtr(i);
+      double z = intercepts_[0];
+      for (size_t c = 0; c < xs.cols(); ++c) z += row[c] * weights_(0, c);
+      out[i] = z >= 0.0 ? 1.0 : 0.0;
+    }
+    return out;
+  }
+  for (size_t i = 0; i < n; ++i) {
+    const double* row = xs.RowPtr(i);
+    double best_score = -1e300;
+    size_t best_class = 0;
+    for (size_t m = 0; m < num_classes_; ++m) {
+      double z = intercepts_[m];
+      for (size_t c = 0; c < xs.cols(); ++c) z += row[c] * weights_(m, c);
+      if (z > best_score) {
+        best_score = z;
+        best_class = m;
+      }
+    }
+    out[i] = static_cast<double>(best_class);
+  }
+  return out;
+}
+
+std::vector<double> LogisticRegression::CoefImportances() const {
+  std::vector<double> out(weights_.cols(), 0.0);
+  for (size_t m = 0; m < weights_.rows(); ++m) {
+    for (size_t c = 0; c < weights_.cols(); ++c) {
+      out[c] += std::fabs(weights_(m, c));
+    }
+  }
+  if (weights_.rows() > 0) {
+    for (double& v : out) v /= static_cast<double>(weights_.rows());
+  }
+  return out;
+}
+
+// ------------------------------------------------------------ LinearSvm --
+
+LinearSvm::LinearSvm(double c, size_t max_iters, double learning_rate)
+    : c_(c), max_iters_(max_iters), learning_rate_(learning_rate) {
+  ARDA_CHECK_GT(c, 0.0);
+}
+
+void LinearSvm::Fit(const la::Matrix& x, const std::vector<double>& y) {
+  ARDA_CHECK_EQ(x.rows(), y.size());
+  const size_t n = x.rows();
+  const size_t d = x.cols();
+  stats_ = la::ComputeColumnStats(x);
+  la::Matrix xs = la::Standardize(x, stats_);
+  num_classes_ = CountClasses(y);
+  const size_t models = num_classes_ <= 2 ? 1 : num_classes_;
+  weights_ = la::Matrix(models, d);
+  intercepts_.assign(models, 0.0);
+
+  std::vector<double> grad(d);
+  for (size_t m = 0; m < models; ++m) {
+    const double positive = num_classes_ <= 2 ? 1.0 : static_cast<double>(m);
+    std::vector<double> sign(n);
+    for (size_t i = 0; i < n; ++i) {
+      sign[i] = std::lround(y[i]) == std::lround(positive) ? 1.0 : -1.0;
+    }
+    std::vector<double> w(d, 0.0);
+    double b = 0.0;
+    const double inv_n = 1.0 / static_cast<double>(n);
+    for (size_t iter = 0; iter < max_iters_; ++iter) {
+      // Squared-hinge loss: 1/(2C)||w||^2 + 1/n sum max(0, 1 - s_i z_i)^2
+      std::fill(grad.begin(), grad.end(), 0.0);
+      double grad_b = 0.0;
+      for (size_t i = 0; i < n; ++i) {
+        const double* row = xs.RowPtr(i);
+        double z = b;
+        for (size_t c = 0; c < d; ++c) z += row[c] * w[c];
+        double slack = 1.0 - sign[i] * z;
+        if (slack > 0.0) {
+          double g = -2.0 * slack * sign[i];
+          grad_b += g;
+          for (size_t c = 0; c < d; ++c) grad[c] += g * row[c];
+        }
+      }
+      const double lr = learning_rate_ / (1.0 + 0.05 * static_cast<double>(iter));
+      double step_norm = 0.0;
+      for (size_t c = 0; c < d; ++c) {
+        double g = grad[c] * inv_n + w[c] / c_;
+        w[c] -= lr * g;
+        step_norm += g * g;
+      }
+      b -= lr * grad_b * inv_n;
+      if (std::sqrt(step_norm) * lr < 1e-7) break;
+    }
+    weights_.SetRow(m, w);
+    intercepts_[m] = b;
+  }
+}
+
+std::vector<double> LinearSvm::Predict(const la::Matrix& x) const {
+  ARDA_CHECK_EQ(x.cols(), weights_.cols());
+  la::Matrix xs = la::Standardize(x, stats_);
+  const size_t n = xs.rows();
+  std::vector<double> out(n);
+  if (num_classes_ <= 2) {
+    for (size_t i = 0; i < n; ++i) {
+      const double* row = xs.RowPtr(i);
+      double z = intercepts_[0];
+      for (size_t c = 0; c < xs.cols(); ++c) z += row[c] * weights_(0, c);
+      out[i] = z >= 0.0 ? 1.0 : 0.0;
+    }
+    return out;
+  }
+  for (size_t i = 0; i < n; ++i) {
+    const double* row = xs.RowPtr(i);
+    double best_score = -1e300;
+    size_t best_class = 0;
+    for (size_t m = 0; m < num_classes_; ++m) {
+      double z = intercepts_[m];
+      for (size_t c = 0; c < xs.cols(); ++c) z += row[c] * weights_(m, c);
+      if (z > best_score) {
+        best_score = z;
+        best_class = m;
+      }
+    }
+    out[i] = static_cast<double>(best_class);
+  }
+  return out;
+}
+
+std::vector<double> LinearSvm::CoefImportances() const {
+  std::vector<double> out(weights_.cols(), 0.0);
+  for (size_t m = 0; m < weights_.rows(); ++m) {
+    for (size_t c = 0; c < weights_.cols(); ++c) {
+      out[c] += std::fabs(weights_(m, c));
+    }
+  }
+  if (weights_.rows() > 0) {
+    for (double& v : out) v /= static_cast<double>(weights_.rows());
+  }
+  return out;
+}
+
+}  // namespace arda::ml

@@ -1,0 +1,103 @@
+#ifndef ARDA_ML_LINEAR_H_
+#define ARDA_ML_LINEAR_H_
+
+#include <vector>
+
+#include "la/linalg.h"
+#include "ml/model.h"
+
+namespace arda::ml {
+
+/// Ridge-regularized linear least squares regression. Features are
+/// z-scored internally; the intercept is fit on the standardized scale.
+class RidgeRegression : public Model {
+ public:
+  explicit RidgeRegression(double lambda = 1e-3);
+
+  void Fit(const la::Matrix& x, const std::vector<double>& y) override;
+  std::vector<double> Predict(const la::Matrix& x) const override;
+
+  /// Weights on the standardized feature scale (no intercept).
+  const std::vector<double>& weights() const { return weights_; }
+
+ private:
+  double lambda_;
+  la::ColumnStats stats_;
+  std::vector<double> weights_;
+  double intercept_ = 0.0;
+};
+
+/// L1-regularized least squares fit by cyclic coordinate descent on
+/// standardized features. Regression-only; the magnitude of the learned
+/// weights drives the Lasso feature ranker.
+class Lasso : public Model {
+ public:
+  /// `alpha` is the L1 penalty on the standardized scale.
+  explicit Lasso(double alpha = 0.05, size_t max_iters = 200,
+                 double tolerance = 1e-6);
+
+  void Fit(const la::Matrix& x, const std::vector<double>& y) override;
+  std::vector<double> Predict(const la::Matrix& x) const override;
+
+  const std::vector<double>& weights() const { return weights_; }
+  /// Count of non-zero standardized weights after fitting.
+  size_t NumNonZero() const;
+
+ private:
+  double alpha_;
+  size_t max_iters_;
+  double tolerance_;
+  la::ColumnStats stats_;
+  std::vector<double> weights_;
+  double intercept_ = 0.0;
+};
+
+/// Multiclass logistic regression trained one-vs-rest with full-batch
+/// gradient descent and L2 regularization on standardized features.
+class LogisticRegression : public Model {
+ public:
+  explicit LogisticRegression(double l2 = 1e-3, size_t max_iters = 200,
+                              double learning_rate = 0.5);
+
+  void Fit(const la::Matrix& x, const std::vector<double>& y) override;
+  std::vector<double> Predict(const la::Matrix& x) const override;
+
+  /// Per-feature importance: mean |weight| over the one-vs-rest models.
+  std::vector<double> CoefImportances() const;
+
+ private:
+  double l2_;
+  size_t max_iters_;
+  double learning_rate_;
+  la::ColumnStats stats_;
+  la::Matrix weights_;  // classes x features (standardized scale)
+  std::vector<double> intercepts_;
+  size_t num_classes_ = 0;
+};
+
+/// Multiclass linear SVM (squared hinge, one-vs-rest) trained with
+/// full-batch subgradient descent on standardized features.
+class LinearSvm : public Model {
+ public:
+  explicit LinearSvm(double c = 1.0, size_t max_iters = 200,
+                     double learning_rate = 0.2);
+
+  void Fit(const la::Matrix& x, const std::vector<double>& y) override;
+  std::vector<double> Predict(const la::Matrix& x) const override;
+
+  /// Per-feature importance: mean |weight| over the one-vs-rest models.
+  std::vector<double> CoefImportances() const;
+
+ private:
+  double c_;
+  size_t max_iters_;
+  double learning_rate_;
+  la::ColumnStats stats_;
+  la::Matrix weights_;  // classes x features (standardized scale)
+  std::vector<double> intercepts_;
+  size_t num_classes_ = 0;
+};
+
+}  // namespace arda::ml
+
+#endif  // ARDA_ML_LINEAR_H_

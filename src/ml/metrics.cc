@@ -1,0 +1,100 @@
+#include "ml/metrics.h"
+
+#include <cmath>
+#include <map>
+
+#include "util/check.h"
+
+namespace arda::ml {
+
+double Accuracy(const std::vector<double>& y_true,
+                const std::vector<double>& y_pred) {
+  ARDA_CHECK_EQ(y_true.size(), y_pred.size());
+  if (y_true.empty()) return 0.0;
+  size_t correct = 0;
+  for (size_t i = 0; i < y_true.size(); ++i) {
+    if (std::lround(y_true[i]) == std::lround(y_pred[i])) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(y_true.size());
+}
+
+double MacroF1(const std::vector<double>& y_true,
+               const std::vector<double>& y_pred) {
+  ARDA_CHECK_EQ(y_true.size(), y_pred.size());
+  if (y_true.empty()) return 0.0;
+  std::map<int, size_t> tp, fp, fn;
+  for (size_t i = 0; i < y_true.size(); ++i) {
+    int truth = static_cast<int>(std::lround(y_true[i]));
+    int pred = static_cast<int>(std::lround(y_pred[i]));
+    if (truth == pred) {
+      ++tp[truth];
+    } else {
+      ++fp[pred];
+      ++fn[truth];
+    }
+  }
+  std::vector<int> labels = DistinctLabels(y_true);
+  double f1_sum = 0.0;
+  for (int label : labels) {
+    double tpv = static_cast<double>(tp[label]);
+    double fpv = static_cast<double>(fp[label]);
+    double fnv = static_cast<double>(fn[label]);
+    double denom = 2.0 * tpv + fpv + fnv;
+    f1_sum += denom > 0.0 ? (2.0 * tpv) / denom : 0.0;
+  }
+  return labels.empty() ? 0.0 : f1_sum / static_cast<double>(labels.size());
+}
+
+double MeanAbsoluteError(const std::vector<double>& y_true,
+                         const std::vector<double>& y_pred) {
+  ARDA_CHECK_EQ(y_true.size(), y_pred.size());
+  if (y_true.empty()) return 0.0;
+  double sum = 0.0;
+  for (size_t i = 0; i < y_true.size(); ++i) {
+    sum += std::fabs(y_true[i] - y_pred[i]);
+  }
+  return sum / static_cast<double>(y_true.size());
+}
+
+double MeanSquaredError(const std::vector<double>& y_true,
+                        const std::vector<double>& y_pred) {
+  ARDA_CHECK_EQ(y_true.size(), y_pred.size());
+  if (y_true.empty()) return 0.0;
+  double sum = 0.0;
+  for (size_t i = 0; i < y_true.size(); ++i) {
+    double d = y_true[i] - y_pred[i];
+    sum += d * d;
+  }
+  return sum / static_cast<double>(y_true.size());
+}
+
+double RootMeanSquaredError(const std::vector<double>& y_true,
+                            const std::vector<double>& y_pred) {
+  return std::sqrt(MeanSquaredError(y_true, y_pred));
+}
+
+double R2Score(const std::vector<double>& y_true,
+               const std::vector<double>& y_pred) {
+  ARDA_CHECK_EQ(y_true.size(), y_pred.size());
+  if (y_true.empty()) return 0.0;
+  double mean = 0.0;
+  for (double v : y_true) mean += v;
+  mean /= static_cast<double>(y_true.size());
+  double ss_res = 0.0, ss_tot = 0.0;
+  for (size_t i = 0; i < y_true.size(); ++i) {
+    ss_res += (y_true[i] - y_pred[i]) * (y_true[i] - y_pred[i]);
+    ss_tot += (y_true[i] - mean) * (y_true[i] - mean);
+  }
+  if (ss_tot <= 0.0) return ss_res <= 0.0 ? 1.0 : 0.0;
+  return 1.0 - ss_res / ss_tot;
+}
+
+double HigherIsBetterScore(TaskType task, const std::vector<double>& y_true,
+                           const std::vector<double>& y_pred) {
+  if (task == TaskType::kClassification) {
+    return Accuracy(y_true, y_pred);
+  }
+  return -MeanAbsoluteError(y_true, y_pred);
+}
+
+}  // namespace arda::ml

@@ -1,0 +1,44 @@
+#ifndef ARDA_ML_METRICS_H_
+#define ARDA_ML_METRICS_H_
+
+#include <vector>
+
+#include "ml/dataset.h"
+
+namespace arda::ml {
+
+/// Fraction of predictions matching the true label (labels compared after
+/// rounding to the nearest integer).
+double Accuracy(const std::vector<double>& y_true,
+                const std::vector<double>& y_pred);
+
+/// Macro-averaged F1 over the classes present in `y_true`.
+double MacroF1(const std::vector<double>& y_true,
+               const std::vector<double>& y_pred);
+
+/// Mean absolute error.
+double MeanAbsoluteError(const std::vector<double>& y_true,
+                         const std::vector<double>& y_pred);
+
+/// Mean squared error.
+double MeanSquaredError(const std::vector<double>& y_true,
+                        const std::vector<double>& y_pred);
+
+/// Root mean squared error.
+double RootMeanSquaredError(const std::vector<double>& y_true,
+                            const std::vector<double>& y_pred);
+
+/// Coefficient of determination; 0 when y_true is constant and
+/// predictions are imperfect.
+double R2Score(const std::vector<double>& y_true,
+               const std::vector<double>& y_pred);
+
+/// Task-appropriate "higher is better" score used throughout the system
+/// to compare feature sets and augmentations: accuracy for classification,
+/// negative MAE for regression.
+double HigherIsBetterScore(TaskType task, const std::vector<double>& y_true,
+                           const std::vector<double>& y_pred);
+
+}  // namespace arda::ml
+
+#endif  // ARDA_ML_METRICS_H_

@@ -1,0 +1,33 @@
+#ifndef ARDA_ML_MODEL_H_
+#define ARDA_ML_MODEL_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "la/matrix.h"
+#include "ml/dataset.h"
+
+namespace arda::ml {
+
+/// Interface implemented by every trainable predictor. Classification
+/// models return integer class labels (as doubles) from Predict;
+/// regression models return real-valued targets.
+class Model {
+ public:
+  virtual ~Model() = default;
+
+  /// Trains on feature matrix `x` and targets `y` (x.rows() == y.size()).
+  virtual void Fit(const la::Matrix& x, const std::vector<double>& y) = 0;
+
+  /// Predicts one value per row of `x`. Must be called after Fit.
+  virtual std::vector<double> Predict(const la::Matrix& x) const = 0;
+};
+
+/// A callable that makes fresh, untrained model instances; used by
+/// evaluators and wrapper feature selectors that train repeatedly.
+using ModelFactory = std::function<std::unique_ptr<Model>()>;
+
+}  // namespace arda::ml
+
+#endif  // ARDA_ML_MODEL_H_

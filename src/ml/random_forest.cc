@@ -1,0 +1,97 @@
+#include "ml/random_forest.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace arda::ml {
+
+RandomForest::RandomForest(const ForestConfig& config) : config_(config) {}
+
+void RandomForest::Fit(const la::Matrix& x, const std::vector<double>& y) {
+  ARDA_CHECK_EQ(x.rows(), y.size());
+  ARDA_CHECK_GT(x.rows(), 0u);
+  ARDA_CHECK_GT(config_.num_trees, 0u);
+  trees_.clear();
+  importances_.assign(x.cols(), 0.0);
+
+  if (config_.task == TaskType::kClassification) {
+    double max_label = *std::max_element(y.begin(), y.end());
+    num_classes_ = static_cast<size_t>(std::lround(max_label)) + 1;
+  }
+
+  size_t max_features = config_.max_features;
+  if (max_features == 0) {
+    max_features = std::max<size_t>(
+        1, static_cast<size_t>(std::lround(
+               std::sqrt(static_cast<double>(x.cols())))));
+  }
+
+  Rng rng(config_.seed);
+  const size_t sample_size = std::max<size_t>(
+      1, static_cast<size_t>(std::lround(
+             config_.bootstrap_fraction * static_cast<double>(x.rows()))));
+
+  trees_.reserve(config_.num_trees);
+  for (size_t t = 0; t < config_.num_trees; ++t) {
+    std::vector<size_t> rows = rng.SampleWithReplacement(x.rows(), sample_size);
+    la::Matrix xb = x.SelectRows(rows);
+    std::vector<double> yb(rows.size());
+    for (size_t i = 0; i < rows.size(); ++i) yb[i] = y[rows[i]];
+
+    TreeConfig tree_config;
+    tree_config.task = config_.task;
+    tree_config.max_depth = config_.max_depth;
+    tree_config.min_samples_leaf = config_.min_samples_leaf;
+    tree_config.max_features = max_features;
+    tree_config.seed = rng.NextUint64();
+    DecisionTree tree(tree_config);
+    tree.Fit(xb, yb);
+    const std::vector<double>& imp = tree.feature_importances();
+    for (size_t f = 0; f < imp.size(); ++f) importances_[f] += imp[f];
+    trees_.push_back(std::move(tree));
+  }
+
+  double total = 0.0;
+  for (double v : importances_) total += v;
+  if (total > 0.0) {
+    for (double& v : importances_) v /= total;
+  }
+}
+
+std::vector<double> RandomForest::Predict(const la::Matrix& x) const {
+  ARDA_CHECK(!trees_.empty());
+  const size_t n = x.rows();
+  if (config_.task == TaskType::kRegression) {
+    std::vector<double> sum(n, 0.0);
+    for (const DecisionTree& tree : trees_) {
+      std::vector<double> pred = tree.Predict(x);
+      for (size_t i = 0; i < n; ++i) sum[i] += pred[i];
+    }
+    const double inv = 1.0 / static_cast<double>(trees_.size());
+    for (double& v : sum) v *= inv;
+    return sum;
+  }
+  // Classification: majority vote.
+  std::vector<std::vector<uint32_t>> votes(n,
+                                           std::vector<uint32_t>(num_classes_));
+  for (const DecisionTree& tree : trees_) {
+    std::vector<double> pred = tree.Predict(x);
+    for (size_t i = 0; i < n; ++i) {
+      size_t label = static_cast<size_t>(std::lround(pred[i]));
+      if (label < num_classes_) ++votes[i][label];
+    }
+  }
+  std::vector<double> out(n);
+  for (size_t i = 0; i < n; ++i) {
+    size_t best = 0;
+    for (size_t c = 1; c < num_classes_; ++c) {
+      if (votes[i][c] > votes[i][best]) best = c;
+    }
+    out[i] = static_cast<double>(best);
+  }
+  return out;
+}
+
+}  // namespace arda::ml

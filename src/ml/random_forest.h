@@ -1,0 +1,50 @@
+#ifndef ARDA_ML_RANDOM_FOREST_H_
+#define ARDA_ML_RANDOM_FOREST_H_
+
+#include <vector>
+
+#include "ml/decision_tree.h"
+#include "ml/model.h"
+
+namespace arda::ml {
+
+/// Hyperparameters for a random forest.
+struct ForestConfig {
+  TaskType task = TaskType::kRegression;
+  size_t num_trees = 40;
+  size_t max_depth = 12;
+  size_t min_samples_leaf = 1;
+  /// Features per split; 0 means sqrt(d) (the usual forest default).
+  size_t max_features = 0;
+  /// Bootstrap sample size as a fraction of n.
+  double bootstrap_fraction = 1.0;
+  uint64_t seed = 13;
+};
+
+/// Bagged CART ensemble: majority vote for classification, mean for
+/// regression. Exposes averaged impurity importances, which both the
+/// random-forest feature ranker and RIFS consume.
+class RandomForest : public Model {
+ public:
+  explicit RandomForest(const ForestConfig& config);
+
+  void Fit(const la::Matrix& x, const std::vector<double>& y) override;
+  std::vector<double> Predict(const la::Matrix& x) const override;
+
+  /// Importances averaged over trees, normalized to sum to 1.
+  const std::vector<double>& feature_importances() const {
+    return importances_;
+  }
+
+  size_t NumTrees() const { return trees_.size(); }
+
+ private:
+  ForestConfig config_;
+  std::vector<DecisionTree> trees_;
+  std::vector<double> importances_;
+  size_t num_classes_ = 0;
+};
+
+}  // namespace arda::ml
+
+#endif  // ARDA_ML_RANDOM_FOREST_H_

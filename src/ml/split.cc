@@ -1,0 +1,94 @@
+#include "ml/split.h"
+
+#include <cmath>
+#include <map>
+
+#include "util/check.h"
+
+namespace arda::ml {
+
+namespace {
+
+// Row indices grouped by integer label.
+std::map<int, std::vector<size_t>> GroupByLabel(const std::vector<double>& y) {
+  std::map<int, std::vector<size_t>> groups;
+  for (size_t i = 0; i < y.size(); ++i) {
+    groups[static_cast<int>(std::lround(y[i]))].push_back(i);
+  }
+  return groups;
+}
+
+}  // namespace
+
+TrainTestSplit MakeTrainTestSplit(const Dataset& data, double test_fraction,
+                                  Rng* rng) {
+  ARDA_CHECK_GT(test_fraction, 0.0);
+  ARDA_CHECK_LT(test_fraction, 1.0);
+  const size_t n = data.NumRows();
+  ARDA_CHECK_GE(n, 2u);
+
+  std::vector<size_t> test_idx;
+  std::vector<size_t> train_idx;
+  if (data.task == TaskType::kClassification) {
+    for (auto& [label, rows] : GroupByLabel(data.y)) {
+      std::vector<size_t> shuffled = rows;
+      rng->Shuffle(&shuffled);
+      size_t test_count = static_cast<size_t>(
+          std::lround(test_fraction * static_cast<double>(shuffled.size())));
+      // Keep at least one row on each side for classes with >= 2 rows.
+      if (shuffled.size() >= 2) {
+        if (test_count == 0) test_count = 1;
+        if (test_count == shuffled.size()) test_count = shuffled.size() - 1;
+      } else {
+        test_count = 0;  // singleton classes stay in train
+      }
+      for (size_t i = 0; i < shuffled.size(); ++i) {
+        (i < test_count ? test_idx : train_idx).push_back(shuffled[i]);
+      }
+    }
+  } else {
+    std::vector<size_t> order(n);
+    for (size_t i = 0; i < n; ++i) order[i] = i;
+    rng->Shuffle(&order);
+    size_t test_count = static_cast<size_t>(
+        std::lround(test_fraction * static_cast<double>(n)));
+    if (test_count == 0) test_count = 1;
+    if (test_count == n) test_count = n - 1;
+    for (size_t i = 0; i < n; ++i) {
+      (i < test_count ? test_idx : train_idx).push_back(order[i]);
+    }
+  }
+
+  TrainTestSplit split;
+  split.train = data.SelectRows(train_idx);
+  split.test = data.SelectRows(test_idx);
+  split.train_indices = std::move(train_idx);
+  split.test_indices = std::move(test_idx);
+  return split;
+}
+
+std::vector<std::vector<size_t>> MakeKFoldIndices(const Dataset& data,
+                                                  size_t folds, Rng* rng) {
+  ARDA_CHECK_GE(folds, 2u);
+  const size_t n = data.NumRows();
+  std::vector<std::vector<size_t>> out(folds);
+  if (data.task == TaskType::kClassification) {
+    for (auto& [label, rows] : GroupByLabel(data.y)) {
+      std::vector<size_t> shuffled = rows;
+      rng->Shuffle(&shuffled);
+      for (size_t i = 0; i < shuffled.size(); ++i) {
+        out[i % folds].push_back(shuffled[i]);
+      }
+    }
+  } else {
+    std::vector<size_t> order(n);
+    for (size_t i = 0; i < n; ++i) order[i] = i;
+    rng->Shuffle(&order);
+    for (size_t i = 0; i < n; ++i) {
+      out[i % folds].push_back(order[i]);
+    }
+  }
+  return out;
+}
+
+}  // namespace arda::ml

@@ -1,0 +1,32 @@
+#ifndef ARDA_ML_SPLIT_H_
+#define ARDA_ML_SPLIT_H_
+
+#include <vector>
+
+#include "ml/dataset.h"
+#include "util/rng.h"
+
+namespace arda::ml {
+
+/// A train/holdout split of a dataset.
+struct TrainTestSplit {
+  Dataset train;
+  Dataset test;
+  std::vector<size_t> train_indices;
+  std::vector<size_t> test_indices;
+};
+
+/// Randomly splits `data` into train and holdout parts. For classification
+/// the split is stratified per label so every class appears on both sides
+/// when it has at least two examples. `test_fraction` must be in (0, 1).
+TrainTestSplit MakeTrainTestSplit(const Dataset& data, double test_fraction,
+                                  Rng* rng);
+
+/// Index folds for k-fold cross-validation (stratified for
+/// classification). Each entry is the test-index set for one fold.
+std::vector<std::vector<size_t>> MakeKFoldIndices(const Dataset& data,
+                                                  size_t folds, Rng* rng);
+
+}  // namespace arda::ml
+
+#endif  // ARDA_ML_SPLIT_H_

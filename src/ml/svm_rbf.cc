@@ -1,0 +1,175 @@
+#include "ml/svm_rbf.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace arda::ml {
+
+RbfSvm::RbfSvm(const RbfSvmConfig& config) : config_(config) {
+  ARDA_CHECK_GT(config.c, 0.0);
+}
+
+double RbfSvm::Kernel(const double* a, const double* b, size_t d) const {
+  double dist_sq = 0.0;
+  for (size_t i = 0; i < d; ++i) {
+    double diff = a[i] - b[i];
+    dist_sq += diff * diff;
+  }
+  return std::exp(-gamma_ * dist_sq);
+}
+
+RbfSvm::BinaryMachine RbfSvm::TrainBinary(
+    const la::Matrix& xs, const std::vector<double>& sign) const {
+  const size_t n = xs.rows();
+  const size_t d = xs.cols();
+  std::vector<double> alpha(n, 0.0);
+  double bias = 0.0;
+  Rng rng(config_.seed);
+
+  // Cache the kernel matrix for the training set (n is coreset-sized).
+  la::Matrix kernel(n, n);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i; j < n; ++j) {
+      double k = Kernel(xs.RowPtr(i), xs.RowPtr(j), d);
+      kernel(i, j) = k;
+      kernel(j, i) = k;
+    }
+  }
+  auto decision = [&](size_t i) {
+    double sum = bias;
+    for (size_t j = 0; j < n; ++j) {
+      if (alpha[j] > 0.0) sum += alpha[j] * sign[j] * kernel(j, i);
+    }
+    return sum;
+  };
+
+  size_t passes = 0;
+  size_t iters = 0;
+  const double c = config_.c;
+  const double tol = config_.tolerance;
+  while (passes < config_.max_passes && iters < config_.max_iters) {
+    size_t changed = 0;
+    for (size_t i = 0; i < n && iters < config_.max_iters; ++i, ++iters) {
+      const double ei = decision(i) - sign[i];
+      const bool violates = (sign[i] * ei < -tol && alpha[i] < c) ||
+                            (sign[i] * ei > tol && alpha[i] > 0.0);
+      if (!violates) continue;
+      size_t j = static_cast<size_t>(rng.UniformUint64(n - 1));
+      if (j >= i) ++j;
+      const double ej = decision(j) - sign[j];
+      double ai_old = alpha[i];
+      double aj_old = alpha[j];
+      double low, high;
+      if (sign[i] != sign[j]) {
+        low = std::max(0.0, aj_old - ai_old);
+        high = std::min(c, c + aj_old - ai_old);
+      } else {
+        low = std::max(0.0, ai_old + aj_old - c);
+        high = std::min(c, ai_old + aj_old);
+      }
+      if (low >= high) continue;
+      double eta = 2.0 * kernel(i, j) - kernel(i, i) - kernel(j, j);
+      if (eta >= -1e-12) continue;
+      double aj_new = aj_old - sign[j] * (ei - ej) / eta;
+      aj_new = std::clamp(aj_new, low, high);
+      if (std::fabs(aj_new - aj_old) < 1e-6) continue;
+      double ai_new = ai_old + sign[i] * sign[j] * (aj_old - aj_new);
+      alpha[i] = ai_new;
+      alpha[j] = aj_new;
+      double b1 = bias - ei - sign[i] * (ai_new - ai_old) * kernel(i, i) -
+                  sign[j] * (aj_new - aj_old) * kernel(i, j);
+      double b2 = bias - ej - sign[i] * (ai_new - ai_old) * kernel(i, j) -
+                  sign[j] * (aj_new - aj_old) * kernel(j, j);
+      if (ai_new > 0.0 && ai_new < c) {
+        bias = b1;
+      } else if (aj_new > 0.0 && aj_new < c) {
+        bias = b2;
+      } else {
+        bias = 0.5 * (b1 + b2);
+      }
+      ++changed;
+    }
+    passes = changed == 0 ? passes + 1 : 0;
+  }
+
+  BinaryMachine machine;
+  machine.bias = bias;
+  for (size_t i = 0; i < n; ++i) {
+    if (alpha[i] > 1e-9) {
+      machine.support.push_back(i);
+      machine.alpha_times_sign.push_back(alpha[i] * sign[i]);
+    }
+  }
+  return machine;
+}
+
+void RbfSvm::Fit(const la::Matrix& x, const std::vector<double>& y) {
+  ARDA_CHECK_EQ(x.rows(), y.size());
+  ARDA_CHECK_GT(x.rows(), 0u);
+  stats_ = la::ComputeColumnStats(x);
+  train_x_ = la::Standardize(x, stats_);
+
+  if (config_.gamma > 0.0) {
+    gamma_ = config_.gamma;
+  } else {
+    // "scale" heuristic on standardized data: variance per column is ~1,
+    // so gamma = 1 / d.
+    gamma_ = 1.0 / std::max<size_t>(1, x.cols());
+  }
+
+  double max_label = *std::max_element(y.begin(), y.end());
+  num_classes_ = static_cast<size_t>(std::lround(max_label)) + 1;
+  const size_t models = num_classes_ <= 2 ? 1 : num_classes_;
+
+  machines_.clear();
+  machines_.reserve(models);
+  std::vector<double> sign(y.size());
+  for (size_t m = 0; m < models; ++m) {
+    const double positive = num_classes_ <= 2 ? 1.0 : static_cast<double>(m);
+    for (size_t i = 0; i < y.size(); ++i) {
+      sign[i] = std::lround(y[i]) == std::lround(positive) ? 1.0 : -1.0;
+    }
+    machines_.push_back(TrainBinary(train_x_, sign));
+  }
+}
+
+double RbfSvm::DecisionValue(const BinaryMachine& machine,
+                             const la::Matrix& xs, const double* row) const {
+  double sum = machine.bias;
+  for (size_t k = 0; k < machine.support.size(); ++k) {
+    sum += machine.alpha_times_sign[k] *
+           Kernel(xs.RowPtr(machine.support[k]), row, xs.cols());
+  }
+  return sum;
+}
+
+std::vector<double> RbfSvm::Predict(const la::Matrix& x) const {
+  ARDA_CHECK(!machines_.empty());
+  ARDA_CHECK_EQ(x.cols(), train_x_.cols());
+  la::Matrix xs = la::Standardize(x, stats_);
+  const size_t n = xs.rows();
+  std::vector<double> out(n);
+  for (size_t i = 0; i < n; ++i) {
+    const double* row = xs.RowPtr(i);
+    if (num_classes_ <= 2) {
+      out[i] = DecisionValue(machines_[0], train_x_, row) >= 0.0 ? 1.0 : 0.0;
+      continue;
+    }
+    double best_score = -1e300;
+    size_t best_class = 0;
+    for (size_t m = 0; m < machines_.size(); ++m) {
+      double score = DecisionValue(machines_[m], train_x_, row);
+      if (score > best_score) {
+        best_score = score;
+        best_class = m;
+      }
+    }
+    out[i] = static_cast<double>(best_class);
+  }
+  return out;
+}
+
+}  // namespace arda::ml

@@ -1,0 +1,60 @@
+#ifndef ARDA_ML_SVM_RBF_H_
+#define ARDA_ML_SVM_RBF_H_
+
+#include <vector>
+
+#include "la/linalg.h"
+#include "ml/model.h"
+
+namespace arda::ml {
+
+/// Hyperparameters for the RBF-kernel SVM.
+struct RbfSvmConfig {
+  /// Soft-margin penalty.
+  double c = 1.0;
+  /// Kernel width; 0 means the "scale" heuristic 1 / (d * var(X)).
+  double gamma = 0.0;
+  /// SMO stopping tolerance on KKT violations.
+  double tolerance = 1e-3;
+  /// Upper bound on full passes over the training set without progress.
+  size_t max_passes = 5;
+  /// Hard cap on SMO iterations (safety valve).
+  size_t max_iters = 20000;
+  uint64_t seed = 29;
+};
+
+/// Kernel SVM with an RBF kernel trained by simplified SMO; multiclass via
+/// one-vs-rest. This is the paper's secondary classification estimator
+/// ("SVM with RBF kernel"). Classification only.
+class RbfSvm : public Model {
+ public:
+  explicit RbfSvm(const RbfSvmConfig& config = {});
+
+  void Fit(const la::Matrix& x, const std::vector<double>& y) override;
+  std::vector<double> Predict(const la::Matrix& x) const override;
+
+ private:
+  /// One binary one-vs-rest machine: dual coefficients over support rows.
+  struct BinaryMachine {
+    std::vector<double> alpha_times_sign;  // alpha_i * s_i per support vector
+    std::vector<size_t> support;           // row indices into the stored X
+    double bias = 0.0;
+  };
+
+  double Kernel(const double* a, const double* b, size_t d) const;
+  BinaryMachine TrainBinary(const la::Matrix& xs,
+                            const std::vector<double>& sign) const;
+  double DecisionValue(const BinaryMachine& machine, const la::Matrix& xs,
+                       const double* row) const;
+
+  RbfSvmConfig config_;
+  double gamma_ = 1.0;
+  la::ColumnStats stats_;
+  la::Matrix train_x_;  // standardized training matrix (support basis)
+  std::vector<BinaryMachine> machines_;
+  size_t num_classes_ = 0;
+};
+
+}  // namespace arda::ml
+
+#endif  // ARDA_ML_SVM_RBF_H_

@@ -1,0 +1,44 @@
+#ifndef ARDA_UTIL_CHECK_H_
+#define ARDA_UTIL_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+/// \file
+/// Invariant-checking macros. A failed check indicates a programmer error
+/// (violated precondition or internal invariant), prints the location and
+/// message to stderr, and aborts. Recoverable conditions (bad user input,
+/// malformed files) use arda::Status instead; see util/status.h.
+
+namespace arda::internal {
+
+[[noreturn]] inline void CheckFailed(const char* file, int line,
+                                     const char* expr) {
+  std::fprintf(stderr, "ARDA_CHECK failed at %s:%d: %s\n", file, line, expr);
+  std::abort();
+}
+
+}  // namespace arda::internal
+
+/// Aborts the process if `cond` is false.
+#define ARDA_CHECK(cond)                                        \
+  do {                                                          \
+    if (!(cond)) {                                              \
+      ::arda::internal::CheckFailed(__FILE__, __LINE__, #cond); \
+    }                                                           \
+  } while (0)
+
+/// Aborts if `a != b`.
+#define ARDA_CHECK_EQ(a, b) ARDA_CHECK((a) == (b))
+/// Aborts if `a == b`.
+#define ARDA_CHECK_NE(a, b) ARDA_CHECK((a) != (b))
+/// Aborts if `a > b`.
+#define ARDA_CHECK_LE(a, b) ARDA_CHECK((a) <= (b))
+/// Aborts if `a >= b`.
+#define ARDA_CHECK_LT(a, b) ARDA_CHECK((a) < (b))
+/// Aborts if `a < b`.
+#define ARDA_CHECK_GE(a, b) ARDA_CHECK((a) >= (b))
+/// Aborts if `a <= b`.
+#define ARDA_CHECK_GT(a, b) ARDA_CHECK((a) > (b))
+
+#endif  // ARDA_UTIL_CHECK_H_

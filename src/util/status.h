@@ -1,0 +1,144 @@
+#ifndef ARDA_UTIL_STATUS_H_
+#define ARDA_UTIL_STATUS_H_
+
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "util/check.h"
+
+namespace arda {
+
+/// Error category attached to a failed Status.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kOutOfRange,
+  kFailedPrecondition,
+  kIoError,
+  kInternal,
+};
+
+/// Returns a human-readable name of `code` ("Ok", "InvalidArgument", ...).
+const char* StatusCodeName(StatusCode code);
+
+/// A lightweight success-or-error type used across recoverable APIs
+/// (CSV parsing, lookups by name, join execution). Programmer errors
+/// (violated invariants) use ARDA_CHECK instead.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  /// Constructs a status with `code` and diagnostic `message`.
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Formats as "Code: message" for diagnostics.
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Holds either a value of type T or a failed Status.
+///
+/// Usage:
+///   Result<DataFrame> r = ReadCsv(path);
+///   if (!r.ok()) return r.status();
+///   DataFrame df = std::move(r).value();
+template <typename T>
+class Result {
+ public:
+  /// Constructs from a success value (implicit so `return value;` works).
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Constructs from a failed status (implicit so `return status;` works).
+  Result(Status status)  // NOLINT(runtime/explicit)
+      : status_(std::move(status)) {
+    ARDA_CHECK(!status_.ok());
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  /// Returns the contained value; aborts if not ok.
+  const T& value() const& {
+    ARDA_CHECK(ok());
+    return *value_;
+  }
+  T& value() & {
+    ARDA_CHECK(ok());
+    return *value_;
+  }
+  T&& value() && {
+    ARDA_CHECK(ok());
+    return *std::move(value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::optional<T> value_;
+  Status status_;
+};
+
+}  // namespace arda
+
+/// Propagates a non-OK status from an expression returning Status.
+#define ARDA_RETURN_IF_ERROR(expr)          \
+  do {                                      \
+    ::arda::Status _arda_status = (expr);   \
+    if (!_arda_status.ok()) {               \
+      return _arda_status;                  \
+    }                                       \
+  } while (0)
+
+#define ARDA_INTERNAL_CONCAT_INNER(a, b) a##b
+#define ARDA_INTERNAL_CONCAT(a, b) ARDA_INTERNAL_CONCAT_INNER(a, b)
+
+#define ARDA_INTERNAL_ASSIGN_OR_RETURN(var, lhs, expr) \
+  auto var = (expr);                                   \
+  if (!var.ok()) {                                     \
+    return var.status();                               \
+  }                                                    \
+  lhs = std::move(var).value()
+
+/// Evaluates an expression returning Result<T>; on success binds the value
+/// to `lhs`, otherwise returns the failed status from the enclosing function.
+#define ARDA_ASSIGN_OR_RETURN(lhs, expr)                                  \
+  ARDA_INTERNAL_ASSIGN_OR_RETURN(                                         \
+      ARDA_INTERNAL_CONCAT(_arda_result_, __LINE__), lhs, expr)
+
+#endif  // ARDA_UTIL_STATUS_H_

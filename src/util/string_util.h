@@ -1,0 +1,38 @@
+#ifndef ARDA_UTIL_STRING_UTIL_H_
+#define ARDA_UTIL_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace arda {
+
+/// Splits `text` on `delim`, keeping empty fields ("a,,b" -> {"a","","b"}).
+std::vector<std::string> Split(std::string_view text, char delim);
+
+/// Returns `text` with leading and trailing ASCII whitespace removed.
+std::string_view Trim(std::string_view text);
+
+/// Joins `parts` with `sep` between consecutive elements.
+std::string Join(const std::vector<std::string>& parts,
+                 std::string_view sep);
+
+/// Returns true if `text` starts with `prefix`.
+bool StartsWith(std::string_view text, std::string_view prefix);
+
+/// Parses a double; returns false on malformed or trailing garbage.
+bool ParseDouble(std::string_view text, double* out);
+
+/// Parses a signed 64-bit integer; returns false on malformed input.
+bool ParseInt64(std::string_view text, int64_t* out);
+
+/// Lower-cases ASCII letters.
+std::string ToLower(std::string_view text);
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+}  // namespace arda
+
+#endif  // ARDA_UTIL_STRING_UTIL_H_

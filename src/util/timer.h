@@ -1,0 +1,33 @@
+#ifndef ARDA_UTIL_TIMER_H_
+#define ARDA_UTIL_TIMER_H_
+
+#include <chrono>
+
+namespace arda {
+
+/// Wall-clock stopwatch used by the experiment harnesses to report
+/// feature-selection and training times, paper-style.
+class Stopwatch {
+ public:
+  /// Starts timing on construction.
+  Stopwatch() : start_(Clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Returns seconds elapsed since construction or the last Reset().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Returns milliseconds elapsed since construction or the last Reset().
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace arda
+
+#endif  // ARDA_UTIL_TIMER_H_

@@ -1,0 +1,129 @@
+#include <gtest/gtest.h>
+
+#include "dataframe/aggregate.h"
+
+namespace arda::df {
+namespace {
+
+DataFrame MakeFrame() {
+  DataFrame frame;
+  EXPECT_TRUE(
+      frame.AddColumn(Column::String("k", {"a", "b", "a", "a", "b"})).ok());
+  EXPECT_TRUE(
+      frame.AddColumn(Column::Double("v", {1.0, 10.0, 2.0, 3.0, 20.0})).ok());
+  EXPECT_TRUE(frame
+                  .AddColumn(Column::String(
+                      "s", {"x", "p", "y", "x", "p"}))
+                  .ok());
+  return frame;
+}
+
+TEST(AggregateTest, MeanPerGroupFirstOccurrenceOrder) {
+  Result<DataFrame> r = GroupByAggregate(MakeFrame(), {"k"});
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->NumRows(), 2u);
+  EXPECT_EQ(r->col("k").StringAt(0), "a");
+  EXPECT_DOUBLE_EQ(r->col("v").DoubleAt(0), 2.0);
+  EXPECT_DOUBLE_EQ(r->col("v").DoubleAt(1), 15.0);
+}
+
+TEST(AggregateTest, ModeForCategorical) {
+  Result<DataFrame> r = GroupByAggregate(MakeFrame(), {"k"});
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->col("s").StringAt(0), "x");  // x appears twice in group a
+  EXPECT_EQ(r->col("s").StringAt(1), "p");
+}
+
+TEST(AggregateTest, MedianSumMinMaxFirst) {
+  DataFrame frame = MakeFrame();
+  AggregateOptions options;
+  options.numeric = NumericAgg::kMedian;
+  EXPECT_DOUBLE_EQ(
+      GroupByAggregate(frame, {"k"}, options)->col("v").DoubleAt(0), 2.0);
+  options.numeric = NumericAgg::kSum;
+  EXPECT_DOUBLE_EQ(
+      GroupByAggregate(frame, {"k"}, options)->col("v").DoubleAt(0), 6.0);
+  options.numeric = NumericAgg::kMin;
+  EXPECT_DOUBLE_EQ(
+      GroupByAggregate(frame, {"k"}, options)->col("v").DoubleAt(0), 1.0);
+  options.numeric = NumericAgg::kMax;
+  EXPECT_DOUBLE_EQ(
+      GroupByAggregate(frame, {"k"}, options)->col("v").DoubleAt(0), 3.0);
+  options.numeric = NumericAgg::kFirst;
+  EXPECT_DOUBLE_EQ(
+      GroupByAggregate(frame, {"k"}, options)->col("v").DoubleAt(0), 1.0);
+}
+
+TEST(AggregateTest, CategoricalFirstOption) {
+  AggregateOptions options;
+  options.categorical = CategoricalAgg::kFirst;
+  Result<DataFrame> r = GroupByAggregate(MakeFrame(), {"k"}, options);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->col("s").StringAt(0), "x");
+}
+
+TEST(AggregateTest, CompositeKeys) {
+  DataFrame frame;
+  ASSERT_TRUE(frame.AddColumn(Column::Int64("a", {1, 1, 2, 1})).ok());
+  ASSERT_TRUE(
+      frame.AddColumn(Column::String("b", {"x", "y", "x", "x"})).ok());
+  ASSERT_TRUE(
+      frame.AddColumn(Column::Double("v", {1.0, 2.0, 3.0, 5.0})).ok());
+  Result<DataFrame> r = GroupByAggregate(frame, {"a", "b"});
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->NumRows(), 3u);
+  EXPECT_DOUBLE_EQ(r->col("v").DoubleAt(0), 3.0);  // (1, x): mean of 1, 5
+}
+
+TEST(AggregateTest, NullKeysFormOwnGroup) {
+  DataFrame frame;
+  Column k = Column::Empty("k", DataType::kString);
+  k.AppendString("a");
+  k.AppendNull();
+  k.AppendNull();
+  ASSERT_TRUE(frame.AddColumn(std::move(k)).ok());
+  ASSERT_TRUE(frame.AddColumn(Column::Double("v", {1.0, 2.0, 4.0})).ok());
+  Result<DataFrame> r = GroupByAggregate(frame, {"k"});
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->NumRows(), 2u);
+  EXPECT_DOUBLE_EQ(r->col("v").DoubleAt(1), 3.0);
+}
+
+TEST(AggregateTest, AllNullValueGroupStaysNull) {
+  DataFrame frame;
+  ASSERT_TRUE(frame.AddColumn(Column::String("k", {"a", "a"})).ok());
+  Column v = Column::Empty("v", DataType::kDouble);
+  v.AppendNull();
+  v.AppendNull();
+  ASSERT_TRUE(frame.AddColumn(std::move(v)).ok());
+  Result<DataFrame> r = GroupByAggregate(frame, {"k"});
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->col("v").IsNull(0));
+}
+
+TEST(AggregateTest, CountColumn) {
+  AggregateOptions options;
+  options.add_count = true;
+  Result<DataFrame> r = GroupByAggregate(MakeFrame(), {"k"}, options);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->col("__group_count").Int64At(0), 3);
+  EXPECT_EQ(r->col("__group_count").Int64At(1), 2);
+}
+
+TEST(AggregateTest, MissingKeyFails) {
+  EXPECT_FALSE(GroupByAggregate(MakeFrame(), {"nope"}).ok());
+  EXPECT_FALSE(GroupByAggregate(MakeFrame(), {}).ok());
+}
+
+TEST(AggregateTest, NumericKeyKeepsType) {
+  DataFrame frame;
+  ASSERT_TRUE(frame.AddColumn(Column::Int64("k", {1, 1, 2})).ok());
+  ASSERT_TRUE(frame.AddColumn(Column::Double("v", {1.0, 3.0, 5.0})).ok());
+  Result<DataFrame> r = GroupByAggregate(frame, {"k"});
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->col("k").type(), DataType::kInt64);
+  EXPECT_EQ(r->col("k").Int64At(0), 1);
+}
+
+}  // namespace
+}  // namespace arda::df

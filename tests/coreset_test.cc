@@ -1,0 +1,179 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+
+#include "coreset/coreset.h"
+
+namespace arda::coreset {
+namespace {
+
+df::DataFrame MakeLabeled(size_t majority, size_t minority) {
+  df::DataFrame frame;
+  std::vector<int64_t> labels;
+  std::vector<double> values;
+  for (size_t i = 0; i < majority; ++i) {
+    labels.push_back(0);
+    values.push_back(static_cast<double>(i));
+  }
+  for (size_t i = 0; i < minority; ++i) {
+    labels.push_back(1);
+    values.push_back(1000.0 + static_cast<double>(i));
+  }
+  EXPECT_TRUE(frame.AddColumn(df::Column::Int64("label", labels)).ok());
+  EXPECT_TRUE(frame.AddColumn(df::Column::Double("v", values)).ok());
+  return frame;
+}
+
+TEST(CoresetTest, HeuristicSize) {
+  EXPECT_EQ(HeuristicCoresetSize(100), 100u);
+  EXPECT_EQ(HeuristicCoresetSize(1000), 1000u);
+  size_t big = HeuristicCoresetSize(1001000);
+  EXPECT_EQ(big, 2000u);  // 1000 + sqrt(1e6)
+}
+
+TEST(CoresetTest, NoneKeepsEverything) {
+  df::DataFrame base = MakeLabeled(50, 10);
+  CoresetConfig config;
+  config.method = CoresetMethod::kNone;
+  config.size = 5;
+  Rng rng(1);
+  Result<df::DataFrame> sampled = SampleCoreset(
+      base, "label", ml::TaskType::kClassification, config, &rng);
+  ASSERT_TRUE(sampled.ok());
+  EXPECT_EQ(sampled->NumRows(), 60u);
+}
+
+TEST(CoresetTest, UniformSampleHasRequestedSize) {
+  df::DataFrame base = MakeLabeled(80, 20);
+  CoresetConfig config;
+  config.method = CoresetMethod::kUniform;
+  config.size = 25;
+  Rng rng(2);
+  Result<df::DataFrame> sampled = SampleCoreset(
+      base, "label", ml::TaskType::kClassification, config, &rng);
+  ASSERT_TRUE(sampled.ok());
+  EXPECT_EQ(sampled->NumRows(), 25u);
+}
+
+TEST(CoresetTest, StratifiedKeepsEveryClass) {
+  // Minority class so small a uniform sample could easily miss it.
+  df::DataFrame base = MakeLabeled(196, 4);
+  CoresetConfig config;
+  config.method = CoresetMethod::kStratified;
+  config.size = 20;
+  Rng rng(3);
+  Result<df::DataFrame> sampled = SampleCoreset(
+      base, "label", ml::TaskType::kClassification, config, &rng);
+  ASSERT_TRUE(sampled.ok());
+  std::map<int64_t, size_t> counts;
+  const df::Column& label = sampled->col("label");
+  for (size_t r = 0; r < label.size(); ++r) ++counts[label.Int64At(r)];
+  EXPECT_GE(counts[0], 1u);
+  EXPECT_GE(counts[1], 1u);  // minority never overlooked
+  EXPECT_GT(counts[0], counts[1]);
+}
+
+TEST(CoresetTest, StratifiedProportionsRoughlyPreserved) {
+  df::DataFrame base = MakeLabeled(300, 100);
+  CoresetConfig config;
+  config.method = CoresetMethod::kStratified;
+  config.size = 100;
+  Rng rng(4);
+  Result<df::DataFrame> sampled = SampleCoreset(
+      base, "label", ml::TaskType::kClassification, config, &rng);
+  ASSERT_TRUE(sampled.ok());
+  size_t minority = 0;
+  const df::Column& label = sampled->col("label");
+  for (size_t r = 0; r < label.size(); ++r) {
+    minority += label.Int64At(r) == 1;
+  }
+  EXPECT_NEAR(static_cast<double>(minority), 25.0, 3.0);
+}
+
+TEST(CoresetTest, MissingLabelColumnFails) {
+  df::DataFrame base = MakeLabeled(10, 10);
+  CoresetConfig config;
+  Rng rng(5);
+  EXPECT_FALSE(SampleCoreset(base, "nope", ml::TaskType::kClassification,
+                             config, &rng)
+                   .ok());
+}
+
+TEST(CoresetTest, MethodNames) {
+  EXPECT_STREQ(CoresetMethodName(CoresetMethod::kUniform), "uniform");
+  EXPECT_STREQ(CoresetMethodName(CoresetMethod::kSketch), "sketch");
+}
+
+ml::Dataset MakeNumericDataset(size_t n, ml::TaskType task) {
+  ml::Dataset data;
+  data.task = task;
+  data.x = la::Matrix(n, 3);
+  data.y.resize(n);
+  Rng rng(7);
+  for (size_t r = 0; r < n; ++r) {
+    for (size_t c = 0; c < 3; ++c) data.x(r, c) = rng.Normal();
+    data.y[r] = task == ml::TaskType::kClassification
+                    ? static_cast<double>(r % 3)
+                    : data.x(r, 0) * 2.0;
+  }
+  data.feature_names = {"a", "b", "c"};
+  return data;
+}
+
+TEST(SketchTest, ReducesRowCountKeepsColumns) {
+  ml::Dataset data = MakeNumericDataset(200, ml::TaskType::kRegression);
+  Rng rng(8);
+  ml::Dataset sketched = SketchRows(data, 40, &rng);
+  EXPECT_LE(sketched.NumRows(), 41u);
+  EXPECT_GT(sketched.NumRows(), 10u);
+  EXPECT_EQ(sketched.NumFeatures(), 3u);
+  EXPECT_EQ(sketched.y.size(), sketched.NumRows());
+}
+
+TEST(SketchTest, NoOpWhenTargetExceedsRows) {
+  ml::Dataset data = MakeNumericDataset(30, ml::TaskType::kRegression);
+  Rng rng(9);
+  ml::Dataset sketched = SketchRows(data, 100, &rng);
+  EXPECT_EQ(sketched.NumRows(), 30u);
+}
+
+TEST(SketchTest, ClassificationSketchKeepsAllLabels) {
+  ml::Dataset data = MakeNumericDataset(300, ml::TaskType::kClassification);
+  Rng rng(10);
+  ml::Dataset sketched = SketchRows(data, 60, &rng);
+  std::vector<int> labels = ml::DistinctLabels(sketched.y);
+  EXPECT_EQ(labels.size(), 3u);
+}
+
+TEST(SketchTest, PreservesColumnNormsApproximately) {
+  // A CountSketch is an (approximate) subspace embedding: column norms of
+  // the sketched matrix concentrate around the originals.
+  ml::Dataset data = MakeNumericDataset(2000, ml::TaskType::kRegression);
+  Rng rng(11);
+  ml::Dataset sketched = SketchRows(data, 400, &rng);
+  for (size_t c = 0; c < 3; ++c) {
+    double orig = 0.0, sk = 0.0;
+    for (size_t r = 0; r < data.NumRows(); ++r) {
+      orig += data.x(r, c) * data.x(r, c);
+    }
+    for (size_t r = 0; r < sketched.NumRows(); ++r) {
+      sk += sketched.x(r, c) * sketched.x(r, c);
+    }
+    EXPECT_NEAR(sk / orig, 1.0, 0.35);
+  }
+}
+
+TEST(SketchTest, RegressionTargetSketchedConsistently) {
+  // y was a linear function of column 0; the sketch applies the same
+  // linear map to both, so the relationship survives exactly.
+  ml::Dataset data = MakeNumericDataset(500, ml::TaskType::kRegression);
+  Rng rng(12);
+  ml::Dataset sketched = SketchRows(data, 100, &rng);
+  for (size_t r = 0; r < sketched.NumRows(); ++r) {
+    EXPECT_NEAR(sketched.y[r], 2.0 * sketched.x(r, 0), 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace arda::coreset

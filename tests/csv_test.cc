@@ -1,0 +1,102 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "dataframe/csv.h"
+
+namespace arda::df {
+namespace {
+
+TEST(CsvTest, ParsesTypedColumns) {
+  Result<DataFrame> r = ReadCsvString("id,score,name\n1,2.5,ann\n2,3.5,bob\n");
+  ASSERT_TRUE(r.ok());
+  const DataFrame& frame = r.value();
+  EXPECT_EQ(frame.NumRows(), 2u);
+  EXPECT_EQ(frame.col("id").type(), DataType::kInt64);
+  EXPECT_EQ(frame.col("score").type(), DataType::kDouble);
+  EXPECT_EQ(frame.col("name").type(), DataType::kString);
+  EXPECT_EQ(frame.col("id").Int64At(1), 2);
+  EXPECT_DOUBLE_EQ(frame.col("score").DoubleAt(0), 2.5);
+  EXPECT_EQ(frame.col("name").StringAt(1), "bob");
+}
+
+TEST(CsvTest, EmptyFieldsBecomeNulls) {
+  Result<DataFrame> r = ReadCsvString("a,b\n1,\n,2\n");
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->col("b").IsNull(0));
+  EXPECT_TRUE(r->col("a").IsNull(1));
+  EXPECT_EQ(r->col("a").Int64At(0), 1);
+}
+
+TEST(CsvTest, MixedNumericFallsBackToString) {
+  Result<DataFrame> r = ReadCsvString("a\n1\nx\n");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->col("a").type(), DataType::kString);
+}
+
+TEST(CsvTest, IntegerWithDecimalBecomesDouble) {
+  Result<DataFrame> r = ReadCsvString("a\n1\n2.5\n");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->col("a").type(), DataType::kDouble);
+}
+
+TEST(CsvTest, QuotedFieldsWithDelimitersAndEscapes) {
+  Result<DataFrame> r =
+      ReadCsvString("a,b\n\"x,y\",\"he said \"\"hi\"\"\"\n");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->col("a").StringAt(0), "x,y");
+  EXPECT_EQ(r->col("b").StringAt(0), "he said \"hi\"");
+}
+
+TEST(CsvTest, RejectsRaggedRows) {
+  EXPECT_FALSE(ReadCsvString("a,b\n1\n").ok());
+}
+
+TEST(CsvTest, RejectsEmptyInput) {
+  EXPECT_FALSE(ReadCsvString("").ok());
+}
+
+TEST(CsvTest, HandlesCrLf) {
+  Result<DataFrame> r = ReadCsvString("a,b\r\n1,2\r\n");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->col("b").Int64At(0), 2);
+}
+
+TEST(CsvTest, TypeInferenceDisabled) {
+  CsvOptions options;
+  options.infer_types = false;
+  Result<DataFrame> r = ReadCsvString("a\n1\n", options);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->col("a").type(), DataType::kString);
+}
+
+TEST(CsvTest, RoundTripPreservesValuesAndNulls) {
+  Result<DataFrame> original =
+      ReadCsvString("id,v,s\n1,1.5,ann\n2,,\"b,c\"\n");
+  ASSERT_TRUE(original.ok());
+  std::string text = WriteCsvString(*original);
+  Result<DataFrame> reparsed = ReadCsvString(text);
+  ASSERT_TRUE(reparsed.ok());
+  EXPECT_EQ(reparsed->NumRows(), 2u);
+  EXPECT_TRUE(reparsed->col("v").IsNull(1));
+  EXPECT_DOUBLE_EQ(reparsed->col("v").DoubleAt(0), 1.5);
+  EXPECT_EQ(reparsed->col("s").StringAt(1), "b,c");
+}
+
+TEST(CsvTest, FileRoundTrip) {
+  Result<DataFrame> original = ReadCsvString("a,b\n1,x\n2,y\n");
+  ASSERT_TRUE(original.ok());
+  std::string path = testing::TempDir() + "/arda_csv_test.csv";
+  ASSERT_TRUE(WriteCsvFile(*original, path).ok());
+  Result<DataFrame> reread = ReadCsvFile(path);
+  ASSERT_TRUE(reread.ok());
+  EXPECT_EQ(reread->col("b").StringAt(1), "y");
+  std::remove(path.c_str());
+}
+
+TEST(CsvTest, MissingFileFails) {
+  EXPECT_FALSE(ReadCsvFile("/nonexistent/arda.csv").ok());
+}
+
+}  // namespace
+}  // namespace arda::df

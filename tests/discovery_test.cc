@@ -1,0 +1,188 @@
+#include <gtest/gtest.h>
+
+#include "discovery/discovery.h"
+#include "discovery/repository.h"
+#include "discovery/tuple_ratio.h"
+
+namespace arda::discovery {
+namespace {
+
+df::DataFrame MakeBase() {
+  df::DataFrame base;
+  EXPECT_TRUE(
+      base.AddColumn(df::Column::Int64("id", {1, 2, 3, 4})).ok());
+  EXPECT_TRUE(base.AddColumn(df::Column::Double("t", {0.0, 1.0, 2.0, 3.0}))
+                  .ok());
+  EXPECT_TRUE(
+      base.AddColumn(df::Column::Double("y", {1.0, 2.0, 3.0, 4.0})).ok());
+  return base;
+}
+
+TEST(RepositoryTest, AddGetRemove) {
+  DataRepository repo;
+  EXPECT_TRUE(repo.Add("t1", MakeBase()).ok());
+  EXPECT_EQ(repo.Add("t1", MakeBase()).code(), StatusCode::kAlreadyExists);
+  EXPECT_TRUE(repo.Has("t1"));
+  EXPECT_FALSE(repo.Has("t2"));
+  ASSERT_TRUE(repo.Get("t1").ok());
+  EXPECT_EQ(repo.Get("t1").value()->NumRows(), 4u);
+  EXPECT_FALSE(repo.Get("t2").ok());
+  EXPECT_EQ(repo.size(), 1u);
+  EXPECT_TRUE(repo.Remove("t1").ok());
+  EXPECT_FALSE(repo.Remove("t1").ok());
+}
+
+TEST(RepositoryTest, NamesSorted) {
+  DataRepository repo;
+  ASSERT_TRUE(repo.Add("b", MakeBase()).ok());
+  ASSERT_TRUE(repo.Add("a", MakeBase()).ok());
+  EXPECT_EQ(repo.Names(), (std::vector<std::string>{"a", "b"}));
+}
+
+TEST(RepositoryTest, AddOrReplace) {
+  DataRepository repo;
+  repo.AddOrReplace("t", MakeBase());
+  df::DataFrame small;
+  ASSERT_TRUE(small.AddColumn(df::Column::Int64("id", {9})).ok());
+  repo.AddOrReplace("t", std::move(small));
+  EXPECT_EQ(repo.GetOrDie("t").NumRows(), 1u);
+}
+
+TEST(IntersectionScoreTest, CountsOverlapFraction) {
+  df::Column base = df::Column::Int64("id", {1, 2, 3, 4});
+  df::Column full = df::Column::Int64("id", {1, 2, 3, 4, 5});
+  df::Column half = df::Column::Int64("id", {1, 2, 99, 98});
+  df::Column none = df::Column::Int64("id", {7, 8});
+  EXPECT_DOUBLE_EQ(IntersectionScore(base, full), 1.0);
+  EXPECT_DOUBLE_EQ(IntersectionScore(base, half), 0.5);
+  EXPECT_DOUBLE_EQ(IntersectionScore(base, none), 0.0);
+}
+
+TEST(RangeOverlapTest, NumericRanges) {
+  df::Column base = df::Column::Double("t", {0.0, 10.0});
+  df::Column inside = df::Column::Double("t", {2.0, 8.0});
+  df::Column disjoint = df::Column::Double("t", {20.0, 30.0});
+  EXPECT_NEAR(RangeOverlap(base, inside), 0.6, 1e-12);
+  EXPECT_DOUBLE_EQ(RangeOverlap(base, disjoint), 0.0);
+}
+
+TEST(DiscoverCandidatesTest, FindsHardKeyByNameAndOverlap) {
+  DataRepository repo;
+  ASSERT_TRUE(repo.Add("base", MakeBase()).ok());
+  df::DataFrame foreign;
+  ASSERT_TRUE(foreign.AddColumn(df::Column::Int64("id", {1, 2, 3})).ok());
+  ASSERT_TRUE(
+      foreign.AddColumn(df::Column::Double("extra", {5.0, 6.0, 7.0})).ok());
+  ASSERT_TRUE(repo.Add("lookup", std::move(foreign)).ok());
+
+  std::vector<CandidateJoin> candidates =
+      DiscoverCandidates(repo, "base", "y");
+  ASSERT_EQ(candidates.size(), 1u);
+  EXPECT_EQ(candidates[0].foreign_table, "lookup");
+  ASSERT_EQ(candidates[0].keys.size(), 1u);
+  EXPECT_EQ(candidates[0].keys[0].base_column, "id");
+  EXPECT_EQ(candidates[0].keys[0].kind, KeyKind::kHard);
+  EXPECT_NEAR(candidates[0].score, 0.75, 1e-12);
+}
+
+TEST(DiscoverCandidatesTest, ProposesSoftKeyForMisalignedNumerics) {
+  DataRepository repo;
+  ASSERT_TRUE(repo.Add("base", MakeBase()).ok());
+  df::DataFrame foreign;
+  // Same range as base "t" but offset values -> no exact matches.
+  ASSERT_TRUE(
+      foreign.AddColumn(df::Column::Double("t", {0.5, 1.5, 2.5})).ok());
+  ASSERT_TRUE(
+      foreign.AddColumn(df::Column::Double("w", {1.0, 1.0, 1.0})).ok());
+  ASSERT_TRUE(repo.Add("series", std::move(foreign)).ok());
+
+  std::vector<CandidateJoin> candidates =
+      DiscoverCandidates(repo, "base", "y");
+  ASSERT_EQ(candidates.size(), 1u);
+  EXPECT_EQ(candidates[0].keys[0].kind, KeyKind::kSoft);
+  EXPECT_EQ(candidates[0].keys[0].base_column, "t");
+}
+
+TEST(DiscoverCandidatesTest, TargetColumnNeverAKey) {
+  DataRepository repo;
+  ASSERT_TRUE(repo.Add("base", MakeBase()).ok());
+  df::DataFrame foreign;
+  ASSERT_TRUE(
+      foreign.AddColumn(df::Column::Double("y", {1.0, 2.0, 3.0})).ok());
+  ASSERT_TRUE(repo.Add("leak", std::move(foreign)).ok());
+  EXPECT_TRUE(DiscoverCandidates(repo, "base", "y").empty());
+}
+
+TEST(DiscoverCandidatesTest, SortedByScoreDescending) {
+  DataRepository repo;
+  ASSERT_TRUE(repo.Add("base", MakeBase()).ok());
+  df::DataFrame strong;
+  ASSERT_TRUE(strong.AddColumn(df::Column::Int64("id", {1, 2, 3, 4})).ok());
+  ASSERT_TRUE(repo.Add("strong", std::move(strong)).ok());
+  df::DataFrame weak;
+  ASSERT_TRUE(weak.AddColumn(df::Column::Int64("id", {1, 90, 91, 92})).ok());
+  ASSERT_TRUE(repo.Add("weak", std::move(weak)).ok());
+  std::vector<CandidateJoin> candidates =
+      DiscoverCandidates(repo, "base", "y");
+  ASSERT_EQ(candidates.size(), 2u);
+  EXPECT_EQ(candidates[0].foreign_table, "strong");
+  EXPECT_GT(candidates[0].score, candidates[1].score);
+}
+
+TEST(TupleRatioTest, ComputesDomainRatio) {
+  df::DataFrame base = MakeBase();  // 4 rows
+  df::DataFrame foreign;
+  ASSERT_TRUE(foreign.AddColumn(df::Column::Int64("id", {1, 1, 2})).ok());
+  CandidateJoin cand;
+  cand.foreign_table = "f";
+  cand.keys = {JoinKeyPair{"id", "id", KeyKind::kHard}};
+  // nS = 4, nR = 2 distinct keys.
+  EXPECT_DOUBLE_EQ(TupleRatio(base, foreign, cand), 2.0);
+}
+
+TEST(TupleRatioFilterTest, SplitsKeptAndRemoved) {
+  DataRepository repo;
+  df::DataFrame base = MakeBase();
+  // Rich table: 4 distinct keys -> ratio 1.
+  df::DataFrame rich;
+  ASSERT_TRUE(rich.AddColumn(df::Column::Int64("id", {1, 2, 3, 4})).ok());
+  ASSERT_TRUE(repo.Add("rich", std::move(rich)).ok());
+  // Tiny domain: 1 distinct key -> ratio 4.
+  df::DataFrame tiny;
+  ASSERT_TRUE(tiny.AddColumn(df::Column::Int64("id", {1, 1})).ok());
+  ASSERT_TRUE(repo.Add("tiny", std::move(tiny)).ok());
+
+  std::vector<CandidateJoin> candidates(2);
+  candidates[0].foreign_table = "rich";
+  candidates[0].keys = {JoinKeyPair{"id", "id", KeyKind::kHard}};
+  candidates[1].foreign_table = "tiny";
+  candidates[1].keys = {JoinKeyPair{"id", "id", KeyKind::kHard}};
+
+  TupleRatioFilterResult result =
+      FilterByTupleRatio(repo, base, candidates, /*tau=*/2.0);
+  ASSERT_EQ(result.kept.size(), 1u);
+  EXPECT_EQ(result.kept[0].foreign_table, "rich");
+  ASSERT_EQ(result.removed.size(), 1u);
+  EXPECT_EQ(result.removed[0].foreign_table, "tiny");
+}
+
+TEST(TupleRatioFilterTest, MissingTableRemoved) {
+  DataRepository repo;
+  std::vector<CandidateJoin> candidates(1);
+  candidates[0].foreign_table = "ghost";
+  TupleRatioFilterResult result =
+      FilterByTupleRatio(repo, MakeBase(), candidates, 100.0);
+  EXPECT_TRUE(result.kept.empty());
+  EXPECT_EQ(result.removed.size(), 1u);
+}
+
+TEST(CandidateTest, HasSoftKey) {
+  CandidateJoin cand;
+  cand.keys = {JoinKeyPair{"a", "a", KeyKind::kHard}};
+  EXPECT_FALSE(cand.HasSoftKey());
+  cand.keys.push_back(JoinKeyPair{"t", "t", KeyKind::kSoft});
+  EXPECT_TRUE(cand.HasSoftKey());
+}
+
+}  // namespace
+}  // namespace arda::discovery

@@ -1,0 +1,179 @@
+// Assorted edge cases across modules: geo-join corner inputs, model
+// hyperparameter extremes, and small-input behavior that the main suites
+// do not reach.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "join/geo_join.h"
+#include "ml/decision_tree.h"
+#include "ml/linear.h"
+#include "ml/metrics.h"
+#include "ml/random_forest.h"
+#include "ml/svm_rbf.h"
+#include "util/rng.h"
+
+namespace arda {
+namespace {
+
+using discovery::CandidateJoin;
+using discovery::JoinKeyPair;
+using discovery::KeyKind;
+
+CandidateJoin GeoCandidate() {
+  CandidateJoin cand;
+  cand.foreign_table = "geo";
+  cand.keys = {JoinKeyPair{"lat", "lat", KeyKind::kSoft},
+               JoinKeyPair{"lon", "lon", KeyKind::kSoft}};
+  return cand;
+}
+
+TEST(GeoEdgeTest, NullBaseCoordinatesYieldNulls) {
+  df::DataFrame base;
+  df::Column lat = df::Column::Empty("lat", df::DataType::kDouble);
+  lat.AppendDouble(0.0);
+  lat.AppendNull();
+  ASSERT_TRUE(base.AddColumn(std::move(lat)).ok());
+  ASSERT_TRUE(base.AddColumn(df::Column::Double("lon", {0.0, 0.0})).ok());
+  df::DataFrame foreign;
+  ASSERT_TRUE(foreign.AddColumn(df::Column::Double("lat", {0.1})).ok());
+  ASSERT_TRUE(foreign.AddColumn(df::Column::Double("lon", {0.1})).ok());
+  ASSERT_TRUE(foreign.AddColumn(df::Column::Double("v", {7.0})).ok());
+  Rng rng(1);
+  Result<df::DataFrame> joined =
+      join::ExecuteGeoLeftJoin(base, foreign, GeoCandidate(), {}, &rng);
+  ASSERT_TRUE(joined.ok());
+  EXPECT_FALSE(joined->col("v").IsNull(0));
+  EXPECT_TRUE(joined->col("v").IsNull(1));
+}
+
+TEST(GeoEdgeTest, EmptyForeignYieldsAllNulls) {
+  df::DataFrame base;
+  ASSERT_TRUE(base.AddColumn(df::Column::Double("lat", {0.0})).ok());
+  ASSERT_TRUE(base.AddColumn(df::Column::Double("lon", {0.0})).ok());
+  df::DataFrame foreign;
+  ASSERT_TRUE(foreign
+                  .AddColumn(df::Column::Empty("lat",
+                                               df::DataType::kDouble))
+                  .ok());
+  ASSERT_TRUE(foreign
+                  .AddColumn(df::Column::Empty("lon",
+                                               df::DataType::kDouble))
+                  .ok());
+  ASSERT_TRUE(foreign
+                  .AddColumn(df::Column::Empty("v", df::DataType::kDouble))
+                  .ok());
+  Rng rng(2);
+  Result<df::DataFrame> joined =
+      join::ExecuteGeoLeftJoin(base, foreign, GeoCandidate(), {}, &rng);
+  ASSERT_TRUE(joined.ok());
+  EXPECT_TRUE(joined->col("v").IsNull(0));
+}
+
+TEST(GeoEdgeTest, ThreeDimensionalKeyWorks) {
+  df::DataFrame base;
+  ASSERT_TRUE(base.AddColumn(df::Column::Double("lat", {0.0})).ok());
+  ASSERT_TRUE(base.AddColumn(df::Column::Double("lon", {0.0})).ok());
+  ASSERT_TRUE(base.AddColumn(df::Column::Double("alt", {100.0})).ok());
+  df::DataFrame foreign;
+  ASSERT_TRUE(
+      foreign.AddColumn(df::Column::Double("lat", {0.0, 0.0})).ok());
+  ASSERT_TRUE(
+      foreign.AddColumn(df::Column::Double("lon", {0.0, 0.0})).ok());
+  ASSERT_TRUE(
+      foreign.AddColumn(df::Column::Double("alt", {90.0, 500.0})).ok());
+  ASSERT_TRUE(foreign.AddColumn(df::Column::Double("v", {1.0, 2.0})).ok());
+  CandidateJoin cand = GeoCandidate();
+  cand.keys.push_back(JoinKeyPair{"alt", "alt", KeyKind::kSoft});
+  Rng rng(3);
+  join::GeoJoinOptions options;
+  options.normalize = false;
+  Result<df::DataFrame> joined =
+      join::ExecuteGeoLeftJoin(base, foreign, cand, options, &rng);
+  ASSERT_TRUE(joined.ok());
+  EXPECT_DOUBLE_EQ(joined->col("v").DoubleAt(0), 1.0);  // alt 90 closer
+}
+
+TEST(ModelEdgeTest, RbfSvmCustomGammaStillLearns) {
+  Rng rng(4);
+  la::Matrix x(120, 2);
+  std::vector<double> y(120);
+  for (size_t i = 0; i < 120; ++i) {
+    bool positive = i % 2 == 0;
+    y[i] = positive ? 1.0 : 0.0;
+    x(i, 0) = rng.Normal(positive ? 1.5 : -1.5, 0.5);
+    x(i, 1) = rng.Normal();
+  }
+  ml::RbfSvmConfig config;
+  config.gamma = 0.5;
+  ml::RbfSvm svm(config);
+  svm.Fit(x, y);
+  EXPECT_GT(ml::Accuracy(y, svm.Predict(x)), 0.9);
+}
+
+TEST(ModelEdgeTest, ForestBootstrapFractionShrinksTrees) {
+  Rng rng(5);
+  la::Matrix x(300, 2);
+  std::vector<double> y(300);
+  for (size_t i = 0; i < 300; ++i) {
+    x(i, 0) = rng.Normal();
+    x(i, 1) = rng.Normal();
+    y[i] = x(i, 0);
+  }
+  ml::ForestConfig config;
+  config.task = ml::TaskType::kRegression;
+  config.num_trees = 5;
+  config.bootstrap_fraction = 0.1;  // 30-row bootstraps
+  ml::RandomForest forest(config);
+  forest.Fit(x, y);
+  // Still trains and predicts finitely.
+  for (double p : forest.Predict(x)) EXPECT_TRUE(std::isfinite(p));
+}
+
+TEST(ModelEdgeTest, TreeMinImpurityDecreaseBlocksWeakSplits) {
+  Rng rng(6);
+  la::Matrix x(200, 1);
+  std::vector<double> y(200);
+  for (size_t i = 0; i < 200; ++i) {
+    x(i, 0) = rng.Normal();
+    y[i] = rng.Normal();  // no signal at all
+  }
+  ml::TreeConfig strict;
+  strict.task = ml::TaskType::kRegression;
+  strict.min_impurity_decrease = 1e9;
+  ml::DecisionTree tree(strict);
+  tree.Fit(x, y);
+  EXPECT_EQ(tree.NumNodes(), 1u);  // nothing clears the bar
+}
+
+TEST(ModelEdgeTest, LogisticImportancesLengthMatchesFeatures) {
+  Rng rng(7);
+  la::Matrix x(90, 4);
+  std::vector<double> y(90);
+  for (size_t i = 0; i < 90; ++i) {
+    for (size_t c = 0; c < 4; ++c) x(i, c) = rng.Normal();
+    y[i] = static_cast<double>(i % 3);
+  }
+  ml::LogisticRegression model(1e-3, 40);
+  model.Fit(x, y);
+  EXPECT_EQ(model.CoefImportances().size(), 4u);
+  for (double v : model.CoefImportances()) {
+    EXPECT_GE(v, 0.0);
+    EXPECT_TRUE(std::isfinite(v));
+  }
+}
+
+TEST(MetricsEdgeTest, MacroF1WithLabelAbsentFromPredictions) {
+  // Class 2 never predicted: its F1 contributes 0, not NaN.
+  double f1 = ml::MacroF1({0, 1, 2}, {0, 1, 0});
+  EXPECT_GE(f1, 0.0);
+  EXPECT_TRUE(std::isfinite(f1));
+}
+
+TEST(MetricsEdgeTest, R2WorseThanMeanIsNegative) {
+  EXPECT_LT(ml::R2Score({1, 2, 3}, {30, -10, 50}), 0.0);
+}
+
+}  // namespace
+}  // namespace arda

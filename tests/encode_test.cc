@@ -1,0 +1,116 @@
+#include <gtest/gtest.h>
+
+#include "dataframe/encode.h"
+
+namespace arda::df {
+namespace {
+
+DataFrame MakeFrame() {
+  DataFrame frame;
+  EXPECT_TRUE(frame.AddColumn(Column::Double("num", {1.0, 2.0, 3.0})).ok());
+  EXPECT_TRUE(
+      frame.AddColumn(Column::String("color", {"red", "blue", "red"})).ok());
+  EXPECT_TRUE(frame.AddColumn(Column::Int64("target", {0, 1, 0})).ok());
+  return frame;
+}
+
+TEST(EncodeTest, NumericPassThroughAndOneHot) {
+  EncodedFeatures encoded = EncodeFeatures(MakeFrame(), {"target"});
+  // num + color=blue + color=red.
+  ASSERT_EQ(encoded.names.size(), 3u);
+  EXPECT_EQ(encoded.names[0], "num");
+  EXPECT_EQ(encoded.names[1], "color=blue");
+  EXPECT_EQ(encoded.names[2], "color=red");
+  EXPECT_EQ(encoded.x.rows(), 3u);
+  EXPECT_DOUBLE_EQ(encoded.x(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(encoded.x(0, 2), 1.0);  // row 0 is red
+  EXPECT_DOUBLE_EQ(encoded.x(1, 1), 1.0);  // row 1 is blue
+  EXPECT_DOUBLE_EQ(encoded.x(1, 2), 0.0);
+}
+
+TEST(EncodeTest, ExcludeSkipsColumns) {
+  EncodedFeatures encoded = EncodeFeatures(MakeFrame(), {"target", "color"});
+  ASSERT_EQ(encoded.names.size(), 1u);
+  EXPECT_EQ(encoded.names[0], "num");
+}
+
+TEST(EncodeTest, SourceColumnTracksOrigin) {
+  EncodedFeatures encoded = EncodeFeatures(MakeFrame(), {"target"});
+  EXPECT_EQ(encoded.source_column[0], 0u);  // num
+  EXPECT_EQ(encoded.source_column[1], 1u);  // color=blue
+  EXPECT_EQ(encoded.source_column[2], 1u);  // color=red
+}
+
+TEST(EncodeTest, NullNumericImputedWithMedian) {
+  DataFrame frame;
+  Column c = Column::Empty("v", DataType::kDouble);
+  c.AppendDouble(1.0);
+  c.AppendNull();
+  c.AppendDouble(3.0);
+  ASSERT_TRUE(frame.AddColumn(std::move(c)).ok());
+  EncodedFeatures encoded = EncodeFeatures(frame, {});
+  EXPECT_DOUBLE_EQ(encoded.x(1, 0), 2.0);  // median of {1, 3}
+}
+
+TEST(EncodeTest, NullNumericZeroFillOption) {
+  DataFrame frame;
+  Column c = Column::Empty("v", DataType::kDouble);
+  c.AppendDouble(4.0);
+  c.AppendNull();
+  ASSERT_TRUE(frame.AddColumn(std::move(c)).ok());
+  EncodeOptions options;
+  options.impute_numeric_nulls = false;
+  EncodedFeatures encoded = EncodeFeatures(frame, {}, options);
+  EXPECT_DOUBLE_EQ(encoded.x(1, 0), 0.0);
+}
+
+TEST(EncodeTest, NullCategoryGetsIndicator) {
+  DataFrame frame;
+  Column c = Column::Empty("s", DataType::kString);
+  c.AppendString("a");
+  c.AppendNull();
+  ASSERT_TRUE(frame.AddColumn(std::move(c)).ok());
+  EncodedFeatures encoded = EncodeFeatures(frame, {});
+  ASSERT_EQ(encoded.names.size(), 2u);
+  EXPECT_EQ(encoded.names[1], "s=<null>");
+  EXPECT_DOUBLE_EQ(encoded.x(1, 1), 1.0);
+  EXPECT_DOUBLE_EQ(encoded.x(0, 1), 0.0);
+}
+
+TEST(EncodeTest, HighCardinalityCollapsesToOther) {
+  DataFrame frame;
+  std::vector<std::string> values;
+  for (int i = 0; i < 30; ++i) values.push_back("v" + std::to_string(i % 10));
+  // Make v0 dominant.
+  for (int i = 0; i < 20; ++i) values.push_back("v0");
+  ASSERT_TRUE(frame.AddColumn(Column::String("s", values)).ok());
+  EncodeOptions options;
+  options.max_categories = 3;
+  EncodedFeatures encoded = EncodeFeatures(frame, {}, options);
+  // 3 categories + <other>.
+  ASSERT_EQ(encoded.names.size(), 4u);
+  EXPECT_EQ(encoded.names.back(), "s=<other>");
+  // Every row is in exactly one bucket.
+  for (size_t r = 0; r < encoded.x.rows(); ++r) {
+    double sum = 0.0;
+    for (size_t c = 0; c < encoded.x.cols(); ++c) sum += encoded.x(r, c);
+    EXPECT_DOUBLE_EQ(sum, 1.0);
+  }
+}
+
+TEST(EncodeTest, EmptyFrame) {
+  DataFrame frame;
+  EncodedFeatures encoded = EncodeFeatures(frame, {});
+  EXPECT_EQ(encoded.x.rows(), 0u);
+  EXPECT_EQ(encoded.names.size(), 0u);
+}
+
+TEST(EncodeTest, Int64ColumnsAreNumeric) {
+  DataFrame frame;
+  ASSERT_TRUE(frame.AddColumn(Column::Int64("i", {5, 6})).ok());
+  EncodedFeatures encoded = EncodeFeatures(frame, {});
+  EXPECT_DOUBLE_EQ(encoded.x(1, 0), 6.0);
+}
+
+}  // namespace
+}  // namespace arda::df

@@ -1,0 +1,308 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "discovery/transitive.h"
+#include "featsel/significance.h"
+#include "join/geo_join.h"
+#include "join/transitive_join.h"
+
+namespace arda {
+namespace {
+
+using discovery::CandidateJoin;
+using discovery::JoinKeyPair;
+using discovery::KeyKind;
+
+// ------------------------------------------------------------ geo join --
+
+df::DataFrame MakeGeoBase() {
+  df::DataFrame base;
+  EXPECT_TRUE(
+      base.AddColumn(df::Column::Double("lat", {0.0, 10.0, 5.0})).ok());
+  EXPECT_TRUE(
+      base.AddColumn(df::Column::Double("lon", {0.0, 10.0, 5.0})).ok());
+  return base;
+}
+
+df::DataFrame MakeGeoForeign() {
+  df::DataFrame foreign;
+  EXPECT_TRUE(foreign
+                  .AddColumn(df::Column::Double(
+                      "lat", {0.5, 9.0, 100.0}))
+                  .ok());
+  EXPECT_TRUE(foreign
+                  .AddColumn(df::Column::Double(
+                      "lon", {0.5, 9.5, 100.0}))
+                  .ok());
+  EXPECT_TRUE(foreign
+                  .AddColumn(df::Column::Double("v", {1.0, 2.0, 3.0}))
+                  .ok());
+  return foreign;
+}
+
+CandidateJoin GeoCandidate() {
+  CandidateJoin cand;
+  cand.foreign_table = "geo";
+  cand.keys = {JoinKeyPair{"lat", "lat", KeyKind::kSoft},
+               JoinKeyPair{"lon", "lon", KeyKind::kSoft}};
+  return cand;
+}
+
+TEST(GeoJoinTest, MatchesNearestIn2D) {
+  Rng rng(1);
+  join::GeoJoinOptions options;
+  options.normalize = false;
+  Result<df::DataFrame> joined = join::ExecuteGeoLeftJoin(
+      MakeGeoBase(), MakeGeoForeign(), GeoCandidate(), options, &rng);
+  ASSERT_TRUE(joined.ok());
+  EXPECT_DOUBLE_EQ(joined->col("v").DoubleAt(0), 1.0);  // (0,0)->(0.5,0.5)
+  EXPECT_DOUBLE_EQ(joined->col("v").DoubleAt(1), 2.0);  // (10,10)->(9,9.5)
+  EXPECT_DOUBLE_EQ(joined->col("v").DoubleAt(2), 2.0);  // (5,5)->(9,9.5)
+}
+
+TEST(GeoJoinTest, ToleranceProducesNulls) {
+  Rng rng(2);
+  join::GeoJoinOptions options;
+  options.normalize = false;
+  options.tolerance = 2.0;
+  Result<df::DataFrame> joined = join::ExecuteGeoLeftJoin(
+      MakeGeoBase(), MakeGeoForeign(), GeoCandidate(), options, &rng);
+  ASSERT_TRUE(joined.ok());
+  EXPECT_FALSE(joined->col("v").IsNull(0));
+  EXPECT_FALSE(joined->col("v").IsNull(1));
+  EXPECT_TRUE(joined->col("v").IsNull(2));  // (5,5) is ~6.0 away
+}
+
+TEST(GeoJoinTest, NormalizationBalancesDimensions) {
+  // lat spans 0..1, lon spans 0..1000. Without normalization lon
+  // dominates; with it both count equally.
+  df::DataFrame base;
+  ASSERT_TRUE(base.AddColumn(df::Column::Double("lat", {0.0, 1.0})).ok());
+  ASSERT_TRUE(
+      base.AddColumn(df::Column::Double("lon", {0.0, 1000.0})).ok());
+  df::DataFrame foreign;
+  // Candidate A: perfect lat, lon off by 400 (0.4 normalized).
+  // Candidate B: lat off by 1 (1.0 normalized), perfect lon.
+  ASSERT_TRUE(
+      foreign.AddColumn(df::Column::Double("lat", {0.0, 1.0})).ok());
+  ASSERT_TRUE(
+      foreign.AddColumn(df::Column::Double("lon", {400.0, 0.0})).ok());
+  ASSERT_TRUE(foreign.AddColumn(df::Column::Double("v", {1.0, 2.0})).ok());
+  Rng rng(3);
+  join::GeoJoinOptions options;  // normalize = true
+  Result<df::DataFrame> joined = join::ExecuteGeoLeftJoin(
+      base, foreign, GeoCandidate(), options, &rng);
+  ASSERT_TRUE(joined.ok());
+  // Base row 0 at (0, 0): A is 0.4 away normalized, B is 1.0 -> picks A.
+  EXPECT_DOUBLE_EQ(joined->col("v").DoubleAt(0), 1.0);
+}
+
+TEST(GeoJoinTest, HardKeyPartitions) {
+  df::DataFrame base;
+  ASSERT_TRUE(
+      base.AddColumn(df::Column::String("city", {"a", "b"})).ok());
+  ASSERT_TRUE(base.AddColumn(df::Column::Double("lat", {0.0, 0.0})).ok());
+  ASSERT_TRUE(base.AddColumn(df::Column::Double("lon", {0.0, 0.0})).ok());
+  df::DataFrame foreign;
+  ASSERT_TRUE(
+      foreign.AddColumn(df::Column::String("city", {"a", "b"})).ok());
+  ASSERT_TRUE(
+      foreign.AddColumn(df::Column::Double("lat", {5.0, 0.1})).ok());
+  ASSERT_TRUE(
+      foreign.AddColumn(df::Column::Double("lon", {5.0, 0.1})).ok());
+  ASSERT_TRUE(foreign.AddColumn(df::Column::Double("v", {1.0, 2.0})).ok());
+  CandidateJoin cand = GeoCandidate();
+  cand.keys.insert(cand.keys.begin(),
+                   JoinKeyPair{"city", "city", KeyKind::kHard});
+  Rng rng(4);
+  join::GeoJoinOptions options;
+  options.normalize = false;
+  Result<df::DataFrame> joined =
+      join::ExecuteGeoLeftJoin(base, foreign, cand, options, &rng);
+  ASSERT_TRUE(joined.ok());
+  // Row 0 ("a") must match the far "a" point, not the near "b" point.
+  EXPECT_DOUBLE_EQ(joined->col("v").DoubleAt(0), 1.0);
+  EXPECT_DOUBLE_EQ(joined->col("v").DoubleAt(1), 2.0);
+}
+
+TEST(GeoJoinTest, RejectsFewerThanTwoSoftDims) {
+  df::DataFrame base = MakeGeoBase();
+  df::DataFrame foreign = MakeGeoForeign();
+  CandidateJoin cand;
+  cand.foreign_table = "geo";
+  cand.keys = {JoinKeyPair{"lat", "lat", KeyKind::kSoft}};
+  Rng rng(5);
+  EXPECT_FALSE(
+      join::ExecuteGeoLeftJoin(base, foreign, cand, {}, &rng).ok());
+}
+
+TEST(GeoJoinTest, DuplicateCoordinatesPreAggregated) {
+  df::DataFrame base = MakeGeoBase();
+  df::DataFrame foreign;
+  ASSERT_TRUE(
+      foreign.AddColumn(df::Column::Double("lat", {0.0, 0.0})).ok());
+  ASSERT_TRUE(
+      foreign.AddColumn(df::Column::Double("lon", {0.0, 0.0})).ok());
+  ASSERT_TRUE(
+      foreign.AddColumn(df::Column::Double("v", {10.0, 20.0})).ok());
+  Rng rng(6);
+  join::GeoJoinOptions options;
+  options.normalize = false;
+  Result<df::DataFrame> joined = join::ExecuteGeoLeftJoin(
+      base, foreign, GeoCandidate(), options, &rng);
+  ASSERT_TRUE(joined.ok());
+  EXPECT_DOUBLE_EQ(joined->col("v").DoubleAt(0), 15.0);  // mean
+}
+
+// ----------------------------------------------------- transitive joins --
+
+discovery::DataRepository MakeChainRepo() {
+  discovery::DataRepository repo;
+  // base(order_id, customer_id, y) -> customers(customer_id, zip)
+  //   -> zip_stats(zip, income)
+  df::DataFrame base;
+  EXPECT_TRUE(
+      base.AddColumn(df::Column::Int64("order_id", {1, 2, 3, 4})).ok());
+  EXPECT_TRUE(
+      base.AddColumn(df::Column::Int64("customer_id", {10, 11, 10, 12}))
+          .ok());
+  EXPECT_TRUE(
+      base.AddColumn(df::Column::Double("y", {1.0, 2.0, 3.0, 4.0})).ok());
+  EXPECT_TRUE(repo.Add("orders", std::move(base)).ok());
+
+  df::DataFrame customers;
+  EXPECT_TRUE(
+      customers.AddColumn(df::Column::Int64("customer_id", {10, 11, 12}))
+          .ok());
+  EXPECT_TRUE(customers
+                  .AddColumn(df::Column::String(
+                      "zip", {"z1", "z2", "z1"}))
+                  .ok());
+  EXPECT_TRUE(repo.Add("customers", std::move(customers)).ok());
+
+  df::DataFrame zip_stats;
+  EXPECT_TRUE(
+      zip_stats.AddColumn(df::Column::String("zip", {"z1", "z2"})).ok());
+  EXPECT_TRUE(
+      zip_stats.AddColumn(df::Column::Double("income", {50.0, 70.0}))
+          .ok());
+  EXPECT_TRUE(repo.Add("zip_stats", std::move(zip_stats)).ok());
+  return repo;
+}
+
+TEST(TransitiveTest, DiscoversTwoHopPath) {
+  discovery::DataRepository repo = MakeChainRepo();
+  std::vector<discovery::TransitiveCandidate> paths =
+      discovery::DiscoverTransitiveCandidates(repo, "orders", "y");
+  ASSERT_EQ(paths.size(), 1u);
+  EXPECT_EQ(paths[0].via_table, "customers");
+  EXPECT_EQ(paths[0].final_table, "zip_stats");
+  EXPECT_EQ(paths[0].base_to_via[0].base_column, "customer_id");
+  EXPECT_EQ(paths[0].via_to_final[0].base_column, "zip");
+  EXPECT_EQ(paths[0].MaterializedName(), "customers+zip_stats");
+}
+
+TEST(TransitiveTest, MaterializeBridgesTables) {
+  discovery::DataRepository repo = MakeChainRepo();
+  std::vector<discovery::TransitiveCandidate> paths =
+      discovery::DiscoverTransitiveCandidates(repo, "orders", "y");
+  ASSERT_EQ(paths.size(), 1u);
+  Rng rng(7);
+  Result<CandidateJoin> bridged = join::MaterializeTransitive(
+      &repo, paths[0], join::JoinOptions{}, &rng);
+  ASSERT_TRUE(bridged.ok());
+  ASSERT_TRUE(repo.Has("customers+zip_stats"));
+
+  // Joining the bridge to the base pulls zip-level income to each order.
+  const df::DataFrame& orders = repo.GetOrDie("orders");
+  Result<df::DataFrame> joined = join::ExecuteLeftJoin(
+      orders, repo.GetOrDie(bridged->foreign_table), *bridged,
+      join::JoinOptions{}, &rng);
+  ASSERT_TRUE(joined.ok());
+  ASSERT_TRUE(joined->HasColumn("income"));
+  EXPECT_DOUBLE_EQ(joined->col("income").DoubleAt(0), 50.0);  // cust 10/z1
+  EXPECT_DOUBLE_EQ(joined->col("income").DoubleAt(1), 70.0);  // cust 11/z2
+  EXPECT_DOUBLE_EQ(joined->col("income").DoubleAt(3), 50.0);  // cust 12/z1
+}
+
+TEST(TransitiveTest, MissingTableFails) {
+  discovery::DataRepository repo = MakeChainRepo();
+  discovery::TransitiveCandidate path;
+  path.via_table = "ghost";
+  path.final_table = "zip_stats";
+  Rng rng(8);
+  EXPECT_FALSE(
+      join::MaterializeTransitive(&repo, path, join::JoinOptions{}, &rng)
+          .ok());
+}
+
+// ------------------------------------------------------- significance --
+
+ml::Dataset MakeBaseData(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  ml::Dataset data;
+  data.task = ml::TaskType::kRegression;
+  data.x = la::Matrix(n, 1);
+  data.y.resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    data.x(i, 0) = rng.Normal();
+    data.y[i] = data.x(i, 0) + rng.Normal(0.0, 1.0);
+  }
+  data.feature_names = {"weak"};
+  return data;
+}
+
+TEST(SignificanceTest, RealAugmentationIsSignificant) {
+  ml::Dataset base = MakeBaseData(300, 11);
+  // Augmented: add a feature that explains most of the residual.
+  ml::Dataset augmented = base;
+  Rng rng(12);
+  la::Matrix strong(300, 1);
+  for (size_t i = 0; i < 300; ++i) {
+    strong(i, 0) = base.y[i] - base.x(i, 0) + rng.Normal(0.0, 0.2);
+  }
+  augmented.x = base.x.HStack(strong);
+  augmented.feature_names.push_back("strong");
+
+  featsel::SignificanceOptions options;
+  options.num_splits = 8;
+  featsel::SignificanceResult result =
+      featsel::TestAugmentationSignificance(base, augmented, options);
+  EXPECT_GT(result.mean_improvement, 0.0);
+  EXPECT_TRUE(result.SignificantAt(0.05)) << "p=" << result.p_value;
+  EXPECT_EQ(result.split_improvements.size(), 8u);
+}
+
+TEST(SignificanceTest, NoiseAugmentationIsNotSignificant) {
+  ml::Dataset base = MakeBaseData(300, 13);
+  ml::Dataset augmented = base;
+  Rng rng(14);
+  la::Matrix junk(300, 3);
+  for (size_t i = 0; i < 300; ++i) {
+    for (size_t c = 0; c < 3; ++c) junk(i, c) = rng.Normal();
+  }
+  augmented.x = base.x.HStack(junk);
+  augmented.feature_names.insert(augmented.feature_names.end(),
+                                 {"j1", "j2", "j3"});
+
+  featsel::SignificanceOptions options;
+  options.num_splits = 8;
+  featsel::SignificanceResult result =
+      featsel::TestAugmentationSignificance(base, augmented, options);
+  EXPECT_FALSE(result.SignificantAt(0.01)) << "p=" << result.p_value;
+}
+
+TEST(SignificanceTest, PValueInUnitInterval) {
+  ml::Dataset base = MakeBaseData(100, 15);
+  featsel::SignificanceOptions options;
+  options.num_splits = 4;
+  options.num_permutations = 200;
+  featsel::SignificanceResult result =
+      featsel::TestAugmentationSignificance(base, base, options);
+  EXPECT_GT(result.p_value, 0.0);
+  EXPECT_LE(result.p_value, 1.0);
+}
+
+}  // namespace
+}  // namespace arda

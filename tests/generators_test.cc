@@ -1,0 +1,179 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "core/arda.h"
+#include "data/generators.h"
+
+namespace arda::data {
+namespace {
+
+Scenario MakeByName(const std::string& name) {
+  const uint64_t seed = 7;
+  if (name == "taxi") return MakeTaxiScenario(seed, ScenarioScale::kSmall);
+  if (name == "pickup") {
+    return MakePickupScenario(seed, ScenarioScale::kSmall);
+  }
+  if (name == "poverty") {
+    return MakePovertyScenario(seed, ScenarioScale::kSmall);
+  }
+  if (name == "school_s") {
+    return MakeSchoolScenario(false, seed, ScenarioScale::kSmall);
+  }
+  return MakeSchoolScenario(true, seed, ScenarioScale::kSmall);
+}
+
+class ScenarioProperty : public testing::TestWithParam<const char*> {};
+
+TEST_P(ScenarioProperty, StructurallySound) {
+  Scenario scenario = MakeByName(GetParam());
+  EXPECT_EQ(scenario.name, GetParam());
+  EXPECT_GT(scenario.base.NumRows(), 50u);
+  ASSERT_TRUE(scenario.base.HasColumn(scenario.target_column));
+  // Base registered in the repo plus at least one foreign table.
+  EXPECT_TRUE(scenario.repo.Has(scenario.name));
+  EXPECT_GT(scenario.repo.size(), 2u);
+  EXPECT_FALSE(scenario.candidates.empty());
+  EXPECT_FALSE(scenario.signal_tables.empty());
+}
+
+TEST_P(ScenarioProperty, CandidatesReferenceRealTablesAndKeys) {
+  Scenario scenario = MakeByName(GetParam());
+  for (const discovery::CandidateJoin& cand : scenario.candidates) {
+    ASSERT_TRUE(scenario.repo.Has(cand.foreign_table))
+        << cand.foreign_table;
+    const df::DataFrame& foreign =
+        scenario.repo.GetOrDie(cand.foreign_table);
+    for (const discovery::JoinKeyPair& key : cand.keys) {
+      EXPECT_TRUE(scenario.base.HasColumn(key.base_column))
+          << key.base_column;
+      EXPECT_TRUE(foreign.HasColumn(key.foreign_column))
+          << key.foreign_column;
+    }
+  }
+}
+
+TEST_P(ScenarioProperty, SignalTablesAreCandidates) {
+  Scenario scenario = MakeByName(GetParam());
+  std::set<std::string> candidate_tables;
+  for (const discovery::CandidateJoin& cand : scenario.candidates) {
+    candidate_tables.insert(cand.foreign_table);
+  }
+  for (const std::string& table : scenario.signal_tables) {
+    EXPECT_TRUE(candidate_tables.count(table) > 0) << table;
+  }
+}
+
+TEST_P(ScenarioProperty, DatasetBuildsAndTargetVaries) {
+  Scenario scenario = MakeByName(GetParam());
+  Result<ml::Dataset> data = core::BuildDataset(
+      scenario.base, scenario.target_column, scenario.task);
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(data->NumRows(), scenario.base.NumRows());
+  if (scenario.task == ml::TaskType::kClassification) {
+    EXPECT_GE(data->NumClasses(), 2u);
+  } else {
+    EXPECT_GT(la::Variance(data->y), 0.0);
+  }
+}
+
+TEST_P(ScenarioProperty, DeterministicForSeed) {
+  Scenario a = MakeByName(GetParam());
+  Scenario b = MakeByName(GetParam());
+  ASSERT_EQ(a.base.NumRows(), b.base.NumRows());
+  const df::Column& target_a = a.base.col(a.target_column);
+  const df::Column& target_b = b.base.col(b.target_column);
+  for (size_t r = 0; r < target_a.size(); ++r) {
+    EXPECT_EQ(target_a.ValueToString(r), target_b.ValueToString(r));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllScenarios, ScenarioProperty,
+                         testing::Values("taxi", "pickup", "poverty",
+                                         "school_s", "school_l"));
+
+TEST(ScenarioTest, SchoolLargeHasMoreTablesThanSmall) {
+  Scenario small = MakeSchoolScenario(false, 7, ScenarioScale::kSmall);
+  Scenario large = MakeSchoolScenario(true, 7, ScenarioScale::kSmall);
+  EXPECT_GT(large.repo.size(), small.repo.size());
+  // Both sizes share the same five signal tables; L only adds noise pool.
+  EXPECT_EQ(large.signal_tables.size(), small.signal_tables.size());
+}
+
+TEST(ScenarioTest, FullScaleMatchesPaperTableCounts) {
+  // Candidates = joinable tables: 29 (taxi), 23 (pickup), 39 (poverty),
+  // 16 (school S), 350 (school L).
+  EXPECT_EQ(MakeTaxiScenario(7).candidates.size(), 29u);
+  EXPECT_EQ(MakePickupScenario(7).candidates.size(), 23u);
+  EXPECT_EQ(MakePovertyScenario(7).candidates.size(), 39u);
+  EXPECT_EQ(MakeSchoolScenario(false, 7).candidates.size(), 16u);
+  EXPECT_EQ(MakeSchoolScenario(true, 7).candidates.size(), 350u);
+}
+
+TEST(ScenarioTest, MakeAllScenariosOrder) {
+  std::vector<Scenario> all = MakeAllScenarios(7, ScenarioScale::kSmall);
+  ASSERT_EQ(all.size(), 5u);
+  EXPECT_EQ(all[0].name, "pickup");
+  EXPECT_EQ(all[4].name, "taxi");
+}
+
+TEST(ScenarioTest, MakeTaskWiresRepoAndCandidates) {
+  Scenario scenario = MakeByName("poverty");
+  core::AugmentationTask task = scenario.MakeTask();
+  EXPECT_EQ(task.repo, &scenario.repo);
+  EXPECT_EQ(task.candidates.size(), scenario.candidates.size());
+  EXPECT_EQ(task.base_table_name, "poverty");
+}
+
+TEST(MicroBenchmarkTest, KrakenShapeMatchesPaper) {
+  MicroBenchmark bench = MakeKrakenBenchmark(7);
+  EXPECT_EQ(bench.data.NumRows(), 1000u);
+  EXPECT_EQ(bench.num_original, 24u);
+  // 10x noise appended.
+  EXPECT_EQ(bench.data.NumFeatures(), 24u + 240u);
+  // Label counts 568 / 432.
+  size_t positives = 0;
+  for (double y : bench.data.y) positives += y > 0.5;
+  EXPECT_EQ(positives, 432u);
+  EXPECT_TRUE(bench.IsNoiseFeature(24));
+  EXPECT_FALSE(bench.IsNoiseFeature(23));
+}
+
+TEST(MicroBenchmarkTest, DigitsShapeMatchesPaper) {
+  MicroBenchmark bench = MakeDigitsBenchmark(7);
+  EXPECT_EQ(bench.data.NumRows(), 1800u);
+  EXPECT_EQ(bench.num_original, 64u);
+  EXPECT_EQ(bench.data.NumFeatures(), 64u + 640u);
+  EXPECT_EQ(bench.data.NumClasses(), 10u);
+}
+
+TEST(MicroBenchmarkTest, InjectNoiseAppends) {
+  ml::Dataset data;
+  data.task = ml::TaskType::kRegression;
+  data.x = la::Matrix(10, 4, 1.0);
+  data.y.assign(10, 0.0);
+  data.feature_names = {"a", "b", "c", "d"};
+  Rng rng(3);
+  size_t added = InjectNoiseFeatures(&data, 2.0, &rng);
+  EXPECT_EQ(added, 8u);
+  EXPECT_EQ(data.NumFeatures(), 12u);
+  EXPECT_EQ(data.feature_names.size(), 12u);
+}
+
+TEST(MicroBenchmarkTest, DigitsSignalIsLearnable) {
+  MicroBenchmark bench = MakeDigitsBenchmark(7, /*noise_multiplier=*/0.0);
+  ml::Evaluator evaluator(bench.data, 0.25, 11);
+  EXPECT_GT(evaluator.ScoreAllFeatures(), 0.8);
+}
+
+TEST(MicroBenchmarkTest, KrakenSignalIsLearnable) {
+  MicroBenchmark bench = MakeKrakenBenchmark(7, /*noise_multiplier=*/0.0);
+  ml::Evaluator evaluator(bench.data, 0.25, 11);
+  // Kraken is deliberately hard (wide class overlap); learnable means
+  // comfortably above the 56.8% majority-class rate.
+  EXPECT_GT(evaluator.ScoreAllFeatures(), 0.65);
+}
+
+}  // namespace
+}  // namespace arda::data

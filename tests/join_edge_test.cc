@@ -1,0 +1,188 @@
+// Edge cases of the join executor: multi-option keys (one table joinable
+// on several alternative keys), the time-resampled hard join's key
+// bucketing, empty foreign tables, and collision-prefix numbering.
+
+#include <gtest/gtest.h>
+
+#include "join/impute.h"
+#include "join/join_executor.h"
+
+namespace arda::join {
+namespace {
+
+using discovery::CandidateJoin;
+using discovery::JoinKeyPair;
+using discovery::KeyKind;
+
+TEST(JoinEdgeTest, MultiOptionKeysJoinSeparately) {
+  // One foreign table joinable on either `a` or `b` (the paper's
+  // multiple-option key join): ARDA joins on each key separately, i.e.
+  // two candidates against the same table.
+  df::DataFrame base;
+  ASSERT_TRUE(base.AddColumn(df::Column::Int64("a", {1, 2})).ok());
+  ASSERT_TRUE(base.AddColumn(df::Column::Int64("b", {20, 10})).ok());
+  df::DataFrame foreign;
+  ASSERT_TRUE(foreign.AddColumn(df::Column::Int64("a", {1, 2})).ok());
+  ASSERT_TRUE(foreign.AddColumn(df::Column::Int64("b", {10, 20})).ok());
+  ASSERT_TRUE(
+      foreign.AddColumn(df::Column::Double("v", {100.0, 200.0})).ok());
+
+  CandidateJoin on_a;
+  on_a.foreign_table = "t";
+  on_a.keys = {JoinKeyPair{"a", "a", KeyKind::kHard}};
+  CandidateJoin on_b;
+  on_b.foreign_table = "t";
+  on_b.keys = {JoinKeyPair{"b", "b", KeyKind::kHard}};
+
+  Rng rng(1);
+  Result<df::DataFrame> first =
+      ExecuteLeftJoin(base, foreign, on_a, {}, &rng);
+  ASSERT_TRUE(first.ok());
+  Result<df::DataFrame> both =
+      ExecuteLeftJoin(*first, foreign, on_b, {}, &rng);
+  ASSERT_TRUE(both.ok());
+
+  // v from the `a` join, t.v (collision-prefixed) from the `b` join.
+  ASSERT_TRUE(both->HasColumn("v"));
+  ASSERT_TRUE(both->HasColumn("t.v"));
+  EXPECT_DOUBLE_EQ(both->col("v").DoubleAt(0), 100.0);   // a=1
+  EXPECT_DOUBLE_EQ(both->col("t.v").DoubleAt(0), 200.0);  // b=20
+  EXPECT_DOUBLE_EQ(both->col("v").DoubleAt(1), 200.0);   // a=2
+  EXPECT_DOUBLE_EQ(both->col("t.v").DoubleAt(1), 100.0);  // b=10
+}
+
+TEST(JoinEdgeTest, RepeatedCollisionsGetNumberedSuffixes) {
+  df::DataFrame base;
+  ASSERT_TRUE(base.AddColumn(df::Column::Int64("k", {1})).ok());
+  df::DataFrame foreign;
+  ASSERT_TRUE(foreign.AddColumn(df::Column::Int64("k", {1})).ok());
+  ASSERT_TRUE(foreign.AddColumn(df::Column::Double("v", {1.0})).ok());
+  CandidateJoin cand;
+  cand.foreign_table = "t";
+  cand.keys = {JoinKeyPair{"k", "k", KeyKind::kHard}};
+  Rng rng(2);
+  df::DataFrame out = base;
+  for (int i = 0; i < 3; ++i) {
+    Result<df::DataFrame> joined =
+        ExecuteLeftJoin(out, foreign, cand, {}, &rng);
+    ASSERT_TRUE(joined.ok());
+    out = std::move(joined).value();
+  }
+  EXPECT_TRUE(out.HasColumn("v"));
+  EXPECT_TRUE(out.HasColumn("t.v"));
+  EXPECT_TRUE(out.HasColumn("t.v_2"));
+}
+
+TEST(JoinEdgeTest, ResampledHardJoinBucketsBaseKeys) {
+  // Base time key is coarse but NOT aligned to bucket representatives
+  // (values 0.2, 1.2, ...); foreign is fine-grained. The resampled hard
+  // join buckets both sides, so matches still land.
+  df::DataFrame base;
+  ASSERT_TRUE(
+      base.AddColumn(df::Column::Double("t", {0.2, 1.2, 2.2})).ok());
+  df::DataFrame foreign;
+  std::vector<double> times, values;
+  for (int day = 0; day < 3; ++day) {
+    for (int q = 0; q < 5; ++q) {
+      times.push_back(day + 0.2 * q);
+      values.push_back(day * 10.0 + q);
+    }
+  }
+  ASSERT_TRUE(foreign.AddColumn(df::Column::Double("t", times)).ok());
+  ASSERT_TRUE(foreign.AddColumn(df::Column::Double("v", values)).ok());
+
+  CandidateJoin cand;
+  cand.foreign_table = "series";
+  cand.keys = {JoinKeyPair{"t", "t", KeyKind::kSoft}};
+  JoinOptions options;
+  options.soft_method = SoftJoinMethod::kHardExact;
+  options.time_resample = true;
+  Rng rng(3);
+  Result<df::DataFrame> joined =
+      ExecuteLeftJoin(base, foreign, cand, options, &rng);
+  ASSERT_TRUE(joined.ok());
+  // Each day bucket aggregates values {10d..10d+4} -> mean 10d + 2.
+  EXPECT_DOUBLE_EQ(joined->col("v").DoubleAt(0), 2.0);
+  EXPECT_DOUBLE_EQ(joined->col("v").DoubleAt(1), 12.0);
+  EXPECT_DOUBLE_EQ(joined->col("v").DoubleAt(2), 22.0);
+}
+
+TEST(JoinEdgeTest, EmptyForeignTableYieldsAllNulls) {
+  df::DataFrame base;
+  ASSERT_TRUE(base.AddColumn(df::Column::Int64("k", {1, 2})).ok());
+  df::DataFrame foreign;
+  ASSERT_TRUE(
+      foreign.AddColumn(df::Column::Empty("k", df::DataType::kInt64)).ok());
+  ASSERT_TRUE(
+      foreign.AddColumn(df::Column::Empty("v", df::DataType::kDouble))
+          .ok());
+  CandidateJoin cand;
+  cand.foreign_table = "t";
+  cand.keys = {JoinKeyPair{"k", "k", KeyKind::kHard}};
+  Rng rng(4);
+  Result<df::DataFrame> joined =
+      ExecuteLeftJoin(base, foreign, cand, {}, &rng);
+  ASSERT_TRUE(joined.ok());
+  EXPECT_EQ(joined->NumRows(), 2u);
+  EXPECT_EQ(joined->col("v").NullCount(), 2u);
+}
+
+TEST(JoinEdgeTest, AllNullSoftForeignKeyYieldsNulls) {
+  df::DataFrame base;
+  ASSERT_TRUE(base.AddColumn(df::Column::Double("t", {1.0})).ok());
+  df::DataFrame foreign;
+  df::Column t = df::Column::Empty("t", df::DataType::kDouble);
+  t.AppendNull();
+  ASSERT_TRUE(foreign.AddColumn(std::move(t)).ok());
+  ASSERT_TRUE(foreign.AddColumn(df::Column::Double("v", {9.0})).ok());
+  CandidateJoin cand;
+  cand.foreign_table = "t";
+  cand.keys = {JoinKeyPair{"t", "t", KeyKind::kSoft}};
+  JoinOptions options;
+  options.soft_method = SoftJoinMethod::kNearest;
+  options.time_resample = false;
+  Rng rng(5);
+  Result<df::DataFrame> joined =
+      ExecuteLeftJoin(base, foreign, cand, options, &rng);
+  ASSERT_TRUE(joined.ok());
+  EXPECT_TRUE(joined->col("v").IsNull(0));
+}
+
+TEST(JoinEdgeTest, TwoWayCategoricalPicksOneOfTheNeighbors) {
+  df::DataFrame base;
+  ASSERT_TRUE(base.AddColumn(df::Column::Double("t", {0.5})).ok());
+  df::DataFrame foreign;
+  ASSERT_TRUE(foreign.AddColumn(df::Column::Double("t", {0.0, 1.0})).ok());
+  ASSERT_TRUE(
+      foreign.AddColumn(df::Column::String("s", {"low", "high"})).ok());
+  CandidateJoin cand;
+  cand.foreign_table = "t";
+  cand.keys = {JoinKeyPair{"t", "t", KeyKind::kSoft}};
+  JoinOptions options;
+  options.soft_method = SoftJoinMethod::kTwoWayNearest;
+  options.time_resample = false;
+  Rng rng(6);
+  Result<df::DataFrame> joined =
+      ExecuteLeftJoin(base, foreign, cand, options, &rng);
+  ASSERT_TRUE(joined.ok());
+  const std::string& value = joined->col("s").StringAt(0);
+  EXPECT_TRUE(value == "low" || value == "high");
+}
+
+TEST(JoinEdgeTest, ForeignWithOnlyKeyColumnsAddsNothing) {
+  df::DataFrame base;
+  ASSERT_TRUE(base.AddColumn(df::Column::Int64("k", {1, 2})).ok());
+  df::DataFrame foreign;
+  ASSERT_TRUE(foreign.AddColumn(df::Column::Int64("k", {1})).ok());
+  CandidateJoin cand;
+  cand.foreign_table = "t";
+  cand.keys = {JoinKeyPair{"k", "k", KeyKind::kHard}};
+  Rng rng(7);
+  Result<df::DataFrame> joined =
+      ExecuteLeftJoin(base, foreign, cand, {}, &rng);
+  ASSERT_TRUE(joined.ok());
+  EXPECT_EQ(joined->NumCols(), 1u);
+}
+
+}  // namespace
+}  // namespace arda::join

@@ -1,0 +1,412 @@
+#include <gtest/gtest.h>
+
+#include "join/impute.h"
+#include "join/join_executor.h"
+#include "join/resample.h"
+
+namespace arda::join {
+namespace {
+
+using discovery::CandidateJoin;
+using discovery::JoinKeyPair;
+using discovery::KeyKind;
+
+CandidateJoin HardJoin(const std::string& table, const std::string& key) {
+  CandidateJoin cand;
+  cand.foreign_table = table;
+  cand.keys = {JoinKeyPair{key, key, KeyKind::kHard}};
+  return cand;
+}
+
+df::DataFrame MakeBase() {
+  df::DataFrame base;
+  EXPECT_TRUE(base.AddColumn(df::Column::Int64("id", {1, 2, 3, 4})).ok());
+  EXPECT_TRUE(
+      base.AddColumn(df::Column::Double("y", {10.0, 20.0, 30.0, 40.0}))
+          .ok());
+  return base;
+}
+
+TEST(HardJoinTest, MatchesAndPreservesAllBaseRows) {
+  df::DataFrame foreign;
+  ASSERT_TRUE(foreign.AddColumn(df::Column::Int64("id", {2, 4})).ok());
+  ASSERT_TRUE(
+      foreign.AddColumn(df::Column::Double("v", {200.0, 400.0})).ok());
+  Rng rng(1);
+  Result<df::DataFrame> joined = ExecuteLeftJoin(
+      MakeBase(), foreign, HardJoin("f", "id"), JoinOptions{}, &rng);
+  ASSERT_TRUE(joined.ok());
+  EXPECT_EQ(joined->NumRows(), 4u);  // LEFT JOIN keeps every base row
+  const df::Column& v = joined->col("v");
+  EXPECT_TRUE(v.IsNull(0));
+  EXPECT_DOUBLE_EQ(v.DoubleAt(1), 200.0);
+  EXPECT_TRUE(v.IsNull(2));
+  EXPECT_DOUBLE_EQ(v.DoubleAt(3), 400.0);
+}
+
+TEST(HardJoinTest, KeyColumnNotDuplicated) {
+  df::DataFrame foreign;
+  ASSERT_TRUE(foreign.AddColumn(df::Column::Int64("id", {1})).ok());
+  ASSERT_TRUE(foreign.AddColumn(df::Column::Double("v", {5.0})).ok());
+  Rng rng(1);
+  Result<df::DataFrame> joined = ExecuteLeftJoin(
+      MakeBase(), foreign, HardJoin("f", "id"), JoinOptions{}, &rng);
+  ASSERT_TRUE(joined.ok());
+  EXPECT_EQ(joined->NumCols(), 3u);  // id, y, v
+}
+
+TEST(HardJoinTest, OneToManyPreAggregates) {
+  df::DataFrame foreign;
+  ASSERT_TRUE(foreign.AddColumn(df::Column::Int64("id", {1, 1, 2})).ok());
+  ASSERT_TRUE(
+      foreign.AddColumn(df::Column::Double("v", {10.0, 30.0, 7.0})).ok());
+  Rng rng(1);
+  Result<df::DataFrame> joined = ExecuteLeftJoin(
+      MakeBase(), foreign, HardJoin("f", "id"), JoinOptions{}, &rng);
+  ASSERT_TRUE(joined.ok());
+  EXPECT_EQ(joined->NumRows(), 4u);  // never duplicates base rows
+  EXPECT_DOUBLE_EQ(joined->col("v").DoubleAt(0), 20.0);  // mean(10, 30)
+  EXPECT_DOUBLE_EQ(joined->col("v").DoubleAt(1), 7.0);
+}
+
+TEST(HardJoinTest, CompositeKeys) {
+  df::DataFrame base;
+  ASSERT_TRUE(base.AddColumn(df::Column::Int64("a", {1, 1, 2})).ok());
+  ASSERT_TRUE(
+      base.AddColumn(df::Column::String("b", {"x", "y", "x"})).ok());
+  df::DataFrame foreign;
+  ASSERT_TRUE(foreign.AddColumn(df::Column::Int64("a", {1, 2})).ok());
+  ASSERT_TRUE(foreign.AddColumn(df::Column::String("b", {"y", "x"})).ok());
+  ASSERT_TRUE(foreign.AddColumn(df::Column::Double("v", {1.0, 2.0})).ok());
+
+  CandidateJoin cand;
+  cand.foreign_table = "f";
+  cand.keys = {JoinKeyPair{"a", "a", KeyKind::kHard},
+               JoinKeyPair{"b", "b", KeyKind::kHard}};
+  Rng rng(1);
+  Result<df::DataFrame> joined =
+      ExecuteLeftJoin(base, foreign, cand, JoinOptions{}, &rng);
+  ASSERT_TRUE(joined.ok());
+  EXPECT_TRUE(joined->col("v").IsNull(0));   // (1, x) unmatched
+  EXPECT_DOUBLE_EQ(joined->col("v").DoubleAt(1), 1.0);  // (1, y)
+  EXPECT_DOUBLE_EQ(joined->col("v").DoubleAt(2), 2.0);  // (2, x)
+}
+
+TEST(HardJoinTest, NullBaseKeysStayUnmatched) {
+  df::DataFrame base;
+  df::Column id = df::Column::Empty("id", df::DataType::kInt64);
+  id.AppendInt64(1);
+  id.AppendNull();
+  ASSERT_TRUE(base.AddColumn(std::move(id)).ok());
+  df::DataFrame foreign;
+  ASSERT_TRUE(foreign.AddColumn(df::Column::Int64("id", {1})).ok());
+  ASSERT_TRUE(foreign.AddColumn(df::Column::Double("v", {9.0})).ok());
+  Rng rng(1);
+  Result<df::DataFrame> joined = ExecuteLeftJoin(
+      base, foreign, HardJoin("f", "id"), JoinOptions{}, &rng);
+  ASSERT_TRUE(joined.ok());
+  EXPECT_DOUBLE_EQ(joined->col("v").DoubleAt(0), 9.0);
+  EXPECT_TRUE(joined->col("v").IsNull(1));
+}
+
+TEST(HardJoinTest, CollidingColumnNamesGetPrefixed) {
+  df::DataFrame foreign;
+  ASSERT_TRUE(foreign.AddColumn(df::Column::Int64("id", {1})).ok());
+  ASSERT_TRUE(foreign.AddColumn(df::Column::Double("y", {-1.0})).ok());
+  Rng rng(1);
+  Result<df::DataFrame> joined = ExecuteLeftJoin(
+      MakeBase(), foreign, HardJoin("ft", "id"), JoinOptions{}, &rng);
+  ASSERT_TRUE(joined.ok());
+  EXPECT_TRUE(joined->HasColumn("ft.y"));
+  EXPECT_DOUBLE_EQ(joined->col("y").DoubleAt(0), 10.0);  // base y untouched
+}
+
+TEST(HardJoinTest, MissingKeyColumnFails) {
+  df::DataFrame foreign;
+  ASSERT_TRUE(foreign.AddColumn(df::Column::Int64("other", {1})).ok());
+  Rng rng(1);
+  EXPECT_FALSE(ExecuteLeftJoin(MakeBase(), foreign, HardJoin("f", "id"),
+                               JoinOptions{}, &rng)
+                   .ok());
+  CandidateJoin empty;
+  empty.foreign_table = "f";
+  EXPECT_FALSE(
+      ExecuteLeftJoin(MakeBase(), foreign, empty, JoinOptions{}, &rng).ok());
+}
+
+// ----------------------------------------------------------- soft joins --
+
+df::DataFrame MakeTimeBase() {
+  df::DataFrame base;
+  EXPECT_TRUE(
+      base.AddColumn(df::Column::Double("t", {0.0, 1.0, 2.0})).ok());
+  return base;
+}
+
+CandidateJoin SoftJoin() {
+  CandidateJoin cand;
+  cand.foreign_table = "series";
+  cand.keys = {JoinKeyPair{"t", "t", KeyKind::kSoft}};
+  return cand;
+}
+
+TEST(SoftJoinTest, NearestPicksClosestValue) {
+  df::DataFrame foreign;
+  ASSERT_TRUE(
+      foreign.AddColumn(df::Column::Double("t", {0.4, 0.9, 2.2})).ok());
+  ASSERT_TRUE(
+      foreign.AddColumn(df::Column::Double("v", {1.0, 2.0, 3.0})).ok());
+  JoinOptions options;
+  options.soft_method = SoftJoinMethod::kNearest;
+  options.time_resample = false;
+  Rng rng(1);
+  Result<df::DataFrame> joined =
+      ExecuteLeftJoin(MakeTimeBase(), foreign, SoftJoin(), options, &rng);
+  ASSERT_TRUE(joined.ok());
+  EXPECT_DOUBLE_EQ(joined->col("v").DoubleAt(0), 1.0);  // 0.0 -> 0.4
+  EXPECT_DOUBLE_EQ(joined->col("v").DoubleAt(1), 2.0);  // 1.0 -> 0.9
+  EXPECT_DOUBLE_EQ(joined->col("v").DoubleAt(2), 3.0);  // 2.0 -> 2.2
+}
+
+TEST(SoftJoinTest, NearestRespectsTolerance) {
+  df::DataFrame foreign;
+  ASSERT_TRUE(foreign.AddColumn(df::Column::Double("t", {5.0})).ok());
+  ASSERT_TRUE(foreign.AddColumn(df::Column::Double("v", {1.0})).ok());
+  JoinOptions options;
+  options.soft_method = SoftJoinMethod::kNearest;
+  options.time_resample = false;
+  options.soft_tolerance = 0.5;
+  Rng rng(1);
+  Result<df::DataFrame> joined =
+      ExecuteLeftJoin(MakeTimeBase(), foreign, SoftJoin(), options, &rng);
+  ASSERT_TRUE(joined.ok());
+  EXPECT_TRUE(joined->col("v").IsNull(0));  // |0 - 5| > 0.5
+}
+
+TEST(SoftJoinTest, TwoWayInterpolatesLinearly) {
+  df::DataFrame foreign;
+  ASSERT_TRUE(
+      foreign.AddColumn(df::Column::Double("t", {0.0, 2.0})).ok());
+  ASSERT_TRUE(
+      foreign.AddColumn(df::Column::Double("v", {10.0, 30.0})).ok());
+  JoinOptions options;
+  options.soft_method = SoftJoinMethod::kTwoWayNearest;
+  options.time_resample = false;
+  Rng rng(1);
+  df::DataFrame base;
+  ASSERT_TRUE(base.AddColumn(df::Column::Double("t", {0.5})).ok());
+  Result<df::DataFrame> joined =
+      ExecuteLeftJoin(base, foreign, SoftJoin(), options, &rng);
+  ASSERT_TRUE(joined.ok());
+  // t=0.5 between 0 and 2: lambda = (2-0.5)/2 = 0.75 on the low row.
+  EXPECT_NEAR(joined->col("v").DoubleAt(0), 0.75 * 10.0 + 0.25 * 30.0,
+              1e-12);
+}
+
+TEST(SoftJoinTest, TwoWayAtBoundariesUsesNearest) {
+  df::DataFrame foreign;
+  ASSERT_TRUE(foreign.AddColumn(df::Column::Double("t", {1.0, 2.0})).ok());
+  ASSERT_TRUE(foreign.AddColumn(df::Column::Double("v", {10.0, 20.0})).ok());
+  JoinOptions options;
+  options.soft_method = SoftJoinMethod::kTwoWayNearest;
+  options.time_resample = false;
+  Rng rng(1);
+  df::DataFrame base;
+  ASSERT_TRUE(base.AddColumn(df::Column::Double("t", {0.0, 5.0})).ok());
+  Result<df::DataFrame> joined =
+      ExecuteLeftJoin(base, foreign, SoftJoin(), options, &rng);
+  ASSERT_TRUE(joined.ok());
+  EXPECT_DOUBLE_EQ(joined->col("v").DoubleAt(0), 10.0);  // below range
+  EXPECT_DOUBLE_EQ(joined->col("v").DoubleAt(1), 20.0);  // above range
+}
+
+TEST(SoftJoinTest, HardExactOnSoftKeyOnlyMatchesEqualValues) {
+  df::DataFrame foreign;
+  ASSERT_TRUE(
+      foreign.AddColumn(df::Column::Double("t", {0.0, 1.5})).ok());
+  ASSERT_TRUE(
+      foreign.AddColumn(df::Column::Double("v", {10.0, 20.0})).ok());
+  JoinOptions options;
+  options.soft_method = SoftJoinMethod::kHardExact;
+  options.time_resample = false;
+  Rng rng(1);
+  Result<df::DataFrame> joined =
+      ExecuteLeftJoin(MakeTimeBase(), foreign, SoftJoin(), options, &rng);
+  ASSERT_TRUE(joined.ok());
+  EXPECT_DOUBLE_EQ(joined->col("v").DoubleAt(0), 10.0);
+  EXPECT_TRUE(joined->col("v").IsNull(1));
+  EXPECT_TRUE(joined->col("v").IsNull(2));
+}
+
+TEST(SoftJoinTest, MixedKeyMatchesWithinHardPartition) {
+  df::DataFrame base;
+  ASSERT_TRUE(
+      base.AddColumn(df::Column::String("city", {"nyc", "bos"})).ok());
+  ASSERT_TRUE(base.AddColumn(df::Column::Double("t", {1.0, 1.0})).ok());
+  df::DataFrame foreign;
+  ASSERT_TRUE(foreign
+                  .AddColumn(df::Column::String(
+                      "city", {"nyc", "nyc", "bos"}))
+                  .ok());
+  ASSERT_TRUE(
+      foreign.AddColumn(df::Column::Double("t", {0.8, 5.0, 1.3})).ok());
+  ASSERT_TRUE(
+      foreign.AddColumn(df::Column::Double("v", {1.0, 2.0, 3.0})).ok());
+
+  CandidateJoin cand;
+  cand.foreign_table = "f";
+  cand.keys = {JoinKeyPair{"city", "city", KeyKind::kHard},
+               JoinKeyPair{"t", "t", KeyKind::kSoft}};
+  JoinOptions options;
+  options.soft_method = SoftJoinMethod::kNearest;
+  options.time_resample = false;
+  Rng rng(1);
+  Result<df::DataFrame> joined =
+      ExecuteLeftJoin(base, foreign, cand, options, &rng);
+  ASSERT_TRUE(joined.ok());
+  EXPECT_DOUBLE_EQ(joined->col("v").DoubleAt(0), 1.0);  // nyc nearest 0.8
+  EXPECT_DOUBLE_EQ(joined->col("v").DoubleAt(1), 3.0);  // bos partition
+}
+
+TEST(SoftJoinTest, TwoSoftKeysRejected) {
+  df::DataFrame base;
+  ASSERT_TRUE(base.AddColumn(df::Column::Double("a", {1.0})).ok());
+  ASSERT_TRUE(base.AddColumn(df::Column::Double("b", {1.0})).ok());
+  df::DataFrame foreign = base;
+  CandidateJoin cand;
+  cand.foreign_table = "f";
+  cand.keys = {JoinKeyPair{"a", "a", KeyKind::kSoft},
+               JoinKeyPair{"b", "b", KeyKind::kSoft}};
+  Rng rng(1);
+  EXPECT_FALSE(
+      ExecuteLeftJoin(base, foreign, cand, JoinOptions{}, &rng).ok());
+}
+
+TEST(SoftJoinTest, NonNumericSoftKeyRejected) {
+  df::DataFrame base;
+  ASSERT_TRUE(base.AddColumn(df::Column::String("k", {"x"})).ok());
+  df::DataFrame foreign = base;
+  CandidateJoin cand;
+  cand.foreign_table = "f";
+  cand.keys = {JoinKeyPair{"k", "k", KeyKind::kSoft}};
+  Rng rng(1);
+  EXPECT_FALSE(
+      ExecuteLeftJoin(base, foreign, cand, JoinOptions{}, &rng).ok());
+}
+
+// ------------------------------------------------------------ resample --
+
+TEST(ResampleTest, DetectGranularity) {
+  df::Column daily = df::Column::Double("t", {0.0, 1.0, 2.0, 3.0});
+  EXPECT_DOUBLE_EQ(DetectGranularity(daily), 1.0);
+  df::Column single = df::Column::Double("t", {5.0});
+  EXPECT_DOUBLE_EQ(DetectGranularity(single), 0.0);
+  df::Column strings = df::Column::String("s", {"a"});
+  EXPECT_DOUBLE_EQ(DetectGranularity(strings), 0.0);
+}
+
+TEST(ResampleTest, AggregatesFineRowsIntoCoarseBuckets) {
+  df::DataFrame foreign;
+  ASSERT_TRUE(foreign
+                  .AddColumn(df::Column::Double(
+                      "t", {0.0, 0.25, 0.5, 1.0, 1.25}))
+                  .ok());
+  ASSERT_TRUE(foreign
+                  .AddColumn(df::Column::Double(
+                      "v", {1.0, 2.0, 3.0, 10.0, 20.0}))
+                  .ok());
+  Result<df::DataFrame> resampled = TimeResample(foreign, "t", 1.0);
+  ASSERT_TRUE(resampled.ok());
+  ASSERT_EQ(resampled->NumRows(), 2u);
+  EXPECT_DOUBLE_EQ(resampled->col("v").DoubleAt(0), 2.0);   // mean 1,2,3
+  EXPECT_DOUBLE_EQ(resampled->col("v").DoubleAt(1), 15.0);  // mean 10,20
+}
+
+TEST(ResampleTest, InvalidInputsFail) {
+  df::DataFrame foreign;
+  ASSERT_TRUE(foreign.AddColumn(df::Column::String("t", {"x"})).ok());
+  EXPECT_FALSE(TimeResample(foreign, "t", 1.0).ok());
+  EXPECT_FALSE(TimeResample(foreign, "missing", 1.0).ok());
+  df::DataFrame numeric;
+  ASSERT_TRUE(numeric.AddColumn(df::Column::Double("t", {1.0})).ok());
+  EXPECT_FALSE(TimeResample(numeric, "t", 0.0).ok());
+}
+
+TEST(SoftJoinTest, AutomaticTimeResamplingRecoversDailyMean) {
+  // Base at day granularity; foreign at quarter-day granularity.
+  df::DataFrame base;
+  ASSERT_TRUE(
+      base.AddColumn(df::Column::Double("t", {0.0, 1.0, 2.0})).ok());
+  df::DataFrame foreign;
+  std::vector<double> times, values;
+  for (int day = 0; day < 3; ++day) {
+    for (int q = 0; q < 4; ++q) {
+      times.push_back(day + 0.25 * q);
+      values.push_back(day * 100.0 + q);  // daily mean = 100*day + 1.5
+    }
+  }
+  ASSERT_TRUE(foreign.AddColumn(df::Column::Double("t", times)).ok());
+  ASSERT_TRUE(foreign.AddColumn(df::Column::Double("v", values)).ok());
+  JoinOptions options;
+  options.soft_method = SoftJoinMethod::kNearest;
+  options.time_resample = true;
+  Rng rng(1);
+  Result<df::DataFrame> joined =
+      ExecuteLeftJoin(base, foreign, SoftJoin(), options, &rng);
+  ASSERT_TRUE(joined.ok());
+  EXPECT_DOUBLE_EQ(joined->col("v").DoubleAt(0), 1.5);
+  EXPECT_DOUBLE_EQ(joined->col("v").DoubleAt(1), 101.5);
+  EXPECT_DOUBLE_EQ(joined->col("v").DoubleAt(2), 201.5);
+}
+
+// ------------------------------------------------------------- impute --
+
+TEST(ImputeTest, NumericMedianAndCategoricalRandom) {
+  df::DataFrame frame;
+  df::Column num = df::Column::Empty("n", df::DataType::kDouble);
+  num.AppendDouble(1.0);
+  num.AppendNull();
+  num.AppendDouble(3.0);
+  ASSERT_TRUE(frame.AddColumn(std::move(num)).ok());
+  df::Column cat = df::Column::Empty("c", df::DataType::kString);
+  cat.AppendString("only");
+  cat.AppendNull();
+  cat.AppendString("only");
+  ASSERT_TRUE(frame.AddColumn(std::move(cat)).ok());
+
+  Rng rng(3);
+  EXPECT_EQ(TotalNullCount(frame), 2u);
+  ImputeInPlace(&frame, &rng);
+  EXPECT_EQ(TotalNullCount(frame), 0u);
+  EXPECT_DOUBLE_EQ(frame.col("n").DoubleAt(1), 2.0);
+  EXPECT_EQ(frame.col("c").StringAt(1), "only");
+}
+
+TEST(ImputeTest, AllNullColumnsGetDefaults) {
+  df::DataFrame frame;
+  df::Column num = df::Column::Empty("n", df::DataType::kDouble);
+  num.AppendNull();
+  ASSERT_TRUE(frame.AddColumn(std::move(num)).ok());
+  df::Column cat = df::Column::Empty("c", df::DataType::kString);
+  cat.AppendNull();
+  ASSERT_TRUE(frame.AddColumn(std::move(cat)).ok());
+  Rng rng(3);
+  ImputeInPlace(&frame, &rng);
+  EXPECT_DOUBLE_EQ(frame.col("n").DoubleAt(0), 0.0);
+  EXPECT_EQ(frame.col("c").StringAt(0), "<missing>");
+}
+
+TEST(ImputeTest, IntColumnImputedWithRoundedMedian) {
+  df::DataFrame frame;
+  df::Column num = df::Column::Empty("n", df::DataType::kInt64);
+  num.AppendInt64(1);
+  num.AppendNull();
+  num.AppendInt64(4);
+  ASSERT_TRUE(frame.AddColumn(std::move(num)).ok());
+  Rng rng(3);
+  ImputeInPlace(&frame, &rng);
+  EXPECT_EQ(frame.col("n").Int64At(1), 3);  // round(2.5) away from zero
+}
+
+}  // namespace
+}  // namespace arda::join

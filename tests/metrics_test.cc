@@ -1,0 +1,156 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ml/dataset.h"
+#include "ml/metrics.h"
+#include "ml/split.h"
+
+namespace arda::ml {
+namespace {
+
+TEST(MetricsTest, Accuracy) {
+  EXPECT_DOUBLE_EQ(Accuracy({0, 1, 1, 0}, {0, 1, 0, 0}), 0.75);
+  EXPECT_DOUBLE_EQ(Accuracy({1, 1}, {1, 1}), 1.0);
+  EXPECT_DOUBLE_EQ(Accuracy({}, {}), 0.0);
+}
+
+TEST(MetricsTest, AccuracyRoundsPredictions) {
+  EXPECT_DOUBLE_EQ(Accuracy({1, 0}, {0.9, 0.1}), 1.0);
+}
+
+TEST(MetricsTest, MacroF1PerfectAndWorst) {
+  EXPECT_DOUBLE_EQ(MacroF1({0, 1, 2}, {0, 1, 2}), 1.0);
+  EXPECT_DOUBLE_EQ(MacroF1({0, 0}, {1, 1}), 0.0);
+}
+
+TEST(MetricsTest, MacroF1Asymmetric) {
+  // Class 0: tp=1 fp=1 fn=0 -> f1 = 2/3; class 1: tp=1 fp=0 fn=1 -> 2/3.
+  double f1 = MacroF1({0, 1, 1}, {0, 0, 1});
+  EXPECT_NEAR(f1, 2.0 / 3.0, 1e-12);
+}
+
+TEST(MetricsTest, RegressionErrors) {
+  std::vector<double> truth = {1, 2, 3};
+  std::vector<double> pred = {2, 2, 1};
+  EXPECT_DOUBLE_EQ(MeanAbsoluteError(truth, pred), 1.0);
+  EXPECT_DOUBLE_EQ(MeanSquaredError(truth, pred), 5.0 / 3.0);
+  EXPECT_NEAR(RootMeanSquaredError(truth, pred), std::sqrt(5.0 / 3.0),
+              1e-12);
+}
+
+TEST(MetricsTest, R2PerfectIsOne) {
+  EXPECT_DOUBLE_EQ(R2Score({1, 2, 3}, {1, 2, 3}), 1.0);
+}
+
+TEST(MetricsTest, R2MeanPredictorIsZero) {
+  EXPECT_DOUBLE_EQ(R2Score({1, 2, 3}, {2, 2, 2}), 0.0);
+}
+
+TEST(MetricsTest, HigherIsBetterScore) {
+  EXPECT_DOUBLE_EQ(
+      HigherIsBetterScore(TaskType::kClassification, {1, 0}, {1, 0}), 1.0);
+  EXPECT_DOUBLE_EQ(
+      HigherIsBetterScore(TaskType::kRegression, {1, 2}, {2, 3}), -1.0);
+}
+
+TEST(DatasetTest, NumClassesAndSelect) {
+  Dataset data;
+  data.task = TaskType::kClassification;
+  data.x = la::Matrix(4, 3, std::vector<double>{1, 2, 3, 4, 5, 6,  //
+                                                7, 8, 9, 10, 11, 12});
+  data.y = {0, 2, 1, 2};
+  data.feature_names = {"a", "b", "c"};
+  EXPECT_EQ(data.NumClasses(), 3u);
+
+  Dataset features = data.SelectFeatures({2, 0});
+  EXPECT_EQ(features.NumFeatures(), 2u);
+  EXPECT_EQ(features.feature_names,
+            (std::vector<std::string>{"c", "a"}));
+  EXPECT_DOUBLE_EQ(features.x(1, 0), 6.0);
+
+  Dataset rows = data.SelectRows({3, 0});
+  EXPECT_EQ(rows.NumRows(), 2u);
+  EXPECT_DOUBLE_EQ(rows.y[0], 2.0);
+  EXPECT_DOUBLE_EQ(rows.x(0, 0), 10.0);
+}
+
+TEST(DatasetTest, RegressionHasNoClasses) {
+  Dataset data;
+  data.task = TaskType::kRegression;
+  data.y = {1.5, 2.5};
+  EXPECT_EQ(data.NumClasses(), 0u);
+}
+
+TEST(DatasetTest, DistinctLabels) {
+  EXPECT_EQ(DistinctLabels({2, 0, 2, 1}), (std::vector<int>{0, 1, 2}));
+}
+
+Dataset MakeClassData(size_t n) {
+  Dataset data;
+  data.task = TaskType::kClassification;
+  data.x = la::Matrix(n, 2);
+  data.y.resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    data.y[i] = static_cast<double>(i % 4 == 0);  // 25% positives
+    data.x(i, 0) = static_cast<double>(i);
+  }
+  data.feature_names = {"a", "b"};
+  return data;
+}
+
+TEST(SplitTest, SizesMatchFraction) {
+  Dataset data = MakeClassData(100);
+  Rng rng(1);
+  TrainTestSplit split = MakeTrainTestSplit(data, 0.25, &rng);
+  EXPECT_EQ(split.test.NumRows(), 25u);
+  EXPECT_EQ(split.train.NumRows(), 75u);
+}
+
+TEST(SplitTest, StratificationKeepsClassOnBothSides) {
+  Dataset data = MakeClassData(40);
+  Rng rng(2);
+  TrainTestSplit split = MakeTrainTestSplit(data, 0.2, &rng);
+  EXPECT_EQ(DistinctLabels(split.train.y).size(), 2u);
+  EXPECT_EQ(DistinctLabels(split.test.y).size(), 2u);
+}
+
+TEST(SplitTest, IndicesPartitionRows) {
+  Dataset data = MakeClassData(30);
+  Rng rng(3);
+  TrainTestSplit split = MakeTrainTestSplit(data, 0.3, &rng);
+  std::vector<bool> seen(30, false);
+  for (size_t i : split.train_indices) seen[i] = true;
+  for (size_t i : split.test_indices) {
+    EXPECT_FALSE(seen[i]);  // disjoint
+    seen[i] = true;
+  }
+  for (bool s : seen) EXPECT_TRUE(s);  // exhaustive
+}
+
+TEST(SplitTest, RegressionSplit) {
+  Dataset data = MakeClassData(50);
+  data.task = TaskType::kRegression;
+  Rng rng(4);
+  TrainTestSplit split = MakeTrainTestSplit(data, 0.5, &rng);
+  EXPECT_EQ(split.test.NumRows(), 25u);
+}
+
+TEST(KFoldTest, FoldsPartitionAndBalance) {
+  Dataset data = MakeClassData(60);
+  Rng rng(5);
+  std::vector<std::vector<size_t>> folds = MakeKFoldIndices(data, 5, &rng);
+  ASSERT_EQ(folds.size(), 5u);
+  std::vector<bool> seen(60, false);
+  for (const auto& fold : folds) {
+    EXPECT_EQ(fold.size(), 12u);
+    for (size_t i : fold) {
+      EXPECT_FALSE(seen[i]);
+      seen[i] = true;
+    }
+  }
+  for (bool s : seen) EXPECT_TRUE(s);
+}
+
+}  // namespace
+}  // namespace arda::ml

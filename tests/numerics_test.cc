@@ -1,0 +1,173 @@
+// Cross-model numeric agreement tests: independent implementations must
+// converge to the same answers in regimes where theory says they
+// coincide, which catches silent solver bugs no single-model test can.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "la/linalg.h"
+#include "ml/automl.h"
+#include "ml/linear.h"
+#include "ml/metrics.h"
+#include "ml/sparse_regression.h"
+#include "util/rng.h"
+
+namespace arda {
+namespace {
+
+struct LinearProblem {
+  la::Matrix x;
+  std::vector<double> y;
+  std::vector<double> truth;
+};
+
+LinearProblem MakeProblem(size_t n, size_t d, double noise, uint64_t seed) {
+  Rng rng(seed);
+  LinearProblem p;
+  p.x = la::Matrix(n, d);
+  p.y.resize(n);
+  p.truth.resize(d);
+  for (size_t c = 0; c < d; ++c) p.truth[c] = rng.Uniform(-3.0, 3.0);
+  for (size_t i = 0; i < n; ++i) {
+    double acc = 0.0;
+    for (size_t c = 0; c < d; ++c) {
+      p.x(i, c) = rng.Normal();
+      acc += p.truth[c] * p.x(i, c);
+    }
+    p.y[i] = acc + rng.Normal(0.0, noise);
+  }
+  return p;
+}
+
+TEST(NumericsTest, LassoAtTinyAlphaMatchesRidgeAtTinyLambda) {
+  LinearProblem p = MakeProblem(300, 5, 0.01, 1);
+  ml::Lasso lasso(1e-6, 2000, 1e-10);
+  lasso.Fit(p.x, p.y);
+  ml::RidgeRegression ridge(1e-8);
+  ridge.Fit(p.x, p.y);
+  std::vector<double> lp = lasso.Predict(p.x);
+  std::vector<double> rp = ridge.Predict(p.x);
+  for (size_t i = 0; i < lp.size(); ++i) {
+    EXPECT_NEAR(lp[i], rp[i], 1e-3);
+  }
+}
+
+TEST(NumericsTest, RidgeSolveMatchesDirectNormalEquations) {
+  LinearProblem p = MakeProblem(120, 4, 0.0, 2);
+  const double lambda = 0.5;
+  std::vector<double> via_solver = la::RidgeSolve(p.x, p.y, lambda);
+  // Direct: (X^T X + lambda I) w = X^T y through explicit products.
+  la::Matrix xt = p.x.Transposed();
+  la::Matrix gram = xt.Multiply(p.x);
+  for (size_t i = 0; i < gram.rows(); ++i) gram(i, i) += lambda;
+  Result<std::vector<double>> direct =
+      la::SolveSpd(gram, p.x.TransposeMultiplyVec(p.y));
+  ASSERT_TRUE(direct.ok());
+  for (size_t c = 0; c < via_solver.size(); ++c) {
+    EXPECT_NEAR(via_solver[c], (*direct)[c], 1e-8);
+  }
+}
+
+TEST(NumericsTest, SparseRegressionApproachesRidgeFitAtZeroGamma) {
+  LinearProblem p = MakeProblem(200, 4, 0.05, 3);
+  ml::SparseRegressionConfig config;
+  config.task = ml::TaskType::kRegression;
+  config.gamma = 0.0;
+  config.max_iters = 3000;
+  config.learning_rate = 0.02;
+  ml::L21SparseRegression sparse(config);
+  sparse.Fit(p.x, p.y);
+  ml::RidgeRegression ridge(1e-6);
+  ridge.Fit(p.x, p.y);
+  // Same model family at gamma=0: predictions should roughly agree.
+  double sparse_mae = ml::MeanAbsoluteError(p.y, sparse.Predict(p.x));
+  double ridge_mae = ml::MeanAbsoluteError(p.y, ridge.Predict(p.x));
+  EXPECT_LT(sparse_mae, 3.0 * ridge_mae + 0.1);
+}
+
+TEST(NumericsTest, LargerGammaGivesSparserRows) {
+  LinearProblem p = MakeProblem(150, 10, 0.05, 4);
+  // Only 2 informative features; enough target noise that an unpenalized
+  // fit puts real weight on the junk columns.
+  Rng noise_rng(44);
+  for (size_t i = 0; i < 150; ++i) {
+    p.y[i] = 3.0 * p.x(i, 0) - 2.0 * p.x(i, 1) + noise_rng.Normal(0.0, 0.8);
+  }
+  auto norms_at = [&](double gamma) {
+    ml::SparseRegressionConfig config;
+    config.task = ml::TaskType::kRegression;
+    config.gamma = gamma;
+    ml::L21SparseRegression model(config);
+    model.Fit(p.x, p.y);
+    return model.FeatureNorms();
+  };
+  std::vector<double> soft = norms_at(0.0);
+  std::vector<double> hard = norms_at(2.0);
+  double soft_tail = 0.0, hard_tail = 0.0;
+  for (size_t c = 2; c < 10; ++c) {
+    soft_tail += soft[c];
+    hard_tail += hard[c];
+  }
+  EXPECT_LT(hard_tail, soft_tail);  // stronger penalty shrinks junk rows
+}
+
+TEST(NumericsTest, LogisticAndSvmAgreeOnSeparableData) {
+  Rng rng(5);
+  la::Matrix x(200, 2);
+  std::vector<double> y(200);
+  for (size_t i = 0; i < 200; ++i) {
+    bool positive = i % 2 == 0;
+    y[i] = positive ? 1.0 : 0.0;
+    x(i, 0) = rng.Normal(positive ? 3.0 : -3.0, 0.5);
+    x(i, 1) = rng.Normal();
+  }
+  ml::LogisticRegression logistic;
+  logistic.Fit(x, y);
+  ml::LinearSvm svm;
+  svm.Fit(x, y);
+  EXPECT_EQ(logistic.Predict(x), svm.Predict(x));  // both perfect
+}
+
+TEST(NumericsTest, CholeskyReconstructsInput) {
+  Rng rng(6);
+  const size_t n = 8;
+  // Build SPD A = B B^T + I.
+  la::Matrix b(n, n);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < n; ++j) b(i, j) = rng.Normal();
+  }
+  la::Matrix a = b.Multiply(b.Transposed());
+  for (size_t i = 0; i < n; ++i) a(i, i) += 1.0;
+  Result<la::Matrix> l = la::Cholesky(a);
+  ASSERT_TRUE(l.ok());
+  la::Matrix reconstructed = l->Multiply(l->Transposed());
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < n; ++j) {
+      EXPECT_NEAR(reconstructed(i, j), a(i, j), 1e-9);
+    }
+  }
+}
+
+TEST(NumericsTest, AutoMlDeterministicForSeed) {
+  LinearProblem p = MakeProblem(120, 3, 0.2, 7);
+  ml::Dataset data;
+  data.x = p.x;
+  data.y = p.y;
+  data.task = ml::TaskType::kRegression;
+  for (size_t c = 0; c < 3; ++c) {
+    data.feature_names.push_back("f" + std::to_string(c));
+  }
+  ml::AutoMlConfig config;
+  config.max_configs = 8;
+  config.time_budget_seconds = 60.0;  // count-capped, not time-capped
+  config.seed = 11;
+  ml::AutoMlResult a = ml::RunRandomSearchAutoMl(data, config);
+  ml::AutoMlResult b = ml::RunRandomSearchAutoMl(data, config);
+  EXPECT_EQ(a.configs_tried, b.configs_tried);
+  EXPECT_DOUBLE_EQ(a.best_score, b.best_score);
+  EXPECT_EQ(a.best_config, b.best_config);
+}
+
+}  // namespace
+}  // namespace arda

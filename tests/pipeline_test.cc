@@ -1,0 +1,210 @@
+// Integration tests of the full ARDA pipeline on the scenario generators:
+// join plans, coreset variants, selector variants, soft-join handling and
+// acceptance logic working together end-to-end.
+
+#include <gtest/gtest.h>
+
+#include "core/arda.h"
+#include "data/generators.h"
+#include "featsel/significance.h"
+
+namespace arda::core {
+namespace {
+
+ArdaConfig FastConfig() {
+  ArdaConfig config;
+  config.seed = 21;
+  config.rifs.num_rounds = 4;
+  return config;
+}
+
+TEST(PipelineTest, PovertyHardJoinsImprove) {
+  data::Scenario scenario =
+      data::MakePovertyScenario(7, data::ScenarioScale::kSmall);
+  Arda arda(FastConfig());
+  Result<ArdaReport> report = arda.Run(scenario.MakeTask());
+  ASSERT_TRUE(report.ok());
+  EXPECT_GT(report->final_score, report->base_score);
+  EXPECT_GE(report->tables_joined, 1u);
+}
+
+TEST(PipelineTest, PickupSoftJoinsImprove) {
+  // The small-scale pickup scenario has only 120 rows, so whether the
+  // batch acceptance fires is seed-sensitive; the invariant is that the
+  // pipeline never hurts, and helps for at least one seed.
+  data::Scenario scenario =
+      data::MakePickupScenario(7, data::ScenarioScale::kSmall);
+  bool improved = false;
+  for (uint64_t seed : {7u, 21u, 77u}) {
+    ArdaConfig config = FastConfig();
+    config.seed = seed;
+    config.join.soft_method = join::SoftJoinMethod::kTwoWayNearest;
+    Arda arda(config);
+    Result<ArdaReport> report = arda.Run(scenario.MakeTask());
+    ASSERT_TRUE(report.ok());
+    EXPECT_GE(report->final_score, report->base_score - 1e-9);
+    improved |= report->final_score > report->base_score;
+  }
+  EXPECT_TRUE(improved);
+}
+
+TEST(PipelineTest, SchoolClassificationImproves) {
+  // 150-row small-scale scenario: acceptance is seed-sensitive, so check
+  // non-degradation on every seed and improvement on at least one.
+  data::Scenario scenario =
+      data::MakeSchoolScenario(false, 7, data::ScenarioScale::kSmall);
+  bool improved = false;
+  for (uint64_t seed : {7u, 21u, 77u}) {
+    ArdaConfig config = FastConfig();
+    config.seed = seed;
+    Arda arda(config);
+    Result<ArdaReport> report = arda.Run(scenario.MakeTask());
+    ASSERT_TRUE(report.ok());
+    EXPECT_GE(report->base_score, 0.0);
+    EXPECT_LE(report->final_score, 1.0);
+    improved |= report->final_score > report->base_score;
+  }
+  EXPECT_TRUE(improved);
+}
+
+TEST(PipelineTest, AllJoinPlansComplete) {
+  data::Scenario scenario =
+      data::MakePovertyScenario(7, data::ScenarioScale::kSmall);
+  for (JoinPlanKind plan :
+       {JoinPlanKind::kBudget, JoinPlanKind::kTableAtATime,
+        JoinPlanKind::kFullMaterialization}) {
+    ArdaConfig config = FastConfig();
+    config.plan = plan;
+    Arda arda(config);
+    Result<ArdaReport> report = arda.Run(scenario.MakeTask());
+    ASSERT_TRUE(report.ok()) << JoinPlanKindName(plan);
+    if (plan == JoinPlanKind::kFullMaterialization) {
+      EXPECT_EQ(report->batches.size(), 1u);
+    }
+    if (plan == JoinPlanKind::kTableAtATime) {
+      EXPECT_EQ(report->batches.size(), scenario.candidates.size());
+    }
+  }
+}
+
+TEST(PipelineTest, SketchCoresetRuns) {
+  data::Scenario scenario =
+      data::MakePovertyScenario(7, data::ScenarioScale::kSmall);
+  ArdaConfig config = FastConfig();
+  config.coreset.method = coreset::CoresetMethod::kSketch;
+  config.coreset.size = 60;
+  Arda arda(config);
+  Result<ArdaReport> report = arda.Run(scenario.MakeTask());
+  ASSERT_TRUE(report.ok());
+  EXPECT_GT(report->final_score, -1e300);
+}
+
+TEST(PipelineTest, StratifiedCoresetOnClassification) {
+  data::Scenario scenario =
+      data::MakeSchoolScenario(false, 7, data::ScenarioScale::kSmall);
+  ArdaConfig config = FastConfig();
+  config.coreset.method = coreset::CoresetMethod::kStratified;
+  config.coreset.size = 100;
+  Arda arda(config);
+  Result<ArdaReport> report = arda.Run(scenario.MakeTask());
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->augmented.NumRows(), 100u);
+}
+
+TEST(PipelineTest, HugeMinImprovementRejectsEverything) {
+  data::Scenario scenario =
+      data::MakePovertyScenario(7, data::ScenarioScale::kSmall);
+  ArdaConfig config = FastConfig();
+  config.min_improvement = 1e9;
+  Arda arda(config);
+  Result<ArdaReport> report = arda.Run(scenario.MakeTask());
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->tables_joined, 0u);
+  EXPECT_EQ(report->augmented.NumCols(), scenario.base.NumCols());
+}
+
+TEST(PipelineTest, BatchLogsAreConsistent) {
+  data::Scenario scenario =
+      data::MakeTaxiScenario(7, data::ScenarioScale::kSmall);
+  Arda arda(FastConfig());
+  Result<ArdaReport> report = arda.Run(scenario.MakeTask());
+  ASSERT_TRUE(report.ok());
+  size_t accepted_tables = 0;
+  for (const BatchLog& batch : report->batches) {
+    EXPECT_GE(batch.join_seconds, 0.0);
+    EXPECT_GE(batch.selection_seconds, 0.0);
+    if (batch.accepted) accepted_tables += batch.tables.size();
+  }
+  EXPECT_EQ(report->tables_joined, accepted_tables);
+  EXPECT_GE(report->join_seconds, 0.0);
+  EXPECT_GE(report->selection_seconds, 0.0);
+  EXPECT_GE(report->total_seconds,
+            report->join_seconds + report->selection_seconds - 1e-6);
+}
+
+TEST(PipelineTest, SeededRunsAreReproducible) {
+  data::Scenario scenario =
+      data::MakePovertyScenario(7, data::ScenarioScale::kSmall);
+  Arda arda(FastConfig());
+  Result<ArdaReport> a = arda.Run(scenario.MakeTask());
+  Result<ArdaReport> b = arda.Run(scenario.MakeTask());
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_DOUBLE_EQ(a->final_score, b->final_score);
+  EXPECT_EQ(a->augmented.ColumnNames(), b->augmented.ColumnNames());
+}
+
+TEST(PipelineTest, SelectorVariantsRunEndToEnd) {
+  data::Scenario scenario =
+      data::MakePovertyScenario(7, data::ScenarioScale::kSmall);
+  for (const char* selector :
+       {"random_forest", "f_test", "mutual_info", "all_features"}) {
+    ArdaConfig config = FastConfig();
+    config.selector = selector;
+    Arda arda(config);
+    Result<ArdaReport> report = arda.Run(scenario.MakeTask());
+    ASSERT_TRUE(report.ok()) << selector;
+    EXPECT_FALSE(report->selected_features.empty()) << selector;
+  }
+}
+
+TEST(PipelineTest, AugmentationSignificanceOnScenario) {
+  // End-to-end composition with the significance extension: the pipeline's
+  // augmented output should test significant against the base features.
+  data::Scenario scenario =
+      data::MakePovertyScenario(7, data::ScenarioScale::kSmall);
+  Arda arda(FastConfig());
+  Result<ArdaReport> report = arda.Run(scenario.MakeTask());
+  ASSERT_TRUE(report.ok());
+  if (report->tables_joined == 0) GTEST_SKIP() << "nothing augmented";
+
+  Result<ml::Dataset> base = BuildDataset(
+      report->augmented.Select(scenario.base.ColumnNames()).value(),
+      scenario.target_column, scenario.task);
+  Result<ml::Dataset> augmented = BuildDataset(
+      report->augmented, scenario.target_column, scenario.task);
+  ASSERT_TRUE(base.ok());
+  ASSERT_TRUE(augmented.ok());
+  featsel::SignificanceOptions options;
+  options.num_splits = 6;
+  featsel::SignificanceResult result =
+      featsel::TestAugmentationSignificance(*base, *augmented, options);
+  EXPECT_GT(result.mean_improvement, 0.0);
+  EXPECT_LT(result.p_value, 0.1);
+}
+
+TEST(PipelineTest, RifsNoiseVariantsRunThroughPipeline) {
+  data::Scenario scenario =
+      data::MakePovertyScenario(7, data::ScenarioScale::kSmall);
+  for (featsel::NoiseKind kind :
+       {featsel::NoiseKind::kGaussian, featsel::NoiseKind::kUniform}) {
+    ArdaConfig config = FastConfig();
+    config.rifs.noise = kind;
+    Arda arda(config);
+    Result<ArdaReport> report = arda.Run(scenario.MakeTask());
+    ASSERT_TRUE(report.ok()) << featsel::NoiseKindName(kind);
+  }
+}
+
+}  // namespace
+}  // namespace arda::core

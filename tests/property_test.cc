@@ -1,0 +1,268 @@
+// Randomized property sweeps: invariants that must hold for arbitrary
+// (seeded) random inputs, parameterized over seeds via TEST_P.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "coreset/coreset.h"
+#include "dataframe/aggregate.h"
+#include "dataframe/csv.h"
+#include "dataframe/encode.h"
+#include "featsel/search.h"
+#include "join/impute.h"
+#include "join/join_executor.h"
+#include "ml/random_forest.h"
+#include "ml/split.h"
+#include "util/string_util.h"
+
+namespace arda {
+namespace {
+
+class PropertyTest : public testing::TestWithParam<uint64_t> {
+ protected:
+  Rng MakeRng() const { return Rng(GetParam()); }
+};
+
+// Random table with a key column and mixed value columns.
+df::DataFrame RandomTable(Rng* rng, size_t rows, size_t key_domain,
+                          bool with_nulls) {
+  df::DataFrame table;
+  df::Column key = df::Column::Empty("key", df::DataType::kInt64);
+  df::Column num = df::Column::Empty("num", df::DataType::kDouble);
+  df::Column cat = df::Column::Empty("cat", df::DataType::kString);
+  for (size_t r = 0; r < rows; ++r) {
+    if (with_nulls && rng->Bernoulli(0.1)) {
+      key.AppendNull();
+    } else {
+      key.AppendInt64(rng->UniformInt(0, static_cast<int64_t>(key_domain)));
+    }
+    if (with_nulls && rng->Bernoulli(0.15)) {
+      num.AppendNull();
+    } else {
+      num.AppendDouble(rng->Normal());
+    }
+    if (with_nulls && rng->Bernoulli(0.15)) {
+      cat.AppendNull();
+    } else {
+      cat.AppendString("c" + std::to_string(rng->UniformUint64(6)));
+    }
+  }
+  EXPECT_TRUE(table.AddColumn(std::move(key)).ok());
+  EXPECT_TRUE(table.AddColumn(std::move(num)).ok());
+  EXPECT_TRUE(table.AddColumn(std::move(cat)).ok());
+  return table;
+}
+
+TEST_P(PropertyTest, LeftJoinPreservesBaseRowsAndColumns) {
+  Rng rng = MakeRng();
+  df::DataFrame base = RandomTable(&rng, 80, 20, /*with_nulls=*/true);
+  df::DataFrame foreign = RandomTable(&rng, 60, 20, /*with_nulls=*/true);
+  discovery::CandidateJoin cand;
+  cand.foreign_table = "f";
+  cand.keys = {discovery::JoinKeyPair{"key", "key",
+                                      discovery::KeyKind::kHard}};
+  Result<df::DataFrame> joined =
+      join::ExecuteLeftJoin(base, foreign, cand, {}, &rng);
+  ASSERT_TRUE(joined.ok());
+  // The augmentation invariant: never add or drop base rows, never touch
+  // base values.
+  EXPECT_EQ(joined->NumRows(), base.NumRows());
+  for (size_t c = 0; c < base.NumCols(); ++c) {
+    const df::Column& before = base.col(c);
+    const df::Column& after = joined->col(before.name());
+    for (size_t r = 0; r < base.NumRows(); ++r) {
+      EXPECT_EQ(before.ValueToString(r), after.ValueToString(r));
+      EXPECT_EQ(before.IsNull(r), after.IsNull(r));
+    }
+  }
+  EXPECT_GT(joined->NumCols(), base.NumCols());
+}
+
+TEST_P(PropertyTest, SoftJoinPreservesBaseRows) {
+  Rng rng = MakeRng();
+  df::DataFrame base;
+  df::Column t = df::Column::Empty("t", df::DataType::kDouble);
+  for (size_t i = 0; i < 50; ++i) t.AppendDouble(rng.Uniform(0.0, 100.0));
+  ASSERT_TRUE(base.AddColumn(std::move(t)).ok());
+  df::DataFrame foreign;
+  df::Column ft = df::Column::Empty("t", df::DataType::kDouble);
+  df::Column fv = df::Column::Empty("v", df::DataType::kDouble);
+  for (size_t i = 0; i < 30; ++i) {
+    ft.AppendDouble(rng.Uniform(0.0, 100.0));
+    fv.AppendDouble(rng.Normal());
+  }
+  ASSERT_TRUE(foreign.AddColumn(std::move(ft)).ok());
+  ASSERT_TRUE(foreign.AddColumn(std::move(fv)).ok());
+  discovery::CandidateJoin cand;
+  cand.foreign_table = "f";
+  cand.keys = {discovery::JoinKeyPair{"t", "t", discovery::KeyKind::kSoft}};
+  for (join::SoftJoinMethod method :
+       {join::SoftJoinMethod::kNearest, join::SoftJoinMethod::kTwoWayNearest,
+        join::SoftJoinMethod::kHardExact}) {
+    join::JoinOptions options;
+    options.soft_method = method;
+    Result<df::DataFrame> joined =
+        join::ExecuteLeftJoin(base, foreign, cand, options, &rng);
+    ASSERT_TRUE(joined.ok());
+    EXPECT_EQ(joined->NumRows(), 50u);
+    // Interpolated values must lie within the foreign value range.
+    const df::Column& v = joined->col("v");
+    std::vector<double> fvals = foreign.col("v").NonNullNumericValues();
+    auto [lo, hi] = std::minmax_element(fvals.begin(), fvals.end());
+    for (size_t r = 0; r < v.size(); ++r) {
+      if (v.IsNull(r)) continue;
+      EXPECT_GE(v.NumericAt(r), *lo - 1e-9);
+      EXPECT_LE(v.NumericAt(r), *hi + 1e-9);
+    }
+  }
+}
+
+TEST_P(PropertyTest, GroupByRowsEqualDistinctKeysAndCountsSum) {
+  Rng rng = MakeRng();
+  df::DataFrame table = RandomTable(&rng, 120, 15, /*with_nulls=*/true);
+  df::AggregateOptions options;
+  options.add_count = true;
+  Result<df::DataFrame> grouped =
+      df::GroupByAggregate(table, {"key"}, options);
+  ASSERT_TRUE(grouped.ok());
+  std::set<std::string> distinct;
+  bool has_null_key = false;
+  const df::Column& key = table.col("key");
+  for (size_t r = 0; r < key.size(); ++r) {
+    if (key.IsNull(r)) {
+      has_null_key = true;
+    } else {
+      distinct.insert(key.ValueToString(r));
+    }
+  }
+  EXPECT_EQ(grouped->NumRows(), distinct.size() + (has_null_key ? 1 : 0));
+  int64_t total = 0;
+  const df::Column& counts = grouped->col("__group_count");
+  for (size_t r = 0; r < counts.size(); ++r) total += counts.Int64At(r);
+  EXPECT_EQ(total, static_cast<int64_t>(table.NumRows()));
+}
+
+TEST_P(PropertyTest, ImputationClearsAllNullsAndIsIdempotent) {
+  Rng rng = MakeRng();
+  df::DataFrame table = RandomTable(&rng, 100, 10, /*with_nulls=*/true);
+  join::ImputeInPlace(&table, &rng);
+  EXPECT_EQ(join::TotalNullCount(table), 0u);
+  df::DataFrame again = table;
+  join::ImputeInPlace(&again, &rng);
+  for (size_t c = 0; c < table.NumCols(); ++c) {
+    for (size_t r = 0; r < table.NumRows(); ++r) {
+      EXPECT_EQ(table.col(c).ValueToString(r),
+                again.col(c).ValueToString(r));
+    }
+  }
+}
+
+TEST_P(PropertyTest, EncodedMatrixIsFiniteWithOneHotRows) {
+  Rng rng = MakeRng();
+  df::DataFrame table = RandomTable(&rng, 60, 10, /*with_nulls=*/true);
+  df::EncodedFeatures encoded = df::EncodeFeatures(table, {});
+  for (size_t r = 0; r < encoded.x.rows(); ++r) {
+    double cat_sum = 0.0;
+    for (size_t c = 0; c < encoded.x.cols(); ++c) {
+      EXPECT_TRUE(std::isfinite(encoded.x(r, c)));
+      if (StartsWith(encoded.names[c], "cat=")) cat_sum += encoded.x(r, c);
+    }
+    // Each row belongs to exactly one category bucket (incl. <null>).
+    EXPECT_DOUBLE_EQ(cat_sum, 1.0);
+  }
+}
+
+TEST_P(PropertyTest, CsvRoundTripIsLossless) {
+  Rng rng = MakeRng();
+  df::DataFrame table = RandomTable(&rng, 40, 8, /*with_nulls=*/true);
+  Result<df::DataFrame> reparsed =
+      df::ReadCsvString(df::WriteCsvString(table));
+  ASSERT_TRUE(reparsed.ok());
+  ASSERT_EQ(reparsed->NumRows(), table.NumRows());
+  ASSERT_EQ(reparsed->NumCols(), table.NumCols());
+  for (size_t c = 0; c < table.NumCols(); ++c) {
+    for (size_t r = 0; r < table.NumRows(); ++r) {
+      EXPECT_EQ(reparsed->col(c).ValueToString(r),
+                table.col(c).ValueToString(r));
+    }
+  }
+}
+
+TEST_P(PropertyTest, CoresetIsSubsetWithRequestedSize) {
+  Rng rng = MakeRng();
+  df::DataFrame table = RandomTable(&rng, 150, 5, /*with_nulls=*/false);
+  coreset::CoresetConfig config;
+  config.method = coreset::CoresetMethod::kUniform;
+  config.size = 60;
+  Result<df::DataFrame> sampled = coreset::SampleCoreset(
+      table, "key", ml::TaskType::kRegression, config, &rng);
+  ASSERT_TRUE(sampled.ok());
+  EXPECT_EQ(sampled->NumRows(), 60u);
+}
+
+TEST_P(PropertyTest, SplitsPartitionForRandomSizes) {
+  Rng rng = MakeRng();
+  size_t n = 20 + rng.UniformUint64(200);
+  ml::Dataset data;
+  data.task = ml::TaskType::kClassification;
+  data.x = la::Matrix(n, 2);
+  data.y.resize(n);
+  for (size_t i = 0; i < n; ++i) data.y[i] = static_cast<double>(i % 3);
+  ml::TrainTestSplit split = ml::MakeTrainTestSplit(data, 0.3, &rng);
+  EXPECT_EQ(split.train.NumRows() + split.test.NumRows(), n);
+  EXPECT_GT(split.test.NumRows(), 0u);
+  EXPECT_GT(split.train.NumRows(), 0u);
+}
+
+TEST_P(PropertyTest, ForestPredictionsAreValidLabels) {
+  Rng rng = MakeRng();
+  const size_t n = 120;
+  la::Matrix x(n, 3);
+  std::vector<double> y(n);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t c = 0; c < 3; ++c) x(i, c) = rng.Normal();
+    y[i] = static_cast<double>(rng.UniformUint64(4));
+  }
+  ml::ForestConfig config;
+  config.task = ml::TaskType::kClassification;
+  config.num_trees = 8;
+  config.seed = GetParam();
+  ml::RandomForest forest(config);
+  forest.Fit(x, y);
+  for (double pred : forest.Predict(x)) {
+    EXPECT_GE(pred, 0.0);
+    EXPECT_LE(pred, 3.0);
+    EXPECT_DOUBLE_EQ(pred, std::round(pred));
+  }
+}
+
+TEST_P(PropertyTest, SketchKeepsFeatureCountAndBoundsRows) {
+  Rng rng = MakeRng();
+  ml::Dataset data;
+  data.task = ml::TaskType::kRegression;
+  const size_t n = 200;
+  data.x = la::Matrix(n, 7);
+  data.y.resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t c = 0; c < 7; ++c) data.x(i, c) = rng.Normal();
+    data.y[i] = rng.Normal();
+  }
+  ml::Dataset sketched = coreset::SketchRows(data, 50, &rng);
+  EXPECT_EQ(sketched.NumFeatures(), 7u);
+  EXPECT_LE(sketched.NumRows(), 50u);
+  EXPECT_GT(sketched.NumRows(), 0u);
+  for (size_t r = 0; r < sketched.NumRows(); ++r) {
+    for (size_t c = 0; c < 7; ++c) {
+      EXPECT_TRUE(std::isfinite(sketched.x(r, c)));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PropertyTest,
+                         testing::Values(1u, 2u, 3u, 5u, 8u, 13u, 21u,
+                                         34u));
+
+}  // namespace
+}  // namespace arda

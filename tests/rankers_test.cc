@@ -1,0 +1,141 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "featsel/filter_rankers.h"
+#include "featsel/model_rankers.h"
+#include "featsel/relief.h"
+#include "util/rng.h"
+
+namespace arda::featsel {
+namespace {
+
+// 1 informative feature (index 0) + `noise` pure-noise features.
+ml::Dataset MakeDataset(ml::TaskType task, size_t n, size_t noise,
+                        uint64_t seed) {
+  Rng rng(seed);
+  ml::Dataset data;
+  data.task = task;
+  data.x = la::Matrix(n, 1 + noise);
+  data.y.resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    bool positive = i % 2 == 0;
+    data.x(i, 0) = rng.Normal(positive ? 1.5 : -1.5, 0.8);
+    for (size_t c = 1; c <= noise; ++c) data.x(i, c) = rng.Normal();
+    data.y[i] = task == ml::TaskType::kClassification
+                    ? (positive ? 1.0 : 0.0)
+                    : 2.0 * data.x(i, 0) + rng.Normal(0.0, 0.3);
+  }
+  for (size_t c = 0; c <= noise; ++c) {
+    data.feature_names.push_back("f" + std::to_string(c));
+  }
+  return data;
+}
+
+std::unique_ptr<FeatureRanker> MakeRanker(const std::string& name) {
+  if (name == "pearson") return std::make_unique<PearsonRanker>();
+  if (name == "f_test") return std::make_unique<FTestRanker>();
+  if (name == "mutual_info") return std::make_unique<MutualInfoRanker>();
+  if (name == "random_forest") return std::make_unique<RandomForestRanker>();
+  if (name == "sparse_regression") {
+    return std::make_unique<SparseRegressionRanker>();
+  }
+  if (name == "lasso") return std::make_unique<LassoRanker>();
+  if (name == "logistic_reg") return std::make_unique<LogisticRanker>();
+  if (name == "linear_svc") return std::make_unique<LinearSvcRanker>();
+  if (name == "relief") return std::make_unique<ReliefRanker>();
+  return nullptr;
+}
+
+// Property sweep: every ranker must put the informative feature first on
+// its supported tasks.
+class RankerProperty : public testing::TestWithParam<const char*> {};
+
+TEST_P(RankerProperty, SignalOutranksNoiseOnSupportedTasks) {
+  std::unique_ptr<FeatureRanker> ranker = MakeRanker(GetParam());
+  ASSERT_NE(ranker, nullptr);
+  EXPECT_EQ(ranker->name(), GetParam());
+  for (ml::TaskType task :
+       {ml::TaskType::kClassification, ml::TaskType::kRegression}) {
+    if (!ranker->SupportsTask(task)) continue;
+    ml::Dataset data = MakeDataset(task, 240, 6, 17);
+    Rng rng(5);
+    std::vector<double> scores = ranker->Rank(data, &rng);
+    ASSERT_EQ(scores.size(), 7u);
+    for (size_t c = 1; c < scores.size(); ++c) {
+      EXPECT_GT(scores[0], scores[c])
+          << ranker->name() << " failed on "
+          << ml::TaskTypeName(task) << " noise feature " << c;
+    }
+  }
+}
+
+TEST_P(RankerProperty, ScoresAreFinite) {
+  std::unique_ptr<FeatureRanker> ranker = MakeRanker(GetParam());
+  ASSERT_NE(ranker, nullptr);
+  ml::TaskType task = ranker->SupportsTask(ml::TaskType::kClassification)
+                          ? ml::TaskType::kClassification
+                          : ml::TaskType::kRegression;
+  ml::Dataset data = MakeDataset(task, 120, 4, 23);
+  Rng rng(6);
+  for (double score : ranker->Rank(data, &rng)) {
+    EXPECT_TRUE(std::isfinite(score));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllRankers, RankerProperty,
+                         testing::Values("pearson", "f_test", "mutual_info",
+                                         "random_forest",
+                                         "sparse_regression", "lasso",
+                                         "logistic_reg", "linear_svc",
+                                         "relief"));
+
+TEST(RankerUtilTest, DescendingOrderStable) {
+  std::vector<size_t> order = DescendingOrder({0.5, 0.9, 0.5, 0.1});
+  EXPECT_EQ(order, (std::vector<size_t>{1, 0, 2, 3}));
+}
+
+TEST(RankerUtilTest, MinMaxNormalize) {
+  std::vector<double> out = MinMaxNormalize({2.0, 4.0, 3.0});
+  EXPECT_DOUBLE_EQ(out[0], 0.0);
+  EXPECT_DOUBLE_EQ(out[1], 1.0);
+  EXPECT_DOUBLE_EQ(out[2], 0.5);
+  std::vector<double> flat = MinMaxNormalize({1.0, 1.0});
+  EXPECT_DOUBLE_EQ(flat[0], 0.5);
+}
+
+TEST(TaskSupportTest, TaskRestrictedRankers) {
+  EXPECT_FALSE(LassoRanker().SupportsTask(ml::TaskType::kClassification));
+  EXPECT_TRUE(LassoRanker().SupportsTask(ml::TaskType::kRegression));
+  EXPECT_FALSE(LogisticRanker().SupportsTask(ml::TaskType::kRegression));
+  EXPECT_FALSE(LinearSvcRanker().SupportsTask(ml::TaskType::kRegression));
+  EXPECT_TRUE(ReliefRanker().SupportsTask(ml::TaskType::kRegression));
+}
+
+TEST(MutualInfoTest, IndependentFeatureNearZero) {
+  ml::Dataset data = MakeDataset(ml::TaskType::kClassification, 400, 3, 31);
+  Rng rng(7);
+  std::vector<double> scores = MutualInfoRanker().Rank(data, &rng);
+  // Noise MI should be near zero and far below the signal's.
+  EXPECT_GT(scores[0], 5.0 * std::max({scores[1], scores[2], scores[3]}));
+}
+
+TEST(ReliefTest, RegressionModeFindsSignal) {
+  ml::Dataset data = MakeDataset(ml::TaskType::kRegression, 300, 5, 37);
+  Rng rng(8);
+  std::vector<double> scores = ReliefRanker().Rank(data, &rng);
+  for (size_t c = 1; c < scores.size(); ++c) {
+    EXPECT_GT(scores[0], scores[c]);
+  }
+}
+
+TEST(ReliefTest, TinyInputReturnsZeros) {
+  ml::Dataset data = MakeDataset(ml::TaskType::kClassification, 2, 1, 39);
+  Rng rng(9);
+  std::vector<double> scores = ReliefRanker().Rank(data, &rng);
+  for (double s : scores) EXPECT_DOUBLE_EQ(s, 0.0);
+}
+
+}  // namespace
+}  // namespace arda::featsel

@@ -1,0 +1,135 @@
+// Behavioral probes of RIFS beyond the basic selection tests: parameter
+// sensitivity (eta, rounds, thresholds), the Algorithm-3 early-stop mode,
+// and determinism guarantees.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "featsel/rifs.h"
+#include "util/rng.h"
+
+namespace arda::featsel {
+namespace {
+
+ml::Dataset MakeDataset(size_t n, size_t signal, size_t noise,
+                        uint64_t seed) {
+  Rng rng(seed);
+  ml::Dataset data;
+  data.task = ml::TaskType::kClassification;
+  data.x = la::Matrix(n, signal + noise);
+  data.y.resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    bool positive = i % 2 == 0;
+    data.y[i] = positive ? 1.0 : 0.0;
+    for (size_t c = 0; c < signal; ++c) {
+      data.x(i, c) = rng.Normal(positive ? 1.2 : -1.2, 0.9);
+    }
+    for (size_t c = signal; c < signal + noise; ++c) {
+      data.x(i, c) = rng.Normal();
+    }
+  }
+  for (size_t c = 0; c < signal + noise; ++c) {
+    data.feature_names.push_back("f" + std::to_string(c));
+  }
+  return data;
+}
+
+class RifsEtaSweep : public testing::TestWithParam<double> {};
+
+TEST_P(RifsEtaSweep, AnyInjectionFractionFindsSignal) {
+  ml::Dataset data = MakeDataset(220, 2, 10, 3);
+  ml::Evaluator evaluator(data, 0.25, 7);
+  RifsConfig config;
+  config.eta = GetParam();
+  config.num_rounds = 8;
+  Rng rng(11);
+  RifsResult result = RunRifs(data, evaluator, config, &rng);
+  size_t signal_kept = 0;
+  for (size_t f : result.selected) signal_kept += f < 2;
+  EXPECT_GE(signal_kept, 1u) << "eta=" << GetParam();
+  EXPECT_GT(result.score, 0.75);
+}
+
+INSTANTIATE_TEST_SUITE_P(Etas, RifsEtaSweep,
+                         testing::Values(0.05, 0.2, 0.5, 1.0));
+
+TEST(RifsBehaviorTest, MoreRoundsSharpensFractions) {
+  ml::Dataset data = MakeDataset(220, 2, 10, 5);
+  ml::Evaluator evaluator(data, 0.25, 7);
+  // With many rounds, signal fractions should saturate near 1 while the
+  // mean noise fraction stays clearly below.
+  RifsConfig config;
+  config.num_rounds = 12;
+  Rng rng(13);
+  RifsResult result = RunRifs(data, evaluator, config, &rng);
+  double signal_mean =
+      0.5 * (result.beat_noise_fraction[0] + result.beat_noise_fraction[1]);
+  double noise_mean = 0.0;
+  for (size_t c = 2; c < 12; ++c) noise_mean += result.beat_noise_fraction[c];
+  noise_mean /= 10.0;
+  EXPECT_GT(signal_mean, 0.8);
+  EXPECT_LT(noise_mean, 0.5 * signal_mean);
+}
+
+TEST(RifsBehaviorTest, DeterministicGivenIdenticalRngState) {
+  ml::Dataset data = MakeDataset(180, 2, 8, 7);
+  ml::Evaluator evaluator(data, 0.25, 7);
+  RifsConfig config;
+  config.num_rounds = 5;
+  Rng a(99), b(99);
+  RifsResult ra = RunRifs(data, evaluator, config, &a);
+  RifsResult rb = RunRifs(data, evaluator, config, &b);
+  EXPECT_EQ(ra.selected, rb.selected);
+  EXPECT_EQ(ra.beat_noise_fraction, rb.beat_noise_fraction);
+  EXPECT_DOUBLE_EQ(ra.score, rb.score);
+}
+
+TEST(RifsBehaviorTest, EarlyStopSelectsSubsetOfSweptThresholds) {
+  ml::Dataset data = MakeDataset(200, 2, 8, 9);
+  ml::Evaluator evaluator(data, 0.25, 7);
+  RifsConfig full;
+  full.num_rounds = 6;
+  RifsConfig early = full;
+  early.stop_on_decrease = true;
+  Rng a(17), b(17);
+  RifsResult full_result = RunRifs(data, evaluator, full, &a);
+  RifsResult early_result = RunRifs(data, evaluator, early, &b);
+  // Same noise rounds (same rng stream), so identical fractions; the
+  // early stop can only see fewer thresholds, never better ones.
+  EXPECT_EQ(full_result.beat_noise_fraction,
+            early_result.beat_noise_fraction);
+  EXPECT_LE(early_result.evaluations, full_result.evaluations);
+  EXPECT_GE(full_result.score, early_result.score - 1e-12);
+}
+
+TEST(RifsBehaviorTest, SingleThresholdConfigWorks) {
+  ml::Dataset data = MakeDataset(160, 2, 6, 11);
+  ml::Evaluator evaluator(data, 0.25, 7);
+  RifsConfig config;
+  config.num_rounds = 5;
+  config.thresholds = {0.8};
+  Rng rng(19);
+  RifsResult result = RunRifs(data, evaluator, config, &rng);
+  EXPECT_FALSE(result.selected.empty());
+  for (size_t f : result.selected) {
+    EXPECT_GE(result.beat_noise_fraction[f], 0.8);
+  }
+}
+
+TEST(RifsBehaviorTest, SelectedIndicesAreSortedAndUnique) {
+  ml::Dataset data = MakeDataset(200, 3, 9, 13);
+  ml::Evaluator evaluator(data, 0.25, 7);
+  RifsConfig config;
+  config.num_rounds = 5;
+  Rng rng(23);
+  RifsResult result = RunRifs(data, evaluator, config, &rng);
+  EXPECT_TRUE(std::is_sorted(result.selected.begin(),
+                             result.selected.end()));
+  EXPECT_EQ(std::adjacent_find(result.selected.begin(),
+                               result.selected.end()),
+            result.selected.end());
+}
+
+}  // namespace
+}  // namespace arda::featsel

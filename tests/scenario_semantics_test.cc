@@ -1,0 +1,128 @@
+// Semantic properties of the scenario generators: the evaluation's
+// conclusions only mean something if the planted signal actually behaves
+// as designed — signal tables improve the model, the school co-predictor
+// pair only helps jointly, and soft-key tables are misaligned enough that
+// exact joins fail.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/arda.h"
+#include "discovery/discovery.h"
+#include "data/generators.h"
+#include "join/impute.h"
+#include "join/join_executor.h"
+#include "join/resample.h"
+#include "ml/evaluator.h"
+
+namespace arda::data {
+namespace {
+
+// Joins the named candidate tables of a scenario onto its base and
+// returns the fast-estimator holdout score.
+double ScoreWithTables(const Scenario& scenario,
+                       const std::vector<std::string>& tables,
+                       uint64_t seed) {
+  df::DataFrame working = scenario.base;
+  Rng rng(seed);
+  for (const discovery::CandidateJoin& cand : scenario.candidates) {
+    if (std::find(tables.begin(), tables.end(), cand.foreign_table) ==
+        tables.end()) {
+      continue;
+    }
+    Result<df::DataFrame> joined = join::ExecuteLeftJoin(
+        working, scenario.repo.GetOrDie(cand.foreign_table), cand, {},
+        &rng);
+    if (joined.ok()) working = std::move(joined).value();
+  }
+  join::ImputeInPlace(&working, &rng);
+  Result<ml::Dataset> data = core::BuildDataset(
+      working, scenario.target_column, scenario.task);
+  EXPECT_TRUE(data.ok());
+  ml::Evaluator evaluator(*data, 0.25, seed);
+  return evaluator.ScoreAllFeatures();
+}
+
+TEST(ScenarioSemanticsTest, PovertySignalTablesImproveScore) {
+  Scenario scenario = MakePovertyScenario(7);
+  double base = ScoreWithTables(scenario, {}, 11);
+  double with_signal = ScoreWithTables(scenario, scenario.signal_tables, 11);
+  EXPECT_GT(with_signal, base);
+  // Regression: error at least halves with the full indicator set.
+  EXPECT_LT(-with_signal, 0.7 * -base);
+}
+
+TEST(ScenarioSemanticsTest, TaxiWeatherTableImprovesScore) {
+  Scenario scenario = MakeTaxiScenario(7);
+  double base = ScoreWithTables(scenario, {}, 11);
+  double with_weather = ScoreWithTables(scenario, {"weather"}, 11);
+  EXPECT_GT(with_weather, base);
+}
+
+TEST(ScenarioSemanticsTest, NoiseTablesDoNotImproveLikeSignal) {
+  Scenario scenario = MakePovertyScenario(7);
+  // Pick a few noise tables (non-signal candidates).
+  std::vector<std::string> noise;
+  for (const discovery::CandidateJoin& cand : scenario.candidates) {
+    if (std::find(scenario.signal_tables.begin(),
+                  scenario.signal_tables.end(),
+                  cand.foreign_table) == scenario.signal_tables.end()) {
+      noise.push_back(cand.foreign_table);
+      if (noise.size() == 4) break;
+    }
+  }
+  double base = ScoreWithTables(scenario, {}, 11);
+  double with_noise = ScoreWithTables(scenario, noise, 11);
+  double with_signal = ScoreWithTables(scenario, scenario.signal_tables, 11);
+  EXPECT_GT(with_signal, with_noise);
+  // Noise may wiggle the score but must not approach the signal gain.
+  EXPECT_LT(with_noise - base, 0.5 * (with_signal - base));
+}
+
+TEST(ScenarioSemanticsTest, SchoolCoPredictorsOnlyHelpJointly) {
+  Scenario scenario = MakeSchoolScenario(false, 7);
+  double base = ScoreWithTables(scenario, {}, 11);
+  double tutoring_only = ScoreWithTables(scenario, {"tutoring"}, 11);
+  double parents_only = ScoreWithTables(scenario, {"parents"}, 11);
+  double both = ScoreWithTables(scenario, {"tutoring", "parents"}, 11);
+  // The interaction (tutoring - 0.5) * parent_index is zero-mean in each
+  // marginal: alone, neither table should give a real lift; together they
+  // should.
+  EXPECT_GT(both, base + 0.02);
+  EXPECT_LT(tutoring_only - base, 0.6 * (both - base));
+  EXPECT_LT(parents_only - base, 0.6 * (both - base));
+}
+
+TEST(ScenarioSemanticsTest, PickupTimestampsNeverAlignExactly) {
+  Scenario scenario = MakePickupScenario(7);
+  // Foreign time grids are deliberately misaligned with integer hours:
+  // a hard join must find (almost) no matches.
+  const df::Column& base_hours = scenario.base.col("hour");
+  for (const std::string& table : scenario.signal_tables) {
+    const df::DataFrame& foreign = scenario.repo.GetOrDie(table);
+    double overlap =
+        discovery::IntersectionScore(base_hours, foreign.col("hour"));
+    EXPECT_LT(overlap, 0.05) << table;  // a handful of float coincidences
+  }
+}
+
+TEST(ScenarioSemanticsTest, TaxiWeatherFinerGrainedThanBase) {
+  Scenario scenario = MakeTaxiScenario(7);
+  const df::DataFrame& weather = scenario.repo.GetOrDie("weather");
+  double g_base = join::DetectGranularity(scenario.base.col("day"));
+  double g_weather = join::DetectGranularity(weather.col("day"));
+  EXPECT_GT(g_base, 1.5 * g_weather);  // triggers time resampling
+}
+
+TEST(ScenarioSemanticsTest, KrakenNoiseHurtsAllFeaturesModel) {
+  MicroBenchmark clean = MakeKrakenBenchmark(7, 0.0);
+  MicroBenchmark noisy = MakeKrakenBenchmark(7, 10.0);
+  ml::Evaluator clean_eval(clean.data, 0.25, 11);
+  ml::Evaluator noisy_eval(noisy.data, 0.25, 11);
+  EXPECT_GT(clean_eval.ScoreAllFeatures(),
+            noisy_eval.ScoreAllFeatures());
+}
+
+}  // namespace
+}  // namespace arda::data

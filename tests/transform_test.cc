@@ -1,0 +1,180 @@
+#include <gtest/gtest.h>
+
+#include "core/report_io.h"
+#include "dataframe/transform.h"
+#include "ml/knn.h"
+#include "ml/metrics.h"
+#include "util/rng.h"
+
+namespace arda {
+namespace {
+
+df::DataFrame MakeFrame() {
+  df::DataFrame frame;
+  EXPECT_TRUE(
+      frame.AddColumn(df::Column::Double("v", {3.0, 1.0, 2.0, 4.0})).ok());
+  EXPECT_TRUE(
+      frame.AddColumn(df::Column::String("s", {"b", "a", "a", "c"})).ok());
+  return frame;
+}
+
+TEST(TransformTest, FilterByPredicate) {
+  df::DataFrame out = df::Filter(
+      MakeFrame(), [](const df::DataFrame& f, size_t r) {
+        return f.col("v").DoubleAt(r) > 2.0;
+      });
+  EXPECT_EQ(out.NumRows(), 2u);
+  EXPECT_DOUBLE_EQ(out.col("v").DoubleAt(0), 3.0);
+  EXPECT_DOUBLE_EQ(out.col("v").DoubleAt(1), 4.0);
+}
+
+TEST(TransformTest, FilterNumericRangeDropsNulls) {
+  df::DataFrame frame;
+  df::Column v = df::Column::Empty("v", df::DataType::kDouble);
+  v.AppendDouble(1.0);
+  v.AppendNull();
+  v.AppendDouble(5.0);
+  ASSERT_TRUE(frame.AddColumn(std::move(v)).ok());
+  Result<df::DataFrame> out = df::FilterNumericRange(frame, "v", 0.0, 2.0);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->NumRows(), 1u);
+  EXPECT_FALSE(df::FilterNumericRange(frame, "nope", 0, 1).ok());
+}
+
+TEST(TransformTest, FilterNumericRangeRejectsStrings) {
+  EXPECT_FALSE(df::FilterNumericRange(MakeFrame(), "s", 0, 1).ok());
+}
+
+TEST(TransformTest, FilterEquals) {
+  Result<df::DataFrame> out = df::FilterEquals(MakeFrame(), "s", "a");
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->NumRows(), 2u);
+  EXPECT_FALSE(df::FilterEquals(MakeFrame(), "v", "a").ok());
+}
+
+TEST(TransformTest, SortByNumericAscendingAndDescending) {
+  Result<df::DataFrame> ascending = df::SortBy(MakeFrame(), "v");
+  ASSERT_TRUE(ascending.ok());
+  EXPECT_DOUBLE_EQ(ascending->col("v").DoubleAt(0), 1.0);
+  EXPECT_DOUBLE_EQ(ascending->col("v").DoubleAt(3), 4.0);
+  Result<df::DataFrame> descending = df::SortBy(MakeFrame(), "v", false);
+  ASSERT_TRUE(descending.ok());
+  EXPECT_DOUBLE_EQ(descending->col("v").DoubleAt(0), 4.0);
+}
+
+TEST(TransformTest, SortByStringNullsLast) {
+  df::DataFrame frame;
+  df::Column s = df::Column::Empty("s", df::DataType::kString);
+  s.AppendString("z");
+  s.AppendNull();
+  s.AppendString("a");
+  ASSERT_TRUE(frame.AddColumn(std::move(s)).ok());
+  Result<df::DataFrame> out = df::SortBy(frame, "s");
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->col("s").StringAt(0), "a");
+  EXPECT_EQ(out->col("s").StringAt(1), "z");
+  EXPECT_TRUE(out->col("s").IsNull(2));
+}
+
+TEST(TransformTest, AddComputedColumn) {
+  df::DataFrame frame = MakeFrame();
+  Status st = df::AddComputedColumn(
+      &frame, "v2", [](const df::DataFrame& f, size_t r) {
+        return f.col("v").DoubleAt(r) * 2.0;
+      });
+  ASSERT_TRUE(st.ok());
+  EXPECT_DOUBLE_EQ(frame.col("v2").DoubleAt(0), 6.0);
+  // Name collision fails.
+  EXPECT_FALSE(df::AddComputedColumn(&frame, "v2",
+                                     [](const df::DataFrame&, size_t) {
+                                       return 0.0;
+                                     })
+                   .ok());
+}
+
+TEST(KnnTest, ClassificationOnBlobs) {
+  Rng rng(5);
+  la::Matrix x(200, 2);
+  std::vector<double> y(200);
+  for (size_t i = 0; i < 200; ++i) {
+    bool positive = i % 2 == 0;
+    y[i] = positive ? 1.0 : 0.0;
+    x(i, 0) = rng.Normal(positive ? 2.0 : -2.0, 0.6);
+    x(i, 1) = rng.Normal();
+  }
+  ml::KnnConfig config;
+  config.task = ml::TaskType::kClassification;
+  ml::KNearestNeighbors knn(config);
+  knn.Fit(x, y);
+  EXPECT_GT(ml::Accuracy(y, knn.Predict(x)), 0.95);
+}
+
+TEST(KnnTest, RegressionInterpolates) {
+  la::Matrix x(5, 1, std::vector<double>{0, 1, 2, 3, 4});
+  std::vector<double> y = {0, 10, 20, 30, 40};
+  ml::KnnConfig config;
+  config.task = ml::TaskType::kRegression;
+  config.k = 2;
+  ml::KNearestNeighbors knn(config);
+  knn.Fit(x, y);
+  la::Matrix query(1, 1, std::vector<double>{1.5});
+  // 2 nearest of 1.5 are 1 and 2 -> mean 15.
+  EXPECT_NEAR(knn.Predict(query)[0], 15.0, 1e-9);
+}
+
+TEST(KnnTest, DistanceWeightingPullsTowardCloserNeighbor) {
+  la::Matrix x(2, 1, std::vector<double>{0.0, 10.0});
+  std::vector<double> y = {0.0, 100.0};
+  ml::KnnConfig config;
+  config.task = ml::TaskType::kRegression;
+  config.k = 2;
+  config.distance_weighted = true;
+  ml::KNearestNeighbors knn(config);
+  knn.Fit(x, y);
+  la::Matrix query(1, 1, std::vector<double>{1.0});
+  EXPECT_LT(knn.Predict(query)[0], 50.0);  // closer to 0 than to 10
+}
+
+TEST(ReportIoTest, JsonEscaping) {
+  EXPECT_EQ(core::JsonEscape("a\"b"), "a\\\"b");
+  EXPECT_EQ(core::JsonEscape("back\\slash"), "back\\\\slash");
+  EXPECT_EQ(core::JsonEscape("line\nbreak"), "line\\nbreak");
+}
+
+TEST(ReportIoTest, SerializesReportFields) {
+  core::ArdaReport report;
+  report.base_score = -2.5;
+  report.final_score = -1.25;
+  report.tables_considered = 4;
+  report.tables_joined = 2;
+  core::BatchLog batch;
+  batch.tables = {"weather", "events"};
+  batch.accepted = true;
+  batch.features_considered = 10;
+  batch.features_kept = 3;
+  report.batches.push_back(batch);
+  ASSERT_TRUE(report.augmented
+                  .AddColumn(df::Column::Double("x", {1.0}))
+                  .ok());
+  report.selected_features = {"x", "weather.temp"};
+
+  std::string json = core::ReportToJson(report);
+  EXPECT_NE(json.find("\"base_score\": -2.5"), std::string::npos);
+  EXPECT_NE(json.find("\"final_score\": -1.25"), std::string::npos);
+  EXPECT_NE(json.find("\"improvement_percent\": 50"), std::string::npos);
+  EXPECT_NE(json.find("\"tables_joined\": 2"), std::string::npos);
+  EXPECT_NE(json.find("\"weather\""), std::string::npos);
+  EXPECT_NE(json.find("\"accepted\": true"), std::string::npos);
+  EXPECT_NE(json.find("\"augmented_rows\": 1"), std::string::npos);
+}
+
+TEST(ReportIoTest, WritesFile) {
+  core::ArdaReport report;
+  std::string path = testing::TempDir() + "/arda_report.json";
+  ASSERT_TRUE(core::WriteReportJson(report, path).ok());
+  std::remove(path.c_str());
+  EXPECT_FALSE(core::WriteReportJson(report, "/no/such/dir/x.json").ok());
+}
+
+}  // namespace
+}  // namespace arda

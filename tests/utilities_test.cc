@@ -1,0 +1,119 @@
+// Tests for the exploration utilities: Describe summaries and selection
+// stability analysis.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dataframe/describe.h"
+#include "featsel/stability.h"
+#include "util/rng.h"
+
+namespace arda {
+namespace {
+
+TEST(DescribeTest, NumericSummary) {
+  df::DataFrame frame;
+  df::Column v = df::Column::Empty("v", df::DataType::kDouble);
+  v.AppendDouble(1.0);
+  v.AppendDouble(2.0);
+  v.AppendDouble(3.0);
+  v.AppendNull();
+  ASSERT_TRUE(frame.AddColumn(std::move(v)).ok());
+  std::vector<df::ColumnSummary> summaries = df::Describe(frame);
+  ASSERT_EQ(summaries.size(), 1u);
+  const df::ColumnSummary& s = summaries[0];
+  EXPECT_EQ(s.name, "v");
+  EXPECT_EQ(s.count, 3u);
+  EXPECT_EQ(s.null_count, 1u);
+  EXPECT_EQ(s.distinct, 3u);
+  EXPECT_DOUBLE_EQ(s.mean, 2.0);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.median, 2.0);
+  EXPECT_DOUBLE_EQ(s.max, 3.0);
+  EXPECT_NEAR(s.stddev, std::sqrt(2.0 / 3.0), 1e-12);
+}
+
+TEST(DescribeTest, StringSummaryModeAndDistinct) {
+  df::DataFrame frame;
+  ASSERT_TRUE(frame
+                  .AddColumn(df::Column::String(
+                      "s", {"a", "b", "b", "c", "b"}))
+                  .ok());
+  std::vector<df::ColumnSummary> summaries = df::Describe(frame);
+  ASSERT_EQ(summaries.size(), 1u);
+  EXPECT_EQ(summaries[0].distinct, 3u);
+  EXPECT_EQ(summaries[0].mode, "b");
+  EXPECT_DOUBLE_EQ(summaries[0].mean, 0.0);  // numeric fields untouched
+}
+
+TEST(DescribeTest, RenderedTableContainsHeaderAndValues) {
+  df::DataFrame frame;
+  ASSERT_TRUE(frame.AddColumn(df::Column::Int64("id", {7, 8})).ok());
+  std::string text = df::DescribeToString(frame);
+  EXPECT_NE(text.find("column"), std::string::npos);
+  EXPECT_NE(text.find("id"), std::string::npos);
+  EXPECT_NE(text.find("7.5"), std::string::npos);  // mean
+}
+
+TEST(DescribeTest, EmptyFrame) {
+  df::DataFrame frame;
+  EXPECT_TRUE(df::Describe(frame).empty());
+}
+
+TEST(StabilityTest, JaccardBasics) {
+  EXPECT_DOUBLE_EQ(featsel::SelectionJaccard({1, 2, 3}, {1, 2, 3}), 1.0);
+  EXPECT_DOUBLE_EQ(featsel::SelectionJaccard({1, 2}, {3, 4}), 0.0);
+  EXPECT_DOUBLE_EQ(featsel::SelectionJaccard({1, 2, 3}, {2, 3, 4}), 0.5);
+  EXPECT_DOUBLE_EQ(featsel::SelectionJaccard({}, {}), 1.0);
+}
+
+ml::Dataset MakeStrongSignal(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  ml::Dataset data;
+  data.task = ml::TaskType::kClassification;
+  data.x = la::Matrix(n, 5);
+  data.y.resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    bool positive = i % 2 == 0;
+    data.y[i] = positive ? 1.0 : 0.0;
+    data.x(i, 0) = rng.Normal(positive ? 3.0 : -3.0, 0.4);  // dominant
+    for (size_t c = 1; c < 5; ++c) data.x(i, c) = rng.Normal();
+  }
+  for (size_t c = 0; c < 5; ++c) {
+    data.feature_names.push_back("f" + std::to_string(c));
+  }
+  return data;
+}
+
+TEST(StabilityTest, DominantFeatureAlwaysSelected) {
+  ml::Dataset data = MakeStrongSignal(240, 3);
+  std::unique_ptr<featsel::FeatureSelector> selector =
+      featsel::MakeSelector("f_test");
+  featsel::StabilityOptions options;
+  options.num_bootstraps = 5;
+  featsel::StabilityResult result =
+      featsel::AnalyzeSelectionStability(data, *selector, options);
+  EXPECT_EQ(result.selections.size(), 5u);
+  EXPECT_DOUBLE_EQ(result.selection_frequency[0], 1.0);
+  EXPECT_GT(result.mean_jaccard, 0.3);
+  EXPECT_LE(result.mean_jaccard, 1.0);
+}
+
+TEST(StabilityTest, FrequenciesAreProbabilities) {
+  ml::Dataset data = MakeStrongSignal(150, 5);
+  std::unique_ptr<featsel::FeatureSelector> selector =
+      featsel::MakeSelector("random_forest");
+  featsel::StabilityOptions options;
+  options.num_bootstraps = 4;
+  featsel::StabilityResult result =
+      featsel::AnalyzeSelectionStability(data, *selector, options);
+  ASSERT_EQ(result.selection_frequency.size(), 5u);
+  for (double freq : result.selection_frequency) {
+    EXPECT_GE(freq, 0.0);
+    EXPECT_LE(freq, 1.0);
+  }
+}
+
+}  // namespace
+}  // namespace arda

@@ -1,0 +1,27 @@
+// Entry point of the arda_cli command-line driver; the logic lives in
+// tools/cli.{h,cc} so it stays unit-testable.
+
+#include <cstdio>
+
+#include "tools/cli.h"
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  arda::Result<arda::tools::CliOptions> options =
+      arda::tools::ParseCliArgs(args);
+  if (!options.ok()) {
+    std::fprintf(stderr, "%s\n%s", options.status().message().c_str(),
+                 arda::tools::CliUsage().c_str());
+    return 2;
+  }
+  if (options->show_help) {
+    std::printf("%s", arda::tools::CliUsage().c_str());
+    return 0;
+  }
+  arda::Status status = arda::tools::RunCli(*options);
+  if (!status.ok()) {
+    std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  return 0;
+}

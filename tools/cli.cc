@@ -1,0 +1,190 @@
+#include "tools/cli.h"
+
+#include <cstdio>
+#include <filesystem>
+
+#include "dataframe/csv.h"
+#include "core/report_io.h"
+#include "discovery/discovery.h"
+#include "util/string_util.h"
+
+namespace arda::tools {
+
+namespace fs = std::filesystem;
+
+std::string CliUsage() {
+  return
+      "arda_cli — automatic relational data augmentation over a directory "
+      "of CSVs\n"
+      "\n"
+      "usage: arda_cli --data=DIR --base=NAME --target=COL [options]\n"
+      "\n"
+      "  --data=DIR       directory containing *.csv tables\n"
+      "  --base=NAME      base table (file stem, e.g. 'rides' for "
+      "rides.csv)\n"
+      "  --target=COL     prediction target column in the base table\n"
+      "  --task=KIND      regression (default) | classification\n"
+      "  --selector=NAME  rifs (default) | random_forest | mutual_info | "
+      "f_test |\n"
+      "                   chi_squared | lasso | relief | linear_svc | "
+      "logistic_reg |\n"
+      "                   sparse_regression | forward_selection | "
+      "backward_selection |\n"
+      "                   rfe | all_features\n"
+      "  --plan=KIND      budget (default) | table | full\n"
+      "  --soft-join=K    2way (default) | nearest | hard\n"
+      "  --output=FILE    write the augmented table as CSV\n"
+      "  --report-json=F  write a machine-readable run report\n"
+      "  --seed=N         random seed (default 42)\n"
+      "  --help           show this message\n";
+}
+
+Result<CliOptions> ParseCliArgs(const std::vector<std::string>& args) {
+  CliOptions options;
+  for (const std::string& arg : args) {
+    auto value_of = [&](const char* flag) -> const char* {
+      std::string prefix = std::string(flag) + "=";
+      if (StartsWith(arg, prefix)) return arg.c_str() + prefix.size();
+      return nullptr;
+    };
+    if (arg == "--help" || arg == "-h") {
+      options.show_help = true;
+    } else if (const char* v = value_of("--data")) {
+      options.data_dir = v;
+    } else if (const char* v = value_of("--base")) {
+      options.base_table = v;
+    } else if (const char* v = value_of("--target")) {
+      options.target = v;
+    } else if (const char* v = value_of("--task")) {
+      options.task = v;
+    } else if (const char* v = value_of("--selector")) {
+      options.selector = v;
+    } else if (const char* v = value_of("--plan")) {
+      options.plan = v;
+    } else if (const char* v = value_of("--soft-join")) {
+      options.soft_join = v;
+    } else if (const char* v = value_of("--output")) {
+      options.output = v;
+    } else if (const char* v = value_of("--report-json")) {
+      options.report_json = v;
+    } else if (const char* v = value_of("--seed")) {
+      int64_t seed = 0;
+      if (!ParseInt64(v, &seed)) {
+        return Status::InvalidArgument("bad --seed value: " +
+                                       std::string(v));
+      }
+      options.seed = static_cast<uint64_t>(seed);
+    } else {
+      return Status::InvalidArgument("unknown flag: " + arg);
+    }
+  }
+  if (options.show_help) return options;
+  if (options.data_dir.empty() || options.base_table.empty() ||
+      options.target.empty()) {
+    return Status::InvalidArgument(
+        "--data, --base and --target are required (see --help)");
+  }
+  if (options.task != "regression" && options.task != "classification") {
+    return Status::InvalidArgument("bad --task: " + options.task);
+  }
+  return options;
+}
+
+Result<core::ArdaConfig> MakeConfig(const CliOptions& options) {
+  core::ArdaConfig config;
+  config.seed = options.seed;
+  config.selector = options.selector;
+  if (options.plan == "budget") {
+    config.plan = core::JoinPlanKind::kBudget;
+  } else if (options.plan == "table") {
+    config.plan = core::JoinPlanKind::kTableAtATime;
+  } else if (options.plan == "full") {
+    config.plan = core::JoinPlanKind::kFullMaterialization;
+  } else {
+    return Status::InvalidArgument("bad --plan: " + options.plan);
+  }
+  if (options.soft_join == "2way") {
+    config.join.soft_method = join::SoftJoinMethod::kTwoWayNearest;
+  } else if (options.soft_join == "nearest") {
+    config.join.soft_method = join::SoftJoinMethod::kNearest;
+  } else if (options.soft_join == "hard") {
+    config.join.soft_method = join::SoftJoinMethod::kHardExact;
+  } else {
+    return Status::InvalidArgument("bad --soft-join: " + options.soft_join);
+  }
+  return config;
+}
+
+Status RunCli(const CliOptions& options) {
+  ARDA_ASSIGN_OR_RETURN(core::ArdaConfig config, MakeConfig(options));
+
+  // Load every CSV in the data directory.
+  discovery::DataRepository repo;
+  std::error_code ec;
+  fs::directory_iterator it(options.data_dir, ec);
+  if (ec) {
+    return Status::IoError("cannot open directory: " + options.data_dir);
+  }
+  size_t loaded = 0;
+  for (const fs::directory_entry& entry : it) {
+    if (entry.path().extension() != ".csv") continue;
+    Result<df::DataFrame> table = df::ReadCsvFile(entry.path().string());
+    if (!table.ok()) {
+      std::fprintf(stderr, "warning: skipping %s: %s\n",
+                   entry.path().c_str(),
+                   table.status().ToString().c_str());
+      continue;
+    }
+    ARDA_RETURN_IF_ERROR(repo.Add(entry.path().stem().string(),
+                                  std::move(table).value()));
+    ++loaded;
+  }
+  std::printf("loaded %zu tables from %s\n", loaded,
+              options.data_dir.c_str());
+  ARDA_ASSIGN_OR_RETURN(const df::DataFrame* base,
+                        repo.Get(options.base_table));
+
+  core::AugmentationTask task;
+  task.base = *base;
+  task.target_column = options.target;
+  task.task = options.task == "classification"
+                  ? ml::TaskType::kClassification
+                  : ml::TaskType::kRegression;
+  task.repo = &repo;
+  task.base_table_name = options.base_table;
+
+  core::Arda arda(config);
+  ARDA_ASSIGN_OR_RETURN(core::ArdaReport report, arda.Run(task));
+
+  const bool classification = task.task == ml::TaskType::kClassification;
+  std::printf("tables considered: %zu, joined: %zu\n",
+              report.tables_considered, report.tables_joined);
+  if (classification) {
+    std::printf("base accuracy:      %.2f%%\n", report.base_score * 100.0);
+    std::printf("augmented accuracy: %.2f%%  (%+.1f%%)\n",
+                report.final_score * 100.0, report.ImprovementPercent());
+  } else {
+    std::printf("base MAE:      %.4f\n", -report.base_score);
+    std::printf("augmented MAE: %.4f  (%+.1f%%)\n", -report.final_score,
+                report.ImprovementPercent());
+  }
+  std::printf("columns: %zu -> %zu (%.1fs total: %.1fs joins, %.1fs "
+              "selection)\n",
+              base->NumCols(), report.augmented.NumCols(),
+              report.total_seconds, report.join_seconds,
+              report.selection_seconds);
+  if (!options.output.empty()) {
+    ARDA_RETURN_IF_ERROR(
+        df::WriteCsvFile(report.augmented, options.output));
+    std::printf("augmented table written to %s\n", options.output.c_str());
+  }
+  if (!options.report_json.empty()) {
+    ARDA_RETURN_IF_ERROR(
+        core::WriteReportJson(report, options.report_json));
+    std::printf("JSON report written to %s\n",
+                options.report_json.c_str());
+  }
+  return Status::Ok();
+}
+
+}  // namespace arda::tools

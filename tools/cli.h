@@ -1,0 +1,58 @@
+#ifndef ARDA_TOOLS_CLI_H_
+#define ARDA_TOOLS_CLI_H_
+
+#include <string>
+#include <vector>
+
+#include "core/arda.h"
+#include "util/status.h"
+
+namespace arda::tools {
+
+/// Parsed command-line options of the `arda_cli` driver.
+struct CliOptions {
+  /// Directory scanned for *.csv tables (every file becomes a repository
+  /// table named after its stem).
+  std::string data_dir;
+  /// Table stem of the base table (must exist in data_dir).
+  std::string base_table;
+  /// Target column in the base table.
+  std::string target;
+  /// "regression" or "classification".
+  std::string task = "regression";
+  /// Feature selector name (featsel registry).
+  std::string selector = "rifs";
+  /// Join plan: "budget", "table" or "full".
+  std::string plan = "budget";
+  /// Soft-key method: "2way", "nearest" or "hard".
+  std::string soft_join = "2way";
+  /// Output CSV path for the augmented table ("" = don't write).
+  std::string output;
+  /// Output path for a machine-readable JSON report ("" = don't write).
+  std::string report_json;
+  uint64_t seed = 42;
+  bool show_help = false;
+};
+
+/// Parses argv. Recognized flags:
+///   --data=DIR --base=NAME --target=COL [--task=regression|classification]
+///   [--selector=NAME] [--plan=budget|table|full]
+///   [--soft-join=2way|nearest|hard] [--output=FILE] [--seed=N] [--help]
+/// Fails with InvalidArgument on unknown flags or missing required ones
+/// (unless --help was given).
+Result<CliOptions> ParseCliArgs(const std::vector<std::string>& args);
+
+/// Usage text printed for --help or parse errors.
+std::string CliUsage();
+
+/// Translates parsed options into an ARDA configuration.
+Result<core::ArdaConfig> MakeConfig(const CliOptions& options);
+
+/// Loads the repository, runs the pipeline, prints a human-readable
+/// report to stdout and optionally writes the augmented CSV. Returns the
+/// process exit status.
+Status RunCli(const CliOptions& options);
+
+}  // namespace arda::tools
+
+#endif  // ARDA_TOOLS_CLI_H_
