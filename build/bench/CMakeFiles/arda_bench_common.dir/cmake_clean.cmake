@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/arda_bench_common.dir/bench_common.cc.o"
+  "CMakeFiles/arda_bench_common.dir/bench_common.cc.o.d"
+  "libarda_bench_common.a"
+  "libarda_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/arda_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

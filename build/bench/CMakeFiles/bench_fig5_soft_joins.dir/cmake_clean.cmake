@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_soft_joins.dir/bench_fig5_soft_joins.cc.o"
+  "CMakeFiles/bench_fig5_soft_joins.dir/bench_fig5_soft_joins.cc.o.d"
+  "bench_fig5_soft_joins"
+  "bench_fig5_soft_joins.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_soft_joins.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

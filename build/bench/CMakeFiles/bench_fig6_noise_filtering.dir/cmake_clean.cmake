@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_noise_filtering.dir/bench_fig6_noise_filtering.cc.o"
+  "CMakeFiles/bench_fig6_noise_filtering.dir/bench_fig6_noise_filtering.cc.o.d"
+  "bench_fig6_noise_filtering"
+  "bench_fig6_noise_filtering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_noise_filtering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_selectors.dir/bench_table1_selectors.cc.o"
+  "CMakeFiles/bench_table1_selectors.dir/bench_table1_selectors.cc.o.d"
+  "bench_table1_selectors"
+  "bench_table1_selectors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_selectors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_sketch_regression.dir/bench_table3_sketch_regression.cc.o"
+  "CMakeFiles/bench_table3_sketch_regression.dir/bench_table3_sketch_regression.cc.o.d"
+  "bench_table3_sketch_regression"
+  "bench_table3_sketch_regression.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_sketch_regression.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_tr_prefilter.dir/bench_table4_tr_prefilter.cc.o"
+  "CMakeFiles/bench_table4_tr_prefilter.dir/bench_table4_tr_prefilter.cc.o.d"
+  "bench_table4_tr_prefilter"
+  "bench_table4_tr_prefilter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_tr_prefilter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_table_grouping.dir/bench_table5_table_grouping.cc.o"
+  "CMakeFiles/bench_table5_table_grouping.dir/bench_table5_table_grouping.cc.o.d"
+  "bench_table5_table_grouping"
+  "bench_table5_table_grouping.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_table_grouping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/augmentation_audit.dir/augmentation_audit.cpp.o"
+  "CMakeFiles/augmentation_audit.dir/augmentation_audit.cpp.o.d"
+  "augmentation_audit"
+  "augmentation_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/augmentation_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/location_join.dir/location_join.cpp.o"
+  "CMakeFiles/location_join.dir/location_join.cpp.o.d"
+  "location_join"
+  "location_join.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/location_join.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

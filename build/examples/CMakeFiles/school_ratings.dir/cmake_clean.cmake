@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/school_ratings.dir/school_ratings.cpp.o"
+  "CMakeFiles/school_ratings.dir/school_ratings.cpp.o.d"
+  "school_ratings"
+  "school_ratings.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/school_ratings.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

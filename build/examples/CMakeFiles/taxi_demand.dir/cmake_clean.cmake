@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/taxi_demand.dir/taxi_demand.cpp.o"
+  "CMakeFiles/taxi_demand.dir/taxi_demand.cpp.o.d"
+  "taxi_demand"
+  "taxi_demand.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/taxi_demand.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/arda_core.dir/arda.cc.o"
+  "CMakeFiles/arda_core.dir/arda.cc.o.d"
+  "CMakeFiles/arda_core.dir/report_io.cc.o"
+  "CMakeFiles/arda_core.dir/report_io.cc.o.d"
+  "libarda_core.a"
+  "libarda_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/arda_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/coreset/coreset.cc" "src/coreset/CMakeFiles/arda_coreset.dir/coreset.cc.o" "gcc" "src/coreset/CMakeFiles/arda_coreset.dir/coreset.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dataframe/CMakeFiles/arda_dataframe.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/arda_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/arda_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/la/CMakeFiles/arda_la.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

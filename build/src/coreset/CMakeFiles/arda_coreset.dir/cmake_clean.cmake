@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/arda_coreset.dir/coreset.cc.o"
+  "CMakeFiles/arda_coreset.dir/coreset.cc.o.d"
+  "libarda_coreset.a"
+  "libarda_coreset.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/arda_coreset.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

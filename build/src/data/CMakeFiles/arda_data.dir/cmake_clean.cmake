@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/arda_data.dir/common.cc.o"
+  "CMakeFiles/arda_data.dir/common.cc.o.d"
+  "CMakeFiles/arda_data.dir/micro.cc.o"
+  "CMakeFiles/arda_data.dir/micro.cc.o.d"
+  "CMakeFiles/arda_data.dir/scenario_pickup.cc.o"
+  "CMakeFiles/arda_data.dir/scenario_pickup.cc.o.d"
+  "CMakeFiles/arda_data.dir/scenario_poverty.cc.o"
+  "CMakeFiles/arda_data.dir/scenario_poverty.cc.o.d"
+  "CMakeFiles/arda_data.dir/scenario_school.cc.o"
+  "CMakeFiles/arda_data.dir/scenario_school.cc.o.d"
+  "CMakeFiles/arda_data.dir/scenario_taxi.cc.o"
+  "CMakeFiles/arda_data.dir/scenario_taxi.cc.o.d"
+  "libarda_data.a"
+  "libarda_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/arda_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

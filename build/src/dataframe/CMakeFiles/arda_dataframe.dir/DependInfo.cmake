@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dataframe/aggregate.cc" "src/dataframe/CMakeFiles/arda_dataframe.dir/aggregate.cc.o" "gcc" "src/dataframe/CMakeFiles/arda_dataframe.dir/aggregate.cc.o.d"
+  "/root/repo/src/dataframe/column.cc" "src/dataframe/CMakeFiles/arda_dataframe.dir/column.cc.o" "gcc" "src/dataframe/CMakeFiles/arda_dataframe.dir/column.cc.o.d"
+  "/root/repo/src/dataframe/csv.cc" "src/dataframe/CMakeFiles/arda_dataframe.dir/csv.cc.o" "gcc" "src/dataframe/CMakeFiles/arda_dataframe.dir/csv.cc.o.d"
+  "/root/repo/src/dataframe/data_frame.cc" "src/dataframe/CMakeFiles/arda_dataframe.dir/data_frame.cc.o" "gcc" "src/dataframe/CMakeFiles/arda_dataframe.dir/data_frame.cc.o.d"
+  "/root/repo/src/dataframe/describe.cc" "src/dataframe/CMakeFiles/arda_dataframe.dir/describe.cc.o" "gcc" "src/dataframe/CMakeFiles/arda_dataframe.dir/describe.cc.o.d"
+  "/root/repo/src/dataframe/encode.cc" "src/dataframe/CMakeFiles/arda_dataframe.dir/encode.cc.o" "gcc" "src/dataframe/CMakeFiles/arda_dataframe.dir/encode.cc.o.d"
+  "/root/repo/src/dataframe/transform.cc" "src/dataframe/CMakeFiles/arda_dataframe.dir/transform.cc.o" "gcc" "src/dataframe/CMakeFiles/arda_dataframe.dir/transform.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/arda_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/la/CMakeFiles/arda_la.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/arda_dataframe.dir/aggregate.cc.o"
+  "CMakeFiles/arda_dataframe.dir/aggregate.cc.o.d"
+  "CMakeFiles/arda_dataframe.dir/column.cc.o"
+  "CMakeFiles/arda_dataframe.dir/column.cc.o.d"
+  "CMakeFiles/arda_dataframe.dir/csv.cc.o"
+  "CMakeFiles/arda_dataframe.dir/csv.cc.o.d"
+  "CMakeFiles/arda_dataframe.dir/data_frame.cc.o"
+  "CMakeFiles/arda_dataframe.dir/data_frame.cc.o.d"
+  "CMakeFiles/arda_dataframe.dir/describe.cc.o"
+  "CMakeFiles/arda_dataframe.dir/describe.cc.o.d"
+  "CMakeFiles/arda_dataframe.dir/encode.cc.o"
+  "CMakeFiles/arda_dataframe.dir/encode.cc.o.d"
+  "CMakeFiles/arda_dataframe.dir/transform.cc.o"
+  "CMakeFiles/arda_dataframe.dir/transform.cc.o.d"
+  "libarda_dataframe.a"
+  "libarda_dataframe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/arda_dataframe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

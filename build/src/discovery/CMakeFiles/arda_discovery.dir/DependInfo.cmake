@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/discovery/discovery.cc" "src/discovery/CMakeFiles/arda_discovery.dir/discovery.cc.o" "gcc" "src/discovery/CMakeFiles/arda_discovery.dir/discovery.cc.o.d"
+  "/root/repo/src/discovery/minhash.cc" "src/discovery/CMakeFiles/arda_discovery.dir/minhash.cc.o" "gcc" "src/discovery/CMakeFiles/arda_discovery.dir/minhash.cc.o.d"
+  "/root/repo/src/discovery/repository.cc" "src/discovery/CMakeFiles/arda_discovery.dir/repository.cc.o" "gcc" "src/discovery/CMakeFiles/arda_discovery.dir/repository.cc.o.d"
+  "/root/repo/src/discovery/transitive.cc" "src/discovery/CMakeFiles/arda_discovery.dir/transitive.cc.o" "gcc" "src/discovery/CMakeFiles/arda_discovery.dir/transitive.cc.o.d"
+  "/root/repo/src/discovery/tuple_ratio.cc" "src/discovery/CMakeFiles/arda_discovery.dir/tuple_ratio.cc.o" "gcc" "src/discovery/CMakeFiles/arda_discovery.dir/tuple_ratio.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dataframe/CMakeFiles/arda_dataframe.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/arda_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/la/CMakeFiles/arda_la.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/arda_discovery.dir/discovery.cc.o"
+  "CMakeFiles/arda_discovery.dir/discovery.cc.o.d"
+  "CMakeFiles/arda_discovery.dir/minhash.cc.o"
+  "CMakeFiles/arda_discovery.dir/minhash.cc.o.d"
+  "CMakeFiles/arda_discovery.dir/repository.cc.o"
+  "CMakeFiles/arda_discovery.dir/repository.cc.o.d"
+  "CMakeFiles/arda_discovery.dir/transitive.cc.o"
+  "CMakeFiles/arda_discovery.dir/transitive.cc.o.d"
+  "CMakeFiles/arda_discovery.dir/tuple_ratio.cc.o"
+  "CMakeFiles/arda_discovery.dir/tuple_ratio.cc.o.d"
+  "libarda_discovery.a"
+  "libarda_discovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/arda_discovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

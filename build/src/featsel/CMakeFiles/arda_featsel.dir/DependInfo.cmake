@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/featsel/filter_rankers.cc" "src/featsel/CMakeFiles/arda_featsel.dir/filter_rankers.cc.o" "gcc" "src/featsel/CMakeFiles/arda_featsel.dir/filter_rankers.cc.o.d"
+  "/root/repo/src/featsel/model_rankers.cc" "src/featsel/CMakeFiles/arda_featsel.dir/model_rankers.cc.o" "gcc" "src/featsel/CMakeFiles/arda_featsel.dir/model_rankers.cc.o.d"
+  "/root/repo/src/featsel/ranker.cc" "src/featsel/CMakeFiles/arda_featsel.dir/ranker.cc.o" "gcc" "src/featsel/CMakeFiles/arda_featsel.dir/ranker.cc.o.d"
+  "/root/repo/src/featsel/relief.cc" "src/featsel/CMakeFiles/arda_featsel.dir/relief.cc.o" "gcc" "src/featsel/CMakeFiles/arda_featsel.dir/relief.cc.o.d"
+  "/root/repo/src/featsel/rifs.cc" "src/featsel/CMakeFiles/arda_featsel.dir/rifs.cc.o" "gcc" "src/featsel/CMakeFiles/arda_featsel.dir/rifs.cc.o.d"
+  "/root/repo/src/featsel/search.cc" "src/featsel/CMakeFiles/arda_featsel.dir/search.cc.o" "gcc" "src/featsel/CMakeFiles/arda_featsel.dir/search.cc.o.d"
+  "/root/repo/src/featsel/selector.cc" "src/featsel/CMakeFiles/arda_featsel.dir/selector.cc.o" "gcc" "src/featsel/CMakeFiles/arda_featsel.dir/selector.cc.o.d"
+  "/root/repo/src/featsel/significance.cc" "src/featsel/CMakeFiles/arda_featsel.dir/significance.cc.o" "gcc" "src/featsel/CMakeFiles/arda_featsel.dir/significance.cc.o.d"
+  "/root/repo/src/featsel/stability.cc" "src/featsel/CMakeFiles/arda_featsel.dir/stability.cc.o" "gcc" "src/featsel/CMakeFiles/arda_featsel.dir/stability.cc.o.d"
+  "/root/repo/src/featsel/wrappers.cc" "src/featsel/CMakeFiles/arda_featsel.dir/wrappers.cc.o" "gcc" "src/featsel/CMakeFiles/arda_featsel.dir/wrappers.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ml/CMakeFiles/arda_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/la/CMakeFiles/arda_la.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/arda_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

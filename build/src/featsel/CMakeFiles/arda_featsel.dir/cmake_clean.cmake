@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/arda_featsel.dir/filter_rankers.cc.o"
+  "CMakeFiles/arda_featsel.dir/filter_rankers.cc.o.d"
+  "CMakeFiles/arda_featsel.dir/model_rankers.cc.o"
+  "CMakeFiles/arda_featsel.dir/model_rankers.cc.o.d"
+  "CMakeFiles/arda_featsel.dir/ranker.cc.o"
+  "CMakeFiles/arda_featsel.dir/ranker.cc.o.d"
+  "CMakeFiles/arda_featsel.dir/relief.cc.o"
+  "CMakeFiles/arda_featsel.dir/relief.cc.o.d"
+  "CMakeFiles/arda_featsel.dir/rifs.cc.o"
+  "CMakeFiles/arda_featsel.dir/rifs.cc.o.d"
+  "CMakeFiles/arda_featsel.dir/search.cc.o"
+  "CMakeFiles/arda_featsel.dir/search.cc.o.d"
+  "CMakeFiles/arda_featsel.dir/selector.cc.o"
+  "CMakeFiles/arda_featsel.dir/selector.cc.o.d"
+  "CMakeFiles/arda_featsel.dir/significance.cc.o"
+  "CMakeFiles/arda_featsel.dir/significance.cc.o.d"
+  "CMakeFiles/arda_featsel.dir/stability.cc.o"
+  "CMakeFiles/arda_featsel.dir/stability.cc.o.d"
+  "CMakeFiles/arda_featsel.dir/wrappers.cc.o"
+  "CMakeFiles/arda_featsel.dir/wrappers.cc.o.d"
+  "libarda_featsel.a"
+  "libarda_featsel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/arda_featsel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

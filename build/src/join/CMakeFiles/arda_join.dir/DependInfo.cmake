@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/join/geo_join.cc" "src/join/CMakeFiles/arda_join.dir/geo_join.cc.o" "gcc" "src/join/CMakeFiles/arda_join.dir/geo_join.cc.o.d"
+  "/root/repo/src/join/impute.cc" "src/join/CMakeFiles/arda_join.dir/impute.cc.o" "gcc" "src/join/CMakeFiles/arda_join.dir/impute.cc.o.d"
+  "/root/repo/src/join/join_executor.cc" "src/join/CMakeFiles/arda_join.dir/join_executor.cc.o" "gcc" "src/join/CMakeFiles/arda_join.dir/join_executor.cc.o.d"
+  "/root/repo/src/join/resample.cc" "src/join/CMakeFiles/arda_join.dir/resample.cc.o" "gcc" "src/join/CMakeFiles/arda_join.dir/resample.cc.o.d"
+  "/root/repo/src/join/transitive_join.cc" "src/join/CMakeFiles/arda_join.dir/transitive_join.cc.o" "gcc" "src/join/CMakeFiles/arda_join.dir/transitive_join.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dataframe/CMakeFiles/arda_dataframe.dir/DependInfo.cmake"
+  "/root/repo/build/src/discovery/CMakeFiles/arda_discovery.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/arda_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/la/CMakeFiles/arda_la.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

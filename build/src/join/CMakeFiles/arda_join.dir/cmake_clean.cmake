@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/arda_join.dir/geo_join.cc.o"
+  "CMakeFiles/arda_join.dir/geo_join.cc.o.d"
+  "CMakeFiles/arda_join.dir/impute.cc.o"
+  "CMakeFiles/arda_join.dir/impute.cc.o.d"
+  "CMakeFiles/arda_join.dir/join_executor.cc.o"
+  "CMakeFiles/arda_join.dir/join_executor.cc.o.d"
+  "CMakeFiles/arda_join.dir/resample.cc.o"
+  "CMakeFiles/arda_join.dir/resample.cc.o.d"
+  "CMakeFiles/arda_join.dir/transitive_join.cc.o"
+  "CMakeFiles/arda_join.dir/transitive_join.cc.o.d"
+  "libarda_join.a"
+  "libarda_join.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/arda_join.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/arda_la.dir/linalg.cc.o"
+  "CMakeFiles/arda_la.dir/linalg.cc.o.d"
+  "CMakeFiles/arda_la.dir/matrix.cc.o"
+  "CMakeFiles/arda_la.dir/matrix.cc.o.d"
+  "libarda_la.a"
+  "libarda_la.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/arda_la.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ml/automl.cc" "src/ml/CMakeFiles/arda_ml.dir/automl.cc.o" "gcc" "src/ml/CMakeFiles/arda_ml.dir/automl.cc.o.d"
+  "/root/repo/src/ml/dataset.cc" "src/ml/CMakeFiles/arda_ml.dir/dataset.cc.o" "gcc" "src/ml/CMakeFiles/arda_ml.dir/dataset.cc.o.d"
+  "/root/repo/src/ml/decision_tree.cc" "src/ml/CMakeFiles/arda_ml.dir/decision_tree.cc.o" "gcc" "src/ml/CMakeFiles/arda_ml.dir/decision_tree.cc.o.d"
+  "/root/repo/src/ml/evaluator.cc" "src/ml/CMakeFiles/arda_ml.dir/evaluator.cc.o" "gcc" "src/ml/CMakeFiles/arda_ml.dir/evaluator.cc.o.d"
+  "/root/repo/src/ml/gradient_boosting.cc" "src/ml/CMakeFiles/arda_ml.dir/gradient_boosting.cc.o" "gcc" "src/ml/CMakeFiles/arda_ml.dir/gradient_boosting.cc.o.d"
+  "/root/repo/src/ml/knn.cc" "src/ml/CMakeFiles/arda_ml.dir/knn.cc.o" "gcc" "src/ml/CMakeFiles/arda_ml.dir/knn.cc.o.d"
+  "/root/repo/src/ml/linear.cc" "src/ml/CMakeFiles/arda_ml.dir/linear.cc.o" "gcc" "src/ml/CMakeFiles/arda_ml.dir/linear.cc.o.d"
+  "/root/repo/src/ml/metrics.cc" "src/ml/CMakeFiles/arda_ml.dir/metrics.cc.o" "gcc" "src/ml/CMakeFiles/arda_ml.dir/metrics.cc.o.d"
+  "/root/repo/src/ml/random_forest.cc" "src/ml/CMakeFiles/arda_ml.dir/random_forest.cc.o" "gcc" "src/ml/CMakeFiles/arda_ml.dir/random_forest.cc.o.d"
+  "/root/repo/src/ml/sparse_regression.cc" "src/ml/CMakeFiles/arda_ml.dir/sparse_regression.cc.o" "gcc" "src/ml/CMakeFiles/arda_ml.dir/sparse_regression.cc.o.d"
+  "/root/repo/src/ml/split.cc" "src/ml/CMakeFiles/arda_ml.dir/split.cc.o" "gcc" "src/ml/CMakeFiles/arda_ml.dir/split.cc.o.d"
+  "/root/repo/src/ml/svm_rbf.cc" "src/ml/CMakeFiles/arda_ml.dir/svm_rbf.cc.o" "gcc" "src/ml/CMakeFiles/arda_ml.dir/svm_rbf.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/la/CMakeFiles/arda_la.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/arda_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/arda_ml.dir/automl.cc.o"
+  "CMakeFiles/arda_ml.dir/automl.cc.o.d"
+  "CMakeFiles/arda_ml.dir/dataset.cc.o"
+  "CMakeFiles/arda_ml.dir/dataset.cc.o.d"
+  "CMakeFiles/arda_ml.dir/decision_tree.cc.o"
+  "CMakeFiles/arda_ml.dir/decision_tree.cc.o.d"
+  "CMakeFiles/arda_ml.dir/evaluator.cc.o"
+  "CMakeFiles/arda_ml.dir/evaluator.cc.o.d"
+  "CMakeFiles/arda_ml.dir/gradient_boosting.cc.o"
+  "CMakeFiles/arda_ml.dir/gradient_boosting.cc.o.d"
+  "CMakeFiles/arda_ml.dir/knn.cc.o"
+  "CMakeFiles/arda_ml.dir/knn.cc.o.d"
+  "CMakeFiles/arda_ml.dir/linear.cc.o"
+  "CMakeFiles/arda_ml.dir/linear.cc.o.d"
+  "CMakeFiles/arda_ml.dir/metrics.cc.o"
+  "CMakeFiles/arda_ml.dir/metrics.cc.o.d"
+  "CMakeFiles/arda_ml.dir/random_forest.cc.o"
+  "CMakeFiles/arda_ml.dir/random_forest.cc.o.d"
+  "CMakeFiles/arda_ml.dir/sparse_regression.cc.o"
+  "CMakeFiles/arda_ml.dir/sparse_regression.cc.o.d"
+  "CMakeFiles/arda_ml.dir/split.cc.o"
+  "CMakeFiles/arda_ml.dir/split.cc.o.d"
+  "CMakeFiles/arda_ml.dir/svm_rbf.cc.o"
+  "CMakeFiles/arda_ml.dir/svm_rbf.cc.o.d"
+  "libarda_ml.a"
+  "libarda_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/arda_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/arda_util.dir/rng.cc.o"
+  "CMakeFiles/arda_util.dir/rng.cc.o.d"
+  "CMakeFiles/arda_util.dir/status.cc.o"
+  "CMakeFiles/arda_util.dir/status.cc.o.d"
+  "CMakeFiles/arda_util.dir/string_util.cc.o"
+  "CMakeFiles/arda_util.dir/string_util.cc.o.d"
+  "libarda_util.a"
+  "libarda_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/arda_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

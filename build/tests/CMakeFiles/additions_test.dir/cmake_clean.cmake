@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/additions_test.dir/additions_test.cc.o"
+  "CMakeFiles/additions_test.dir/additions_test.cc.o.d"
+  "additions_test"
+  "additions_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/additions_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/arda_test.dir/arda_test.cc.o"
+  "CMakeFiles/arda_test.dir/arda_test.cc.o.d"
+  "arda_test"
+  "arda_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/arda_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coreset_test.dir/coreset_test.cc.o"
+  "CMakeFiles/coreset_test.dir/coreset_test.cc.o.d"
+  "coreset_test"
+  "coreset_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coreset_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

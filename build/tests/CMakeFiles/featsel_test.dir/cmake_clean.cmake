@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/featsel_test.dir/featsel_test.cc.o"
+  "CMakeFiles/featsel_test.dir/featsel_test.cc.o.d"
+  "featsel_test"
+  "featsel_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/featsel_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

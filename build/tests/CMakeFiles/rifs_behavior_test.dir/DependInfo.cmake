@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/rifs_behavior_test.cc" "tests/CMakeFiles/rifs_behavior_test.dir/rifs_behavior_test.cc.o" "gcc" "tests/CMakeFiles/rifs_behavior_test.dir/rifs_behavior_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/arda_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/coreset/CMakeFiles/arda_coreset.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/arda_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/dataframe/CMakeFiles/arda_dataframe.dir/DependInfo.cmake"
+  "/root/repo/build/src/discovery/CMakeFiles/arda_discovery.dir/DependInfo.cmake"
+  "/root/repo/build/src/featsel/CMakeFiles/arda_featsel.dir/DependInfo.cmake"
+  "/root/repo/build/src/join/CMakeFiles/arda_join.dir/DependInfo.cmake"
+  "/root/repo/build/src/la/CMakeFiles/arda_la.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/arda_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/arda_util.dir/DependInfo.cmake"
+  "/root/repo/build/tools/CMakeFiles/arda_cli_lib.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

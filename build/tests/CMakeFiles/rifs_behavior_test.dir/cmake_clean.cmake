@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rifs_behavior_test.dir/rifs_behavior_test.cc.o"
+  "CMakeFiles/rifs_behavior_test.dir/rifs_behavior_test.cc.o.d"
+  "rifs_behavior_test"
+  "rifs_behavior_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rifs_behavior_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scenario_semantics_test.dir/scenario_semantics_test.cc.o"
+  "CMakeFiles/scenario_semantics_test.dir/scenario_semantics_test.cc.o.d"
+  "scenario_semantics_test"
+  "scenario_semantics_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scenario_semantics_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

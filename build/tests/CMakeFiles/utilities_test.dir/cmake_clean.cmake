@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/utilities_test.dir/utilities_test.cc.o"
+  "CMakeFiles/utilities_test.dir/utilities_test.cc.o.d"
+  "utilities_test"
+  "utilities_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/utilities_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/arda_cli.dir/arda_cli_main.cc.o"
+  "CMakeFiles/arda_cli.dir/arda_cli_main.cc.o.d"
+  "arda_cli"
+  "arda_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/arda_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

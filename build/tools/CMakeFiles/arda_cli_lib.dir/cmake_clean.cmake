@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/arda_cli_lib.dir/cli.cc.o"
+  "CMakeFiles/arda_cli_lib.dir/cli.cc.o.d"
+  "libarda_cli_lib.a"
+  "libarda_cli_lib.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/arda_cli_lib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

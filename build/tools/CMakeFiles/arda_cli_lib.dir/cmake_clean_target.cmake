@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libarda_cli_lib.a"
+)
