@@ -134,6 +134,41 @@ void BM_RandomForestFit(benchmark::State& state) {
 }
 BENCHMARK(BM_RandomForestFit)->Arg(20)->Arg(100)->Arg(400);
 
+// Thread-pool scaling of forest training: same fit at 1/2/4/8 threads
+// (and 0 = hardware concurrency). Results are bit-identical across
+// thread counts; only the wall-clock should change.
+void BM_RandomForestFitThreads(benchmark::State& state) {
+  ml::Dataset data = MakeDataset(600, 100, 11);
+  ml::ForestConfig config;
+  config.task = ml::TaskType::kRegression;
+  config.num_trees = 40;
+  config.num_threads = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    ml::RandomForest forest(config);
+    forest.Fit(data.x, data.y);
+    benchmark::DoNotOptimize(forest.feature_importances());
+  }
+  state.SetLabel("threads=" + std::to_string(state.range(0)));
+}
+BENCHMARK(BM_RandomForestFitThreads)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Arg(0);
+
+// Thread-pool scaling of a full RIFS run (the per-round ranker ensemble
+// is the parallel region).
+void BM_RifsRunThreads(benchmark::State& state) {
+  ml::Dataset data = MakeDataset(300, 60, 29);
+  ml::Evaluator evaluator(data, 0.25, 31);
+  featsel::RifsConfig config;
+  config.num_rounds = 8;
+  config.num_threads = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    Rng rng(33);
+    auto result = featsel::RunRifs(data, evaluator, config, &rng);
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetLabel("threads=" + std::to_string(state.range(0)));
+}
+BENCHMARK(BM_RifsRunThreads)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
 void BM_SparseRegressionRank(benchmark::State& state) {
   ml::Dataset data =
       MakeDataset(400, static_cast<size_t>(state.range(0)), 13);

@@ -5,10 +5,13 @@
 #include <map>
 #include <set>
 
+#include <memory>
+
 #include "discovery/discovery.h"
 #include "discovery/tuple_ratio.h"
 #include "featsel/selector.h"
 #include "join/impute.h"
+#include "util/thread_pool.h"
 #include "util/timer.h"
 
 namespace arda::core {
@@ -197,9 +200,13 @@ Result<ArdaReport> Arda::Run(const AugmentationTask& task) const {
   std::vector<std::vector<discovery::CandidateJoin>> batches = BuildJoinPlan(
       candidates, *task.repo, config_.plan, budget, config_.encode);
 
+  featsel::RifsConfig rifs_config = config_.rifs;
+  if (rifs_config.num_threads == 0) {
+    rifs_config.num_threads = config_.num_threads;
+  }
   std::unique_ptr<featsel::FeatureSelector> selector =
       config_.selector == "rifs"
-          ? featsel::MakeRifsSelector(config_.rifs)
+          ? featsel::MakeRifsSelector(rifs_config)
           : featsel::MakeSelector(config_.selector);
   if (selector == nullptr) {
     return Status::InvalidArgument("unknown selector: " + config_.selector);
@@ -217,21 +224,47 @@ Result<ArdaReport> Arda::Run(const AugmentationTask& task) const {
                                config_.seed);
   double current_score = base_evaluator.ScoreAllFeatures();
 
+  report.num_threads = ResolveNumThreads(config_.num_threads);
+
   // 4. Batched join execution + feature selection.
   for (const std::vector<discovery::CandidateJoin>& batch : batches) {
     BatchLog log;
     Stopwatch join_watch;
+    // Candidate joins are independent: ExecuteLeftJoin keeps every base
+    // row exactly once and the join keys live in the batch-start frame,
+    // so each candidate joins against `current` concurrently. Each join
+    // gets an RNG sub-stream forked serially in candidate order, and the
+    // new columns are merged in candidate order (collision renaming is
+    // order-defined) — results are bit-identical for any thread count.
+    std::vector<Rng> join_rngs;
+    join_rngs.reserve(batch.size());
+    for (size_t i = 0; i < batch.size(); ++i) join_rngs.push_back(rng.Fork());
+    std::vector<std::unique_ptr<df::DataFrame>> joined(batch.size());
+    ParallelFor(batch.size(), config_.num_threads, [&](size_t i) {
+      Result<const df::DataFrame*> foreign =
+          task.repo->Get(batch[i].foreign_table);
+      if (!foreign.ok()) return;
+      Result<df::DataFrame> result = join::ExecuteLeftJoin(
+          current, *foreign.value(), batch[i], config_.join, &join_rngs[i]);
+      if (!result.ok()) return;  // skip malformed candidates
+      joined[i] =
+          std::make_unique<df::DataFrame>(std::move(result).value());
+    });
+
     df::DataFrame working = current;
     bool joined_any = false;
-    for (const discovery::CandidateJoin& cand : batch) {
-      Result<const df::DataFrame*> foreign =
-          task.repo->Get(cand.foreign_table);
-      if (!foreign.ok()) continue;
-      Result<df::DataFrame> joined = join::ExecuteLeftJoin(
-          working, *foreign.value(), cand, config_.join, &rng);
-      if (!joined.ok()) continue;  // skip malformed candidates
-      working = std::move(joined).value();
-      log.tables.push_back(cand.foreign_table);
+    for (size_t i = 0; i < batch.size(); ++i) {
+      if (joined[i] == nullptr) continue;
+      df::DataFrame new_cols;
+      for (size_t c = current.NumCols(); c < joined[i]->NumCols(); ++c) {
+        Status st = new_cols.AddColumn(joined[i]->col(c));
+        ARDA_CHECK(st.ok());
+      }
+      std::string prefix = config_.join.column_prefix.empty()
+                               ? batch[i].foreign_table + "."
+                               : config_.join.column_prefix;
+      if (!working.HStack(new_cols, prefix).ok()) continue;
+      log.tables.push_back(batch[i].foreign_table);
       joined_any = true;
     }
     log.join_seconds = join_watch.ElapsedSeconds();

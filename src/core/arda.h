@@ -56,6 +56,9 @@ struct ArdaReport {
   double join_seconds = 0.0;
   double selection_seconds = 0.0;
   double total_seconds = 0.0;
+  /// Effective thread count the run used (resolved from
+  /// ArdaConfig::num_threads; results do not depend on it).
+  size_t num_threads = 1;
 
   /// Percent improvement of final_score over base_score, the number the
   /// paper's Figure 3 reports. Regression scores are negative MAE, so the

@@ -49,6 +49,12 @@ struct ArdaConfig {
   /// score by more than this margin.
   double min_improvement = 0.0;
   uint64_t seed = 42;
+  /// Threads used by the pipeline's parallel regions (candidate join
+  /// execution, RIFS rounds, forest training): 0 = hardware concurrency,
+  /// 1 = serial. Every region takes pre-forked RNG sub-streams and
+  /// reduces in deterministic order, so results are bit-identical for
+  /// every value (see DESIGN.md "Parallelism & determinism contract").
+  size_t num_threads = 0;
 };
 
 }  // namespace arda::core

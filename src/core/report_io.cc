@@ -66,6 +66,7 @@ std::string ReportToJson(const ArdaReport& report) {
   out += StrFormat("  \"selection_seconds\": %.6g,\n",
                    report.selection_seconds);
   out += StrFormat("  \"total_seconds\": %.6g,\n", report.total_seconds);
+  out += StrFormat("  \"num_threads\": %zu,\n", report.num_threads);
   out += StrFormat("  \"augmented_rows\": %zu,\n",
                    report.augmented.NumRows());
   out += "  \"augmented_columns\": " +

@@ -9,41 +9,91 @@ namespace arda::df {
 
 namespace {
 
-// Splits one CSV record honoring double-quote quoting ("" escapes a quote).
-std::vector<std::string> SplitCsvRecord(const std::string& line, char delim) {
-  std::vector<std::string> fields;
-  std::string current;
+// One parsed CSV field. `quoted` distinguishes `""` (empty string) from a
+// bare empty field (null) so the writer/reader round-trip is lossless.
+struct CsvField {
+  std::string value;
+  bool quoted = false;
+};
+
+using CsvRecord = std::vector<CsvField>;
+
+// Splits `text` into records and fields in a single quote-aware pass, so a
+// quoted field may contain embedded newlines (and the delimiter, and `""`
+// escaped quotes). Records are separated by '\n' outside quotes; one
+// trailing '\r' per record (outside quotes) is dropped, which keeps the
+// historical CRLF semantics. Completely empty records are skipped, like
+// the old line-based reader skipped blank lines. An unterminated quote
+// runs to end of input (malformed, parsed permissively).
+std::vector<CsvRecord> SplitCsvRecords(const std::string& text, char delim) {
+  std::vector<CsvRecord> records;
+  CsvRecord record;
+  CsvField field;
   bool in_quotes = false;
-  for (size_t i = 0; i < line.size(); ++i) {
-    char c = line[i];
+  bool record_started = false;
+  // True when the field's most recent character was appended inside
+  // quotes; such a trailing '\r' is field content, not a CRLF terminator.
+  bool last_append_in_quotes = false;
+
+  auto end_field = [&] {
+    record.push_back(std::move(field));
+    field = CsvField{};
+    last_append_in_quotes = false;
+  };
+  auto end_record = [&] {
+    // One trailing '\r' outside quotes belongs to a CRLF terminator.
+    if (!field.value.empty() && field.value.back() == '\r' &&
+        !last_append_in_quotes) {
+      field.value.pop_back();
+    }
+    end_field();
+    bool empty_record = record.size() == 1 && !record[0].quoted &&
+                        record[0].value.empty();
+    if (!empty_record) records.push_back(std::move(record));
+    record.clear();
+    record_started = false;
+  };
+
+  for (size_t i = 0; i < text.size(); ++i) {
+    char c = text[i];
     if (in_quotes) {
       if (c == '"') {
-        if (i + 1 < line.size() && line[i + 1] == '"') {
-          current += '"';
+        if (i + 1 < text.size() && text[i + 1] == '"') {
+          field.value += '"';
+          last_append_in_quotes = true;
           ++i;
         } else {
           in_quotes = false;
         }
       } else {
-        current += c;
+        field.value += c;
+        last_append_in_quotes = true;
       }
     } else if (c == '"') {
       in_quotes = true;
+      field.quoted = true;
+      record_started = true;
     } else if (c == delim) {
-      fields.push_back(std::move(current));
-      current.clear();
+      end_field();
+      record_started = true;
+    } else if (c == '\n') {
+      end_record();
     } else {
-      current += c;
+      field.value += c;
+      last_append_in_quotes = false;
+      record_started = true;
     }
   }
-  fields.push_back(std::move(current));
-  return fields;
+  // Final record without a trailing newline.
+  if (record_started) end_record();
+  return records;
 }
 
 std::string QuoteCsvField(const std::string& field, char delim) {
   bool needs_quote = field.find(delim) != std::string::npos ||
                      field.find('"') != std::string::npos ||
-                     field.find('\n') != std::string::npos;
+                     field.find('\n') != std::string::npos ||
+                     field.find('\r') != std::string::npos;
   if (!needs_quote) return field;
   std::string out = "\"";
   for (char c : field) {
@@ -58,29 +108,20 @@ std::string QuoteCsvField(const std::string& field, char delim) {
 
 Result<DataFrame> ReadCsvString(const std::string& text,
                                 const CsvOptions& options) {
-  std::vector<std::string> lines;
-  {
-    std::string line;
-    std::istringstream stream(text);
-    while (std::getline(stream, line)) {
-      if (!line.empty() && line.back() == '\r') line.pop_back();
-      lines.push_back(line);
-    }
-  }
-  if (lines.empty()) {
+  std::vector<CsvRecord> records = SplitCsvRecords(text, options.delimiter);
+  if (records.empty()) {
     return Status::InvalidArgument("CSV input is empty (no header)");
   }
-  std::vector<std::string> header =
-      SplitCsvRecord(lines[0], options.delimiter);
+  std::vector<std::string> header;
+  header.reserve(records[0].size());
+  for (CsvField& f : records[0]) header.push_back(std::move(f.value));
   const size_t ncols = header.size();
-  std::vector<std::vector<std::string>> cells(ncols);
-  for (size_t li = 1; li < lines.size(); ++li) {
-    if (lines[li].empty()) continue;
-    std::vector<std::string> fields =
-        SplitCsvRecord(lines[li], options.delimiter);
+  std::vector<std::vector<CsvField>> cells(ncols);
+  for (size_t ri = 1; ri < records.size(); ++ri) {
+    CsvRecord& fields = records[ri];
     if (fields.size() != ncols) {
       return Status::InvalidArgument(
-          StrFormat("CSV row %zu has %zu fields, expected %zu", li,
+          StrFormat("CSV row %zu has %zu fields, expected %zu", ri,
                     fields.size(), ncols));
     }
     for (size_t c = 0; c < ncols; ++c) {
@@ -95,13 +136,13 @@ Result<DataFrame> ReadCsvString(const std::string& text,
       bool all_int = true;
       bool all_double = true;
       bool any_value = false;
-      for (const std::string& cell : cells[c]) {
-        if (Trim(cell).empty()) continue;  // null
+      for (const CsvField& cell : cells[c]) {
+        if (Trim(cell.value).empty()) continue;  // null
         any_value = true;
         int64_t iv;
         double dv;
-        if (!ParseInt64(cell, &iv)) all_int = false;
-        if (!ParseDouble(cell, &dv)) {
+        if (!ParseInt64(cell.value, &iv)) all_int = false;
+        if (!ParseDouble(cell.value, &dv)) {
           all_double = false;
           break;
         }
@@ -110,8 +151,8 @@ Result<DataFrame> ReadCsvString(const std::string& text,
       else if (any_value && all_double) type = DataType::kDouble;
     }
     Column col = Column::Empty(header[c], type);
-    for (const std::string& cell : cells[c]) {
-      std::string_view trimmed = Trim(cell);
+    for (const CsvField& cell : cells[c]) {
+      std::string_view trimmed = Trim(cell.value);
       if (trimmed.empty() && type != DataType::kString) {
         col.AppendNull();
         continue;
@@ -119,18 +160,25 @@ Result<DataFrame> ReadCsvString(const std::string& text,
       switch (type) {
         case DataType::kInt64: {
           int64_t iv = 0;
-          ARDA_CHECK(ParseInt64(cell, &iv));
+          ARDA_CHECK(ParseInt64(cell.value, &iv));
           col.AppendInt64(iv);
           break;
         }
         case DataType::kDouble: {
           double dv = 0.0;
-          ARDA_CHECK(ParseDouble(cell, &dv));
+          ARDA_CHECK(ParseDouble(cell.value, &dv));
           col.AppendDouble(dv);
           break;
         }
         case DataType::kString:
-          col.AppendString(cell);
+          // A bare empty field is a null; only a quoted empty field
+          // (`""`) is the empty string, matching what WriteCsvString
+          // emits. This keeps the read/write round-trip lossless.
+          if (cell.value.empty() && !cell.quoted) {
+            col.AppendNull();
+          } else {
+            col.AppendString(cell.value);
+          }
           break;
       }
     }
@@ -162,8 +210,12 @@ std::string WriteCsvString(const DataFrame& frame,
     for (size_t c = 0; c < frame.NumCols(); ++c) {
       if (c > 0) out += options.delimiter;
       const Column& col = frame.col(c);
-      if (!col.IsNull(r)) {
-        out += QuoteCsvField(col.ValueToString(r), options.delimiter);
+      if (col.IsNull(r)) continue;  // nulls are bare empty fields
+      std::string value = col.ValueToString(r);
+      if (value.empty()) {
+        out += "\"\"";  // empty string, distinct from null
+      } else {
+        out += QuoteCsvField(value, options.delimiter);
       }
     }
     out += '\n';

@@ -8,11 +8,16 @@ namespace arda::featsel {
 
 std::vector<double> RandomForestRanker::Rank(const ml::Dataset& data,
                                              Rng* rng) const {
+  return RankSeeded(data, rng->NextUint64());
+}
+
+std::vector<double> RandomForestRanker::RankSeeded(const ml::Dataset& data,
+                                                   uint64_t seed) const {
   ml::ForestConfig config;
   config.task = data.task;
   config.num_trees = num_trees_;
   config.max_depth = max_depth_;
-  config.seed = rng->NextUint64();
+  config.seed = seed;
   ml::RandomForest forest(config);
   forest.Fit(data.x, data.y);
   return forest.feature_importances();

@@ -15,6 +15,13 @@ class RandomForestRanker : public FeatureRanker {
   std::string name() const override { return "random_forest"; }
   std::vector<double> Rank(const ml::Dataset& data, Rng* rng) const override;
 
+  /// Rank with an explicit forest seed instead of drawing one from an
+  /// Rng. `Rank(data, rng)` is exactly `RankSeeded(data,
+  /// rng->NextUint64())`; RIFS pre-draws the seed serially so its rounds
+  /// can run on a thread pool without touching a shared stream.
+  std::vector<double> RankSeeded(const ml::Dataset& data,
+                                 uint64_t seed) const;
+
  private:
   size_t num_trees_;
   size_t max_depth_;

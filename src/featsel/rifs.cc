@@ -6,6 +6,7 @@
 #include "featsel/model_rankers.h"
 #include "la/linalg.h"
 #include "util/check.h"
+#include "util/thread_pool.h"
 
 namespace arda::featsel {
 
@@ -100,55 +101,72 @@ RifsResult RunRifs(const ml::Dataset& data, const ml::Evaluator& evaluator,
 
   // Algorithm 1: count rounds where a real feature outranks every
   // injected noise feature under the aggregate ranking.
-  std::vector<double> front_count(d, 0.0);
+  //
+  // Serial pre-pass: draw each round's noise matrix and forest seed from
+  // the caller's stream in exactly the order the serial loop consumed it
+  // (noise, then one NextUint64 for the forest). The expensive ranking
+  // work below then runs on the thread pool with no shared stream, and
+  // the per-round results are reduced in round order — bit-identical
+  // output for any thread count.
+  std::vector<la::Matrix> round_noise;
+  round_noise.reserve(config.num_rounds);
+  std::vector<uint64_t> forest_seeds(config.num_rounds, 0);
   for (size_t round = 0; round < config.num_rounds; ++round) {
-    la::Matrix noise = MakeNoiseFeatures(data, t, config.noise, rng,
-                                         config.permute_moment_noise);
+    round_noise.push_back(MakeNoiseFeatures(data, t, config.noise, rng,
+                                            config.permute_moment_noise));
+    if (use_forest) forest_seeds[round] = rng->NextUint64();
+  }
+
+  // The aggregate is over percentile *ranks*, not raw scores: raw
+  // importances are dominated by the top feature and flatten everything
+  // else near zero, which would make beats-all-noise comparisons among
+  // mid-ranked features meaningless.
+  // Tied scores share their average percentile: sparse rankers drive
+  // many weights to exactly zero, and positional tie-breaking would
+  // systematically rank real zero-weight features above the injected
+  // noise (which sits at the highest indices).
+  auto percentile_ranks = [](const std::vector<double>& scores) {
+    std::vector<size_t> order = DescendingOrder(scores);
+    std::vector<double> ranks(scores.size());
+    const double denom =
+        scores.size() > 1 ? static_cast<double>(scores.size() - 1) : 1.0;
+    size_t pos = 0;
+    while (pos < order.size()) {
+      size_t end = pos;
+      while (end + 1 < order.size() &&
+             scores[order[end + 1]] == scores[order[pos]]) {
+        ++end;
+      }
+      const double mean_rank =
+          1.0 - 0.5 * static_cast<double>(pos + end) / denom;
+      for (size_t k = pos; k <= end; ++k) ranks[order[k]] = mean_rank;
+      pos = end + 1;
+    }
+    return ranks;
+  };
+
+  // Each round writes only its own slot; nothing else is shared mutable.
+  std::vector<std::vector<uint8_t>> round_beats(
+      config.num_rounds, std::vector<uint8_t>(d, 0));
+  ParallelFor(config.num_rounds, config.num_threads, [&](size_t round) {
     ml::Dataset augmented;
     augmented.task = data.task;
     augmented.y = data.y;
-    augmented.x = data.x.HStack(noise);
+    augmented.x = data.x.HStack(round_noise[round]);
     augmented.feature_names = data.feature_names;
     for (size_t j = 0; j < t; ++j) {
       augmented.feature_names.push_back("__rifs_noise");
     }
 
-    // The aggregate is over percentile *ranks*, not raw scores: raw
-    // importances are dominated by the top feature and flatten everything
-    // else near zero, which would make beats-all-noise comparisons among
-    // mid-ranked features meaningless.
-    // Tied scores share their average percentile: sparse rankers drive
-    // many weights to exactly zero, and positional tie-breaking would
-    // systematically rank real zero-weight features above the injected
-    // noise (which sits at the highest indices).
-    auto percentile_ranks = [&](const std::vector<double>& scores) {
-      std::vector<size_t> order = DescendingOrder(scores);
-      std::vector<double> ranks(scores.size());
-      const double denom =
-          scores.size() > 1 ? static_cast<double>(scores.size() - 1) : 1.0;
-      size_t pos = 0;
-      while (pos < order.size()) {
-        size_t end = pos;
-        while (end + 1 < order.size() &&
-               scores[order[end + 1]] == scores[order[pos]]) {
-          ++end;
-        }
-        const double mean_rank =
-            1.0 - 0.5 * static_cast<double>(pos + end) / denom;
-        for (size_t k = pos; k <= end; ++k) ranks[order[k]] = mean_rank;
-        pos = end + 1;
-      }
-      return ranks;
-    };
     std::vector<double> aggregate(d + t, 0.0);
     if (use_forest) {
-      std::vector<double> rf =
-          percentile_ranks(forest_ranker.Rank(augmented, rng));
+      std::vector<double> rf = percentile_ranks(
+          forest_ranker.RankSeeded(augmented, forest_seeds[round]));
       for (size_t j = 0; j < d + t; ++j) aggregate[j] += config.nu * rf[j];
     }
     if (use_sparse) {
       std::vector<double> sr =
-          percentile_ranks(sparse_ranker.Rank(augmented, rng));
+          percentile_ranks(sparse_ranker.Rank(augmented, nullptr));
       for (size_t j = 0; j < d + t; ++j) {
         aggregate[j] += (1.0 - config.nu) * sr[j];
       }
@@ -159,7 +177,15 @@ RifsResult RunRifs(const ml::Dataset& data, const ml::Evaluator& evaluator,
       max_noise = std::max(max_noise, aggregate[j]);
     }
     for (size_t j = 0; j < d; ++j) {
-      if (aggregate[j] > max_noise) front_count[j] += 1.0;
+      if (aggregate[j] > max_noise) round_beats[round][j] = 1;
+    }
+  });
+
+  // Ordered reduction over rounds.
+  std::vector<double> front_count(d, 0.0);
+  for (size_t round = 0; round < config.num_rounds; ++round) {
+    for (size_t j = 0; j < d; ++j) {
+      if (round_beats[round][j]) front_count[j] += 1.0;
     }
   }
 

@@ -46,6 +46,11 @@ struct RifsConfig {
   /// instead of evaluating every threshold.
   bool stop_on_decrease = false;
   NoiseKind noise = NoiseKind::kMomentMatched;
+  /// Threads used to run the per-round ranker ensemble: 0 = hardware
+  /// concurrency, 1 = serial. Noise matrices and forest seeds are
+  /// pre-drawn serially and the beat-all-noise counts are reduced in
+  /// round order, so results are bit-identical for every value.
+  size_t num_threads = 0;
   /// Row-permute each moment-matched noise column after sampling. The
   /// empirical covariance of Algorithm 2 lives in R^(n x n), so with few
   /// input features its samples are linear mixtures of *real* columns —

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "util/check.h"
+#include "util/thread_pool.h"
 
 namespace arda::ml {
 
@@ -33,24 +34,35 @@ void RandomForest::Fit(const la::Matrix& x, const std::vector<double>& y) {
       1, static_cast<size_t>(std::lround(
              config_.bootstrap_fraction * static_cast<double>(x.rows()))));
 
+  // Pre-draw every tree's bootstrap sample and seed serially, in the same
+  // interleaved order the serial loop consumed the stream, so fitting is
+  // embarrassingly parallel yet bit-identical for any thread count.
+  std::vector<std::vector<size_t>> bootstrap_rows(config_.num_trees);
   trees_.reserve(config_.num_trees);
   for (size_t t = 0; t < config_.num_trees; ++t) {
-    std::vector<size_t> rows = rng.SampleWithReplacement(x.rows(), sample_size);
-    la::Matrix xb = x.SelectRows(rows);
-    std::vector<double> yb(rows.size());
-    for (size_t i = 0; i < rows.size(); ++i) yb[i] = y[rows[i]];
-
+    bootstrap_rows[t] = rng.SampleWithReplacement(x.rows(), sample_size);
     TreeConfig tree_config;
     tree_config.task = config_.task;
     tree_config.max_depth = config_.max_depth;
     tree_config.min_samples_leaf = config_.min_samples_leaf;
     tree_config.max_features = max_features;
     tree_config.seed = rng.NextUint64();
-    DecisionTree tree(tree_config);
-    tree.Fit(xb, yb);
+    trees_.emplace_back(tree_config);
+  }
+
+  ParallelFor(config_.num_trees, config_.num_threads, [&](size_t t) {
+    const std::vector<size_t>& rows = bootstrap_rows[t];
+    la::Matrix xb = x.SelectRows(rows);
+    std::vector<double> yb(rows.size());
+    for (size_t i = 0; i < rows.size(); ++i) yb[i] = y[rows[i]];
+    trees_[t].Fit(xb, yb);
+  });
+
+  // Ordered reduction: accumulate importances in tree order, exactly as
+  // the serial loop did.
+  for (const DecisionTree& tree : trees_) {
     const std::vector<double>& imp = tree.feature_importances();
     for (size_t f = 0; f < imp.size(); ++f) importances_[f] += imp[f];
-    trees_.push_back(std::move(tree));
   }
 
   double total = 0.0;
@@ -63,10 +75,15 @@ void RandomForest::Fit(const la::Matrix& x, const std::vector<double>& y) {
 std::vector<double> RandomForest::Predict(const la::Matrix& x) const {
   ARDA_CHECK(!trees_.empty());
   const size_t n = x.rows();
+  // Per-tree predictions land in tree-indexed slots; both reductions below
+  // run in tree order, so results match the serial loop bit for bit.
+  std::vector<std::vector<double>> per_tree(trees_.size());
+  ParallelFor(trees_.size(), config_.num_threads, [&](size_t t) {
+    per_tree[t] = trees_[t].Predict(x);
+  });
   if (config_.task == TaskType::kRegression) {
     std::vector<double> sum(n, 0.0);
-    for (const DecisionTree& tree : trees_) {
-      std::vector<double> pred = tree.Predict(x);
+    for (const std::vector<double>& pred : per_tree) {
       for (size_t i = 0; i < n; ++i) sum[i] += pred[i];
     }
     const double inv = 1.0 / static_cast<double>(trees_.size());
@@ -76,8 +93,7 @@ std::vector<double> RandomForest::Predict(const la::Matrix& x) const {
   // Classification: majority vote.
   std::vector<std::vector<uint32_t>> votes(n,
                                            std::vector<uint32_t>(num_classes_));
-  for (const DecisionTree& tree : trees_) {
-    std::vector<double> pred = tree.Predict(x);
+  for (const std::vector<double>& pred : per_tree) {
     for (size_t i = 0; i < n; ++i) {
       size_t label = static_cast<size_t>(std::lround(pred[i]));
       if (label < num_classes_) ++votes[i][label];

@@ -19,6 +19,11 @@ struct ForestConfig {
   /// Bootstrap sample size as a fraction of n.
   double bootstrap_fraction = 1.0;
   uint64_t seed = 13;
+  /// Threads used to fit/predict trees: 0 = hardware concurrency,
+  /// 1 = serial. Results are bit-identical for every value (bootstrap
+  /// samples and tree seeds are pre-drawn serially; reductions happen in
+  /// tree order).
+  size_t num_threads = 0;
 };
 
 /// Bagged CART ensemble: majority vote for classification, mean for

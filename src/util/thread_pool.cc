@@ -1,0 +1,160 @@
+#include "util/thread_pool.h"
+
+#include <atomic>
+#include <exception>
+#include <memory>
+
+namespace arda {
+
+namespace {
+
+// True while the current thread is executing ParallelFor tasks; nested
+// parallel loops detect this and run inline instead of re-entering the
+// pool (which would deadlock a worker waiting on its own job).
+thread_local bool t_in_parallel_region = false;
+
+}  // namespace
+
+struct ThreadPool::Job {
+  size_t n = 0;
+  size_t max_workers = 0;  // workers allowed to join (caller not counted)
+  const std::function<void(size_t)>* fn = nullptr;
+  std::atomic<size_t> next{0};      // next unclaimed index
+  std::atomic<size_t> joined{0};    // workers that tried to join
+  std::atomic<size_t> inflight{0};  // threads currently inside RunTasks
+  std::atomic<bool> has_error{false};
+  std::exception_ptr error;
+  std::mutex error_mutex;
+};
+
+ThreadPool::ThreadPool(size_t num_workers) {
+  workers_.reserve(num_workers);
+  for (size_t i = 0; i < num_workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  wake_cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::RunTasks(Job* job) {
+  // Participants increment `inflight` before claiming any index, so once
+  // every index is claimed and `inflight` is zero, no fn call is pending
+  // or running.
+  job->inflight.fetch_add(1, std::memory_order_acq_rel);
+  t_in_parallel_region = true;
+  for (;;) {
+    size_t i = job->next.fetch_add(1, std::memory_order_relaxed);
+    if (i >= job->n) break;
+    try {
+      (*job->fn)(i);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(job->error_mutex);
+      if (!job->has_error.exchange(true)) {
+        job->error = std::current_exception();
+      }
+    }
+  }
+  t_in_parallel_region = false;
+  {
+    // Lock before signalling so the caller cannot miss the wakeup between
+    // its predicate check and its wait.
+    std::lock_guard<std::mutex> lock(mutex_);
+    job->inflight.fetch_sub(1, std::memory_order_acq_rel);
+  }
+  done_cv_.notify_all();
+}
+
+void ThreadPool::WorkerLoop() {
+  uint64_t seen = 0;
+  for (;;) {
+    std::shared_ptr<Job> job;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      wake_cv_.wait(lock, [&] { return stop_ || generation_ != seen; });
+      if (stop_) return;
+      seen = generation_;
+      job = job_;
+    }
+    if (job == nullptr) continue;
+    // Cap participation so ParallelFor's max_parallelism is honored even
+    // when the pool has more workers than requested. Late arrivals (after
+    // the range is drained) enter RunTasks and exit immediately.
+    if (job->joined.fetch_add(1, std::memory_order_acq_rel) <
+        job->max_workers) {
+      RunTasks(job.get());
+    }
+  }
+}
+
+void ThreadPool::ParallelFor(size_t n, size_t max_parallelism,
+                             const std::function<void(size_t)>& fn) {
+  if (n == 0) return;
+  size_t parallelism = max_parallelism;
+  if (parallelism > n) parallelism = n;
+  if (parallelism > workers_.size() + 1) parallelism = workers_.size() + 1;
+  if (parallelism <= 1 || t_in_parallel_region) {
+    // Serial path: identical to a plain for loop.
+    for (size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+
+  auto job = std::make_shared<Job>();
+  job->n = n;
+  job->max_workers = parallelism - 1;  // the caller participates too
+  job->fn = &fn;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    job_ = job;
+    ++generation_;
+  }
+  wake_cv_.notify_all();
+
+  RunTasks(job.get());
+
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (job_ == job) job_ = nullptr;  // stop recruiting workers
+    done_cv_.wait(lock, [&] {
+      return job->next.load(std::memory_order_acquire) >= job->n &&
+             job->inflight.load(std::memory_order_acquire) == 0;
+    });
+  }
+  if (job->has_error.load(std::memory_order_acquire)) {
+    std::rethrow_exception(job->error);
+  }
+}
+
+size_t HardwareConcurrency() {
+  unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<size_t>(hw);
+}
+
+size_t ResolveNumThreads(size_t requested) {
+  return requested == 0 ? HardwareConcurrency() : requested;
+}
+
+ThreadPool& GlobalThreadPool() {
+  // Leaked intentionally: worker threads must outlive every static whose
+  // destructor might run a parallel loop during shutdown.
+  static ThreadPool* pool = new ThreadPool(HardwareConcurrency() - 1);
+  return *pool;
+}
+
+void ParallelFor(size_t n, size_t num_threads,
+                 const std::function<void(size_t)>& fn) {
+  size_t threads = ResolveNumThreads(num_threads);
+  if (threads <= 1 || n <= 1 || t_in_parallel_region) {
+    for (size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  GlobalThreadPool().ParallelFor(n, threads, fn);
+}
+
+}  // namespace arda

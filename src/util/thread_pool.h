@@ -1,0 +1,85 @@
+#ifndef ARDA_UTIL_THREAD_POOL_H_
+#define ARDA_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace arda {
+
+/// Fixed-size thread pool for data-parallel loops. There is no work
+/// stealing and no task queue: `ParallelFor` publishes one index range and
+/// the workers (plus the calling thread) claim indices from a shared atomic
+/// counter until the range is exhausted.
+///
+/// Determinism contract: the pool never makes results depend on thread
+/// count or scheduling. Callers must (a) hand every task a pre-forked
+/// `Rng` sub-stream (or no randomness at all), (b) write only to
+/// task-index-owned slots, and (c) reduce those slots in index order after
+/// `ParallelFor` returns. Under that discipline `num_threads == 1` and
+/// `num_threads == N` are bit-identical.
+///
+/// Nested `ParallelFor` calls (a task that itself starts a parallel loop)
+/// run the inner loop inline on the calling thread, so recursive use cannot
+/// deadlock or oversubscribe.
+class ThreadPool {
+ public:
+  /// Spawns `num_workers` worker threads (0 is valid: every ParallelFor
+  /// then runs inline on the caller).
+  explicit ThreadPool(size_t num_workers);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Number of worker threads (excluding callers that join in).
+  size_t num_workers() const { return workers_.size(); }
+
+  /// Runs `fn(i)` for every i in [0, n) and blocks until all calls have
+  /// returned. At most `max_parallelism` threads (including the caller)
+  /// execute tasks. The first exception thrown by `fn` is rethrown on the
+  /// calling thread after the loop drains.
+  void ParallelFor(size_t n, size_t max_parallelism,
+                   const std::function<void(size_t)>& fn);
+
+ private:
+  struct Job;
+
+  void WorkerLoop();
+  void RunTasks(Job* job);
+
+  std::vector<std::thread> workers_;
+  std::mutex mutex_;
+  std::condition_variable wake_cv_;
+  std::condition_variable done_cv_;
+  std::shared_ptr<Job> job_;  // published job; null when idle
+  uint64_t generation_ = 0;
+  bool stop_ = false;
+};
+
+/// Returns max(1, std::thread::hardware_concurrency()).
+size_t HardwareConcurrency();
+
+/// Resolves a `num_threads` knob: 0 means "hardware concurrency", any
+/// other value is taken literally. Always returns >= 1.
+size_t ResolveNumThreads(size_t requested);
+
+/// Process-wide pool shared by all parallel regions, sized so that one
+/// caller plus the workers saturate the hardware. Created on first use.
+ThreadPool& GlobalThreadPool();
+
+/// Runs `fn(i)` for i in [0, n) on the global pool with at most
+/// `ResolveNumThreads(num_threads)` threads. With an effective thread
+/// count of 1 (or n <= 1, or when called from inside another ParallelFor
+/// task) the loop runs inline on the caller — the exact serial code path.
+void ParallelFor(size_t n, size_t num_threads,
+                 const std::function<void(size_t)>& fn);
+
+}  // namespace arda
+
+#endif  // ARDA_UTIL_THREAD_POOL_H_

@@ -1,0 +1,212 @@
+// Determinism contract of the thread-pool parallel regions: for identical
+// seeds, every num_threads value must produce bit-identical results (the
+// pool only distributes work; RNG sub-streams are pre-drawn serially and
+// reductions happen in deterministic order).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/arda.h"
+#include "core/report_io.h"
+#include "data/generators.h"
+#include "dataframe/csv.h"
+#include "featsel/rifs.h"
+#include "ml/evaluator.h"
+#include "ml/random_forest.h"
+#include "util/thread_pool.h"
+
+namespace arda {
+namespace {
+
+TEST(ThreadPoolTest, RunsEveryIndexExactlyOnce) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> counts(257);
+  for (auto& c : counts) c = 0;
+  pool.ParallelFor(counts.size(), 4,
+                   [&](size_t i) { counts[i].fetch_add(1); });
+  for (const auto& c : counts) EXPECT_EQ(c.load(), 1);
+}
+
+TEST(ThreadPoolTest, ZeroTasksIsANoop) {
+  ThreadPool pool(2);
+  pool.ParallelFor(0, 4, [&](size_t) { FAIL() << "must not run"; });
+}
+
+TEST(ThreadPoolTest, SerialParallelismRunsInline) {
+  ThreadPool pool(2);
+  std::thread::id caller = std::this_thread::get_id();
+  pool.ParallelFor(16, 1, [&](size_t) {
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+  });
+}
+
+TEST(ThreadPoolTest, NestedParallelForRunsInlineWithoutDeadlock) {
+  ThreadPool pool(2);
+  std::atomic<int> total{0};
+  pool.ParallelFor(8, 3, [&](size_t) {
+    // The nested loop must run inline on the task's thread.
+    std::thread::id task_thread = std::this_thread::get_id();
+    pool.ParallelFor(8, 3, [&](size_t) {
+      EXPECT_EQ(std::this_thread::get_id(), task_thread);
+      total.fetch_add(1);
+    });
+  });
+  EXPECT_EQ(total.load(), 64);
+}
+
+TEST(ThreadPoolTest, PropagatesFirstException) {
+  ThreadPool pool(2);
+  EXPECT_THROW(pool.ParallelFor(64, 3,
+                                [&](size_t i) {
+                                  if (i == 17) {
+                                    throw std::runtime_error("boom");
+                                  }
+                                }),
+               std::runtime_error);
+}
+
+TEST(ThreadPoolTest, FreeFunctionResolvesThreads) {
+  EXPECT_GE(HardwareConcurrency(), 1u);
+  EXPECT_EQ(ResolveNumThreads(1), 1u);
+  EXPECT_EQ(ResolveNumThreads(5), 5u);
+  EXPECT_EQ(ResolveNumThreads(0), HardwareConcurrency());
+  std::vector<int> hits(100, 0);
+  std::atomic<int> sum{0};
+  ParallelFor(hits.size(), 8, [&](size_t i) {
+    hits[i] += 1;
+    sum.fetch_add(static_cast<int>(i));
+  });
+  for (int h : hits) EXPECT_EQ(h, 1);
+  EXPECT_EQ(sum.load(), 99 * 100 / 2);
+}
+
+ml::Dataset MakeRegressionData(size_t rows, size_t cols, uint64_t seed) {
+  Rng rng(seed);
+  ml::Dataset data;
+  data.task = ml::TaskType::kRegression;
+  data.x = la::Matrix(rows, cols);
+  data.y.resize(rows);
+  for (size_t r = 0; r < rows; ++r) {
+    for (size_t c = 0; c < cols; ++c) data.x(r, c) = rng.Normal();
+    data.y[r] = 2.0 * data.x(r, 0) - data.x(r, 1) + rng.Normal(0.0, 0.1);
+  }
+  for (size_t c = 0; c < cols; ++c) {
+    data.feature_names.push_back("f" + std::to_string(c));
+  }
+  return data;
+}
+
+TEST(ParallelDeterminismTest, RandomForestFitIsThreadCountInvariant) {
+  ml::Dataset data = MakeRegressionData(150, 12, 3);
+  ml::ForestConfig config;
+  config.task = ml::TaskType::kRegression;
+  config.num_trees = 16;
+  config.seed = 99;
+
+  config.num_threads = 1;
+  ml::RandomForest serial(config);
+  serial.Fit(data.x, data.y);
+
+  config.num_threads = 8;
+  ml::RandomForest parallel(config);
+  parallel.Fit(data.x, data.y);
+
+  // Bit-identical: exact equality on doubles is intentional.
+  EXPECT_EQ(serial.feature_importances(), parallel.feature_importances());
+  EXPECT_EQ(serial.Predict(data.x), parallel.Predict(data.x));
+}
+
+TEST(ParallelDeterminismTest, RandomForestClassificationInvariant) {
+  ml::Dataset data = MakeRegressionData(120, 8, 11);
+  for (double& label : data.y) label = label > 0.0 ? 1.0 : 0.0;
+  ml::ForestConfig config;
+  config.task = ml::TaskType::kClassification;
+  config.num_trees = 12;
+  config.seed = 7;
+
+  config.num_threads = 1;
+  ml::RandomForest serial(config);
+  serial.Fit(data.x, data.y);
+  config.num_threads = 8;
+  ml::RandomForest parallel(config);
+  parallel.Fit(data.x, data.y);
+
+  EXPECT_EQ(serial.Predict(data.x), parallel.Predict(data.x));
+  EXPECT_EQ(serial.feature_importances(), parallel.feature_importances());
+}
+
+TEST(ParallelDeterminismTest, RifsIsThreadCountInvariant) {
+  ml::Dataset data = MakeRegressionData(120, 10, 17);
+  ml::Evaluator evaluator(data, 0.25, 5);
+  featsel::RifsConfig config;
+  config.num_rounds = 5;
+
+  config.num_threads = 1;
+  Rng rng_serial(41);
+  featsel::RifsResult serial =
+      featsel::RunRifs(data, evaluator, config, &rng_serial);
+
+  config.num_threads = 8;
+  Rng rng_parallel(41);
+  featsel::RifsResult parallel =
+      featsel::RunRifs(data, evaluator, config, &rng_parallel);
+
+  EXPECT_EQ(serial.selected, parallel.selected);
+  EXPECT_EQ(serial.beat_noise_fraction, parallel.beat_noise_fraction);
+  EXPECT_DOUBLE_EQ(serial.score, parallel.score);
+  EXPECT_DOUBLE_EQ(serial.chosen_threshold, parallel.chosen_threshold);
+  // The two streams must also have advanced identically.
+  EXPECT_EQ(rng_serial.NextUint64(), rng_parallel.NextUint64());
+}
+
+TEST(ParallelDeterminismTest, PipelineIsThreadCountInvariant) {
+  data::Scenario scenario =
+      data::MakePovertyScenario(7, data::ScenarioScale::kSmall);
+
+  auto run = [&](size_t num_threads) {
+    core::ArdaConfig config;
+    config.seed = 21;
+    config.rifs.num_rounds = 4;
+    config.num_threads = num_threads;
+    core::Arda arda(config);
+    Result<core::ArdaReport> report = arda.Run(scenario.MakeTask());
+    EXPECT_TRUE(report.ok());
+    return std::move(report).value();
+  };
+
+  core::ArdaReport serial = run(1);
+  core::ArdaReport parallel = run(8);
+
+  EXPECT_EQ(serial.num_threads, 1u);
+  EXPECT_EQ(parallel.num_threads, 8u);
+  EXPECT_DOUBLE_EQ(serial.base_score, parallel.base_score);
+  EXPECT_DOUBLE_EQ(serial.final_score, parallel.final_score);
+  EXPECT_EQ(serial.tables_joined, parallel.tables_joined);
+  EXPECT_EQ(serial.selected_features, parallel.selected_features);
+  ASSERT_EQ(serial.batches.size(), parallel.batches.size());
+  for (size_t i = 0; i < serial.batches.size(); ++i) {
+    EXPECT_EQ(serial.batches[i].tables, parallel.batches[i].tables);
+    EXPECT_EQ(serial.batches[i].accepted, parallel.batches[i].accepted);
+    EXPECT_DOUBLE_EQ(serial.batches[i].score_after,
+                     parallel.batches[i].score_after);
+  }
+  // The augmented tables must match cell for cell; CSV text equality is
+  // the strictest cheap check.
+  EXPECT_EQ(df::WriteCsvString(serial.augmented),
+            df::WriteCsvString(parallel.augmented));
+}
+
+TEST(ParallelDeterminismTest, ReportJsonCarriesThreadCount) {
+  core::ArdaReport report;
+  report.num_threads = 6;
+  std::string json = core::ReportToJson(report);
+  EXPECT_NE(json.find("\"num_threads\": 6"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace arda

@@ -36,6 +36,9 @@ std::string CliUsage() {
       "  --output=FILE    write the augmented table as CSV\n"
       "  --report-json=F  write a machine-readable run report\n"
       "  --seed=N         random seed (default 42)\n"
+      "  --threads=N      worker threads (0 = hardware concurrency, "
+      "1 = serial;\n"
+      "                   results are identical for every value)\n"
       "  --help           show this message\n";
 }
 
@@ -74,6 +77,13 @@ Result<CliOptions> ParseCliArgs(const std::vector<std::string>& args) {
                                        std::string(v));
       }
       options.seed = static_cast<uint64_t>(seed);
+    } else if (const char* v = value_of("--threads")) {
+      int64_t threads = 0;
+      if (!ParseInt64(v, &threads) || threads < 0) {
+        return Status::InvalidArgument("bad --threads value: " +
+                                       std::string(v));
+      }
+      options.num_threads = static_cast<size_t>(threads);
     } else {
       return Status::InvalidArgument("unknown flag: " + arg);
     }
@@ -93,6 +103,7 @@ Result<CliOptions> ParseCliArgs(const std::vector<std::string>& args) {
 Result<core::ArdaConfig> MakeConfig(const CliOptions& options) {
   core::ArdaConfig config;
   config.seed = options.seed;
+  config.num_threads = options.num_threads;
   config.selector = options.selector;
   if (options.plan == "budget") {
     config.plan = core::JoinPlanKind::kBudget;

@@ -31,13 +31,17 @@ struct CliOptions {
   /// Output path for a machine-readable JSON report ("" = don't write).
   std::string report_json;
   uint64_t seed = 42;
+  /// Threads for the parallel pipeline regions: 0 = hardware concurrency,
+  /// 1 = serial. Results are identical for every value.
+  size_t num_threads = 0;
   bool show_help = false;
 };
 
 /// Parses argv. Recognized flags:
 ///   --data=DIR --base=NAME --target=COL [--task=regression|classification]
 ///   [--selector=NAME] [--plan=budget|table|full]
-///   [--soft-join=2way|nearest|hard] [--output=FILE] [--seed=N] [--help]
+///   [--soft-join=2way|nearest|hard] [--output=FILE] [--seed=N]
+///   [--threads=N] [--help]
 /// Fails with InvalidArgument on unknown flags or missing required ones
 /// (unless --help was given).
 Result<CliOptions> ParseCliArgs(const std::vector<std::string>& args);
