@@ -14,6 +14,8 @@ BenchOptions ParseOptions(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--fast") == 0) {
       options.fast = true;
+    } else if (std::strcmp(argv[i], "--json") == 0) {
+      options.json = true;
     } else if (StartsWith(argv[i], "--seed=")) {
       int64_t seed = 0;
       if (ParseInt64(argv[i] + 7, &seed)) {

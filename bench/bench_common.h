@@ -16,6 +16,9 @@ namespace arda::bench {
 /// laptop scale.
 struct BenchOptions {
   bool fast = false;
+  /// `--json`: emit machine-readable timings instead of the text table
+  /// (consumed by tools/run_bench.sh; see docs/benchmarks.md).
+  bool json = false;
   uint64_t seed = 17;
 
   data::ScenarioScale scale() const {

@@ -1,0 +1,251 @@
+// Hot-path kernel benchmarks: single-thread decision-tree fitting on the
+// Table-6 micro config (digits + 10x injected noise) and composite-key
+// hash-join / group-by row throughput. These are the two kernels every
+// ARDA layer bottoms out in (forest ranking, RIFS, join execution), so
+// their single-thread cost gates the whole pipeline.
+//
+// Timings are emitted either as an aligned table or, with --json, as a
+// machine-readable record that tools/run_bench.sh archives into
+// BENCH_*.json trajectory files (see docs/benchmarks.md).
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "data/generators.h"
+#include "dataframe/aggregate.h"
+#include "join/join_executor.h"
+#include "ml/decision_tree.h"
+#include "ml/random_forest.h"
+#include "util/string_util.h"
+
+namespace arda::bench {
+namespace {
+
+double NowSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+struct KernelResult {
+  std::string name;
+  double seconds = 0.0;        // best-of-N wall time for one repetition
+  double items_per_second = 0.0;
+  uint64_t checksum = 0;       // output fingerprint (guards dead-code elim)
+};
+
+// Runs `fn` (returning a checksum) `reps` times and keeps the best time.
+template <typename Fn>
+KernelResult Measure(const std::string& name, size_t items, size_t reps,
+                     Fn&& fn) {
+  KernelResult result;
+  result.name = name;
+  result.seconds = 1e300;
+  for (size_t i = 0; i < reps; ++i) {
+    double start = NowSeconds();
+    result.checksum = fn();
+    double elapsed = NowSeconds() - start;
+    if (elapsed < result.seconds) result.seconds = elapsed;
+  }
+  if (result.seconds > 0.0) {
+    result.items_per_second = static_cast<double>(items) / result.seconds;
+  }
+  return result;
+}
+
+df::DataFrame MakeJoinTable(size_t rows, size_t key_space, size_t values,
+                            uint64_t seed) {
+  Rng rng(seed);
+  std::vector<int64_t> ids(rows);
+  std::vector<std::string> cities(rows);
+  static const char* kCities[] = {"boston", "cambridge", "somerville",
+                                  "medford", "quincy", "newton",
+                                  "brookline", "waltham"};
+  for (size_t i = 0; i < rows; ++i) {
+    ids[i] = static_cast<int64_t>(rng.UniformUint64(key_space));
+    cities[i] = kCities[rng.UniformUint64(8)];
+  }
+  df::DataFrame table;
+  ARDA_CHECK(table.AddColumn(df::Column::Int64("id", std::move(ids))).ok());
+  ARDA_CHECK(
+      table.AddColumn(df::Column::String("city", std::move(cities))).ok());
+  for (size_t c = 0; c < values; ++c) {
+    std::vector<double> col(rows);
+    for (double& x : col) x = rng.Normal();
+    ARDA_CHECK(
+        table.AddColumn(df::Column::Double("v" + std::to_string(c), col))
+            .ok());
+  }
+  return table;
+}
+
+uint64_t HashFrame(const df::DataFrame& frame) {
+  uint64_t h = 1469598103934665603ULL;
+  for (size_t c = 0; c < frame.NumCols(); ++c) {
+    const df::Column& col = frame.col(c);
+    for (size_t r = 0; r < col.size(); ++r) {
+      std::string v = col.IsNull(r) ? "\x01" : col.ValueToString(r);
+      for (char ch : v) {
+        h ^= static_cast<unsigned char>(ch);
+        h *= 1099511628211ULL;
+      }
+    }
+  }
+  return h;
+}
+
+std::vector<KernelResult> RunAll(const BenchOptions& options, bool smoke) {
+  std::vector<KernelResult> results;
+  const size_t reps = smoke ? 1 : 3;
+
+  // --- Decision-tree fit, Table-6 micro config (digits + noise). ---
+  {
+    double multiplier = smoke ? 2.0 : 10.0;
+    data::MicroBenchmark digits =
+        data::MakeDigitsBenchmark(options.seed, multiplier);
+    ml::TreeConfig config;
+    config.task = ml::TaskType::kClassification;
+    config.seed = options.seed;
+    const size_t cells = digits.data.NumRows() * digits.data.NumFeatures();
+    results.push_back(Measure(
+        "tree_fit_digits", cells, reps, [&]() -> uint64_t {
+          ml::DecisionTree tree(config);
+          tree.Fit(digits.data.x, digits.data.y);
+          return tree.NumNodes();
+        }));
+  }
+
+  // --- Regression tree fit (dense synthetic, all features per node). ---
+  {
+    Rng rng(options.seed ^ 0x51ULL);
+    const size_t rows = smoke ? 500 : 2000;
+    const size_t cols = smoke ? 40 : 120;
+    la::Matrix x(rows, cols);
+    std::vector<double> y(rows);
+    for (size_t r = 0; r < rows; ++r) {
+      for (size_t c = 0; c < cols; ++c) x(r, c) = rng.Normal();
+      y[r] = x(r, 0) - 0.5 * x(r, 1) + rng.Normal(0.0, 0.1);
+    }
+    ml::TreeConfig config;
+    config.task = ml::TaskType::kRegression;
+    config.seed = options.seed;
+    results.push_back(
+        Measure("tree_fit_regression", rows * cols, reps, [&]() -> uint64_t {
+          ml::DecisionTree tree(config);
+          tree.Fit(x, y);
+          return tree.NumNodes();
+        }));
+  }
+
+  // --- Single-thread random-forest fit (sqrt feature sampling). ---
+  {
+    data::MicroBenchmark digits =
+        data::MakeDigitsBenchmark(options.seed, smoke ? 2.0 : 10.0);
+    ml::ForestConfig config;
+    config.task = ml::TaskType::kClassification;
+    config.num_trees = smoke ? 4 : 10;
+    config.num_threads = 1;
+    config.seed = options.seed;
+    const size_t cells = digits.data.NumRows() * digits.data.NumFeatures();
+    results.push_back(Measure(
+        "forest_fit_digits_1thread", cells, reps, [&]() -> uint64_t {
+          ml::RandomForest forest(config);
+          forest.Fit(digits.data.x, digits.data.y);
+          return static_cast<uint64_t>(
+              forest.feature_importances().size());
+        }));
+  }
+
+  // --- Composite-key hash join (int64 + string hard keys). ---
+  {
+    const size_t rows = smoke ? 20000 : 200000;
+    df::DataFrame base = MakeJoinTable(rows, rows / 2, 2, 101);
+    df::DataFrame foreign = MakeJoinTable(rows, rows / 2, 4, 202);
+    discovery::CandidateJoin cand;
+    cand.foreign_table = "f";
+    cand.keys = {
+        discovery::JoinKeyPair{"id", "id", discovery::KeyKind::kHard},
+        discovery::JoinKeyPair{"city", "city", discovery::KeyKind::kHard}};
+    results.push_back(
+        Measure("hash_join_composite", rows, reps, [&]() -> uint64_t {
+          Rng rng(3);
+          auto joined = join::ExecuteLeftJoin(base, foreign, cand, {}, &rng);
+          ARDA_CHECK(joined.ok());
+          return joined.value().NumRows();
+        }));
+  }
+
+  // --- Group-by aggregation on a composite key. ---
+  {
+    const size_t rows = smoke ? 20000 : 200000;
+    df::DataFrame table = MakeJoinTable(rows, rows / 8, 4, 303);
+    results.push_back(
+        Measure("group_by_composite", rows, reps, [&]() -> uint64_t {
+          auto grouped = df::GroupByAggregate(table, {"id", "city"});
+          ARDA_CHECK(grouped.ok());
+          return grouped.value().NumRows();
+        }));
+  }
+
+  // --- End-to-end join + aggregate checksum workload (output hash). ---
+  {
+    const size_t rows = smoke ? 5000 : 40000;
+    df::DataFrame table = MakeJoinTable(rows, rows / 8, 3, 404);
+    results.push_back(
+        Measure("group_by_hash_fingerprint", rows, 1, [&]() -> uint64_t {
+          auto grouped = df::GroupByAggregate(table, {"id", "city"});
+          ARDA_CHECK(grouped.ok());
+          return HashFrame(grouped.value());
+        }));
+  }
+
+  return results;
+}
+
+void PrintJson(const std::vector<KernelResult>& results, uint64_t seed,
+               bool smoke) {
+  std::printf("{\n");
+  std::printf("  \"bench\": \"kernels\",\n");
+  std::printf("  \"seed\": %llu,\n",
+              static_cast<unsigned long long>(seed));
+  std::printf("  \"smoke\": %s,\n", smoke ? "true" : "false");
+  std::printf("  \"results\": [\n");
+  for (size_t i = 0; i < results.size(); ++i) {
+    const KernelResult& r = results[i];
+    std::printf("    {\"name\": \"%s\", \"seconds\": %.6f, "
+                "\"items_per_second\": %.1f, \"checksum\": %llu}%s\n",
+                r.name.c_str(), r.seconds, r.items_per_second,
+                static_cast<unsigned long long>(r.checksum),
+                i + 1 < results.size() ? "," : "");
+  }
+  std::printf("  ]\n}\n");
+}
+
+}  // namespace
+}  // namespace arda::bench
+
+int main(int argc, char** argv) {
+  using namespace arda::bench;
+  BenchOptions options = ParseOptions(argc, argv);
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--smoke") smoke = true;
+  }
+  std::vector<KernelResult> results = RunAll(options, smoke);
+  if (options.json) {
+    PrintJson(results, options.seed, smoke);
+    return 0;
+  }
+  std::printf("=== Hot-path kernel benchmarks ===\n");
+  PrintRow({"kernel", "seconds", "items/s"}, 28);
+  PrintRule(3, 28);
+  for (const KernelResult& r : results) {
+    PrintRow({r.name, arda::StrFormat("%.4fs", r.seconds),
+              arda::StrFormat("%.0f", r.items_per_second)},
+             28);
+  }
+  return 0;
+}

@@ -9,6 +9,8 @@
 
 namespace arda::df {
 
+class KeyEncoder;
+
 /// Aggregation applied to non-key numeric columns during group-by.
 enum class NumericAgg { kMean, kMedian, kSum, kMin, kMax, kFirst };
 
@@ -32,6 +34,14 @@ struct AggregateOptions {
 /// resampling (Section 4 of the paper).
 Result<DataFrame> GroupByAggregate(const DataFrame& frame,
                                    const std::vector<std::string>& keys,
+                                   const AggregateOptions& options = {});
+
+/// As above, but reuses a KeyEncoder already built over `frame[keys]`
+/// (e.g. a join's duplicate-detection pass) instead of re-encoding the
+/// key columns. The encoder must have been built on this exact frame.
+Result<DataFrame> GroupByAggregate(const DataFrame& frame,
+                                   const std::vector<std::string>& keys,
+                                   const KeyEncoder& encoder,
                                    const AggregateOptions& options = {});
 
 }  // namespace arda::df

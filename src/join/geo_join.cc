@@ -2,29 +2,15 @@
 
 #include <algorithm>
 #include <cmath>
-#include <set>
-#include <unordered_map>
 
 #include "dataframe/aggregate.h"
+#include "dataframe/key_encoder.h"
 
 namespace arda::join {
 
 namespace {
 
 constexpr size_t kNoMatch = static_cast<size_t>(-1);
-constexpr char kSep = '\x1f';
-constexpr const char* kNull = "\x1e<null>";
-
-std::string ComposeKey(const df::DataFrame& frame,
-                       const std::vector<std::string>& columns, size_t row) {
-  std::string key;
-  for (const std::string& name : columns) {
-    const df::Column& col = frame.col(name);
-    key += col.IsNull(row) ? kNull : col.ValueToString(row);
-    key += kSep;
-  }
-  return key;
-}
 
 }  // namespace
 
@@ -69,17 +55,9 @@ Result<df::DataFrame> ExecuteGeoLeftJoin(const df::DataFrame& base,
   // Pre-aggregate duplicates on the full key so each coordinate tuple
   // appears once.
   df::DataFrame working = foreign;
-  {
-    std::set<std::string> seen;
-    bool duplicates = false;
-    for (size_t r = 0; r < working.NumRows() && !duplicates; ++r) {
-      duplicates = !seen.insert(ComposeKey(working, foreign_key_cols, r))
-                        .second;
-    }
-    if (duplicates) {
-      ARDA_ASSIGN_OR_RETURN(
-          working, df::GroupByAggregate(working, foreign_key_cols, {}));
-    }
+  if (df::KeyEncoder(working, foreign_key_cols).HasDuplicates()) {
+    ARDA_ASSIGN_OR_RETURN(
+        working, df::GroupByAggregate(working, foreign_key_cols, {}));
   }
 
   // Per-dimension normalization scales from the *base* column ranges.
@@ -96,12 +74,20 @@ Result<df::DataFrame> ExecuteGeoLeftJoin(const df::DataFrame& base,
     }
   }
 
-  // Partition foreign rows by the hard key part; store coordinates.
+  // Partition foreign rows by the interned hard key part; store
+  // coordinates. With no hard keys every row lands in one partition.
+  df::KeyEncoder::Options key_opts;
+  std::vector<size_t> hard_base_idx;
+  for (size_t k = 0; k < hard_base_cols.size(); ++k) {
+    hard_base_idx.push_back(base.ColumnIndex(hard_base_cols[k]));
+    key_opts.probe_types.push_back(base.col(hard_base_cols[k]).type());
+  }
+  df::KeyEncoder index(working, hard_foreign_cols, key_opts);
   struct Point {
     std::vector<double> coords;
     size_t row;
   };
-  std::unordered_map<std::string, std::vector<Point>> partitions;
+  std::vector<std::vector<Point>> partitions(index.num_groups());
   for (size_t r = 0; r < working.NumRows(); ++r) {
     Point point;
     point.row = r;
@@ -116,8 +102,7 @@ Result<df::DataFrame> ExecuteGeoLeftJoin(const df::DataFrame& base,
       point.coords[d] = col.NumericAt(r) * scale[d];
     }
     if (any_null) continue;
-    partitions[ComposeKey(working, hard_foreign_cols, r)].push_back(
-        std::move(point));
+    partitions[index.GroupOf(r)].push_back(std::move(point));
   }
 
   // Nearest-neighbour match per base row (linear scan per partition).
@@ -141,11 +126,11 @@ Result<df::DataFrame> ExecuteGeoLeftJoin(const df::DataFrame& base,
       }
     }
     if (any_null) continue;
-    auto it = partitions.find(ComposeKey(base, hard_base_cols, r));
-    if (it == partitions.end()) continue;
+    uint64_t gid = index.Probe(base, hard_base_idx, r);
+    if (gid == df::KeyEncoder::kMiss) continue;
     double best_dist_sq = 1e300;
     size_t best_row = kNoMatch;
-    for (const Point& point : it->second) {
+    for (const Point& point : partitions[gid]) {
       double dist_sq = 0.0;
       for (size_t d = 0; d < dims; ++d) {
         double diff = query[d] - point.coords[d];

@@ -2,19 +2,16 @@
 
 #include <algorithm>
 #include <cmath>
-#include <set>
-#include <unordered_map>
+#include <optional>
 
+#include "dataframe/key_encoder.h"
 #include "join/resample.h"
-#include "util/string_util.h"
 
 namespace arda::join {
 
 namespace {
 
 constexpr size_t kNoMatch = static_cast<size_t>(-1);
-constexpr char kSep = '\x1f';
-constexpr const char* kNull = "\x1e<null>";
 
 // Per-base-row match result. For two-way joins `high`/`lambda` describe
 // the interpolation partner: value = lambda * row(low) + (1-lambda) *
@@ -25,25 +22,6 @@ struct Match {
   double lambda = 1.0;
 };
 
-std::string ComposeKey(const df::DataFrame& frame,
-                       const std::vector<std::string>& columns, size_t row) {
-  std::string key;
-  for (const std::string& name : columns) {
-    const df::Column& col = frame.col(name);
-    key += col.IsNull(row) ? kNull : col.ValueToString(row);
-    key += kSep;
-  }
-  return key;
-}
-
-bool HasDuplicateKeys(const df::DataFrame& frame,
-                      const std::vector<std::string>& columns) {
-  std::set<std::string> seen;
-  for (size_t r = 0; r < frame.NumRows(); ++r) {
-    if (!seen.insert(ComposeKey(frame, columns, r)).second) return true;
-  }
-  return false;
-}
 
 // Nearest / two-way nearest matching within one sorted partition of
 // (key value, foreign row) pairs.
@@ -198,47 +176,52 @@ Result<df::DataFrame> ExecuteLeftJoin(const df::DataFrame& base,
     hard_base_cols.push_back(key.base_column);
   }
 
+  // Interned hard keys: the foreign side's key tuples are
+  // dictionary-encoded once, and base rows probe the dictionaries with no
+  // per-row string composition. Bucketing for time-resampled hard joins
+  // applies on the probe side only, exactly like the old per-row bucketed
+  // key composition.
+  std::vector<size_t> hard_base_idx;
+  df::KeyEncoder::Options key_opts;
+  for (const discovery::JoinKeyPair& hk : hard_keys) {
+    const df::Column& col = base.col(hk.base_column);
+    hard_base_idx.push_back(base.ColumnIndex(hk.base_column));
+    key_opts.probe_types.push_back(col.type());
+    key_opts.probe_granularity.push_back(
+        bucket_granularity > 0.0 &&
+                hk.kind == discovery::KeyKind::kSoft && col.IsNumeric()
+            ? bucket_granularity
+            : 0.0);
+  }
+
   // One-to-many handling: pre-aggregate so each key combination appears
   // exactly once. Soft joins always aggregate (interpolation needs a
-  // unique row per key value).
-  if (soft_key != nullptr || HasDuplicateKeys(working, foreign_key_cols)) {
+  // unique row per key value); hard joins aggregate only when the foreign
+  // key tuples repeat, which the first index build detects for free (with
+  // no soft key, foreign_key_cols and hard_foreign_cols coincide).
+  std::optional<df::KeyEncoder> index;
+  if (soft_key == nullptr) {
+    index.emplace(working, hard_foreign_cols, key_opts);
+    if (index->HasDuplicates()) {
+      ARDA_ASSIGN_OR_RETURN(
+          working, df::GroupByAggregate(working, foreign_key_cols, *index,
+                                        options.aggregate));
+      index.emplace(working, hard_foreign_cols, key_opts);
+    }
+  } else {
     ARDA_ASSIGN_OR_RETURN(working,
                           df::GroupByAggregate(working, foreign_key_cols,
                                                options.aggregate));
+    index.emplace(working, hard_foreign_cols, key_opts);
   }
 
   const size_t n = base.NumRows();
   std::vector<Match> matches(n);
 
-  auto hard_base_key = [&](size_t row) {
-    if (bucket_granularity <= 0.0) {
-      return ComposeKey(base, hard_base_cols, row);
-    }
-    // Bucket numeric soft-kind values to the resample granularity.
-    std::string key;
-    for (const discovery::JoinKeyPair& hk : hard_keys) {
-      const df::Column& col = base.col(hk.base_column);
-      if (col.IsNull(row)) {
-        key += kNull;
-      } else if (hk.kind == discovery::KeyKind::kSoft && col.IsNumeric()) {
-        double v = std::floor(col.NumericAt(row) / bucket_granularity) *
-                   bucket_granularity;
-        key += StrFormat("%.10g", v);
-      } else {
-        key += col.ValueToString(row);
-      }
-      key += kSep;
-    }
-    return key;
-  };
-
   if (soft_key == nullptr) {
-    // Pure hash join on the composite hard key.
-    std::unordered_map<std::string, size_t> index;
-    index.reserve(working.NumRows() * 2);
-    for (size_t r = 0; r < working.NumRows(); ++r) {
-      index.emplace(ComposeKey(working, hard_foreign_cols, r), r);
-    }
+    // Pure hash join on the interned composite hard key; the first
+    // foreign row of each key group wins, matching the old
+    // emplace-keeps-first index.
     for (size_t r = 0; r < n; ++r) {
       bool any_null = false;
       for (const std::string& name : hard_base_cols) {
@@ -248,21 +231,22 @@ Result<df::DataFrame> ExecuteLeftJoin(const df::DataFrame& base,
         }
       }
       if (any_null) continue;
-      auto it = index.find(hard_base_key(r));
-      if (it != index.end()) matches[r].low = it->second;
+      uint64_t gid = index->Probe(base, hard_base_idx, r);
+      if (gid != df::KeyEncoder::kMiss) {
+        matches[r].low = index->group_first_row()[gid];
+      }
     }
   } else {
     // Partition the foreign table by the hard part of the key, sort each
     // partition by the soft key, then match per base row.
-    std::unordered_map<std::string, std::vector<std::pair<double, size_t>>>
-        partitions;
+    std::vector<std::vector<std::pair<double, size_t>>> partitions(
+        index->num_groups());
     const df::Column& fsoft = working.col(soft_key->foreign_column);
     for (size_t r = 0; r < working.NumRows(); ++r) {
       if (fsoft.IsNull(r)) continue;
-      partitions[ComposeKey(working, hard_foreign_cols, r)].emplace_back(
-          fsoft.NumericAt(r), r);
+      partitions[index->GroupOf(r)].emplace_back(fsoft.NumericAt(r), r);
     }
-    for (auto& [key, rows] : partitions) {
+    for (auto& rows : partitions) {
       std::sort(rows.begin(), rows.end());
     }
     const df::Column& bsoft = base.col(soft_key->base_column);
@@ -276,9 +260,9 @@ Result<df::DataFrame> ExecuteLeftJoin(const df::DataFrame& base,
         }
       }
       if (any_null) continue;
-      auto it = partitions.find(ComposeKey(base, hard_base_cols, r));
-      if (it == partitions.end()) continue;
-      matches[r] = MatchSoft(it->second, bsoft.NumericAt(r),
+      uint64_t gid = index->Probe(base, hard_base_idx, r);
+      if (gid == df::KeyEncoder::kMiss || partitions[gid].empty()) continue;
+      matches[r] = MatchSoft(partitions[gid], bsoft.NumericAt(r),
                              options.soft_method, options.soft_tolerance);
     }
   }

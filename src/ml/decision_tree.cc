@@ -2,12 +2,57 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
+#include <cstring>
 
 #include "util/check.h"
 
 namespace arda::ml {
 
 namespace {
+
+// Monotone bijection from double to uint64_t: a < b (as doubles) iff
+// OrderedBits(a) < OrderedBits(b), except that -0.0 orders before +0.0
+// where operator< calls them equal. The threshold scan never distinguishes
+// the two (equal values merge into one run), so the scan output is
+// unaffected by that tie order.
+uint64_t OrderedBits(double d) {
+  uint64_t b;
+  std::memcpy(&b, &d, sizeof(b));
+  return (b & 0x8000000000000000ull) ? ~b : (b | 0x8000000000000000ull);
+}
+
+// Stable LSD radix sort by key; within equal keys the input order is kept,
+// so (OrderedBits(value), row) pairs built in ascending row order come out
+// exactly like std::sort over (value, row). Digits whose byte is constant
+// across all keys (the common case for exponent bytes) are skipped.
+void RadixSortByKey(std::vector<std::pair<uint64_t, uint32_t>>* a,
+                    std::vector<std::pair<uint64_t, uint32_t>>* tmp) {
+  const size_t n = a->size();
+  if (n < 2) return;
+  tmp->resize(n);
+  size_t hist[8][256] = {};
+  for (const auto& kv : *a) {
+    for (size_t d = 0; d < 8; ++d) ++hist[d][(kv.first >> (8 * d)) & 0xFF];
+  }
+  auto* src = a;
+  auto* dst = tmp;
+  for (size_t d = 0; d < 8; ++d) {
+    const size_t* h = hist[d];
+    if (h[(src->front().first >> (8 * d)) & 0xFF] == n) continue;
+    size_t pos[256];
+    size_t sum = 0;
+    for (size_t b = 0; b < 256; ++b) {
+      pos[b] = sum;
+      sum += h[b];
+    }
+    for (const auto& kv : *src) {
+      (*dst)[pos[(kv.first >> (8 * d)) & 0xFF]++] = kv;
+    }
+    std::swap(src, dst);
+  }
+  if (src != a) a->swap(*tmp);
+}
 
 // Counts per integer class label; labels are assumed in [0, num_classes).
 size_t NumClassesIn(const std::vector<double>& y) {
@@ -33,14 +78,180 @@ void DecisionTree::Fit(const la::Matrix& x, const std::vector<double>& y) {
   nodes_.clear();
   num_features_ = x.cols();
   importances_.assign(num_features_, 0.0);
-  std::vector<size_t> indices(x.rows());
+  const size_t n = x.rows();
+  num_rows_ = n;
+  ARDA_CHECK_LT(n, static_cast<size_t>(UINT32_MAX));
+
+  // Column-major working copy: every split-search access from here on
+  // touches one contiguous feature column.
+  columns_.resize(num_features_ * n);
+  constexpr size_t kTile = 64;  // bounds live write streams during transpose
+  for (size_t f0 = 0; f0 < num_features_; f0 += kTile) {
+    const size_t f1 = std::min(num_features_, f0 + kTile);
+    for (size_t r = 0; r < n; ++r) {
+      const double* row = x.RowPtr(r);
+      for (size_t f = f0; f < f1; ++f) columns_[f * n + r] = row[f];
+    }
+  }
+
+  num_classes_ =
+      config_.task == TaskType::kClassification ? NumClassesIn(y) : 0;
+  if (num_classes_ > 0) {
+    class_counts_.resize(num_classes_);
+    left_counts_.resize(num_classes_);
+    labels_.resize(n);
+    for (size_t i = 0; i < n; ++i) {
+      labels_[i] = static_cast<uint32_t>(std::lround(y[i]));
+    }
+    labs_.resize(n);
+  }
+  vals_.resize(n);
+  ys_.resize(n);
+
+  // Pre-sorting every feature pays off exactly when every feature is a
+  // split candidate at every node; with per-node feature subsampling the
+  // O(F n log n) sort would outweigh the scan savings on the sampled
+  // sqrt(F) features, so that case keeps the per-node sort.
+  presorted_ =
+      config_.max_features == 0 || config_.max_features >= num_features_;
+  if (presorted_) {
+    feat_order_.resize(num_features_ * n);
+    if (num_classes_ > 0) {
+      // Class counts are additive, so the scan result does not depend on
+      // the order of rows within an equal-value run; (value, row) is
+      // enough and a stable radix sort on the order-preserving bit pattern
+      // reproduces it without comparisons.
+      std::vector<std::pair<uint64_t, uint32_t>> keys(n), radix_tmp;
+      for (size_t f = 0; f < num_features_; ++f) {
+        const double* col = columns_.data() + f * n;
+        for (size_t i = 0; i < n; ++i) {
+          keys[i] = {OrderedBits(col[i]), static_cast<uint32_t>(i)};
+        }
+        RadixSortByKey(&keys, &radix_tmp);
+        uint32_t* slice = feat_order_.data() + f * n;
+        for (size_t i = 0; i < n; ++i) slice[i] = keys[i].second;
+      }
+    } else {
+      // Regression sums targets in scan order, so ties must be ordered by
+      // target to reproduce the (value, y) pair sort of the per-node mode
+      // bit for bit; the row id makes the permutation unique.
+      struct SortKey {
+        double v;
+        double y;
+        uint32_t row;
+      };
+      std::vector<SortKey> keys(n);
+      for (size_t f = 0; f < num_features_; ++f) {
+        const double* col = columns_.data() + f * n;
+        for (size_t i = 0; i < n; ++i) {
+          keys[i] = {col[i], y[i], static_cast<uint32_t>(i)};
+        }
+        std::sort(keys.begin(), keys.end(),
+                  [](const SortKey& a, const SortKey& b) {
+                    if (a.v != b.v) return a.v < b.v;
+                    if (a.y != b.y) return a.y < b.y;
+                    return a.row < b.row;
+                  });
+        uint32_t* slice = feat_order_.data() + f * n;
+        for (size_t i = 0; i < n; ++i) slice[i] = keys[i].row;
+      }
+    }
+    part_tmp_.resize(n);
+    left_mask_.assign(n, 0);
+  }
+
+  std::vector<size_t> indices(n);
   for (size_t i = 0; i < indices.size(); ++i) indices[i] = i;
   Rng rng(config_.seed);
   BuildNode(x, y, &indices, 0, indices.size(), 0, &rng);
+
+  // Release fit-time scratch.
+  columns_ = {};
+  labels_ = {};
+  feat_order_ = {};
+  part_tmp_ = {};
+  left_mask_ = {};
+  vals_ = {};
+  ys_ = {};
+  labs_ = {};
+  class_counts_ = {};
+  left_counts_ = {};
+  sort_buf_ = {};
+
   double total = 0.0;
   for (double v : importances_) total += v;
   if (total > 0.0) {
     for (double& v : importances_) v /= total;
+  }
+}
+
+void DecisionTree::ScanThresholds(size_t count, size_t feature,
+                                  double node_impurity,
+                                  const double* class_counts,
+                                  double* best_gain, size_t* best_feature,
+                                  double* best_threshold) {
+  const double* vals = vals_.data();
+  if (num_classes_ > 0) {
+    const uint32_t* labs = labs_.data();
+    std::fill(left_counts_.begin(), left_counts_.end(), 0.0);
+    double* left_counts = left_counts_.data();
+    double left_n = 0.0;
+    for (size_t i = 0; i + 1 < count; ++i) {
+      left_counts[labs[i]] += 1.0;
+      left_n += 1.0;
+      if (vals[i] == vals[i + 1]) continue;
+      const double right_n = static_cast<double>(count) - left_n;
+      if (left_n < config_.min_samples_leaf ||
+          right_n < config_.min_samples_leaf) {
+        continue;
+      }
+      // One fused pass over the class histograms; accumulation order per
+      // sum matches the separate left/right loops exactly.
+      double left_sq = 0.0, right_sq = 0.0;
+      for (size_t c = 0; c < num_classes_; ++c) {
+        double lc = left_counts[c];
+        double rc = class_counts[c] - lc;
+        left_sq += lc * lc;
+        right_sq += rc * rc;
+      }
+      double left_imp = left_n - left_sq / left_n;
+      double right_imp = right_n - right_sq / right_n;
+      double gain = node_impurity - left_imp - right_imp;
+      if (gain > *best_gain) {
+        *best_gain = gain;
+        *best_feature = feature;
+        *best_threshold = 0.5 * (vals[i] + vals[i + 1]);
+      }
+    }
+  } else {
+    const double* ys = ys_.data();
+    double total_sum = 0.0, total_sq = 0.0;
+    for (size_t i = 0; i < count; ++i) {
+      total_sum += ys[i];
+      total_sq += ys[i] * ys[i];
+    }
+    double left_sum = 0.0, left_sq = 0.0, left_n = 0.0;
+    for (size_t i = 0; i + 1 < count; ++i) {
+      left_sum += ys[i];
+      left_sq += ys[i] * ys[i];
+      left_n += 1.0;
+      if (vals[i] == vals[i + 1]) continue;
+      const double right_n = static_cast<double>(count) - left_n;
+      if (left_n < config_.min_samples_leaf ||
+          right_n < config_.min_samples_leaf) {
+        continue;
+      }
+      double left_sse = left_sq - left_sum * left_sum / left_n;
+      double right_sum = total_sum - left_sum;
+      double right_sse =
+          (total_sq - left_sq) - right_sum * right_sum / right_n;
+      double gain = node_impurity - left_sse - right_sse;
+      if (gain > *best_gain) {
+        *best_gain = gain;
+        *best_feature = feature;
+        *best_threshold = 0.5 * (vals[i] + vals[i + 1]);
+      }
+    }
   }
 }
 
@@ -52,22 +263,21 @@ int DecisionTree::BuildNode(const la::Matrix& x, const std::vector<double>& y,
   const int node_id = static_cast<int>(nodes_.size());
   nodes_.emplace_back();
 
-  const bool classification = config_.task == TaskType::kClassification;
-  const size_t num_classes = classification ? NumClassesIn(y) : 0;
+  const bool classification = num_classes_ > 0;
+  const size_t n = num_rows_;
 
   // Node statistics: impurity (scaled by count) and the leaf prediction.
   double node_impurity = 0.0;
   double leaf_value = 0.0;
-  std::vector<double> class_counts;
   if (classification) {
-    class_counts.assign(num_classes, 0.0);
+    std::fill(class_counts_.begin(), class_counts_.end(), 0.0);
     for (size_t i = begin; i < end; ++i) {
-      class_counts[static_cast<size_t>(std::lround(y[(*indices)[i]]))] += 1.0;
+      class_counts_[labels_[(*indices)[i]]] += 1.0;
     }
-    node_impurity = GiniTimesCount(class_counts, static_cast<double>(count));
+    node_impurity = GiniTimesCount(class_counts_, static_cast<double>(count));
     size_t best_class = 0;
-    for (size_t c = 1; c < num_classes; ++c) {
-      if (class_counts[c] > class_counts[best_class]) best_class = c;
+    for (size_t c = 1; c < num_classes_; ++c) {
+      if (class_counts_[c] > class_counts_[best_class]) best_class = c;
     }
     leaf_value = static_cast<double>(best_class);
   } else {
@@ -88,88 +298,87 @@ int DecisionTree::BuildNode(const la::Matrix& x, const std::vector<double>& y,
     return node_id;
   }
 
-  // Feature subset for this node.
-  std::vector<size_t> features;
-  if (config_.max_features == 0 || config_.max_features >= num_features_) {
-    features.resize(num_features_);
-    for (size_t f = 0; f < num_features_; ++f) features[f] = f;
-  } else {
-    features = rng->SampleWithoutReplacement(num_features_,
-                                             config_.max_features);
+  // Feature subset for this node (pre-sorted mode always scans all).
+  std::vector<size_t> sampled;
+  if (!presorted_) {
+    sampled = rng->SampleWithoutReplacement(num_features_,
+                                            config_.max_features);
   }
 
-  // Best split search.
+  // Best split search over contiguous (value, target) runs per feature.
   double best_gain = config_.min_impurity_decrease;
   size_t best_feature = 0;
   double best_threshold = 0.0;
-  std::vector<std::pair<double, double>> sorted(count);  // (value, y)
-  std::vector<double> left_counts;
-  for (size_t f : features) {
-    for (size_t i = 0; i < count; ++i) {
-      size_t row = (*indices)[begin + i];
-      sorted[i] = {x(row, f), y[row]};
-    }
-    std::sort(sorted.begin(), sorted.end());
-    if (sorted.front().first == sorted.back().first) continue;  // constant
-
-    if (classification) {
-      left_counts.assign(num_classes, 0.0);
-      double left_n = 0.0;
-      for (size_t i = 0; i + 1 < count; ++i) {
-        left_counts[static_cast<size_t>(std::lround(sorted[i].second))] += 1.0;
-        left_n += 1.0;
-        if (sorted[i].first == sorted[i + 1].first) continue;
-        const double right_n = static_cast<double>(count) - left_n;
-        if (left_n < config_.min_samples_leaf ||
-            right_n < config_.min_samples_leaf) {
-          continue;
-        }
-        double left_imp = GiniTimesCount(left_counts, left_n);
-        double right_imp = 0.0;
-        {
-          double sum_sq = 0.0;
-          for (size_t c = 0; c < num_classes; ++c) {
-            double rc = class_counts[c] - left_counts[c];
-            sum_sq += rc * rc;
+  const size_t num_candidates = presorted_ ? num_features_ : sampled.size();
+  for (size_t fi = 0; fi < num_candidates; ++fi) {
+    const size_t f = presorted_ ? fi : sampled[fi];
+    const double* col = columns_.data() + f * n;
+    if (presorted_) {
+      const uint32_t* slice = feat_order_.data() + f * n + begin;
+      if (col[slice[0]] == col[slice[count - 1]]) continue;  // constant
+      if (classification) {
+        // Fused gather + threshold scan: each sorted row is touched once
+        // instead of being staged through vals_/labs_. The arithmetic is
+        // the same as ScanThresholds' classification branch.
+        std::fill(left_counts_.begin(), left_counts_.end(), 0.0);
+        double* left_counts = left_counts_.data();
+        const double* class_counts = class_counts_.data();
+        double left_n = 0.0;
+        double v = col[slice[0]];
+        for (size_t i = 0; i + 1 < count; ++i) {
+          const double v_next = col[slice[i + 1]];
+          left_counts[labels_[slice[i]]] += 1.0;
+          left_n += 1.0;
+          if (v != v_next) {
+            const double right_n = static_cast<double>(count) - left_n;
+            if (left_n >= config_.min_samples_leaf &&
+                right_n >= config_.min_samples_leaf) {
+              double left_sq = 0.0, right_sq = 0.0;
+              for (size_t c = 0; c < num_classes_; ++c) {
+                double lc = left_counts[c];
+                double rc = class_counts[c] - lc;
+                left_sq += lc * lc;
+                right_sq += rc * rc;
+              }
+              double left_imp = left_n - left_sq / left_n;
+              double right_imp = right_n - right_sq / right_n;
+              double gain = node_impurity - left_imp - right_imp;
+              if (gain > best_gain) {
+                best_gain = gain;
+                best_feature = f;
+                best_threshold = 0.5 * (v + v_next);
+              }
+            }
           }
-          right_imp = right_n - sum_sq / right_n;
+          v = v_next;
         }
-        double gain = node_impurity - left_imp - right_imp;
-        if (gain > best_gain) {
-          best_gain = gain;
-          best_feature = f;
-          best_threshold = 0.5 * (sorted[i].first + sorted[i + 1].first);
+        continue;
+      } else {
+        for (size_t i = 0; i < count; ++i) {
+          uint32_t row = slice[i];
+          vals_[i] = col[row];
+          ys_[i] = y[row];
         }
       }
     } else {
-      double total_sum = 0.0, total_sq = 0.0;
-      for (const auto& [value, target] : sorted) {
-        total_sum += target;
-        total_sq += target * target;
+      sort_buf_.resize(count);
+      for (size_t i = 0; i < count; ++i) {
+        size_t row = (*indices)[begin + i];
+        sort_buf_[i] = {col[row], y[row]};
       }
-      double left_sum = 0.0, left_sq = 0.0, left_n = 0.0;
-      for (size_t i = 0; i + 1 < count; ++i) {
-        left_sum += sorted[i].second;
-        left_sq += sorted[i].second * sorted[i].second;
-        left_n += 1.0;
-        if (sorted[i].first == sorted[i + 1].first) continue;
-        const double right_n = static_cast<double>(count) - left_n;
-        if (left_n < config_.min_samples_leaf ||
-            right_n < config_.min_samples_leaf) {
-          continue;
-        }
-        double left_sse = left_sq - left_sum * left_sum / left_n;
-        double right_sum = total_sum - left_sum;
-        double right_sse =
-            (total_sq - left_sq) - right_sum * right_sum / right_n;
-        double gain = node_impurity - left_sse - right_sse;
-        if (gain > best_gain) {
-          best_gain = gain;
-          best_feature = f;
-          best_threshold = 0.5 * (sorted[i].first + sorted[i + 1].first);
+      std::sort(sort_buf_.begin(), sort_buf_.end());
+      if (sort_buf_.front().first == sort_buf_.back().first) continue;
+      for (size_t i = 0; i < count; ++i) {
+        vals_[i] = sort_buf_[i].first;
+        if (classification) {
+          labs_[i] = static_cast<uint32_t>(std::lround(sort_buf_[i].second));
+        } else {
+          ys_[i] = sort_buf_[i].second;
         }
       }
     }
+    ScanThresholds(count, f, node_impurity, class_counts_.data(), &best_gain,
+                   &best_feature, &best_threshold);
   }
 
   if (best_gain <= config_.min_impurity_decrease) {
@@ -177,13 +386,39 @@ int DecisionTree::BuildNode(const la::Matrix& x, const std::vector<double>& y,
   }
 
   // Partition index range by the chosen split.
+  const double* best_col = columns_.data() + best_feature * n;
   auto middle = std::partition(
       indices->begin() + static_cast<ptrdiff_t>(begin),
       indices->begin() + static_cast<ptrdiff_t>(end),
-      [&](size_t row) { return x(row, best_feature) <= best_threshold; });
+      [&](size_t row) { return best_col[row] <= best_threshold; });
   size_t mid = static_cast<size_t>(middle - indices->begin());
   if (mid == begin || mid == end) {
     return node_id;  // numerically degenerate split
+  }
+
+  if (presorted_) {
+    // Stable-partition every feature's slice so both children stay sorted.
+    for (size_t i = begin; i < mid; ++i) left_mask_[(*indices)[i]] = 1;
+    for (size_t i = mid; i < end; ++i) left_mask_[(*indices)[i]] = 0;
+    for (size_t f = 0; f < num_features_; ++f) {
+      uint32_t* slice = feat_order_.data() + f * n;
+      size_t out = begin;
+      size_t spilled = 0;
+      for (size_t i = begin; i < end; ++i) {
+        // Branchless split: both stores always happen; `out <= i` so the
+        // left store never clobbers an unread element, and the right copy
+        // at a stale part_tmp_ slot is overwritten or never read.
+        uint32_t row = slice[i];
+        size_t is_left = left_mask_[row];
+        slice[out] = row;
+        part_tmp_[spilled] = row;
+        out += is_left;
+        spilled += 1 - is_left;
+      }
+      std::copy(part_tmp_.begin(),
+                part_tmp_.begin() + static_cast<ptrdiff_t>(spilled),
+                slice + out);
+    }
   }
 
   importances_[best_feature] += best_gain;
@@ -195,6 +430,19 @@ int DecisionTree::BuildNode(const la::Matrix& x, const std::vector<double>& y,
   nodes_[node_id].left = left;
   nodes_[node_id].right = right;
   return node_id;
+}
+
+std::string DecisionTree::Serialize() const {
+  std::string out;
+  char line[160];
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    const Node& nd = nodes_[i];
+    std::snprintf(line, sizeof(line), "%zu %d %zu %a %a %d %d\n", i,
+                  nd.is_leaf ? 1 : 0, nd.feature, nd.threshold, nd.value,
+                  nd.left, nd.right);
+    out += line;
+  }
+  return out;
 }
 
 std::vector<double> DecisionTree::Predict(const la::Matrix& x) const {

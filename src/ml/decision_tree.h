@@ -1,6 +1,8 @@
 #ifndef ARDA_ML_DECISION_TREE_H_
 #define ARDA_ML_DECISION_TREE_H_
 
+#include <cstdint>
+#include <string>
 #include <vector>
 
 #include "ml/model.h"
@@ -26,6 +28,15 @@ struct TreeConfig {
 /// classification. Supports per-node feature subsampling and exposes
 /// impurity-based feature importances (both needed by the random forest
 /// and the RIFS ranking ensemble).
+///
+/// Split search runs in one of two modes with bit-identical results (see
+/// DESIGN.md "Columnar split search"):
+///  - pre-sorted (every feature is a candidate at every node, the single
+///    tree / gradient-boosting case): each feature's rows are sorted once
+///    per tree, and every node scans its contiguous slice of the sorted
+///    index in O(n) after an O(n) stable partition per split;
+///  - per-node sort (random-forest feature subsampling): the classic
+///    gather-and-sort over only the sampled features.
 class DecisionTree : public Model {
  public:
   explicit DecisionTree(const TreeConfig& config);
@@ -42,6 +53,12 @@ class DecisionTree : public Model {
   /// Number of nodes in the fitted tree.
   size_t NumNodes() const { return nodes_.size(); }
 
+  /// Exact textual serialization of the fitted tree, one node per line:
+  /// `id leaf feature threshold value left right` with doubles rendered as
+  /// hexfloats. Two trees serialize identically iff they are bit-identical
+  /// (the golden-output regression tests rely on this).
+  std::string Serialize() const;
+
  private:
   struct Node {
     bool is_leaf = true;
@@ -56,10 +73,39 @@ class DecisionTree : public Model {
                 std::vector<size_t>* indices, size_t begin, size_t end,
                 size_t depth, Rng* rng);
 
+  /// Scans the candidate thresholds of one feature whose node rows have
+  /// been gathered, in ascending (value, y) order, into vals_/ys_[0,count).
+  /// Updates best_* when a better split is found.
+  void ScanThresholds(size_t count, size_t feature, double node_impurity,
+                      const double* class_counts, double* best_gain,
+                      size_t* best_feature, double* best_threshold);
+
   TreeConfig config_;
   std::vector<Node> nodes_;
   std::vector<double> importances_;
   size_t num_features_ = 0;
+
+  // --- Fit-time state (released when Fit returns). ---
+  size_t num_classes_ = 0;  // classification only; hoisted out of BuildNode
+  bool presorted_ = false;
+  size_t num_rows_ = 0;
+  /// Column-major copy of the training matrix: feature f's values live in
+  /// [f * n, (f+1) * n), so split-search gathers stay inside one cache-hot
+  /// column instead of striding across rows.
+  std::vector<double> columns_;
+  std::vector<uint32_t> labels_;     // lround(y), classification only
+  /// Pre-sorted mode: feature-major [f * n, (f+1) * n) row ids, each
+  /// feature slice sorted by (value, y, row). Node ranges [begin, end)
+  /// index into every feature slice simultaneously.
+  std::vector<uint32_t> feat_order_;
+  std::vector<uint32_t> part_tmp_;   // stable-partition scratch
+  std::vector<uint8_t> left_mask_;   // per-row split side of current node
+  std::vector<double> vals_;         // gathered feature values, one node
+  std::vector<double> ys_;           // gathered targets, one node
+  std::vector<uint32_t> labs_;       // gathered labels, one node
+  std::vector<double> class_counts_; // node label histogram
+  std::vector<double> left_counts_;  // running left label histogram
+  std::vector<std::pair<double, double>> sort_buf_;  // per-node sort mode
 };
 
 }  // namespace arda::ml

@@ -1,7 +1,7 @@
 #include "ml/split.h"
 
+#include <algorithm>
 #include <cmath>
-#include <map>
 
 #include "util/check.h"
 
@@ -9,11 +9,26 @@ namespace arda::ml {
 
 namespace {
 
-// Row indices grouped by integer label.
-std::map<int, std::vector<size_t>> GroupByLabel(const std::vector<double>& y) {
-  std::map<int, std::vector<size_t>> groups;
-  for (size_t i = 0; i < y.size(); ++i) {
-    groups[static_cast<int>(std::lround(y[i]))].push_back(i);
+// Row indices grouped by integer label, groups in ascending label order
+// and rows in ascending row order within each group — the same iteration
+// order the old std::map produced, without per-label node allocations.
+std::vector<std::pair<int, std::vector<size_t>>> GroupByLabel(
+    const std::vector<double>& y) {
+  const size_t n = y.size();
+  std::vector<std::pair<int, size_t>> tagged(n);
+  for (size_t i = 0; i < n; ++i) {
+    tagged[i] = {static_cast<int>(std::lround(y[i])), i};
+  }
+  std::sort(tagged.begin(), tagged.end());
+  std::vector<std::pair<int, std::vector<size_t>>> groups;
+  for (size_t i = 0; i < n;) {
+    size_t j = i;
+    while (j < n && tagged[j].first == tagged[i].first) ++j;
+    std::vector<size_t> rows;
+    rows.reserve(j - i);
+    for (size_t k = i; k < j; ++k) rows.push_back(tagged[k].second);
+    groups.emplace_back(tagged[i].first, std::move(rows));
+    i = j;
   }
   return groups;
 }

@@ -1,0 +1,263 @@
+#ifndef ARDA_TESTS_GOLDEN_FIXTURES_H_
+#define ARDA_TESTS_GOLDEN_FIXTURES_H_
+
+// Fixed-seed workloads whose exact outputs are pinned as golden files in
+// tests/golden/ (generated once by tools/capture_goldens from the
+// pre-rewrite kernels). Shared by the capture tool and
+// golden_kernels_test so both always run the identical workload.
+//
+// The inputs deliberately contain the awkward cases the kernels must
+// preserve bit for bit: tied feature values (split tie-breaks), nulls in
+// key columns (null-vs-value grouping), duplicate foreign keys (the
+// pre-aggregation path), categorical mode ties (lexicographic winner),
+// and double keys that differ in bits but collide under the "%.10g"
+// rendering that defines key equality.
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "data/generators.h"
+#include "dataframe/aggregate.h"
+#include "dataframe/csv.h"
+#include "join/geo_join.h"
+#include "join/join_executor.h"
+#include "ml/decision_tree.h"
+#include "ml/random_forest.h"
+#include "util/check.h"
+#include "util/string_util.h"
+
+namespace arda::golden {
+
+inline ml::Dataset GoldenRegressionData() {
+  Rng rng(9);
+  ml::Dataset data;
+  data.task = ml::TaskType::kRegression;
+  const size_t rows = 300, cols = 24;
+  data.x = la::Matrix(rows, cols);
+  data.y.resize(rows);
+  for (size_t r = 0; r < rows; ++r) {
+    for (size_t c = 0; c < cols; ++c) {
+      // Quantized values create tied feature values at many thresholds.
+      data.x(r, c) = std::round(rng.Normal() * 8.0) / 8.0;
+    }
+    data.y[r] = data.x(r, 0) - 0.5 * data.x(r, 1) + rng.Normal(0.0, 0.1);
+  }
+  for (size_t c = 0; c < cols; ++c) {
+    data.feature_names.push_back("f" + std::to_string(c));
+  }
+  return data;
+}
+
+inline std::string GoldenClassificationTree() {
+  data::MicroBenchmark digits = data::MakeDigitsBenchmark(5, 2.0);
+  ml::TreeConfig config;
+  config.task = ml::TaskType::kClassification;
+  config.seed = 5;
+  ml::DecisionTree tree(config);
+  tree.Fit(digits.data.x, digits.data.y);
+  return tree.Serialize();
+}
+
+inline std::string GoldenRegressionTree() {
+  ml::Dataset data = GoldenRegressionData();
+  ml::TreeConfig config;
+  config.task = ml::TaskType::kRegression;
+  config.seed = 9;
+  ml::DecisionTree tree(config);
+  tree.Fit(data.x, data.y);
+  return tree.Serialize();
+}
+
+/// Forest predictions + importances, hexfloat, at the given thread count.
+/// Thread-count invariance means the same string for any `num_threads`.
+inline std::string GoldenForestPredictions(size_t num_threads) {
+  data::MicroBenchmark digits = data::MakeDigitsBenchmark(7, 2.0);
+  ml::ForestConfig config;
+  config.task = ml::TaskType::kClassification;
+  config.num_trees = 8;
+  config.num_threads = num_threads;
+  config.seed = 7;
+  ml::RandomForest forest(config);
+  forest.Fit(digits.data.x, digits.data.y);
+  std::string out;
+  for (double v : forest.Predict(digits.data.x)) {
+    out += StrFormat("%a\n", v);
+  }
+  out += "importances\n";
+  for (double v : forest.feature_importances()) {
+    out += StrFormat("%a\n", v);
+  }
+  return out;
+}
+
+/// Base table: int64 id + string city + double val key columns with nulls.
+inline df::DataFrame GoldenBaseFrame() {
+  df::DataFrame base;
+  df::Column id = df::Column::Empty("id", df::DataType::kInt64);
+  df::Column city = df::Column::Empty("city", df::DataType::kString);
+  df::Column t = df::Column::Empty("t", df::DataType::kDouble);
+  df::Column payload = df::Column::Empty("payload", df::DataType::kDouble);
+  Rng rng(31);
+  static const char* kCities[] = {"ann arbor", "boston", "cambridge",
+                                  "dover"};
+  for (size_t i = 0; i < 64; ++i) {
+    if (i % 13 == 12) {
+      id.AppendNull();
+    } else {
+      id.AppendInt64(static_cast<int64_t>(rng.UniformUint64(12)));
+    }
+    if (i % 17 == 16) {
+      city.AppendNull();
+    } else {
+      city.AppendString(kCities[rng.UniformUint64(4)]);
+    }
+    t.AppendDouble(static_cast<double>(i) + 0.25);
+    payload.AppendDouble(rng.Normal());
+  }
+  ARDA_CHECK(base.AddColumn(std::move(id)).ok());
+  ARDA_CHECK(base.AddColumn(std::move(city)).ok());
+  ARDA_CHECK(base.AddColumn(std::move(t)).ok());
+  ARDA_CHECK(base.AddColumn(std::move(payload)).ok());
+  return base;
+}
+
+/// Foreign table with duplicate keys (forces pre-aggregation), nulls,
+/// a categorical value column with mode ties, and double values that
+/// collide under "%.10g" rendering while differing in bits.
+inline df::DataFrame GoldenForeignFrame() {
+  df::DataFrame foreign;
+  df::Column id = df::Column::Empty("fid", df::DataType::kInt64);
+  df::Column city = df::Column::Empty("fcity", df::DataType::kString);
+  df::Column t = df::Column::Empty("ft", df::DataType::kDouble);
+  df::Column score = df::Column::Empty("score", df::DataType::kDouble);
+  df::Column tag = df::Column::Empty("tag", df::DataType::kString);
+  Rng rng(47);
+  static const char* kCities[] = {"ann arbor", "boston", "cambridge",
+                                  "dover"};
+  static const char* kTags[] = {"alpha", "beta", "beta", "alpha", "gamma"};
+  for (size_t i = 0; i < 96; ++i) {
+    if (i % 19 == 18) {
+      id.AppendNull();
+    } else {
+      id.AppendInt64(static_cast<int64_t>(rng.UniformUint64(12)));
+    }
+    city.AppendString(kCities[rng.UniformUint64(4)]);
+    double base_t = static_cast<double>(i % 40) * 1.7;
+    // Same "%.10g" string, different bits, for a fraction of rows.
+    if (i % 7 == 3) base_t += 1e-12;
+    t.AppendDouble(base_t);
+    if (i % 11 == 10) {
+      score.AppendNull();
+    } else {
+      score.AppendDouble(rng.Normal());
+    }
+    tag.AppendString(kTags[i % 5]);
+  }
+  ARDA_CHECK(foreign.AddColumn(std::move(id)).ok());
+  ARDA_CHECK(foreign.AddColumn(std::move(city)).ok());
+  ARDA_CHECK(foreign.AddColumn(std::move(t)).ok());
+  ARDA_CHECK(foreign.AddColumn(std::move(score)).ok());
+  ARDA_CHECK(foreign.AddColumn(std::move(tag)).ok());
+  return foreign;
+}
+
+inline std::string GoldenHardJoinCsv() {
+  df::DataFrame base = GoldenBaseFrame();
+  df::DataFrame foreign = GoldenForeignFrame();
+  discovery::CandidateJoin cand;
+  cand.foreign_table = "aug";
+  cand.keys = {
+      discovery::JoinKeyPair{"id", "fid", discovery::KeyKind::kHard},
+      discovery::JoinKeyPair{"city", "fcity", discovery::KeyKind::kHard}};
+  Rng rng(3);
+  Result<df::DataFrame> joined =
+      join::ExecuteLeftJoin(base, foreign, cand, {}, &rng);
+  ARDA_CHECK(joined.ok());
+  return df::WriteCsvString(joined.value());
+}
+
+inline std::string GoldenSoftJoinCsv() {
+  df::DataFrame base = GoldenBaseFrame();
+  df::DataFrame foreign = GoldenForeignFrame();
+  discovery::CandidateJoin cand;
+  cand.foreign_table = "aug";
+  cand.keys = {
+      discovery::JoinKeyPair{"city", "fcity", discovery::KeyKind::kHard},
+      discovery::JoinKeyPair{"t", "ft", discovery::KeyKind::kSoft}};
+  join::JoinOptions options;
+  options.soft_method = join::SoftJoinMethod::kTwoWayNearest;
+  Rng rng(5);
+  Result<df::DataFrame> joined =
+      join::ExecuteLeftJoin(base, foreign, cand, options, &rng);
+  ARDA_CHECK(joined.ok());
+  return df::WriteCsvString(joined.value());
+}
+
+inline std::string GoldenGeoJoinCsv() {
+  df::DataFrame base;
+  df::DataFrame foreign;
+  Rng rng(59);
+  {
+    df::Column lat = df::Column::Empty("lat", df::DataType::kDouble);
+    df::Column lon = df::Column::Empty("lon", df::DataType::kDouble);
+    df::Column region = df::Column::Empty("region", df::DataType::kString);
+    for (size_t i = 0; i < 48; ++i) {
+      lat.AppendDouble(rng.Uniform(-10.0, 10.0));
+      lon.AppendDouble(rng.Uniform(30.0, 50.0));
+      region.AppendString(i % 2 == 0 ? "north" : "south");
+    }
+    ARDA_CHECK(base.AddColumn(std::move(lat)).ok());
+    ARDA_CHECK(base.AddColumn(std::move(lon)).ok());
+    ARDA_CHECK(base.AddColumn(std::move(region)).ok());
+  }
+  {
+    df::Column lat = df::Column::Empty("glat", df::DataType::kDouble);
+    df::Column lon = df::Column::Empty("glon", df::DataType::kDouble);
+    df::Column region = df::Column::Empty("gregion", df::DataType::kString);
+    df::Column val = df::Column::Empty("gval", df::DataType::kDouble);
+    for (size_t i = 0; i < 40; ++i) {
+      // Duplicated coordinates force the geo pre-aggregation path.
+      double a = rng.Uniform(-10.0, 10.0);
+      double b = rng.Uniform(30.0, 50.0);
+      size_t copies = i % 3 == 0 ? 2 : 1;
+      for (size_t c = 0; c < copies; ++c) {
+        lat.AppendDouble(a);
+        lon.AppendDouble(b);
+        region.AppendString(i % 2 == 0 ? "north" : "south");
+        val.AppendDouble(rng.Normal());
+      }
+    }
+    ARDA_CHECK(foreign.AddColumn(std::move(lat)).ok());
+    ARDA_CHECK(foreign.AddColumn(std::move(lon)).ok());
+    ARDA_CHECK(foreign.AddColumn(std::move(region)).ok());
+    ARDA_CHECK(foreign.AddColumn(std::move(val)).ok());
+  }
+  discovery::CandidateJoin cand;
+  cand.foreign_table = "geo";
+  cand.keys = {
+      discovery::JoinKeyPair{"region", "gregion", discovery::KeyKind::kHard},
+      discovery::JoinKeyPair{"lat", "glat", discovery::KeyKind::kSoft},
+      discovery::JoinKeyPair{"lon", "glon", discovery::KeyKind::kSoft}};
+  Rng rng2(7);
+  Result<df::DataFrame> joined =
+      join::ExecuteGeoLeftJoin(base, foreign, cand, {}, &rng2);
+  ARDA_CHECK(joined.ok());
+  return df::WriteCsvString(joined.value());
+}
+
+inline std::string GoldenAggregateCsv() {
+  df::DataFrame frame = GoldenForeignFrame();
+  df::AggregateOptions options;
+  options.numeric = df::NumericAgg::kMedian;
+  options.categorical = df::CategoricalAgg::kMode;
+  options.add_count = true;
+  Result<df::DataFrame> grouped =
+      df::GroupByAggregate(frame, {"fid", "fcity", "ft"}, options);
+  ARDA_CHECK(grouped.ok());
+  return df::WriteCsvString(grouped.value());
+}
+
+}  // namespace arda::golden
+
+#endif  // ARDA_TESTS_GOLDEN_FIXTURES_H_

@@ -1,0 +1,78 @@
+// Golden-output regression tests for the columnar hot-path kernels.
+//
+// The files under tests/golden/ were serialized from the pre-rewrite
+// (PR 1) row-at-a-time kernels at fixed seeds; the pre-sorted split
+// search and the interned-key join/group-by paths must reproduce them
+// byte for byte, at 1 and at 8 threads. See tools/capture_goldens.cc for
+// how to regenerate them (only on an intentional output change).
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "tests/golden_fixtures.h"
+
+#ifndef ARDA_GOLDEN_DIR
+#error "ARDA_GOLDEN_DIR must be defined by the build"
+#endif
+
+namespace arda {
+namespace {
+
+std::string ReadGolden(const std::string& name) {
+  std::string path = std::string(ARDA_GOLDEN_DIR) + "/" + name;
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    ADD_FAILURE() << "missing golden file " << path
+                  << " (run tools/capture_goldens)";
+    return "";
+  }
+  std::string content;
+  char buf[4096];
+  size_t got;
+  while ((got = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    content.append(buf, got);
+  }
+  std::fclose(f);
+  return content;
+}
+
+TEST(GoldenKernelsTest, ClassificationTreeBitIdentical) {
+  EXPECT_EQ(golden::GoldenClassificationTree(),
+            ReadGolden("tree_classification.txt"));
+}
+
+TEST(GoldenKernelsTest, RegressionTreeBitIdentical) {
+  EXPECT_EQ(golden::GoldenRegressionTree(),
+            ReadGolden("tree_regression.txt"));
+}
+
+TEST(GoldenKernelsTest, ForestPredictionsBitIdenticalSingleThread) {
+  EXPECT_EQ(golden::GoldenForestPredictions(1),
+            ReadGolden("forest_predictions.txt"));
+}
+
+TEST(GoldenKernelsTest, ForestPredictionsBitIdenticalEightThreads) {
+  EXPECT_EQ(golden::GoldenForestPredictions(8),
+            ReadGolden("forest_predictions.txt"));
+}
+
+TEST(GoldenKernelsTest, HardJoinBitIdentical) {
+  EXPECT_EQ(golden::GoldenHardJoinCsv(), ReadGolden("join_hard.csv"));
+}
+
+TEST(GoldenKernelsTest, SoftJoinBitIdentical) {
+  EXPECT_EQ(golden::GoldenSoftJoinCsv(), ReadGolden("join_soft.csv"));
+}
+
+TEST(GoldenKernelsTest, GeoJoinBitIdentical) {
+  EXPECT_EQ(golden::GoldenGeoJoinCsv(), ReadGolden("join_geo.csv"));
+}
+
+TEST(GoldenKernelsTest, AggregateBitIdentical) {
+  EXPECT_EQ(golden::GoldenAggregateCsv(), ReadGolden("aggregate.csv"));
+}
+
+}  // namespace
+}  // namespace arda

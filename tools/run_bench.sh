@@ -1,0 +1,83 @@
+#!/usr/bin/env bash
+# Runs the hot-path kernel benchmarks (bench/bench_kernels) several times,
+# keeps the best time per kernel, and writes a BENCH_*.json record. When a
+# baseline record is given, per-kernel speedups are computed against it:
+#
+#   tools/run_bench.sh                          # -> BENCH_kernels.json
+#   tools/run_bench.sh -o BENCH_PR2.json -b baseline.json
+#   tools/run_bench.sh --smoke                  # fast build-health variant
+#
+# Times are wall-clock on the current machine; compare only records taken
+# on the same machine (see docs/benchmarks.md).
+set -euo pipefail
+
+BUILD_DIR="${BUILD_DIR:-build}"
+OUT="BENCH_kernels.json"
+BASELINE=""
+RUNS="${RUNS:-3}"
+SMOKE=""
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    -o) OUT="$2"; shift 2 ;;
+    -b) BASELINE="$2"; shift 2 ;;
+    --smoke) SMOKE="--smoke"; shift ;;
+    *) echo "unknown argument: $1" >&2; exit 2 ;;
+  esac
+done
+
+cmake --build "$BUILD_DIR" --target bench_kernels -j >/dev/null
+
+RAW=$(mktemp)
+trap 'rm -f "$RAW"' EXIT
+for ((i = 0; i < RUNS; i++)); do
+  "$BUILD_DIR/bench/bench_kernels" --json $SMOKE >> "$RAW"
+done
+
+python3 - "$RAW" "$OUT" "$BASELINE" <<'PY'
+import json, sys
+
+raw_path, out_path, baseline_path = sys.argv[1], sys.argv[2], sys.argv[3]
+
+# The raw file is a concatenation of JSON objects, one per run.
+decoder = json.JSONDecoder()
+text = open(raw_path).read()
+runs, pos = [], 0
+while pos < len(text):
+    while pos < len(text) and text[pos].isspace():
+        pos += 1
+    if pos >= len(text):
+        break
+    obj, pos = decoder.raw_decode(text, pos)
+    runs.append(obj)
+
+best = {}
+for run in runs:
+    for r in run["results"]:
+        cur = best.get(r["name"])
+        if cur is None or r["seconds"] < cur["seconds"]:
+            best[r["name"]] = dict(r)
+        elif r["checksum"] != cur["checksum"]:
+            sys.exit(f"checksum mismatch across runs for {r['name']}")
+
+record = {
+    "bench": "kernels",
+    "seed": runs[0]["seed"],
+    "smoke": runs[0]["smoke"],
+    "runs": len(runs),
+    "results": sorted(best.values(), key=lambda r: r["name"]),
+}
+
+if baseline_path:
+    base = {r["name"]: r for r in json.load(open(baseline_path))["results"]}
+    for r in record["results"]:
+        b = base.get(r["name"])
+        if b:
+            r["baseline_seconds"] = b["seconds"]
+            r["speedup"] = round(b["seconds"] / r["seconds"], 2)
+
+json.dump(record, open(out_path, "w"), indent=2)
+print(f"wrote {out_path}")
+for r in record["results"]:
+    speed = f'  {r["speedup"]:.2f}x' if "speedup" in r else ""
+    print(f'  {r["name"]:32s} {r["seconds"]:.6f}s{speed}')
+PY
