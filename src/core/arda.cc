@@ -144,6 +144,16 @@ Result<ml::Dataset> BuildDataset(const df::DataFrame& frame,
 
 namespace {
 
+// Comma-joined table list for skip records covering a whole batch.
+std::string JoinedTableList(const std::vector<std::string>& tables) {
+  std::string out;
+  for (const std::string& table : tables) {
+    if (!out.empty()) out += ",";
+    out += table;
+  }
+  return out.empty() ? "<base>" : out;
+}
+
 // Selected encoded feature indices -> owning source columns of `frame`.
 std::set<std::string> SourceColumnsOf(const df::DataFrame& frame,
                                       const df::EncodedFeatures& encoded,
@@ -169,11 +179,23 @@ Result<ArdaReport> Arda::Run(const AugmentationTask& task) const {
   }
   Rng rng(config_.seed);
 
-  // 1. Coreset construction on the base table.
-  ARDA_ASSIGN_OR_RETURN(
-      df::DataFrame coreset_base,
-      coreset::SampleCoreset(task.base, task.target_column, task.task,
-                             config_.coreset, &rng));
+  ArdaReport report;
+
+  // 1. Coreset construction on the base table. A failed sample degrades
+  // to running on the full base table.
+  df::DataFrame coreset_base;
+  {
+    Result<df::DataFrame> sampled =
+        coreset::SampleCoreset(task.base, task.target_column, task.task,
+                               config_.coreset, &rng);
+    if (sampled.ok()) {
+      coreset_base = std::move(sampled).value();
+    } else {
+      report.skipped_candidates.push_back(
+          {task.base_table_name, "coreset", sampled.status().message()});
+      coreset_base = task.base;
+    }
+  }
 
   // 2. Candidate joins: provided, or discovered in the repository.
   std::vector<discovery::CandidateJoin> candidates = task.candidates;
@@ -182,7 +204,6 @@ Result<ArdaReport> Arda::Run(const AugmentationTask& task) const {
         *task.repo, task.base_table_name, task.target_column);
   }
 
-  ArdaReport report;
   report.tables_considered = candidates.size();
 
   // Optional Tuple-Ratio prefilter (Kumar et al. decision rule).
@@ -213,9 +234,16 @@ Result<ArdaReport> Arda::Run(const AugmentationTask& task) const {
   }
 
   // `current` always holds the accepted augmentation so far (starts as
-  // the base coreset) with nulls imputed.
+  // the base coreset) with nulls imputed. A failed imputation degrades to
+  // the unimputed frame: EncodeFeatures fills numeric nulls on its own.
   df::DataFrame current = coreset_base;
-  join::ImputeInPlace(&current, &rng);
+  {
+    Status imputed = join::ImputeInPlace(&current, &rng);
+    if (!imputed.ok()) {
+      report.skipped_candidates.push_back(
+          {task.base_table_name, "impute", imputed.message()});
+    }
+  }
 
   ARDA_ASSIGN_OR_RETURN(ml::Dataset current_data,
                         BuildDataset(current, task.target_column, task.task,
@@ -240,13 +268,23 @@ Result<ArdaReport> Arda::Run(const AugmentationTask& task) const {
     join_rngs.reserve(batch.size());
     for (size_t i = 0; i < batch.size(); ++i) join_rngs.push_back(rng.Fork());
     std::vector<std::unique_ptr<df::DataFrame>> joined(batch.size());
+    // Each worker writes only its own slot of join_errors/joined, so the
+    // error capture needs no locking; skips are recorded after the join
+    // barrier, on the calling thread, in candidate order.
+    std::vector<Status> join_errors(batch.size());
     ParallelFor(batch.size(), config_.num_threads, [&](size_t i) {
       Result<const df::DataFrame*> foreign =
           task.repo->Get(batch[i].foreign_table);
-      if (!foreign.ok()) return;
+      if (!foreign.ok()) {
+        join_errors[i] = foreign.status();
+        return;
+      }
       Result<df::DataFrame> result = join::ExecuteLeftJoin(
           current, *foreign.value(), batch[i], config_.join, &join_rngs[i]);
-      if (!result.ok()) return;  // skip malformed candidates
+      if (!result.ok()) {  // skip malformed candidates
+        join_errors[i] = result.status();
+        return;
+      }
       joined[i] =
           std::make_unique<df::DataFrame>(std::move(result).value());
     });
@@ -254,7 +292,11 @@ Result<ArdaReport> Arda::Run(const AugmentationTask& task) const {
     df::DataFrame working = current;
     bool joined_any = false;
     for (size_t i = 0; i < batch.size(); ++i) {
-      if (joined[i] == nullptr) continue;
+      if (joined[i] == nullptr) {
+        report.skipped_candidates.push_back(
+            {batch[i].foreign_table, "join", join_errors[i].message()});
+        continue;
+      }
       df::DataFrame new_cols;
       for (size_t c = current.NumCols(); c < joined[i]->NumCols(); ++c) {
         Status st = new_cols.AddColumn(joined[i]->col(c));
@@ -263,7 +305,12 @@ Result<ArdaReport> Arda::Run(const AugmentationTask& task) const {
       std::string prefix = config_.join.column_prefix.empty()
                                ? batch[i].foreign_table + "."
                                : config_.join.column_prefix;
-      if (!working.HStack(new_cols, prefix).ok()) continue;
+      Status stacked = working.HStack(new_cols, prefix);
+      if (!stacked.ok()) {
+        report.skipped_candidates.push_back(
+            {batch[i].foreign_table, "merge", stacked.message()});
+        continue;
+      }
       log.tables.push_back(batch[i].foreign_table);
       joined_any = true;
     }
@@ -273,12 +320,27 @@ Result<ArdaReport> Arda::Run(const AugmentationTask& task) const {
       report.batches.push_back(std::move(log));
       continue;
     }
-    join::ImputeInPlace(&working, &rng);
+    {
+      Status imputed = join::ImputeInPlace(&working, &rng);
+      if (!imputed.ok()) {
+        // Degrade to the unimputed frame; encoding fills numeric nulls.
+        report.skipped_candidates.push_back(
+            {JoinedTableList(log.tables), "impute", imputed.message()});
+      }
+    }
 
     Stopwatch select_watch;
-    ARDA_ASSIGN_OR_RETURN(ml::Dataset working_data,
-                          BuildDataset(working, task.target_column,
-                                       task.task, config_.encode));
+    Result<ml::Dataset> working_result =
+        BuildDataset(working, task.target_column, task.task, config_.encode);
+    if (!working_result.ok()) {
+      report.skipped_candidates.push_back({JoinedTableList(log.tables),
+                                           "encode",
+                                           working_result.status().message()});
+      log.score_after = current_score;
+      report.batches.push_back(std::move(log));
+      continue;
+    }
+    ml::Dataset working_data = std::move(working_result).value();
     // Optional sketch coreset of the selection data (post-join only).
     ml::Dataset selection_data = working_data;
     if (config_.coreset.method == coreset::CoresetMethod::kSketch) {
@@ -291,8 +353,19 @@ Result<ArdaReport> Arda::Run(const AugmentationTask& task) const {
     ml::Evaluator evaluator(selection_data, config_.test_fraction,
                             config_.seed);
     Rng selector_rng = rng.Fork();
-    featsel::SelectionResult selection =
-        selector->Select(selection_data, evaluator, &selector_rng);
+    Result<featsel::SelectionResult> selected =
+        selector->TrySelect(selection_data, evaluator, &selector_rng);
+    if (!selected.ok()) {
+      report.skipped_candidates.push_back({JoinedTableList(log.tables),
+                                           "select",
+                                           selected.status().message()});
+      log.selection_seconds = select_watch.ElapsedSeconds();
+      report.selection_seconds += log.selection_seconds;
+      log.score_after = current_score;
+      report.batches.push_back(std::move(log));
+      continue;
+    }
+    featsel::SelectionResult selection = std::move(selected).value();
     log.selection_seconds = select_watch.ElapsedSeconds();
     report.selection_seconds += log.selection_seconds;
 
@@ -316,18 +389,25 @@ Result<ArdaReport> Arda::Run(const AugmentationTask& task) const {
         Status st = candidate_frame.AddColumn(working.col(name));
         ARDA_CHECK(st.ok());
       }
-      ARDA_ASSIGN_OR_RETURN(ml::Dataset candidate_data,
-                            BuildDataset(candidate_frame,
-                                         task.target_column, task.task,
-                                         config_.encode));
-      ml::Evaluator accept_evaluator(candidate_data, config_.test_fraction,
-                                     config_.seed);
-      double candidate_score = accept_evaluator.ScoreAllFeatures();
-      if (candidate_score > current_score + config_.min_improvement) {
-        current = std::move(candidate_frame);
-        current_score = candidate_score;
-        report.tables_joined += log.tables.size();
-        log.accepted = true;
+      Result<ml::Dataset> candidate_result =
+          BuildDataset(candidate_frame, task.target_column, task.task,
+                       config_.encode);
+      if (!candidate_result.ok()) {
+        // Reject the batch instead of failing the run.
+        report.skipped_candidates.push_back(
+            {JoinedTableList(log.tables), "accept",
+             candidate_result.status().message()});
+      } else {
+        ml::Dataset candidate_data = std::move(candidate_result).value();
+        ml::Evaluator accept_evaluator(candidate_data, config_.test_fraction,
+                                       config_.seed);
+        double candidate_score = accept_evaluator.ScoreAllFeatures();
+        if (candidate_score > current_score + config_.min_improvement) {
+          current = std::move(candidate_frame);
+          current_score = candidate_score;
+          report.tables_joined += log.tables.size();
+          log.accepted = true;
+        }
       }
     }
     log.score_after = current_score;

@@ -38,6 +38,16 @@ struct BatchLog {
   double selection_seconds = 0.0;
 };
 
+/// One candidate (or pipeline stage) the run dropped instead of crashing.
+/// `stage` names where the failure happened ("join", "pre-aggregate",
+/// "impute", "encode", "select", "accept", "coreset"), `reason` carries
+/// the Status message.
+struct SkippedCandidate {
+  std::string table;
+  std::string stage;
+  std::string reason;
+};
+
 /// Everything an ARDA run produces.
 struct ArdaReport {
   /// Final-estimator holdout score on the base features alone.
@@ -50,6 +60,10 @@ struct ArdaReport {
   /// Encoded feature names of the final selection.
   std::vector<std::string> selected_features;
   std::vector<BatchLog> batches;
+  /// Candidates and stages dropped by graceful degradation: the run
+  /// continued without them instead of failing (see DESIGN.md "Error
+  /// handling & graceful degradation").
+  std::vector<SkippedCandidate> skipped_candidates;
   size_t tables_considered = 0;
   size_t tables_joined = 0;
   size_t tables_filtered_by_tuple_ratio = 0;
@@ -74,8 +88,13 @@ class Arda {
  public:
   explicit Arda(const ArdaConfig& config);
 
-  /// Runs the full pipeline. Fails on malformed inputs (missing target,
-  /// unknown selector, missing tables).
+  /// Runs the full pipeline. Fails only on malformed top-level inputs
+  /// (missing target, unknown selector, null repo). Per-candidate and
+  /// per-batch failures — bad foreign tables, join/aggregate/impute/
+  /// selection errors, injected faults — degrade gracefully: the
+  /// offending candidate or stage is skipped, recorded in
+  /// ArdaReport::skipped_candidates, and the run completes on whatever
+  /// remains.
   Result<ArdaReport> Run(const AugmentationTask& task) const;
 
  private:

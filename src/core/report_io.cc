@@ -89,6 +89,16 @@ std::string ReportToJson(const ArdaReport& report) {
                      batch.selection_seconds);
     out += i + 1 < report.batches.size() ? ",\n" : "\n";
   }
+  out += "  ],\n";
+  out += "  \"skipped_candidates\": [\n";
+  for (size_t i = 0; i < report.skipped_candidates.size(); ++i) {
+    const SkippedCandidate& skip = report.skipped_candidates[i];
+    out += "    {";
+    out += "\"table\": \"" + JsonEscape(skip.table) + "\", ";
+    out += "\"stage\": \"" + JsonEscape(skip.stage) + "\", ";
+    out += "\"reason\": \"" + JsonEscape(skip.reason) + "\"}";
+    out += i + 1 < report.skipped_candidates.size() ? ",\n" : "\n";
+  }
   out += "  ]\n}\n";
   return out;
 }

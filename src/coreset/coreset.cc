@@ -4,6 +4,8 @@
 #include <cmath>
 #include <map>
 
+#include "util/fault.h"
+
 namespace arda::coreset {
 
 const char* CoresetMethodName(CoresetMethod method) {
@@ -31,6 +33,7 @@ Result<df::DataFrame> SampleCoreset(const df::DataFrame& base,
                                     const std::string& label_column,
                                     ml::TaskType task,
                                     const CoresetConfig& config, Rng* rng) {
+  ARDA_FAULT_POINT(fault::kCoreset);
   if (!base.HasColumn(label_column)) {
     return Status::NotFound("no such label column: " + label_column);
   }

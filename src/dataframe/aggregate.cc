@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "dataframe/key_encoder.h"
+#include "util/fault.h"
 
 namespace arda::df {
 
@@ -73,6 +74,7 @@ Result<DataFrame> GroupByAggregateImpl(const DataFrame& frame,
                                        const std::vector<size_t>& key_idx,
                                        const KeyEncoder& encoder,
                                        const AggregateOptions& options) {
+  ARDA_FAULT_POINT(fault::kPreAggregate);
   const size_t n = frame.NumRows();
   const std::vector<size_t>& group_first_row = encoder.group_first_row();
   const size_t num_groups = group_first_row.size();

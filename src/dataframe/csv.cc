@@ -3,6 +3,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "util/fault.h"
 #include "util/string_util.h"
 
 namespace arda::df {
@@ -108,6 +109,7 @@ std::string QuoteCsvField(const std::string& field, char delim) {
 
 Result<DataFrame> ReadCsvString(const std::string& text,
                                 const CsvOptions& options) {
+  ARDA_FAULT_POINT(fault::kCsvParse);
   std::vector<CsvRecord> records = SplitCsvRecords(text, options.delimiter);
   if (records.empty()) {
     return Status::InvalidArgument("CSV input is empty (no header)");
@@ -160,13 +162,24 @@ Result<DataFrame> ReadCsvString(const std::string& text,
       switch (type) {
         case DataType::kInt64: {
           int64_t iv = 0;
-          ARDA_CHECK(ParseInt64(cell.value, &iv));
+          // Type inference saw every cell parse, so a failure here means
+          // the input mutated mid-read or the parser regressed; surface
+          // it as a recoverable per-table error, not a crash.
+          if (!ParseInt64(cell.value, &iv)) {
+            return Status::InvalidArgument("unparseable int64 cell '" +
+                                           cell.value + "' in column " +
+                                           header[c]);
+          }
           col.AppendInt64(iv);
           break;
         }
         case DataType::kDouble: {
           double dv = 0.0;
-          ARDA_CHECK(ParseDouble(cell.value, &dv));
+          if (!ParseDouble(cell.value, &dv)) {
+            return Status::InvalidArgument("unparseable double cell '" +
+                                           cell.value + "' in column " +
+                                           header[c]);
+          }
           col.AppendDouble(dv);
           break;
         }

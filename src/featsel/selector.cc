@@ -6,6 +6,7 @@
 #include "featsel/model_rankers.h"
 #include "featsel/relief.h"
 #include "featsel/wrappers.h"
+#include "util/fault.h"
 #include "util/timer.h"
 
 namespace arda::featsel {
@@ -65,6 +66,12 @@ class RifsSelector : public FeatureSelector {
       : config_(config), name_(std::move(name)) {}
 
   std::string name() const override { return name_; }
+  Result<SelectionResult> TrySelect(const ml::Dataset& data,
+                                    const ml::Evaluator& evaluator,
+                                    Rng* rng) const override {
+    ARDA_FAULT_POINT(fault::kRifs);
+    return FeatureSelector::TrySelect(data, evaluator, rng);
+  }
   SelectionResult Select(const ml::Dataset& data,
                          const ml::Evaluator& evaluator,
                          Rng* rng) const override {
@@ -123,6 +130,19 @@ class WrapperSelector : public FeatureSelector {
 };
 
 }  // namespace
+
+Result<SelectionResult> FeatureSelector::TrySelect(
+    const ml::Dataset& data, const ml::Evaluator& evaluator, Rng* rng) const {
+  if (data.NumFeatures() == 0) {
+    return Status::FailedPrecondition(
+        "feature selection needs at least one feature");
+  }
+  if (data.NumRows() == 0) {
+    return Status::FailedPrecondition(
+        "feature selection needs at least one row");
+  }
+  return Select(data, evaluator, rng);
+}
 
 std::unique_ptr<FeatureSelector> MakeSelector(const std::string& name) {
   if (name == "rifs") return MakeRifsSelector(RifsConfig{});

@@ -8,6 +8,7 @@
 #include "featsel/rifs.h"
 #include "featsel/search.h"
 #include "ml/evaluator.h"
+#include "util/status.h"
 
 namespace arda::featsel {
 
@@ -39,6 +40,13 @@ class FeatureSelector {
   virtual SelectionResult Select(const ml::Dataset& data,
                                  const ml::Evaluator& evaluator,
                                  Rng* rng) const = 0;
+  /// Status-propagating variant: rejects degenerate inputs (zero rows or
+  /// zero features) and injected faults instead of crashing, so the ARDA
+  /// driver can skip a join batch and keep going. The default validates
+  /// and delegates to Select.
+  virtual Result<SelectionResult> TrySelect(const ml::Dataset& data,
+                                            const ml::Evaluator& evaluator,
+                                            Rng* rng) const;
 };
 
 /// Creates a selector by its paper name:

@@ -2,14 +2,21 @@
 
 #include <cmath>
 
+#include "util/fault.h"
+
 namespace arda::join {
 
-void ImputeInPlace(df::DataFrame* frame, Rng* rng) {
+Status ImputeInPlace(df::DataFrame* frame, Rng* rng) {
+  ARDA_FAULT_POINT(fault::kImpute);
   for (size_t ci = 0; ci < frame->NumCols(); ++ci) {
     df::Column& col = frame->col(ci);
     if (col.NullCount() == 0) continue;
     if (col.IsNumeric()) {
       const double median = col.NumericMedian();
+      if (col.type() == df::DataType::kInt64 && !std::isfinite(median)) {
+        return Status::FailedPrecondition(
+            "non-finite median for int64 column: " + col.name());
+      }
       for (size_t r = 0; r < col.size(); ++r) {
         if (!col.IsNull(r)) continue;
         if (col.type() == df::DataType::kDouble) {
@@ -37,6 +44,7 @@ void ImputeInPlace(df::DataFrame* frame, Rng* rng) {
       }
     }
   }
+  return Status::Ok();
 }
 
 size_t TotalNullCount(const df::DataFrame& frame) {

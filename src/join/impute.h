@@ -3,6 +3,7 @@
 
 #include "dataframe/data_frame.h"
 #include "util/rng.h"
+#include "util/status.h"
 
 namespace arda::join {
 
@@ -10,7 +11,10 @@ namespace arda::join {
 /// unmatched rows, which are filled with the column median for numeric
 /// columns and with a uniformly random non-null value for categorical
 /// columns. Columns that are entirely null become constant 0 / "<missing>".
-void ImputeInPlace(df::DataFrame* frame, Rng* rng);
+/// Fails (leaving already-processed columns imputed) on a non-finite
+/// int64 median or an injected fault; callers degrade by keeping the
+/// unimputed frame — feature encoding fills numeric nulls on its own.
+Status ImputeInPlace(df::DataFrame* frame, Rng* rng);
 
 /// Number of null cells across all columns (used to verify imputation).
 size_t TotalNullCount(const df::DataFrame& frame);

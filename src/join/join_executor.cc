@@ -6,6 +6,7 @@
 
 #include "dataframe/key_encoder.h"
 #include "join/resample.h"
+#include "util/fault.h"
 
 namespace arda::join {
 
@@ -193,6 +194,8 @@ Result<df::DataFrame> ExecuteLeftJoin(const df::DataFrame& base,
             ? bucket_granularity
             : 0.0);
   }
+
+  ARDA_FAULT_POINT(fault::kJoinKeyEncode);
 
   // One-to-many handling: pre-aggregate so each key combination appears
   // exactly once. Soft joins always aggregate (interpolation needs a

@@ -3,9 +3,25 @@
 #include <algorithm>
 #include <cmath>
 
-#include "util/string_util.h"
+#include "util/fault.h"
 
 namespace arda::join {
+
+namespace {
+
+// Rounds `value` (> 0, finite) to 9 significant decimal digits, the same
+// precision the legacy "%.9g" + ParseDouble round-trip produced, without
+// going through strings.
+double SnapToNineDigits(double value) {
+  const int exp10 = static_cast<int>(std::floor(std::log10(value)));
+  const double scale = std::pow(10.0, 8 - exp10);
+  const double snapped = std::round(value * scale) / scale;
+  // Guard the scale itself overflowing/underflowing at extreme exponents;
+  // such gaps are already far outside any real time granularity.
+  return std::isfinite(snapped) && snapped > 0.0 ? snapped : value;
+}
+
+}  // namespace
 
 double DetectGranularity(const df::Column& column) {
   if (!column.IsNumeric()) return 0.0;
@@ -17,7 +33,9 @@ double DetectGranularity(const df::Column& column) {
   gaps.reserve(values.size() - 1);
   for (size_t i = 1; i < values.size(); ++i) {
     double gap = values[i] - values[i - 1];
-    if (gap > 0.0) gaps.push_back(gap);
+    // A non-finite gap (keys at ±inf, or a NaN key sorting to one end)
+    // carries no granularity signal; using it would poison the median.
+    if (gap > 0.0 && std::isfinite(gap)) gaps.push_back(gap);
   }
   if (gaps.empty()) return 0.0;
   size_t mid = gaps.size() / 2;
@@ -25,15 +43,14 @@ double DetectGranularity(const df::Column& column) {
   // Snap to 9 significant digits: gaps computed from accumulated floats
   // come out as 0.19999999999999996 or 1.0000000000000002, and using them
   // raw would shift bucket boundaries across exact key values.
-  double snapped = 0.0;
-  ARDA_CHECK(ParseDouble(StrFormat("%.9g", gaps[mid]), &snapped));
-  return snapped;
+  return SnapToNineDigits(gaps[mid]);
 }
 
 Result<df::DataFrame> TimeResample(const df::DataFrame& foreign,
                                    const std::string& key_column,
                                    double target_granularity,
                                    const df::AggregateOptions& options) {
+  ARDA_FAULT_POINT(fault::kResample);
   if (!foreign.HasColumn(key_column)) {
     return Status::NotFound("no such key column: " + key_column);
   }

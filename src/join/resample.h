@@ -10,8 +10,9 @@
 namespace arda::join {
 
 /// Estimates the granularity of a numeric (time) column as the median
-/// positive gap between consecutive sorted distinct values. Returns 0 for
-/// columns with fewer than two distinct values.
+/// positive gap between consecutive sorted distinct values, snapped to 9
+/// significant digits. Returns 0 for columns with fewer than two distinct
+/// values or whose gaps are all non-finite (±inf / NaN keys).
 double DetectGranularity(const df::Column& column);
 
 /// Time resampling (Section 4 "Time-Resampling"): when the base table's

@@ -2,9 +2,12 @@
 
 #include <cmath>
 
+#include "util/fault.h"
+
 namespace arda::la {
 
 Result<Matrix> Cholesky(const Matrix& a) {
+  ARDA_FAULT_POINT(fault::kCholesky);
   ARDA_CHECK_EQ(a.rows(), a.cols());
   const size_t n = a.rows();
   Matrix l(n, n);
@@ -60,8 +63,9 @@ Result<std::vector<double>> SolveSpd(const Matrix& a,
   return BackwardSubstitute(l, y);
 }
 
-std::vector<double> RidgeSolve(const Matrix& x, const std::vector<double>& y,
-                               double lambda) {
+Result<std::vector<double>> RidgeSolve(const Matrix& x,
+                                       const std::vector<double>& y,
+                                       double lambda) {
   ARDA_CHECK_EQ(x.rows(), y.size());
   ARDA_CHECK_GT(lambda, 0.0);
   const size_t d = x.cols();
@@ -82,12 +86,14 @@ std::vector<double> RidgeSolve(const Matrix& x, const std::vector<double>& y,
   }
   std::vector<double> rhs = x.TransposeMultiplyVec(y);
   Result<std::vector<double>> solved = SolveSpd(gram, rhs);
-  if (solved.ok()) return std::move(solved).value();
+  if (solved.ok()) return solved;
   // Extremely ill-conditioned inputs: retry with a heavier diagonal.
   for (size_t i = 0; i < d; ++i) gram(i, i) += 1e-3 + lambda * 10.0;
   Result<std::vector<double>> retried = SolveSpd(gram, rhs);
-  if (retried.ok()) return std::move(retried).value();
-  return std::vector<double>(d, 0.0);
+  if (retried.ok()) return retried;
+  return Status::FailedPrecondition(
+      "ridge system is singular even after jittered regularization: " +
+      retried.status().message());
 }
 
 ColumnStats ComputeColumnStats(const Matrix& x) {

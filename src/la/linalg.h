@@ -28,10 +28,13 @@ std::vector<double> BackwardSubstitute(const Matrix& l,
 
 /// Solves the ridge-regularized least squares problem
 ///   min_w ||X w - y||^2 + lambda ||w||^2
-/// via the normal equations (X^T X + lambda I) w = X^T y. `lambda` > 0
-/// guarantees the system is SPD, so this never fails for positive lambda.
-std::vector<double> RidgeSolve(const Matrix& x, const std::vector<double>& y,
-                               double lambda);
+/// via the normal equations (X^T X + lambda I) w = X^T y. A singular or
+/// non-finite Gram matrix (rank-deficient X, NaN/inf features) is retried
+/// once with a heavier diagonal; if that still fails the Status propagates
+/// instead of returning NaN-poisoned weights.
+Result<std::vector<double>> RidgeSolve(const Matrix& x,
+                                       const std::vector<double>& y,
+                                       double lambda);
 
 /// Per-column mean/stddev statistics used to z-score a feature matrix.
 struct ColumnStats {

@@ -11,15 +11,35 @@ namespace arda::ml {
 
 namespace {
 
-// Monotone bijection from double to uint64_t: a < b (as doubles) iff
+// Monotone map from double to uint64_t: a < b (as doubles) iff
 // OrderedBits(a) < OrderedBits(b), except that -0.0 orders before +0.0
 // where operator< calls them equal. The threshold scan never distinguishes
 // the two (equal values merge into one run), so the scan output is
-// unaffected by that tie order.
+// unaffected by that tie order. Every NaN maps to the single largest key,
+// defining the tree-wide NaN ordering: NaN sorts after +inf and all NaNs
+// are equal (raw bit-pattern ordering would scatter negative-sign NaNs
+// below -inf, diverging from the per-node comparison sort).
 uint64_t OrderedBits(double d) {
+  if (std::isnan(d)) return ~0ull;
   uint64_t b;
   std::memcpy(&b, &d, sizeof(b));
   return (b & 0x8000000000000000ull) ? ~b : (b | 0x8000000000000000ull);
+}
+
+// The comparison-sort side of the same ordering: a strict weak order that
+// matches operator< on non-NaN values and places NaN last, all NaNs tied.
+// (Plain operator< is not a strict weak order once NaN appears, so the
+// per-node std::sort would otherwise be undefined and could disagree with
+// the radix presort.)
+bool NanAwareLess(double a, double b) {
+  if (std::isnan(a) || std::isnan(b)) return !std::isnan(a);
+  return a < b;
+}
+
+// Equality under the same ordering: operator== on reals (so -0.0 and +0.0
+// still merge into one threshold run) and all NaNs equal to each other.
+bool SameValue(double a, double b) {
+  return a == b || (std::isnan(a) && std::isnan(b));
 }
 
 // Stable LSD radix sort by key; within equal keys the input order is kept,
@@ -148,8 +168,10 @@ void DecisionTree::Fit(const la::Matrix& x, const std::vector<double>& y) {
         }
         std::sort(keys.begin(), keys.end(),
                   [](const SortKey& a, const SortKey& b) {
-                    if (a.v != b.v) return a.v < b.v;
-                    if (a.y != b.y) return a.y < b.y;
+                    if (NanAwareLess(a.v, b.v)) return true;
+                    if (NanAwareLess(b.v, a.v)) return false;
+                    if (NanAwareLess(a.y, b.y)) return true;
+                    if (NanAwareLess(b.y, a.y)) return false;
                     return a.row < b.row;
                   });
         uint32_t* slice = feat_order_.data() + f * n;
@@ -217,7 +239,8 @@ void DecisionTree::ScanThresholds(size_t count, size_t feature,
       double left_imp = left_n - left_sq / left_n;
       double right_imp = right_n - right_sq / right_n;
       double gain = node_impurity - left_imp - right_imp;
-      if (gain > *best_gain) {
+      if (gain > *best_gain &&
+          std::isfinite(0.5 * (vals[i] + vals[i + 1]))) {
         *best_gain = gain;
         *best_feature = feature;
         *best_threshold = 0.5 * (vals[i] + vals[i + 1]);
@@ -246,7 +269,8 @@ void DecisionTree::ScanThresholds(size_t count, size_t feature,
       double right_sse =
           (total_sq - left_sq) - right_sum * right_sum / right_n;
       double gain = node_impurity - left_sse - right_sse;
-      if (gain > *best_gain) {
+      if (gain > *best_gain &&
+          std::isfinite(0.5 * (vals[i] + vals[i + 1]))) {
         *best_gain = gain;
         *best_feature = feature;
         *best_threshold = 0.5 * (vals[i] + vals[i + 1]);
@@ -315,7 +339,7 @@ int DecisionTree::BuildNode(const la::Matrix& x, const std::vector<double>& y,
     const double* col = columns_.data() + f * n;
     if (presorted_) {
       const uint32_t* slice = feat_order_.data() + f * n + begin;
-      if (col[slice[0]] == col[slice[count - 1]]) continue;  // constant
+      if (SameValue(col[slice[0]], col[slice[count - 1]])) continue;
       if (classification) {
         // Fused gather + threshold scan: each sorted row is touched once
         // instead of being staged through vals_/labs_. The arithmetic is
@@ -343,7 +367,9 @@ int DecisionTree::BuildNode(const la::Matrix& x, const std::vector<double>& y,
               double left_imp = left_n - left_sq / left_n;
               double right_imp = right_n - right_sq / right_n;
               double gain = node_impurity - left_imp - right_imp;
-              if (gain > best_gain) {
+              // A non-finite midpoint (the run boundary into the NaN
+              // region, or ±inf values) cannot partition rows; skip it.
+              if (gain > best_gain && std::isfinite(0.5 * (v + v_next))) {
                 best_gain = gain;
                 best_feature = f;
                 best_threshold = 0.5 * (v + v_next);
@@ -366,8 +392,16 @@ int DecisionTree::BuildNode(const la::Matrix& x, const std::vector<double>& y,
         size_t row = (*indices)[begin + i];
         sort_buf_[i] = {col[row], y[row]};
       }
-      std::sort(sort_buf_.begin(), sort_buf_.end());
-      if (sort_buf_.front().first == sort_buf_.back().first) continue;
+      std::sort(sort_buf_.begin(), sort_buf_.end(),
+                [](const std::pair<double, double>& a,
+                   const std::pair<double, double>& b) {
+                  if (NanAwareLess(a.first, b.first)) return true;
+                  if (NanAwareLess(b.first, a.first)) return false;
+                  return NanAwareLess(a.second, b.second);
+                });
+      if (SameValue(sort_buf_.front().first, sort_buf_.back().first)) {
+        continue;  // constant feature (an all-NaN column counts)
+      }
       for (size_t i = 0; i < count; ++i) {
         vals_[i] = sort_buf_[i].first;
         if (classification) {

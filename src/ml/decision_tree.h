@@ -37,6 +37,11 @@ struct TreeConfig {
 ///    index in O(n) after an O(n) stable partition per split;
 ///  - per-node sort (random-forest feature subsampling): the classic
 ///    gather-and-sort over only the sampled features.
+///
+/// NaN feature values are ordered identically in both modes: every NaN
+/// sorts after +inf and all NaNs compare equal, thresholds are never
+/// placed on a non-finite midpoint, and NaN rows always fall to the right
+/// child (x <= threshold is false), in Fit and Predict alike.
 class DecisionTree : public Model {
  public:
   explicit DecisionTree(const TreeConfig& config);

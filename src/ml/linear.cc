@@ -44,7 +44,12 @@ void RidgeRegression::Fit(const la::Matrix& x, const std::vector<double>& y) {
   intercept_ = la::Mean(y);
   std::vector<double> centered(y.size());
   for (size_t i = 0; i < y.size(); ++i) centered[i] = y[i] - intercept_;
-  weights_ = la::RidgeSolve(xs, centered, lambda_);
+  Result<std::vector<double>> solved = la::RidgeSolve(xs, centered, lambda_);
+  // Degenerate system (all-NaN features, injected fault): degrade to the
+  // intercept-only model rather than carrying NaN weights into every
+  // downstream prediction.
+  weights_ = solved.ok() ? std::move(solved).value()
+                         : std::vector<double>(xs.cols(), 0.0);
 }
 
 std::vector<double> RidgeRegression::Predict(const la::Matrix& x) const {

@@ -169,6 +169,79 @@ TEST(JoinEdgeTest, TwoWayCategoricalPicksOneOfTheNeighbors) {
   EXPECT_TRUE(value == "low" || value == "high");
 }
 
+TEST(JoinEdgeTest, DisjointKeySetsYieldEmptyProbeResult) {
+  // Every probe misses: the join must succeed with an all-null value
+  // column, not fail or drop rows.
+  df::DataFrame base;
+  ASSERT_TRUE(base.AddColumn(df::Column::Int64("k", {1, 2, 3})).ok());
+  df::DataFrame foreign;
+  ASSERT_TRUE(foreign.AddColumn(df::Column::Int64("k", {7, 8})).ok());
+  ASSERT_TRUE(foreign.AddColumn(df::Column::Double("v", {1.0, 2.0})).ok());
+  CandidateJoin cand;
+  cand.foreign_table = "t";
+  cand.keys = {JoinKeyPair{"k", "k", KeyKind::kHard}};
+  Rng rng(8);
+  Result<df::DataFrame> joined =
+      ExecuteLeftJoin(base, foreign, cand, {}, &rng);
+  ASSERT_TRUE(joined.ok());
+  EXPECT_EQ(joined->NumRows(), 3u);
+  EXPECT_EQ(joined->col("v").NullCount(), 3u);
+}
+
+TEST(JoinEdgeTest, AllNullHardJoinKeyYieldsNulls) {
+  // 100%-null join key on both sides: no row can match, every output
+  // value is null, and nothing crashes in the key encoder.
+  df::DataFrame base;
+  df::Column bk = df::Column::Empty("k", df::DataType::kInt64);
+  bk.AppendNull();
+  bk.AppendNull();
+  ASSERT_TRUE(base.AddColumn(std::move(bk)).ok());
+  df::DataFrame foreign;
+  df::Column fk = df::Column::Empty("k", df::DataType::kInt64);
+  fk.AppendNull();
+  ASSERT_TRUE(foreign.AddColumn(std::move(fk)).ok());
+  ASSERT_TRUE(foreign.AddColumn(df::Column::Double("v", {5.0})).ok());
+  CandidateJoin cand;
+  cand.foreign_table = "t";
+  cand.keys = {JoinKeyPair{"k", "k", KeyKind::kHard}};
+  Rng rng(9);
+  Result<df::DataFrame> joined =
+      ExecuteLeftJoin(base, foreign, cand, {}, &rng);
+  ASSERT_TRUE(joined.ok());
+  EXPECT_EQ(joined->NumRows(), 2u);
+  EXPECT_EQ(joined->col("v").NullCount(), 2u);
+}
+
+TEST(JoinEdgeTest, OneToManyPreAggregationOverAllNullValues) {
+  // Duplicate foreign keys force the pre-aggregation path; the value
+  // column is entirely null, so each group aggregates to null and the
+  // joined column is null everywhere a key matches.
+  df::DataFrame base;
+  ASSERT_TRUE(base.AddColumn(df::Column::Int64("k", {1, 2})).ok());
+  df::DataFrame foreign;
+  ASSERT_TRUE(foreign.AddColumn(df::Column::Int64("k", {1, 1, 2})).ok());
+  df::Column v = df::Column::Empty("v", df::DataType::kDouble);
+  v.AppendNull();
+  v.AppendNull();
+  v.AppendNull();
+  ASSERT_TRUE(foreign.AddColumn(std::move(v)).ok());
+  CandidateJoin cand;
+  cand.foreign_table = "t";
+  cand.keys = {JoinKeyPair{"k", "k", KeyKind::kHard}};
+  Rng rng(10);
+  Result<df::DataFrame> joined =
+      ExecuteLeftJoin(base, foreign, cand, {}, &rng);
+  ASSERT_TRUE(joined.ok());
+  EXPECT_EQ(joined->NumRows(), 2u);
+  EXPECT_EQ(joined->col("v").NullCount(), 2u);
+  // The degraded frame still imputes: an all-null double column becomes
+  // constant without error.
+  df::DataFrame frame = std::move(joined).value();
+  Rng impute_rng(11);
+  EXPECT_TRUE(ImputeInPlace(&frame, &impute_rng).ok());
+  EXPECT_EQ(frame.col("v").NullCount(), 0u);
+}
+
 TEST(JoinEdgeTest, ForeignWithOnlyKeyColumnsAddsNothing) {
   df::DataFrame base;
   ASSERT_TRUE(base.AddColumn(df::Column::Int64("k", {1, 2})).ok());

@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "join/impute.h"
 #include "join/join_executor.h"
 #include "join/resample.h"
@@ -303,6 +305,27 @@ TEST(ResampleTest, DetectGranularity) {
   EXPECT_DOUBLE_EQ(DetectGranularity(single), 0.0);
   df::Column strings = df::Column::String("s", {"a"});
   EXPECT_DOUBLE_EQ(DetectGranularity(strings), 0.0);
+}
+
+TEST(ResampleTest, DetectGranularitySnapsAndSkipsNonFiniteGaps) {
+  // Gaps of 0.1 accumulate binary error; the 9-significant-digit snap
+  // must collapse them to one granularity, not a cloud of near-0.1s.
+  std::vector<double> times;
+  for (int i = 0; i < 30; ++i) times.push_back(0.1 * i);
+  df::Column tenths = df::Column::Double("t", times);
+  EXPECT_DOUBLE_EQ(DetectGranularity(tenths), 0.1);
+
+  // An infinite value makes one gap non-finite; it must be ignored, not
+  // crash the string round-trip or win the granularity vote.
+  df::Column with_inf = df::Column::Double(
+      "t", {0.0, 1.0, 2.0, 3.0, std::numeric_limits<double>::infinity()});
+  EXPECT_DOUBLE_EQ(DetectGranularity(with_inf), 1.0);
+
+  // All-infinite gaps: no usable granularity.
+  df::Column infs = df::Column::Double(
+      "t", {-std::numeric_limits<double>::infinity(), 0.0,
+            std::numeric_limits<double>::infinity()});
+  EXPECT_DOUBLE_EQ(DetectGranularity(infs), 0.0);
 }
 
 TEST(ResampleTest, AggregatesFineRowsIntoCoarseBuckets) {

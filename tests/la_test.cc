@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 
 #include "la/linalg.h"
 #include "la/matrix.h"
@@ -170,8 +171,26 @@ TEST(RidgeSolveTest, RecoversLinearModel) {
     }
     y[r] = acc;
   }
-  std::vector<double> w = RidgeSolve(x, y, 1e-6);
-  for (size_t c = 0; c < d; ++c) EXPECT_NEAR(w[c], truth[c], 1e-3);
+  Result<std::vector<double>> w = RidgeSolve(x, y, 1e-6);
+  ASSERT_TRUE(w.ok());
+  for (size_t c = 0; c < d; ++c) EXPECT_NEAR((*w)[c], truth[c], 1e-3);
+}
+
+TEST(RidgeSolveTest, NonFiniteGramReturnsStatusNotNaNWeights) {
+  // A NaN feature poisons the Gram matrix; no amount of diagonal jitter
+  // fixes it, so the solver must fail with a Status instead of silently
+  // returning NaN weights.
+  Matrix x(3, 2);
+  x(0, 0) = 1.0;
+  x(0, 1) = std::numeric_limits<double>::quiet_NaN();
+  x(1, 0) = 2.0;
+  x(1, 1) = 1.0;
+  x(2, 0) = 3.0;
+  x(2, 1) = -1.0;
+  std::vector<double> y = {1.0, 2.0, 3.0};
+  Result<std::vector<double>> w = RidgeSolve(x, y, 1e-3);
+  ASSERT_FALSE(w.ok());
+  EXPECT_NE(w.status().message().find("singular"), std::string::npos);
 }
 
 TEST(StandardizeTest, ZeroMeanUnitVariance) {

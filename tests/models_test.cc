@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 
 #include "ml/decision_tree.h"
 #include "ml/linear.h"
@@ -334,6 +335,113 @@ TEST(RbfSvmTest, MulticlassOneVsRest) {
   RbfSvm svm;
   svm.Fit(x, y);
   EXPECT_GT(Accuracy(y, svm.Predict(x)), 0.92);
+}
+
+// --- NaN feature ordering contract (see decision_tree.h): every NaN
+// sorts after +inf, all NaNs compare equal, thresholds are never
+// non-finite, and NaN rows fall to the right child. ---
+
+// Regression data whose single informative signal lives in two identical
+// columns, both salted with NaNs. Duplicating the column lets the
+// per-node-sampling mode (max_features=1) see an equivalent candidate at
+// every node, so its *predictions* must be bit-identical to the
+// pre-sorted mode's even though the sampled column index varies.
+struct NanData {
+  la::Matrix x;
+  std::vector<double> y;
+};
+
+NanData MakeNanData(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  NanData data;
+  data.x = la::Matrix(n, 2);
+  data.y.resize(n);
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  for (size_t i = 0; i < n; ++i) {
+    double v = std::round(rng.Normal() * 4.0) / 4.0;
+    if (i % 7 == 0) v = nan;  // ~14% missing
+    data.x(i, 0) = v;
+    data.x(i, 1) = v;
+    data.y[i] = std::isnan(v) ? 5.0 : 2.0 * v + rng.Normal(0.0, 0.05);
+  }
+  return data;
+}
+
+TEST(DecisionTreeNanTest, PresortAndPerNodeSortAgreeOnNanOrdering) {
+  NanData data = MakeNanData(240, 11);
+  TreeConfig presort_config;
+  presort_config.task = TaskType::kRegression;
+  presort_config.seed = 3;
+  DecisionTree presorted(presort_config);  // max_features=0 -> pre-sorted
+  presorted.Fit(data.x, data.y);
+
+  TreeConfig pernode_config = presort_config;
+  pernode_config.max_features = 1;  // forces the per-node gather-and-sort
+  DecisionTree pernode(pernode_config);
+  pernode.Fit(data.x, data.y);
+
+  // Neither mode may place a threshold on a non-finite midpoint.
+  EXPECT_EQ(presorted.Serialize().find("nan"), std::string::npos);
+  EXPECT_EQ(presorted.Serialize().find("inf"), std::string::npos);
+  EXPECT_EQ(pernode.Serialize().find("nan"), std::string::npos);
+  EXPECT_EQ(pernode.Serialize().find("inf"), std::string::npos);
+
+  // The duplicated column makes every sampled candidate equivalent, so a
+  // shared NaN ordering forces bit-identical predictions across modes.
+  std::vector<double> a = presorted.Predict(data.x);
+  std::vector<double> b = pernode.Predict(data.x);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i], b[i]) << "row " << i;
+  }
+}
+
+TEST(DecisionTreeNanTest, NanRowsFallToTheRightChild) {
+  // Feature values 0..3 plus NaNs whose targets match the largest finite
+  // value's: a NaN probe must land in the rightmost leaf.
+  la::Matrix x(8, 1);
+  std::vector<double> y;
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  std::vector<double> vals = {0.0, 1.0, 2.0, 3.0, 0.0, 1.0, nan, nan};
+  for (size_t i = 0; i < vals.size(); ++i) {
+    x(i, 0) = vals[i];
+    double v = std::isnan(vals[i]) ? 3.0 : vals[i];
+    y.push_back(v >= 2.0 ? 10.0 : -10.0);
+  }
+  TreeConfig config;
+  config.task = TaskType::kRegression;
+  config.seed = 1;
+  DecisionTree tree(config);
+  tree.Fit(x, y);
+
+  la::Matrix probe(2, 1);
+  probe(0, 0) = nan;
+  probe(1, 0) = 3.0;
+  std::vector<double> pred = tree.Predict(probe);
+  // NaN and the largest finite value route identically (both rightward).
+  EXPECT_EQ(pred[0], pred[1]);
+  EXPECT_DOUBLE_EQ(pred[0], 10.0);
+}
+
+TEST(DecisionTreeNanTest, AllNanColumnIsTreatedAsConstant) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  la::Matrix x(20, 2);
+  std::vector<double> y;
+  for (size_t i = 0; i < 20; ++i) {
+    x(i, 0) = nan;  // never splittable
+    x(i, 1) = static_cast<double>(i);
+    y.push_back(i < 10 ? -1.0 : 1.0);
+  }
+  TreeConfig config;
+  config.task = TaskType::kRegression;
+  config.seed = 2;
+  DecisionTree tree(config);
+  tree.Fit(x, y);
+  // The split must come from the finite column, and importances must not
+  // credit the all-NaN one.
+  EXPECT_GT(tree.NumNodes(), 1u);
+  EXPECT_EQ(tree.feature_importances()[0], 0.0);
+  EXPECT_GT(tree.feature_importances()[1], 0.0);
 }
 
 }  // namespace

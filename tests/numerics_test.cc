@@ -56,7 +56,9 @@ TEST(NumericsTest, LassoAtTinyAlphaMatchesRidgeAtTinyLambda) {
 TEST(NumericsTest, RidgeSolveMatchesDirectNormalEquations) {
   LinearProblem p = MakeProblem(120, 4, 0.0, 2);
   const double lambda = 0.5;
-  std::vector<double> via_solver = la::RidgeSolve(p.x, p.y, lambda);
+  Result<std::vector<double>> solved = la::RidgeSolve(p.x, p.y, lambda);
+  ASSERT_TRUE(solved.ok());
+  std::vector<double> via_solver = std::move(solved).value();
   // Direct: (X^T X + lambda I) w = X^T y through explicit products.
   la::Matrix xt = p.x.Transposed();
   la::Matrix gram = xt.Multiply(p.x);

@@ -170,6 +170,14 @@ Status RunCli(const CliOptions& options) {
   const bool classification = task.task == ml::TaskType::kClassification;
   std::printf("tables considered: %zu, joined: %zu\n",
               report.tables_considered, report.tables_joined);
+  if (!report.skipped_candidates.empty()) {
+    std::printf("skipped %zu candidate(s):\n",
+                report.skipped_candidates.size());
+    for (const core::SkippedCandidate& skip : report.skipped_candidates) {
+      std::printf("  %s [%s]: %s\n", skip.table.c_str(), skip.stage.c_str(),
+                  skip.reason.c_str());
+    }
+  }
   if (classification) {
     std::printf("base accuracy:      %.2f%%\n", report.base_score * 100.0);
     std::printf("augmented accuracy: %.2f%%  (%+.1f%%)\n",

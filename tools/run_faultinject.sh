@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Builds the project under AddressSanitizer and runs the fault-injection
+# matrix (ctest label `faultinject`), so every single-site fault is
+# exercised with memory checking on. Usage:
+#
+#   tools/run_faultinject.sh [build-dir]
+#
+# The default build dir (build-asan-faultinject) is separate from the
+# regular `build/` tree so the sanitizer flags never leak into it.
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-$repo_root/build-asan-faultinject}"
+
+cmake -B "$build_dir" -S "$repo_root" -DARDA_SANITIZE=address
+cmake --build "$build_dir" --target fault_injection_test -j"$(nproc)"
+ctest --test-dir "$build_dir" -L faultinject --output-on-failure
