@@ -20,6 +20,7 @@
 #include "ml/decision_tree.h"
 #include "ml/random_forest.h"
 #include "util/string_util.h"
+#include "util/trace.h"
 
 namespace arda::bench {
 namespace {
@@ -206,18 +207,20 @@ std::vector<KernelResult> RunAll(const BenchOptions& options, bool smoke) {
 }
 
 void PrintJson(const std::vector<KernelResult>& results, uint64_t seed,
-               bool smoke) {
+               bool smoke, bool tracing) {
   std::printf("{\n");
   std::printf("  \"bench\": \"kernels\",\n");
   std::printf("  \"seed\": %llu,\n",
               static_cast<unsigned long long>(seed));
   std::printf("  \"smoke\": %s,\n", smoke ? "true" : "false");
+  std::printf("  \"tracing\": %s,\n", tracing ? "true" : "false");
   std::printf("  \"results\": [\n");
   for (size_t i = 0; i < results.size(); ++i) {
     const KernelResult& r = results[i];
     std::printf("    {\"name\": \"%s\", \"seconds\": %.6f, "
                 "\"items_per_second\": %.1f, \"checksum\": %llu}%s\n",
-                r.name.c_str(), r.seconds, r.items_per_second,
+                arda::JsonEscape(r.name).c_str(), r.seconds,
+                r.items_per_second,
                 static_cast<unsigned long long>(r.checksum),
                 i + 1 < results.size() ? "," : "");
   }
@@ -231,12 +234,18 @@ int main(int argc, char** argv) {
   using namespace arda::bench;
   BenchOptions options = ParseOptions(argc, argv);
   bool smoke = false;
+  bool tracing = false;
   for (int i = 1; i < argc; ++i) {
     if (std::string(argv[i]) == "--smoke") smoke = true;
+    // Arms span tracing for the whole run: measures the instrumentation
+    // overhead (tools/run_bench.sh --trace-overhead diffs on vs. off) and
+    // doubles as a determinism check since checksums must not move.
+    if (std::string(argv[i]) == "--trace") tracing = true;
   }
+  if (tracing) arda::trace::Enable();
   std::vector<KernelResult> results = RunAll(options, smoke);
   if (options.json) {
-    PrintJson(results, options.seed, smoke);
+    PrintJson(results, options.seed, smoke, tracing);
     return 0;
   }
   std::printf("=== Hot-path kernel benchmarks ===\n");

@@ -11,8 +11,11 @@
 #include "discovery/tuple_ratio.h"
 #include "featsel/selector.h"
 #include "join/impute.h"
+#include "util/metrics.h"
+#include "util/string_util.h"
 #include "util/thread_pool.h"
 #include "util/timer.h"
+#include "util/trace.h"
 
 namespace arda::core {
 
@@ -165,6 +168,16 @@ std::set<std::string> SourceColumnsOf(const df::DataFrame& frame,
   return columns;
 }
 
+// Records a graceful-degradation skip in the report AND in the metrics
+// registry (`skips.<stage>` counter) so observability consumers see the
+// same list the report carries (asserted by fault_injection_test).
+void RecordSkip(ArdaReport* report, std::string table, const char* stage,
+                std::string reason) {
+  metrics::IncrementCounter(std::string("skips.") + stage);
+  report->skipped_candidates.push_back(
+      {std::move(table), stage, std::move(reason)});
+}
+
 }  // namespace
 
 Arda::Arda(const ArdaConfig& config) : config_(config) {}
@@ -177,6 +190,8 @@ Result<ArdaReport> Arda::Run(const AugmentationTask& task) const {
   if (!task.base.HasColumn(task.target_column)) {
     return Status::NotFound("no such target column: " + task.target_column);
   }
+  trace::StageScope run_scope("arda.run", "base=" + task.base_table_name);
+  metrics::IncrementCounter("pipeline.runs_total");
   Rng rng(config_.seed);
 
   ArdaReport report;
@@ -185,41 +200,54 @@ Result<ArdaReport> Arda::Run(const AugmentationTask& task) const {
   // to running on the full base table.
   df::DataFrame coreset_base;
   {
+    trace::StageScope scope("coreset");
     Result<df::DataFrame> sampled =
         coreset::SampleCoreset(task.base, task.target_column, task.task,
                                config_.coreset, &rng);
     if (sampled.ok()) {
       coreset_base = std::move(sampled).value();
     } else {
-      report.skipped_candidates.push_back(
-          {task.base_table_name, "coreset", sampled.status().message()});
+      RecordSkip(&report, task.base_table_name, "coreset",
+                 sampled.status().message());
       coreset_base = task.base;
     }
+    metrics::ObserveSize("coreset.rows", coreset_base.NumRows());
   }
 
   // 2. Candidate joins: provided, or discovered in the repository.
   std::vector<discovery::CandidateJoin> candidates = task.candidates;
   if (candidates.empty()) {
+    trace::StageScope scope("discovery");
     candidates = discovery::DiscoverCandidates(
         *task.repo, task.base_table_name, task.target_column);
   }
+  metrics::IncrementCounter("discovery.candidates_total",
+                            candidates.size());
 
   report.tables_considered = candidates.size();
 
   // Optional Tuple-Ratio prefilter (Kumar et al. decision rule).
   if (config_.use_tuple_ratio_prefilter) {
+    trace::StageScope scope("tuple_ratio");
     discovery::TupleRatioFilterResult filtered =
         discovery::FilterByTupleRatio(*task.repo, coreset_base, candidates,
                                       config_.tuple_ratio_tau);
     report.tables_filtered_by_tuple_ratio = filtered.removed.size();
+    metrics::IncrementCounter("discovery.tuple_ratio_filtered_total",
+                              filtered.removed.size());
     candidates = std::move(filtered.kept);
   }
 
   // 3. Join plan.
   size_t budget = config_.budget == 0 ? coreset_base.NumRows()
                                       : config_.budget;
-  std::vector<std::vector<discovery::CandidateJoin>> batches = BuildJoinPlan(
-      candidates, *task.repo, config_.plan, budget, config_.encode);
+  std::vector<std::vector<discovery::CandidateJoin>> batches;
+  {
+    trace::StageScope scope("join_plan");
+    batches = BuildJoinPlan(candidates, *task.repo, config_.plan, budget,
+                            config_.encode);
+    metrics::SetGauge("join_plan.batches", batches.size());
+  }
 
   featsel::RifsConfig rifs_config = config_.rifs;
   if (rifs_config.num_threads == 0) {
@@ -238,10 +266,11 @@ Result<ArdaReport> Arda::Run(const AugmentationTask& task) const {
   // the unimputed frame: EncodeFeatures fills numeric nulls on its own.
   df::DataFrame current = coreset_base;
   {
+    trace::StageScope scope("impute");
     Status imputed = join::ImputeInPlace(&current, &rng);
     if (!imputed.ok()) {
-      report.skipped_candidates.push_back(
-          {task.base_table_name, "impute", imputed.message()});
+      RecordSkip(&report, task.base_table_name, "impute",
+                 imputed.message());
     }
   }
 
@@ -255,7 +284,12 @@ Result<ArdaReport> Arda::Run(const AugmentationTask& task) const {
   report.num_threads = ResolveNumThreads(config_.num_threads);
 
   // 4. Batched join execution + feature selection.
+  size_t batch_index = 0;
   for (const std::vector<discovery::CandidateJoin>& batch : batches) {
+    trace::TraceSpan batch_span(
+        "batch", "pipeline",
+        StrFormat("batch %zu: %zu candidate(s)", batch_index++,
+                  batch.size()));
     BatchLog log;
     Stopwatch join_watch;
     // Candidate joins are independent: ExecuteLeftJoin keeps every base
@@ -273,6 +307,7 @@ Result<ArdaReport> Arda::Run(const AugmentationTask& task) const {
     // barrier, on the calling thread, in candidate order.
     std::vector<Status> join_errors(batch.size());
     ParallelFor(batch.size(), config_.num_threads, [&](size_t i) {
+      trace::StageScope scope("join", batch[i].foreign_table);
       Result<const df::DataFrame*> foreign =
           task.repo->Get(batch[i].foreign_table);
       if (!foreign.ok()) {
@@ -293,8 +328,8 @@ Result<ArdaReport> Arda::Run(const AugmentationTask& task) const {
     bool joined_any = false;
     for (size_t i = 0; i < batch.size(); ++i) {
       if (joined[i] == nullptr) {
-        report.skipped_candidates.push_back(
-            {batch[i].foreign_table, "join", join_errors[i].message()});
+        RecordSkip(&report, batch[i].foreign_table, "join",
+                   join_errors[i].message());
         continue;
       }
       df::DataFrame new_cols;
@@ -307,13 +342,15 @@ Result<ArdaReport> Arda::Run(const AugmentationTask& task) const {
                                : config_.join.column_prefix;
       Status stacked = working.HStack(new_cols, prefix);
       if (!stacked.ok()) {
-        report.skipped_candidates.push_back(
-            {batch[i].foreign_table, "merge", stacked.message()});
+        RecordSkip(&report, batch[i].foreign_table, "merge",
+                   stacked.message());
         continue;
       }
       log.tables.push_back(batch[i].foreign_table);
       joined_any = true;
     }
+    metrics::IncrementCounter("join.candidates_joined_total",
+                              log.tables.size());
     log.join_seconds = join_watch.ElapsedSeconds();
     report.join_seconds += log.join_seconds;
     if (!joined_any) {
@@ -321,21 +358,24 @@ Result<ArdaReport> Arda::Run(const AugmentationTask& task) const {
       continue;
     }
     {
+      trace::StageScope scope("impute");
       Status imputed = join::ImputeInPlace(&working, &rng);
       if (!imputed.ok()) {
         // Degrade to the unimputed frame; encoding fills numeric nulls.
-        report.skipped_candidates.push_back(
-            {JoinedTableList(log.tables), "impute", imputed.message()});
+        RecordSkip(&report, JoinedTableList(log.tables), "impute",
+                   imputed.message());
       }
     }
 
     Stopwatch select_watch;
-    Result<ml::Dataset> working_result =
-        BuildDataset(working, task.target_column, task.task, config_.encode);
+    Result<ml::Dataset> working_result = [&] {
+      trace::StageScope scope("encode");
+      return BuildDataset(working, task.target_column, task.task,
+                          config_.encode);
+    }();
     if (!working_result.ok()) {
-      report.skipped_candidates.push_back({JoinedTableList(log.tables),
-                                           "encode",
-                                           working_result.status().message()});
+      RecordSkip(&report, JoinedTableList(log.tables), "encode",
+                 working_result.status().message());
       log.score_after = current_score;
       report.batches.push_back(std::move(log));
       continue;
@@ -353,12 +393,15 @@ Result<ArdaReport> Arda::Run(const AugmentationTask& task) const {
     ml::Evaluator evaluator(selection_data, config_.test_fraction,
                             config_.seed);
     Rng selector_rng = rng.Fork();
-    Result<featsel::SelectionResult> selected =
-        selector->TrySelect(selection_data, evaluator, &selector_rng);
+    Result<featsel::SelectionResult> selected = [&] {
+      trace::StageScope scope(
+          "select", StrFormat("%zu features",
+                              selection_data.NumFeatures()));
+      return selector->TrySelect(selection_data, evaluator, &selector_rng);
+    }();
     if (!selected.ok()) {
-      report.skipped_candidates.push_back({JoinedTableList(log.tables),
-                                           "select",
-                                           selected.status().message()});
+      RecordSkip(&report, JoinedTableList(log.tables), "select",
+                 selected.status().message());
       log.selection_seconds = select_watch.ElapsedSeconds();
       report.selection_seconds += log.selection_seconds;
       log.score_after = current_score;
@@ -384,6 +427,7 @@ Result<ArdaReport> Arda::Run(const AugmentationTask& task) const {
     if (!new_columns.empty()) {
       // Accept the batch only if the kept columns actually improve the
       // holdout score over the current augmentation.
+      trace::StageScope scope("accept");
       df::DataFrame candidate_frame = current;
       for (const std::string& name : new_columns) {
         Status st = candidate_frame.AddColumn(working.col(name));
@@ -394,9 +438,8 @@ Result<ArdaReport> Arda::Run(const AugmentationTask& task) const {
                        config_.encode);
       if (!candidate_result.ok()) {
         // Reject the batch instead of failing the run.
-        report.skipped_candidates.push_back(
-            {JoinedTableList(log.tables), "accept",
-             candidate_result.status().message()});
+        RecordSkip(&report, JoinedTableList(log.tables), "accept",
+                   candidate_result.status().message());
       } else {
         ml::Dataset candidate_data = std::move(candidate_result).value();
         ml::Evaluator accept_evaluator(candidate_data, config_.test_fraction,
@@ -414,29 +457,37 @@ Result<ArdaReport> Arda::Run(const AugmentationTask& task) const {
     report.batches.push_back(std::move(log));
   }
 
-  // 5. Final estimate on the augmented table.
-  ARDA_ASSIGN_OR_RETURN(ml::Dataset final_data,
-                        BuildDataset(current, task.target_column, task.task,
-                                     config_.encode));
-  ml::Evaluator final_evaluator(final_data, config_.test_fraction,
-                                config_.seed);
-  report.final_score =
-      final_evaluator.FinalScore(ml::AllFeatureIndices(
-          final_data.NumFeatures()));
-  report.selected_features = final_data.feature_names;
+  // 5. Final estimate on the augmented table. The stage scope closes
+  // before the metrics snapshot below so its own latency shows up in this
+  // run's report.
+  {
+    trace::StageScope final_scope("final_estimate");
+    ARDA_ASSIGN_OR_RETURN(ml::Dataset final_data,
+                          BuildDataset(current, task.target_column,
+                                       task.task, config_.encode));
+    ml::Evaluator final_evaluator(final_data, config_.test_fraction,
+                                  config_.seed);
+    report.final_score =
+        final_evaluator.FinalScore(ml::AllFeatureIndices(
+            final_data.NumFeatures()));
+    report.selected_features = final_data.feature_names;
 
-  ARDA_ASSIGN_OR_RETURN(ml::Dataset base_data,
-                        BuildDataset(current.Select(
-                                         coreset_base.ColumnNames())
-                                         .value(),
-                                     task.target_column, task.task,
-                                     config_.encode));
-  ml::Evaluator base_final(base_data, config_.test_fraction, config_.seed);
-  report.base_score = base_final.FinalScore(
-      ml::AllFeatureIndices(base_data.NumFeatures()));
+    ARDA_ASSIGN_OR_RETURN(ml::Dataset base_data,
+                          BuildDataset(current.Select(
+                                           coreset_base.ColumnNames())
+                                           .value(),
+                                       task.target_column, task.task,
+                                       config_.encode));
+    ml::Evaluator base_final(base_data, config_.test_fraction,
+                             config_.seed);
+    report.base_score = base_final.FinalScore(
+        ml::AllFeatureIndices(base_data.NumFeatures()));
+  }
 
   report.augmented = std::move(current);
   report.total_seconds = total_watch.ElapsedSeconds();
+  metrics::UpdatePeakRssGauge();
+  report.metrics = metrics::GlobalRegistry().Snapshot();
   return report;
 }
 

@@ -8,6 +8,7 @@
 #include "discovery/candidate.h"
 #include "discovery/repository.h"
 #include "ml/dataset.h"
+#include "util/metrics.h"
 #include "util/status.h"
 
 namespace arda::core {
@@ -73,6 +74,12 @@ struct ArdaReport {
   /// Effective thread count the run used (resolved from
   /// ArdaConfig::num_threads; results do not depend on it).
   size_t num_threads = 1;
+  /// Snapshot of the process-wide metrics registry taken when the run
+  /// finished (counters/gauges/histograms are cumulative across runs in
+  /// the same process; see docs/observability.md). Every
+  /// `skipped_candidates` entry has a matching `skips.<stage>` counter
+  /// increment.
+  metrics::MetricsSnapshot metrics;
 
   /// Percent improvement of final_score over base_score, the number the
   /// paper's Figure 3 reports. Regression scores are negative MAE, so the

@@ -6,37 +6,6 @@
 
 namespace arda::core {
 
-std::string JsonEscape(const std::string& text) {
-  std::string out;
-  out.reserve(text.size() + 2);
-  for (char c : text) {
-    switch (c) {
-      case '"':
-        out += "\\\"";
-        break;
-      case '\\':
-        out += "\\\\";
-        break;
-      case '\n':
-        out += "\\n";
-        break;
-      case '\r':
-        out += "\\r";
-        break;
-      case '\t':
-        out += "\\t";
-        break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          out += StrFormat("\\u%04x", c);
-        } else {
-          out += c;
-        }
-    }
-  }
-  return out;
-}
-
 namespace {
 
 std::string JsonStringArray(const std::vector<std::string>& values) {
@@ -50,6 +19,56 @@ std::string JsonStringArray(const std::vector<std::string>& values) {
 }
 
 }  // namespace
+
+std::string MetricsToJson(const metrics::MetricsSnapshot& snapshot,
+                          const std::string& indent) {
+  const std::string in1 = indent + "  ";
+  const std::string in2 = indent + "    ";
+  std::string out = "{\n";
+
+  out += in1 + "\"counters\": {";
+  for (size_t i = 0; i < snapshot.counters.size(); ++i) {
+    const metrics::CounterSnapshot& c = snapshot.counters[i];
+    if (i > 0) out += ",";
+    out += "\n" + in2 + "\"" + JsonEscape(c.name) + "\": " +
+           StrFormat("%llu", static_cast<unsigned long long>(c.value));
+  }
+  out += snapshot.counters.empty() ? "},\n" : "\n" + in1 + "},\n";
+
+  out += in1 + "\"gauges\": {";
+  for (size_t i = 0; i < snapshot.gauges.size(); ++i) {
+    const metrics::GaugeSnapshot& g = snapshot.gauges[i];
+    if (i > 0) out += ",";
+    out += "\n" + in2 + "\"" + JsonEscape(g.name) + "\": " +
+           StrFormat("%.10g", g.value);
+  }
+  out += snapshot.gauges.empty() ? "},\n" : "\n" + in1 + "},\n";
+
+  out += in1 + "\"histograms\": [";
+  for (size_t i = 0; i < snapshot.histograms.size(); ++i) {
+    const metrics::HistogramSnapshot& h = snapshot.histograms[i];
+    if (i > 0) out += ",";
+    out += "\n" + in2 + "{\"name\": \"" + JsonEscape(h.name) + "\", ";
+    out += StrFormat("\"count\": %llu, ",
+                     static_cast<unsigned long long>(h.count));
+    out += StrFormat("\"sum\": %.10g, \"min\": %.10g, \"max\": %.10g, ",
+                     h.sum, h.min, h.max);
+    out += "\"buckets\": [";
+    for (size_t b = 0; b < h.bucket_counts.size(); ++b) {
+      if (b > 0) out += ", ";
+      std::string le = b < h.bounds.size()
+                           ? StrFormat("%.6g", h.bounds[b])
+                           : std::string("\"+Inf\"");
+      out += StrFormat(
+          "{\"le\": %s, \"count\": %llu}", le.c_str(),
+          static_cast<unsigned long long>(h.bucket_counts[b]));
+    }
+    out += "]}";
+  }
+  out += snapshot.histograms.empty() ? "]\n" : "\n" + in1 + "]\n";
+  out += indent + "}";
+  return out;
+}
 
 std::string ReportToJson(const ArdaReport& report) {
   std::string out = "{\n";
@@ -99,7 +118,8 @@ std::string ReportToJson(const ArdaReport& report) {
     out += "\"reason\": \"" + JsonEscape(skip.reason) + "\"}";
     out += i + 1 < report.skipped_candidates.size() ? ",\n" : "\n";
   }
-  out += "  ]\n}\n";
+  out += "  ],\n";
+  out += "  \"metrics\": " + MetricsToJson(report.metrics) + "\n}\n";
   return out;
 }
 

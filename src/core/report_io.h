@@ -4,21 +4,32 @@
 #include <string>
 
 #include "core/arda.h"
+#include "util/metrics.h"
+#include "util/string_util.h"
 
 namespace arda::core {
 
 /// Serializes an ArdaReport as a JSON object (scores, timings, per-batch
-/// log, selected feature names and augmented-table schema — not the data
-/// itself). Stable key names; intended for dashboards and the CLI's
-/// --report-json flag.
+/// log, selected feature names, augmented-table schema and the `metrics`
+/// snapshot — not the data itself). Stable key names; intended for
+/// dashboards and the CLI's --report-json flag.
 std::string ReportToJson(const ArdaReport& report);
 
 /// Writes ReportToJson(report) to `path`.
 Status WriteReportJson(const ArdaReport& report, const std::string& path);
 
+/// Serializes a metrics snapshot as a JSON object with `counters` and
+/// `gauges` name→value maps plus a `histograms` array (bucket upper
+/// bounds use "+Inf" for the overflow bucket, Prometheus-style).
+std::string MetricsToJson(const metrics::MetricsSnapshot& snapshot,
+                          const std::string& indent = "  ");
+
 /// Escapes a string for embedding in JSON (quotes, backslashes, control
-/// characters).
-std::string JsonEscape(const std::string& text);
+/// characters). Delegates to the shared arda::JsonEscape helper that
+/// every JSON emitter in the repo must use.
+inline std::string JsonEscape(const std::string& text) {
+  return ::arda::JsonEscape(text);
+}
 
 }  // namespace arda::core
 

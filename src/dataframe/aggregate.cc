@@ -4,6 +4,7 @@
 
 #include "dataframe/key_encoder.h"
 #include "util/fault.h"
+#include "util/trace.h"
 
 namespace arda::df {
 
@@ -74,6 +75,7 @@ Result<DataFrame> GroupByAggregateImpl(const DataFrame& frame,
                                        const std::vector<size_t>& key_idx,
                                        const KeyEncoder& encoder,
                                        const AggregateOptions& options) {
+  trace::StageScope scope("preaggregate");
   ARDA_FAULT_POINT(fault::kPreAggregate);
   const size_t n = frame.NumRows();
   const std::vector<size_t>& group_first_row = encoder.group_first_row();

@@ -6,7 +6,9 @@
 #include "featsel/model_rankers.h"
 #include "la/linalg.h"
 #include "util/check.h"
+#include "util/metrics.h"
 #include "util/thread_pool.h"
+#include "util/trace.h"
 
 namespace arda::featsel {
 
@@ -149,6 +151,8 @@ RifsResult RunRifs(const ml::Dataset& data, const ml::Evaluator& evaluator,
   std::vector<std::vector<uint8_t>> round_beats(
       config.num_rounds, std::vector<uint8_t>(d, 0));
   ParallelFor(config.num_rounds, config.num_threads, [&](size_t round) {
+    trace::TraceSpan round_span("rifs.round", "rifs");
+    metrics::IncrementCounter("rifs.rounds_total");
     ml::Dataset augmented;
     augmented.task = data.task;
     augmented.y = data.y;
@@ -176,9 +180,15 @@ RifsResult RunRifs(const ml::Dataset& data, const ml::Evaluator& evaluator,
     for (size_t j = d; j < d + t; ++j) {
       max_noise = std::max(max_noise, aggregate[j]);
     }
+    size_t beat_count = 0;
     for (size_t j = 0; j < d; ++j) {
-      if (aggregate[j] > max_noise) round_beats[round][j] = 1;
+      if (aggregate[j] > max_noise) {
+        round_beats[round][j] = 1;
+        ++beat_count;
+      }
     }
+    metrics::ObserveSize("rifs.round_features_beat_noise",
+                         static_cast<double>(beat_count));
   });
 
   // Ordered reduction over rounds.
@@ -209,6 +219,7 @@ RifsResult RunRifs(const ml::Dataset& data, const ml::Evaluator& evaluator,
     if (subset.empty()) break;
     double score = evaluator.ScoreFeatures(subset);
     ++result.evaluations;
+    metrics::IncrementCounter("rifs.threshold_evaluations_total");
     if (score > result.score) {
       result.score = score;
       result.selected = std::move(subset);
@@ -228,6 +239,7 @@ RifsResult RunRifs(const ml::Dataset& data, const ml::Evaluator& evaluator,
     result.selected = {best};
     result.score = evaluator.ScoreFeatures(result.selected);
     ++result.evaluations;
+    metrics::IncrementCounter("rifs.threshold_evaluations_total");
   }
   return result;
 }

@@ -7,6 +7,8 @@
 #include "dataframe/key_encoder.h"
 #include "join/resample.h"
 #include "util/fault.h"
+#include "util/metrics.h"
+#include "util/trace.h"
 
 namespace arda::join {
 
@@ -105,6 +107,8 @@ Result<df::DataFrame> ExecuteLeftJoin(const df::DataFrame& base,
   if (cand.keys.empty()) {
     return Status::InvalidArgument("candidate join has no keys");
   }
+  trace::TraceSpan join_span("join.execute", "join", cand.foreign_table);
+  metrics::IncrementCounter("join.executions_total");
   // Validate keys and classify.
   std::vector<discovery::JoinKeyPair> hard_keys;
   const discovery::JoinKeyPair* soft_key = nullptr;
@@ -323,6 +327,8 @@ Result<df::DataFrame> ExecuteLeftJoin(const df::DataFrame& base,
     ARDA_RETURN_IF_ERROR(joined_cols.AddColumn(std::move(dst)));
   }
   ARDA_RETURN_IF_ERROR(out.HStack(joined_cols, prefix));
+  metrics::ObserveSize("join.output_rows", static_cast<double>(out.NumRows()));
+  metrics::ObserveSize("join.output_cols", static_cast<double>(out.NumCols()));
   return out;
 }
 

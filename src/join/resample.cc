@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "util/fault.h"
+#include "util/trace.h"
 
 namespace arda::join {
 
@@ -50,6 +51,7 @@ Result<df::DataFrame> TimeResample(const df::DataFrame& foreign,
                                    const std::string& key_column,
                                    double target_granularity,
                                    const df::AggregateOptions& options) {
+  trace::StageScope scope("resample", key_column);
   ARDA_FAULT_POINT(fault::kResample);
   if (!foreign.HasColumn(key_column)) {
     return Status::NotFound("no such key column: " + key_column);

@@ -6,6 +6,9 @@
 #include <cstring>
 
 #include "util/check.h"
+#include "util/metrics.h"
+#include "util/timer.h"
+#include "util/trace.h"
 
 namespace arda::ml {
 
@@ -93,6 +96,8 @@ double GiniTimesCount(const std::vector<double>& counts, double total) {
 DecisionTree::DecisionTree(const TreeConfig& config) : config_(config) {}
 
 void DecisionTree::Fit(const la::Matrix& x, const std::vector<double>& y) {
+  trace::TraceSpan fit_span("tree.fit", "ml");
+  Stopwatch fit_watch;
   ARDA_CHECK_EQ(x.rows(), y.size());
   ARDA_CHECK_GT(x.rows(), 0u);
   nodes_.clear();
@@ -205,6 +210,14 @@ void DecisionTree::Fit(const la::Matrix& x, const std::vector<double>& y) {
   if (total > 0.0) {
     for (double& v : importances_) v /= total;
   }
+
+  // The registry lookup costs a mutex + map walk; trees fit in tight
+  // parallel loops, so resolve the histogram once and reuse the reference
+  // (ResetForTest zeroes in place, never invalidating it).
+  static metrics::Histogram& fit_hist =
+      metrics::GlobalRegistry().GetHistogram(
+          "ml.tree_fit_seconds", metrics::LatencyBucketsSeconds());
+  fit_hist.Observe(fit_watch.ElapsedSeconds());
 }
 
 void DecisionTree::ScanThresholds(size_t count, size_t feature,
@@ -480,6 +493,8 @@ std::string DecisionTree::Serialize() const {
 }
 
 std::vector<double> DecisionTree::Predict(const la::Matrix& x) const {
+  trace::TraceSpan predict_span("tree.predict", "ml");
+  Stopwatch predict_watch;
   ARDA_CHECK(!nodes_.empty());
   ARDA_CHECK_EQ(x.cols(), num_features_);
   std::vector<double> out(x.rows());
@@ -491,6 +506,10 @@ std::vector<double> DecisionTree::Predict(const la::Matrix& x) const {
     }
     out[r] = nodes_[static_cast<size_t>(node)].value;
   }
+  static metrics::Histogram& predict_hist =
+      metrics::GlobalRegistry().GetHistogram(
+          "ml.tree_predict_seconds", metrics::LatencyBucketsSeconds());
+  predict_hist.Observe(predict_watch.ElapsedSeconds());
   return out;
 }
 

@@ -4,13 +4,17 @@
 #include <cmath>
 
 #include "util/check.h"
+#include "util/metrics.h"
 #include "util/thread_pool.h"
+#include "util/trace.h"
 
 namespace arda::ml {
 
 RandomForest::RandomForest(const ForestConfig& config) : config_(config) {}
 
 void RandomForest::Fit(const la::Matrix& x, const std::vector<double>& y) {
+  trace::StageScope scope("forest.fit");
+  metrics::IncrementCounter("ml.forest_fits_total");
   ARDA_CHECK_EQ(x.rows(), y.size());
   ARDA_CHECK_GT(x.rows(), 0u);
   ARDA_CHECK_GT(config_.num_trees, 0u);
@@ -73,6 +77,7 @@ void RandomForest::Fit(const la::Matrix& x, const std::vector<double>& y) {
 }
 
 std::vector<double> RandomForest::Predict(const la::Matrix& x) const {
+  trace::StageScope scope("forest.predict");
   ARDA_CHECK(!trees_.empty());
   const size_t n = x.rows();
   // Per-tree predictions land in tree-indexed slots; both reductions below

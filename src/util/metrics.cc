@@ -1,0 +1,227 @@
+#include "util/metrics.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <limits>
+
+#include "util/check.h"
+
+namespace arda::metrics {
+
+namespace {
+
+// Lock-free add on an atomic<double> (fetch_add on floating atomics is
+// not universally lock-free pre-C++20 ABI; a CAS loop is portable).
+void AtomicAdd(std::atomic<double>* target, double delta) {
+  double cur = target->load(std::memory_order_relaxed);
+  while (!target->compare_exchange_weak(cur, cur + delta,
+                                        std::memory_order_relaxed)) {
+  }
+}
+
+void AtomicMin(std::atomic<double>* target, double value) {
+  double cur = target->load(std::memory_order_relaxed);
+  while (value < cur && !target->compare_exchange_weak(
+                            cur, value, std::memory_order_relaxed)) {
+  }
+}
+
+void AtomicMax(std::atomic<double>* target, double value) {
+  double cur = target->load(std::memory_order_relaxed);
+  while (value > cur && !target->compare_exchange_weak(
+                            cur, value, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+void Gauge::SetMax(double value) { AtomicMax(&value_, value); }
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)),
+      min_(std::numeric_limits<double>::infinity()),
+      max_(-std::numeric_limits<double>::infinity()) {
+  for (size_t i = 1; i < bounds_.size(); ++i) {
+    ARDA_CHECK(bounds_[i - 1] < bounds_[i]);
+  }
+  counts_ = std::make_unique<std::atomic<uint64_t>[]>(bounds_.size() + 1);
+  for (size_t i = 0; i <= bounds_.size(); ++i) counts_[i].store(0);
+}
+
+void Histogram::Observe(double value) {
+  size_t bucket = bounds_.size();  // overflow unless a bound catches it
+  for (size_t i = 0; i < bounds_.size(); ++i) {
+    if (value <= bounds_[i]) {
+      bucket = i;
+      break;
+    }
+  }
+  counts_[bucket].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  AtomicAdd(&sum_, value);
+  AtomicMin(&min_, value);
+  AtomicMax(&max_, value);
+}
+
+std::vector<uint64_t> Histogram::BucketCounts() const {
+  std::vector<uint64_t> out(bounds_.size() + 1);
+  for (size_t i = 0; i <= bounds_.size(); ++i) {
+    out[i] = counts_[i].load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+double Histogram::Min() const {
+  return Count() == 0 ? 0.0 : min_.load(std::memory_order_relaxed);
+}
+
+double Histogram::Max() const {
+  return Count() == 0 ? 0.0 : max_.load(std::memory_order_relaxed);
+}
+
+void Histogram::Reset() {
+  for (size_t i = 0; i <= bounds_.size(); ++i) {
+    counts_[i].store(0, std::memory_order_relaxed);
+  }
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+  min_.store(std::numeric_limits<double>::infinity(),
+             std::memory_order_relaxed);
+  max_.store(-std::numeric_limits<double>::infinity(),
+             std::memory_order_relaxed);
+}
+
+const std::vector<double>& LatencyBucketsSeconds() {
+  static const std::vector<double>* buckets = new std::vector<double>{
+      1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0, 10.0, 100.0};
+  return *buckets;
+}
+
+const std::vector<double>& SizeBuckets() {
+  static const std::vector<double>* buckets = new std::vector<double>{
+      1.0, 10.0, 100.0, 1e3, 1e4, 1e5, 1e6, 1e7, 1e8, 1e9};
+  return *buckets;
+}
+
+uint64_t MetricsSnapshot::CounterValue(std::string_view name) const {
+  for (const CounterSnapshot& c : counters) {
+    if (c.name == name) return c.value;
+  }
+  return 0;
+}
+
+Counter& Registry::GetCounter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_
+             .emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  }
+  return *it->second;
+}
+
+Gauge& Registry::GetGauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>())
+             .first;
+  }
+  return *it->second;
+}
+
+Histogram& Registry::GetHistogram(std::string_view name,
+                                  const std::vector<double>& bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_
+             .emplace(std::string(name),
+                      std::make_unique<Histogram>(bounds))
+             .first;
+  }
+  return *it->second;
+}
+
+MetricsSnapshot Registry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot snap;
+  snap.counters.reserve(counters_.size());
+  for (const auto& [name, counter] : counters_) {
+    snap.counters.push_back({name, counter->Value()});
+  }
+  snap.gauges.reserve(gauges_.size());
+  for (const auto& [name, gauge] : gauges_) {
+    snap.gauges.push_back({name, gauge->Value()});
+  }
+  snap.histograms.reserve(histograms_.size());
+  for (const auto& [name, hist] : histograms_) {
+    HistogramSnapshot h;
+    h.name = name;
+    h.bounds = hist->bounds();
+    h.bucket_counts = hist->BucketCounts();
+    h.count = hist->Count();
+    h.sum = hist->Sum();
+    h.min = hist->Min();
+    h.max = hist->Max();
+    snap.histograms.push_back(std::move(h));
+  }
+  return snap;
+}
+
+void Registry::ResetForTest() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, counter] : counters_) counter->Reset();
+  for (auto& [name, gauge] : gauges_) gauge->Reset();
+  for (auto& [name, hist] : histograms_) hist->Reset();
+}
+
+Registry& GlobalRegistry() {
+  // Leaked intentionally so metric references cached in static locals
+  // stay valid during shutdown.
+  static Registry* registry = new Registry();
+  return *registry;
+}
+
+void IncrementCounter(std::string_view name, uint64_t delta) {
+  GlobalRegistry().GetCounter(name).Increment(delta);
+}
+
+void SetGauge(std::string_view name, double value) {
+  GlobalRegistry().GetGauge(name).Set(value);
+}
+
+void SetGaugeMax(std::string_view name, double value) {
+  GlobalRegistry().GetGauge(name).SetMax(value);
+}
+
+void ObserveLatency(std::string_view name, double seconds) {
+  GlobalRegistry().GetHistogram(name, LatencyBucketsSeconds())
+      .Observe(seconds);
+}
+
+void ObserveSize(std::string_view name, double value) {
+  GlobalRegistry().GetHistogram(name, SizeBuckets()).Observe(value);
+}
+
+void UpdatePeakRssGauge() {
+#ifdef __linux__
+  std::FILE* f = std::fopen("/proc/self/status", "r");
+  if (f == nullptr) return;
+  char line[256];
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    if (std::strncmp(line, "VmHWM:", 6) != 0) continue;
+    unsigned long long kb = 0;
+    if (std::sscanf(line + 6, "%llu", &kb) == 1) {
+      SetGaugeMax("process.peak_rss_bytes",
+                  static_cast<double>(kb) * 1024.0);
+    }
+    break;
+  }
+  std::fclose(f);
+#endif
+}
+
+}  // namespace arda::metrics

@@ -1,0 +1,167 @@
+#ifndef ARDA_UTIL_METRICS_H_
+#define ARDA_UTIL_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+/// \file
+/// Process-wide metrics registry: named counters, gauges and fixed-bucket
+/// histograms. The registry is the always-on half of the observability
+/// subsystem (the span tracer in util/trace.h is the opt-in half): every
+/// update is a handful of relaxed atomic operations, so pipeline stages
+/// record unconditionally and the CLI / JSON report render a snapshot at
+/// the end of a run.
+///
+/// Naming convention: lower-case dotted paths grouped by subsystem —
+/// `skips.<stage>`, `stage.<stage>` (latency histograms feeding the CLI
+/// per-stage table), `join.*`, `rifs.*`, `ml.*`, `threadpool.*`,
+/// `process.*`. Metric objects are created on first use and never
+/// deallocated; `ResetForTest` zeroes values in place, so cached
+/// references stay valid across resets.
+///
+/// Metrics never feed back into computation: results are bit-identical
+/// whether or not anything reads them (see the determinism contract in
+/// DESIGN.md).
+
+namespace arda::metrics {
+
+/// Monotonically increasing event count.
+class Counter {
+ public:
+  void Increment(uint64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  uint64_t Value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// Last-written (or maximum-so-far) instantaneous value.
+class Gauge {
+ public:
+  void Set(double value) { value_.store(value, std::memory_order_relaxed); }
+  /// Keeps the maximum of the current value and `value`.
+  void SetMax(double value);
+  double Value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Fixed-bucket histogram: `bounds` are strictly increasing inclusive
+/// upper bounds ("le" semantics — a value lands in the first bucket whose
+/// bound is >= the value); one implicit overflow bucket catches the rest.
+/// Also tracks count, sum, min and max of observed values.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> bounds);
+
+  void Observe(double value);
+
+  const std::vector<double>& bounds() const { return bounds_; }
+  /// Per-bucket counts; size() == bounds().size() + 1 (overflow last).
+  std::vector<uint64_t> BucketCounts() const;
+  uint64_t Count() const { return count_.load(std::memory_order_relaxed); }
+  double Sum() const { return sum_.load(std::memory_order_relaxed); }
+  /// Min/Max are 0 when nothing has been observed.
+  double Min() const;
+  double Max() const;
+  void Reset();
+
+ private:
+  std::vector<double> bounds_;
+  std::unique_ptr<std::atomic<uint64_t>[]> counts_;  // bounds_.size() + 1
+  std::atomic<uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+  std::atomic<double> min_;
+  std::atomic<double> max_;
+};
+
+/// Default latency buckets in seconds: 1µs … 100s, decade-spaced.
+const std::vector<double>& LatencyBucketsSeconds();
+
+/// Default size/count buckets: 1 … 1e9, decade-spaced.
+const std::vector<double>& SizeBuckets();
+
+/// Point-in-time copy of every registered metric, sorted by name.
+struct CounterSnapshot {
+  std::string name;
+  uint64_t value = 0;
+};
+struct GaugeSnapshot {
+  std::string name;
+  double value = 0.0;
+};
+struct HistogramSnapshot {
+  std::string name;
+  std::vector<double> bounds;
+  std::vector<uint64_t> bucket_counts;  // bounds.size() + 1, overflow last
+  uint64_t count = 0;
+  double sum = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+};
+struct MetricsSnapshot {
+  std::vector<CounterSnapshot> counters;
+  std::vector<GaugeSnapshot> gauges;
+  std::vector<HistogramSnapshot> histograms;
+
+  /// Finds a counter by name; 0 when absent.
+  uint64_t CounterValue(std::string_view name) const;
+};
+
+/// Registry of named metrics. Lookup takes a mutex (cache the returned
+/// reference in hot paths — objects are never deallocated); updates on the
+/// returned objects are lock-free.
+class Registry {
+ public:
+  Counter& GetCounter(std::string_view name);
+  Gauge& GetGauge(std::string_view name);
+  /// Returns the existing histogram when `name` is already registered
+  /// (its original bounds win); otherwise creates one with `bounds`.
+  Histogram& GetHistogram(std::string_view name,
+                          const std::vector<double>& bounds);
+
+  MetricsSnapshot Snapshot() const;
+
+  /// Zeroes every metric in place. References handed out earlier remain
+  /// valid; histogram bounds are preserved.
+  void ResetForTest();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>>
+      histograms_;
+};
+
+/// The process-wide registry every pipeline stage records into.
+Registry& GlobalRegistry();
+
+/// Convenience one-liners on GlobalRegistry().
+void IncrementCounter(std::string_view name, uint64_t delta = 1);
+void SetGauge(std::string_view name, double value);
+void SetGaugeMax(std::string_view name, double value);
+/// Observes into a histogram with LatencyBucketsSeconds().
+void ObserveLatency(std::string_view name, double seconds);
+/// Observes into a histogram with SizeBuckets().
+void ObserveSize(std::string_view name, double value);
+
+/// Samples the process peak resident set size (Linux: VmHWM from
+/// /proc/self/status) into the `process.peak_rss_bytes` gauge. No-op on
+/// platforms without that interface.
+void UpdatePeakRssGauge();
+
+}  // namespace arda::metrics
+
+#endif  // ARDA_UTIL_METRICS_H_

@@ -33,6 +33,13 @@ std::string ToLower(std::string_view text);
 std::string StrFormat(const char* fmt, ...)
     __attribute__((format(printf, 1, 2)));
 
+/// Escapes `text` for embedding inside a JSON string literal: quotes,
+/// backslashes and all control characters (< 0x20) become escape
+/// sequences. Shared by every JSON emitter in the repo (run report,
+/// trace export, metrics, benches) — emitting a string without it is a
+/// bug (skip reasons and table names can carry quotes and newlines).
+std::string JsonEscape(std::string_view text);
+
 }  // namespace arda
 
 #endif  // ARDA_UTIL_STRING_UTIL_H_

@@ -4,6 +4,10 @@
 #include <exception>
 #include <memory>
 
+#include "util/metrics.h"
+#include "util/timer.h"
+#include "util/trace.h"
+
 namespace arda {
 
 namespace {
@@ -28,6 +32,8 @@ struct ThreadPool::Job {
 };
 
 ThreadPool::ThreadPool(size_t num_workers) {
+  metrics::SetGaugeMax("threadpool.workers",
+                       static_cast<double>(num_workers));
   workers_.reserve(num_workers);
   for (size_t i = 0; i < num_workers; ++i) {
     workers_.emplace_back([this] { WorkerLoop(); });
@@ -49,11 +55,30 @@ void ThreadPool::RunTasks(Job* job) {
   // or running.
   job->inflight.fetch_add(1, std::memory_order_acq_rel);
   t_in_parallel_region = true;
+  // Per-task latency and queue-depth reporting costs two clock reads and a
+  // counter event per task, so it only runs while tracing is enabled; the
+  // claim loop itself is untouched either way (observability never feeds
+  // back into scheduling or results).
+  const bool tracing = trace::Enabled();
   for (;;) {
     size_t i = job->next.fetch_add(1, std::memory_order_relaxed);
     if (i >= job->n) break;
     try {
-      (*job->fn)(i);
+      if (tracing) {
+        trace::TraceSpan task_span("pool.task", "threadpool");
+        Stopwatch task_watch;
+        (*job->fn)(i);
+        static metrics::Histogram& task_hist =
+            metrics::GlobalRegistry().GetHistogram(
+                "threadpool.task_seconds", metrics::LatencyBucketsSeconds());
+        task_hist.Observe(task_watch.ElapsedSeconds());
+        const size_t claimed = job->next.load(std::memory_order_relaxed);
+        trace::CounterEvent(
+            "threadpool.unclaimed_tasks",
+            claimed >= job->n ? 0.0 : static_cast<double>(job->n - claimed));
+      } else {
+        (*job->fn)(i);
+      }
     } catch (...) {
       std::lock_guard<std::mutex> lock(job->error_mutex);
       if (!job->has_error.exchange(true)) {
@@ -149,6 +174,14 @@ ThreadPool& GlobalThreadPool() {
 
 void ParallelFor(size_t n, size_t num_threads,
                  const std::function<void(size_t)>& fn) {
+  // Cached references: ParallelFor sits under every fit/predict/RIFS hot
+  // path, so the registry lookup happens once per process, not per call.
+  static metrics::Counter& calls = metrics::GlobalRegistry().GetCounter(
+      "threadpool.parallel_for_total");
+  static metrics::Histogram& sizes = metrics::GlobalRegistry().GetHistogram(
+      "threadpool.parallel_for_n", metrics::SizeBuckets());
+  calls.Increment();
+  sizes.Observe(static_cast<double>(n));
   size_t threads = ResolveNumThreads(num_threads);
   if (threads <= 1 || n <= 1 || t_in_parallel_region) {
     for (size_t i = 0; i < n; ++i) fn(i);

@@ -1,0 +1,222 @@
+#include "util/trace.h"
+
+#include <algorithm>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "util/metrics.h"
+#include "util/string_util.h"
+
+namespace arda::trace {
+
+namespace {
+
+std::atomic<bool> g_enabled{false};
+
+// Per-thread event buffer. Appends take the buffer's own mutex (only
+// contended when the exporter runs concurrently); the global registry
+// keeps a shared_ptr so events survive thread exit.
+struct ThreadBuffer {
+  std::mutex mu;
+  std::vector<TraceEvent> events;
+  uint32_t tid = 0;
+  uint64_t next_span_seq = 1;
+};
+
+struct TraceState {
+  std::mutex mu;
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+  std::atomic<uint32_t> next_tid{0};
+  std::chrono::steady_clock::time_point epoch =
+      std::chrono::steady_clock::now();
+};
+
+TraceState& State() {
+  // Leaked intentionally: worker threads may record during shutdown.
+  static TraceState* state = new TraceState();
+  return *state;
+}
+
+ThreadBuffer& LocalBuffer() {
+  thread_local std::shared_ptr<ThreadBuffer> buffer = [] {
+    auto b = std::make_shared<ThreadBuffer>();
+    TraceState& state = State();
+    b->tid = state.next_tid.fetch_add(1, std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lock(state.mu);
+    state.buffers.push_back(b);
+    return b;
+  }();
+  return *buffer;
+}
+
+void AppendEvent(TraceEvent event) {
+  ThreadBuffer& buffer = LocalBuffer();
+  event.tid = buffer.tid;
+  std::lock_guard<std::mutex> lock(buffer.mu);
+  buffer.events.push_back(std::move(event));
+}
+
+}  // namespace
+
+bool Enabled() { return g_enabled.load(std::memory_order_relaxed); }
+
+void Enable() {
+  State();  // fix the epoch before the first span
+  g_enabled.store(true, std::memory_order_release);
+}
+
+void Disable() { g_enabled.store(false, std::memory_order_release); }
+
+void Reset() {
+  TraceState& state = State();
+  std::lock_guard<std::mutex> lock(state.mu);
+  for (const std::shared_ptr<ThreadBuffer>& buffer : state.buffers) {
+    std::lock_guard<std::mutex> buffer_lock(buffer->mu);
+    buffer->events.clear();
+    buffer->next_span_seq = 1;
+  }
+}
+
+double NowMicros() {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now() - State().epoch)
+      .count();
+}
+
+TraceSpan::TraceSpan(const char* name, const char* category)
+    : TraceSpan(name, category, std::string()) {}
+
+TraceSpan::TraceSpan(const char* name, const char* category,
+                     std::string detail)
+    : name_(name), cat_(category), detail_(std::move(detail)) {
+  if (!Enabled()) return;
+  armed_ = true;
+  ThreadBuffer& buffer = LocalBuffer();
+  {
+    std::lock_guard<std::mutex> lock(buffer.mu);
+    span_id_ = (static_cast<uint64_t>(buffer.tid) << 32) |
+               buffer.next_span_seq++;
+  }
+  start_us_ = NowMicros();
+}
+
+TraceSpan::~TraceSpan() {
+  if (!armed_) return;
+  TraceEvent event;
+  event.name = name_;
+  event.cat = cat_;
+  event.phase = 'X';
+  event.ts_us = start_us_;
+  event.dur_us = NowMicros() - start_us_;
+  event.span_id = span_id_;
+  event.detail = std::move(detail_);
+  AppendEvent(std::move(event));
+}
+
+void CounterEvent(const char* name, double value) {
+  if (!Enabled()) return;
+  TraceEvent event;
+  event.name = name;
+  event.cat = "counter";
+  event.phase = 'C';
+  event.ts_us = NowMicros();
+  event.value = value;
+  AppendEvent(std::move(event));
+}
+
+size_t EventCount() {
+  TraceState& state = State();
+  std::lock_guard<std::mutex> lock(state.mu);
+  size_t total = 0;
+  for (const std::shared_ptr<ThreadBuffer>& buffer : state.buffers) {
+    std::lock_guard<std::mutex> buffer_lock(buffer->mu);
+    total += buffer->events.size();
+  }
+  return total;
+}
+
+std::string ToJson() {
+  // Merge every thread buffer, then time-sort so Perfetto sees a
+  // monotone stream.
+  std::vector<TraceEvent> events;
+  std::vector<uint32_t> tids;
+  {
+    TraceState& state = State();
+    std::lock_guard<std::mutex> lock(state.mu);
+    for (const std::shared_ptr<ThreadBuffer>& buffer : state.buffers) {
+      std::lock_guard<std::mutex> buffer_lock(buffer->mu);
+      if (!buffer->events.empty()) tids.push_back(buffer->tid);
+      events.insert(events.end(), buffer->events.begin(),
+                    buffer->events.end());
+    }
+  }
+  std::stable_sort(events.begin(), events.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) {
+                     return a.ts_us < b.ts_us;
+                   });
+  std::sort(tids.begin(), tids.end());
+
+  std::string out = "{\n\"displayTimeUnit\": \"ms\",\n\"traceEvents\": [\n";
+  bool first = true;
+  auto append = [&](const std::string& line) {
+    if (!first) out += ",\n";
+    first = false;
+    out += line;
+  };
+  for (uint32_t tid : tids) {
+    append(StrFormat("{\"ph\": \"M\", \"pid\": 1, \"tid\": %u, "
+                     "\"name\": \"thread_name\", "
+                     "\"args\": {\"name\": \"thread-%u\"}}",
+                     tid, tid));
+  }
+  for (const TraceEvent& e : events) {
+    if (e.phase == 'C') {
+      append(StrFormat("{\"ph\": \"C\", \"pid\": 1, \"tid\": %u, "
+                       "\"name\": \"%s\", \"ts\": %.3f, "
+                       "\"args\": {\"value\": %.6g}}",
+                       e.tid, JsonEscape(e.name).c_str(), e.ts_us,
+                       e.value));
+      continue;
+    }
+    std::string line = StrFormat(
+        "{\"ph\": \"X\", \"pid\": 1, \"tid\": %u, \"name\": \"%s\", "
+        "\"cat\": \"%s\", \"ts\": %.3f, \"dur\": %.3f, "
+        "\"args\": {\"span_id\": %llu",
+        e.tid, JsonEscape(e.name).c_str(), JsonEscape(e.cat).c_str(),
+        e.ts_us, e.dur_us, static_cast<unsigned long long>(e.span_id));
+    if (!e.detail.empty()) {
+      line += ", \"detail\": \"" + JsonEscape(e.detail) + "\"";
+    }
+    line += "}}";
+    append(line);
+  }
+  out += "\n]\n}\n";
+  return out;
+}
+
+Status WriteJson(const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    return Status::IoError("cannot open file for writing: " + path);
+  }
+  out << ToJson();
+  if (!out) {
+    return Status::IoError("failed writing file: " + path);
+  }
+  return Status::Ok();
+}
+
+}  // namespace arda::trace
+
+namespace arda::trace_internal {
+
+void ObserveStageSeconds(const char* stage, double seconds) {
+  metrics::GlobalRegistry()
+      .GetHistogram(std::string("stage.") + stage,
+                    metrics::LatencyBucketsSeconds())
+      .Observe(seconds);
+}
+
+}  // namespace arda::trace_internal

@@ -1,0 +1,143 @@
+#ifndef ARDA_UTIL_TRACE_H_
+#define ARDA_UTIL_TRACE_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+#include "util/status.h"
+
+/// \file
+/// Thread-safe span tracer emitting Chrome/Perfetto trace-event JSON
+/// (https://chromium.googlesource.com/catapult — "Trace Event Format").
+/// The opt-in half of the observability subsystem: tracing is off by
+/// default and a disabled `TraceSpan` costs one relaxed atomic load, no
+/// clock reads and no allocation, so instrumentation stays in release
+/// builds permanently.
+///
+/// Model: `TraceSpan` RAII scopes record complete ("X"-phase) events into
+/// per-thread buffers — no cross-thread contention on the hot path; the
+/// exporter merges and time-sorts all buffers. Span ids are deterministic
+/// (a per-thread sequence tagged with a dense thread index assigned on
+/// first use), never derived from pointers or randomness. `CounterEvent`
+/// records "C"-phase samples (e.g. queue depth) that Perfetto renders as
+/// a counter track.
+///
+/// Tracing never feeds back into computation: the determinism contract
+/// (DESIGN.md) extends to it — results are bit-identical with tracing
+/// enabled or disabled, which tests/parallel_determinism_test.cc pins.
+
+namespace arda::trace {
+
+/// True while span recording is armed. One relaxed atomic load.
+bool Enabled();
+/// Arms recording. The trace clock epoch is fixed on the first Enable().
+void Enable();
+/// Disarms recording; already-recorded events are kept until Reset().
+void Disable();
+/// Drops every recorded event and restarts per-thread span sequences.
+/// Thread indices (and the clock epoch) survive so ids stay stable
+/// within a process.
+void Reset();
+
+/// One recorded trace event.
+struct TraceEvent {
+  const char* name = "";  // must be a static-lifetime string
+  const char* cat = "";
+  char phase = 'X';    // 'X' complete span, 'C' counter sample
+  double ts_us = 0.0;  // microseconds since the trace epoch
+  double dur_us = 0.0;
+  uint32_t tid = 0;
+  uint64_t span_id = 0;  // (tid << 32) | per-thread sequence; 'X' only
+  double value = 0.0;    // 'C' only
+  std::string detail;    // optional dynamic payload, JSON-escaped on export
+};
+
+/// RAII scope recording one complete span from construction to
+/// destruction. `name` and `category` must be static-lifetime strings
+/// (literals); run-specific payload (table names, sizes) goes into
+/// `detail`. When tracing is disabled the constructor returns after one
+/// atomic load and the destructor is a no-op.
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char* name, const char* category = "pipeline");
+  TraceSpan(const char* name, const char* category, std::string detail);
+  ~TraceSpan();
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+  /// Deterministic id of this span; 0 when tracing was disabled at
+  /// construction.
+  uint64_t span_id() const { return span_id_; }
+
+ private:
+  const char* name_;
+  const char* cat_;
+  std::string detail_;
+  double start_us_ = 0.0;
+  uint64_t span_id_ = 0;
+  bool armed_ = false;
+};
+
+/// Records a counter sample ("C" phase) when tracing is enabled.
+void CounterEvent(const char* name, double value);
+
+/// Serializes every recorded event as a Chrome/Perfetto-loadable JSON
+/// document ({"displayTimeUnit": "ms", "traceEvents": [...]}) with
+/// events sorted by timestamp and one thread-name metadata record per
+/// thread that recorded anything.
+std::string ToJson();
+
+/// Writes ToJson() to `path`.
+Status WriteJson(const std::string& path);
+
+/// Number of events recorded so far (all threads).
+size_t EventCount();
+
+/// Microseconds since the trace epoch (also used for span timestamps).
+double NowMicros();
+
+}  // namespace arda::trace
+
+namespace arda::trace_internal {
+
+/// Implementation hook for StageScope; see trace.cc.
+void ObserveStageSeconds(const char* stage, double seconds);
+
+}  // namespace arda::trace_internal
+
+namespace arda::trace {
+
+/// Combined pipeline-stage scope: opens a TraceSpan named `stage` and, on
+/// destruction, records the elapsed wall time into the always-on metrics
+/// histogram `stage.<stage>` (the source of the CLI per-stage summary
+/// table). Use for coarse pipeline stages; use plain TraceSpan plus a
+/// cached metrics::Histogram reference in per-row/per-tree hot paths.
+class StageScope {
+ public:
+  explicit StageScope(const char* stage) : StageScope(stage, "") {}
+  StageScope(const char* stage, std::string detail)
+      : span_(stage, "stage", std::move(detail)),
+        stage_(stage),
+        start_(std::chrono::steady_clock::now()) {}
+  ~StageScope() {
+    trace_internal::ObserveStageSeconds(
+        stage_, std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - start_)
+                    .count());
+  }
+
+  StageScope(const StageScope&) = delete;
+  StageScope& operator=(const StageScope&) = delete;
+
+ private:
+  TraceSpan span_;
+  const char* stage_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace arda::trace
+
+#endif  // ARDA_UTIL_TRACE_H_

@@ -14,11 +14,14 @@
 #include <sstream>
 #include <string>
 
+#include <map>
+
 #include "core/arda.h"
 #include "dataframe/csv.h"
 #include "discovery/repository.h"
 #include "tools/cli.h"
 #include "util/fault.h"
+#include "util/metrics.h"
 
 namespace arda {
 namespace {
@@ -105,11 +108,31 @@ TEST(FaultInjectionTest, PipelineCompletesWithEverySingleFault) {
       fault::kCoreset, fault::kRifs};
   for (std::string_view site : fault::AllFaultSites()) {
     ASSERT_TRUE(fault::SetFaultSpecForTest(site).ok()) << site;
+    // Metrics are cumulative across runs; zero them so the skip counters
+    // in this run's snapshot mirror exactly this run's skip list.
+    metrics::GlobalRegistry().ResetForTest();
     Scenario s;
     MakeScenario(&s);
     Result<core::ArdaReport> report = core::Arda(MakeConfig()).Run(s.task);
     ASSERT_TRUE(report.ok())
         << "site=" << site << ": " << report.status().ToString();
+    // Observability contract: every skipped_candidates entry has a
+    // matching `skips.<stage>` counter increment, and no stage counts
+    // skips the report doesn't know about.
+    std::map<std::string, uint64_t> per_stage;
+    for (const core::SkippedCandidate& skip : report->skipped_candidates) {
+      ++per_stage[skip.stage];
+    }
+    for (const auto& [stage, count] : per_stage) {
+      EXPECT_EQ(report->metrics.CounterValue("skips." + stage), count)
+          << "site=" << site << " stage=" << stage;
+    }
+    for (const auto& counter : report->metrics.counters) {
+      if (counter.name.rfind("skips.", 0) != 0) continue;
+      const std::string stage = counter.name.substr(6);
+      EXPECT_EQ(counter.value, per_stage[stage])
+          << "site=" << site << " counter=" << counter.name;
+    }
     if (expect_skips.count(site) > 0) {
       EXPECT_FALSE(report->skipped_candidates.empty()) << "site=" << site;
       bool any_injected = false;

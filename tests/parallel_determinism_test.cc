@@ -19,6 +19,7 @@
 #include "ml/evaluator.h"
 #include "ml/random_forest.h"
 #include "util/thread_pool.h"
+#include "util/trace.h"
 
 namespace arda {
 namespace {
@@ -199,6 +200,44 @@ TEST(ParallelDeterminismTest, PipelineIsThreadCountInvariant) {
   // the strictest cheap check.
   EXPECT_EQ(df::WriteCsvString(serial.augmented),
             df::WriteCsvString(parallel.augmented));
+}
+
+TEST(ParallelDeterminismTest, TracingDoesNotChangeResults) {
+  // Observability must never feed back into computation: the full
+  // pipeline (across thread counts) is bit-identical with span tracing
+  // armed vs. disabled.
+  data::Scenario scenario =
+      data::MakePovertyScenario(13, data::ScenarioScale::kSmall);
+
+  auto run = [&](size_t num_threads, bool tracing) {
+    if (tracing) {
+      trace::Enable();
+    } else {
+      trace::Disable();
+    }
+    core::ArdaConfig config;
+    config.seed = 33;
+    config.rifs.num_rounds = 4;
+    config.num_threads = num_threads;
+    Result<core::ArdaReport> report =
+        core::Arda(config).Run(scenario.MakeTask());
+    trace::Disable();
+    trace::Reset();
+    EXPECT_TRUE(report.ok());
+    return std::move(report).value();
+  };
+
+  core::ArdaReport plain_serial = run(1, false);
+  core::ArdaReport traced_serial = run(1, true);
+  core::ArdaReport traced_parallel = run(8, true);
+
+  for (const core::ArdaReport* traced : {&traced_serial, &traced_parallel}) {
+    EXPECT_DOUBLE_EQ(plain_serial.base_score, traced->base_score);
+    EXPECT_DOUBLE_EQ(plain_serial.final_score, traced->final_score);
+    EXPECT_EQ(plain_serial.selected_features, traced->selected_features);
+    EXPECT_EQ(df::WriteCsvString(plain_serial.augmented),
+              df::WriteCsvString(traced->augmented));
+  }
 }
 
 TEST(ParallelDeterminismTest, ReportJsonCarriesThreadCount) {

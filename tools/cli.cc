@@ -6,7 +6,9 @@
 #include "dataframe/csv.h"
 #include "core/report_io.h"
 #include "discovery/discovery.h"
+#include "util/metrics.h"
 #include "util/string_util.h"
+#include "util/trace.h"
 
 namespace arda::tools {
 
@@ -35,6 +37,10 @@ std::string CliUsage() {
       "  --soft-join=K    2way (default) | nearest | hard\n"
       "  --output=FILE    write the augmented table as CSV\n"
       "  --report-json=F  write a machine-readable run report\n"
+      "  --trace-out=F    enable span tracing and write a Chrome/Perfetto\n"
+      "                   trace-event JSON file (open in ui.perfetto.dev "
+      "or\n"
+      "                   chrome://tracing)\n"
       "  --seed=N         random seed (default 42)\n"
       "  --threads=N      worker threads (0 = hardware concurrency, "
       "1 = serial;\n"
@@ -70,6 +76,8 @@ Result<CliOptions> ParseCliArgs(const std::vector<std::string>& args) {
       options.output = v;
     } else if (const char* v = value_of("--report-json")) {
       options.report_json = v;
+    } else if (const char* v = value_of("--trace-out")) {
+      options.trace_out = v;
     } else if (const char* v = value_of("--seed")) {
       int64_t seed = 0;
       if (!ParseInt64(v, &seed)) {
@@ -126,8 +134,41 @@ Result<core::ArdaConfig> MakeConfig(const CliOptions& options) {
   return config;
 }
 
+namespace {
+
+// Human-readable per-stage latency table built from the always-on
+// `stage.<name>` histograms in the report's metrics snapshot.
+void PrintStageSummary(const metrics::MetricsSnapshot& snapshot) {
+  bool any = false;
+  for (const metrics::HistogramSnapshot& h : snapshot.histograms) {
+    if (StartsWith(h.name, "stage.") && h.count > 0) {
+      any = true;
+      break;
+    }
+  }
+  if (!any) return;
+  std::printf("\n%-16s %9s %12s %12s %12s\n", "stage", "count",
+              "total (s)", "mean (ms)", "max (ms)");
+  for (const metrics::HistogramSnapshot& h : snapshot.histograms) {
+    if (!StartsWith(h.name, "stage.") || h.count == 0) continue;
+    const double mean_ms =
+        h.sum / static_cast<double>(h.count) * 1e3;
+    std::printf("%-16s %9llu %12.3f %12.3f %12.3f\n", h.name.c_str() + 6,
+                static_cast<unsigned long long>(h.count), h.sum, mean_ms,
+                h.max * 1e3);
+  }
+  for (const metrics::GaugeSnapshot& g : snapshot.gauges) {
+    if (g.name == "process.peak_rss_bytes" && g.value > 0.0) {
+      std::printf("peak RSS: %.1f MiB\n", g.value / (1024.0 * 1024.0));
+    }
+  }
+}
+
+}  // namespace
+
 Status RunCli(const CliOptions& options) {
   ARDA_ASSIGN_OR_RETURN(core::ArdaConfig config, MakeConfig(options));
+  if (!options.trace_out.empty()) trace::Enable();
 
   // Load every CSV in the data directory.
   discovery::DataRepository repo;
@@ -192,6 +233,7 @@ Status RunCli(const CliOptions& options) {
               base->NumCols(), report.augmented.NumCols(),
               report.total_seconds, report.join_seconds,
               report.selection_seconds);
+  PrintStageSummary(report.metrics);
   if (!options.output.empty()) {
     ARDA_RETURN_IF_ERROR(
         df::WriteCsvFile(report.augmented, options.output));
@@ -202,6 +244,12 @@ Status RunCli(const CliOptions& options) {
         core::WriteReportJson(report, options.report_json));
     std::printf("JSON report written to %s\n",
                 options.report_json.c_str());
+  }
+  if (!options.trace_out.empty()) {
+    ARDA_RETURN_IF_ERROR(trace::WriteJson(options.trace_out));
+    std::printf("trace written to %s (%zu events; open in "
+                "ui.perfetto.dev or chrome://tracing)\n",
+                options.trace_out.c_str(), trace::EventCount());
   }
   return Status::Ok();
 }

@@ -30,6 +30,9 @@ struct CliOptions {
   std::string output;
   /// Output path for a machine-readable JSON report ("" = don't write).
   std::string report_json;
+  /// Output path for a Chrome/Perfetto trace-event JSON file ("" = tracing
+  /// stays disabled). Setting it enables span tracing for the whole run.
+  std::string trace_out;
   uint64_t seed = 42;
   /// Threads for the parallel pipeline regions: 0 = hardware concurrency,
   /// 1 = serial. Results are identical for every value.
@@ -40,8 +43,8 @@ struct CliOptions {
 /// Parses argv. Recognized flags:
 ///   --data=DIR --base=NAME --target=COL [--task=regression|classification]
 ///   [--selector=NAME] [--plan=budget|table|full]
-///   [--soft-join=2way|nearest|hard] [--output=FILE] [--seed=N]
-///   [--threads=N] [--help]
+///   [--soft-join=2way|nearest|hard] [--output=FILE] [--report-json=FILE]
+///   [--trace-out=FILE] [--seed=N] [--threads=N] [--help]
 /// Fails with InvalidArgument on unknown flags or missing required ones
 /// (unless --help was given).
 Result<CliOptions> ParseCliArgs(const std::vector<std::string>& args);

@@ -6,6 +6,11 @@
 #   tools/run_bench.sh                          # -> BENCH_kernels.json
 #   tools/run_bench.sh -o BENCH_PR2.json -b baseline.json
 #   tools/run_bench.sh --smoke                  # fast build-health variant
+#   tools/run_bench.sh --trace-overhead         # also measure tracing cost
+#
+# --trace-overhead repeats every run with span tracing armed (--trace),
+# checks that checksums are bit-identical either way (tracing must never
+# change results), and records per-kernel and overall on-vs-off deltas.
 #
 # Times are wall-clock on the current machine; compare only records taken
 # on the same machine (see docs/benchmarks.md).
@@ -16,11 +21,13 @@ OUT="BENCH_kernels.json"
 BASELINE=""
 RUNS="${RUNS:-3}"
 SMOKE=""
+TRACE_OVERHEAD=""
 while [[ $# -gt 0 ]]; do
   case "$1" in
     -o) OUT="$2"; shift 2 ;;
     -b) BASELINE="$2"; shift 2 ;;
     --smoke) SMOKE="--smoke"; shift ;;
+    --trace-overhead) TRACE_OVERHEAD=1; shift ;;
     *) echo "unknown argument: $1" >&2; exit 2 ;;
   esac
 done
@@ -28,36 +35,49 @@ done
 cmake --build "$BUILD_DIR" --target bench_kernels -j >/dev/null
 
 RAW=$(mktemp)
-trap 'rm -f "$RAW"' EXIT
+RAW_TRACE=$(mktemp)
+trap 'rm -f "$RAW" "$RAW_TRACE"' EXIT
 for ((i = 0; i < RUNS; i++)); do
   "$BUILD_DIR/bench/bench_kernels" --json $SMOKE >> "$RAW"
 done
+if [[ -n "$TRACE_OVERHEAD" ]]; then
+  for ((i = 0; i < RUNS; i++)); do
+    "$BUILD_DIR/bench/bench_kernels" --json --trace $SMOKE >> "$RAW_TRACE"
+  done
+fi
 
-python3 - "$RAW" "$OUT" "$BASELINE" <<'PY'
+python3 - "$RAW" "$OUT" "$BASELINE" "$RAW_TRACE" <<'PY'
 import json, sys
 
-raw_path, out_path, baseline_path = sys.argv[1], sys.argv[2], sys.argv[3]
+raw_path, out_path, baseline_path, trace_path = sys.argv[1:5]
 
-# The raw file is a concatenation of JSON objects, one per run.
-decoder = json.JSONDecoder()
-text = open(raw_path).read()
-runs, pos = [], 0
-while pos < len(text):
-    while pos < len(text) and text[pos].isspace():
-        pos += 1
-    if pos >= len(text):
-        break
-    obj, pos = decoder.raw_decode(text, pos)
-    runs.append(obj)
+# Each raw file is a concatenation of JSON objects, one per run.
+def load_runs(path):
+    decoder = json.JSONDecoder()
+    text = open(path).read()
+    runs, pos = [], 0
+    while pos < len(text):
+        while pos < len(text) and text[pos].isspace():
+            pos += 1
+        if pos >= len(text):
+            break
+        obj, pos = decoder.raw_decode(text, pos)
+        runs.append(obj)
+    return runs
 
-best = {}
-for run in runs:
-    for r in run["results"]:
-        cur = best.get(r["name"])
-        if cur is None or r["seconds"] < cur["seconds"]:
-            best[r["name"]] = dict(r)
-        elif r["checksum"] != cur["checksum"]:
-            sys.exit(f"checksum mismatch across runs for {r['name']}")
+def best_of(runs):
+    best = {}
+    for run in runs:
+        for r in run["results"]:
+            cur = best.get(r["name"])
+            if cur is None or r["seconds"] < cur["seconds"]:
+                best[r["name"]] = dict(r)
+            elif r["checksum"] != cur["checksum"]:
+                sys.exit(f"checksum mismatch across runs for {r['name']}")
+    return best
+
+runs = load_runs(raw_path)
+best = best_of(runs)
 
 record = {
     "bench": "kernels",
@@ -66,6 +86,25 @@ record = {
     "runs": len(runs),
     "results": sorted(best.values(), key=lambda r: r["name"]),
 }
+
+trace_runs = load_runs(trace_path) if trace_path else []
+if trace_runs:
+    traced = best_of(trace_runs)
+    total_off = total_on = 0.0
+    for r in record["results"]:
+        t = traced.get(r["name"])
+        if t is None:
+            sys.exit(f"missing traced result for {r['name']}")
+        # Tracing must be observability-only: identical checksums on/off.
+        if t["checksum"] != r["checksum"]:
+            sys.exit(f"checksum changed with tracing for {r['name']}")
+        r["trace_seconds"] = t["seconds"]
+        r["trace_overhead_pct"] = round(
+            (t["seconds"] / r["seconds"] - 1.0) * 100.0, 2)
+        total_off += r["seconds"]
+        total_on += t["seconds"]
+    record["trace_overhead_pct"] = round(
+        (total_on / total_off - 1.0) * 100.0, 2)
 
 if baseline_path:
     base = {r["name"]: r for r in json.load(open(baseline_path))["results"]}
@@ -79,5 +118,9 @@ json.dump(record, open(out_path, "w"), indent=2)
 print(f"wrote {out_path}")
 for r in record["results"]:
     speed = f'  {r["speedup"]:.2f}x' if "speedup" in r else ""
-    print(f'  {r["name"]:32s} {r["seconds"]:.6f}s{speed}')
+    trace = (f'  trace {r["trace_overhead_pct"]:+.2f}%'
+             if "trace_overhead_pct" in r else "")
+    print(f'  {r["name"]:32s} {r["seconds"]:.6f}s{speed}{trace}')
+if "trace_overhead_pct" in record:
+    print(f'  overall tracing overhead: {record["trace_overhead_pct"]:+.2f}%')
 PY
