@@ -10,12 +10,15 @@
 
 #include <chrono>
 #include <cstdio>
+#include <filesystem>
 #include <string>
 #include <vector>
 
 #include "bench/bench_common.h"
 #include "data/generators.h"
 #include "dataframe/aggregate.h"
+#include "dataframe/columnar_io.h"
+#include "dataframe/csv.h"
 #include "join/join_executor.h"
 #include "ml/decision_tree.h"
 #include "ml/random_forest.h"
@@ -80,6 +83,43 @@ df::DataFrame MakeJoinTable(size_t rows, size_t key_space, size_t values,
         table.AddColumn(df::Column::Double("v" + std::to_string(c), col))
             .ok());
   }
+  return table;
+}
+
+// Mixed-type table shaped like real ingest input: int64 ids, doubles,
+// low-cardinality strings, and ~5% nulls in every non-key column.
+df::DataFrame MakeMixedTable(size_t rows, uint64_t seed) {
+  Rng rng(seed);
+  static const char* kCities[] = {"boston", "cambridge", "somerville",
+                                  "medford", "quincy", "newton",
+                                  "brookline", "waltham"};
+  df::Column id = df::Column::Empty("id", df::DataType::kInt64);
+  df::Column value = df::Column::Empty("value", df::DataType::kDouble);
+  df::Column count = df::Column::Empty("count", df::DataType::kInt64);
+  df::Column city = df::Column::Empty("city", df::DataType::kString);
+  for (size_t r = 0; r < rows; ++r) {
+    id.AppendInt64(static_cast<int64_t>(r));
+    if (rng.UniformUint64(20) == 0) {
+      value.AppendNull();
+    } else {
+      value.AppendDouble(rng.Normal());
+    }
+    if (rng.UniformUint64(20) == 0) {
+      count.AppendNull();
+    } else {
+      count.AppendInt64(static_cast<int64_t>(rng.UniformUint64(1000)));
+    }
+    if (rng.UniformUint64(20) == 0) {
+      city.AppendNull();
+    } else {
+      city.AppendString(kCities[rng.UniformUint64(8)]);
+    }
+  }
+  df::DataFrame table;
+  ARDA_CHECK(table.AddColumn(std::move(id)).ok());
+  ARDA_CHECK(table.AddColumn(std::move(value)).ok());
+  ARDA_CHECK(table.AddColumn(std::move(count)).ok());
+  ARDA_CHECK(table.AddColumn(std::move(city)).ok());
   return table;
 }
 
@@ -189,6 +229,52 @@ std::vector<KernelResult> RunAll(const BenchOptions& options, bool smoke) {
           ARDA_CHECK(grouped.ok());
           return grouped.value().NumRows();
         }));
+  }
+
+  // --- Ingest: chunked CSV parse vs. binary columnar cache. The ratio
+  // csv_read_mixed / columnar_read_mixed is the repeat-run speedup the
+  // .ardac table cache buys (acceptance floor: 2x, tracked in
+  // BENCH_PR5.json). ---
+  {
+    namespace fs = std::filesystem;
+    const size_t rows = smoke ? 10000 : 100000;
+    df::DataFrame table = MakeMixedTable(rows, options.seed ^ 0x1157ULL);
+    const fs::path dir = fs::temp_directory_path();
+    const std::string csv_path = (dir / "arda_bench_ingest.csv").string();
+    const std::string ardac_path =
+        (dir / "arda_bench_ingest.ardac").string();
+    ARDA_CHECK(df::WriteCsvFile(table, csv_path).ok());
+    // The frames are hashed outside the timed region (per-cell string
+    // formatting would otherwise dominate both timings and flatten the
+    // csv-vs-columnar ratio); the hash still lands in the JSON checksum
+    // and both paths must agree on it.
+    df::DataFrame from_csv, from_columnar;
+    results.push_back(
+        Measure("csv_read_mixed", rows, reps, [&]() -> uint64_t {
+          auto frame = df::ReadCsvFile(csv_path);
+          ARDA_CHECK(frame.ok());
+          from_csv = std::move(frame).value();
+          return from_csv.NumRows();
+        }));
+    results.back().checksum = HashFrame(from_csv);
+    const uint64_t csv_hash = results.back().checksum;
+    results.push_back(
+        Measure("columnar_write_mixed", rows, reps, [&]() -> uint64_t {
+          ARDA_CHECK(df::WriteColumnar(table, ardac_path).ok());
+          return rows;
+        }));
+    results.push_back(
+        Measure("columnar_read_mixed", rows, reps, [&]() -> uint64_t {
+          auto frame = df::ReadColumnar(ardac_path);
+          ARDA_CHECK(frame.ok());
+          from_columnar = std::move(frame).value();
+          return from_columnar.NumRows();
+        }));
+    results.back().checksum = HashFrame(from_columnar);
+    ARDA_CHECK(results.back().checksum == csv_hash);
+    std::error_code ec;
+    fs::remove(csv_path, ec);
+    fs::remove(ardac_path, ec);
   }
 
   // --- End-to-end join + aggregate checksum workload (output hash). ---

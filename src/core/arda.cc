@@ -195,6 +195,10 @@ Result<ArdaReport> Arda::Run(const AugmentationTask& task) const {
   Rng rng(config_.seed);
 
   ArdaReport report;
+  // Ingest-time degradations (columnar-cache fallbacks) happened before
+  // the run; the loader already incremented their skips.ingest counters,
+  // so they are copied into the report without re-counting.
+  report.skipped_candidates = task.ingest_skips;
 
   // 1. Coreset construction on the base table. A failed sample degrades
   // to running on the full base table.

@@ -13,6 +13,16 @@
 
 namespace arda::core {
 
+/// One candidate (or pipeline stage) the run dropped instead of crashing.
+/// `stage` names where the failure happened ("ingest", "join",
+/// "pre-aggregate", "impute", "encode", "select", "accept", "coreset"),
+/// `reason` carries the Status message.
+struct SkippedCandidate {
+  std::string table;
+  std::string stage;
+  std::string reason;
+};
+
 /// Input bundle for an ARDA run: the user's base table with its prediction
 /// target, the data repository, and the candidate joins supplied by a data
 /// discovery system (leave empty to run the built-in discovery
@@ -25,6 +35,11 @@ struct AugmentationTask {
   std::vector<discovery::CandidateJoin> candidates;
   /// Name of the base table inside `repo` (skipped during discovery).
   std::string base_table_name = "base";
+  /// Degradations that happened while loading the repository (e.g. a
+  /// corrupt columnar cache file falling back to CSV). The run copies
+  /// them into ArdaReport::skipped_candidates verbatim; the loader has
+  /// already incremented the matching `skips.<stage>` counters.
+  std::vector<SkippedCandidate> ingest_skips;
 };
 
 /// Per-batch log entry of the join plan execution.
@@ -37,16 +52,6 @@ struct BatchLog {
   bool accepted = false;
   double join_seconds = 0.0;
   double selection_seconds = 0.0;
-};
-
-/// One candidate (or pipeline stage) the run dropped instead of crashing.
-/// `stage` names where the failure happened ("join", "pre-aggregate",
-/// "impute", "encode", "select", "accept", "coreset"), `reason` carries
-/// the Status message.
-struct SkippedCandidate {
-  std::string table;
-  std::string stage;
-  std::string reason;
 };
 
 /// Everything an ARDA run produces.

@@ -1,7 +1,9 @@
 #include "dataframe/column.h"
 
 #include <algorithm>
+#include <iterator>
 #include <set>
+#include <utility>
 
 #include "util/string_util.h"
 
@@ -106,6 +108,39 @@ void Column::AppendNull() {
       break;
   }
   valid_.push_back(0);
+}
+
+void Column::AppendColumn(Column&& other) {
+  ARDA_CHECK(type_ == other.type_);
+  if (valid_.empty()) {
+    valid_ = std::move(other.valid_);
+    doubles_ = std::move(other.doubles_);
+    ints_ = std::move(other.ints_);
+    strings_ = std::move(other.strings_);
+    return;
+  }
+  valid_.insert(valid_.end(), other.valid_.begin(), other.valid_.end());
+  doubles_.insert(doubles_.end(), other.doubles_.begin(),
+                  other.doubles_.end());
+  ints_.insert(ints_.end(), other.ints_.begin(), other.ints_.end());
+  strings_.insert(strings_.end(),
+                  std::make_move_iterator(other.strings_.begin()),
+                  std::make_move_iterator(other.strings_.end()));
+}
+
+void Column::Reserve(size_t n) {
+  valid_.reserve(n);
+  switch (type_) {
+    case DataType::kDouble:
+      doubles_.reserve(n);
+      break;
+    case DataType::kInt64:
+      ints_.reserve(n);
+      break;
+    case DataType::kString:
+      strings_.reserve(n);
+      break;
+  }
 }
 
 void Column::AppendFrom(const Column& other, size_t i) {

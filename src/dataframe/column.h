@@ -63,6 +63,12 @@ class Column {
   void AppendNull();
   /// Appends row `i` of `other` (same type), null-preserving.
   void AppendFrom(const Column& other, size_t i);
+  /// Appends every row of `other` (same type) in order, null-preserving.
+  /// Bulk path used by the chunked CSV reader to stitch per-chunk
+  /// builders together in chunk order.
+  void AppendColumn(Column&& other);
+  /// Reserves storage for `n` total rows.
+  void Reserve(size_t n);
 
   /// Replaces entry i with a value (clears the null bit).
   void SetDouble(size_t i, double value);

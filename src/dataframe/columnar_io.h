@@ -1,0 +1,55 @@
+#ifndef ARDA_DATAFRAME_COLUMNAR_IO_H_
+#define ARDA_DATAFRAME_COLUMNAR_IO_H_
+
+#include <string>
+#include <string_view>
+
+#include "dataframe/data_frame.h"
+#include "util/status.h"
+
+/// \file
+/// Binary columnar snapshot format (`.ardac`) for DataFrames — the table
+/// cache behind `DataRepository::LoadDirectory`. Repeated runs over the
+/// same candidate pool deserialize columns with a handful of bulk reads
+/// instead of re-parsing and re-inferring CSV text.
+///
+/// Layout (all integers little-endian; full spec in
+/// docs/columnar_format.md):
+///
+///   [0)  magic "ARDC" (4 bytes)
+///   [4)  u32 format version (currently 1)
+///   [8)  u64 row count
+///   [16) u32 column count
+///   [20) u32 reserved (0)
+///   [24) u64 FNV-1a checksum of the payload (everything after byte 32)
+///   [32) payload: per column, in frame order:
+///          u32 name length, name bytes
+///          u8 type (0 = double, 1 = int64, 2 = string)
+///          null bitmap: ceil(rows/8) bytes, LSB-first; bit set = valid
+///          data: doubles/int64s as rows * 8 bytes; strings as one
+///                u32 length + bytes per row (nulls: length 0)
+///
+/// Readers validate magic, version, checksum and every length before
+/// touching the data, and return `Status` — never crash — on truncated,
+/// corrupted or version-skewed input.
+
+namespace arda::df {
+
+/// Serializes `frame` into the `.ardac` byte format.
+std::string WriteColumnarString(const DataFrame& frame);
+
+/// Writes `frame` to `path` in the `.ardac` format.
+Status WriteColumnar(const DataFrame& frame, const std::string& path);
+
+/// Deserializes a `.ardac` byte buffer. Fails with InvalidArgument on bad
+/// magic / truncation / trailing garbage / corrupted lengths, and with
+/// FailedPrecondition on version skew or a checksum mismatch.
+Result<DataFrame> ReadColumnarString(std::string_view data);
+
+/// Reads a `.ardac` file. Carries the `fault::kColumnarRead` injection
+/// site, so the cache-fallback path is testable under ARDA_FAULT.
+Result<DataFrame> ReadColumnar(const std::string& path);
+
+}  // namespace arda::df
+
+#endif  // ARDA_DATAFRAME_COLUMNAR_IO_H_

@@ -1,10 +1,14 @@
 #include "dataframe/csv.h"
 
-#include <fstream>
-#include <sstream>
+#include <cstdio>
+#include <string_view>
+#include <utility>
 
 #include "util/fault.h"
+#include "util/metrics.h"
 #include "util/string_util.h"
+#include "util/thread_pool.h"
+#include "util/trace.h"
 
 namespace arda::df {
 
@@ -17,77 +21,320 @@ struct CsvField {
   bool quoted = false;
 };
 
-using CsvRecord = std::vector<CsvField>;
+// Raw text of one record: [begin, end) into the input, excluding the
+// terminating '\n' but including any trailing '\r'.
+struct RecordRange {
+  size_t begin = 0;
+  size_t end = 0;
+};
 
-// Splits `text` into records and fields in a single quote-aware pass, so a
-// quoted field may contain embedded newlines (and the delimiter, and `""`
-// escaped quotes). Records are separated by '\n' outside quotes; one
-// trailing '\r' per record (outside quotes) is dropped, which keeps the
-// historical CRLF semantics. Completely empty records are skipped, like
-// the old line-based reader skipped blank lines. An unterminated quote
-// runs to end of input (malformed, parsed permissively).
-std::vector<CsvRecord> SplitCsvRecords(const std::string& text, char delim) {
-  std::vector<CsvRecord> records;
-  CsvRecord record;
-  CsvField field;
+// Scans `text` once, quote-aware, and returns the ranges of all non-blank
+// records. Records are separated by '\n' outside quotes; a quoted field
+// may contain embedded newlines, the delimiter, and `""` escaped quotes.
+// A record is blank — and skipped, like the old line-based reader skipped
+// blank lines — when its raw text is empty or a lone '\r' and it contains
+// no quote character (`""` is a real record: one quoted empty field). An
+// unterminated quote runs to end of input (malformed, parsed
+// permissively).
+std::vector<RecordRange> ScanRecords(std::string_view text) {
+  std::vector<RecordRange> records;
   bool in_quotes = false;
-  bool record_started = false;
-  // True when the field's most recent character was appended inside
-  // quotes; such a trailing '\r' is field content, not a CRLF terminator.
-  bool last_append_in_quotes = false;
-
-  auto end_field = [&] {
-    record.push_back(std::move(field));
-    field = CsvField{};
-    last_append_in_quotes = false;
+  bool saw_quote = false;
+  size_t start = 0;
+  auto end_record = [&](size_t end) {
+    size_t raw_len = end - start;
+    bool blank = !saw_quote &&
+                 (raw_len == 0 || (raw_len == 1 && text[start] == '\r'));
+    if (!blank) records.push_back({start, end});
+    saw_quote = false;
   };
-  auto end_record = [&] {
-    // One trailing '\r' outside quotes belongs to a CRLF terminator.
-    if (!field.value.empty() && field.value.back() == '\r' &&
-        !last_append_in_quotes) {
-      field.value.pop_back();
-    }
-    end_field();
-    bool empty_record = record.size() == 1 && !record[0].quoted &&
-                        record[0].value.empty();
-    if (!empty_record) records.push_back(std::move(record));
-    record.clear();
-    record_started = false;
-  };
-
   for (size_t i = 0; i < text.size(); ++i) {
     char c = text[i];
     if (in_quotes) {
+      // `""` escapes toggle out and straight back in; no '\n' can hide
+      // between the pair, so plain toggling finds every record boundary.
+      if (c == '"') in_quotes = false;
+    } else if (c == '"') {
+      in_quotes = true;
+      saw_quote = true;
+    } else if (c == '\n') {
+      end_record(i);
+      start = i + 1;
+    }
+  }
+  // Final record without a trailing newline.
+  if (start < text.size()) end_record(text.size());
+  return records;
+}
+
+// Parses one record's raw text into fields, replicating the historical
+// single-pass state machine: `""` inside quotes is an escaped quote,
+// characters outside quotes are field content, and one trailing '\r' that
+// was read outside quotes (a CRLF terminator) is dropped from the last
+// field. Appends into `out` (cleared first; buffers are reused across
+// records to avoid reallocation).
+void ParseRecordFields(std::string_view rec, char delim,
+                       std::vector<CsvField>* out) {
+  out->clear();
+  out->emplace_back();
+  CsvField* field = &out->back();
+  bool in_quotes = false;
+  // True when the field's most recent character was appended inside
+  // quotes; such a trailing '\r' is field content, not a CRLF terminator.
+  bool last_append_in_quotes = false;
+  for (size_t i = 0; i < rec.size(); ++i) {
+    char c = rec[i];
+    if (in_quotes) {
       if (c == '"') {
-        if (i + 1 < text.size() && text[i + 1] == '"') {
-          field.value += '"';
+        if (i + 1 < rec.size() && rec[i + 1] == '"') {
+          field->value += '"';
           last_append_in_quotes = true;
           ++i;
         } else {
           in_quotes = false;
         }
       } else {
-        field.value += c;
+        field->value += c;
         last_append_in_quotes = true;
       }
     } else if (c == '"') {
       in_quotes = true;
-      field.quoted = true;
-      record_started = true;
+      field->quoted = true;
     } else if (c == delim) {
-      end_field();
-      record_started = true;
-    } else if (c == '\n') {
-      end_record();
-    } else {
-      field.value += c;
+      out->emplace_back();
+      field = &out->back();
       last_append_in_quotes = false;
-      record_started = true;
+    } else {
+      field->value += c;
+      last_append_in_quotes = false;
     }
   }
-  // Final record without a trailing newline.
-  if (record_started) end_record();
-  return records;
+  if (!field->value.empty() && field->value.back() == '\r' &&
+      !last_append_in_quotes) {
+    field->value.pop_back();
+  }
+}
+
+// Per-column accumulator of the type-inference pass.
+struct ColumnStats {
+  bool any_value = false;
+  bool all_int = true;
+  bool all_double = true;
+  // A quoted empty field is an explicit empty *string*; one occurrence
+  // pins the column to kString so the null-vs-empty-string round trip
+  // stays lossless (a numeric column cannot hold "").
+  bool force_string = false;
+
+  void MergeFrom(const ColumnStats& other) {
+    any_value = any_value || other.any_value;
+    all_int = all_int && other.all_int;
+    all_double = all_double && other.all_double;
+    force_string = force_string || other.force_string;
+  }
+
+  DataType Decide() const {
+    if (force_string) return DataType::kString;
+    if (any_value && all_int) return DataType::kInt64;
+    if (any_value && all_double) return DataType::kDouble;
+    return DataType::kString;
+  }
+};
+
+// Groups the data records (records[1..]) into chunks of roughly
+// `chunk_bytes` raw text each, returned as [lo, hi) ranges of 0-based
+// data-record indices. Chunk boundaries depend only on the input, never
+// on thread count, so parallel parsing stays deterministic.
+std::vector<std::pair<size_t, size_t>> MakeChunks(
+    const std::vector<RecordRange>& records, size_t chunk_bytes) {
+  if (chunk_bytes == 0) chunk_bytes = 1;
+  std::vector<std::pair<size_t, size_t>> chunks;
+  const size_t nrows = records.size() - 1;
+  size_t start = 0;
+  size_t bytes = 0;
+  for (size_t i = 0; i < nrows; ++i) {
+    bytes += records[i + 1].end - records[i + 1].begin;
+    if (bytes >= chunk_bytes) {
+      chunks.emplace_back(start, i + 1);
+      start = i + 1;
+      bytes = 0;
+    }
+  }
+  if (start < nrows) chunks.emplace_back(start, nrows);
+  return chunks;
+}
+
+Status RaggedRowError(size_t record_index, size_t got, size_t expected) {
+  return Status::InvalidArgument(StrFormat(
+      "CSV row %zu has %zu fields, expected %zu", record_index, got,
+      expected));
+}
+
+Result<DataFrame> ReadCsvImpl(std::string_view text,
+                              const CsvOptions& options) {
+  ARDA_FAULT_POINT(fault::kCsvParse);
+  trace::StageScope scope("ingest/read_csv");
+  // Excel and friends prepend a UTF-8 BOM; it is not part of the first
+  // column's name.
+  if (text.size() >= 3 && text.substr(0, 3) == "\xEF\xBB\xBF") {
+    text.remove_prefix(3);
+  }
+  std::vector<RecordRange> records = ScanRecords(text);
+  if (records.empty()) {
+    return Status::InvalidArgument("CSV input is empty (no header)");
+  }
+
+  std::vector<CsvField> header_fields;
+  ParseRecordFields(text.substr(records[0].begin,
+                                records[0].end - records[0].begin),
+                    options.delimiter, &header_fields);
+  std::vector<std::string> header;
+  header.reserve(header_fields.size());
+  for (CsvField& f : header_fields) header.push_back(std::move(f.value));
+  const size_t ncols = header.size();
+  const size_t nrows = records.size() - 1;
+
+  const std::vector<std::pair<size_t, size_t>> chunks =
+      MakeChunks(records, options.chunk_bytes);
+  const size_t nchunks = chunks.size();
+
+  // Pass 1 — per-chunk validation (field counts) and type inference.
+  // Chunks are independent; flags merge associatively, and the first
+  // error (lowest record index) wins, matching the serial reader.
+  std::vector<std::vector<ColumnStats>> chunk_stats(nchunks);
+  std::vector<Status> chunk_status(nchunks);
+  auto infer_chunk = [&](size_t ci) {
+    auto [lo, hi] = chunks[ci];
+    std::vector<ColumnStats> stats(ncols);
+    std::vector<CsvField> fields;
+    for (size_t ri = lo; ri < hi; ++ri) {
+      const RecordRange& rec = records[ri + 1];
+      ParseRecordFields(text.substr(rec.begin, rec.end - rec.begin),
+                        options.delimiter, &fields);
+      if (fields.size() != ncols) {
+        chunk_status[ci] = RaggedRowError(ri + 1, fields.size(), ncols);
+        return;
+      }
+      if (!options.infer_types) continue;
+      for (size_t c = 0; c < ncols; ++c) {
+        const CsvField& cell = fields[c];
+        if (Trim(cell.value).empty()) {
+          if (cell.quoted && cell.value.empty()) stats[c].force_string = true;
+          continue;  // null
+        }
+        stats[c].any_value = true;
+        int64_t iv;
+        double dv;
+        if (stats[c].all_int && !ParseInt64(cell.value, &iv)) {
+          stats[c].all_int = false;
+        }
+        if (stats[c].all_double && !ParseDouble(cell.value, &dv)) {
+          stats[c].all_double = false;
+        }
+      }
+    }
+    chunk_stats[ci] = std::move(stats);
+  };
+  ParallelFor(nchunks, options.num_threads, infer_chunk);
+  for (size_t ci = 0; ci < nchunks; ++ci) {
+    ARDA_RETURN_IF_ERROR(chunk_status[ci]);
+  }
+
+  std::vector<DataType> types(ncols, DataType::kString);
+  if (options.infer_types) {
+    for (size_t c = 0; c < ncols; ++c) {
+      ColumnStats merged;
+      for (size_t ci = 0; ci < nchunks; ++ci) {
+        merged.MergeFrom(chunk_stats[ci][c]);
+      }
+      types[c] = merged.Decide();
+    }
+  }
+
+  // Pass 2 — parse each chunk straight into typed per-chunk builders.
+  // Inference saw every cell parse, so a failure here means the input
+  // mutated mid-read or the parser regressed; surface it as a recoverable
+  // per-table error, not a crash.
+  std::vector<std::vector<Column>> chunk_cols(nchunks);
+  auto parse_chunk = [&](size_t ci) {
+    auto [lo, hi] = chunks[ci];
+    std::vector<Column> cols;
+    cols.reserve(ncols);
+    for (size_t c = 0; c < ncols; ++c) {
+      cols.push_back(Column::Empty(header[c], types[c]));
+      cols.back().Reserve(hi - lo);
+    }
+    std::vector<CsvField> fields;
+    for (size_t ri = lo; ri < hi; ++ri) {
+      const RecordRange& rec = records[ri + 1];
+      ParseRecordFields(text.substr(rec.begin, rec.end - rec.begin),
+                        options.delimiter, &fields);
+      if (fields.size() != ncols) {
+        chunk_status[ci] = RaggedRowError(ri + 1, fields.size(), ncols);
+        return;
+      }
+      for (size_t c = 0; c < ncols; ++c) {
+        const CsvField& cell = fields[c];
+        if (types[c] != DataType::kString && Trim(cell.value).empty()) {
+          cols[c].AppendNull();
+          continue;
+        }
+        switch (types[c]) {
+          case DataType::kInt64: {
+            int64_t iv = 0;
+            if (!ParseInt64(cell.value, &iv)) {
+              chunk_status[ci] = Status::InvalidArgument(
+                  "unparseable int64 cell '" + cell.value + "' in column " +
+                  header[c]);
+              return;
+            }
+            cols[c].AppendInt64(iv);
+            break;
+          }
+          case DataType::kDouble: {
+            double dv = 0.0;
+            if (!ParseDouble(cell.value, &dv)) {
+              chunk_status[ci] = Status::InvalidArgument(
+                  "unparseable double cell '" + cell.value +
+                  "' in column " + header[c]);
+              return;
+            }
+            cols[c].AppendDouble(dv);
+            break;
+          }
+          case DataType::kString:
+            // A bare empty field is a null; only a quoted empty field
+            // (`""`) is the empty string, matching what WriteCsvString
+            // emits. This keeps the read/write round-trip lossless.
+            if (cell.value.empty() && !cell.quoted) {
+              cols[c].AppendNull();
+            } else {
+              cols[c].AppendString(cell.value);
+            }
+            break;
+        }
+      }
+    }
+    chunk_cols[ci] = std::move(cols);
+  };
+  ParallelFor(nchunks, options.num_threads, parse_chunk);
+  for (size_t ci = 0; ci < nchunks; ++ci) {
+    ARDA_RETURN_IF_ERROR(chunk_status[ci]);
+  }
+
+  // Stitch chunks together in chunk order — the sole ordering point, so
+  // output is bit-identical for every thread count.
+  DataFrame frame;
+  for (size_t c = 0; c < ncols; ++c) {
+    Column col = Column::Empty(header[c], types[c]);
+    col.Reserve(nrows);
+    for (size_t ci = 0; ci < nchunks; ++ci) {
+      col.AppendColumn(std::move(chunk_cols[ci][c]));
+    }
+    ARDA_RETURN_IF_ERROR(frame.AddColumn(std::move(col)));
+  }
+  metrics::IncrementCounter("ingest.csv_bytes", text.size());
+  metrics::IncrementCounter("ingest.csv_rows", nrows);
+  return frame;
 }
 
 std::string QuoteCsvField(const std::string& field, char delim) {
@@ -109,106 +356,34 @@ std::string QuoteCsvField(const std::string& field, char delim) {
 
 Result<DataFrame> ReadCsvString(const std::string& text,
                                 const CsvOptions& options) {
-  ARDA_FAULT_POINT(fault::kCsvParse);
-  std::vector<CsvRecord> records = SplitCsvRecords(text, options.delimiter);
-  if (records.empty()) {
-    return Status::InvalidArgument("CSV input is empty (no header)");
-  }
-  std::vector<std::string> header;
-  header.reserve(records[0].size());
-  for (CsvField& f : records[0]) header.push_back(std::move(f.value));
-  const size_t ncols = header.size();
-  std::vector<std::vector<CsvField>> cells(ncols);
-  for (size_t ri = 1; ri < records.size(); ++ri) {
-    CsvRecord& fields = records[ri];
-    if (fields.size() != ncols) {
-      return Status::InvalidArgument(
-          StrFormat("CSV row %zu has %zu fields, expected %zu", ri,
-                    fields.size(), ncols));
-    }
-    for (size_t c = 0; c < ncols; ++c) {
-      cells[c].push_back(std::move(fields[c]));
-    }
-  }
-
-  DataFrame frame;
-  for (size_t c = 0; c < ncols; ++c) {
-    DataType type = DataType::kString;
-    if (options.infer_types) {
-      bool all_int = true;
-      bool all_double = true;
-      bool any_value = false;
-      for (const CsvField& cell : cells[c]) {
-        if (Trim(cell.value).empty()) continue;  // null
-        any_value = true;
-        int64_t iv;
-        double dv;
-        if (!ParseInt64(cell.value, &iv)) all_int = false;
-        if (!ParseDouble(cell.value, &dv)) {
-          all_double = false;
-          break;
-        }
-      }
-      if (any_value && all_int) type = DataType::kInt64;
-      else if (any_value && all_double) type = DataType::kDouble;
-    }
-    Column col = Column::Empty(header[c], type);
-    for (const CsvField& cell : cells[c]) {
-      std::string_view trimmed = Trim(cell.value);
-      if (trimmed.empty() && type != DataType::kString) {
-        col.AppendNull();
-        continue;
-      }
-      switch (type) {
-        case DataType::kInt64: {
-          int64_t iv = 0;
-          // Type inference saw every cell parse, so a failure here means
-          // the input mutated mid-read or the parser regressed; surface
-          // it as a recoverable per-table error, not a crash.
-          if (!ParseInt64(cell.value, &iv)) {
-            return Status::InvalidArgument("unparseable int64 cell '" +
-                                           cell.value + "' in column " +
-                                           header[c]);
-          }
-          col.AppendInt64(iv);
-          break;
-        }
-        case DataType::kDouble: {
-          double dv = 0.0;
-          if (!ParseDouble(cell.value, &dv)) {
-            return Status::InvalidArgument("unparseable double cell '" +
-                                           cell.value + "' in column " +
-                                           header[c]);
-          }
-          col.AppendDouble(dv);
-          break;
-        }
-        case DataType::kString:
-          // A bare empty field is a null; only a quoted empty field
-          // (`""`) is the empty string, matching what WriteCsvString
-          // emits. This keeps the read/write round-trip lossless.
-          if (cell.value.empty() && !cell.quoted) {
-            col.AppendNull();
-          } else {
-            col.AppendString(cell.value);
-          }
-          break;
-      }
-    }
-    ARDA_RETURN_IF_ERROR(frame.AddColumn(std::move(col)));
-  }
-  return frame;
+  return ReadCsvImpl(text, options);
 }
 
 Result<DataFrame> ReadCsvFile(const std::string& path,
                               const CsvOptions& options) {
-  std::ifstream in(path);
-  if (!in) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
     return Status::IoError("cannot open file: " + path);
   }
-  std::ostringstream buffer;
-  buffer << in.rdbuf();
-  return ReadCsvString(buffer.str(), options);
+  // One read into one buffer (the old rdbuf()->stringstream->str() path
+  // copied the file twice before parsing even started).
+  std::string buffer;
+  if (std::fseek(f, 0, SEEK_END) == 0) {
+    long size = std::ftell(f);
+    if (size > 0) buffer.reserve(static_cast<size_t>(size));
+    std::fseek(f, 0, SEEK_SET);
+  }
+  char block[1 << 16];
+  size_t got;
+  while ((got = std::fread(block, 1, sizeof(block), f)) > 0) {
+    buffer.append(block, got);
+  }
+  bool read_error = std::ferror(f) != 0;
+  std::fclose(f);
+  if (read_error) {
+    return Status::IoError("failed reading file: " + path);
+  }
+  return ReadCsvImpl(buffer, options);
 }
 
 std::string WriteCsvString(const DataFrame& frame,
@@ -238,12 +413,14 @@ std::string WriteCsvString(const DataFrame& frame,
 
 Status WriteCsvFile(const DataFrame& frame, const std::string& path,
                     const CsvOptions& options) {
-  std::ofstream out(path);
-  if (!out) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
     return Status::IoError("cannot open file for writing: " + path);
   }
-  out << WriteCsvString(frame, options);
-  if (!out) {
+  std::string text = WriteCsvString(frame, options);
+  size_t written = std::fwrite(text.data(), 1, text.size(), f);
+  bool close_error = std::fclose(f) != 0;
+  if (written != text.size() || close_error) {
     return Status::IoError("failed writing file: " + path);
   }
   return Status::Ok();

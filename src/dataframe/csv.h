@@ -13,15 +13,28 @@ struct CsvOptions {
   char delimiter = ',';
   /// When true (default) column types are inferred from the data:
   /// all-integer -> int64, otherwise all-numeric -> double, else string.
-  /// Empty fields become nulls.
+  /// Empty fields become nulls; a quoted empty field ("") forces string
+  /// inference (it is an explicit empty string, see docs/csv_dialect.md).
   bool infer_types = true;
+  /// Worker threads for chunk parsing: 0 = hardware concurrency,
+  /// 1 = serial. Output is bit-identical for every value (chunks are
+  /// scanned deterministically and appended in chunk order).
+  size_t num_threads = 0;
+  /// Target raw-text bytes per parse chunk. Inputs smaller than one chunk
+  /// parse inline on the caller; tests shrink this to force many chunks.
+  size_t chunk_bytes = 1 << 20;
 };
 
 /// Parses a CSV string (first line is the header) into a DataFrame.
+/// A leading UTF-8 byte-order mark (EF BB BF) is stripped before header
+/// parsing. Record boundaries are scanned quote-aware in one pass; chunks
+/// of records are then type-inferred and parsed into typed columns in
+/// parallel (two-pass, deterministic — see CsvOptions::num_threads).
 Result<DataFrame> ReadCsvString(const std::string& text,
                                 const CsvOptions& options = {});
 
-/// Reads a CSV file (first line is the header) into a DataFrame.
+/// Reads a CSV file (first line is the header) into a DataFrame via the
+/// chunked reader (single read of the file, no stream copies).
 Result<DataFrame> ReadCsvFile(const std::string& path,
                               const CsvOptions& options = {});
 

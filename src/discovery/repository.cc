@@ -1,6 +1,97 @@
 #include "discovery/repository.h"
 
+#include <algorithm>
+#include <filesystem>
+
+#include "dataframe/columnar_io.h"
+#include "util/metrics.h"
+
 namespace arda::discovery {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+// True when the cache file can be used instead of the CSV: it exists and
+// is at least as new as its source.
+bool CacheIsFresh(const fs::path& cache, const fs::path& csv) {
+  std::error_code ec;
+  fs::file_time_type cache_time = fs::last_write_time(cache, ec);
+  if (ec) return false;
+  fs::file_time_type csv_time = fs::last_write_time(csv, ec);
+  if (ec) return false;
+  return cache_time >= csv_time;
+}
+
+}  // namespace
+
+Status DataRepository::LoadDirectory(const std::string& data_dir,
+                                     const std::string& cache_dir,
+                                     const df::CsvOptions& csv_options,
+                                     LoadStats* stats) {
+  LoadStats local_stats;
+  if (stats == nullptr) stats = &local_stats;
+
+  std::error_code ec;
+  fs::directory_iterator it(data_dir, ec);
+  if (ec) {
+    return Status::IoError("cannot open directory: " + data_dir);
+  }
+  std::vector<fs::path> csvs;
+  for (const fs::directory_entry& entry : it) {
+    if (entry.path().extension() == ".csv") csvs.push_back(entry.path());
+  }
+  // Directory iteration order is unspecified; sort so load order (and the
+  // order of recorded fallbacks/failures) is deterministic.
+  std::sort(csvs.begin(), csvs.end());
+
+  if (!cache_dir.empty()) {
+    fs::create_directories(cache_dir, ec);  // best-effort; reads degrade
+  }
+
+  for (const fs::path& csv_path : csvs) {
+    const std::string stem = csv_path.stem().string();
+    fs::path cache_path;
+    if (!cache_dir.empty()) {
+      cache_path = fs::path(cache_dir) / (stem + ".ardac");
+    }
+
+    if (!cache_path.empty() && CacheIsFresh(cache_path, csv_path)) {
+      Result<df::DataFrame> cached = df::ReadColumnar(cache_path.string());
+      if (cached.ok()) {
+        AddOrReplace(stem, std::move(cached).value());
+        ++stats->tables_loaded;
+        ++stats->cache_hits;
+        continue;
+      }
+      // Graceful degradation: a corrupt/skewed/faulted cache never fails
+      // the load — fall through to the CSV. Counter and stats entry move
+      // in lockstep so run reports stay consistent (see
+      // AugmentationTask::ingest_skips).
+      metrics::IncrementCounter("skips.ingest");
+      stats->fallbacks.push_back(
+          {stem, "columnar cache read failed, re-parsed CSV: " +
+                     cached.status().ToString()});
+    }
+
+    Result<df::DataFrame> table =
+        df::ReadCsvFile(csv_path.string(), csv_options);
+    if (!table.ok()) {
+      stats->failures.push_back({stem, table.status().ToString()});
+      continue;
+    }
+    if (!cache_path.empty()) {
+      // Best-effort cache refresh; a failed write only costs the next run
+      // a re-parse.
+      if (df::WriteColumnar(*table, cache_path.string()).ok()) {
+        ++stats->cache_writes;
+      }
+    }
+    AddOrReplace(stem, std::move(table).value());
+    ++stats->tables_loaded;
+  }
+  return Status::Ok();
+}
 
 Status DataRepository::Add(std::string name, df::DataFrame table) {
   auto [it, inserted] = tables_.emplace(std::move(name), std::move(table));

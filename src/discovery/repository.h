@@ -5,10 +5,36 @@
 #include <string>
 #include <vector>
 
+#include "dataframe/csv.h"
 #include "dataframe/data_frame.h"
 #include "util/status.h"
 
 namespace arda::discovery {
+
+/// One table that degraded during directory loading: a corrupt columnar
+/// cache that fell back to CSV, or a CSV that failed to parse (skipped).
+struct IngestSkip {
+  std::string table;
+  std::string reason;
+};
+
+/// What DataRepository::LoadDirectory did, for reporting and tests.
+struct LoadStats {
+  /// Tables registered in the repository.
+  size_t tables_loaded = 0;
+  /// Tables served from a fresh `.ardac` cache file (CSV not re-parsed).
+  size_t cache_hits = 0;
+  /// Cache files written after a CSV parse (cache enabled and missing or
+  /// stale).
+  size_t cache_writes = 0;
+  /// Columnar cache reads that failed and fell back to the CSV. Each entry
+  /// has already incremented the `skips.ingest` counter; callers forward
+  /// them into the run report (AugmentationTask::ingest_skips) so the
+  /// counter/report lockstep holds.
+  std::vector<IngestSkip> fallbacks;
+  /// CSVs that failed to parse: the table is absent from the repository.
+  std::vector<IngestSkip> failures;
+};
 
 /// An in-process stand-in for a data lake / open-data repository: a named
 /// collection of tables the discovery system searches and ARDA joins
@@ -31,6 +57,22 @@ class DataRepository {
 
   /// Removes a table; fails with NotFound if absent.
   Status Remove(const std::string& name);
+
+  /// Loads every `*.csv` in `data_dir` (table name = file stem), in
+  /// lexicographic stem order. When `cache_dir` is non-empty it is created
+  /// if needed and consulted first: a `<stem>.ardac` file at least as new
+  /// as the CSV is deserialized instead of parsing the CSV
+  /// (docs/columnar_format.md); a missing/stale cache entry is rewritten
+  /// after the CSV parse (best-effort). Any columnar failure — corruption,
+  /// version skew, injected `columnar_read` fault — degrades to the CSV
+  /// path and is recorded in `stats->fallbacks` (plus a `skips.ingest`
+  /// counter increment); a CSV that fails to parse lands in
+  /// `stats->failures` and the table is skipped. Only an unreadable
+  /// `data_dir` fails the call. `stats` may be null.
+  Status LoadDirectory(const std::string& data_dir,
+                       const std::string& cache_dir,
+                       const df::CsvOptions& csv_options = {},
+                       LoadStats* stats = nullptr);
 
   /// All table names, sorted.
   std::vector<std::string> Names() const;

@@ -93,8 +93,9 @@ void ArmFromEnvOnce() {
 const std::vector<std::string_view>& AllFaultSites() {
   static const std::vector<std::string_view>* sites =
       new std::vector<std::string_view>{
-          kCsvParse, kJoinKeyEncode, kPreAggregate, kResample,
-          kImpute,   kCholesky,      kCoreset,      kRifs,
+          kCsvParse, kColumnarRead, kJoinKeyEncode, kPreAggregate,
+          kResample, kImpute,       kCholesky,      kCoreset,
+          kRifs,
       };
   return *sites;
 }

@@ -31,6 +31,7 @@ namespace arda::fault {
 /// iterate this list to build the single-fault matrix; arming an unknown
 /// site name is an error surfaced by SetFaultSpecForTest.
 inline constexpr std::string_view kCsvParse = "csv_parse";
+inline constexpr std::string_view kColumnarRead = "columnar_read";
 inline constexpr std::string_view kJoinKeyEncode = "join_key_encode";
 inline constexpr std::string_view kPreAggregate = "preaggregate";
 inline constexpr std::string_view kResample = "resample";

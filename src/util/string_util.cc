@@ -1,10 +1,9 @@
 #include "util/string_util.h"
 
 #include <cctype>
+#include <charconv>
 #include <cstdarg>
 #include <cstdio>
-#include <cstdlib>
-#include <cerrno>
 
 namespace arda {
 
@@ -52,11 +51,21 @@ bool StartsWith(std::string_view text, std::string_view prefix) {
 bool ParseDouble(std::string_view text, double* out) {
   text = Trim(text);
   if (text.empty()) return false;
-  std::string buf(text);
-  char* end = nullptr;
-  errno = 0;
-  double value = std::strtod(buf.c_str(), &end);
-  if (errno != 0 || end != buf.c_str() + buf.size()) return false;
+  // std::from_chars still accepts strtod's "nan"/"inf(inity)" spellings;
+  // the CSV grammar (docs/csv_dialect.md) wants those to stay strings, so
+  // require the first character after an optional '-' to start a number.
+  std::string_view body = text;
+  if (body.front() == '-') body.remove_prefix(1);
+  if (body.empty()) return false;
+  char first = body.front();
+  if (!(first >= '0' && first <= '9') && first != '.') return false;
+  double value = 0.0;
+  auto [end, ec] = std::from_chars(text.data(), text.data() + text.size(),
+                                   value, std::chars_format::general);
+  // result_out_of_range covers both overflow (1e999) and magnitudes below
+  // the smallest subnormal; plain subnormals (1e-320) parse cleanly, which
+  // strtod's errno=ERANGE convention got wrong.
+  if (ec != std::errc() || end != text.data() + text.size()) return false;
   *out = value;
   return true;
 }
@@ -64,12 +73,11 @@ bool ParseDouble(std::string_view text, double* out) {
 bool ParseInt64(std::string_view text, int64_t* out) {
   text = Trim(text);
   if (text.empty()) return false;
-  std::string buf(text);
-  char* end = nullptr;
-  errno = 0;
-  long long value = std::strtoll(buf.c_str(), &end, 10);
-  if (errno != 0 || end != buf.c_str() + buf.size()) return false;
-  *out = static_cast<int64_t>(value);
+  int64_t value = 0;
+  auto [end, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), value, 10);
+  if (ec != std::errc() || end != text.data() + text.size()) return false;
+  *out = value;
   return true;
 }
 

@@ -20,10 +20,17 @@ std::string Join(const std::vector<std::string>& parts,
 /// Returns true if `text` starts with `prefix`.
 bool StartsWith(std::string_view text, std::string_view prefix);
 
-/// Parses a double; returns false on malformed or trailing garbage.
+/// Parses a double. The accepted grammar is locale-independent and strict
+/// (see docs/csv_dialect.md "Numeric grammar"): optional surrounding ASCII
+/// whitespace, optional single leading '-', decimal digits with at most
+/// one '.', optional e/E exponent. Rejects "nan"/"inf" spellings, hex
+/// floats, '+' signs, trailing garbage, and magnitudes outside double
+/// range; subnormals (e.g. "1e-320") parse.
 bool ParseDouble(std::string_view text, double* out);
 
-/// Parses a signed 64-bit integer; returns false on malformed input.
+/// Parses a signed 64-bit integer: optional surrounding ASCII whitespace,
+/// optional single leading '-', decimal digits only (no '+', no hex).
+/// Rejects trailing garbage and out-of-range values.
 bool ParseInt64(std::string_view text, int64_t* out);
 
 /// Lower-cases ASCII letters.

@@ -168,6 +168,135 @@ TEST(CsvTest, WriterRoundTripsTrickyFields) {
   EXPECT_TRUE(back->col("s").IsNull(5));
 }
 
+TEST(CsvTest, NumericGrammarTable) {
+  // Positive / negative inference cases from docs/csv_dialect.md. Each
+  // column holds one candidate token; the expected type says whether the
+  // strict numeric grammar admits it.
+  const struct {
+    const char* token;
+    DataType expected;
+  } kCases[] = {
+      {"1", DataType::kInt64},
+      {"-42", DataType::kInt64},
+      {"007", DataType::kInt64},
+      {"9223372036854775807", DataType::kInt64},
+      {"2.5", DataType::kDouble},
+      {".5", DataType::kDouble},
+      {"5.", DataType::kDouble},
+      {"-1e3", DataType::kDouble},
+      {"1e-320", DataType::kDouble},  // subnormal — was a string before
+      {"9223372036854775808", DataType::kDouble},  // int64 overflow
+      {"nan", DataType::kString},
+      {"NaN", DataType::kString},
+      {"inf", DataType::kString},
+      {"Infinity", DataType::kString},
+      {"-inf", DataType::kString},
+      {"0x1p3", DataType::kString},  // hex float
+      {"0x10", DataType::kString},
+      {"+1", DataType::kString},  // explicit plus sign
+      {"1e999", DataType::kString},  // double overflow
+      {"1_000", DataType::kString},
+      {"1,5", DataType::kString},  // locale decimal comma (quoted below)
+  };
+  for (const auto& c : kCases) {
+    std::string token = c.token;
+    std::string text = "a\n\"" + token + "\"\n";
+    // Quote the data cell so delimiters in tokens stay one field; quoting
+    // does not affect numeric inference of non-empty fields.
+    Result<DataFrame> r = ReadCsvString(text);
+    ASSERT_TRUE(r.ok()) << token;
+    EXPECT_EQ(r->col("a").type(), c.expected) << "token: " << token;
+  }
+}
+
+TEST(CsvTest, SubnormalValueSurvivesInference) {
+  // Regression: errno=ERANGE from strtod on subnormals used to knock the
+  // whole column down to string.
+  Result<DataFrame> r = ReadCsvString("a\n1e-320\n2.5\n");
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->col("a").type(), DataType::kDouble);
+  EXPECT_GT(r->col("a").DoubleAt(0), 0.0);
+  EXPECT_LT(r->col("a").DoubleAt(0), 1e-300);
+}
+
+TEST(CsvTest, QuotedEmptyForcesStringInference) {
+  // "" is an explicit empty string; inferring a numeric type would
+  // collapse it into a null and lose the null-vs-empty distinction. The
+  // bare empty field in row 2 stays a null.
+  Result<DataFrame> r = ReadCsvString("a,b\n\"\",1\n,2\n");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->col("a").type(), DataType::kString);
+  EXPECT_FALSE(r->col("a").IsNull(0));
+  EXPECT_EQ(r->col("a").StringAt(0), "");
+  EXPECT_TRUE(r->col("a").IsNull(1));
+  EXPECT_EQ(r->col("b").type(), DataType::kInt64);
+}
+
+TEST(CsvTest, BareEmptyFieldsDoNotForceString) {
+  // Bare empties are nulls and leave numeric inference alone.
+  Result<DataFrame> r = ReadCsvString("a\n1\n\"\"\n");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->col("a").type(), DataType::kString);
+  Result<DataFrame> numeric = ReadCsvString("a,b\n1,x\n,y\n");
+  ASSERT_TRUE(numeric.ok());
+  EXPECT_EQ(numeric->col("a").type(), DataType::kInt64);
+}
+
+TEST(CsvTest, StripsUtf8Bom) {
+  // A UTF-8 BOM before the header must not become part of the first
+  // column's name.
+  Result<DataFrame> r = ReadCsvString("\xEF\xBB\xBFid,name\n1,ann\n");
+  ASSERT_TRUE(r.ok());
+  ASSERT_TRUE(r->HasColumn("id"));
+  EXPECT_EQ(r->col("id").Int64At(0), 1);
+  // A BOM mid-file is data, not a marker.
+  Result<DataFrame> mid = ReadCsvString("a\n\xEF\xBB\xBFx\n");
+  ASSERT_TRUE(mid.ok());
+  EXPECT_EQ(mid->col("a").StringAt(0), "\xEF\xBB\xBFx");
+}
+
+TEST(CsvTest, BomOnlyInputFails) {
+  EXPECT_FALSE(ReadCsvString("\xEF\xBB\xBF").ok());
+}
+
+TEST(CsvTest, ChunkedParseMatchesSerial) {
+  // Many tiny chunks with tricky content must produce the same frame the
+  // serial single-chunk path does.
+  std::string text = "id,v,s\n";
+  for (int i = 0; i < 200; ++i) {
+    text += std::to_string(i) + "," + std::to_string(i) + ".5,\"s," +
+            std::to_string(i) + "\"\n";
+  }
+  CsvOptions serial;
+  serial.num_threads = 1;
+  Result<DataFrame> expect = ReadCsvString(text, serial);
+  ASSERT_TRUE(expect.ok());
+
+  CsvOptions chunked;
+  chunked.num_threads = 4;
+  chunked.chunk_bytes = 16;  // force a chunk every record or two
+  Result<DataFrame> got = ReadCsvString(text, chunked);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(WriteCsvString(*got), WriteCsvString(*expect));
+  EXPECT_EQ(got->col("v").type(), DataType::kDouble);
+}
+
+TEST(CsvTest, ChunkedParseReportsFirstBadRow) {
+  // The reported ragged-row index must match the serial reader's (the
+  // first bad data record), regardless of chunking.
+  std::string text = "a,b\n1,2\n3\n4\n5,6\n";
+  CsvOptions chunked;
+  chunked.num_threads = 4;
+  chunked.chunk_bytes = 1;
+  Result<DataFrame> r = ReadCsvString(text, chunked);
+  ASSERT_FALSE(r.ok());
+  CsvOptions serial;
+  serial.num_threads = 1;
+  Result<DataFrame> s = ReadCsvString(text, serial);
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(r.status().ToString(), s.status().ToString());
+}
+
 TEST(CsvTest, FuzzRoundTripIsLossless) {
   // Random string frames built from the characters that stress the
   // dialect: delimiters, quotes, newlines, carriage returns, emptiness.

@@ -207,6 +207,91 @@ TEST(FaultInjectionTest, RejectsUnknownSitesAndBadCounts) {
   EXPECT_FALSE(fault::FaultsArmed());
 }
 
+TEST(FaultInjectionTest, ColumnarReadFaultFallsBackToCsv) {
+  FaultGuard guard;
+  namespace fs = std::filesystem;
+  const std::string data_dir = ::testing::TempDir() + "/arda_fault_colr";
+  const std::string cache_dir = data_dir + "_cache";
+  fs::remove_all(data_dir);
+  fs::remove_all(cache_dir);
+  fs::create_directories(data_dir);
+  Scenario s;
+  MakeScenario(&s);
+  ASSERT_TRUE(df::WriteCsvFile(s.task.base, data_dir + "/base.csv").ok());
+
+  // Warm the cache, then arm the columnar_read site: the cached load must
+  // degrade to re-parsing the CSV, never crash or drop the table.
+  discovery::DataRepository warm;
+  ASSERT_TRUE(warm.LoadDirectory(data_dir, cache_dir, {}, nullptr).ok());
+
+  ASSERT_TRUE(fault::SetFaultSpecForTest("columnar_read").ok());
+  fault::ResetFaultCounters();
+  metrics::GlobalRegistry().ResetForTest();
+  discovery::DataRepository repo;
+  discovery::LoadStats stats;
+  ASSERT_TRUE(repo.LoadDirectory(data_dir, cache_dir, {}, &stats).ok());
+  EXPECT_TRUE(repo.Has("base"));
+  EXPECT_EQ(stats.tables_loaded, 1u);
+  EXPECT_EQ(stats.cache_hits, 0u);
+  ASSERT_EQ(stats.fallbacks.size(), 1u);
+  EXPECT_NE(stats.fallbacks[0].reason.find("injected fault"),
+            std::string::npos);
+  EXPECT_EQ(
+      metrics::GlobalRegistry().Snapshot().CounterValue("skips.ingest"),
+      1u);
+  fs::remove_all(data_dir);
+  fs::remove_all(cache_dir);
+}
+
+TEST(FaultInjectionTest, CliReportsIngestSkipUnderColumnarFault) {
+  FaultGuard guard;
+  namespace fs = std::filesystem;
+  const std::string dir = ::testing::TempDir() + "/arda_fault_cli_cache";
+  const std::string cache_dir = dir + "/cache";
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  Scenario s;
+  MakeScenario(&s);
+  ASSERT_TRUE(df::WriteCsvFile(s.task.base, dir + "/base.csv").ok());
+  ASSERT_TRUE(
+      df::WriteCsvFile(*s.repo.Get("wea").value(), dir + "/wea.csv").ok());
+
+  tools::CliOptions options;
+  options.data_dir = dir;
+  options.base_table = "base";
+  options.target = "y";
+  options.num_threads = 1;
+  options.table_cache = cache_dir;
+  options.report_json = dir + "/report.json";
+
+  // First run warms the cache; second run hits it with columnar_read
+  // armed, so every cached table degrades to CSV and the run's report
+  // lists the fallbacks as `ingest` skips (exit status still 0).
+  Status first = tools::RunCli(options);
+  ASSERT_TRUE(first.ok()) << first.ToString();
+  ASSERT_TRUE(fs::exists(cache_dir + "/base.ardac"));
+
+  ASSERT_TRUE(fault::SetFaultSpecForTest("columnar_read").ok());
+  fault::ResetFaultCounters();
+  metrics::GlobalRegistry().ResetForTest();
+  Status second = tools::RunCli(options);
+  EXPECT_TRUE(second.ok()) << second.ToString();
+
+  std::ifstream in(dir + "/report.json");
+  ASSERT_TRUE(in.good());
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const std::string json = buffer.str();
+  EXPECT_NE(json.find("\"skipped_candidates\""), std::string::npos);
+  EXPECT_NE(json.find("\"ingest\""), std::string::npos);
+  EXPECT_NE(json.find("injected fault at site 'columnar_read'"),
+            std::string::npos);
+  // Counter/report lockstep holds for ingest skips too: two tables fell
+  // back, two skips.ingest increments, two report entries.
+  EXPECT_NE(json.find("\"skips.ingest\": 2"), std::string::npos);
+  fs::remove_all(dir);
+}
+
 TEST(FaultInjectionTest, CliCompletesAndReportsSkipsUnderFault) {
   FaultGuard guard;
   namespace fs = std::filesystem;

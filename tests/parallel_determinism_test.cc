@@ -202,6 +202,56 @@ TEST(ParallelDeterminismTest, PipelineIsThreadCountInvariant) {
             df::WriteCsvString(parallel.augmented));
 }
 
+TEST(ParallelDeterminismTest, ChunkedCsvReadIsThreadCountInvariant) {
+  // The chunked CSV reader scans record boundaries once, then infers and
+  // parses chunks on the pool; output must be bit-identical for every
+  // thread count and chunk size on every fixture shape.
+  std::vector<std::string> fixtures;
+  // Mixed types with nulls, quoted commas, embedded newlines, CRLF.
+  fixtures.push_back(
+      "id,v,s\r\n1,2.5,\"a,b\"\r\n2,,\"line\nbreak\"\r\n3,4.5,plain\r\n");
+  // All-string with quoted empties and unicode bytes.
+  fixtures.push_back("a,b\n\"\",x\ny,\"\"\n\xC3\xA9,z\n");
+  // Large generated table so chunking actually splits.
+  {
+    Rng rng(5);
+    std::string text = "k,x,label\n";
+    for (int i = 0; i < 500; ++i) {
+      text += std::to_string(i) + "," +
+              std::to_string(rng.Normal()) + ",c" +
+              std::to_string(rng.UniformUint64(7)) + "\n";
+    }
+    fixtures.push_back(std::move(text));
+  }
+  for (size_t f = 0; f < fixtures.size(); ++f) {
+    df::CsvOptions serial;
+    serial.num_threads = 1;
+    Result<df::DataFrame> expect = df::ReadCsvString(fixtures[f], serial);
+    ASSERT_TRUE(expect.ok()) << "fixture " << f;
+    std::string expect_text = df::WriteCsvString(*expect);
+    for (size_t threads : {size_t{2}, size_t{8}}) {
+      for (size_t chunk_bytes : {size_t{1}, size_t{64}, size_t{1 << 20}}) {
+        df::CsvOptions options;
+        options.num_threads = threads;
+        options.chunk_bytes = chunk_bytes;
+        Result<df::DataFrame> got =
+            df::ReadCsvString(fixtures[f], options);
+        ASSERT_TRUE(got.ok())
+            << "fixture " << f << " threads " << threads;
+        EXPECT_EQ(df::WriteCsvString(*got), expect_text)
+            << "fixture " << f << " threads " << threads << " chunk "
+            << chunk_bytes;
+        // Types must match too (text equality alone can't see
+        // int64-vs-double for values like 1).
+        for (size_t c = 0; c < expect->NumCols(); ++c) {
+          EXPECT_EQ(got->col(c).type(), expect->col(c).type())
+              << "fixture " << f << " col " << c;
+        }
+      }
+    }
+  }
+}
+
 TEST(ParallelDeterminismTest, TracingDoesNotChangeResults) {
   // Observability must never feed back into computation: the full
   // pipeline (across thread counts) is bit-identical with span tracing

@@ -208,11 +208,71 @@ TEST(StringUtilTest, ParseDoubleRejectsGarbage) {
   EXPECT_FALSE(ParseDouble("", &v));
 }
 
+TEST(StringUtilTest, ParseDoubleAcceptsSubnormals) {
+  // Regression: the old strtod-based parser rejected subnormals because
+  // strtod reports them via errno=ERANGE even though the conversion is
+  // exact enough to use.
+  double v = 0.0;
+  ASSERT_TRUE(ParseDouble("1e-320", &v));
+  EXPECT_GT(v, 0.0);
+  EXPECT_LT(v, 1e-300);
+  ASSERT_TRUE(ParseDouble("-4.9406564584124654e-324", &v));  // min denormal
+  EXPECT_LT(v, 0.0);
+}
+
+TEST(StringUtilTest, ParseDoubleStrictGrammar) {
+  // The CSV numeric grammar (docs/csv_dialect.md): no nan/inf spellings,
+  // no hex floats, no '+' sign, no overflowing magnitudes — those stay
+  // strings in type inference.
+  double v = 0.0;
+  EXPECT_FALSE(ParseDouble("nan", &v));
+  EXPECT_FALSE(ParseDouble("NaN", &v));
+  EXPECT_FALSE(ParseDouble("-nan", &v));
+  EXPECT_FALSE(ParseDouble("inf", &v));
+  EXPECT_FALSE(ParseDouble("Infinity", &v));
+  EXPECT_FALSE(ParseDouble("-inf", &v));
+  EXPECT_FALSE(ParseDouble("0x1p3", &v));
+  EXPECT_FALSE(ParseDouble("0x10", &v));
+  EXPECT_FALSE(ParseDouble("+1.5", &v));
+  EXPECT_FALSE(ParseDouble("1e999", &v));
+  EXPECT_FALSE(ParseDouble("-1e999", &v));
+  EXPECT_FALSE(ParseDouble("1e", &v));
+  EXPECT_FALSE(ParseDouble("-", &v));
+  EXPECT_FALSE(ParseDouble(".", &v));
+  EXPECT_FALSE(ParseDouble("1.5 2", &v));
+  // Tiny-but-representable and bare-dot forms parse.
+  EXPECT_TRUE(ParseDouble(".5", &v));
+  EXPECT_DOUBLE_EQ(v, 0.5);
+  EXPECT_TRUE(ParseDouble("5.", &v));
+  EXPECT_DOUBLE_EQ(v, 5.0);
+  EXPECT_TRUE(ParseDouble("001", &v));
+  EXPECT_DOUBLE_EQ(v, 1.0);
+  // Underflow past the smallest denormal is out of range, like overflow.
+  EXPECT_FALSE(ParseDouble("1e-999", &v));
+}
+
 TEST(StringUtilTest, ParseInt64) {
   int64_t v = 0;
   EXPECT_TRUE(ParseInt64("-42", &v));
   EXPECT_EQ(v, -42);
   EXPECT_FALSE(ParseInt64("4.2", &v));
+}
+
+TEST(StringUtilTest, ParseInt64StrictGrammar) {
+  int64_t v = 0;
+  EXPECT_TRUE(ParseInt64("9223372036854775807", &v));
+  EXPECT_EQ(v, INT64_MAX);
+  EXPECT_TRUE(ParseInt64("-9223372036854775808", &v));
+  EXPECT_EQ(v, INT64_MIN);
+  EXPECT_TRUE(ParseInt64(" 007 ", &v));
+  EXPECT_EQ(v, 7);
+  EXPECT_FALSE(ParseInt64("9223372036854775808", &v));   // overflow
+  EXPECT_FALSE(ParseInt64("-9223372036854775809", &v));  // underflow
+  EXPECT_FALSE(ParseInt64("+1", &v));
+  EXPECT_FALSE(ParseInt64("0x10", &v));
+  EXPECT_FALSE(ParseInt64("1 2", &v));
+  EXPECT_FALSE(ParseInt64("", &v));
+  EXPECT_FALSE(ParseInt64("-", &v));
 }
 
 TEST(StringUtilTest, StrFormatWorks) {

@@ -1,7 +1,6 @@
 #include "tools/cli.h"
 
 #include <cstdio>
-#include <filesystem>
 
 #include "dataframe/csv.h"
 #include "core/report_io.h"
@@ -11,8 +10,6 @@
 #include "util/trace.h"
 
 namespace arda::tools {
-
-namespace fs = std::filesystem;
 
 std::string CliUsage() {
   return
@@ -35,6 +32,11 @@ std::string CliUsage() {
       "                   rfe | all_features\n"
       "  --plan=KIND      budget (default) | table | full\n"
       "  --soft-join=K    2way (default) | nearest | hard\n"
+      "  --table-cache=D  cache parsed tables as binary .ardac files in "
+      "D;\n"
+      "                   repeated runs load the cache instead of "
+      "re-parsing\n"
+      "                   CSVs (corrupt caches fall back to CSV)\n"
       "  --output=FILE    write the augmented table as CSV\n"
       "  --report-json=F  write a machine-readable run report\n"
       "  --trace-out=F    enable span tracing and write a Chrome/Perfetto\n"
@@ -72,6 +74,8 @@ Result<CliOptions> ParseCliArgs(const std::vector<std::string>& args) {
       options.plan = v;
     } else if (const char* v = value_of("--soft-join")) {
       options.soft_join = v;
+    } else if (const char* v = value_of("--table-cache")) {
+      options.table_cache = v;
     } else if (const char* v = value_of("--output")) {
       options.output = v;
     } else if (const char* v = value_of("--report-json")) {
@@ -170,29 +174,30 @@ Status RunCli(const CliOptions& options) {
   ARDA_ASSIGN_OR_RETURN(core::ArdaConfig config, MakeConfig(options));
   if (!options.trace_out.empty()) trace::Enable();
 
-  // Load every CSV in the data directory.
+  // Load every CSV in the data directory, via the binary table cache
+  // when --table-cache is set.
   discovery::DataRepository repo;
-  std::error_code ec;
-  fs::directory_iterator it(options.data_dir, ec);
-  if (ec) {
-    return Status::IoError("cannot open directory: " + options.data_dir);
+  df::CsvOptions csv_options;
+  csv_options.num_threads = options.num_threads;
+  discovery::LoadStats load_stats;
+  ARDA_RETURN_IF_ERROR(repo.LoadDirectory(options.data_dir,
+                                          options.table_cache, csv_options,
+                                          &load_stats));
+  for (const discovery::IngestSkip& failure : load_stats.failures) {
+    std::fprintf(stderr, "warning: skipping table %s: %s\n",
+                 failure.table.c_str(), failure.reason.c_str());
   }
-  size_t loaded = 0;
-  for (const fs::directory_entry& entry : it) {
-    if (entry.path().extension() != ".csv") continue;
-    Result<df::DataFrame> table = df::ReadCsvFile(entry.path().string());
-    if (!table.ok()) {
-      std::fprintf(stderr, "warning: skipping %s: %s\n",
-                   entry.path().c_str(),
-                   table.status().ToString().c_str());
-      continue;
-    }
-    ARDA_RETURN_IF_ERROR(repo.Add(entry.path().stem().string(),
-                                  std::move(table).value()));
-    ++loaded;
+  for (const discovery::IngestSkip& fallback : load_stats.fallbacks) {
+    std::fprintf(stderr, "warning: table %s: %s\n", fallback.table.c_str(),
+                 fallback.reason.c_str());
   }
-  std::printf("loaded %zu tables from %s\n", loaded,
+  std::printf("loaded %zu tables from %s", load_stats.tables_loaded,
               options.data_dir.c_str());
+  if (!options.table_cache.empty()) {
+    std::printf(" (%zu from cache, %zu cache files written)",
+                load_stats.cache_hits, load_stats.cache_writes);
+  }
+  std::printf("\n");
   ARDA_ASSIGN_OR_RETURN(const df::DataFrame* base,
                         repo.Get(options.base_table));
 
@@ -204,6 +209,10 @@ Status RunCli(const CliOptions& options) {
                   : ml::TaskType::kRegression;
   task.repo = &repo;
   task.base_table_name = options.base_table;
+  for (const discovery::IngestSkip& fallback : load_stats.fallbacks) {
+    task.ingest_skips.push_back(
+        {fallback.table, "ingest", fallback.reason});
+  }
 
   core::Arda arda(config);
   ARDA_ASSIGN_OR_RETURN(core::ArdaReport report, arda.Run(task));

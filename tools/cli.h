@@ -26,6 +26,11 @@ struct CliOptions {
   std::string plan = "budget";
   /// Soft-key method: "2way", "nearest" or "hard".
   std::string soft_join = "2way";
+  /// Directory of binary `.ardac` table caches ("" = caching disabled).
+  /// Fresh cache files are loaded instead of re-parsing CSVs; missing or
+  /// stale entries are rewritten after the CSV parse. Corrupt cache files
+  /// degrade to the CSV path (reported as `ingest` skips).
+  std::string table_cache;
   /// Output CSV path for the augmented table ("" = don't write).
   std::string output;
   /// Output path for a machine-readable JSON report ("" = don't write).
@@ -43,8 +48,9 @@ struct CliOptions {
 /// Parses argv. Recognized flags:
 ///   --data=DIR --base=NAME --target=COL [--task=regression|classification]
 ///   [--selector=NAME] [--plan=budget|table|full]
-///   [--soft-join=2way|nearest|hard] [--output=FILE] [--report-json=FILE]
-///   [--trace-out=FILE] [--seed=N] [--threads=N] [--help]
+///   [--soft-join=2way|nearest|hard] [--table-cache=DIR] [--output=FILE]
+///   [--report-json=FILE] [--trace-out=FILE] [--seed=N] [--threads=N]
+///   [--help]
 /// Fails with InvalidArgument on unknown flags or missing required ones
 /// (unless --help was given).
 Result<CliOptions> ParseCliArgs(const std::vector<std::string>& args);
