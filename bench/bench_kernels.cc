@@ -19,6 +19,8 @@
 #include "dataframe/aggregate.h"
 #include "dataframe/columnar_io.h"
 #include "dataframe/csv.h"
+#include "discovery/discovery.h"
+#include "discovery/repository.h"
 #include "join/join_executor.h"
 #include "ml/decision_tree.h"
 #include "ml/random_forest.h"
@@ -275,6 +277,84 @@ std::vector<KernelResult> RunAll(const BenchOptions& options, bool smoke) {
     std::error_code ec;
     fs::remove(csv_path, ec);
     fs::remove(ardac_path, ec);
+  }
+
+  // --- Discovery scoring: exact value rescan vs. statistics catalog.
+  // The ratio discovery_exact_rescan / discovery_catalog is the speedup
+  // the sketch-backed catalog buys on a wide repository (acceptance
+  // floor: 5x on the >=200-table pool, tracked in BENCH_PR6.json). ---
+  {
+    const size_t tables = smoke ? 40 : 220;
+    const size_t rows = smoke ? 500 : 2000;
+    Rng rng(options.seed ^ 0xD15CULL);
+    discovery::DataRepository repo;
+    df::DataFrame base;
+    std::vector<int64_t> base_ids(rows);
+    for (size_t i = 0; i < rows; ++i) {
+      base_ids[i] = static_cast<int64_t>(i);
+    }
+    std::vector<double> y(rows);
+    for (double& v : y) v = rng.Normal();
+    ARDA_CHECK(base.AddColumn(df::Column::Int64("id", base_ids)).ok());
+    ARDA_CHECK(base.AddColumn(df::Column::Double("y", y)).ok());
+    ARDA_CHECK(repo.Add("base", std::move(base)).ok());
+    for (size_t t = 0; t < tables; ++t) {
+      // Shift each table's key domain so containment against the base
+      // spans the full [0, 1] range across the pool.
+      const int64_t offset = static_cast<int64_t>((t * rows) / tables);
+      std::vector<int64_t> ids(rows);
+      for (size_t i = 0; i < rows; ++i) {
+        ids[i] = offset + static_cast<int64_t>(i);
+      }
+      std::vector<double> v(rows);
+      for (double& x : v) x = rng.Normal();
+      df::DataFrame foreign;
+      ARDA_CHECK(foreign.AddColumn(df::Column::Int64("id", ids)).ok());
+      ARDA_CHECK(
+          foreign
+              .AddColumn(df::Column::Double("v" + std::to_string(t), v))
+              .ok());
+      ARDA_CHECK(repo.Add("t" + std::to_string(t), std::move(foreign)).ok());
+    }
+    // The real pipeline computes the catalog once at ingest (or loads it
+    // from the .ardac meta block); warm it outside the timed region so
+    // the kernels compare scoring cost, not stats computation.
+    for (const std::string& name : repo.Names()) repo.Stats(name);
+    // Candidate-order fingerprint: cross-run determinism per mode is what
+    // tools/run_bench.sh verifies.
+    auto fingerprint =
+        [](const std::vector<discovery::CandidateJoin>& candidates) {
+          uint64_t h = 1469598103934665603ULL;
+          auto mix = [&h](const std::string& s) {
+            for (char ch : s) {
+              h ^= static_cast<unsigned char>(ch);
+              h *= 1099511628211ULL;
+            }
+            h ^= '|';
+            h *= 1099511628211ULL;
+          };
+          for (const discovery::CandidateJoin& c : candidates) {
+            mix(c.foreign_table);
+            for (const discovery::JoinKeyPair& k : c.keys) {
+              mix(k.base_column);
+              mix(k.foreign_column);
+            }
+          }
+          return h;
+        };
+    discovery::DiscoveryOptions exact_options;
+    exact_options.scoring = discovery::DiscoveryScoring::kExact;
+    results.push_back(Measure(
+        "discovery_exact_rescan", tables, reps, [&]() -> uint64_t {
+          return fingerprint(discovery::DiscoverCandidates(
+              repo, "base", "y", exact_options));
+        }));
+    const discovery::DiscoveryOptions catalog_options;  // default scoring
+    results.push_back(Measure(
+        "discovery_catalog", tables, reps, [&]() -> uint64_t {
+          return fingerprint(discovery::DiscoverCandidates(
+              repo, "base", "y", catalog_options));
+        }));
   }
 
   // --- End-to-end join + aggregate checksum workload (output hash). ---

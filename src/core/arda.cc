@@ -56,6 +56,66 @@ size_t EstimateEncodedFeatures(const df::DataFrame& table,
   return count;
 }
 
+size_t EstimateEncodedFeaturesFromStats(const df::DataFrame& table,
+                                        const df::TableStats& stats,
+                                        const df::EncodeOptions& encode) {
+  if (stats.columns.size() != table.NumCols()) {
+    return EstimateEncodedFeatures(table, encode);
+  }
+  size_t count = 0;
+  for (size_t c = 0; c < table.NumCols(); ++c) {
+    if (table.col(c).IsNumeric()) {
+      ++count;
+    } else {
+      const double ndv = stats.columns[c].DistinctEstimate();
+      count += std::min(
+          static_cast<size_t>(std::llround(std::max(0.0, ndv))),
+          encode.max_categories);
+    }
+  }
+  return count;
+}
+
+double EstimateTupleRatioFromStats(
+    size_t base_rows, const discovery::DataRepository& repo,
+    const discovery::CandidateJoin& candidate) {
+  const double ns = static_cast<double>(base_rows);
+  Result<const df::DataFrame*> foreign = repo.Get(candidate.foreign_table);
+  if (!foreign.ok() || candidate.keys.empty()) return ns;
+  const df::TableStats* stats = repo.Stats(candidate.foreign_table);
+  if (stats == nullptr ||
+      stats->columns.size() != foreign.value()->NumCols()) {
+    return ns;
+  }
+  double domain = 0.0;
+  for (const discovery::JoinKeyPair& key : candidate.keys) {
+    if (!foreign.value()->HasColumn(key.foreign_column)) return ns;
+    const size_t index = foreign.value()->ColumnIndex(key.foreign_column);
+    domain = std::max(domain, stats->columns[index].DistinctEstimate());
+  }
+  if (domain < 1.0) return ns;
+  return ns / domain;
+}
+
+void OrderCandidatesByEstimatedCost(
+    std::vector<discovery::CandidateJoin>* candidates,
+    const discovery::DataRepository& repo, size_t base_rows) {
+  std::vector<double> ratios;
+  ratios.reserve(candidates->size());
+  for (const discovery::CandidateJoin& candidate : *candidates) {
+    ratios.push_back(
+        EstimateTupleRatioFromStats(base_rows, repo, candidate));
+  }
+  std::vector<size_t> order(candidates->size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(),
+                   [&](size_t a, size_t b) { return ratios[a] < ratios[b]; });
+  std::vector<discovery::CandidateJoin> reordered;
+  reordered.reserve(candidates->size());
+  for (size_t i : order) reordered.push_back(std::move((*candidates)[i]));
+  *candidates = std::move(reordered);
+}
+
 std::vector<std::vector<discovery::CandidateJoin>> BuildJoinPlan(
     const std::vector<discovery::CandidateJoin>& candidates,
     const discovery::DataRepository& repo, JoinPlanKind plan, size_t budget,
@@ -80,8 +140,14 @@ std::vector<std::vector<discovery::CandidateJoin>> BuildJoinPlan(
   for (const discovery::CandidateJoin& cand : candidates) {
     size_t cost = 1;
     if (repo.Has(cand.foreign_table)) {
-      cost = EstimateEncodedFeatures(repo.GetOrDie(cand.foreign_table),
-                                     encode);
+      const df::DataFrame& table = repo.GetOrDie(cand.foreign_table);
+      // Costing from the memoized statistics catalog avoids re-scanning
+      // categorical columns on every plan; the catalog is usually already
+      // warm from discovery or the ingest cache.
+      const df::TableStats* stats = repo.Stats(cand.foreign_table);
+      cost = stats != nullptr
+                 ? EstimateEncodedFeaturesFromStats(table, *stats, encode)
+                 : EstimateEncodedFeatures(table, encode);
     }
     if (!current.empty() && budget > 0 && current_cost + cost > budget) {
       batches.push_back(std::move(current));
@@ -239,7 +305,24 @@ Result<ArdaReport> Arda::Run(const AugmentationTask& task) const {
     report.tables_filtered_by_tuple_ratio = filtered.removed.size();
     metrics::IncrementCounter("discovery.tuple_ratio_filtered_total",
                               filtered.removed.size());
+    // Broken references (missing tables / key columns) are degradations,
+    // not legitimate "too large" decisions — surface them as skips.
+    for (const discovery::RemovedCandidate& removed : filtered.removed) {
+      if (removed.broken_reference) {
+        RecordSkip(&report, removed.candidate.foreign_table, "tuple_ratio",
+                   removed.reason);
+      }
+    }
     candidates = std::move(filtered.kept);
+  }
+
+  // Cost-based ordering from the statistics catalog: join the candidates
+  // with the densest foreign-key domains first, so the budget batcher
+  // packs high-information tables into the earliest batches.
+  if (config_.cost_based_ordering && !candidates.empty()) {
+    trace::StageScope scope("cost_order");
+    OrderCandidatesByEstimatedCost(&candidates, *task.repo,
+                                   coreset_base.NumRows());
   }
 
   // 3. Join plan.

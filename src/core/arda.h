@@ -14,9 +14,9 @@
 namespace arda::core {
 
 /// One candidate (or pipeline stage) the run dropped instead of crashing.
-/// `stage` names where the failure happened ("ingest", "join",
-/// "pre-aggregate", "impute", "encode", "select", "accept", "coreset"),
-/// `reason` carries the Status message.
+/// `stage` names where the failure happened ("ingest", "tuple_ratio",
+/// "join", "pre-aggregate", "impute", "encode", "select", "accept",
+/// "coreset"), `reason` carries the Status message.
 struct SkippedCandidate {
   std::string table;
   std::string stage;
@@ -125,6 +125,34 @@ std::vector<std::vector<discovery::CandidateJoin>> BuildJoinPlan(
 /// columns count 1, categorical columns their capped cardinality).
 size_t EstimateEncodedFeatures(const df::DataFrame& table,
                                const df::EncodeOptions& encode);
+
+/// EstimateEncodedFeatures from the statistics catalog: categorical
+/// cardinalities come from the HLL distinct estimates instead of a
+/// full-column rescan. Falls back to the exact scan when `stats` does not
+/// align with the frame.
+size_t EstimateEncodedFeaturesFromStats(const df::DataFrame& table,
+                                        const df::TableStats& stats,
+                                        const df::EncodeOptions& encode);
+
+/// Statistics form of the Tuple Ratio (Kumar et al.): base row count over
+/// the estimated foreign-key-domain size, where the domain size is the
+/// largest per-key-column HLL distinct estimate (a lower bound of the
+/// composite domain, so the ratio is a conservative upper estimate).
+/// Returns `base_rows` — the degenerate worst case — when the candidate's
+/// table or key columns are missing from the repository.
+double EstimateTupleRatioFromStats(
+    size_t base_rows, const discovery::DataRepository& repo,
+    const discovery::CandidateJoin& candidate);
+
+/// Reorders `candidates` by ascending estimated Tuple Ratio — joins with
+/// dense foreign-key domains (low expected output duplication, high
+/// information) first — keeping the incoming (discovery-score) order on
+/// ties. The statistics are read from the repository catalog; candidates
+/// whose statistics are unavailable sort by the degenerate worst-case
+/// ratio.
+void OrderCandidatesByEstimatedCost(
+    std::vector<discovery::CandidateJoin>* candidates,
+    const discovery::DataRepository& repo, size_t base_rows);
 
 /// Encodes `frame` into a supervised dataset: the target column becomes
 /// `y` (string classification targets are mapped to dense label ids in

@@ -45,6 +45,11 @@ struct ArdaConfig {
   /// before any joins (Table 4 experiment).
   bool use_tuple_ratio_prefilter = false;
   double tuple_ratio_tau = 20.0;
+  /// Order candidate joins by estimated output cardinality from the
+  /// repository's statistics catalog (ascending statistical Tuple Ratio)
+  /// before batching, so information-dense tables are joined and
+  /// evaluated first. Off = keep the discovery score order.
+  bool cost_based_ordering = true;
   /// A batch's new features are kept only if they improve the holdout
   /// score by more than this margin.
   double min_improvement = 0.0;

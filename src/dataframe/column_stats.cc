@@ -1,0 +1,159 @@
+#include "dataframe/column_stats.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <limits>
+
+#include "util/metrics.h"
+
+namespace arda::df {
+
+uint64_t StatsFnv1a64(std::string_view data) {
+  uint64_t hash = 0xCBF29CE484222325ULL;
+  for (char c : data) {
+    hash ^= static_cast<uint8_t>(c);
+    hash *= 0x100000001B3ULL;
+  }
+  return hash;
+}
+
+uint64_t StatsMixHash(uint64_t value, uint64_t key) {
+  uint64_t x = value ^ (key * 0x9E3779B97F4A7C15ULL);
+  x ^= x >> 33;
+  x *= 0xFF51AFD7ED558CCDULL;
+  x ^= x >> 33;
+  x *= 0xC4CEB9FE1A85EC53ULL;
+  x ^= x >> 33;
+  return x;
+}
+
+namespace {
+
+// Folds one value hash into the HLL registers: the top kHllPrecision bits
+// pick the register, the rank is the leading-zero count of the rest.
+// The raw FNV-1a hash must be avalanched first: FNV's high bits are
+// poorly distributed for short inputs, and the register index is taken
+// from exactly those bits.
+constexpr uint64_t kHllMixKey = 0x484C4C;  // distinct from MinHash keys
+
+void HllAdd(std::vector<uint8_t>* registers, uint64_t raw_hash) {
+  const uint64_t hash = StatsMixHash(raw_hash, kHllMixKey);
+  const size_t index = hash >> (64 - kHllPrecision);
+  const uint64_t rest = hash << kHllPrecision;
+  const uint8_t rank =
+      rest == 0 ? static_cast<uint8_t>(64 - kHllPrecision + 1)
+                : static_cast<uint8_t>(std::countl_zero(rest) + 1);
+  if (rank > (*registers)[index]) (*registers)[index] = rank;
+}
+
+void MinHashAdd(std::vector<uint64_t>* slots, uint64_t hash) {
+  for (size_t h = 0; h < slots->size(); ++h) {
+    uint64_t mixed = StatsMixHash(hash, kStatsMinHashSeed + h);
+    if (mixed < (*slots)[h]) (*slots)[h] = mixed;
+  }
+}
+
+}  // namespace
+
+namespace {
+
+double HllEstimate(const std::vector<uint8_t>& registers) {
+  if (registers.empty()) return 0.0;
+  const double m = static_cast<double>(registers.size());
+  double inverse_sum = 0.0;
+  size_t zeros = 0;
+  for (uint8_t reg : registers) {
+    inverse_sum += std::ldexp(1.0, -static_cast<int>(reg));
+    zeros += reg == 0;
+  }
+  const double alpha = 0.7213 / (1.0 + 1.079 / m);
+  double estimate = alpha * m * m / inverse_sum;
+  // Small-range (linear counting) correction: with mostly-empty registers
+  // the raw estimator biases high, but m·ln(m/V) is near-exact.
+  if (estimate <= 2.5 * m && zeros > 0) {
+    estimate = m * std::log(m / static_cast<double>(zeros));
+  }
+  return estimate;
+}
+
+}  // namespace
+
+double ColumnStats::DistinctEstimate() const { return HllEstimate(hll); }
+
+ColumnStats ComputeColumnStats(const Column& column) {
+  ColumnStats stats;
+  stats.row_count = column.size();
+  stats.hll.assign(kHllRegisters, 0);
+  stats.minhash.assign(kStatsMinHashHashes,
+                       std::numeric_limits<uint64_t>::max());
+  const bool numeric = column.IsNumeric();
+  for (size_t r = 0; r < column.size(); ++r) {
+    if (column.IsNull(r)) continue;
+    ++stats.non_null_count;
+    if (numeric) {
+      const double v = column.NumericAt(r);
+      if (!stats.has_range) {
+        stats.has_range = true;
+        stats.min = stats.max = v;
+      } else {
+        stats.min = std::min(stats.min, v);
+        stats.max = std::max(stats.max, v);
+      }
+    }
+    const uint64_t hash = StatsFnv1a64(column.ValueToString(r));
+    HllAdd(&stats.hll, hash);
+    MinHashAdd(&stats.minhash, hash);
+  }
+  metrics::IncrementCounter("stats.columns_computed");
+  return stats;
+}
+
+TableStats ComputeTableStats(const DataFrame& frame) {
+  TableStats stats;
+  stats.columns.reserve(frame.NumCols());
+  for (size_t c = 0; c < frame.NumCols(); ++c) {
+    stats.columns.push_back(ComputeColumnStats(frame.col(c)));
+  }
+  return stats;
+}
+
+double EstimateJaccard(const ColumnStats& a, const ColumnStats& b) {
+  if (a.minhash.empty() || b.minhash.empty()) return 0.0;
+  if (a.non_null_count == 0 || b.non_null_count == 0) return 0.0;
+  const size_t n = std::min(a.minhash.size(), b.minhash.size());
+  if (n == 0) return 0.0;
+  size_t matches = 0;
+  for (size_t h = 0; h < n; ++h) {
+    matches += a.minhash[h] == b.minhash[h];
+  }
+  return static_cast<double>(matches) / static_cast<double>(n);
+}
+
+double EstimateContainment(const ColumnStats& base,
+                           const ColumnStats& foreign) {
+  const double na = base.DistinctEstimate();
+  const double nb = foreign.DistinctEstimate();
+  if (na <= 0.0 || nb <= 0.0) return 0.0;
+  if (base.non_null_count == 0 || foreign.non_null_count == 0) return 0.0;
+  // Inclusion-exclusion over HLLs: the register-wise max of two sketches
+  // is exactly the sketch of the set union, so |A ∩ B| = na + nb - nu
+  // inherits HLL's ~1.6% error. The MinHash-Jaccard route below is far
+  // noisier exactly where discovery needs precision — a small base key
+  // contained in a large foreign domain has tiny resemblance, and the
+  // Jaccard estimate's relative error blows up there.
+  if (!base.hll.empty() && base.hll.size() == foreign.hll.size()) {
+    std::vector<uint8_t> merged(base.hll.size());
+    for (size_t i = 0; i < merged.size(); ++i) {
+      merged[i] = std::max(base.hll[i], foreign.hll[i]);
+    }
+    const double nu = HllEstimate(merged);
+    const double intersection = std::max(0.0, na + nb - nu);
+    return std::clamp(intersection / na, 0.0, 1.0);
+  }
+  const double jaccard = EstimateJaccard(base, foreign);
+  const double intersection = jaccard * (na + nb) / (1.0 + jaccard);
+  return std::clamp(intersection / na, 0.0, 1.0);
+}
+
+}  // namespace arda::df

@@ -1,0 +1,100 @@
+#ifndef ARDA_DATAFRAME_COLUMN_STATS_H_
+#define ARDA_DATAFRAME_COLUMN_STATS_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "dataframe/data_frame.h"
+
+/// \file
+/// Per-column statistics catalog: row/non-null counts, numeric min/max, a
+/// HyperLogLog distinct-value estimator and a MinHash sketch of the
+/// distinct-value set, all computed in a single pass over the column.
+/// Discovery scores candidate joins from these sketches instead of
+/// rescanning raw values, and the core join planner orders candidates by
+/// the statistics form of the Tuple Ratio (see DESIGN.md "Discovery
+/// statistics catalog"). Stats are persisted in the `.ardac` cache meta
+/// block (docs/columnar_format.md) so repeated runs skip the pass too.
+
+namespace arda::df {
+
+/// HyperLogLog precision: 2^12 = 4096 one-byte registers per column, a
+/// ~1.6% relative NDV error. Fixed so serialized sketches stay comparable.
+inline constexpr int kHllPrecision = 12;
+inline constexpr size_t kHllRegisters = size_t{1} << kHllPrecision;
+
+/// MinHash sketch width and permutation seed. All persisted sketches use
+/// these constants so any two columns' sketches are slot-comparable.
+inline constexpr size_t kStatsMinHashHashes = 128;
+inline constexpr uint64_t kStatsMinHashSeed = 0x51;
+
+/// 64-bit FNV-1a — the canonical value hash behind every sketch in the
+/// catalog (and the source-file fingerprint in the cache meta block).
+uint64_t StatsFnv1a64(std::string_view data);
+
+/// Mixes a value hash with a per-permutation key (xorshift-multiply);
+/// permutation h of the MinHash sketch uses key `seed + h`.
+uint64_t StatsMixHash(uint64_t value, uint64_t key);
+
+/// Single-pass statistics of one column. `hll` and `minhash` are sized
+/// kHllRegisters / kStatsMinHashHashes when populated and empty only on a
+/// default-constructed (absent) entry.
+struct ColumnStats {
+  uint64_t row_count = 0;
+  uint64_t non_null_count = 0;
+  /// True when the column is numeric with at least one non-null value;
+  /// min/max are only meaningful then.
+  bool has_range = false;
+  double min = 0.0;
+  double max = 0.0;
+  /// HyperLogLog registers over the distinct non-null values (rendered via
+  /// Column::ValueToString, hashed with StatsFnv1a64).
+  std::vector<uint8_t> hll;
+  /// MinHash sketch (kStatsMinHashHashes slots, seed kStatsMinHashSeed)
+  /// over the same value domain.
+  std::vector<uint64_t> minhash;
+
+  /// Estimated number of distinct non-null values (HyperLogLog with the
+  /// small-range linear-counting correction). 0 when the sketch is empty.
+  double DistinctEstimate() const;
+
+  /// True when no sketches were computed (absent / default entry).
+  bool Empty() const { return hll.empty(); }
+};
+
+/// Statistics for every column of a frame, aligned with frame column
+/// order (columns[i] describes frame.col(i)).
+struct TableStats {
+  std::vector<ColumnStats> columns;
+
+  bool Empty() const { return columns.empty(); }
+};
+
+/// Computes the full statistics of one column in a single pass.
+ColumnStats ComputeColumnStats(const Column& column);
+
+/// Computes statistics for every column of `frame`.
+TableStats ComputeTableStats(const DataFrame& frame);
+
+/// Estimated Jaccard similarity of two columns' distinct-value sets from
+/// their MinHash sketches (fraction of matching slots). 0 when either
+/// sketch is empty.
+double EstimateJaccard(const ColumnStats& a, const ColumnStats& b);
+
+/// Estimated containment |base ∩ foreign| / |base| of the base column's
+/// distinct values in the foreign column's. When both HLLs are present
+/// (the catalog case) the intersection comes from inclusion-exclusion
+/// over the merged union sketch — register-wise max of two HLLs is the
+/// HLL of the union — keeping the ~1.6% HLL error even when the sets'
+/// resemblance is tiny. Without comparable HLLs it falls back to the
+/// MinHash route:
+///   |A ∩ B| ≈ J·(|A| + |B|) / (1 + J),  containment = |A ∩ B| / |A|.
+/// Clamped to [0, 1]; 0 when either domain is empty.
+double EstimateContainment(const ColumnStats& base,
+                           const ColumnStats& foreign);
+
+}  // namespace arda::df
+
+#endif  // ARDA_DATAFRAME_COLUMN_STATS_H_

@@ -6,6 +6,7 @@
 #include <limits>
 #include <vector>
 
+#include "util/check.h"
 #include "util/fault.h"
 #include "util/metrics.h"
 #include "util/string_util.h"
@@ -16,8 +17,16 @@ namespace arda::df {
 namespace {
 
 constexpr char kMagic[4] = {'A', 'R', 'D', 'C'};
-constexpr uint32_t kFormatVersion = 1;
+constexpr char kMetaMagic[4] = {'A', 'R', 'D', 'M'};
+constexpr uint32_t kFormatVersion = 2;
+constexpr uint32_t kLegacyFormatVersion = 1;
+constexpr uint32_t kMetaVersion = 1;
 constexpr size_t kHeaderSize = 32;
+// Decode-time sanity bounds for sketch sizes; real sketches are
+// kHllRegisters / kStatsMinHashHashes, corrupt lengths fail fast instead
+// of allocating gigabytes.
+constexpr uint32_t kMaxHllRegisters = 1u << 20;
+constexpr uint32_t kMaxMinHashSlots = 1u << 16;
 
 constexpr uint8_t kTypeDouble = 0;
 constexpr uint8_t kTypeInt64 = 1;
@@ -114,14 +123,12 @@ uint64_t LoadU64Le(const char* p) {
   return v;
 }
 
-}  // namespace
-
-std::string WriteColumnarString(const DataFrame& frame) {
+// Serializes every column of `frame` (the version-independent part of the
+// payload).
+void AppendColumnsPayload(const DataFrame& frame, std::string* out) {
   const size_t rows = frame.NumRows();
-  const size_t cols = frame.NumCols();
-
-  std::string payload;
-  for (size_t c = 0; c < cols; ++c) {
+  std::string& payload = *out;
+  for (size_t c = 0; c < frame.NumCols(); ++c) {
     const Column& col = frame.col(c);
     PutU32(&payload, static_cast<uint32_t>(col.name().size()));
     payload += col.name();
@@ -173,11 +180,41 @@ std::string WriteColumnarString(const DataFrame& frame) {
         break;
     }
   }
+}
 
+// Appends the version-2 meta block: fingerprint of the source file plus
+// the optional per-column statistics catalog. `meta` may be null (unknown
+// fingerprint, no stats).
+void AppendMetaBlock(const DataFrame& frame, const ColumnarMeta* meta,
+                     std::string* payload) {
+  payload->append(kMetaMagic, sizeof(kMetaMagic));
+  PutU32(payload, kMetaVersion);
+  PutU64(payload, meta == nullptr ? 0 : meta->source_size);
+  PutU64(payload, meta == nullptr ? 0 : meta->source_hash);
+  const bool has_stats = meta != nullptr && !meta->stats.Empty();
+  payload->push_back(has_stats ? 1 : 0);
+  if (!has_stats) return;
+  ARDA_CHECK_EQ(meta->stats.columns.size(), frame.NumCols());
+  for (const ColumnStats& stats : meta->stats.columns) {
+    PutU64(payload, stats.row_count);
+    PutU64(payload, stats.non_null_count);
+    payload->push_back(stats.has_range ? 1 : 0);
+    PutDouble(payload, stats.min);
+    PutDouble(payload, stats.max);
+    PutU32(payload, static_cast<uint32_t>(stats.hll.size()));
+    payload->append(reinterpret_cast<const char*>(stats.hll.data()),
+                    stats.hll.size());
+    PutU32(payload, static_cast<uint32_t>(stats.minhash.size()));
+    for (uint64_t slot : stats.minhash) PutU64(payload, slot);
+  }
+}
+
+std::string AssembleFile(uint32_t version, size_t rows, size_t cols,
+                         const std::string& payload) {
   std::string out;
   out.reserve(kHeaderSize + payload.size());
   out.append(kMagic, sizeof(kMagic));
-  PutU32(&out, kFormatVersion);
+  PutU32(&out, version);
   PutU64(&out, static_cast<uint64_t>(rows));
   PutU32(&out, static_cast<uint32_t>(cols));
   PutU32(&out, 0);  // reserved
@@ -186,9 +223,28 @@ std::string WriteColumnarString(const DataFrame& frame) {
   return out;
 }
 
-Status WriteColumnar(const DataFrame& frame, const std::string& path) {
+}  // namespace
+
+std::string WriteColumnarString(const DataFrame& frame,
+                                const ColumnarMeta* meta) {
+  std::string payload;
+  AppendColumnsPayload(frame, &payload);
+  AppendMetaBlock(frame, meta, &payload);
+  return AssembleFile(kFormatVersion, frame.NumRows(), frame.NumCols(),
+                      payload);
+}
+
+std::string WriteColumnarStringV1(const DataFrame& frame) {
+  std::string payload;
+  AppendColumnsPayload(frame, &payload);
+  return AssembleFile(kLegacyFormatVersion, frame.NumRows(),
+                      frame.NumCols(), payload);
+}
+
+Status WriteColumnar(const DataFrame& frame, const std::string& path,
+                     const ColumnarMeta* meta) {
   trace::StageScope scope("ingest/columnar_write");
-  std::string data = WriteColumnarString(frame);
+  std::string data = WriteColumnarString(frame, meta);
   std::FILE* f = std::fopen(path.c_str(), "wb");
   if (f == nullptr) {
     return Status::IoError("cannot open file for writing: " + path);
@@ -204,7 +260,77 @@ Status WriteColumnar(const DataFrame& frame, const std::string& path) {
   return Status::Ok();
 }
 
-Result<DataFrame> ReadColumnarString(std::string_view data) {
+namespace {
+
+// Decodes the version-2 meta block (fingerprint + stats catalog) into
+// `meta`. Carries the `stats_decode` fault site so the degradation path —
+// corrupt stats never crash, the cache read fails with a Status and the
+// loader falls back to the CSV — stays testable.
+Status DecodeMetaBlock(Cursor* in, uint32_t cols, ColumnarMeta* meta) {
+  ARDA_FAULT_POINT(fault::kStatsDecode);
+  std::string_view magic;
+  ARDA_RETURN_IF_ERROR(in->GetBytes(&magic, 4, "meta magic"));
+  if (magic != std::string_view(kMetaMagic, sizeof(kMetaMagic))) {
+    return Status::InvalidArgument("columnar meta block has bad magic");
+  }
+  uint32_t meta_version = 0;
+  ARDA_RETURN_IF_ERROR(in->GetU32(&meta_version, "meta version"));
+  if (meta_version != kMetaVersion) {
+    return Status::FailedPrecondition(
+        StrFormat("columnar meta version skew: file has %u, reader "
+                  "supports %u",
+                  meta_version, kMetaVersion));
+  }
+  ARDA_RETURN_IF_ERROR(in->GetU64(&meta->source_size, "source size"));
+  ARDA_RETURN_IF_ERROR(in->GetU64(&meta->source_hash, "source hash"));
+  std::string_view has_stats;
+  ARDA_RETURN_IF_ERROR(in->GetBytes(&has_stats, 1, "stats flag"));
+  if (has_stats[0] == 0) return Status::Ok();
+  meta->stats.columns.reserve(cols);
+  for (uint32_t c = 0; c < cols; ++c) {
+    ColumnStats stats;
+    ARDA_RETURN_IF_ERROR(in->GetU64(&stats.row_count, "stats row count"));
+    ARDA_RETURN_IF_ERROR(
+        in->GetU64(&stats.non_null_count, "stats non-null count"));
+    std::string_view has_range;
+    ARDA_RETURN_IF_ERROR(in->GetBytes(&has_range, 1, "stats range flag"));
+    stats.has_range = has_range[0] != 0;
+    uint64_t bits = 0;
+    ARDA_RETURN_IF_ERROR(in->GetU64(&bits, "stats min"));
+    stats.min = std::bit_cast<double>(bits);
+    ARDA_RETURN_IF_ERROR(in->GetU64(&bits, "stats max"));
+    stats.max = std::bit_cast<double>(bits);
+    uint32_t hll_len = 0;
+    ARDA_RETURN_IF_ERROR(in->GetU32(&hll_len, "HLL register count"));
+    if (hll_len > kMaxHllRegisters) {
+      return Status::InvalidArgument(
+          StrFormat("implausible HLL register count %u", hll_len));
+    }
+    std::string_view hll_bytes;
+    ARDA_RETURN_IF_ERROR(
+        in->GetBytes(&hll_bytes, hll_len, "HLL registers"));
+    stats.hll.assign(hll_bytes.begin(), hll_bytes.end());
+    uint32_t slot_count = 0;
+    ARDA_RETURN_IF_ERROR(in->GetU32(&slot_count, "MinHash slot count"));
+    if (slot_count > kMaxMinHashSlots) {
+      return Status::InvalidArgument(
+          StrFormat("implausible MinHash slot count %u", slot_count));
+    }
+    stats.minhash.resize(slot_count);
+    for (uint32_t s = 0; s < slot_count; ++s) {
+      ARDA_RETURN_IF_ERROR(
+          in->GetU64(&stats.minhash[s], "MinHash slot"));
+    }
+    meta->stats.columns.push_back(std::move(stats));
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Result<DataFrame> ReadColumnarString(std::string_view data,
+                                     ColumnarMeta* meta) {
+  if (meta != nullptr) *meta = ColumnarMeta{};
   Cursor in{data};
   std::string_view magic;
   ARDA_RETURN_IF_ERROR(in.GetBytes(&magic, 4, "magic"));
@@ -214,7 +340,7 @@ Result<DataFrame> ReadColumnarString(std::string_view data) {
   }
   uint32_t version = 0;
   ARDA_RETURN_IF_ERROR(in.GetU32(&version, "version"));
-  if (version != kFormatVersion) {
+  if (version < kLegacyFormatVersion || version > kFormatVersion) {
     return Status::FailedPrecondition(
         StrFormat("columnar format version skew: file has %u, reader "
                   "supports %u",
@@ -324,6 +450,11 @@ Result<DataFrame> ReadColumnarString(std::string_view data) {
     }
     ARDA_RETURN_IF_ERROR(frame.AddColumn(std::move(col)));
   }
+  if (version >= 2) {
+    ColumnarMeta local_meta;
+    ARDA_RETURN_IF_ERROR(
+        DecodeMetaBlock(&in, cols, meta == nullptr ? &local_meta : meta));
+  }
   if (in.Remaining() != 0) {
     return Status::InvalidArgument(
         StrFormat("columnar data has %zu trailing bytes", in.Remaining()));
@@ -331,7 +462,8 @@ Result<DataFrame> ReadColumnarString(std::string_view data) {
   return frame;
 }
 
-Result<DataFrame> ReadColumnar(const std::string& path) {
+Result<DataFrame> ReadColumnar(const std::string& path,
+                               ColumnarMeta* meta) {
   ARDA_FAULT_POINT(fault::kColumnarRead);
   trace::StageScope scope("ingest/columnar_read");
   std::FILE* f = std::fopen(path.c_str(), "rb");
@@ -354,7 +486,7 @@ Result<DataFrame> ReadColumnar(const std::string& path) {
   if (read_error) {
     return Status::IoError("failed reading file: " + path);
   }
-  Result<DataFrame> frame = ReadColumnarString(buffer);
+  Result<DataFrame> frame = ReadColumnarString(buffer, meta);
   if (frame.ok()) {
     metrics::IncrementCounter("ingest.columnar_read_bytes", buffer.size());
     metrics::IncrementCounter("ingest.columnar_read_rows",

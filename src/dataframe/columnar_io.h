@@ -1,9 +1,11 @@
 #ifndef ARDA_DATAFRAME_COLUMNAR_IO_H_
 #define ARDA_DATAFRAME_COLUMNAR_IO_H_
 
+#include <cstdint>
 #include <string>
 #include <string_view>
 
+#include "dataframe/column_stats.h"
 #include "dataframe/data_frame.h"
 #include "util/status.h"
 
@@ -17,7 +19,7 @@
 /// docs/columnar_format.md):
 ///
 ///   [0)  magic "ARDC" (4 bytes)
-///   [4)  u32 format version (currently 1)
+///   [4)  u32 format version (currently 2; version-1 files still load)
 ///   [8)  u64 row count
 ///   [16) u32 column count
 ///   [20) u32 reserved (0)
@@ -28,27 +30,58 @@
 ///          null bitmap: ceil(rows/8) bytes, LSB-first; bit set = valid
 ///          data: doubles/int64s as rows * 8 bytes; strings as one
 ///                u32 length + bytes per row (nulls: length 0)
+///        then (version >= 2) a meta block:
+///          magic "ARDM", u32 meta version (1)
+///          u64 source file size, u64 source FNV-1a hash (0,0 = unknown)
+///          u8 has_stats; when set, per column in frame order:
+///            u64 row count, u64 non-null count
+///            u8 has_range, f64 min, f64 max
+///            u32 HLL register count + register bytes
+///            u32 MinHash slot count + slots as u64s
 ///
 /// Readers validate magic, version, checksum and every length before
 /// touching the data, and return `Status` — never crash — on truncated,
-/// corrupted or version-skewed input.
+/// corrupted or version-skewed input. A corrupt meta block fails the read
+/// the same way (callers degrade to the CSV path).
 
 namespace arda::df {
 
-/// Serializes `frame` into the `.ardac` byte format.
-std::string WriteColumnarString(const DataFrame& frame);
+/// Sidecar metadata persisted with a cached table: a fingerprint of the
+/// source CSV (for content-based cache freshness) and the per-column
+/// statistics catalog. `source_size`/`source_hash` of 0 and an empty
+/// `stats` mean "unknown" — version-1 files read back this way.
+struct ColumnarMeta {
+  uint64_t source_size = 0;
+  uint64_t source_hash = 0;
+  TableStats stats;
+};
+
+/// Serializes `frame` into the `.ardac` byte format (version 2). With a
+/// null `meta` the meta block carries no fingerprint and no stats.
+std::string WriteColumnarString(const DataFrame& frame,
+                                const ColumnarMeta* meta = nullptr);
+
+/// Serializes `frame` in the legacy version-1 layout (no meta block) —
+/// kept so backward-compatibility can be tested against real v1 bytes.
+std::string WriteColumnarStringV1(const DataFrame& frame);
 
 /// Writes `frame` to `path` in the `.ardac` format.
-Status WriteColumnar(const DataFrame& frame, const std::string& path);
+Status WriteColumnar(const DataFrame& frame, const std::string& path,
+                     const ColumnarMeta* meta = nullptr);
 
-/// Deserializes a `.ardac` byte buffer. Fails with InvalidArgument on bad
-/// magic / truncation / trailing garbage / corrupted lengths, and with
-/// FailedPrecondition on version skew or a checksum mismatch.
-Result<DataFrame> ReadColumnarString(std::string_view data);
+/// Deserializes a `.ardac` byte buffer (version 1 or 2). Fails with
+/// InvalidArgument on bad magic / truncation / trailing garbage /
+/// corrupted lengths, and with FailedPrecondition on version skew or a
+/// checksum mismatch. When `meta` is non-null it receives the decoded
+/// meta block (defaults for version-1 input).
+Result<DataFrame> ReadColumnarString(std::string_view data,
+                                     ColumnarMeta* meta = nullptr);
 
 /// Reads a `.ardac` file. Carries the `fault::kColumnarRead` injection
-/// site, so the cache-fallback path is testable under ARDA_FAULT.
-Result<DataFrame> ReadColumnar(const std::string& path);
+/// site (and `fault::kStatsDecode` inside the meta-block decode), so the
+/// cache-fallback path is testable under ARDA_FAULT.
+Result<DataFrame> ReadColumnar(const std::string& path,
+                               ColumnarMeta* meta = nullptr);
 
 }  // namespace arda::df
 

@@ -1,6 +1,7 @@
 #include "discovery/discovery.h"
 
 #include <algorithm>
+#include <memory>
 #include <set>
 
 #include "discovery/minhash.h"
@@ -21,6 +22,17 @@ double IntersectionScore(const df::Column& base, const df::Column& foreign) {
   return static_cast<double>(hits) / static_cast<double>(base_values.size());
 }
 
+double SpanOverlap(double b_lo, double b_hi, double f_lo, double f_hi) {
+  if (b_hi < f_lo || f_hi < b_lo) return 0.0;  // disjoint
+  const double base_span = b_hi - b_lo;
+  // Zero-width base: the single base value lies inside (or on the edge
+  // of) the foreign range, so the base is fully covered — two columns
+  // holding the same single value overlap completely.
+  if (base_span <= 0.0) return 1.0;
+  const double inter = std::min(b_hi, f_hi) - std::max(b_lo, f_lo);
+  return std::clamp(inter / base_span, 0.0, 1.0);
+}
+
 double RangeOverlap(const df::Column& base, const df::Column& foreign) {
   if (!base.IsNumeric() || !foreign.IsNumeric()) return 0.0;
   std::vector<double> bv = base.NonNullNumericValues();
@@ -28,14 +40,114 @@ double RangeOverlap(const df::Column& base, const df::Column& foreign) {
   if (bv.empty() || fv.empty()) return 0.0;
   auto [b_lo_it, b_hi_it] = std::minmax_element(bv.begin(), bv.end());
   auto [f_lo_it, f_hi_it] = std::minmax_element(fv.begin(), fv.end());
-  double b_lo = *b_lo_it, b_hi = *b_hi_it;
-  double f_lo = *f_lo_it, f_hi = *f_hi_it;
-  double inter = std::min(b_hi, f_hi) - std::max(b_lo, f_lo);
-  if (inter <= 0.0) return 0.0;
-  double base_span = b_hi - b_lo;
-  if (base_span <= 0.0) return 1.0;  // single base value inside the range
-  return std::min(1.0, inter / base_span);
+  return SpanOverlap(*b_lo_it, *b_hi_it, *f_lo_it, *f_hi_it);
 }
+
+double RangeOverlapFromStats(const df::ColumnStats& base,
+                             const df::ColumnStats& foreign) {
+  if (!base.has_range || !foreign.has_range) return 0.0;
+  return SpanOverlap(base.min, base.max, foreign.min, foreign.max);
+}
+
+namespace {
+
+// Hard-key containment scorer for one DiscoverCandidates call. Per-column
+// state (MinHash signatures in kMinHash mode) is built at most once per
+// column — the former per-pair signature rebuild in the innermost loop
+// made MinHash mode more expensive than the exact rescan it replaced.
+class HardKeyScorer {
+ public:
+  HardKeyScorer(const DiscoveryOptions& options, const DataRepository& repo,
+                const std::string& base_name, const df::DataFrame& base)
+      : options_(options), repo_(repo), base_(base) {
+    scoring_ = options.use_minhash ? DiscoveryScoring::kMinHash
+                                   : options.scoring;
+    if (scoring_ == DiscoveryScoring::kMinHash) {
+      base_signatures_.resize(base.NumCols());
+    } else if (scoring_ == DiscoveryScoring::kCatalog) {
+      base_stats_ = repo.Stats(base_name);
+      // A base table supplied outside the repository has no catalog
+      // entry; score it from a locally computed one.
+      if (base_stats_ == nullptr) {
+        local_base_stats_ =
+            std::make_unique<df::TableStats>(df::ComputeTableStats(base));
+        base_stats_ = local_base_stats_.get();
+      }
+    }
+  }
+
+  // Called once per foreign table, before Containment/SoftOverlap.
+  void BeginTable(const std::string& table_name,
+                  const df::DataFrame& foreign) {
+    foreign_ = &foreign;
+    if (scoring_ == DiscoveryScoring::kMinHash) {
+      foreign_signatures_.clear();
+      foreign_signatures_.resize(foreign.NumCols());
+    } else if (scoring_ == DiscoveryScoring::kCatalog) {
+      foreign_stats_ = repo_.Stats(table_name);
+    }
+  }
+
+  // Estimated (or exact) containment of base column `bi`'s distinct
+  // values in foreign column `fi`'s.
+  double Containment(size_t bi, size_t fi) {
+    switch (scoring_) {
+      case DiscoveryScoring::kExact:
+        return IntersectionScore(base_.col(bi), foreign_->col(fi));
+      case DiscoveryScoring::kMinHash:
+        return BaseSignature(bi).EstimateContainment(ForeignSignature(fi));
+      case DiscoveryScoring::kCatalog:
+        if (foreign_stats_ == nullptr) {
+          return IntersectionScore(base_.col(bi), foreign_->col(fi));
+        }
+        return df::EstimateContainment(base_stats_->columns[bi],
+                                       foreign_stats_->columns[fi]);
+    }
+    return 0.0;
+  }
+
+  // Numeric range overlap for the soft-key heuristic.
+  double SoftOverlap(size_t bi, size_t fi) const {
+    if (scoring_ == DiscoveryScoring::kCatalog &&
+        foreign_stats_ != nullptr) {
+      return RangeOverlapFromStats(base_stats_->columns[bi],
+                                   foreign_stats_->columns[fi]);
+    }
+    return RangeOverlap(base_.col(bi), foreign_->col(fi));
+  }
+
+ private:
+  const MinHashSignature& BaseSignature(size_t bi) {
+    if (base_signatures_[bi] == nullptr) {
+      base_signatures_[bi] = std::make_unique<MinHashSignature>(
+          base_.col(bi), options_.minhash_hashes);
+    }
+    return *base_signatures_[bi];
+  }
+
+  const MinHashSignature& ForeignSignature(size_t fi) {
+    if (foreign_signatures_[fi] == nullptr) {
+      foreign_signatures_[fi] = std::make_unique<MinHashSignature>(
+          foreign_->col(fi), options_.minhash_hashes);
+    }
+    return *foreign_signatures_[fi];
+  }
+
+  const DiscoveryOptions& options_;
+  const DataRepository& repo_;
+  const df::DataFrame& base_;
+  const df::DataFrame* foreign_ = nullptr;
+  DiscoveryScoring scoring_ = DiscoveryScoring::kCatalog;
+  // kCatalog state.
+  const df::TableStats* base_stats_ = nullptr;
+  const df::TableStats* foreign_stats_ = nullptr;
+  std::unique_ptr<df::TableStats> local_base_stats_;
+  // kMinHash state: signatures built lazily, once per column.
+  std::vector<std::unique_ptr<MinHashSignature>> base_signatures_;
+  std::vector<std::unique_ptr<MinHashSignature>> foreign_signatures_;
+};
+
+}  // namespace
 
 std::vector<CandidateJoin> DiscoverCandidates(
     const DataRepository& repo, const std::string& base_name,
@@ -45,9 +157,11 @@ std::vector<CandidateJoin> DiscoverCandidates(
   if (!base_result.ok()) return candidates;
   const df::DataFrame& base = *base_result.value();
 
+  HardKeyScorer scorer(options, repo, base_name, base);
   for (const std::string& table_name : repo.Names()) {
     if (table_name == base_name) continue;
     const df::DataFrame& foreign = repo.GetOrDie(table_name);
+    scorer.BeginTable(table_name, foreign);
     CandidateJoin best;
     best.foreign_table = table_name;
     for (size_t bi = 0; bi < base.NumCols(); ++bi) {
@@ -60,16 +174,8 @@ std::vector<CandidateJoin> DiscoverCandidates(
           continue;
         }
         if (base_col.type() != foreign_col.type()) continue;
-        // Exact-overlap hard key? (Or its MinHash estimate.)
-        double inter;
-        if (options.use_minhash) {
-          MinHashSignature base_sig(base_col, options.minhash_hashes);
-          MinHashSignature foreign_sig(foreign_col,
-                                       options.minhash_hashes);
-          inter = base_sig.EstimateJaccard(foreign_sig);
-        } else {
-          inter = IntersectionScore(base_col, foreign_col);
-        }
+        // Containment hard key? (Exact, or its sketch estimate.)
+        double inter = scorer.Containment(bi, fi);
         if (inter >= options.min_intersection && inter >= best.score) {
           best.score = inter;
           best.keys = {JoinKeyPair{base_col.name(), foreign_col.name(),
@@ -79,7 +185,7 @@ std::vector<CandidateJoin> DiscoverCandidates(
         // Numeric near-alignment soft key (e.g. timestamps at different
         // granularities never match exactly but cover the same range).
         if (base_col.IsNumeric()) {
-          double overlap = RangeOverlap(base_col, foreign_col);
+          double overlap = scorer.SoftOverlap(bi, fi);
           // Soft candidates rank below equally strong hard ones.
           double score = 0.5 * overlap;
           if (overlap >= options.min_range_overlap && score > best.score) {

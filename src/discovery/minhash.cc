@@ -1,48 +1,28 @@
 #include "discovery/minhash.h"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
 #include <set>
 #include <string>
 
+#include "dataframe/column_stats.h"
 #include "util/check.h"
 
 namespace arda::discovery {
 
-namespace {
-
-// 64-bit FNV-1a over a string.
-uint64_t Fnv1a(const std::string& text) {
-  uint64_t hash = 0xCBF29CE484222325ULL;
-  for (char c : text) {
-    hash ^= static_cast<uint8_t>(c);
-    hash *= 0x100000001B3ULL;
-  }
-  return hash;
-}
-
-// Mixes a value hash with a per-permutation key (xorshift-multiply).
-uint64_t Mix(uint64_t value, uint64_t key) {
-  uint64_t x = value ^ (key * 0x9E3779B97F4A7C15ULL);
-  x ^= x >> 33;
-  x *= 0xFF51AFD7ED558CCDULL;
-  x ^= x >> 33;
-  x *= 0xC4CEB9FE1A85EC53ULL;
-  x ^= x >> 33;
-  return x;
-}
-
-}  // namespace
-
+// Value and permutation hashing are shared with the persisted statistics
+// catalog (df::ComputeColumnStats), so a signature built here with the
+// catalog's width/seed is slot-identical to the catalog's sketch.
 MinHashSignature::MinHashSignature(const df::Column& column,
                                    size_t num_hashes, uint64_t seed) {
   ARDA_CHECK_GT(num_hashes, 0u);
   slots_.assign(num_hashes, std::numeric_limits<uint64_t>::max());
   for (const std::string& value : column.DistinctValuesAsString()) {
     empty_ = false;
-    uint64_t base = Fnv1a(value);
+    uint64_t base = df::StatsFnv1a64(value);
     for (size_t h = 0; h < num_hashes; ++h) {
-      uint64_t mixed = Mix(base, seed + h);
+      uint64_t mixed = df::StatsMixHash(base, seed + h);
       if (mixed < slots_[h]) slots_[h] = mixed;
     }
   }
@@ -58,6 +38,28 @@ double MinHashSignature::EstimateJaccard(
   }
   return static_cast<double>(matches) /
          static_cast<double>(slots_.size());
+}
+
+double MinHashSignature::EstimateCardinality() const {
+  if (empty_) return 0.0;
+  double mean = 0.0;
+  for (uint64_t slot : slots_) {
+    mean += std::ldexp(static_cast<double>(slot), -64);
+  }
+  mean /= static_cast<double>(slots_.size());
+  if (mean <= 0.0) return 0.0;
+  return std::max(1.0, 1.0 / mean - 1.0);
+}
+
+double MinHashSignature::EstimateContainment(
+    const MinHashSignature& other) const {
+  if (empty_ || other.empty_) return 0.0;
+  const double na = EstimateCardinality();
+  const double nb = other.EstimateCardinality();
+  if (na <= 0.0) return 0.0;
+  const double jaccard = EstimateJaccard(other);
+  const double intersection = jaccard * (na + nb) / (1.0 + jaccard);
+  return std::clamp(intersection / na, 0.0, 1.0);
 }
 
 double ExactJaccard(const df::Column& a, const df::Column& b) {

@@ -26,6 +26,21 @@ class MinHashSignature {
   /// num_hashes/seed required). Empty columns give 0.
   double EstimateJaccard(const MinHashSignature& other) const;
 
+  /// Estimated number of distinct values in the underlying set: each slot
+  /// is the minimum of n uniform 64-bit hashes, so E[min] ≈ 2^64/(n+1)
+  /// and the mean slot value inverts to n. 0 for empty columns.
+  double EstimateCardinality() const;
+
+  /// Estimated containment |this ∩ other| / |this| of this signature's
+  /// value set in the other's, combining the Jaccard estimate with the
+  /// sketch cardinalities:
+  ///   |A ∩ B| ≈ J·(|A| + |B|) / (1 + J).
+  /// Unlike the symmetric Jaccard, this matches the semantics of the
+  /// exact IntersectionScore (and its min_intersection threshold): a
+  /// small base key fully contained in a large dimension table scores
+  /// near 1, not near |A|/|B|. Clamped to [0, 1]; 0 for empty columns.
+  double EstimateContainment(const MinHashSignature& other) const;
+
   size_t num_hashes() const { return slots_.size(); }
   bool empty() const { return empty_; }
   const std::vector<uint64_t>& slots() const { return slots_; }

@@ -1,6 +1,7 @@
 #include "discovery/repository.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <filesystem>
 
 #include "dataframe/columnar_io.h"
@@ -12,15 +13,38 @@ namespace fs = std::filesystem;
 
 namespace {
 
-// True when the cache file can be used instead of the CSV: it exists and
-// is at least as new as its source.
-bool CacheIsFresh(const fs::path& cache, const fs::path& csv) {
+// mtime-based freshness, the only signal available for fingerprint-less
+// version-1 cache files. Unreliable when a CSV is rewritten within the
+// filesystem's mtime granularity — which is why version-2 caches carry a
+// content fingerprint instead.
+bool CacheIsFreshByMtime(const fs::path& cache, const fs::path& csv) {
   std::error_code ec;
   fs::file_time_type cache_time = fs::last_write_time(cache, ec);
   if (ec) return false;
   fs::file_time_type csv_time = fs::last_write_time(csv, ec);
   if (ec) return false;
   return cache_time >= csv_time;
+}
+
+// Reads a whole file into a string (the CSV bytes double as parser input
+// and as the content fingerprint for cache freshness).
+Result<std::string> ReadFileBytes(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return Status::IoError("cannot open file: " + path);
+  }
+  std::string buffer;
+  char block[1 << 16];
+  size_t got;
+  while ((got = std::fread(block, 1, sizeof(block), f)) > 0) {
+    buffer.append(block, got);
+  }
+  bool read_error = std::ferror(f) != 0;
+  std::fclose(f);
+  if (read_error) {
+    return Status::IoError("failed reading file: " + path);
+  }
+  return buffer;
 }
 
 }  // namespace
@@ -56,38 +80,72 @@ Status DataRepository::LoadDirectory(const std::string& data_dir,
       cache_path = fs::path(cache_dir) / (stem + ".ardac");
     }
 
-    if (!cache_path.empty() && CacheIsFresh(cache_path, csv_path)) {
-      Result<df::DataFrame> cached = df::ReadColumnar(cache_path.string());
+    Result<std::string> bytes = ReadFileBytes(csv_path.string());
+    if (!bytes.ok()) {
+      stats->failures.push_back({stem, bytes.status().ToString()});
+      continue;
+    }
+    const uint64_t source_hash = df::StatsFnv1a64(*bytes);
+
+    std::error_code exists_ec;
+    if (!cache_path.empty() && fs::exists(cache_path, exists_ec)) {
+      df::ColumnarMeta meta;
+      Result<df::DataFrame> cached =
+          df::ReadColumnar(cache_path.string(), &meta);
       if (cached.ok()) {
-        AddOrReplace(stem, std::move(cached).value());
-        ++stats->tables_loaded;
-        ++stats->cache_hits;
-        continue;
+        // Freshness: the recorded source fingerprint must match the CSV
+        // bytes on disk. Fingerprint-less (version-1) caches degrade to
+        // the mtime comparison, which cannot detect a same-mtime rewrite.
+        const bool has_fingerprint =
+            meta.source_size != 0 || meta.source_hash != 0;
+        const bool fresh =
+            has_fingerprint
+                ? (meta.source_size == bytes->size() &&
+                   meta.source_hash == source_hash)
+                : CacheIsFreshByMtime(cache_path, csv_path);
+        if (fresh) {
+          AddOrReplace(stem, std::move(cached).value());
+          // Persisted stats ride along with the cache hit; caches without
+          // them (version 1) leave Stats() to recompute on demand.
+          if (!meta.stats.Empty()) SetStats(stem, std::move(meta.stats));
+          ++stats->tables_loaded;
+          ++stats->cache_hits;
+          continue;
+        }
+        // Stale cache: silently re-parse and rewrite below.
+      } else {
+        // Graceful degradation: a corrupt/skewed/faulted cache never
+        // fails the load — fall through to the CSV. Counter and stats
+        // entry move in lockstep so run reports stay consistent (see
+        // AugmentationTask::ingest_skips).
+        metrics::IncrementCounter("skips.ingest");
+        stats->fallbacks.push_back(
+            {stem, "columnar cache read failed, re-parsed CSV: " +
+                       cached.status().ToString()});
       }
-      // Graceful degradation: a corrupt/skewed/faulted cache never fails
-      // the load — fall through to the CSV. Counter and stats entry move
-      // in lockstep so run reports stay consistent (see
-      // AugmentationTask::ingest_skips).
-      metrics::IncrementCounter("skips.ingest");
-      stats->fallbacks.push_back(
-          {stem, "columnar cache read failed, re-parsed CSV: " +
-                     cached.status().ToString()});
     }
 
-    Result<df::DataFrame> table =
-        df::ReadCsvFile(csv_path.string(), csv_options);
+    Result<df::DataFrame> table = df::ReadCsvString(*bytes, csv_options);
     if (!table.ok()) {
       stats->failures.push_back({stem, table.status().ToString()});
       continue;
     }
+    df::TableStats table_stats;
     if (!cache_path.empty()) {
       // Best-effort cache refresh; a failed write only costs the next run
-      // a re-parse.
-      if (df::WriteColumnar(*table, cache_path.string()).ok()) {
+      // a re-parse. The meta block records the source fingerprint and the
+      // statistics catalog computed once here at ingest.
+      df::ColumnarMeta meta;
+      meta.source_size = bytes->size();
+      meta.source_hash = source_hash;
+      meta.stats = df::ComputeTableStats(*table);
+      if (df::WriteColumnar(*table, cache_path.string(), &meta).ok()) {
         ++stats->cache_writes;
       }
+      table_stats = std::move(meta.stats);
     }
     AddOrReplace(stem, std::move(table).value());
+    if (!table_stats.Empty()) SetStats(stem, std::move(table_stats));
     ++stats->tables_loaded;
   }
   return Status::Ok();
@@ -98,10 +156,12 @@ Status DataRepository::Add(std::string name, df::DataFrame table) {
   if (!inserted) {
     return Status::AlreadyExists("table already registered: " + it->first);
   }
+  stats_.erase(it->first);
   return Status::Ok();
 }
 
 void DataRepository::AddOrReplace(std::string name, df::DataFrame table) {
+  stats_.erase(name);
   tables_[std::move(name)] = std::move(table);
 }
 
@@ -128,7 +188,24 @@ Status DataRepository::Remove(const std::string& name) {
   if (tables_.erase(name) == 0) {
     return Status::NotFound("no such table: " + name);
   }
+  stats_.erase(name);
   return Status::Ok();
+}
+
+const df::TableStats* DataRepository::Stats(const std::string& name) const {
+  auto table_it = tables_.find(name);
+  if (table_it == tables_.end()) return nullptr;
+  auto it = stats_.find(name);
+  if (it == stats_.end()) {
+    it = stats_.emplace(name, df::ComputeTableStats(table_it->second))
+             .first;
+  }
+  return &it->second;
+}
+
+void DataRepository::SetStats(const std::string& name,
+                              df::TableStats stats) {
+  stats_[name] = std::move(stats);
 }
 
 std::vector<std::string> DataRepository::Names() const {

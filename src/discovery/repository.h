@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "dataframe/column_stats.h"
 #include "dataframe/csv.h"
 #include "dataframe/data_frame.h"
 #include "util/status.h"
@@ -60,19 +61,35 @@ class DataRepository {
 
   /// Loads every `*.csv` in `data_dir` (table name = file stem), in
   /// lexicographic stem order. When `cache_dir` is non-empty it is created
-  /// if needed and consulted first: a `<stem>.ardac` file at least as new
-  /// as the CSV is deserialized instead of parsing the CSV
-  /// (docs/columnar_format.md); a missing/stale cache entry is rewritten
-  /// after the CSV parse (best-effort). Any columnar failure — corruption,
-  /// version skew, injected `columnar_read` fault — degrades to the CSV
-  /// path and is recorded in `stats->fallbacks` (plus a `skips.ingest`
-  /// counter increment); a CSV that fails to parse lands in
-  /// `stats->failures` and the table is skipped. Only an unreadable
-  /// `data_dir` fails the call. `stats` may be null.
+  /// if needed and consulted first: a `<stem>.ardac` file whose recorded
+  /// source fingerprint (size + FNV-1a hash of the CSV bytes) matches is
+  /// deserialized instead of parsing the CSV (docs/columnar_format.md) and
+  /// its persisted statistics catalog is installed; fingerprint-less
+  /// version-1 caches fall back to an mtime comparison. A missing/stale
+  /// cache entry is rewritten after the CSV parse (best-effort), with the
+  /// fingerprint and freshly computed stats. Any columnar failure —
+  /// corruption, version skew, injected `columnar_read`/`stats_decode`
+  /// fault — degrades to the CSV path and is recorded in
+  /// `stats->fallbacks` (plus a `skips.ingest` counter increment); a CSV
+  /// that fails to read or parse lands in `stats->failures` and the table
+  /// is skipped. Only an unreadable `data_dir` fails the call. `stats`
+  /// may be null.
   Status LoadDirectory(const std::string& data_dir,
                        const std::string& cache_dir,
                        const df::CsvOptions& csv_options = {},
                        LoadStats* stats = nullptr);
+
+  /// Per-column statistics catalog of a table (docs: DESIGN.md "Discovery
+  /// statistics catalog"). Computed lazily on first request and memoized;
+  /// LoadDirectory seeds it from cached `.ardac` meta blocks. Returns
+  /// nullptr for unknown tables. Not safe for concurrent first calls on
+  /// the same table (the pipeline queries it from the single-threaded
+  /// discovery/planning stages).
+  const df::TableStats* Stats(const std::string& name) const;
+
+  /// Installs a precomputed statistics catalog for `name` (e.g. one
+  /// deserialized from a cache meta block).
+  void SetStats(const std::string& name, df::TableStats stats);
 
   /// All table names, sorted.
   std::vector<std::string> Names() const;
@@ -81,6 +98,9 @@ class DataRepository {
 
  private:
   std::map<std::string, df::DataFrame> tables_;
+  /// Lazily computed per-table stats; invalidated whenever the table
+  /// changes. Mutable so Stats() can memoize through a const repository.
+  mutable std::map<std::string, df::TableStats> stats_;
 };
 
 }  // namespace arda::discovery

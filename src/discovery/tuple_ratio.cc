@@ -2,11 +2,23 @@
 
 #include <set>
 
+#include "util/string_util.h"
+
 namespace arda::discovery {
 
-double TupleRatio(const df::DataFrame& base, const df::DataFrame& foreign,
-                  const CandidateJoin& candidate) {
+Result<double> TupleRatio(const df::DataFrame& base,
+                          const df::DataFrame& foreign,
+                          const CandidateJoin& candidate) {
   const double ns = static_cast<double>(base.NumRows());
+  // A key column the foreign table doesn't have is a broken reference —
+  // report it instead of returning a degenerate ratio that would make the
+  // candidate look legitimately "too large".
+  for (const JoinKeyPair& key : candidate.keys) {
+    if (!foreign.HasColumn(key.foreign_column)) {
+      return Status::NotFound("foreign table has no key column: " +
+                              key.foreign_column);
+    }
+  }
   // Foreign-key domain size: distinct key combinations in the foreign
   // table on the candidate's key columns.
   std::set<std::string> domain;
@@ -16,7 +28,6 @@ double TupleRatio(const df::DataFrame& base, const df::DataFrame& foreign,
   for (size_t r = 0; r < foreign.NumRows(); ++r) {
     std::string composite;
     for (const JoinKeyPair& key : candidate.keys) {
-      if (!foreign.HasColumn(key.foreign_column)) return ns;
       const df::Column& col = foreign.col(key.foreign_column);
       composite += col.IsNull(r) ? "\x1e" : col.ValueToString(r);
       composite += '\x1f';
@@ -34,14 +45,23 @@ TupleRatioFilterResult FilterByTupleRatio(
   for (const CandidateJoin& candidate : candidates) {
     Result<const df::DataFrame*> foreign = repo.Get(candidate.foreign_table);
     if (!foreign.ok()) {
-      result.removed.push_back(candidate);
+      result.removed.push_back(
+          {candidate, foreign.status().message(), /*broken_reference=*/true});
       continue;
     }
-    double ratio = TupleRatio(base, *foreign.value(), candidate);
-    if (ratio <= tau) {
+    Result<double> ratio = TupleRatio(base, *foreign.value(), candidate);
+    if (!ratio.ok()) {
+      result.removed.push_back(
+          {candidate, ratio.status().message(), /*broken_reference=*/true});
+      continue;
+    }
+    if (*ratio <= tau) {
       result.kept.push_back(candidate);
     } else {
-      result.removed.push_back(candidate);
+      result.removed.push_back(
+          {candidate,
+           StrFormat("tuple ratio %.2f exceeds tau %.2f", *ratio, tau),
+           /*broken_reference=*/false});
     }
   }
   return result;

@@ -1,11 +1,13 @@
 #ifndef ARDA_DISCOVERY_TUPLE_RATIO_H_
 #define ARDA_DISCOVERY_TUPLE_RATIO_H_
 
+#include <string>
 #include <vector>
 
 #include "dataframe/data_frame.h"
 #include "discovery/candidate.h"
 #include "discovery/repository.h"
+#include "util/status.h"
 
 namespace arda::discovery {
 
@@ -16,18 +18,36 @@ namespace arda::discovery {
 /// highly unlikely to help a classifier when the ratio exceeds a
 /// model-dependent threshold, because the key itself already carries all
 /// the information the join could add.
-double TupleRatio(const df::DataFrame& base, const df::DataFrame& foreign,
-                  const CandidateJoin& candidate);
+///
+/// Fails with NotFound when the candidate references a foreign key column
+/// the table does not have — a broken reference, not a legitimate ratio.
+/// (Key-less candidates and empty foreign tables still yield the
+/// degenerate ratio nS, treating the domain as size 1.)
+Result<double> TupleRatio(const df::DataFrame& base,
+                          const df::DataFrame& foreign,
+                          const CandidateJoin& candidate);
+
+/// One candidate dropped by the prefilter, with why.
+struct RemovedCandidate {
+  CandidateJoin candidate;
+  /// Human-readable removal reason (the ratio, or the broken reference).
+  std::string reason;
+  /// True when the candidate referenced a missing table or key column —
+  /// a data-integrity problem the caller should surface as a skip, not a
+  /// legitimate "table too large" filter decision.
+  bool broken_reference = false;
+};
 
 /// Result of applying the TR decision rule as a prefilter.
 struct TupleRatioFilterResult {
   std::vector<CandidateJoin> kept;
-  std::vector<CandidateJoin> removed;
+  std::vector<RemovedCandidate> removed;
 };
 
 /// Keeps only candidates whose tuple ratio is at most `tau` (the paper's
 /// Table 4 experiment: prefilter tables before feature selection).
-/// Candidates referencing missing tables or key columns are removed.
+/// Candidates referencing missing tables or key columns are removed with
+/// `broken_reference` set.
 TupleRatioFilterResult FilterByTupleRatio(
     const DataRepository& repo, const df::DataFrame& base,
     const std::vector<CandidateJoin>& candidates, double tau);

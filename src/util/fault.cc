@@ -93,8 +93,8 @@ void ArmFromEnvOnce() {
 const std::vector<std::string_view>& AllFaultSites() {
   static const std::vector<std::string_view>* sites =
       new std::vector<std::string_view>{
-          kCsvParse, kColumnarRead, kJoinKeyEncode, kPreAggregate,
-          kResample, kImpute,       kCholesky,      kCoreset,
+          kCsvParse, kColumnarRead, kStatsDecode, kJoinKeyEncode,
+          kPreAggregate, kResample, kImpute, kCholesky, kCoreset,
           kRifs,
       };
   return *sites;

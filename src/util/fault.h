@@ -32,6 +32,7 @@ namespace arda::fault {
 /// site name is an error surfaced by SetFaultSpecForTest.
 inline constexpr std::string_view kCsvParse = "csv_parse";
 inline constexpr std::string_view kColumnarRead = "columnar_read";
+inline constexpr std::string_view kStatsDecode = "stats_decode";
 inline constexpr std::string_view kJoinKeyEncode = "join_key_encode";
 inline constexpr std::string_view kPreAggregate = "preaggregate";
 inline constexpr std::string_view kResample = "resample";

@@ -1,6 +1,12 @@
 #include <gtest/gtest.h>
 
+#include <string>
+#include <vector>
+
+#include "data/generators.h"
+#include "dataframe/column_stats.h"
 #include "discovery/discovery.h"
+#include "discovery/minhash.h"
 #include "discovery/repository.h"
 #include "discovery/tuple_ratio.h"
 
@@ -66,6 +72,37 @@ TEST(RangeOverlapTest, NumericRanges) {
   EXPECT_DOUBLE_EQ(RangeOverlap(base, disjoint), 0.0);
 }
 
+TEST(RangeOverlapTest, ZeroWidthRangesUseContainment) {
+  // Regression: two columns holding the same single value used to score
+  // 0.0 (zero-width intersection) instead of 1.0.
+  df::Column point = df::Column::Double("t", {5.0, 5.0});
+  df::Column same_point = df::Column::Double("t", {5.0});
+  EXPECT_DOUBLE_EQ(RangeOverlap(point, same_point), 1.0);
+  // Point base inside a wider foreign range: fully covered.
+  df::Column wide = df::Column::Double("t", {0.0, 10.0});
+  EXPECT_DOUBLE_EQ(RangeOverlap(point, wide), 1.0);
+  // Point base on the edge of the foreign range: still covered.
+  df::Column edge = df::Column::Double("t", {5.0, 10.0});
+  EXPECT_DOUBLE_EQ(RangeOverlap(point, edge), 1.0);
+  // Point base outside the foreign range: disjoint.
+  df::Column far = df::Column::Double("t", {6.0, 10.0});
+  EXPECT_DOUBLE_EQ(RangeOverlap(point, far), 0.0);
+  // Point foreign strictly inside a wider base range covers none of it.
+  EXPECT_DOUBLE_EQ(RangeOverlap(wide, point), 0.0);
+}
+
+TEST(RangeOverlapTest, StatsBackedOverlapMatchesColumnScan) {
+  df::Column base = df::Column::Double("t", {0.0, 10.0});
+  df::Column inside = df::Column::Double("t", {2.0, 8.0});
+  df::ColumnStats base_stats = df::ComputeColumnStats(base);
+  df::ColumnStats inside_stats = df::ComputeColumnStats(inside);
+  EXPECT_DOUBLE_EQ(RangeOverlapFromStats(base_stats, inside_stats),
+                   RangeOverlap(base, inside));
+  df::ColumnStats empty_stats =
+      df::ComputeColumnStats(df::Column::String("s", {"a"}));
+  EXPECT_DOUBLE_EQ(RangeOverlapFromStats(base_stats, empty_stats), 0.0);
+}
+
 TEST(DiscoverCandidatesTest, FindsHardKeyByNameAndOverlap) {
   DataRepository repo;
   ASSERT_TRUE(repo.Add("base", MakeBase()).ok());
@@ -75,6 +112,8 @@ TEST(DiscoverCandidatesTest, FindsHardKeyByNameAndOverlap) {
       foreign.AddColumn(df::Column::Double("extra", {5.0, 6.0, 7.0})).ok());
   ASSERT_TRUE(repo.Add("lookup", std::move(foreign)).ok());
 
+  // Default (catalog) scoring estimates containment from sketches, so the
+  // score is pinned only within the estimation tolerance.
   std::vector<CandidateJoin> candidates =
       DiscoverCandidates(repo, "base", "y");
   ASSERT_EQ(candidates.size(), 1u);
@@ -82,7 +121,15 @@ TEST(DiscoverCandidatesTest, FindsHardKeyByNameAndOverlap) {
   ASSERT_EQ(candidates[0].keys.size(), 1u);
   EXPECT_EQ(candidates[0].keys[0].base_column, "id");
   EXPECT_EQ(candidates[0].keys[0].kind, KeyKind::kHard);
-  EXPECT_NEAR(candidates[0].score, 0.75, 1e-12);
+  EXPECT_NEAR(candidates[0].score, 0.75, 0.15);
+
+  // Exact scoring reproduces the containment 3/4 bit-exactly.
+  DiscoveryOptions exact;
+  exact.scoring = DiscoveryScoring::kExact;
+  std::vector<CandidateJoin> exact_candidates =
+      DiscoverCandidates(repo, "base", "y", exact);
+  ASSERT_EQ(exact_candidates.size(), 1u);
+  EXPECT_NEAR(exact_candidates[0].score, 0.75, 1e-12);
 }
 
 TEST(DiscoverCandidatesTest, ProposesSoftKeyForMisalignedNumerics) {
@@ -137,7 +184,23 @@ TEST(TupleRatioTest, ComputesDomainRatio) {
   cand.foreign_table = "f";
   cand.keys = {JoinKeyPair{"id", "id", KeyKind::kHard}};
   // nS = 4, nR = 2 distinct keys.
-  EXPECT_DOUBLE_EQ(TupleRatio(base, foreign, cand), 2.0);
+  Result<double> ratio = TupleRatio(base, foreign, cand);
+  ASSERT_TRUE(ratio.ok());
+  EXPECT_DOUBLE_EQ(*ratio, 2.0);
+}
+
+TEST(TupleRatioTest, MissingForeignColumnIsNotFound) {
+  df::DataFrame base = MakeBase();
+  df::DataFrame foreign;
+  ASSERT_TRUE(foreign.AddColumn(df::Column::Int64("other", {1, 2})).ok());
+  CandidateJoin cand;
+  cand.foreign_table = "f";
+  cand.keys = {JoinKeyPair{"id", "id", KeyKind::kHard}};
+  // A broken reference must surface as an error, not masquerade as the
+  // degenerate ratio nS (which would read as "legitimately too large").
+  Result<double> ratio = TupleRatio(base, foreign, cand);
+  ASSERT_FALSE(ratio.ok());
+  EXPECT_EQ(ratio.status().code(), StatusCode::kNotFound);
 }
 
 TEST(TupleRatioFilterTest, SplitsKeptAndRemoved) {
@@ -163,7 +226,10 @@ TEST(TupleRatioFilterTest, SplitsKeptAndRemoved) {
   ASSERT_EQ(result.kept.size(), 1u);
   EXPECT_EQ(result.kept[0].foreign_table, "rich");
   ASSERT_EQ(result.removed.size(), 1u);
-  EXPECT_EQ(result.removed[0].foreign_table, "tiny");
+  EXPECT_EQ(result.removed[0].candidate.foreign_table, "tiny");
+  EXPECT_FALSE(result.removed[0].broken_reference);
+  EXPECT_NE(result.removed[0].reason.find("tuple ratio"),
+            std::string::npos);
 }
 
 TEST(TupleRatioFilterTest, MissingTableRemoved) {
@@ -173,7 +239,239 @@ TEST(TupleRatioFilterTest, MissingTableRemoved) {
   TupleRatioFilterResult result =
       FilterByTupleRatio(repo, MakeBase(), candidates, 100.0);
   EXPECT_TRUE(result.kept.empty());
-  EXPECT_EQ(result.removed.size(), 1u);
+  ASSERT_EQ(result.removed.size(), 1u);
+  EXPECT_TRUE(result.removed[0].broken_reference);
+}
+
+TEST(TupleRatioFilterTest, MissingKeyColumnIsBrokenReference) {
+  DataRepository repo;
+  df::DataFrame foreign;
+  ASSERT_TRUE(foreign.AddColumn(df::Column::Int64("other", {1, 2})).ok());
+  ASSERT_TRUE(repo.Add("f", std::move(foreign)).ok());
+  std::vector<CandidateJoin> candidates(1);
+  candidates[0].foreign_table = "f";
+  candidates[0].keys = {JoinKeyPair{"id", "id", KeyKind::kHard}};
+  TupleRatioFilterResult result =
+      FilterByTupleRatio(repo, MakeBase(), candidates, 100.0);
+  EXPECT_TRUE(result.kept.empty());
+  ASSERT_EQ(result.removed.size(), 1u);
+  EXPECT_TRUE(result.removed[0].broken_reference);
+  EXPECT_NE(result.removed[0].reason.find("no key column"),
+            std::string::npos);
+}
+
+TEST(ColumnStatsTest, DistinctEstimateTracksTrueCardinality) {
+  for (size_t n : {1u, 10u, 100u, 5000u}) {
+    std::vector<int64_t> values;
+    values.reserve(2 * n);
+    for (size_t i = 0; i < n; ++i) {
+      values.push_back(static_cast<int64_t>(i));
+      values.push_back(static_cast<int64_t>(i));  // duplicates don't count
+    }
+    df::ColumnStats stats =
+        df::ComputeColumnStats(df::Column::Int64("k", values));
+    EXPECT_EQ(stats.row_count, 2 * n);
+    EXPECT_EQ(stats.non_null_count, 2 * n);
+    // HLL with 4096 registers: ~1.6% standard error; allow 10%.
+    EXPECT_NEAR(stats.DistinctEstimate(), static_cast<double>(n),
+                std::max(1.0, 0.10 * static_cast<double>(n)))
+        << "n=" << n;
+  }
+}
+
+TEST(ColumnStatsTest, NullsAreExcludedFromEverything) {
+  df::Column col = df::Column::Empty("v", df::DataType::kDouble);
+  col.AppendDouble(3.0);
+  col.AppendNull();
+  col.AppendDouble(7.0);
+  df::ColumnStats stats = df::ComputeColumnStats(col);
+  EXPECT_EQ(stats.row_count, 3u);
+  EXPECT_EQ(stats.non_null_count, 2u);
+  ASSERT_TRUE(stats.has_range);
+  EXPECT_EQ(stats.min, 3.0);
+  EXPECT_EQ(stats.max, 7.0);
+  EXPECT_NEAR(stats.DistinctEstimate(), 2.0, 0.5);
+}
+
+TEST(ColumnStatsTest, ContainmentEstimateForSubsetColumns) {
+  // base ⊂ foreign with |foreign| ≫ |base|: containment must approach
+  // 1.0 (Jaccard alone would approach |base|/|foreign| ≈ 0.05 — the
+  // semantics bug this estimator replaces).
+  std::vector<int64_t> small, big;
+  for (int64_t i = 0; i < 50; ++i) small.push_back(i);
+  for (int64_t i = 0; i < 1000; ++i) big.push_back(i);
+  df::ColumnStats small_stats =
+      df::ComputeColumnStats(df::Column::Int64("k", small));
+  df::ColumnStats big_stats =
+      df::ComputeColumnStats(df::Column::Int64("k", big));
+  EXPECT_GT(df::EstimateContainment(small_stats, big_stats), 0.8);
+  // The reverse direction is genuinely small.
+  EXPECT_LT(df::EstimateContainment(big_stats, small_stats), 0.3);
+  // Disjoint domains: no containment either way.
+  std::vector<int64_t> other;
+  for (int64_t i = 5000; i < 5050; ++i) other.push_back(i);
+  df::ColumnStats other_stats =
+      df::ComputeColumnStats(df::Column::Int64("k", other));
+  EXPECT_LT(df::EstimateContainment(small_stats, other_stats), 0.2);
+}
+
+TEST(MinHashTest, ContainmentNotJaccardForSubsetKeys) {
+  // Regression for the scoring-semantics bug: a base key column fully
+  // contained in a much larger foreign domain used to be scored by raw
+  // Jaccard similarity (≈ |A|/|B|, tiny), silently discarding perfect
+  // join keys against rich dimension tables.
+  std::vector<int64_t> small, big;
+  for (int64_t i = 0; i < 40; ++i) small.push_back(i);
+  for (int64_t i = 0; i < 800; ++i) big.push_back(i);
+  df::Column base = df::Column::Int64("k", small);
+  df::Column foreign = df::Column::Int64("k", big);
+  MinHashSignature base_sig(base, 256);
+  MinHashSignature foreign_sig(foreign, 256);
+  EXPECT_LT(base_sig.EstimateJaccard(foreign_sig), 0.15);
+  EXPECT_GT(base_sig.EstimateContainment(foreign_sig), 0.8);
+  EXPECT_NEAR(base_sig.EstimateCardinality(), 40.0, 12.0);
+  EXPECT_NEAR(foreign_sig.EstimateCardinality(), 800.0, 240.0);
+}
+
+TEST(DiscoverCandidatesTest, SubsetKeyFoundByEveryScoringMode) {
+  // End-to-end form of the containment-semantics fix: the base keys are a
+  // strict subset of a large foreign key domain, so every scoring mode
+  // must surface the hard key with a near-1.0 score.
+  DataRepository repo;
+  df::DataFrame base;
+  std::vector<int64_t> ids;
+  for (int64_t i = 0; i < 30; ++i) ids.push_back(i * 3);
+  ASSERT_TRUE(base.AddColumn(df::Column::Int64("id", ids)).ok());
+  std::vector<double> y(ids.begin(), ids.end());
+  ASSERT_TRUE(base.AddColumn(df::Column::Double("y", y)).ok());
+  ASSERT_TRUE(repo.Add("base", std::move(base)).ok());
+
+  df::DataFrame dim;
+  std::vector<int64_t> all_ids;
+  for (int64_t i = 0; i < 900; ++i) all_ids.push_back(i);
+  ASSERT_TRUE(dim.AddColumn(df::Column::Int64("id", all_ids)).ok());
+  ASSERT_TRUE(repo.Add("dim", std::move(dim)).ok());
+
+  // Exact containment is 1.0; the catalog's HLL inclusion-exclusion
+  // estimate stays within a few percent; the pure MinHash signature route
+  // is the noisiest (Jaccard relative error grows as resemblance shrinks)
+  // but must still clear the bar by a wide margin — raw Jaccard here
+  // would be 30/900 ≈ 0.03.
+  struct ModeBar {
+    DiscoveryScoring scoring;
+    double min_score;
+  };
+  for (ModeBar mode : {ModeBar{DiscoveryScoring::kExact, 0.99},
+                       ModeBar{DiscoveryScoring::kMinHash, 0.5},
+                       ModeBar{DiscoveryScoring::kCatalog, 0.9}}) {
+    DiscoveryOptions options;
+    options.scoring = mode.scoring;
+    options.minhash_hashes = 256;
+    std::vector<CandidateJoin> candidates =
+        DiscoverCandidates(repo, "base", "y", options);
+    ASSERT_EQ(candidates.size(), 1u)
+        << "scoring=" << static_cast<int>(mode.scoring);
+    EXPECT_EQ(candidates[0].keys[0].kind, KeyKind::kHard);
+    EXPECT_GT(candidates[0].score, mode.min_score)
+        << "scoring=" << static_cast<int>(mode.scoring);
+  }
+}
+
+TEST(DiscoverCandidatesTest, EmptyForeignTableYieldsNoCandidate) {
+  DataRepository repo;
+  ASSERT_TRUE(repo.Add("base", MakeBase()).ok());
+  df::DataFrame empty;
+  ASSERT_TRUE(empty.AddColumn(df::Column::Int64("id", {})).ok());
+  ASSERT_TRUE(repo.Add("empty", std::move(empty)).ok());
+  for (DiscoveryScoring scoring :
+       {DiscoveryScoring::kExact, DiscoveryScoring::kMinHash,
+        DiscoveryScoring::kCatalog}) {
+    DiscoveryOptions options;
+    options.scoring = scoring;
+    EXPECT_TRUE(DiscoverCandidates(repo, "base", "y", options).empty())
+        << "scoring=" << static_cast<int>(scoring);
+  }
+}
+
+TEST(DiscoverCandidatesTest, AllNullKeyColumnYieldsNoCandidate) {
+  DataRepository repo;
+  ASSERT_TRUE(repo.Add("base", MakeBase()).ok());
+  df::DataFrame nulls;
+  df::Column id = df::Column::Empty("id", df::DataType::kInt64);
+  for (int i = 0; i < 4; ++i) id.AppendNull();
+  ASSERT_TRUE(nulls.AddColumn(std::move(id)).ok());
+  ASSERT_TRUE(repo.Add("nulls", std::move(nulls)).ok());
+  for (DiscoveryScoring scoring :
+       {DiscoveryScoring::kExact, DiscoveryScoring::kMinHash,
+        DiscoveryScoring::kCatalog}) {
+    DiscoveryOptions options;
+    options.scoring = scoring;
+    EXPECT_TRUE(DiscoverCandidates(repo, "base", "y", options).empty())
+        << "scoring=" << static_cast<int>(scoring);
+  }
+}
+
+TEST(DiscoverCandidatesTest, CatalogRankingMatchesExactOnScenarioPools) {
+  // Golden ranking fixture: across every synthetic scenario pool the
+  // sketch-backed catalog scorer must propose the same candidate tables
+  // with the same join keys as the exact rescan. Scores are estimates
+  // (pinned to ±0.15, the documented sketch tolerance at 128 hashes), so
+  // strict ordering is only asserted between candidates whose exact
+  // scores are separated by more than twice that tolerance.
+  std::vector<data::Scenario> scenarios =
+      data::MakeAllScenarios(/*seed=*/7, data::ScenarioScale::kSmall);
+  ASSERT_FALSE(scenarios.empty());
+  for (const data::Scenario& scenario : scenarios) {
+    DiscoveryOptions exact_options;
+    exact_options.scoring = DiscoveryScoring::kExact;
+    std::vector<CandidateJoin> exact = DiscoverCandidates(
+        scenario.repo, scenario.name, scenario.target_column, exact_options);
+    std::vector<CandidateJoin> catalog = DiscoverCandidates(
+        scenario.repo, scenario.name, scenario.target_column);
+    ASSERT_EQ(catalog.size(), exact.size()) << scenario.name;
+
+    auto find_in_exact =
+        [&](const std::string& table) -> const CandidateJoin* {
+      for (const CandidateJoin& c : exact) {
+        if (c.foreign_table == table) return &c;
+      }
+      return nullptr;
+    };
+    for (const CandidateJoin& c : catalog) {
+      const CandidateJoin* e = find_in_exact(c.foreign_table);
+      ASSERT_NE(e, nullptr)
+          << scenario.name << ": catalog-only candidate "
+          << c.foreign_table;
+      ASSERT_EQ(c.keys.size(), e->keys.size())
+          << scenario.name << "/" << c.foreign_table;
+      for (size_t k = 0; k < c.keys.size(); ++k) {
+        EXPECT_EQ(c.keys[k].base_column, e->keys[k].base_column)
+            << scenario.name << "/" << c.foreign_table;
+        EXPECT_EQ(c.keys[k].foreign_column, e->keys[k].foreign_column)
+            << scenario.name << "/" << c.foreign_table;
+        EXPECT_EQ(c.keys[k].kind, e->keys[k].kind)
+            << scenario.name << "/" << c.foreign_table;
+      }
+      EXPECT_NEAR(c.score, e->score, 0.15)
+          << scenario.name << "/" << c.foreign_table;
+    }
+    // Ordering contract between clearly separated candidates.
+    auto position_in_catalog = [&](const std::string& table) {
+      for (size_t i = 0; i < catalog.size(); ++i) {
+        if (catalog[i].foreign_table == table) return i;
+      }
+      return catalog.size();
+    };
+    for (size_t i = 0; i < exact.size(); ++i) {
+      for (size_t j = i + 1; j < exact.size(); ++j) {
+        if (exact[i].score - exact[j].score <= 0.3) continue;
+        EXPECT_LT(position_in_catalog(exact[i].foreign_table),
+                  position_in_catalog(exact[j].foreign_table))
+            << scenario.name << ": " << exact[i].foreign_table
+            << " should rank above " << exact[j].foreign_table;
+      }
+    }
+  }
 }
 
 TEST(CandidateTest, HasSoftKey) {

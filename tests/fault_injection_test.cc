@@ -243,6 +243,46 @@ TEST(FaultInjectionTest, ColumnarReadFaultFallsBackToCsv) {
   fs::remove_all(cache_dir);
 }
 
+TEST(FaultInjectionTest, StatsDecodeFaultFallsBackToCsv) {
+  FaultGuard guard;
+  namespace fs = std::filesystem;
+  const std::string data_dir = ::testing::TempDir() + "/arda_fault_stats";
+  const std::string cache_dir = data_dir + "_cache";
+  fs::remove_all(data_dir);
+  fs::remove_all(cache_dir);
+  fs::create_directories(data_dir);
+  Scenario s;
+  MakeScenario(&s);
+  ASSERT_TRUE(df::WriteCsvFile(s.task.base, data_dir + "/base.csv").ok());
+
+  // Warm the cache so the second load reaches the stats meta-block
+  // decoder, then arm it: a corrupt/unreadable stats block must degrade
+  // the whole cached read to the CSV path (skips.ingest), never crash.
+  discovery::DataRepository warm;
+  ASSERT_TRUE(warm.LoadDirectory(data_dir, cache_dir, {}, nullptr).ok());
+
+  ASSERT_TRUE(fault::SetFaultSpecForTest("stats_decode").ok());
+  fault::ResetFaultCounters();
+  metrics::GlobalRegistry().ResetForTest();
+  discovery::DataRepository repo;
+  discovery::LoadStats stats;
+  ASSERT_TRUE(repo.LoadDirectory(data_dir, cache_dir, {}, &stats).ok());
+  EXPECT_TRUE(repo.Has("base"));
+  EXPECT_EQ(stats.tables_loaded, 1u);
+  EXPECT_EQ(stats.cache_hits, 0u);
+  ASSERT_EQ(stats.fallbacks.size(), 1u);
+  EXPECT_NE(stats.fallbacks[0].reason.find("injected fault"),
+            std::string::npos);
+  EXPECT_EQ(
+      metrics::GlobalRegistry().Snapshot().CounterValue("skips.ingest"),
+      1u);
+  // The table is still fully usable (re-parsed), and stats can be
+  // recomputed on demand despite the unreadable cached catalog.
+  EXPECT_NE(repo.Stats("base"), nullptr);
+  fs::remove_all(data_dir);
+  fs::remove_all(cache_dir);
+}
+
 TEST(FaultInjectionTest, CliReportsIngestSkipUnderColumnarFault) {
   FaultGuard guard;
   namespace fs = std::filesystem;

@@ -31,6 +31,10 @@ std::string CliUsage() {
       "backward_selection |\n"
       "                   rfe | all_features\n"
       "  --plan=KIND      budget (default) | table | full\n"
+      "  --plan-order=K   cost (default): order candidate joins by the\n"
+      "                   statistics catalog's estimated tuple ratio "
+      "before\n"
+      "                   batching | score: keep discovery-score order\n"
       "  --soft-join=K    2way (default) | nearest | hard\n"
       "  --table-cache=D  cache parsed tables as binary .ardac files in "
       "D;\n"
@@ -72,6 +76,8 @@ Result<CliOptions> ParseCliArgs(const std::vector<std::string>& args) {
       options.selector = v;
     } else if (const char* v = value_of("--plan")) {
       options.plan = v;
+    } else if (const char* v = value_of("--plan-order")) {
+      options.plan_order = v;
     } else if (const char* v = value_of("--soft-join")) {
       options.soft_join = v;
     } else if (const char* v = value_of("--table-cache")) {
@@ -125,6 +131,14 @@ Result<core::ArdaConfig> MakeConfig(const CliOptions& options) {
     config.plan = core::JoinPlanKind::kFullMaterialization;
   } else {
     return Status::InvalidArgument("bad --plan: " + options.plan);
+  }
+  if (options.plan_order == "cost") {
+    config.cost_based_ordering = true;
+  } else if (options.plan_order == "score") {
+    config.cost_based_ordering = false;
+  } else {
+    return Status::InvalidArgument("bad --plan-order: " +
+                                   options.plan_order);
   }
   if (options.soft_join == "2way") {
     config.join.soft_method = join::SoftJoinMethod::kTwoWayNearest;

@@ -24,6 +24,10 @@ struct CliOptions {
   std::string selector = "rifs";
   /// Join plan: "budget", "table" or "full".
   std::string plan = "budget";
+  /// Candidate ordering before batching: "cost" (ascending statistical
+  /// Tuple Ratio from the statistics catalog) or "score" (discovery
+  /// order).
+  std::string plan_order = "cost";
   /// Soft-key method: "2way", "nearest" or "hard".
   std::string soft_join = "2way";
   /// Directory of binary `.ardac` table caches ("" = caching disabled).
@@ -47,7 +51,7 @@ struct CliOptions {
 
 /// Parses argv. Recognized flags:
 ///   --data=DIR --base=NAME --target=COL [--task=regression|classification]
-///   [--selector=NAME] [--plan=budget|table|full]
+///   [--selector=NAME] [--plan=budget|table|full] [--plan-order=cost|score]
 ///   [--soft-join=2way|nearest|hard] [--table-cache=DIR] [--output=FILE]
 ///   [--report-json=FILE] [--trace-out=FILE] [--seed=N] [--threads=N]
 ///   [--help]
