@@ -8,22 +8,29 @@
 // machine-readable record that tools/run_bench.sh archives into
 // BENCH_*.json trajectory files (see docs/benchmarks.md).
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <filesystem>
+#include <functional>
 #include <string>
 #include <vector>
+
+#include <cstring>
 
 #include "bench/bench_common.h"
 #include "data/generators.h"
 #include "dataframe/aggregate.h"
 #include "dataframe/columnar_io.h"
 #include "dataframe/csv.h"
+#include "dataframe/key_encoder.h"
 #include "discovery/discovery.h"
 #include "discovery/repository.h"
 #include "join/join_executor.h"
 #include "ml/decision_tree.h"
 #include "ml/random_forest.h"
+#include "simd/aligned.h"
+#include "simd/simd.h"
 #include "util/string_util.h"
 #include "util/trace.h"
 
@@ -369,7 +376,233 @@ std::vector<KernelResult> RunAll(const BenchOptions& options, bool smoke) {
         }));
   }
 
+  // --- Scalar-vs-SIMD dispatch pairs: the same workload pinned to each
+  // dispatch level (<name>_scalar / <name>_avx2). Checksums must match
+  // bit for bit — the pair is also a determinism check — and the
+  // --assert-simd-floor flag (the perfsmoke lane) requires >=2x on >=3 of
+  // the 5 pairs. The _avx2 rows are omitted on machines without AVX2. ---
+  {
+    struct LevelRestore {
+      simd::SimdLevel prev = simd::ActiveLevel();
+      ~LevelRestore() { simd::SetLevel(prev); }
+    } restore;
+    auto measure_pair = [&](const std::string& name, size_t items,
+                            const std::function<uint64_t()>& fn) {
+      ARDA_CHECK(simd::SetLevel(simd::SimdLevel::kScalar));
+      results.push_back(Measure(name + "_scalar", items, reps, fn));
+      if (simd::Avx2Supported()) {
+        ARDA_CHECK(simd::SetLevel(simd::SimdLevel::kAvx2));
+        results.push_back(Measure(name + "_avx2", items, reps, fn));
+        ARDA_CHECK(results[results.size() - 1].checksum ==
+                   results[results.size() - 2].checksum);
+      }
+    };
+    auto bits_of = [](double d) {
+      uint64_t b;
+      std::memcpy(&b, &d, sizeof(b));
+      return b;
+    };
+
+    // Kernel 1: composite-key batch hash + home-slot probe (ProbeAll on
+    // two int64 key columns, the native-dictionary fast path).
+    {
+      const size_t rows = smoke ? 20000 : 200000;
+      auto make_keys = [&](uint64_t seed) {
+        Rng rng(seed);
+        std::vector<int64_t> a(rows), b(rows);
+        for (size_t i = 0; i < rows; ++i) {
+          a[i] = static_cast<int64_t>(rng.UniformUint64(rows / 2));
+          b[i] = static_cast<int64_t>(rng.UniformUint64(97));
+        }
+        df::DataFrame t;
+        ARDA_CHECK(t.AddColumn(df::Column::Int64("a", std::move(a))).ok());
+        ARDA_CHECK(t.AddColumn(df::Column::Int64("b", std::move(b))).ok());
+        return t;
+      };
+      df::DataFrame build = make_keys(1101);
+      df::DataFrame probe = make_keys(2202);
+      df::KeyEncoder encoder(build, std::vector<std::string>{"a", "b"});
+      const std::vector<size_t> col_idx = {0, 1};
+      std::vector<uint64_t> gids(rows);
+      measure_pair("simd_hash_probe", rows, [&]() -> uint64_t {
+        encoder.ProbeAll(probe, col_idx, gids.data());
+        uint64_t h = 1469598103934665603ULL;
+        for (uint64_t g : gids) h = (h ^ g) * 1099511628211ULL;
+        return h;
+      });
+    }
+
+    // Kernel 2: CSR group-by bucketing (count + prefix sum + scatter).
+    {
+      const size_t n = smoke ? 200000 : 2000000;
+      const size_t groups = 1024;
+      Rng rng(3303);
+      std::vector<uint64_t> gids(n);
+      std::vector<uint8_t> valid(n);
+      std::vector<double> values(n);
+      for (size_t i = 0; i < n; ++i) {
+        gids[i] = rng.UniformUint64(groups);
+        valid[i] = rng.UniformUint64(20) != 0 ? 1 : 0;
+        values[i] = rng.Normal();
+      }
+      std::vector<size_t> offsets(groups + 1);
+      std::vector<size_t> cursor(groups);
+      std::vector<double> out(n);
+      measure_pair("simd_groupby_scatter", n, [&]() -> uint64_t {
+        std::fill(offsets.begin(), offsets.end(), size_t{0});
+        simd::CountPerGroup(gids.data(), valid.data(), n,
+                            offsets.data() + 1);
+        for (size_t g = 0; g < groups; ++g) offsets[g + 1] += offsets[g];
+        std::copy(offsets.begin(), offsets.end() - 1, cursor.begin());
+        simd::ScatterByGroup(values.data(), valid.data(), gids.data(), n,
+                             cursor.data(), out.data());
+        uint64_t h = offsets[groups];
+        for (size_t i = 0; i < offsets[groups]; ++i) h ^= bits_of(out[i]) + i;
+        return h;
+      });
+    }
+
+    // Kernel 3: split-search gather + class-square scan (the decision
+    // tree's presorted classification inner loops). The scan calls
+    // ClassSquares once per row — with continuous features every value is
+    // a distinct candidate threshold, so that is the dense shape
+    // ScanThresholds runs — on a many-class target, over a node-sized
+    // slice (tree nodes shrink geometrically, so most scans are
+    // cache-resident).
+    {
+      const size_t n = smoke ? 50000 : 200000;
+      const size_t num_classes = 64;
+      Rng rng(4404);
+      std::vector<double> col(n), y(n);
+      std::vector<uint32_t> idx(n);
+      for (size_t i = 0; i < n; ++i) {
+        col[i] = rng.Normal();
+        y[i] = static_cast<double>(rng.UniformUint64(num_classes));
+        idx[i] = static_cast<uint32_t>(i);
+      }
+      // Shuffled gather order models the sorted-by-value row permutation.
+      for (size_t i = n - 1; i > 0; --i) {
+        std::swap(idx[i], idx[rng.UniformUint64(i + 1)]);
+      }
+      std::vector<double> vals(n), ys(n);
+      std::vector<double> left_counts(num_classes, 0.0);
+      std::vector<double> class_counts(num_classes);
+      for (size_t c = 0; c < num_classes; ++c) {
+        class_counts[c] = static_cast<double>(n / num_classes);
+      }
+      measure_pair("simd_split_scan", n, [&]() -> uint64_t {
+        simd::GatherValsTargets(col.data(), y.data(), idx.data(), n,
+                                vals.data(), ys.data());
+        std::fill(left_counts.begin(), left_counts.end(), 0.0);
+        uint64_t h = 0;
+        for (size_t i = 0; i < n; ++i) {
+          left_counts[static_cast<size_t>(ys[i])] += 1.0;
+          double left_sq = 0.0, right_sq = 0.0;
+          simd::ClassSquares(left_counts.data(), class_counts.data(),
+                             num_classes, &left_sq, &right_sq);
+          h ^= bits_of(left_sq) + bits_of(right_sq) + i;
+        }
+        h ^= bits_of(vals[n / 2]) ^ bits_of(ys[n / 3]);
+        return h;
+      });
+    }
+
+    // Kernel 4: squared Euclidean distance — the KNN Predict shape: each
+    // query is scored against the whole row-major training matrix with
+    // the batch kernel (geo joins hit the single-pair kernel at 2-3
+    // dims). The training set is KNN-sized (1024 x 64 = 512 KiB), so the
+    // pair measures compute, not DRAM streaming.
+    {
+      const size_t dims = 64;
+      const size_t points = 1024;
+      const size_t num_queries = smoke ? 40 : 200;
+      Rng rng(5505);
+      // The matrix must sit on a 64-byte boundary like the production KNN
+      // buffer: a 16-byte-aligned std::vector makes every other 32-byte
+      // load straddle a cache line, a heap-layout coin flip worth ~25%.
+      simd::AlignedVector<double> queries(num_queries * dims);
+      simd::AlignedVector<double> matrix(points * dims);
+      for (double& v : queries) v = rng.Normal();
+      for (double& v : matrix) v = rng.Normal();
+      std::vector<double> d2(points);
+      measure_pair("simd_distance", num_queries * points * dims,
+                   [&]() -> uint64_t {
+                     uint64_t h = 0;
+                     for (size_t q = 0; q < num_queries; ++q) {
+                       simd::SquaredDistanceToMany(queries.data() + q * dims,
+                                                   matrix.data(), points,
+                                                   dims, d2.data());
+                       for (size_t p = 0; p < points; ++p) {
+                         h ^= bits_of(d2[p]) + p;
+                       }
+                     }
+                     return h;
+                   });
+    }
+
+    // Kernel 5: bulk little-endian numeric decode + null-bitmap expansion
+    // (the .ardac columnar read path).
+    {
+      const size_t n = smoke ? 400000 : 2000000;
+      Rng rng(6606);
+      std::vector<char> src(n * 8);
+      for (size_t i = 0; i < n; ++i) {
+        // Encode finite doubles so the checksum is NaN-payload free.
+        double v = rng.Normal();
+        std::memcpy(src.data() + i * 8, &v, 8);
+      }
+      std::vector<uint8_t> bitmap((n + 7) / 8);
+      for (uint8_t& b : bitmap) {
+        b = static_cast<uint8_t>(rng.UniformUint64(256));
+      }
+      std::vector<double> dst(n);
+      std::vector<uint8_t> valid(n);
+      measure_pair("simd_decode", n, [&]() -> uint64_t {
+        simd::DecodeU64LeToDouble(src.data(), n, dst.data());
+        simd::ExpandValidityBitmap(bitmap.data(), n, valid.data());
+        uint64_t h = 0;
+        for (size_t i = 0; i < n; i += 97) h ^= bits_of(dst[i]) + valid[i];
+        return h;
+      });
+    }
+  }
+
   return results;
+}
+
+// Names of the scalar-vs-SIMD pairs checked by --assert-simd-floor.
+constexpr const char* kSimdPairs[] = {
+    "simd_hash_probe", "simd_groupby_scatter", "simd_split_scan",
+    "simd_distance", "simd_decode"};
+
+// Returns false (after printing per-pair speedups) when fewer than
+// `min_pairs` of the kSimdPairs hit `floor` on this machine.
+bool CheckSimdFloor(const std::vector<KernelResult>& results, double floor,
+                    size_t min_pairs) {
+  auto seconds_of = [&](const std::string& name) -> double {
+    for (const KernelResult& r : results) {
+      if (r.name == name) return r.seconds;
+    }
+    return -1.0;
+  };
+  size_t met = 0;
+  std::fprintf(stderr, "simd floor check (>=%.1fx on >=%zu of %zu pairs):\n",
+               floor, min_pairs, std::size(kSimdPairs));
+  for (const char* pair : kSimdPairs) {
+    double scalar = seconds_of(std::string(pair) + "_scalar");
+    double avx2 = seconds_of(std::string(pair) + "_avx2");
+    if (scalar <= 0.0 || avx2 <= 0.0) {
+      std::fprintf(stderr, "  %-22s missing\n", pair);
+      continue;
+    }
+    double speedup = scalar / avx2;
+    if (speedup >= floor) ++met;
+    std::fprintf(stderr, "  %-22s %.2fx%s\n", pair, speedup,
+                 speedup >= floor ? "" : "  (below floor)");
+  }
+  std::fprintf(stderr, "  -> %zu of %zu pairs at the floor\n", met,
+               std::size(kSimdPairs));
+  return met >= min_pairs;
 }
 
 void PrintJson(const std::vector<KernelResult>& results, uint64_t seed,
@@ -380,6 +613,9 @@ void PrintJson(const std::vector<KernelResult>& results, uint64_t seed,
               static_cast<unsigned long long>(seed));
   std::printf("  \"smoke\": %s,\n", smoke ? "true" : "false");
   std::printf("  \"tracing\": %s,\n", tracing ? "true" : "false");
+  std::printf("  \"simd_level\": \"%s\",\n", arda::simd::ActiveLevelName());
+  std::printf("  \"simd_supported\": \"%s\",\n",
+              arda::simd::Avx2Supported() ? "avx2" : "scalar");
   std::printf("  \"results\": [\n");
   for (size_t i = 0; i < results.size(); ++i) {
     const KernelResult& r = results[i];
@@ -401,26 +637,43 @@ int main(int argc, char** argv) {
   BenchOptions options = ParseOptions(argc, argv);
   bool smoke = false;
   bool tracing = false;
+  bool assert_simd_floor = false;
   for (int i = 1; i < argc; ++i) {
     if (std::string(argv[i]) == "--smoke") smoke = true;
     // Arms span tracing for the whole run: measures the instrumentation
     // overhead (tools/run_bench.sh --trace-overhead diffs on vs. off) and
     // doubles as a determinism check since checksums must not move.
     if (std::string(argv[i]) == "--trace") tracing = true;
+    // Fails (exit 1) unless >=3 of the 5 scalar-vs-SIMD pairs reach 2x;
+    // no-op on machines without AVX2 (there is nothing to compare).
+    if (std::string(argv[i]) == "--assert-simd-floor") {
+      assert_simd_floor = true;
+    }
   }
   if (tracing) arda::trace::Enable();
   std::vector<KernelResult> results = RunAll(options, smoke);
   if (options.json) {
     PrintJson(results, options.seed, smoke, tracing);
-    return 0;
+  } else {
+    std::printf("=== Hot-path kernel benchmarks ===\n");
+    PrintRow({"kernel", "seconds", "items/s"}, 28);
+    PrintRule(3, 28);
+    for (const KernelResult& r : results) {
+      PrintRow({r.name, arda::StrFormat("%.4fs", r.seconds),
+                arda::StrFormat("%.0f", r.items_per_second)},
+               28);
+    }
   }
-  std::printf("=== Hot-path kernel benchmarks ===\n");
-  PrintRow({"kernel", "seconds", "items/s"}, 28);
-  PrintRule(3, 28);
-  for (const KernelResult& r : results) {
-    PrintRow({r.name, arda::StrFormat("%.4fs", r.seconds),
-              arda::StrFormat("%.0f", r.items_per_second)},
-             28);
+  if (assert_simd_floor) {
+    if (!arda::simd::Avx2Supported()) {
+      std::fprintf(stderr,
+                   "simd floor check skipped: AVX2 unsupported here\n");
+      return 0;
+    }
+    if (!CheckSimdFloor(results, 2.0, 3)) {
+      std::fprintf(stderr, "simd floor check FAILED\n");
+      return 1;
+    }
   }
   return 0;
 }

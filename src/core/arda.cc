@@ -11,6 +11,7 @@
 #include "discovery/tuple_ratio.h"
 #include "featsel/selector.h"
 #include "join/impute.h"
+#include "simd/simd.h"
 #include "util/metrics.h"
 #include "util/string_util.h"
 #include "util/thread_pool.h"
@@ -369,6 +370,7 @@ Result<ArdaReport> Arda::Run(const AugmentationTask& task) const {
   double current_score = base_evaluator.ScoreAllFeatures();
 
   report.num_threads = ResolveNumThreads(config_.num_threads);
+  report.simd_level = simd::ActiveLevelName();
 
   // 4. Batched join execution + feature selection.
   size_t batch_index = 0;
@@ -574,6 +576,7 @@ Result<ArdaReport> Arda::Run(const AugmentationTask& task) const {
   report.augmented = std::move(current);
   report.total_seconds = total_watch.ElapsedSeconds();
   metrics::UpdatePeakRssGauge();
+  simd::PublishLevelMetrics();
   report.metrics = metrics::GlobalRegistry().Snapshot();
   return report;
 }

@@ -79,6 +79,9 @@ struct ArdaReport {
   /// Effective thread count the run used (resolved from
   /// ArdaConfig::num_threads; results do not depend on it).
   size_t num_threads = 1;
+  /// SIMD dispatch level the run executed with ("scalar" or "avx2");
+  /// results do not depend on it either (see DESIGN.md "SIMD dispatch").
+  std::string simd_level;
   /// Snapshot of the process-wide metrics registry taken when the run
   /// finished (counters/gauges/histograms are cumulative across runs in
   /// the same process; see docs/observability.md). Every

@@ -86,6 +86,7 @@ std::string ReportToJson(const ArdaReport& report) {
                    report.selection_seconds);
   out += StrFormat("  \"total_seconds\": %.6g,\n", report.total_seconds);
   out += StrFormat("  \"num_threads\": %zu,\n", report.num_threads);
+  out += "  \"simd_level\": \"" + JsonEscape(report.simd_level) + "\",\n";
   out += StrFormat("  \"augmented_rows\": %zu,\n",
                    report.augmented.NumRows());
   out += "  \"augmented_columns\": " +

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "dataframe/key_encoder.h"
+#include "simd/simd.h"
 #include "util/fault.h"
 #include "util/trace.h"
 
@@ -100,17 +101,24 @@ Result<DataFrame> GroupByAggregateImpl(const DataFrame& frame,
       continue;
     }
     const Column& col = frame.col(ci);
+    const uint64_t* gids = encoder.row_groups().data();
+    const uint8_t* valid = col.ValidityData();
     offsets.assign(num_groups + 1, 0);
-    for (size_t r = 0; r < n; ++r) {
-      if (!col.IsNull(r)) ++offsets[encoder.GroupOf(r) + 1];
-    }
+    simd::CountPerGroup(gids, valid, n, offsets.data() + 1);
     for (size_t g = 0; g < num_groups; ++g) offsets[g + 1] += offsets[g];
     cursor.assign(offsets.begin(), offsets.end() - 1);
     if (col.IsNumeric()) {
       flat_doubles.resize(offsets[num_groups]);
-      for (size_t r = 0; r < n; ++r) {
-        if (!col.IsNull(r)) {
-          flat_doubles[cursor[encoder.GroupOf(r)]++] = col.NumericAt(r);
+      if (col.type() == DataType::kDouble) {
+        simd::ScatterByGroup(col.DoubleData(), valid, gids, n,
+                             cursor.data(), flat_doubles.data());
+      } else {
+        const int64_t* ints = col.Int64Data();
+        for (size_t r = 0; r < n; ++r) {
+          if (valid[r]) {
+            flat_doubles[cursor[gids[r]]++] =
+                static_cast<double>(ints[r]);
+          }
         }
       }
       Column agg_col = Column::Empty(col.name(), DataType::kDouble);
@@ -128,8 +136,8 @@ Result<DataFrame> GroupByAggregateImpl(const DataFrame& frame,
     } else {
       flat_strings.resize(offsets[num_groups]);
       for (size_t r = 0; r < n; ++r) {
-        if (!col.IsNull(r)) {
-          flat_strings[cursor[encoder.GroupOf(r)]++] = &col.StringAt(r);
+        if (valid[r]) {
+          flat_strings[cursor[gids[r]]++] = &col.StringAt(r);
         }
       }
       Column agg_col = Column::Empty(col.name(), DataType::kString);
@@ -147,8 +155,9 @@ Result<DataFrame> GroupByAggregateImpl(const DataFrame& frame,
   }
 
   if (options.add_count) {
+    const uint64_t* gids = encoder.row_groups().data();
     std::vector<int64_t> counts(num_groups, 0);
-    for (size_t r = 0; r < n; ++r) ++counts[encoder.GroupOf(r)];
+    for (size_t r = 0; r < n; ++r) ++counts[gids[r]];
     ARDA_RETURN_IF_ERROR(
         out.AddColumn(Column::Int64("__group_count", std::move(counts))));
   }

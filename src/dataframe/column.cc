@@ -188,6 +188,11 @@ void Column::SetNull(size_t i) {
   valid_[i] = 0;
 }
 
+void Column::SetValidity(std::vector<uint8_t> valid) {
+  ARDA_CHECK_EQ(valid.size(), size());
+  valid_ = std::move(valid);
+}
+
 Column Column::Take(const std::vector<size_t>& indices) const {
   Column out(name_, type_);
   out.valid_.reserve(indices.size());

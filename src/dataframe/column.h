@@ -56,6 +56,19 @@ class Column {
   /// True for kDouble and kInt64 columns.
   bool IsNumeric() const { return type_ != DataType::kString; }
 
+  /// Raw dense storage views for the SIMD kernels. One entry per row,
+  /// nulls included (null slots hold the 0.0 / 0 placeholder that
+  /// AppendNull writes); consult ValidityData() before trusting a value.
+  const uint8_t* ValidityData() const { return valid_.data(); }
+  const double* DoubleData() const {
+    ARDA_CHECK(type_ == DataType::kDouble);
+    return doubles_.data();
+  }
+  const int64_t* Int64Data() const {
+    ARDA_CHECK(type_ == DataType::kInt64);
+    return ints_.data();
+  }
+
   /// Appends a value (type must match) or a null.
   void AppendDouble(double value);
   void AppendInt64(int64_t value);
@@ -76,6 +89,10 @@ class Column {
   void SetString(size_t i, std::string value);
   /// Marks entry i as null.
   void SetNull(size_t i);
+  /// Replaces the whole validity mask (one 0/1 byte per row; size must
+  /// equal size()). Bulk path for the columnar decoder: value slots of
+  /// rows marked null must already hold the AppendNull placeholder.
+  void SetValidity(std::vector<uint8_t> valid);
 
   /// Returns a column with the rows at `indices`, in order (repeats OK).
   Column Take(const std::vector<size_t>& indices) const;

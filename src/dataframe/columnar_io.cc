@@ -6,6 +6,7 @@
 #include <limits>
 #include <vector>
 
+#include "simd/simd.h"
 #include "util/check.h"
 #include "util/fault.h"
 #include "util/metrics.h"
@@ -111,17 +112,6 @@ struct Cursor {
     return Status::Ok();
   }
 };
-
-// Unchecked little-endian load (callers bounds-check the whole block
-// first); the byte shuffle compiles to a plain load on LE hosts.
-uint64_t LoadU64Le(const char* p) {
-  uint64_t v = 0;
-  for (int i = 0; i < 8; ++i) {
-    v |= static_cast<uint64_t>(static_cast<unsigned char>(p[i]))
-         << (8 * i);
-  }
-  return v;
-}
 
 // Serializes every column of `frame` (the version-independent part of the
 // payload).
@@ -408,13 +398,13 @@ Result<DataFrame> ReadColumnarString(std::string_view data,
         ARDA_RETURN_IF_ERROR(
             in.GetBytes(&values, rows * 8, "double values"));
         std::vector<double> decoded(rows);
-        for (size_t r = 0; r < rows; ++r) {
-          decoded[r] = std::bit_cast<double>(LoadU64Le(values.data() + r * 8));
-        }
+        simd::DecodeU64LeToDouble(values.data(), rows, decoded.data());
         col = Column::Double(std::string(name), std::move(decoded));
-        for (size_t r = 0; r < rows; ++r) {
-          if (!is_valid(r)) col.SetNull(r);
-        }
+        std::vector<uint8_t> valid(rows);
+        simd::ExpandValidityBitmap(
+            reinterpret_cast<const uint8_t*>(bitmap.data()), rows,
+            valid.data());
+        col.SetValidity(std::move(valid));
         break;
       }
       case DataType::kInt64: {
@@ -422,14 +412,13 @@ Result<DataFrame> ReadColumnarString(std::string_view data,
         ARDA_RETURN_IF_ERROR(
             in.GetBytes(&values, rows * 8, "int64 values"));
         std::vector<int64_t> decoded(rows);
-        for (size_t r = 0; r < rows; ++r) {
-          decoded[r] =
-              static_cast<int64_t>(LoadU64Le(values.data() + r * 8));
-        }
+        simd::DecodeU64LeToInt64(values.data(), rows, decoded.data());
         col = Column::Int64(std::string(name), std::move(decoded));
-        for (size_t r = 0; r < rows; ++r) {
-          if (!is_valid(r)) col.SetNull(r);
-        }
+        std::vector<uint8_t> valid(rows);
+        simd::ExpandValidityBitmap(
+            reinterpret_cast<const uint8_t*>(bitmap.data()), rows,
+            valid.data());
+        col.SetValidity(std::move(valid));
         break;
       }
       case DataType::kString: {

@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <functional>
 
+#include "simd/simd.h"
 #include "util/check.h"
 
 namespace arda::df {
@@ -288,6 +289,101 @@ uint64_t KeyEncoder::Probe(const DataFrame& frame,
                            const std::vector<std::string>& columns,
                            size_t row) const {
   return Probe(frame, ResolveColumns(frame, columns), row);
+}
+
+void KeyEncoder::ProbeAll(const DataFrame& frame,
+                          const std::vector<size_t>& col_idx,
+                          uint64_t* out) const {
+  const size_t num_cols = dicts_.size();
+  ARDA_CHECK_EQ(col_idx.size(), num_cols);
+  const size_t n = frame.NumRows();
+  if (n == 0) return;
+
+  // Column-major value ids (ids[k * n + r]), the layout TupleHashBatch
+  // and GroupLookup consume with contiguous vector loads.
+  std::vector<uint32_t> ids(num_cols * n, 0);
+  // A row whose value misses any column dictionary can never match a
+  // group; flagged here and forced to kMiss at the end (Probe returns
+  // early instead, which a batch cannot).
+  std::vector<uint8_t> miss(n, 0);
+  std::vector<uint32_t> walk(n);
+  std::vector<uint32_t> col_ids(n);
+  char buf[64];
+  for (size_t k = 0; k < num_cols; ++k) {
+    const Column& col = frame.col(col_idx[k]);
+    const ColumnDict& dict = dicts_[k];
+    uint32_t* out_ids = ids.data() + k * n;
+    if (dict.mode == Mode::kInt64) {
+      // Null slots hold the dense placeholder 0; the kernel looks them up
+      // like any key and the validity pass below overrides the result.
+      const int64_t* keys = col.Int64Data();
+      const size_t walk_count = simd::Int64DictLookup(
+          dict.table.hashes.data(), dict.table.ids.data(),
+          dict.int_values.data(), dict.table.hashes.size() - 1, keys, n,
+          col_ids.data(), walk.data());
+      for (size_t w = 0; w < walk_count; ++w) {
+        const uint32_t r = walk[w];
+        const int64_t v = keys[r];
+        const uint64_t h = Mix64(static_cast<uint64_t>(v));
+        const size_t slot =
+            FindSlot(dict.table.hashes, dict.table.ids, h,
+                     [&](uint32_t id) { return dict.int_values[id - 1] == v; });
+        col_ids[r] = dict.table.ids[slot];
+      }
+      const uint8_t* valid = col.ValidityData();
+      for (size_t r = 0; r < n; ++r) {
+        if (valid[r] == 0) {
+          out_ids[r] = 0;
+        } else if (col_ids[r] == FlatTable::kEmpty) {
+          miss[r] = 1;
+        } else {
+          out_ids[r] = col_ids[r];
+        }
+      }
+    } else {
+      for (size_t r = 0; r < n; ++r) {
+        if (col.IsNull(r)) {
+          out_ids[r] = 0;
+          continue;
+        }
+        std::string_view sv =
+            RenderValue(col, r, dict.probe_granularity, buf, sizeof(buf));
+        uint64_t h = HashString(sv);
+        size_t slot =
+            FindSlot(dict.table.hashes, dict.table.ids, h, [&](uint32_t id) {
+              return dict.str_values[id - 1] == sv;
+            });
+        if (dict.table.ids[slot] == FlatTable::kEmpty) {
+          miss[r] = 1;
+        } else {
+          out_ids[r] = dict.table.ids[slot];
+        }
+      }
+    }
+  }
+
+  std::vector<uint64_t> hashes(n);
+  simd::TupleHashBatch(ids.data(), num_cols, n, n, hashes.data());
+  const size_t walk_count = simd::GroupLookup(
+      groups_.hashes.data(), groups_.ids.data(), tuple_store_.data(),
+      ids.data(), num_cols, n, groups_.hashes.size() - 1, hashes.data(), n,
+      out, walk.data());
+  for (size_t w = 0; w < walk_count; ++w) {
+    const uint32_t r = walk[w];
+    const size_t slot =
+        FindSlot(groups_.hashes, groups_.ids, hashes[r], [&](uint32_t gid) {
+          const uint32_t* stored = tuple_store_.data() + gid * num_cols;
+          for (size_t k = 0; k < num_cols; ++k) {
+            if (stored[k] != ids[k * n + r]) return false;
+          }
+          return true;
+        });
+    out[r] =
+        groups_.ids[slot] == FlatTable::kEmpty ? kMiss : groups_.ids[slot];
+  }
+  for (size_t r = 0; r < n; ++r) {
+    if (miss[r]) out[r] = kMiss;
+  }
 }
 
 }  // namespace arda::df

@@ -61,6 +61,9 @@ class KeyEncoder {
   size_t num_rows() const { return row_group_.size(); }
   /// Dense group id of build row r, in first-occurrence order.
   uint64_t GroupOf(size_t row) const { return row_group_[row]; }
+  /// All build-row group ids as a dense array (the SIMD group-by kernels
+  /// index this directly instead of calling GroupOf per row).
+  const std::vector<uint64_t>& row_groups() const { return row_group_; }
   /// First build row of each group (the hash-join keep-first rule).
   const std::vector<size_t>& group_first_row() const {
     return group_first_row_;
@@ -77,6 +80,15 @@ class KeyEncoder {
                  size_t row) const;
   uint64_t Probe(const DataFrame& frame,
                  const std::vector<std::string>& columns, size_t row) const;
+
+  /// Batch Probe over every row of `frame[col_idx]`: out[r] receives the
+  /// group id of row r, or kMiss. Identical results to calling Probe per
+  /// row (pinned by the golden join outputs); the batch form routes the
+  /// native-int64 dictionary lookups and the composite hash+home-slot
+  /// probe through the arda_simd kernels, with only collision walks and
+  /// rendered-string columns handled row-at-a-time.
+  void ProbeAll(const DataFrame& frame, const std::vector<size_t>& col_idx,
+                uint64_t* out) const;
 
  private:
   enum class Mode { kInt64, kString };

@@ -5,6 +5,7 @@
 
 #include "dataframe/aggregate.h"
 #include "dataframe/key_encoder.h"
+#include "simd/simd.h"
 
 namespace arda::join {
 
@@ -106,7 +107,11 @@ Result<df::DataFrame> ExecuteGeoLeftJoin(const df::DataFrame& base,
   }
 
   // Nearest-neighbour match per base row (linear scan per partition).
+  // Hard-key group ids are resolved for the whole probe side in one
+  // batch; rows with nulls are skipped below, exactly as before.
   const size_t n = base.NumRows();
+  std::vector<uint64_t> gids(n);
+  index.ProbeAll(base, hard_base_idx, gids.data());
   std::vector<size_t> match(n, kNoMatch);
   std::vector<double> query(dims);
   for (size_t r = 0; r < n; ++r) {
@@ -126,16 +131,13 @@ Result<df::DataFrame> ExecuteGeoLeftJoin(const df::DataFrame& base,
       }
     }
     if (any_null) continue;
-    uint64_t gid = index.Probe(base, hard_base_idx, r);
+    const uint64_t gid = gids[r];
     if (gid == df::KeyEncoder::kMiss) continue;
     double best_dist_sq = 1e300;
     size_t best_row = kNoMatch;
     for (const Point& point : partitions[gid]) {
-      double dist_sq = 0.0;
-      for (size_t d = 0; d < dims; ++d) {
-        double diff = query[d] - point.coords[d];
-        dist_sq += diff * diff;
-      }
+      const double dist_sq =
+          simd::SquaredDistance(query.data(), point.coords.data(), dims);
       if (dist_sq < best_dist_sq) {
         best_dist_sq = dist_sq;
         best_row = point.row;

@@ -225,6 +225,11 @@ Result<df::DataFrame> ExecuteLeftJoin(const df::DataFrame& base,
   const size_t n = base.NumRows();
   std::vector<Match> matches(n);
 
+  // Resolve every probe row's hard-key group id in one SIMD batch; the
+  // per-row loops below keep the any-null skip semantics unchanged.
+  std::vector<uint64_t> gids(n);
+  index->ProbeAll(base, hard_base_idx, gids.data());
+
   if (soft_key == nullptr) {
     // Pure hash join on the interned composite hard key; the first
     // foreign row of each key group wins, matching the old
@@ -238,7 +243,7 @@ Result<df::DataFrame> ExecuteLeftJoin(const df::DataFrame& base,
         }
       }
       if (any_null) continue;
-      uint64_t gid = index->Probe(base, hard_base_idx, r);
+      const uint64_t gid = gids[r];
       if (gid != df::KeyEncoder::kMiss) {
         matches[r].low = index->group_first_row()[gid];
       }
@@ -267,7 +272,7 @@ Result<df::DataFrame> ExecuteLeftJoin(const df::DataFrame& base,
         }
       }
       if (any_null) continue;
-      uint64_t gid = index->Probe(base, hard_base_idx, r);
+      const uint64_t gid = gids[r];
       if (gid == df::KeyEncoder::kMiss || partitions[gid].empty()) continue;
       matches[r] = MatchSoft(partitions[gid], bsoft.NumericAt(r),
                              options.soft_method, options.soft_tolerance);

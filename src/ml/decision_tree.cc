@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <cstring>
 
+#include "simd/simd.h"
 #include "util/check.h"
 #include "util/metrics.h"
 #include "util/timer.h"
@@ -226,6 +227,12 @@ void DecisionTree::ScanThresholds(size_t count, size_t feature,
                                   double* best_gain, size_t* best_feature,
                                   double* best_threshold) {
   const double* vals = vals_.data();
+  // ClassSquares' vector path regroups the accumulation across lanes; with
+  // whole-number counts < 2^26 every partial sum of squares is an exact
+  // integer < 2^53, so the regrouping cannot change the result (simd.h
+  // "determinism contract"). Larger nodes keep the sequential loop — both
+  // dispatch levels take the same branch, so outputs stay level-invariant.
+  const bool exact_counts = count < (size_t{1} << 26);
   if (num_classes_ > 0) {
     const uint32_t* labs = labs_.data();
     std::fill(left_counts_.begin(), left_counts_.end(), 0.0);
@@ -243,11 +250,16 @@ void DecisionTree::ScanThresholds(size_t count, size_t feature,
       // One fused pass over the class histograms; accumulation order per
       // sum matches the separate left/right loops exactly.
       double left_sq = 0.0, right_sq = 0.0;
-      for (size_t c = 0; c < num_classes_; ++c) {
-        double lc = left_counts[c];
-        double rc = class_counts[c] - lc;
-        left_sq += lc * lc;
-        right_sq += rc * rc;
+      if (exact_counts) {
+        simd::ClassSquares(left_counts, class_counts, num_classes_,
+                           &left_sq, &right_sq);
+      } else {
+        for (size_t c = 0; c < num_classes_; ++c) {
+          double lc = left_counts[c];
+          double rc = class_counts[c] - lc;
+          left_sq += lc * lc;
+          right_sq += rc * rc;
+        }
       }
       double left_imp = left_n - left_sq / left_n;
       double right_imp = right_n - right_sq / right_n;
@@ -356,7 +368,9 @@ int DecisionTree::BuildNode(const la::Matrix& x, const std::vector<double>& y,
       if (classification) {
         // Fused gather + threshold scan: each sorted row is touched once
         // instead of being staged through vals_/labs_. The arithmetic is
-        // the same as ScanThresholds' classification branch.
+        // the same as ScanThresholds' classification branch, including its
+        // exact_counts guard around the SIMD class-square reduction.
+        const bool exact_counts = count < (size_t{1} << 26);
         std::fill(left_counts_.begin(), left_counts_.end(), 0.0);
         double* left_counts = left_counts_.data();
         const double* class_counts = class_counts_.data();
@@ -371,11 +385,16 @@ int DecisionTree::BuildNode(const la::Matrix& x, const std::vector<double>& y,
             if (left_n >= config_.min_samples_leaf &&
                 right_n >= config_.min_samples_leaf) {
               double left_sq = 0.0, right_sq = 0.0;
-              for (size_t c = 0; c < num_classes_; ++c) {
-                double lc = left_counts[c];
-                double rc = class_counts[c] - lc;
-                left_sq += lc * lc;
-                right_sq += rc * rc;
+              if (exact_counts) {
+                simd::ClassSquares(left_counts, class_counts, num_classes_,
+                                   &left_sq, &right_sq);
+              } else {
+                for (size_t c = 0; c < num_classes_; ++c) {
+                  double lc = left_counts[c];
+                  double rc = class_counts[c] - lc;
+                  left_sq += lc * lc;
+                  right_sq += rc * rc;
+                }
               }
               double left_imp = left_n - left_sq / left_n;
               double right_imp = right_n - right_sq / right_n;
@@ -393,11 +412,9 @@ int DecisionTree::BuildNode(const la::Matrix& x, const std::vector<double>& y,
         }
         continue;
       } else {
-        for (size_t i = 0; i < count; ++i) {
-          uint32_t row = slice[i];
-          vals_[i] = col[row];
-          ys_[i] = y[row];
-        }
+        // Pure gather (no accumulation), so the vector path is exact.
+        simd::GatherValsTargets(col, y.data(), slice, count, vals_.data(),
+                                ys_.data());
       }
     } else {
       sort_buf_.resize(count);

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "ml/model.h"
+#include "simd/aligned.h"
 #include "util/rng.h"
 
 namespace arda::ml {
@@ -96,17 +97,18 @@ class DecisionTree : public Model {
   size_t num_rows_ = 0;
   /// Column-major copy of the training matrix: feature f's values live in
   /// [f * n, (f+1) * n), so split-search gathers stay inside one cache-hot
-  /// column instead of striding across rows.
-  std::vector<double> columns_;
+  /// column instead of striding across rows. 64-byte aligned: the SIMD
+  /// gather/scan kernels read these with full-width loads.
+  simd::AlignedVector<double> columns_;
   std::vector<uint32_t> labels_;     // lround(y), classification only
   /// Pre-sorted mode: feature-major [f * n, (f+1) * n) row ids, each
   /// feature slice sorted by (value, y, row). Node ranges [begin, end)
   /// index into every feature slice simultaneously.
-  std::vector<uint32_t> feat_order_;
+  simd::AlignedVector<uint32_t> feat_order_;
   std::vector<uint32_t> part_tmp_;   // stable-partition scratch
   std::vector<uint8_t> left_mask_;   // per-row split side of current node
-  std::vector<double> vals_;         // gathered feature values, one node
-  std::vector<double> ys_;           // gathered targets, one node
+  simd::AlignedVector<double> vals_; // gathered feature values, one node
+  simd::AlignedVector<double> ys_;   // gathered targets, one node
   std::vector<uint32_t> labs_;       // gathered labels, one node
   std::vector<double> class_counts_; // node label histogram
   std::vector<double> left_counts_;  // running left label histogram

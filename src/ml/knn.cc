@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "simd/simd.h"
 #include "util/check.h"
 
 namespace arda::ml {
@@ -17,7 +18,10 @@ void KNearestNeighbors::Fit(const la::Matrix& x,
   ARDA_CHECK_EQ(x.rows(), y.size());
   ARDA_CHECK_GT(x.rows(), 0u);
   stats_ = la::ComputeColumnStats(x);
-  train_x_ = la::Standardize(x, stats_);
+  la::Matrix standardized = la::Standardize(x, stats_);
+  n_train_ = x.rows();
+  dims_ = x.cols();
+  train_x_.assign(standardized.data().begin(), standardized.data().end());
   train_y_ = y;
   if (config_.task == TaskType::kClassification) {
     double max_label = *std::max_element(y.begin(), y.end());
@@ -26,24 +30,23 @@ void KNearestNeighbors::Fit(const la::Matrix& x,
 }
 
 std::vector<double> KNearestNeighbors::Predict(const la::Matrix& x) const {
-  ARDA_CHECK_GT(train_x_.rows(), 0u);
-  ARDA_CHECK_EQ(x.cols(), train_x_.cols());
+  ARDA_CHECK_GT(n_train_, 0u);
+  ARDA_CHECK_EQ(x.cols(), dims_);
   la::Matrix xs = la::Standardize(x, stats_);
-  const size_t n_train = train_x_.rows();
+  const size_t n_train = n_train_;
   const size_t k = std::min(config_.k, n_train);
 
   std::vector<double> out(xs.rows());
+  std::vector<double> d2(n_train);
   std::vector<std::pair<double, size_t>> distances(n_train);
   for (size_t q = 0; q < xs.rows(); ++q) {
     const double* query = xs.RowPtr(q);
+    // Batch kernel over the contiguous row-major training matrix; each
+    // d2[t] is bit-identical to the per-pair SquaredDistance call.
+    simd::SquaredDistanceToMany(query, train_x_.data(), n_train, dims_,
+                                d2.data());
     for (size_t t = 0; t < n_train; ++t) {
-      const double* row = train_x_.RowPtr(t);
-      double dist_sq = 0.0;
-      for (size_t c = 0; c < xs.cols(); ++c) {
-        double diff = query[c] - row[c];
-        dist_sq += diff * diff;
-      }
-      distances[t] = {dist_sq, t};
+      distances[t] = {d2[t], t};
     }
     std::partial_sort(distances.begin(),
                       distances.begin() + static_cast<ptrdiff_t>(k),

@@ -1,0 +1,52 @@
+#ifndef ARDA_SIMD_ALIGNED_H_
+#define ARDA_SIMD_ALIGNED_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <new>
+#include <vector>
+
+namespace arda::simd {
+
+/// Cache-line alignment used for hot columnar buffers so vector loads
+/// never straddle a line and aligned stores are always legal.
+inline constexpr size_t kAlign = 64;
+
+/// Minimal 64-byte-aligned allocator for the hot numeric scratch buffers
+/// (decision-tree feature columns, CSR group-by arrays). Interchangeable
+/// with std::allocator from the container's point of view: only the
+/// storage address changes, never the element values, so switching a
+/// buffer to AlignedVector cannot affect results.
+template <typename T>
+struct AlignedAllocator {
+  using value_type = T;
+
+  AlignedAllocator() noexcept = default;
+  template <typename U>
+  AlignedAllocator(const AlignedAllocator<U>&) noexcept {}
+
+  T* allocate(size_t n) {
+    if (n == 0) n = 1;
+    return static_cast<T*>(
+        ::operator new(n * sizeof(T), std::align_val_t(kAlign)));
+  }
+  void deallocate(T* p, size_t) noexcept {
+    ::operator delete(p, std::align_val_t(kAlign));
+  }
+
+  template <typename U>
+  bool operator==(const AlignedAllocator<U>&) const noexcept {
+    return true;
+  }
+  template <typename U>
+  bool operator!=(const AlignedAllocator<U>&) const noexcept {
+    return false;
+  }
+};
+
+template <typename T>
+using AlignedVector = std::vector<T, AlignedAllocator<T>>;
+
+}  // namespace arda::simd
+
+#endif  // ARDA_SIMD_ALIGNED_H_

@@ -9,8 +9,12 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <cstdlib>
 #include <string>
+#include <string_view>
+#include <vector>
 
+#include "simd/simd.h"
 #include "tests/golden_fixtures.h"
 
 #ifndef ARDA_GOLDEN_DIR
@@ -72,6 +76,41 @@ TEST(GoldenKernelsTest, GeoJoinBitIdentical) {
 
 TEST(GoldenKernelsTest, AggregateBitIdentical) {
   EXPECT_EQ(golden::GoldenAggregateCsv(), ReadGolden("aggregate.csv"));
+}
+
+// Every golden must reproduce at every SIMD dispatch level: the vector
+// kernels are bit-identical to their scalar fallbacks by contract (see
+// DESIGN.md "SIMD dispatch"). The avx2 pass is skipped when the CPU lacks
+// AVX2 or the ARDA_SIMD=scalar env pin is active (the dedicated scalar
+// ctest leg must stay genuinely scalar).
+TEST(GoldenKernelsTest, GoldensAreSimdLevelInvariant) {
+  const simd::SimdLevel prev = simd::ActiveLevel();
+  std::vector<simd::SimdLevel> levels = {simd::SimdLevel::kScalar};
+  const char* env = std::getenv("ARDA_SIMD");
+  const bool pinned_scalar =
+      env != nullptr && std::string_view(env) == "scalar";
+  if (simd::Avx2Supported() && !pinned_scalar) {
+    levels.push_back(simd::SimdLevel::kAvx2);
+  }
+  for (simd::SimdLevel level : levels) {
+    ASSERT_TRUE(simd::SetLevel(level));
+    SCOPED_TRACE(simd::LevelName(level));
+    EXPECT_EQ(golden::GoldenClassificationTree(),
+              ReadGolden("tree_classification.txt"));
+    EXPECT_EQ(golden::GoldenRegressionTree(),
+              ReadGolden("tree_regression.txt"));
+    EXPECT_EQ(golden::GoldenHardJoinCsv(), ReadGolden("join_hard.csv"));
+    EXPECT_EQ(golden::GoldenSoftJoinCsv(), ReadGolden("join_soft.csv"));
+    EXPECT_EQ(golden::GoldenGeoJoinCsv(), ReadGolden("join_geo.csv"));
+    EXPECT_EQ(golden::GoldenAggregateCsv(), ReadGolden("aggregate.csv"));
+    // Thread-count sweep inside the level sweep: the dispatch level and
+    // the pool must be independently invariant.
+    EXPECT_EQ(golden::GoldenForestPredictions(1),
+              ReadGolden("forest_predictions.txt"));
+    EXPECT_EQ(golden::GoldenForestPredictions(8),
+              ReadGolden("forest_predictions.txt"));
+  }
+  simd::SetLevel(prev);
 }
 
 }  // namespace

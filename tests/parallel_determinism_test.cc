@@ -6,8 +6,10 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdlib>
 #include <stdexcept>
 #include <string>
+#include <string_view>
 #include <thread>
 #include <vector>
 
@@ -18,6 +20,7 @@
 #include "featsel/rifs.h"
 #include "ml/evaluator.h"
 #include "ml/random_forest.h"
+#include "simd/simd.h"
 #include "util/thread_pool.h"
 #include "util/trace.h"
 
@@ -290,11 +293,62 @@ TEST(ParallelDeterminismTest, TracingDoesNotChangeResults) {
   }
 }
 
+TEST(ParallelDeterminismTest, PipelineIsSimdLevelInvariant) {
+  // The full pipeline must be bit-identical across the SIMD dispatch
+  // level x thread count grid: the vector kernels match their scalar
+  // fallbacks bit for bit (DESIGN.md "SIMD dispatch"), independently of
+  // how the pool slices the work. The avx2 column of the grid is skipped
+  // when the CPU lacks AVX2 or ARDA_SIMD=scalar pins the process.
+  data::Scenario scenario =
+      data::MakePovertyScenario(29, data::ScenarioScale::kSmall);
+
+  auto run = [&](simd::SimdLevel level, size_t num_threads) {
+    EXPECT_TRUE(simd::SetLevel(level));
+    core::ArdaConfig config;
+    config.seed = 17;
+    config.rifs.num_rounds = 4;
+    config.num_threads = num_threads;
+    Result<core::ArdaReport> report =
+        core::Arda(config).Run(scenario.MakeTask());
+    EXPECT_TRUE(report.ok());
+    return std::move(report).value();
+  };
+
+  const simd::SimdLevel prev = simd::ActiveLevel();
+  std::vector<simd::SimdLevel> levels = {simd::SimdLevel::kScalar};
+  const char* env = std::getenv("ARDA_SIMD");
+  const bool pinned_scalar =
+      env != nullptr && std::string_view(env) == "scalar";
+  if (simd::Avx2Supported() && !pinned_scalar) {
+    levels.push_back(simd::SimdLevel::kAvx2);
+  }
+
+  core::ArdaReport reference = run(simd::SimdLevel::kScalar, 1);
+  EXPECT_EQ(reference.simd_level, std::string("scalar"));
+  const std::string reference_csv = df::WriteCsvString(reference.augmented);
+  for (simd::SimdLevel level : levels) {
+    for (size_t threads : {size_t{1}, size_t{8}}) {
+      if (level == simd::SimdLevel::kScalar && threads == 1) continue;
+      core::ArdaReport got = run(level, threads);
+      SCOPED_TRACE(std::string(simd::LevelName(level)) + " x " +
+                   std::to_string(threads) + " threads");
+      EXPECT_EQ(got.simd_level, std::string(simd::LevelName(level)));
+      EXPECT_DOUBLE_EQ(reference.base_score, got.base_score);
+      EXPECT_DOUBLE_EQ(reference.final_score, got.final_score);
+      EXPECT_EQ(reference.selected_features, got.selected_features);
+      EXPECT_EQ(reference_csv, df::WriteCsvString(got.augmented));
+    }
+  }
+  simd::SetLevel(prev);
+}
+
 TEST(ParallelDeterminismTest, ReportJsonCarriesThreadCount) {
   core::ArdaReport report;
   report.num_threads = 6;
+  report.simd_level = "avx2";
   std::string json = core::ReportToJson(report);
   EXPECT_NE(json.find("\"num_threads\": 6"), std::string::npos);
+  EXPECT_NE(json.find("\"simd_level\": \"avx2\""), std::string::npos);
 }
 
 }  // namespace

@@ -1,10 +1,12 @@
 #include "tools/cli.h"
 
 #include <cstdio>
+#include <string_view>
 
 #include "dataframe/csv.h"
 #include "core/report_io.h"
 #include "discovery/discovery.h"
+#include "simd/simd.h"
 #include "util/metrics.h"
 #include "util/string_util.h"
 #include "util/trace.h"
@@ -51,6 +53,9 @@ std::string CliUsage() {
       "  --threads=N      worker threads (0 = hardware concurrency, "
       "1 = serial;\n"
       "                   results are identical for every value)\n"
+      "  --simd=LEVEL     auto (default: highest supported) | scalar | "
+      "avx2;\n"
+      "                   results are bit-identical for every level\n"
       "  --help           show this message\n";
 }
 
@@ -102,6 +107,15 @@ Result<CliOptions> ParseCliArgs(const std::vector<std::string>& args) {
                                        std::string(v));
       }
       options.num_threads = static_cast<size_t>(threads);
+    } else if (const char* v = value_of("--simd")) {
+      // Spelling is a flag-parse error (exit 2 + usage, like --task);
+      // whether the level is available on this CPU is decided in RunCli.
+      if (std::string_view(v) != "auto" && std::string_view(v) != "scalar" &&
+          std::string_view(v) != "avx2") {
+        return Status::InvalidArgument("bad --simd value: " + std::string(v) +
+                                       " (want auto|scalar|avx2)");
+      }
+      options.simd = v;
     } else {
       return Status::InvalidArgument("unknown flag: " + arg);
     }
@@ -187,6 +201,22 @@ void PrintStageSummary(const metrics::MetricsSnapshot& snapshot) {
 Status RunCli(const CliOptions& options) {
   ARDA_ASSIGN_OR_RETURN(core::ArdaConfig config, MakeConfig(options));
   if (!options.trace_out.empty()) trace::Enable();
+
+  // Pin the SIMD dispatch level before any kernel runs (the columnar
+  // decode kernels already fire during table loading below). The flag
+  // wins over the ARDA_SIMD environment variable.
+  if (!simd::SetLevelFromSpec(options.simd)) {
+    if (options.simd != "avx2") {
+      return Status::InvalidArgument("bad --simd value: " + options.simd +
+                                     " (want auto|scalar|avx2)");
+    }
+    // A supported-but-unavailable level degrades (results are level-
+    // invariant anyway); only unknown specs are hard errors.
+    std::fprintf(stderr,
+                 "warning: --simd=avx2 not supported on this CPU; "
+                 "using scalar\n");
+  }
+  std::printf("simd level: %s\n", simd::ActiveLevelName());
 
   // Load every CSV in the data directory, via the binary table cache
   // when --table-cache is set.

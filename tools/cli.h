@@ -46,6 +46,10 @@ struct CliOptions {
   /// Threads for the parallel pipeline regions: 0 = hardware concurrency,
   /// 1 = serial. Results are identical for every value.
   size_t num_threads = 0;
+  /// SIMD dispatch level: "auto" (highest supported), "scalar" or "avx2".
+  /// Results are bit-identical for every level; overrides the ARDA_SIMD
+  /// environment variable.
+  std::string simd = "auto";
   bool show_help = false;
 };
 
@@ -54,7 +58,7 @@ struct CliOptions {
 ///   [--selector=NAME] [--plan=budget|table|full] [--plan-order=cost|score]
 ///   [--soft-join=2way|nearest|hard] [--table-cache=DIR] [--output=FILE]
 ///   [--report-json=FILE] [--trace-out=FILE] [--seed=N] [--threads=N]
-///   [--help]
+///   [--simd=auto|scalar|avx2] [--help]
 /// Fails with InvalidArgument on unknown flags or missing required ones
 /// (unless --help was given).
 Result<CliOptions> ParseCliArgs(const std::vector<std::string>& args);

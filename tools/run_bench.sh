@@ -79,11 +79,29 @@ def best_of(runs):
 runs = load_runs(raw_path)
 best = best_of(runs)
 
+# Machine provenance: timings are only comparable on the same CPU at the
+# same SIMD dispatch level, so both are pinned into the record.
+cpu_model, cpu_flags = "", []
+try:
+    for line in open("/proc/cpuinfo"):
+        if line.startswith("model name") and not cpu_model:
+            cpu_model = line.split(":", 1)[1].strip()
+        if line.startswith("flags") and not cpu_flags:
+            present = set(line.split(":", 1)[1].split())
+            cpu_flags = [f for f in ("sse4_2", "avx", "avx2", "fma",
+                                     "avx512f") if f in present]
+except OSError:
+    pass
+
 record = {
     "bench": "kernels",
     "seed": runs[0]["seed"],
     "smoke": runs[0]["smoke"],
     "runs": len(runs),
+    "cpu_model": cpu_model,
+    "cpu_flags": cpu_flags,
+    "simd_level": runs[0].get("simd_level", "unknown"),
+    "simd_supported": runs[0].get("simd_supported", "unknown"),
     "results": sorted(best.values(), key=lambda r: r["name"]),
 }
 
@@ -116,6 +134,8 @@ if baseline_path:
 
 json.dump(record, open(out_path, "w"), indent=2)
 print(f"wrote {out_path}")
+print(f'  cpu: {record["cpu_model"]} [{" ".join(record["cpu_flags"])}], '
+      f'simd level: {record["simd_level"]}')
 for r in record["results"]:
     speed = f'  {r["speedup"]:.2f}x' if "speedup" in r else ""
     trace = (f'  trace {r["trace_overhead_pct"]:+.2f}%'
