@@ -1,0 +1,367 @@
+// Load generator for the augmentation service (PR 8): starts an
+// in-process ArdaService (or connects to an external daemon with
+// --port=N), fans out concurrent clients, and reports request latency
+// percentiles and throughput. With --assert-identical it also enforces
+// the byte-identity contract: every successful augment response must be
+// byte-identical across clients, and the embedded `report_json` must
+// equal the one-shot pipeline's DeterministicReportJson for the same
+// request (or the bytes of --reference=FILE, e.g. an arda_cli
+// --canonical-report file, for the cross-binary check the CI smoke lane
+// runs).
+//
+//   bench_service [--fast] [--json] [--clients=N] [--requests=N]
+//                 [--port=N] [--data=DIR] [--base=T] [--target=C]
+//                 [--seed=N] [--assert-identical] [--reference=FILE]
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/arda.h"
+#include "core/options.h"
+#include "core/report_io.h"
+#include "discovery/repository.h"
+#include "service/service.h"
+#include "service/wire.h"
+#include "util/json.h"
+#include "util/rng.h"
+#include "util/status.h"
+#include "util/string_util.h"
+#include "util/timer.h"
+
+namespace arda {
+namespace {
+
+namespace fs = std::filesystem;
+
+struct Options {
+  bool fast = false;
+  bool json = false;
+  bool assert_identical = false;
+  size_t clients = 4;
+  size_t requests = 8;  // per client
+  uint16_t port = 0;    // 0 = start an in-process server
+  std::string data_dir;
+  std::string reference;
+  std::string base = "sales";
+  std::string target = "y";
+  uint64_t seed = 42;
+};
+
+Options ParseArgs(int argc, char** argv) {
+  Options options;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value_of = [&](const char* flag) -> const char* {
+      std::string prefix = std::string(flag) + "=";
+      if (StartsWith(arg, prefix)) return arg.c_str() + prefix.size();
+      return nullptr;
+    };
+    int64_t n = 0;
+    if (arg == "--fast") {
+      options.fast = true;
+    } else if (arg == "--json") {
+      options.json = true;
+    } else if (arg == "--assert-identical") {
+      options.assert_identical = true;
+    } else if (const char* v = value_of("--clients")) {
+      if (ParseInt64(v, &n) && n > 0) options.clients = (size_t)n;
+    } else if (const char* v = value_of("--requests")) {
+      if (ParseInt64(v, &n) && n > 0) options.requests = (size_t)n;
+    } else if (const char* v = value_of("--port")) {
+      if (ParseInt64(v, &n) && n > 0 && n <= 65535)
+        options.port = (uint16_t)n;
+    } else if (const char* v = value_of("--data")) {
+      options.data_dir = v;
+    } else if (const char* v = value_of("--reference")) {
+      options.reference = v;
+    } else if (const char* v = value_of("--base")) {
+      options.base = v;
+    } else if (const char* v = value_of("--target")) {
+      options.target = v;
+    } else if (const char* v = value_of("--seed")) {
+      if (ParseInt64(v, &n)) options.seed = (uint64_t)n;
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
+      std::exit(2);
+    }
+  }
+  if (options.fast) {
+    options.clients = std::min<size_t>(options.clients, 2);
+    options.requests = std::min<size_t>(options.requests, 3);
+  }
+  return options;
+}
+
+// Writes the small synthetic repository the bench serves when no --data
+// directory is given: a base table whose target depends on a column
+// hidden in a lookup table, plus a noise table.
+std::string WriteBenchData() {
+  fs::path dir = fs::temp_directory_path() / "arda_bench_service_data";
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  Rng rng(3);
+  std::string base_csv = "id,x,y\n";
+  std::string lookup_csv = "id,hidden\n";
+  std::string noise_csv = "id,n1,n2\n";
+  for (int i = 0; i < 200; ++i) {
+    double hidden = rng.Normal();
+    double x = rng.Normal();
+    base_csv += StrFormat("%d,%.6f,%.6f\n", i, x,
+                          x + 3.0 * hidden + rng.Normal(0.0, 0.1));
+    lookup_csv += StrFormat("%d,%.6f\n", i, hidden);
+    noise_csv += StrFormat("%d,%.6f,%.6f\n", i, rng.Normal(), rng.Normal());
+  }
+  std::ofstream(dir / "sales.csv") << base_csv;
+  std::ofstream(dir / "lookup.csv") << lookup_csv;
+  std::ofstream(dir / "noise.csv") << noise_csv;
+  return dir.string();
+}
+
+std::string AugmentRequest(const Options& options) {
+  std::map<std::string, json::Value> members;
+  members.emplace("type", json::Value::MakeString("augment"));
+  members.emplace("base", json::Value::MakeString(options.base));
+  members.emplace("target", json::Value::MakeString(options.target));
+  members.emplace("seed",
+                  json::Value::MakeInt((int64_t)options.seed));
+  return json::Serialize(json::Value::MakeObject(std::move(members)));
+}
+
+// The one-shot (CLI-equivalent) pipeline run used as the in-process
+// byte-identity reference.
+Result<std::string> ReferenceReport(const Options& options) {
+  discovery::DataRepository repo;
+  discovery::LoadStats stats;
+  ARDA_RETURN_IF_ERROR(repo.LoadDirectory(options.data_dir, "", {}, &stats));
+  core::RunOptions run_options;
+  run_options.seed = options.seed;
+  ARDA_ASSIGN_OR_RETURN(core::ArdaConfig config,
+                        core::MakeArdaConfig(run_options));
+  ARDA_ASSIGN_OR_RETURN(const df::DataFrame* base,
+                        repo.Get(options.base));
+  core::AugmentationTask task;
+  task.base = *base;
+  task.target_column = options.target;
+  task.repo = &repo;
+  task.base_table_name = options.base;
+  for (const discovery::IngestSkip& fallback : stats.fallbacks) {
+    task.ingest_skips.push_back({fallback.table, "ingest",
+                                 fallback.reason});
+  }
+  core::Arda arda(config);
+  ARDA_ASSIGN_OR_RETURN(core::ArdaReport report, arda.Run(task));
+  return core::DeterministicReportJson(report);
+}
+
+struct ClientResult {
+  std::vector<double> latencies_seconds;
+  std::vector<std::string> responses;  // successful augment payloads
+  size_t overloaded = 0;
+  size_t errors = 0;
+  Status status;  // first transport failure
+};
+
+void RunClient(uint16_t port, const std::string& request, size_t requests,
+               ClientResult* out) {
+  Result<service::ServiceClient> client =
+      service::ServiceClient::Connect(port);
+  if (!client.ok()) {
+    out->status = client.status();
+    return;
+  }
+  for (size_t i = 0; i < requests; ++i) {
+    Stopwatch watch;
+    Result<std::string> response = client->RoundTrip(request);
+    if (!response.ok()) {
+      out->status = response.status();
+      return;
+    }
+    out->latencies_seconds.push_back(watch.ElapsedSeconds());
+    Result<json::Value> parsed = json::Parse(*response);
+    const std::string status =
+        parsed.ok() ? parsed->StringOr("status", "") : "";
+    if (status == "ok") {
+      out->responses.push_back(std::move(response).value());
+    } else if (status == "overloaded") {
+      ++out->overloaded;
+    } else {
+      ++out->errors;
+    }
+  }
+}
+
+double Percentile(std::vector<double> sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  const size_t index = std::min(
+      sorted.size() - 1,
+      (size_t)((double)(sorted.size() - 1) * p + 0.5));
+  return sorted[index];
+}
+
+int Run(int argc, char** argv) {
+  Options options = ParseArgs(argc, argv);
+  const bool in_process = options.port == 0;
+  if (options.data_dir.empty()) {
+    if (!in_process) {
+      std::fprintf(stderr, "--port requires --data (for the reference "
+                           "run)\n");
+      return 2;
+    }
+    options.data_dir = WriteBenchData();
+  }
+
+  service::ServiceConfig config;
+  config.data_dir = options.data_dir;
+  config.max_queue_depth = std::max<size_t>(options.clients, 8);
+  service::ArdaService server(config);
+  uint16_t port = options.port;
+  if (in_process) {
+    Status started = server.Start();
+    if (!started.ok()) {
+      std::fprintf(stderr, "server start failed: %s\n",
+                   started.ToString().c_str());
+      return 1;
+    }
+    port = server.port();
+  }
+
+  const std::string request = AugmentRequest(options);
+  std::vector<ClientResult> results(options.clients);
+  Stopwatch wall;
+  std::vector<std::thread> clients;
+  clients.reserve(options.clients);
+  for (size_t c = 0; c < options.clients; ++c) {
+    clients.emplace_back(RunClient, port, request, options.requests,
+                         &results[c]);
+  }
+  for (std::thread& t : clients) t.join();
+  const double wall_seconds = wall.ElapsedSeconds();
+  if (in_process) {
+    server.BeginShutdown();
+    server.Wait();
+  }
+
+  std::vector<double> latencies;
+  std::vector<const std::string*> responses;
+  size_t overloaded = 0, errors = 0;
+  for (const ClientResult& result : results) {
+    if (!result.status.ok()) {
+      std::fprintf(stderr, "client failed: %s\n",
+                   result.status.ToString().c_str());
+      return 1;
+    }
+    latencies.insert(latencies.end(), result.latencies_seconds.begin(),
+                     result.latencies_seconds.end());
+    for (const std::string& response : result.responses) {
+      responses.push_back(&response);
+    }
+    overloaded += result.overloaded;
+    errors += result.errors;
+  }
+  std::sort(latencies.begin(), latencies.end());
+
+  bool identical = true;
+  std::string identity_error;
+  if (options.assert_identical) {
+    if (responses.empty()) {
+      identical = false;
+      identity_error = "no successful responses to compare";
+    }
+    for (const std::string* response : responses) {
+      if (*response != *responses.front()) {
+        identical = false;
+        identity_error = "responses differ across clients";
+        break;
+      }
+    }
+    if (identical && !responses.empty()) {
+      // Compare the embedded deterministic report against the reference:
+      // --reference file bytes (cross-binary, e.g. arda_cli
+      // --canonical-report) or an in-process one-shot pipeline run.
+      Result<json::Value> parsed = json::Parse(*responses.front());
+      const json::Value* report =
+          parsed.ok() ? parsed->Find("report_json") : nullptr;
+      if (report == nullptr || !report->is_string()) {
+        identical = false;
+        identity_error = "response lacks report_json";
+      } else {
+        std::string expected;
+        if (!options.reference.empty()) {
+          std::ifstream in(options.reference);
+          std::string bytes((std::istreambuf_iterator<char>(in)),
+                            std::istreambuf_iterator<char>());
+          expected = std::move(bytes);
+        } else {
+          Result<std::string> reference = ReferenceReport(options);
+          if (!reference.ok()) {
+            std::fprintf(stderr, "reference run failed: %s\n",
+                         reference.status().ToString().c_str());
+            return 1;
+          }
+          expected = std::move(reference).value();
+        }
+        if (report->AsString() != expected) {
+          identical = false;
+          identity_error =
+              "service report_json differs from the one-shot report";
+        }
+      }
+    }
+  }
+
+  const size_t total = latencies.size();
+  const double qps = wall_seconds > 0.0 ? (double)total / wall_seconds : 0.0;
+  const double p50_ms = Percentile(latencies, 0.50) * 1e3;
+  const double p99_ms = Percentile(latencies, 0.99) * 1e3;
+  if (options.json) {
+    std::printf("{\n");
+    std::printf("  \"bench\": \"service\",\n");
+    std::printf("  \"clients\": %zu,\n", options.clients);
+    std::printf("  \"requests_per_client\": %zu,\n", options.requests);
+    std::printf("  \"requests_total\": %zu,\n", total);
+    std::printf("  \"ok_responses\": %zu,\n", responses.size());
+    std::printf("  \"overloaded\": %zu,\n", overloaded);
+    std::printf("  \"errors\": %zu,\n", errors);
+    std::printf("  \"wall_seconds\": %.6f,\n", wall_seconds);
+    std::printf("  \"qps\": %.2f,\n", qps);
+    std::printf("  \"p50_ms\": %.3f,\n", p50_ms);
+    std::printf("  \"p99_ms\": %.3f,\n", p99_ms);
+    std::printf("  \"assert_identical\": %s,\n",
+                options.assert_identical ? "true" : "false");
+    std::printf("  \"identical\": %s\n", identical ? "true" : "false");
+    std::printf("}\n");
+  } else {
+    std::printf("service bench: %zu clients x %zu requests\n",
+                options.clients, options.requests);
+    std::printf("  ok %zu, overloaded %zu, errors %zu\n",
+                responses.size(), overloaded, errors);
+    std::printf("  wall %.3fs, qps %.2f, p50 %.3fms, p99 %.3fms\n",
+                wall_seconds, qps, p50_ms, p99_ms);
+    if (options.assert_identical) {
+      std::printf("  byte-identity: %s\n",
+                  identical ? "ok" : identity_error.c_str());
+    }
+  }
+  if (options.assert_identical && !identical) {
+    std::fprintf(stderr, "byte-identity violated: %s\n",
+                 identity_error.c_str());
+    return 1;
+  }
+  if (errors > 0) {
+    std::fprintf(stderr, "%zu request(s) returned errors\n", errors);
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace arda
+
+int main(int argc, char** argv) { return arda::Run(argc, argv); }

@@ -372,9 +372,19 @@ Result<ArdaReport> Arda::Run(const AugmentationTask& task) const {
   report.num_threads = ResolveNumThreads(config_.num_threads);
   report.simd_level = simd::ActiveLevelName();
 
-  // 4. Batched join execution + feature selection.
+  // 4. Batched join execution + feature selection. The interrupt probe is
+  // polled only at batch boundaries (and before the final estimate): a
+  // batch in flight always finishes, so an interrupted report is a valid
+  // prefix of the uninterrupted run, not a torn batch.
+  auto interrupted_now = [this] {
+    return config_.interrupt_check && config_.interrupt_check();
+  };
   size_t batch_index = 0;
   for (const std::vector<discovery::CandidateJoin>& batch : batches) {
+    if (interrupted_now()) {
+      report.interrupted = true;
+      break;
+    }
     trace::TraceSpan batch_span(
         "batch", "pipeline",
         StrFormat("batch %zu: %zu candidate(s)", batch_index++,
@@ -548,8 +558,13 @@ Result<ArdaReport> Arda::Run(const AugmentationTask& task) const {
 
   // 5. Final estimate on the augmented table. The stage scope closes
   // before the metrics snapshot below so its own latency shows up in this
-  // run's report.
-  {
+  // run's report. An interrupt before this stage skips the (expensive)
+  // final estimators: the partial report carries the score after the last
+  // decided batch.
+  if (interrupted_now()) report.interrupted = true;
+  if (report.interrupted) {
+    report.final_score = current_score;
+  } else {
     trace::StageScope final_scope("final_estimate");
     ARDA_ASSIGN_OR_RETURN(ml::Dataset final_data,
                           BuildDataset(current, task.target_column,

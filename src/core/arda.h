@@ -88,6 +88,12 @@ struct ArdaReport {
   /// `skipped_candidates` entry has a matching `skips.<stage>` counter
   /// increment.
   metrics::MetricsSnapshot metrics;
+  /// True when the run stopped early because ArdaConfig::interrupt_check
+  /// fired at a stage boundary (e.g. the CLI caught SIGINT). The report
+  /// covers only the batches decided before the interrupt; `final_score`
+  /// is the score after the last decided batch and the final estimate is
+  /// skipped.
+  bool interrupted = false;
 
   /// Percent improvement of final_score over base_score, the number the
   /// paper's Figure 3 reports. Regression scores are negative MAE, so the

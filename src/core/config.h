@@ -1,6 +1,7 @@
 #ifndef ARDA_CORE_CONFIG_H_
 #define ARDA_CORE_CONFIG_H_
 
+#include <functional>
 #include <string>
 
 #include "coreset/coreset.h"
@@ -60,6 +61,14 @@ struct ArdaConfig {
   /// reduces in deterministic order, so results are bit-identical for
   /// every value (see DESIGN.md "Parallelism & determinism contract").
   size_t num_threads = 0;
+  /// Optional cooperative-cancellation probe, polled at stage boundaries
+  /// (between join-plan batches and before the final estimate). When it
+  /// returns true the run stops early, keeps everything decided so far
+  /// and marks the report `interrupted` instead of failing. The CLI wires
+  /// this to the process signal flag; the augmentation service leaves it
+  /// unset so admitted requests always run to completion during graceful
+  /// shutdown. Never influences results while it returns false.
+  std::function<bool()> interrupt_check;
 };
 
 }  // namespace arda::core

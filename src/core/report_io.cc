@@ -76,6 +76,8 @@ std::string ReportToJson(const ArdaReport& report) {
   out += StrFormat("  \"final_score\": %.10g,\n", report.final_score);
   out += StrFormat("  \"improvement_percent\": %.6g,\n",
                    report.ImprovementPercent());
+  out += StrFormat("  \"interrupted\": %s,\n",
+                   report.interrupted ? "true" : "false");
   out += StrFormat("  \"tables_considered\": %zu,\n",
                    report.tables_considered);
   out += StrFormat("  \"tables_joined\": %zu,\n", report.tables_joined);
@@ -121,6 +123,57 @@ std::string ReportToJson(const ArdaReport& report) {
   }
   out += "  ],\n";
   out += "  \"metrics\": " + MetricsToJson(report.metrics) + "\n}\n";
+  return out;
+}
+
+std::string DeterministicReportJson(const ArdaReport& report) {
+  // Deliberately omits every field that can differ between two runs of
+  // the same request: timings, the metrics snapshot, num_threads and
+  // simd_level. Keys stay sorted and the number formats match
+  // ReportToJson so values are directly comparable between the two.
+  std::string out = "{\n";
+  out += "  \"augmented_columns\": " +
+         JsonStringArray(report.augmented.ColumnNames()) + ",\n";
+  out += StrFormat("  \"augmented_rows\": %zu,\n",
+                   report.augmented.NumRows());
+  out += StrFormat("  \"base_score\": %.10g,\n", report.base_score);
+  out += "  \"batches\": [\n";
+  for (size_t i = 0; i < report.batches.size(); ++i) {
+    const BatchLog& batch = report.batches[i];
+    out += "    {";
+    out += StrFormat("\"accepted\": %s, ",
+                     batch.accepted ? "true" : "false");
+    out += StrFormat("\"features_considered\": %zu, ",
+                     batch.features_considered);
+    out += StrFormat("\"features_kept\": %zu, ", batch.features_kept);
+    out += StrFormat("\"score_after\": %.10g, ", batch.score_after);
+    out += "\"tables\": " + JsonStringArray(batch.tables) + "}";
+    out += i + 1 < report.batches.size() ? ",\n" : "\n";
+  }
+  out += "  ],\n";
+  out += StrFormat("  \"final_score\": %.10g,\n", report.final_score);
+  out += StrFormat("  \"improvement_percent\": %.6g,\n",
+                   report.ImprovementPercent());
+  out += StrFormat("  \"interrupted\": %s,\n",
+                   report.interrupted ? "true" : "false");
+  out += "  \"selected_features\": " +
+         JsonStringArray(report.selected_features) + ",\n";
+  out += "  \"skipped_candidates\": [\n";
+  for (size_t i = 0; i < report.skipped_candidates.size(); ++i) {
+    const SkippedCandidate& skip = report.skipped_candidates[i];
+    out += "    {";
+    out += "\"reason\": \"" + JsonEscape(skip.reason) + "\", ";
+    out += "\"stage\": \"" + JsonEscape(skip.stage) + "\", ";
+    out += "\"table\": \"" + JsonEscape(skip.table) + "\"}";
+    out += i + 1 < report.skipped_candidates.size() ? ",\n" : "\n";
+  }
+  out += "  ],\n";
+  out += StrFormat("  \"tables_considered\": %zu,\n",
+                   report.tables_considered);
+  out += StrFormat("  \"tables_filtered_by_tuple_ratio\": %zu,\n",
+                   report.tables_filtered_by_tuple_ratio);
+  out += StrFormat("  \"tables_joined\": %zu\n", report.tables_joined);
+  out += "}\n";
   return out;
 }
 

@@ -15,6 +15,18 @@ namespace arda::core {
 /// dashboards and the CLI's --report-json flag.
 std::string ReportToJson(const ArdaReport& report);
 
+/// Serializes only the deterministic subset of an ArdaReport: the fields
+/// that are pure functions of (input data, ArdaConfig minus execution
+/// knobs). Wall-clock timings, the cumulative metrics snapshot, and the
+/// execution-environment fields (`num_threads`, `simd_level`) are
+/// excluded — by the determinism contract they never influence results,
+/// so two runs of the same request agree on these bytes across thread
+/// counts, SIMD levels, processes and machines. This is the payload the
+/// augmentation service returns and the byte-identity the service tests,
+/// bench `--assert-identical` mode and the CLI's --canonical-report flag
+/// compare.
+std::string DeterministicReportJson(const ArdaReport& report);
+
 /// Writes ReportToJson(report) to `path`.
 Status WriteReportJson(const ArdaReport& report, const std::string& path);
 

@@ -14,16 +14,19 @@ namespace fs = std::filesystem;
 namespace {
 
 // mtime-based freshness, the only signal available for fingerprint-less
-// version-1 cache files. Unreliable when a CSV is rewritten within the
-// filesystem's mtime granularity — which is why version-2 caches carry a
-// content fingerprint instead.
+// version-1 cache files. Equal timestamps count as stale: a CSV rewritten
+// within the filesystem's mtime granularity ends up with the same mtime
+// as the cache written just before it, and serving the cache then would
+// silently return the old table. The cost of the strict comparison is one
+// spurious re-parse when cache and CSV genuinely tied; version-2 caches
+// avoid the problem entirely with a content fingerprint.
 bool CacheIsFreshByMtime(const fs::path& cache, const fs::path& csv) {
   std::error_code ec;
   fs::file_time_type cache_time = fs::last_write_time(cache, ec);
   if (ec) return false;
   fs::file_time_type csv_time = fs::last_write_time(csv, ec);
   if (ec) return false;
-  return cache_time >= csv_time;
+  return cache_time > csv_time;
 }
 
 // Reads a whole file into a string (the CSV bytes double as parser input
@@ -151,18 +154,49 @@ Status DataRepository::LoadDirectory(const std::string& data_dir,
   return Status::Ok();
 }
 
+DataRepository::DataRepository(const DataRepository& other) {
+  *this = other;
+}
+
+DataRepository& DataRepository::operator=(const DataRepository& other) {
+  if (this == &other) return *this;
+  tables_ = other.tables_;  // shares the frames (copy-on-write)
+  std::scoped_lock lock(stats_mu_, other.stats_mu_);
+  stats_ = other.stats_;
+  return *this;
+}
+
+DataRepository::DataRepository(DataRepository&& other) noexcept {
+  *this = std::move(other);
+}
+
+DataRepository& DataRepository::operator=(DataRepository&& other) noexcept {
+  if (this == &other) return *this;
+  tables_ = std::move(other.tables_);
+  std::scoped_lock lock(stats_mu_, other.stats_mu_);
+  stats_ = std::move(other.stats_);
+  return *this;
+}
+
 Status DataRepository::Add(std::string name, df::DataFrame table) {
-  auto [it, inserted] = tables_.emplace(std::move(name), std::move(table));
+  auto [it, inserted] = tables_.emplace(
+      std::move(name),
+      std::make_shared<const df::DataFrame>(std::move(table)));
   if (!inserted) {
     return Status::AlreadyExists("table already registered: " + it->first);
   }
+  std::lock_guard<std::mutex> lock(stats_mu_);
   stats_.erase(it->first);
   return Status::Ok();
 }
 
 void DataRepository::AddOrReplace(std::string name, df::DataFrame table) {
-  stats_.erase(name);
-  tables_[std::move(name)] = std::move(table);
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    stats_.erase(name);
+  }
+  tables_[std::move(name)] =
+      std::make_shared<const df::DataFrame>(std::move(table));
 }
 
 bool DataRepository::Has(const std::string& name) const {
@@ -175,19 +209,20 @@ Result<const df::DataFrame*> DataRepository::Get(
   if (it == tables_.end()) {
     return Status::NotFound("no such table: " + name);
   }
-  return &it->second;
+  return it->second.get();
 }
 
 const df::DataFrame& DataRepository::GetOrDie(const std::string& name) const {
   auto it = tables_.find(name);
   ARDA_CHECK(it != tables_.end());
-  return it->second;
+  return *it->second;
 }
 
 Status DataRepository::Remove(const std::string& name) {
   if (tables_.erase(name) == 0) {
     return Status::NotFound("no such table: " + name);
   }
+  std::lock_guard<std::mutex> lock(stats_mu_);
   stats_.erase(name);
   return Status::Ok();
 }
@@ -195,17 +230,25 @@ Status DataRepository::Remove(const std::string& name) {
 const df::TableStats* DataRepository::Stats(const std::string& name) const {
   auto table_it = tables_.find(name);
   if (table_it == tables_.end()) return nullptr;
+  // Memoization is serialized: concurrent first calls on one table compute
+  // once and every caller sees the same object. Holding the lock across
+  // ComputeTableStats trades some concurrency for never computing a
+  // catalog twice; stats are computed per table per process lifetime.
+  std::lock_guard<std::mutex> lock(stats_mu_);
   auto it = stats_.find(name);
   if (it == stats_.end()) {
-    it = stats_.emplace(name, df::ComputeTableStats(table_it->second))
+    it = stats_
+             .emplace(name, std::make_shared<const df::TableStats>(
+                                df::ComputeTableStats(*table_it->second)))
              .first;
   }
-  return &it->second;
+  return it->second.get();
 }
 
 void DataRepository::SetStats(const std::string& name,
                               df::TableStats stats) {
-  stats_[name] = std::move(stats);
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  stats_[name] = std::make_shared<const df::TableStats>(std::move(stats));
 }
 
 std::vector<std::string> DataRepository::Names() const {

@@ -2,6 +2,8 @@
 #define ARDA_DISCOVERY_REPOSITORY_H_
 
 #include <map>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -40,8 +42,30 @@ struct LoadStats {
 /// An in-process stand-in for a data lake / open-data repository: a named
 /// collection of tables the discovery system searches and ARDA joins
 /// against.
+///
+/// Tables and their statistics are held through shared_ptr, so copying a
+/// repository is cheap (it shares the frames, copy-on-write at table
+/// granularity): the augmentation service builds each ingest as a copy of
+/// the current repository, replaces only the re-loaded tables, and swaps
+/// the copy in atomically while in-flight readers keep the old snapshot
+/// alive. Mutating one copy never affects another.
+///
+/// Thread safety: a const DataRepository is safe to read from any number
+/// of threads concurrently, including first Stats() calls (memoization is
+/// internally synchronized). Mutations (Add/AddOrReplace/Remove/
+/// LoadDirectory) require external exclusion — the service only mutates
+/// never-published copies.
 class DataRepository {
  public:
+  DataRepository() = default;
+  /// Copies share the underlying frames/statistics (copy-on-write).
+  DataRepository(const DataRepository& other);
+  DataRepository& operator=(const DataRepository& other);
+  /// Moves transfer the maps; the mutex is not moved (each repository
+  /// owns its own).
+  DataRepository(DataRepository&& other) noexcept;
+  DataRepository& operator=(DataRepository&& other) noexcept;
+
   /// Registers a table under `name`. Fails on duplicate names.
   Status Add(std::string name, df::DataFrame table);
 
@@ -65,7 +89,9 @@ class DataRepository {
   /// source fingerprint (size + FNV-1a hash of the CSV bytes) matches is
   /// deserialized instead of parsing the CSV (docs/columnar_format.md) and
   /// its persisted statistics catalog is installed; fingerprint-less
-  /// version-1 caches fall back to an mtime comparison. A missing/stale
+  /// version-1 caches fall back to an mtime comparison in which equal
+  /// timestamps count as STALE (a CSV rewritten within the filesystem's
+  /// timestamp granularity must not be served from cache). A missing/stale
   /// cache entry is rewritten after the CSV parse (best-effort), with the
   /// fingerprint and freshly computed stats. Any columnar failure —
   /// corruption, version skew, injected `columnar_read`/`stats_decode`
@@ -82,9 +108,10 @@ class DataRepository {
   /// Per-column statistics catalog of a table (docs: DESIGN.md "Discovery
   /// statistics catalog"). Computed lazily on first request and memoized;
   /// LoadDirectory seeds it from cached `.ardac` meta blocks. Returns
-  /// nullptr for unknown tables. Not safe for concurrent first calls on
-  /// the same table (the pipeline queries it from the single-threaded
-  /// discovery/planning stages).
+  /// nullptr for unknown tables. Safe for concurrent calls (including
+  /// racing first calls on the same table): memoization is serialized on
+  /// an internal mutex, so concurrent service requests over one shared
+  /// snapshot each see the single computed catalog.
   const df::TableStats* Stats(const std::string& name) const;
 
   /// Installs a precomputed statistics catalog for `name` (e.g. one
@@ -97,10 +124,17 @@ class DataRepository {
   size_t size() const { return tables_.size(); }
 
  private:
-  std::map<std::string, df::DataFrame> tables_;
+  /// Frames are immutable once registered (const through the shared_ptr),
+  /// which is what makes sharing them across repository copies sound.
+  std::map<std::string, std::shared_ptr<const df::DataFrame>> tables_;
   /// Lazily computed per-table stats; invalidated whenever the table
-  /// changes. Mutable so Stats() can memoize through a const repository.
-  mutable std::map<std::string, df::TableStats> stats_;
+  /// changes. Mutable + mutex so Stats() can memoize through a const
+  /// repository under concurrent readers. The shared_ptr targets are
+  /// stable, so pointers handed out by Stats() survive later memoization
+  /// of other tables.
+  mutable std::mutex stats_mu_;
+  mutable std::map<std::string, std::shared_ptr<const df::TableStats>>
+      stats_;
 };
 
 }  // namespace arda::discovery

@@ -1,0 +1,470 @@
+#include "service/service.h"
+
+#include <utility>
+
+#include "core/options.h"
+#include "core/report_io.h"
+#include "dataframe/csv.h"
+#include "simd/simd.h"
+#include "util/fault.h"
+#include "util/metrics.h"
+#include "util/string_util.h"
+#include "util/thread_pool.h"
+#include "util/timer.h"
+#include "util/trace.h"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <fcntl.h>
+#include <unistd.h>
+#define ARDA_SERVICE_HAVE_PIPE 1
+#endif
+
+#include <future>
+
+namespace arda::service {
+
+namespace {
+
+// Response payloads are json::Serialize output (members in sorted key
+// order), so two processes building the same logical response agree on
+// the bytes — the service half of the byte-identity contract.
+std::string StatusResponse(const char* status, const std::string& error) {
+  std::map<std::string, json::Value> members;
+  members.emplace("status", json::Value::MakeString(status));
+  if (!error.empty()) {
+    members.emplace("error", json::Value::MakeString(error));
+  }
+  return json::Serialize(json::Value::MakeObject(std::move(members)));
+}
+
+std::string ShuttingDownResponse() {
+  return StatusResponse("shutting_down",
+                        "server is draining; retry against a new instance");
+}
+
+// The request fields that determine augmentation results, in their
+// canonical (CLI-equivalent) spelling. `threads` is deliberately not one
+// of them: results are thread-count-invariant, so requests differing only
+// in `threads` share a resident result.
+core::RunOptions OptionsFromRequest(const json::Value& request) {
+  core::RunOptions options;
+  options.task = request.StringOr("task", options.task);
+  options.selector = request.StringOr("selector", options.selector);
+  options.plan = request.StringOr("plan", options.plan);
+  options.plan_order = request.StringOr("plan_order", options.plan_order);
+  options.soft_join = request.StringOr("soft_join", options.soft_join);
+  options.seed = static_cast<uint64_t>(
+      request.IntOr("seed", static_cast<int64_t>(options.seed)));
+  options.num_threads = static_cast<size_t>(request.IntOr("threads", 0));
+  return options;
+}
+
+std::string CanonicalAugmentKey(const json::Value& request,
+                                uint64_t generation) {
+  const core::RunOptions options = OptionsFromRequest(request);
+  std::map<std::string, json::Value> members;
+  members.emplace("base",
+                  json::Value::MakeString(request.StringOr("base", "")));
+  members.emplace("target",
+                  json::Value::MakeString(request.StringOr("target", "")));
+  members.emplace("task", json::Value::MakeString(options.task));
+  members.emplace("selector", json::Value::MakeString(options.selector));
+  members.emplace("plan", json::Value::MakeString(options.plan));
+  members.emplace("plan_order",
+                  json::Value::MakeString(options.plan_order));
+  members.emplace("soft_join", json::Value::MakeString(options.soft_join));
+  members.emplace("seed", json::Value::MakeInt(
+                              static_cast<int64_t>(options.seed)));
+  return json::Serialize(json::Value::MakeObject(std::move(members))) +
+         "@" + StrFormat("%llu", static_cast<unsigned long long>(generation));
+}
+
+}  // namespace
+
+ArdaService::ArdaService(ServiceConfig config)
+    : config_(std::move(config)) {}
+
+ArdaService::~ArdaService() {
+  if (started_) {
+    BeginShutdown();
+    Wait();
+  }
+#if defined(ARDA_SERVICE_HAVE_PIPE)
+  if (wake_read_fd_ >= 0) ::close(wake_read_fd_);
+  if (wake_write_fd_ >= 0) ::close(wake_write_fd_);
+#endif
+}
+
+Result<ArdaService::Snapshot> ArdaService::LoadSnapshot(
+    const std::string& data_dir, const std::string& table_cache,
+    size_t load_threads, uint64_t generation,
+    const discovery::DataRepository* base) {
+  Snapshot snapshot;
+  snapshot.generation = generation;
+  // Ingest starts from a copy of the serving repository: the copy shares
+  // every frame (copy-on-write at table granularity), LoadDirectory
+  // replaces only the tables it re-loads, and tables whose `.ardac` cache
+  // is fresh cost a fingerprint check instead of a parse. The published
+  // snapshot is never mutated — in-flight requests keep the shared_ptr
+  // they started with.
+  auto repo = base == nullptr
+                  ? std::make_shared<discovery::DataRepository>()
+                  : std::make_shared<discovery::DataRepository>(*base);
+  df::CsvOptions csv_options;
+  csv_options.num_threads = load_threads;
+  discovery::LoadStats stats;
+  ARDA_RETURN_IF_ERROR(
+      repo->LoadDirectory(data_dir, table_cache, csv_options, &stats));
+  for (const discovery::IngestSkip& fallback : stats.fallbacks) {
+    snapshot.ingest_skips.push_back(
+        {fallback.table, "ingest", fallback.reason});
+  }
+  snapshot.tables_loaded = stats.tables_loaded;
+  snapshot.cache_hits = stats.cache_hits;
+  snapshot.repo = std::move(repo);
+  return snapshot;
+}
+
+Status ArdaService::Start() {
+  ARDA_CHECK(!started_);
+  ARDA_ASSIGN_OR_RETURN(
+      Snapshot snapshot,
+      LoadSnapshot(config_.data_dir, config_.table_cache,
+                   config_.load_threads, /*generation=*/1));
+  {
+    std::lock_guard<std::mutex> lock(snapshot_mu_);
+    snapshot_ = std::make_shared<const Snapshot>(std::move(snapshot));
+    next_generation_ = 2;
+  }
+  metrics::SetGauge("service.snapshot_generation", 1.0);
+
+#if defined(ARDA_SERVICE_HAVE_PIPE)
+  int fds[2];
+  if (::pipe(fds) != 0) {
+    return Status::IoError("cannot create service wake pipe");
+  }
+  // The wake byte is written at most once and never drained, so every
+  // level-triggered poller wakes; non-blocking guards the writer anyway.
+  ::fcntl(fds[0], F_SETFL, O_NONBLOCK);
+  ::fcntl(fds[1], F_SETFL, O_NONBLOCK);
+  wake_read_fd_ = fds[0];
+  wake_write_fd_ = fds[1];
+#endif
+
+  ARDA_ASSIGN_OR_RETURN(listener_, ListenLocal(config_.port));
+  ARDA_ASSIGN_OR_RETURN(port_, BoundPort(listener_));
+  accept_thread_ = std::thread(&ArdaService::AcceptLoop, this);
+  started_ = true;
+  return Status::Ok();
+}
+
+SnapshotInfo ArdaService::snapshot_info() const {
+  std::shared_ptr<const Snapshot> snapshot = CurrentSnapshot();
+  SnapshotInfo info;
+  if (snapshot != nullptr) {
+    info.generation = snapshot->generation;
+    info.tables_loaded = snapshot->tables_loaded;
+    info.cache_hits = snapshot->cache_hits;
+  }
+  return info;
+}
+
+void ArdaService::BeginShutdown() {
+  bool expected = false;
+  if (!shutting_down_.compare_exchange_strong(expected, true)) return;
+#if defined(ARDA_SERVICE_HAVE_PIPE)
+  if (wake_write_fd_ >= 0) {
+    // Single wake byte; see Start. A full pipe would mean it was already
+    // written, which is just as good.
+    [[maybe_unused]] ssize_t n = ::write(wake_write_fd_, "x", 1);
+  }
+#endif
+}
+
+void ArdaService::Wait() {
+  if (accept_thread_.joinable()) accept_thread_.join();
+  std::vector<std::thread> connections;
+  {
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    if (joined_) return;
+    connections.swap(connections_);
+    joined_ = true;
+  }
+  for (std::thread& t : connections) {
+    if (t.joinable()) t.join();
+  }
+}
+
+std::shared_ptr<const ArdaService::Snapshot> ArdaService::CurrentSnapshot()
+    const {
+  std::lock_guard<std::mutex> lock(snapshot_mu_);
+  return snapshot_;
+}
+
+void ArdaService::AcceptLoop() {
+  for (;;) {
+    Result<Socket> conn = AcceptInterruptible(listener_, wake_read_fd_);
+    if (!conn.ok()) break;  // shutdown wake or fatal socket error
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    if (shutting_down_.load(std::memory_order_relaxed)) break;
+    connections_.emplace_back(&ArdaService::ConnectionLoop, this,
+                              std::move(conn).value());
+  }
+  listener_.Close();
+}
+
+void ArdaService::ConnectionLoop(Socket socket) {
+  for (;;) {
+    if (shutting_down_.load(std::memory_order_relaxed)) break;
+    Result<std::string> request = RecvFrame(socket.fd(), wake_read_fd_);
+    if (!request.ok()) break;  // clean close, shutdown wake, or error
+    // A request already on the wire when shutdown begins still gets a
+    // response (graceful drain); the next poll breaks the loop.
+    const std::string response = HandleRequest(request.value());
+    if (!SendFrame(socket.fd(), response).ok()) break;
+  }
+}
+
+std::string ArdaService::HandleRequest(const std::string& request_json) {
+  requests_total_.fetch_add(1, std::memory_order_relaxed);
+  metrics::IncrementCounter("service.requests_total");
+  Stopwatch watch;
+  Result<std::string> response = Dispatch(request_json);
+  metrics::ObserveLatency("service.request_seconds",
+                          watch.ElapsedSeconds());
+  if (response.ok()) return std::move(response).value();
+  metrics::IncrementCounter("service.request_errors_total");
+  return StatusResponse("error", response.status().ToString());
+}
+
+Result<std::string> ArdaService::Dispatch(const std::string& request_json) {
+  // The admission/decode fault site: an armed `service_accept` rejects
+  // the request with an error response while the connection and server
+  // keep going.
+  ARDA_FAULT_POINT(fault::kServiceAccept);
+  ARDA_ASSIGN_OR_RETURN(json::Value request, json::Parse(request_json));
+  const std::string type = request.StringOr("type", "");
+  trace::TraceSpan span("service.request", "service", type);
+  if (type == "ping") return HandlePing();
+  if (type == "stats") return HandleStats();
+  if (type == "augment") return HandleAugment(request);
+  if (type == "ingest") return HandleIngest(request);
+  if (type == "shutdown") {
+    // The response is serialized back on the connection thread after this
+    // returns, so the client sees the acknowledgement before the drain
+    // closes its connection.
+    BeginShutdown();
+    return StatusResponse("ok", "");
+  }
+  return Status::InvalidArgument("unknown request type: " +
+                                 (type.empty() ? "(missing)" : type));
+}
+
+std::string ArdaService::HandlePing() {
+  std::map<std::string, json::Value> members;
+  const SnapshotInfo info = snapshot_info();
+  members.emplace("server", json::Value::MakeString("arda_serve"));
+  members.emplace("simd_level",
+                  json::Value::MakeString(simd::ActiveLevelName()));
+  members.emplace("snapshot_generation",
+                  json::Value::MakeInt(static_cast<int64_t>(
+                      info.generation)));
+  members.emplace("status", json::Value::MakeString("ok"));
+  members.emplace("tables_loaded",
+                  json::Value::MakeInt(static_cast<int64_t>(
+                      info.tables_loaded)));
+  return json::Serialize(json::Value::MakeObject(std::move(members)));
+}
+
+std::string ArdaService::HandleStats() {
+  const SnapshotInfo info = snapshot_info();
+  size_t queue_depth;
+  {
+    std::lock_guard<std::mutex> lock(admit_mu_);
+    queue_depth = inflight_;
+  }
+  size_t resident;
+  {
+    std::lock_guard<std::mutex> lock(results_mu_);
+    resident = results_.size();
+  }
+  // Not part of the byte-identity surface (latency and cumulative metrics
+  // are never deterministic), so the embedded metrics snapshot keeps the
+  // pretty-printed MetricsToJson layout dashboards already parse.
+  std::string out = "{\"status\": \"ok\", ";
+  out += StrFormat("\"snapshot_generation\": %llu, ",
+                   static_cast<unsigned long long>(info.generation));
+  out += StrFormat("\"tables_loaded\": %zu, ", info.tables_loaded);
+  out += StrFormat("\"queue_depth\": %zu, ", queue_depth);
+  out += StrFormat("\"resident_results\": %zu, ", resident);
+  out += StrFormat(
+      "\"requests_total\": %llu, ",
+      static_cast<unsigned long long>(
+          requests_total_.load(std::memory_order_relaxed)));
+  out += "\"metrics\": " +
+         core::MetricsToJson(metrics::GlobalRegistry().Snapshot()) + "}";
+  return out;
+}
+
+Result<std::string> ArdaService::HandleAugment(const json::Value& request) {
+  if (shutting_down_.load(std::memory_order_relaxed)) {
+    return ShuttingDownResponse();
+  }
+  std::shared_ptr<const Snapshot> snapshot = CurrentSnapshot();
+  const std::string key = CanonicalAugmentKey(request,
+                                              snapshot->generation);
+  {
+    std::lock_guard<std::mutex> lock(results_mu_);
+    auto it = results_.find(key);
+    if (it != results_.end()) {
+      metrics::IncrementCounter("service.result_cache_hits_total");
+      return it->second;
+    }
+  }
+
+  // Admission gate: bounded concurrent admissions, explicit overload
+  // rejection instead of unbounded queueing.
+  {
+    std::lock_guard<std::mutex> lock(admit_mu_);
+    if (inflight_ >= config_.max_queue_depth) {
+      metrics::IncrementCounter("service.overload_rejected_total");
+      return StatusResponse(
+          "overloaded",
+          StrFormat("admission queue full (%zu in flight)", inflight_));
+    }
+    ++inflight_;
+    metrics::SetGauge("service.queue_depth",
+                      static_cast<double>(inflight_));
+    trace::CounterEvent("service.queue_depth",
+                        static_cast<double>(inflight_));
+  }
+
+  Stopwatch watch;
+  std::promise<Result<std::string>> promise;
+  std::future<Result<std::string>> future = promise.get_future();
+  GlobalThreadPool().Submit([this, &request, &snapshot, &promise] {
+    promise.set_value(RunAugment(request, snapshot));
+  });
+  Result<std::string> result = future.get();
+  {
+    std::lock_guard<std::mutex> lock(admit_mu_);
+    --inflight_;
+    metrics::SetGauge("service.queue_depth",
+                      static_cast<double>(inflight_));
+    trace::CounterEvent("service.queue_depth",
+                        static_cast<double>(inflight_));
+  }
+  metrics::ObserveLatency("service.augment_seconds",
+                          watch.ElapsedSeconds());
+  if (!result.ok()) return result.status();
+
+  {
+    std::lock_guard<std::mutex> lock(results_mu_);
+    if (results_.emplace(key, result.value()).second) {
+      results_order_.push_back(key);
+      while (results_.size() > config_.max_resident_results &&
+             !results_order_.empty()) {
+        results_.erase(results_order_.front());
+        results_order_.pop_front();
+      }
+    }
+  }
+  return result;
+}
+
+Result<std::string> ArdaService::RunAugment(
+    const json::Value& request,
+    std::shared_ptr<const Snapshot> snapshot) {
+  trace::StageScope scope("service.run_augment");
+  const std::string base_name = request.StringOr("base", "");
+  const std::string target = request.StringOr("target", "");
+  if (base_name.empty() || target.empty()) {
+    return Status::InvalidArgument(
+        "augment request needs \"base\" and \"target\"");
+  }
+  const core::RunOptions options = OptionsFromRequest(request);
+  ARDA_ASSIGN_OR_RETURN(core::ArdaConfig config,
+                        core::MakeArdaConfig(options));
+  ARDA_ASSIGN_OR_RETURN(ml::TaskType task_type,
+                        core::ParseTaskType(options.task));
+  ARDA_ASSIGN_OR_RETURN(const df::DataFrame* base,
+                        snapshot->repo->Get(base_name));
+
+  core::AugmentationTask task;
+  task.base = *base;
+  task.target_column = target;
+  task.task = task_type;
+  task.repo = snapshot->repo.get();
+  task.base_table_name = base_name;
+  task.ingest_skips = snapshot->ingest_skips;
+  // No interrupt_check: an admitted request always runs to completion,
+  // even during graceful shutdown (the drain waits for it).
+
+  core::Arda arda(config);
+  ARDA_ASSIGN_OR_RETURN(core::ArdaReport report, arda.Run(task));
+
+  std::map<std::string, json::Value> members;
+  members.emplace("generation",
+                  json::Value::MakeInt(static_cast<int64_t>(
+                      snapshot->generation)));
+  // The deterministic report rides as an escaped JSON string: unescaping
+  // reproduces DeterministicReportJson byte-for-byte, which is what the
+  // byte-identity tests and the bench --assert-identical mode compare
+  // against the CLI's --canonical-report output.
+  members.emplace("report_json", json::Value::MakeString(
+                                     core::DeterministicReportJson(report)));
+  members.emplace("status", json::Value::MakeString("ok"));
+  return json::Serialize(json::Value::MakeObject(std::move(members)));
+}
+
+Result<std::string> ArdaService::HandleIngest(const json::Value& request) {
+  if (shutting_down_.load(std::memory_order_relaxed)) {
+    return ShuttingDownResponse();
+  }
+  // One ingest at a time; augment readers never block on this (they hold
+  // their own shared_ptr to the snapshot they started with).
+  std::lock_guard<std::mutex> ingest_lock(ingest_mu_);
+  trace::StageScope scope("service.ingest");
+  Stopwatch watch;
+  const std::string data_dir =
+      request.StringOr("data_dir", config_.data_dir);
+  const std::string table_cache =
+      request.StringOr("table_cache", config_.table_cache);
+  uint64_t generation;
+  {
+    std::lock_guard<std::mutex> lock(snapshot_mu_);
+    generation = next_generation_;
+  }
+  std::shared_ptr<const Snapshot> current = CurrentSnapshot();
+  ARDA_ASSIGN_OR_RETURN(
+      Snapshot snapshot,
+      LoadSnapshot(data_dir, table_cache, config_.load_threads, generation,
+                   current == nullptr ? nullptr : current->repo.get()));
+  // The swap fault site sits after the (expensive) load, modelling a
+  // failure at the last moment: the new snapshot is discarded and the
+  // previous one keeps serving (asserted by the fault-matrix tests).
+  ARDA_FAULT_POINT(fault::kServiceIngest);
+  std::map<std::string, json::Value> members;
+  members.emplace("cache_hits",
+                  json::Value::MakeInt(static_cast<int64_t>(
+                      snapshot.cache_hits)));
+  members.emplace("generation",
+                  json::Value::MakeInt(static_cast<int64_t>(generation)));
+  members.emplace("status", json::Value::MakeString("ok"));
+  members.emplace("tables_loaded",
+                  json::Value::MakeInt(static_cast<int64_t>(
+                      snapshot.tables_loaded)));
+  {
+    std::lock_guard<std::mutex> lock(snapshot_mu_);
+    snapshot_ = std::make_shared<const Snapshot>(std::move(snapshot));
+    next_generation_ = generation + 1;
+  }
+  metrics::IncrementCounter("service.ingests_total");
+  metrics::SetGauge("service.snapshot_generation",
+                    static_cast<double>(generation));
+  metrics::ObserveLatency("service.ingest_seconds",
+                          watch.ElapsedSeconds());
+  return json::Serialize(json::Value::MakeObject(std::move(members)));
+}
+
+}  // namespace arda::service

@@ -1,0 +1,267 @@
+#include "service/wire.h"
+
+#include <cerrno>
+#include <cstring>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+#define ARDA_HAVE_SOCKETS 1
+#endif
+
+namespace arda::service {
+
+#if defined(ARDA_HAVE_SOCKETS)
+
+namespace {
+
+Status Errno(const char* what) {
+  return Status::IoError(std::string(what) + ": " +
+                         std::strerror(errno));
+}
+
+// Polls until `fd` is readable. When `wake_fd` fires first and `fd` has
+// nothing pending, reports the interruption; `fd` readability wins when
+// both are ready so a shutdown still drains requests already in flight
+// on the wire.
+Status WaitReadable(int fd, int wake_fd) {
+  for (;;) {
+    struct pollfd fds[2];
+    fds[0] = {fd, POLLIN, 0};
+    nfds_t count = 1;
+    if (wake_fd >= 0) {
+      fds[1] = {wake_fd, POLLIN, 0};
+      count = 2;
+    }
+    int rc = ::poll(fds, count, -1);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      return Errno("poll");
+    }
+    if (fds[0].revents != 0) return Status::Ok();
+    if (count == 2 && fds[1].revents != 0) {
+      return Status::FailedPrecondition("interrupted");
+    }
+  }
+}
+
+// Reads exactly `len` bytes. `eof_ok` distinguishes a clean close before
+// any byte (NotFound) from a close mid-record (IoError).
+Status ReadExact(int fd, int wake_fd, char* out, size_t len, bool eof_ok) {
+  size_t got = 0;
+  while (got < len) {
+    // Only wait for the wake fd before the first byte of a record: once a
+    // peer has started a frame we finish reading it even during shutdown.
+    ARDA_RETURN_IF_ERROR(WaitReadable(fd, got == 0 ? wake_fd : -1));
+    ssize_t n = ::recv(fd, out + got, len - got, 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Errno("recv");
+    }
+    if (n == 0) {
+      if (got == 0 && eof_ok) return Status::NotFound("closed");
+      return Status::IoError("connection closed mid-frame");
+    }
+    got += static_cast<size_t>(n);
+  }
+  return Status::Ok();
+}
+
+Status WriteExact(int fd, const char* data, size_t len) {
+  size_t sent = 0;
+  while (sent < len) {
+    // MSG_NOSIGNAL: a vanished peer must surface as EPIPE, not SIGPIPE.
+    ssize_t n = ::send(fd, data + sent, len - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Errno("send");
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Socket& Socket::operator=(Socket&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void Socket::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+int Socket::Release() {
+  int fd = fd_;
+  fd_ = -1;
+  return fd;
+}
+
+Result<Socket> ListenLocal(uint16_t port, int backlog) {
+  Socket sock(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!sock.valid()) return Errno("socket");
+  int one = 1;
+  ::setsockopt(sock.fd(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  struct sockaddr_in addr = {};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(sock.fd(), reinterpret_cast<struct sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    return Errno("bind");
+  }
+  if (::listen(sock.fd(), backlog) != 0) return Errno("listen");
+  return sock;
+}
+
+Result<uint16_t> BoundPort(const Socket& socket) {
+  struct sockaddr_in addr = {};
+  socklen_t len = sizeof(addr);
+  if (::getsockname(socket.fd(),
+                    reinterpret_cast<struct sockaddr*>(&addr),
+                    &len) != 0) {
+    return Errno("getsockname");
+  }
+  return static_cast<uint16_t>(ntohs(addr.sin_port));
+}
+
+Result<Socket> ConnectLocal(uint16_t port) {
+  Socket sock(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!sock.valid()) return Errno("socket");
+  struct sockaddr_in addr = {};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  int rc;
+  do {
+    rc = ::connect(sock.fd(), reinterpret_cast<struct sockaddr*>(&addr),
+                   sizeof(addr));
+  } while (rc != 0 && errno == EINTR);
+  if (rc != 0) return Errno("connect");
+  int one = 1;
+  ::setsockopt(sock.fd(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return sock;
+}
+
+Result<Socket> AcceptInterruptible(const Socket& listener, int wake_fd) {
+  for (;;) {
+    ARDA_RETURN_IF_ERROR(WaitReadable(listener.fd(), wake_fd));
+    int fd = ::accept(listener.fd(), nullptr, nullptr);
+    if (fd < 0) {
+      // A connection that vanished between poll and accept is not an
+      // error for the server loop; wait for the next one.
+      if (errno == EINTR || errno == ECONNABORTED || errno == EAGAIN ||
+          errno == EWOULDBLOCK) {
+        continue;
+      }
+      return Errno("accept");
+    }
+    int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    return Socket(fd);
+  }
+}
+
+Status SendFrame(int fd, std::string_view payload) {
+  if (payload.size() > kMaxFrameBytes) {
+    return Status::InvalidArgument("frame payload too large");
+  }
+  const uint32_t len = static_cast<uint32_t>(payload.size());
+  char prefix[4] = {static_cast<char>(len >> 24),
+                    static_cast<char>(len >> 16),
+                    static_cast<char>(len >> 8), static_cast<char>(len)};
+  ARDA_RETURN_IF_ERROR(WriteExact(fd, prefix, sizeof(prefix)));
+  return WriteExact(fd, payload.data(), payload.size());
+}
+
+Result<std::string> RecvFrame(int fd, int wake_fd) {
+  char prefix[4];
+  ARDA_RETURN_IF_ERROR(
+      ReadExact(fd, wake_fd, prefix, sizeof(prefix), /*eof_ok=*/true));
+  const uint32_t len =
+      (static_cast<uint32_t>(static_cast<unsigned char>(prefix[0])) << 24) |
+      (static_cast<uint32_t>(static_cast<unsigned char>(prefix[1])) << 16) |
+      (static_cast<uint32_t>(static_cast<unsigned char>(prefix[2])) << 8) |
+      static_cast<uint32_t>(static_cast<unsigned char>(prefix[3]));
+  if (len > kMaxFrameBytes) {
+    return Status::IoError("frame length prefix exceeds limit");
+  }
+  std::string payload(len, '\0');
+  if (len > 0) {
+    ARDA_RETURN_IF_ERROR(
+        ReadExact(fd, -1, payload.data(), len, /*eof_ok=*/false));
+  }
+  return payload;
+}
+
+Result<ServiceClient> ServiceClient::Connect(uint16_t port) {
+  ARDA_ASSIGN_OR_RETURN(Socket sock, ConnectLocal(port));
+  return ServiceClient(std::move(sock));
+}
+
+Result<std::string> ServiceClient::RoundTrip(std::string_view request) {
+  ARDA_RETURN_IF_ERROR(SendFrame(socket_.fd(), request));
+  return RecvFrame(socket_.fd());
+}
+
+Result<json::Value> ServiceClient::Call(const json::Value& request) {
+  ARDA_ASSIGN_OR_RETURN(std::string response,
+                        RoundTrip(json::Serialize(request)));
+  return json::Parse(response);
+}
+
+#else  // !ARDA_HAVE_SOCKETS
+
+// Non-POSIX stub: the service is a daemon feature; every entry point
+// reports the platform gap instead of failing to link.
+namespace {
+Status Unsupported() {
+  return Status::FailedPrecondition(
+      "the augmentation service requires POSIX sockets");
+}
+}  // namespace
+
+Socket& Socket::operator=(Socket&& other) noexcept {
+  fd_ = other.fd_;
+  other.fd_ = -1;
+  return *this;
+}
+void Socket::Close() { fd_ = -1; }
+int Socket::Release() {
+  int fd = fd_;
+  fd_ = -1;
+  return fd;
+}
+Result<Socket> ListenLocal(uint16_t, int) { return Unsupported(); }
+Result<uint16_t> BoundPort(const Socket&) { return Unsupported(); }
+Result<Socket> ConnectLocal(uint16_t) { return Unsupported(); }
+Result<Socket> AcceptInterruptible(const Socket&, int) {
+  return Unsupported();
+}
+Status SendFrame(int, std::string_view) { return Unsupported(); }
+Result<std::string> RecvFrame(int, int) { return Unsupported(); }
+Result<ServiceClient> ServiceClient::Connect(uint16_t) {
+  return Unsupported();
+}
+Result<std::string> ServiceClient::RoundTrip(std::string_view) {
+  return Unsupported();
+}
+Result<json::Value> ServiceClient::Call(const json::Value&) {
+  return Unsupported();
+}
+
+#endif  // ARDA_HAVE_SOCKETS
+
+}  // namespace arda::service

@@ -1,0 +1,95 @@
+#ifndef ARDA_SERVICE_WIRE_H_
+#define ARDA_SERVICE_WIRE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "util/json.h"
+#include "util/status.h"
+
+/// \file
+/// Wire protocol of the augmentation service (docs/service.md): a TCP
+/// stream of length-prefixed JSON frames. Each frame is a 4-byte
+/// big-endian unsigned payload length followed by exactly that many bytes
+/// of UTF-8 JSON. The client sends one request frame and reads one
+/// response frame; connections are persistent (any number of
+/// request/response pairs) and either side closes to end the
+/// conversation. Frames above kMaxFrameBytes are rejected so a corrupt
+/// length prefix cannot make a peer allocate unbounded memory.
+
+namespace arda::service {
+
+/// Upper bound on a single frame payload (64 MiB).
+inline constexpr size_t kMaxFrameBytes = 64u << 20;
+
+/// Move-only RAII wrapper of a file descriptor.
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) : fd_(fd) {}
+  ~Socket() { Close(); }
+  Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Socket& operator=(Socket&& other) noexcept;
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+
+  int fd() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+  void Close();
+  /// Releases ownership of the descriptor without closing it.
+  int Release();
+
+ private:
+  int fd_ = -1;
+};
+
+/// Opens a listening TCP socket on 127.0.0.1:`port` (port 0 picks an
+/// ephemeral port; read it back with BoundPort).
+Result<Socket> ListenLocal(uint16_t port, int backlog = 64);
+
+/// The local port a socket is bound to.
+Result<uint16_t> BoundPort(const Socket& socket);
+
+/// Connects to 127.0.0.1:`port` (blocking).
+Result<Socket> ConnectLocal(uint16_t port);
+
+/// Accepts one connection from a listening socket. `wake_fd` (when >= 0)
+/// is a second descriptor polled alongside: when it becomes readable
+/// before a connection arrives, returns FailedPrecondition("interrupted")
+/// without accepting — the server's shutdown path.
+Result<Socket> AcceptInterruptible(const Socket& listener, int wake_fd);
+
+/// Writes one frame (length prefix + payload). Retries EINTR/partial
+/// writes; fails with InvalidArgument when the payload exceeds
+/// kMaxFrameBytes and IoError when the peer is gone.
+Status SendFrame(int fd, std::string_view payload);
+
+/// Reads one frame payload. `wake_fd` as in AcceptInterruptible: a wake
+/// with no pending data returns FailedPrecondition("interrupted"). A peer
+/// that closes cleanly between frames returns NotFound("closed"); a close
+/// mid-frame, an oversized length prefix, or any socket error returns
+/// IoError.
+Result<std::string> RecvFrame(int fd, int wake_fd = -1);
+
+/// A blocking request/response client of the service, used by the load
+/// generator, the tests and the CI smoke lane.
+class ServiceClient {
+ public:
+  /// Connects to a server on 127.0.0.1:`port`.
+  static Result<ServiceClient> Connect(uint16_t port);
+
+  /// Sends one raw request payload and returns the raw response payload.
+  Result<std::string> RoundTrip(std::string_view request);
+
+  /// Serializes `request`, round-trips it, and parses the response.
+  Result<json::Value> Call(const json::Value& request);
+
+ private:
+  explicit ServiceClient(Socket socket) : socket_(std::move(socket)) {}
+  Socket socket_;
+};
+
+}  // namespace arda::service
+
+#endif  // ARDA_SERVICE_WIRE_H_

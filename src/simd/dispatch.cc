@@ -8,6 +8,7 @@
 
 #include <atomic>
 #include <cstdlib>
+#include <mutex>
 
 #include "simd/kernels.h"
 #include "util/metrics.h"
@@ -42,12 +43,31 @@ SimdLevel ResolveFromEnv() {
   return HighestSupported();
 }
 
+// The dispatch level. ARDA_SIMD is consulted exactly once per process —
+// by the explicit InitFromEnvironment() call in main(), or lazily on the
+// first kernel dispatch for library embedders that never call it. Either
+// way the read happens through one std::once_flag, so no worker thread
+// ever races std::getenv against a setenv elsewhere in the process, and
+// later environment changes are deliberately invisible (the level is
+// process-wide, not per-request; see docs/observability.md).
+std::atomic<int> g_level{static_cast<int>(SimdLevel::kScalar)};
+std::once_flag g_env_once;
+
+void InitFromEnvOnce() {
+  std::call_once(g_env_once, [] {
+    g_level.store(static_cast<int>(ResolveFromEnv()),
+                  std::memory_order_relaxed);
+  });
+}
+
 std::atomic<int>& LevelStorage() {
-  static std::atomic<int> level{static_cast<int>(ResolveFromEnv())};
-  return level;
+  InitFromEnvOnce();
+  return g_level;
 }
 
 }  // namespace
+
+void InitFromEnvironment() { InitFromEnvOnce(); }
 
 bool Avx2Supported() {
 #if ARDA_SIMD_COMPILED_AVX2

@@ -36,9 +36,20 @@ enum class SimdLevel : int {
 /// built with the AVX2 translation unit.
 bool Avx2Supported();
 
-/// The level kernels dispatch on. Resolved once, on first use, from the
-/// `ARDA_SIMD` environment variable (`auto` or unset picks the highest
-/// supported level); later `SetLevel` calls re-pin it.
+/// Reads `ARDA_SIMD` and pins the dispatch level from it. The environment
+/// is consulted exactly once per process (std::once_flag) no matter how
+/// often this runs; entry points call it from main() before any worker
+/// thread starts so no thread ever races std::getenv. The resolved level
+/// is **process-wide, not per-request** — a long-lived server cannot vary
+/// it per client (use SetLevel/--simd before serving instead). Library
+/// embedders that skip this call get the same once-only resolution lazily
+/// on first kernel dispatch.
+void InitFromEnvironment();
+
+/// The level kernels dispatch on. Resolved once — by InitFromEnvironment
+/// or lazily on first use — from the `ARDA_SIMD` environment variable
+/// (`auto` or unset picks the highest supported level); later `SetLevel`
+/// calls re-pin it.
 SimdLevel ActiveLevel();
 
 /// "scalar" or "avx2".

@@ -95,10 +95,12 @@ const std::vector<std::string_view>& AllFaultSites() {
       new std::vector<std::string_view>{
           kCsvParse, kColumnarRead, kStatsDecode, kJoinKeyEncode,
           kPreAggregate, kResample, kImpute, kCholesky, kCoreset,
-          kRifs,
+          kRifs, kServiceAccept, kServiceIngest,
       };
   return *sites;
 }
+
+void InitFromEnvironment() { ArmFromEnvOnce(); }
 
 bool FaultsArmed() {
   ArmFromEnvOnce();

@@ -40,9 +40,26 @@ inline constexpr std::string_view kImpute = "impute";
 inline constexpr std::string_view kCholesky = "cholesky";
 inline constexpr std::string_view kCoreset = "coreset";
 inline constexpr std::string_view kRifs = "rifs";
+/// Service sites: request admission/decode in the daemon's connection
+/// path (the request is rejected with an error response, the connection
+/// and server survive) and snapshot construction during an `ingest`
+/// request (the ingest fails, the previous snapshot keeps serving).
+inline constexpr std::string_view kServiceAccept = "service_accept";
+inline constexpr std::string_view kServiceIngest = "service_ingest";
 
 /// Every registered fault site.
 const std::vector<std::string_view>& AllFaultSites();
+
+/// Reads `ARDA_FAULT` and arms the listed sites. The environment is
+/// consulted exactly once per process (std::once_flag) no matter how
+/// often this runs; entry points call it from main() before any worker
+/// thread starts so no thread ever races std::getenv. The armed spec is
+/// **process-wide, not per-request**: a long-lived server cannot inject
+/// faults for one client only (tests override with SetFaultSpecForTest
+/// instead). Callers that skip this get the same once-only arming lazily
+/// on the first FaultsArmed() check. A malformed spec aborts the process
+/// (tests and operators rely on the injection actually arming).
+void InitFromEnvironment();
 
 /// True when any fault site is armed (cheap: one atomic load).
 bool FaultsArmed();

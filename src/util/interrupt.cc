@@ -1,0 +1,105 @@
+#include "util/interrupt.h"
+
+#include <atomic>
+#include <csignal>
+#include <mutex>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <fcntl.h>
+#include <unistd.h>
+#define ARDA_HAVE_SELF_PIPE 1
+#else
+#define ARDA_HAVE_SELF_PIPE 0
+#endif
+
+namespace arda::interrupt {
+
+namespace {
+
+// Everything the signal handler touches is lock-free and async-signal-
+// safe: one atomic flag, one atomic signal number, one write(2) on the
+// self-pipe.
+std::atomic<bool> g_interrupted{false};
+std::atomic<int> g_signal{0};
+std::atomic<int> g_wakeup_write_fd{-1};
+std::atomic<int> g_wakeup_read_fd{-1};
+
+void WakeWaiters() {
+#if ARDA_HAVE_SELF_PIPE
+  int fd = g_wakeup_write_fd.load(std::memory_order_relaxed);
+  if (fd >= 0) {
+    char byte = 1;
+    // Best effort: a full pipe already has waiters awake. The byte is
+    // never drained outside ResetForTest, so one write wakes every
+    // future poll too.
+    [[maybe_unused]] ssize_t ignored = ::write(fd, &byte, 1);
+  }
+#endif
+}
+
+extern "C" void ArdaSignalHandler(int signum) {
+  g_signal.store(signum, std::memory_order_relaxed);
+  g_interrupted.store(true, std::memory_order_relaxed);
+  WakeWaiters();
+}
+
+void CreateSelfPipe() {
+#if ARDA_HAVE_SELF_PIPE
+  int fds[2];
+  if (::pipe(fds) != 0) return;
+  ::fcntl(fds[0], F_SETFL, O_NONBLOCK);
+  ::fcntl(fds[1], F_SETFL, O_NONBLOCK);
+  ::fcntl(fds[0], F_SETFD, FD_CLOEXEC);
+  ::fcntl(fds[1], F_SETFD, FD_CLOEXEC);
+  g_wakeup_read_fd.store(fds[0], std::memory_order_release);
+  g_wakeup_write_fd.store(fds[1], std::memory_order_release);
+#endif
+}
+
+}  // namespace
+
+void InstallSignalHandlers() {
+  static std::once_flag flag;
+  std::call_once(flag, [] {
+    CreateSelfPipe();
+#if ARDA_HAVE_SELF_PIPE
+    struct sigaction action = {};
+    action.sa_handler = &ArdaSignalHandler;
+    sigemptyset(&action.sa_mask);
+    action.sa_flags = 0;  // deliberately no SA_RESTART: EINTR wakes loops
+    sigaction(SIGINT, &action, nullptr);
+    sigaction(SIGTERM, &action, nullptr);
+#else
+    std::signal(SIGINT, &ArdaSignalHandler);
+    std::signal(SIGTERM, &ArdaSignalHandler);
+#endif
+  });
+}
+
+bool InterruptRequested() {
+  return g_interrupted.load(std::memory_order_relaxed);
+}
+
+void RequestInterrupt() {
+  g_interrupted.store(true, std::memory_order_relaxed);
+  WakeWaiters();
+}
+
+void ResetForTest() {
+  g_interrupted.store(false, std::memory_order_relaxed);
+  g_signal.store(0, std::memory_order_relaxed);
+#if ARDA_HAVE_SELF_PIPE
+  int fd = g_wakeup_read_fd.load(std::memory_order_acquire);
+  if (fd >= 0) {
+    char buf[64];
+    while (::read(fd, buf, sizeof(buf)) > 0) {
+    }
+  }
+#endif
+}
+
+int WakeupFd() { return g_wakeup_read_fd.load(std::memory_order_acquire); }
+
+int InterruptSignal() { return g_signal.load(std::memory_order_relaxed); }
+
+}  // namespace arda::interrupt

@@ -1,0 +1,54 @@
+#ifndef ARDA_UTIL_INTERRUPT_H_
+#define ARDA_UTIL_INTERRUPT_H_
+
+/// \file
+/// Cooperative interrupt handling shared by the one-shot CLI and the
+/// augmentation daemon. `InstallSignalHandlers` routes SIGINT/SIGTERM to
+/// an async-signal-safe flag (plus one byte down a self-pipe so blocking
+/// poll/accept loops wake immediately); long-running pipelines poll
+/// `InterruptRequested` between stages and wind down instead of dying
+/// mid-write:
+///
+///   - `arda_cli` finishes the current stage, then emits its report
+///     (marked `"interrupted": true`), trace file and augmented CSV from
+///     whatever completed — a Ctrl-C no longer loses --trace-out output.
+///   - `arda_serve` stops accepting connections, finishes in-flight
+///     requests, rejects queued ones, and exits 0.
+///
+/// The handler itself only writes the flag and the pipe byte (both
+/// async-signal-safe); all teardown runs on normal threads.
+
+namespace arda::interrupt {
+
+/// Installs SIGINT and SIGTERM handlers (idempotent; first call wins).
+/// Handlers are installed without SA_RESTART so blocking syscalls on the
+/// main thread return EINTR, but waiters should prefer the self-pipe fd.
+void InstallSignalHandlers();
+
+/// True once any handled signal has been delivered (or RequestInterrupt
+/// was called). One relaxed atomic load — safe to poll from hot loops.
+bool InterruptRequested();
+
+/// Sets the interrupt flag programmatically (graceful-shutdown requests,
+/// tests). Wakes self-pipe waiters exactly like a signal would.
+void RequestInterrupt();
+
+/// Clears the flag and drains the self-pipe (tests only; a real process
+/// treats interruption as terminal).
+void ResetForTest();
+
+/// Read end of the self-pipe: becomes readable when an interrupt
+/// arrives, so event loops can poll it alongside their own fds. Returns
+/// -1 before InstallSignalHandlers (or if the pipe could not be
+/// created). Never read from it directly — poll for readability and then
+/// check InterruptRequested(); the byte stays queued so every waiter
+/// wakes.
+int WakeupFd();
+
+/// The signal number that triggered the interrupt (0 when none, or when
+/// the interrupt was requested programmatically).
+int InterruptSignal();
+
+}  // namespace arda::interrupt
+
+#endif  // ARDA_UTIL_INTERRUPT_H_

@@ -100,22 +100,64 @@ void ThreadPool::WorkerLoop() {
   uint64_t seen = 0;
   for (;;) {
     std::shared_ptr<Job> job;
+    std::function<void()> task;
     {
       std::unique_lock<std::mutex> lock(mutex_);
-      wake_cv_.wait(lock, [&] { return stop_ || generation_ != seen; });
+      wake_cv_.wait(lock, [&] {
+        return stop_ || generation_ != seen || !tasks_.empty();
+      });
       if (stop_) return;
-      seen = generation_;
-      job = job_;
+      // ParallelFor jobs outrank queued tasks: the publishing thread is
+      // blocked until its range drains, while Submit callers are
+      // asynchronous by contract. Remaining tasks keep the predicate true,
+      // so the worker takes one on its next pass.
+      if (generation_ != seen) {
+        seen = generation_;
+        job = job_;
+      } else {
+        task = std::move(tasks_.front());
+        tasks_.pop_front();
+        metrics::SetGauge("threadpool.queued_tasks",
+                          static_cast<double>(tasks_.size()));
+      }
     }
-    if (job == nullptr) continue;
-    // Cap participation so ParallelFor's max_parallelism is honored even
-    // when the pool has more workers than requested. Late arrivals (after
-    // the range is drained) enter RunTasks and exit immediately.
-    if (job->joined.fetch_add(1, std::memory_order_acq_rel) <
-        job->max_workers) {
-      RunTasks(job.get());
+    if (job != nullptr) {
+      // Cap participation so ParallelFor's max_parallelism is honored even
+      // when the pool has more workers than requested. Late arrivals
+      // (after the range is drained) enter RunTasks and exit immediately.
+      if (job->joined.fetch_add(1, std::memory_order_acq_rel) <
+          job->max_workers) {
+        RunTasks(job.get());
+      }
+      continue;
     }
+    if (task) task();
   }
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  metrics::IncrementCounter("threadpool.tasks_submitted_total");
+  if (workers_.empty()) {
+    // Zero-worker pools (single-core machines) degrade to synchronous
+    // execution; there is nobody else to run the task.
+    task();
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    tasks_.push_back(std::move(task));
+    metrics::SetGauge("threadpool.queued_tasks",
+                      static_cast<double>(tasks_.size()));
+  }
+  // notify_all, not notify_one: a single woken worker may pick up a
+  // concurrently published ParallelFor job instead, and the remaining
+  // waiters would never learn about the queued task.
+  wake_cv_.notify_all();
+}
+
+size_t ThreadPool::PendingTasks() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return tasks_.size();
 }
 
 void ThreadPool::ParallelFor(size_t n, size_t max_parallelism,

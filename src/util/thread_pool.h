@@ -4,6 +4,7 @@
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <memory>
 #include <mutex>
@@ -12,10 +13,16 @@
 
 namespace arda {
 
-/// Fixed-size thread pool for data-parallel loops. There is no work
-/// stealing and no task queue: `ParallelFor` publishes one index range and
-/// the workers (plus the calling thread) claim indices from a shared atomic
-/// counter until the range is exhausted.
+/// Fixed-size thread pool serving two kinds of work:
+///
+///   1. Data-parallel loops (`ParallelFor`): one published index range the
+///      workers (plus the calling thread) claim from a shared atomic
+///      counter until the range is exhausted. No work stealing.
+///   2. One-off tasks (`Submit`): a FIFO queue drained by idle workers,
+///      used by the augmentation service to execute whole requests. A
+///      worker running a long task simply doesn't participate in
+///      concurrent ParallelFor jobs; a task may itself call ParallelFor
+///      (the task thread participates like any other caller).
 ///
 /// Determinism contract: the pool never makes results depend on thread
 /// count or scheduling. Callers must (a) hand every task a pre-forked
@@ -47,6 +54,19 @@ class ThreadPool {
   void ParallelFor(size_t n, size_t max_parallelism,
                    const std::function<void(size_t)>& fn);
 
+  /// Enqueues `task` for execution by an idle worker (FIFO order). Tasks
+  /// must not throw — an escaping exception terminates the process. With
+  /// zero workers the task runs inline on the caller before Submit
+  /// returns (single-core fallback; callers needing asynchrony must not
+  /// rely on it there). Admission control (bounding the queue) is the
+  /// caller's job: pair PendingTasks() with a rejection policy, as the
+  /// service's admission gate does. Tasks still queued when the pool is
+  /// destroyed are dropped without running (drain before teardown).
+  void Submit(std::function<void()> task);
+
+  /// Tasks submitted but not yet started. Running tasks do not count.
+  size_t PendingTasks() const;
+
  private:
   struct Job;
 
@@ -54,10 +74,11 @@ class ThreadPool {
   void RunTasks(Job* job);
 
   std::vector<std::thread> workers_;
-  std::mutex mutex_;
+  mutable std::mutex mutex_;
   std::condition_variable wake_cv_;
   std::condition_variable done_cv_;
   std::shared_ptr<Job> job_;  // published job; null when idle
+  std::deque<std::function<void()>> tasks_;
   uint64_t generation_ = 0;
   bool stop_ = false;
 };

@@ -474,6 +474,52 @@ TEST(RepositoryCacheTest, RewriteAtSameMtimeIsDetectedByFingerprint) {
   EXPECT_EQ(second.GetOrDie("t").col("a").Int64At(0), 2);
 }
 
+TEST(RepositoryCacheTest, V1CacheWithEqualMtimeIsStale) {
+  // Regression test for the equal-mtime staleness bug on fingerprint-less
+  // version-1 cache files: a CSV rewritten within the filesystem's
+  // timestamp granularity leaves the cache and the CSV with the SAME
+  // mtime, and the old `cache_time >= csv_time` freshness check kept
+  // serving the stale cache (a long-lived service ingesting rapid
+  // updates hits this constantly). Equal timestamps must count as stale.
+  TempTree tree("arda_repo_v1_equal_mtime");
+  // A v1 cache entry (no meta block, no fingerprint) holding old data.
+  Result<DataFrame> stale = ReadCsvString("a\n1\n");
+  ASSERT_TRUE(stale.ok());
+  fs::create_directories(tree.cache_dir);
+  WriteFile(tree.cache_dir / "t.ardac", WriteColumnarStringV1(*stale));
+  // The CSV now holds new data, with its mtime pinned EQUAL to the
+  // cache's — the rewritten-within-granularity case.
+  WriteFile(tree.data_dir / "t.csv", "a\n42\n");
+  fs::last_write_time(tree.data_dir / "t.csv",
+                      fs::last_write_time(tree.cache_dir / "t.ardac"));
+
+  discovery::DataRepository repo;
+  discovery::LoadStats stats;
+  ASSERT_TRUE(repo.LoadDirectory(tree.data_dir.string(),
+                                 tree.cache_dir.string(), {}, &stats)
+                  .ok());
+  EXPECT_EQ(stats.cache_hits, 0u);
+  EXPECT_EQ(stats.cache_writes, 1u);
+  EXPECT_EQ(repo.GetOrDie("t").col("a").Int64At(0), 42);
+  // ...while a cache strictly newer than the CSV is still a v1 hit.
+  fs::last_write_time(tree.cache_dir / "t.ardac",
+                      fs::last_write_time(tree.data_dir / "t.csv") +
+                          std::chrono::seconds(5));
+  // Rewrite the cache as v1 again (LoadDirectory repaired it to v2).
+  WriteFile(tree.cache_dir / "t.ardac",
+            WriteColumnarStringV1(repo.GetOrDie("t")));
+  fs::last_write_time(tree.cache_dir / "t.ardac",
+                      fs::last_write_time(tree.data_dir / "t.csv") +
+                          std::chrono::seconds(5));
+  discovery::DataRepository second;
+  discovery::LoadStats stats2;
+  ASSERT_TRUE(second
+                  .LoadDirectory(tree.data_dir.string(),
+                                 tree.cache_dir.string(), {}, &stats2)
+                  .ok());
+  EXPECT_EQ(stats2.cache_hits, 1u);
+}
+
 TEST(RepositoryCacheTest, StatsAreServedFromCacheWithoutRecompute) {
   TempTree tree("arda_repo_statshit");
   WriteFile(tree.data_dir / "t.csv", "a,b\n1,x\n2,y\n2,z\n");

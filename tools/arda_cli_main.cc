@@ -3,9 +3,21 @@
 
 #include <cstdio>
 
+#include "simd/simd.h"
 #include "tools/cli.h"
+#include "util/fault.h"
+#include "util/interrupt.h"
 
 int main(int argc, char** argv) {
+  // One-time environment reads (ARDA_FAULT, ARDA_SIMD) happen here, on
+  // the main thread, before any worker thread exists — the armed spec and
+  // dispatch level are process-wide for the whole run. Signal handlers go
+  // in equally early so a Ctrl-C during table loading already lands on
+  // the cooperative path (partial report + flushed trace) instead of the
+  // default abort.
+  arda::fault::InitFromEnvironment();
+  arda::simd::InitFromEnvironment();
+  arda::interrupt::InstallSignalHandlers();
   std::vector<std::string> args(argv + 1, argv + argc);
   arda::Result<arda::tools::CliOptions> options =
       arda::tools::ParseCliArgs(args);

@@ -1,0 +1,209 @@
+// arda_serve — the long-lived augmentation daemon (docs/service.md).
+//
+// Loads the data repository once (through the `.ardac` columnar cache),
+// keeps it resident, and serves concurrent augmentation / ingest / stats
+// requests over the length-prefixed JSON protocol in src/service/wire.h.
+// SIGINT/SIGTERM (or a `shutdown` request) drain gracefully: stop
+// accepting, finish in-flight requests, flush the trace file, exit 0.
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <poll.h>
+#endif
+
+#include "service/service.h"
+#include "simd/simd.h"
+#include "util/interrupt.h"
+#include "util/fault.h"
+#include "util/string_util.h"
+#include "util/trace.h"
+
+namespace {
+
+const char kUsage[] =
+    "arda_serve — long-lived augmentation service over a directory of "
+    "CSVs\n"
+    "\n"
+    "usage: arda_serve --data=DIR [options]\n"
+    "\n"
+    "  --data=DIR       directory containing *.csv tables (required)\n"
+    "  --table-cache=D  binary .ardac table cache directory\n"
+    "  --port=N         TCP port on 127.0.0.1 (default 0 = ephemeral)\n"
+    "  --port-file=F    write the bound port to F once listening\n"
+    "  --max-queue=N    admission bound: concurrent augment requests\n"
+    "                   admitted before rejecting with status "
+    "\"overloaded\"\n"
+    "                   (default 8)\n"
+    "  --threads=N      CSV-parse threads at load/ingest (0 = hardware\n"
+    "                   concurrency)\n"
+    "  --simd=LEVEL     auto (default) | scalar | avx2 (results are\n"
+    "                   bit-identical for every level)\n"
+    "  --trace-out=F    enable span tracing; the trace file is written on\n"
+    "                   shutdown (including signal-triggered shutdown)\n"
+    "  --help           show this message\n"
+    "\n"
+    "Wire protocol and request JSON: docs/service.md\n";
+
+struct ServeOptions {
+  arda::service::ServiceConfig service;
+  std::string port_file;
+  std::string simd = "auto";
+  std::string trace_out;
+  bool show_help = false;
+};
+
+arda::Result<ServeOptions> ParseArgs(const std::vector<std::string>& args) {
+  using arda::ParseInt64;
+  using arda::StartsWith;
+  using arda::Status;
+  ServeOptions options;
+  for (const std::string& arg : args) {
+    auto value_of = [&](const char* flag) -> const char* {
+      std::string prefix = std::string(flag) + "=";
+      if (StartsWith(arg, prefix)) return arg.c_str() + prefix.size();
+      return nullptr;
+    };
+    if (arg == "--help" || arg == "-h") {
+      options.show_help = true;
+    } else if (const char* v = value_of("--data")) {
+      options.service.data_dir = v;
+    } else if (const char* v = value_of("--table-cache")) {
+      options.service.table_cache = v;
+    } else if (const char* v = value_of("--port")) {
+      int64_t port = 0;
+      if (!ParseInt64(v, &port) || port < 0 || port > 65535) {
+        return Status::InvalidArgument("bad --port value: " +
+                                       std::string(v));
+      }
+      options.service.port = static_cast<uint16_t>(port);
+    } else if (const char* v = value_of("--port-file")) {
+      options.port_file = v;
+    } else if (const char* v = value_of("--max-queue")) {
+      int64_t depth = 0;
+      if (!ParseInt64(v, &depth) || depth <= 0) {
+        return Status::InvalidArgument("bad --max-queue value: " +
+                                       std::string(v));
+      }
+      options.service.max_queue_depth = static_cast<size_t>(depth);
+    } else if (const char* v = value_of("--threads")) {
+      int64_t threads = 0;
+      if (!ParseInt64(v, &threads) || threads < 0) {
+        return Status::InvalidArgument("bad --threads value: " +
+                                       std::string(v));
+      }
+      options.service.load_threads = static_cast<size_t>(threads);
+    } else if (const char* v = value_of("--simd")) {
+      options.simd = v;
+    } else if (const char* v = value_of("--trace-out")) {
+      options.trace_out = v;
+    } else {
+      return Status::InvalidArgument("unknown flag: " + arg);
+    }
+  }
+  if (options.show_help) return options;
+  if (options.service.data_dir.empty()) {
+    return Status::InvalidArgument("--data is required (see --help)");
+  }
+  return options;
+}
+
+arda::Status Serve(const ServeOptions& options) {
+  using arda::Status;
+  if (!options.trace_out.empty()) arda::trace::Enable();
+  if (!arda::simd::SetLevelFromSpec(options.simd)) {
+    if (options.simd != "avx2") {
+      return Status::InvalidArgument("bad --simd value: " + options.simd +
+                                     " (want auto|scalar|avx2)");
+    }
+    std::fprintf(stderr,
+                 "warning: --simd=avx2 not supported on this CPU; "
+                 "using scalar\n");
+  }
+  std::printf("simd level: %s\n", arda::simd::ActiveLevelName());
+
+  arda::service::ArdaService server(options.service);
+  ARDA_RETURN_IF_ERROR(server.Start());
+  const arda::service::SnapshotInfo info = server.snapshot_info();
+  std::printf("loaded %zu tables from %s (%zu from cache)\n",
+              info.tables_loaded, options.service.data_dir.c_str(),
+              info.cache_hits);
+  std::printf("arda_serve listening on 127.0.0.1:%u\n",
+              static_cast<unsigned>(server.port()));
+  std::fflush(stdout);
+  if (!options.port_file.empty()) {
+    std::ofstream port_file(options.port_file);
+    if (!port_file) {
+      return Status::IoError("cannot write port file: " +
+                             options.port_file);
+    }
+    port_file << server.port() << "\n";
+  }
+
+  // Bridge the process interrupt (SIGINT/SIGTERM) into the service's
+  // graceful drain. A `shutdown` request drains the service without
+  // touching the process flag, so the watcher also polls the service
+  // state with a timeout.
+#if defined(__unix__) || defined(__APPLE__)
+  std::thread watcher([&server] {
+    while (!server.ShutdownRequested()) {
+      struct pollfd pfd = {arda::interrupt::WakeupFd(), POLLIN, 0};
+      ::poll(&pfd, arda::interrupt::WakeupFd() >= 0 ? 1 : 0, 200);
+      if (arda::interrupt::InterruptRequested()) {
+        server.BeginShutdown();
+        break;
+      }
+    }
+  });
+#endif
+  server.Wait();
+#if defined(__unix__) || defined(__APPLE__)
+  if (watcher.joinable()) watcher.join();
+#endif
+
+  if (arda::interrupt::InterruptSignal() != 0) {
+    std::printf("caught signal %d: drained in-flight requests\n",
+                arda::interrupt::InterruptSignal());
+  }
+  if (!options.trace_out.empty()) {
+    ARDA_RETURN_IF_ERROR(arda::trace::WriteJson(options.trace_out));
+    std::printf("trace written to %s (%zu events)\n",
+                options.trace_out.c_str(), arda::trace::EventCount());
+  }
+  std::printf("shutdown complete\n");
+  return Status::Ok();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // Environment reads (ARDA_FAULT, ARDA_SIMD) are one-time and
+  // process-wide; do them on the main thread before the accept loop or
+  // any pool worker exists (docs/observability.md "Environment
+  // one-time-init contract").
+  arda::fault::InitFromEnvironment();
+  arda::simd::InitFromEnvironment();
+  arda::interrupt::InstallSignalHandlers();
+
+  std::vector<std::string> args(argv + 1, argv + argc);
+  arda::Result<ServeOptions> options = ParseArgs(args);
+  if (!options.ok()) {
+    std::fprintf(stderr, "%s\n%s", options.status().message().c_str(),
+                 kUsage);
+    return 2;
+  }
+  if (options->show_help) {
+    std::printf("%s", kUsage);
+    return 0;
+  }
+  arda::Status status = Serve(*options);
+  if (!status.ok()) {
+    std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  return 0;
+}

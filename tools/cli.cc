@@ -1,12 +1,15 @@
 #include "tools/cli.h"
 
 #include <cstdio>
+#include <fstream>
 #include <string_view>
 
 #include "dataframe/csv.h"
+#include "core/options.h"
 #include "core/report_io.h"
 #include "discovery/discovery.h"
 #include "simd/simd.h"
+#include "util/interrupt.h"
 #include "util/metrics.h"
 #include "util/string_util.h"
 #include "util/trace.h"
@@ -45,6 +48,9 @@ std::string CliUsage() {
       "                   CSVs (corrupt caches fall back to CSV)\n"
       "  --output=FILE    write the augmented table as CSV\n"
       "  --report-json=F  write a machine-readable run report\n"
+      "  --canonical-report=F  write only the deterministic report subset\n"
+      "                   (byte-identical to the service's report_json for\n"
+      "                   the same request; see docs/service.md)\n"
       "  --trace-out=F    enable span tracing and write a Chrome/Perfetto\n"
       "                   trace-event JSON file (open in ui.perfetto.dev "
       "or\n"
@@ -91,6 +97,8 @@ Result<CliOptions> ParseCliArgs(const std::vector<std::string>& args) {
       options.output = v;
     } else if (const char* v = value_of("--report-json")) {
       options.report_json = v;
+    } else if (const char* v = value_of("--canonical-report")) {
+      options.canonical_report = v;
     } else if (const char* v = value_of("--trace-out")) {
       options.trace_out = v;
     } else if (const char* v = value_of("--seed")) {
@@ -133,37 +141,18 @@ Result<CliOptions> ParseCliArgs(const std::vector<std::string>& args) {
 }
 
 Result<core::ArdaConfig> MakeConfig(const CliOptions& options) {
-  core::ArdaConfig config;
-  config.seed = options.seed;
-  config.num_threads = options.num_threads;
-  config.selector = options.selector;
-  if (options.plan == "budget") {
-    config.plan = core::JoinPlanKind::kBudget;
-  } else if (options.plan == "table") {
-    config.plan = core::JoinPlanKind::kTableAtATime;
-  } else if (options.plan == "full") {
-    config.plan = core::JoinPlanKind::kFullMaterialization;
-  } else {
-    return Status::InvalidArgument("bad --plan: " + options.plan);
-  }
-  if (options.plan_order == "cost") {
-    config.cost_based_ordering = true;
-  } else if (options.plan_order == "score") {
-    config.cost_based_ordering = false;
-  } else {
-    return Status::InvalidArgument("bad --plan-order: " +
-                                   options.plan_order);
-  }
-  if (options.soft_join == "2way") {
-    config.join.soft_method = join::SoftJoinMethod::kTwoWayNearest;
-  } else if (options.soft_join == "nearest") {
-    config.join.soft_method = join::SoftJoinMethod::kNearest;
-  } else if (options.soft_join == "hard") {
-    config.join.soft_method = join::SoftJoinMethod::kHardExact;
-  } else {
-    return Status::InvalidArgument("bad --soft-join: " + options.soft_join);
-  }
-  return config;
+  // Delegate to the translation shared with the augmentation service, so
+  // a service request and a CLI run with the same spellings build the
+  // same ArdaConfig (the byte-identity contract depends on this).
+  core::RunOptions run;
+  run.task = options.task;
+  run.selector = options.selector;
+  run.plan = options.plan;
+  run.plan_order = options.plan_order;
+  run.soft_join = options.soft_join;
+  run.seed = options.seed;
+  run.num_threads = options.num_threads;
+  return core::MakeArdaConfig(run);
 }
 
 namespace {
@@ -200,6 +189,12 @@ void PrintStageSummary(const metrics::MetricsSnapshot& snapshot) {
 
 Status RunCli(const CliOptions& options) {
   ARDA_ASSIGN_OR_RETURN(core::ArdaConfig config, MakeConfig(options));
+  // Cooperative Ctrl-C/SIGTERM: the pipeline checks the process interrupt
+  // flag at stage boundaries and winds down with a partial report (marked
+  // `"interrupted": true`) instead of dying mid-run — so --trace-out and
+  // --report-json output survive an interrupt. main() installs the
+  // handlers; without them the flag simply never fires.
+  config.interrupt_check = [] { return interrupt::InterruptRequested(); };
   if (!options.trace_out.empty()) trace::Enable();
 
   // Pin the SIMD dispatch level before any kernel runs (the columnar
@@ -262,6 +257,12 @@ Status RunCli(const CliOptions& options) {
   ARDA_ASSIGN_OR_RETURN(core::ArdaReport report, arda.Run(task));
 
   const bool classification = task.task == ml::TaskType::kClassification;
+  if (report.interrupted) {
+    std::printf("run interrupted%s: partial report covers %zu decided "
+                "batch(es); final estimate skipped\n",
+                interrupt::InterruptSignal() != 0 ? " by signal" : "",
+                report.batches.size());
+  }
   std::printf("tables considered: %zu, joined: %zu\n",
               report.tables_considered, report.tables_joined);
   if (!report.skipped_candidates.empty()) {
@@ -297,6 +298,20 @@ Status RunCli(const CliOptions& options) {
         core::WriteReportJson(report, options.report_json));
     std::printf("JSON report written to %s\n",
                 options.report_json.c_str());
+  }
+  if (!options.canonical_report.empty()) {
+    std::ofstream canonical(options.canonical_report);
+    if (!canonical) {
+      return Status::IoError("cannot open file for writing: " +
+                             options.canonical_report);
+    }
+    canonical << core::DeterministicReportJson(report);
+    if (!canonical) {
+      return Status::IoError("failed writing file: " +
+                             options.canonical_report);
+    }
+    std::printf("canonical report written to %s\n",
+                options.canonical_report.c_str());
   }
   if (!options.trace_out.empty()) {
     ARDA_RETURN_IF_ERROR(trace::WriteJson(options.trace_out));

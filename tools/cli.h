@@ -39,6 +39,11 @@ struct CliOptions {
   std::string output;
   /// Output path for a machine-readable JSON report ("" = don't write).
   std::string report_json;
+  /// Output path for the deterministic report subset ("" = don't write):
+  /// core::DeterministicReportJson, the bytes the augmentation service
+  /// returns for the same request — used by the byte-identity tests and
+  /// the service load generator's --assert-identical mode.
+  std::string canonical_report;
   /// Output path for a Chrome/Perfetto trace-event JSON file ("" = tracing
   /// stays disabled). Setting it enables span tracing for the whole run.
   std::string trace_out;

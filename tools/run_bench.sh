@@ -7,6 +7,12 @@
 #   tools/run_bench.sh -o BENCH_PR2.json -b baseline.json
 #   tools/run_bench.sh --smoke                  # fast build-health variant
 #   tools/run_bench.sh --trace-overhead         # also measure tracing cost
+#   tools/run_bench.sh --service -o BENCH_PR8.json   # service load bench
+#
+# --service runs the augmentation-service load generator
+# (bench/bench_service) instead of the kernel benches: concurrent clients
+# against an in-process server, p50/p99 latency and QPS, with every
+# response asserted byte-identical to the one-shot pipeline.
 #
 # --trace-overhead repeats every run with span tracing armed (--trace),
 # checks that checksums are bit-identical either way (tracing must never
@@ -22,15 +28,35 @@ BASELINE=""
 RUNS="${RUNS:-3}"
 SMOKE=""
 TRACE_OVERHEAD=""
+SERVICE=""
 while [[ $# -gt 0 ]]; do
   case "$1" in
     -o) OUT="$2"; shift 2 ;;
     -b) BASELINE="$2"; shift 2 ;;
     --smoke) SMOKE="--smoke"; shift ;;
     --trace-overhead) TRACE_OVERHEAD=1; shift ;;
+    --service) SERVICE=1; shift ;;
     *) echo "unknown argument: $1" >&2; exit 2 ;;
   esac
 done
+
+if [[ -n "$SERVICE" ]]; then
+  [[ "$OUT" == "BENCH_kernels.json" ]] && OUT="BENCH_service.json"
+  cmake --build "$BUILD_DIR" --target bench_service -j >/dev/null
+  FAST=""
+  [[ -n "$SMOKE" ]] && FAST="--fast"
+  "$BUILD_DIR/bench/bench_service" --json --assert-identical $FAST > "$OUT"
+  python3 - "$OUT" <<'PY'
+import json, sys
+r = json.load(open(sys.argv[1]))
+assert r["identical"] and r["errors"] == 0, r
+print(f"wrote {sys.argv[1]}")
+print(f'  {r["clients"]} clients x {r["requests_per_client"]} requests: '
+      f'{r["qps"]:.1f} req/s, p50 {r["p50_ms"]:.1f} ms, '
+      f'p99 {r["p99_ms"]:.1f} ms, byte-identity ok')
+PY
+  exit 0
+fi
 
 cmake --build "$BUILD_DIR" --target bench_kernels -j >/dev/null
 

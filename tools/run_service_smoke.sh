@@ -1,0 +1,120 @@
+#!/usr/bin/env bash
+# End-to-end smoke of the augmentation daemon (arda_serve), the lane CI
+# runs after the unit tests:
+#
+#   1. byte-identity: concurrent responses from a real daemon must equal
+#      the one-shot CLI's --canonical-report bytes exactly,
+#   2. graceful SIGTERM: in-flight work drains and the daemon exits 0,
+#   3. ingest fault leg: with ARDA_FAULT=service_ingest armed an `ingest`
+#      request fails, but the previous snapshot keeps serving.
+#
+#   tools/run_service_smoke.sh            # BUILD_DIR=build by default
+set -euo pipefail
+
+BUILD_DIR="${BUILD_DIR:-build}"
+WORK=$(mktemp -d)
+SERVE_PID=""
+cleanup() {
+  [[ -n "$SERVE_PID" ]] && kill -9 "$SERVE_PID" 2>/dev/null || true
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+cmake --build "$BUILD_DIR" --target arda_serve arda_cli bench_service \
+  -j >/dev/null
+
+# Deterministic toy repository (same shape the service tests use).
+DATA="$WORK/data"
+mkdir -p "$DATA"
+python3 - "$DATA" <<'PY'
+import os, random, sys
+data = sys.argv[1]
+rng = random.Random(3)
+with open(os.path.join(data, "sales.csv"), "w") as base, \
+     open(os.path.join(data, "lookup.csv"), "w") as lookup:
+    base.write("id,x,y\n")
+    lookup.write("id,hidden\n")
+    for i in range(150):
+        hidden = rng.gauss(0, 1)
+        x = rng.gauss(0, 1)
+        y = x + 3.0 * hidden + rng.gauss(0, 0.1)
+        base.write(f"{i},{x:.6f},{y:.6f}\n")
+        lookup.write(f"{i},{hidden:.6f}\n")
+PY
+
+# Golden bytes from the one-shot CLI.
+"$BUILD_DIR/tools/arda_cli" --data="$DATA" --base=sales --target=y \
+  --canonical-report="$WORK/reference.json" >/dev/null
+
+wait_for_port() {
+  for _ in $(seq 100); do
+    [[ -s "$1" ]] && return 0
+    sleep 0.1
+  done
+  echo "FAIL: daemon never wrote its port file" >&2
+  return 1
+}
+
+# --- leg 1+2: byte-identity over the wire, then graceful SIGTERM ---
+"$BUILD_DIR/tools/arda_serve" --data="$DATA" --port-file="$WORK/port" &
+SERVE_PID=$!
+wait_for_port "$WORK/port"
+
+"$BUILD_DIR/bench/bench_service" --port="$(cat "$WORK/port")" \
+  --data="$DATA" --clients=3 --requests=4 --assert-identical \
+  --reference="$WORK/reference.json" --json > "$WORK/bench.json"
+python3 - "$WORK/bench.json" <<'PY'
+import json, sys
+r = json.load(open(sys.argv[1]))
+assert r["identical"] and r["errors"] == 0, r
+PY
+echo "byte-identity vs CLI canonical report: ok"
+
+kill -TERM "$SERVE_PID"
+if wait "$SERVE_PID"; then
+  echo "graceful SIGTERM shutdown (exit 0): ok"
+else
+  echo "FAIL: daemon exited nonzero after SIGTERM" >&2
+  exit 1
+fi
+SERVE_PID=""
+
+# --- leg 3: armed ingest fault, old snapshot keeps serving ---
+rm -f "$WORK/port"
+ARDA_FAULT=service_ingest \
+  "$BUILD_DIR/tools/arda_serve" --data="$DATA" --port-file="$WORK/port" &
+SERVE_PID=$!
+wait_for_port "$WORK/port"
+
+python3 - "$(cat "$WORK/port")" <<'PY'
+import json, socket, struct, sys
+
+def recvn(sock, n):
+    buf = b""
+    while len(buf) < n:
+        chunk = sock.recv(n - len(buf))
+        if not chunk:
+            raise RuntimeError("connection closed")
+        buf += chunk
+    return buf
+
+def call(sock, obj):
+    payload = json.dumps(obj).encode()
+    sock.sendall(struct.pack(">I", len(payload)) + payload)
+    (n,) = struct.unpack(">I", recvn(sock, 4))
+    return json.loads(recvn(sock, n))
+
+sock = socket.create_connection(("127.0.0.1", int(sys.argv[1])))
+resp = call(sock, {"type": "ingest"})
+assert resp["status"] == "error", resp
+ping = call(sock, {"type": "ping"})
+assert ping["status"] == "ok" and ping["snapshot_generation"] == 1, ping
+aug = call(sock, {"type": "augment", "base": "sales", "target": "y"})
+assert aug["status"] == "ok", aug
+PY
+echo "ingest fault leg (old snapshot kept serving): ok"
+
+kill -TERM "$SERVE_PID"
+wait "$SERVE_PID" || { echo "FAIL: daemon exited nonzero" >&2; exit 1; }
+SERVE_PID=""
+echo "service smoke: all legs passed"
