@@ -383,8 +383,15 @@ std::vector<KernelResult> RunAll(const BenchOptions& options, bool smoke) {
   // the 5 pairs. The _avx2 rows are omitted on machines without AVX2. ---
   {
     struct LevelRestore {
+      // SetLevel pins the probe level too, so save and restore both —
+      // otherwise the pair sweep would erase the auto policy's
+      // probe=scalar exception for the rest of the run.
       simd::SimdLevel prev = simd::ActiveLevel();
-      ~LevelRestore() { simd::SetLevel(prev); }
+      simd::SimdLevel prev_probe = simd::ProbeLevel();
+      ~LevelRestore() {
+        simd::SetLevel(prev);
+        simd::SetProbeLevel(prev_probe);
+      }
     } restore;
     auto measure_pair = [&](const std::string& name, size_t items,
                             const std::function<uint64_t()>& fn) {
@@ -613,7 +620,8 @@ void PrintJson(const std::vector<KernelResult>& results, uint64_t seed,
               static_cast<unsigned long long>(seed));
   std::printf("  \"smoke\": %s,\n", smoke ? "true" : "false");
   std::printf("  \"tracing\": %s,\n", tracing ? "true" : "false");
-  std::printf("  \"simd_level\": \"%s\",\n", arda::simd::ActiveLevelName());
+  std::printf("  \"simd_level\": \"%s\",\n",
+              arda::simd::DispatchSummary().c_str());
   std::printf("  \"simd_supported\": \"%s\",\n",
               arda::simd::Avx2Supported() ? "avx2" : "scalar");
   std::printf("  \"results\": [\n");

@@ -9,12 +9,22 @@
 // --canonical-report file, for the cross-binary check the CI smoke lane
 // runs).
 //
+// With --telemetry (in-process mode only) the full PR 9 telemetry
+// surface is armed for the run — JSON request logging at info, a tiny
+// slow-request threshold so every request records its per-stage
+// breakdown, and a concurrent scraper thread doing the exact work a
+// /metrics scrape does — which is how `tools/run_bench.sh
+// --telemetry-overhead` measures the telemetry cost against a plain run
+// (docs/observability.md; canonical record BENCH_PR9.json).
+//
 //   bench_service [--fast] [--json] [--clients=N] [--requests=N]
 //                 [--port=N] [--data=DIR] [--base=T] [--target=C]
 //                 [--seed=N] [--assert-identical] [--reference=FILE]
+//                 [--telemetry]
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
@@ -29,7 +39,10 @@
 #include "discovery/repository.h"
 #include "service/service.h"
 #include "service/wire.h"
+#include "telemetry/exposition.h"
 #include "util/json.h"
+#include "util/log.h"
+#include "util/metrics.h"
 #include "util/rng.h"
 #include "util/status.h"
 #include "util/string_util.h"
@@ -44,6 +57,7 @@ struct Options {
   bool fast = false;
   bool json = false;
   bool assert_identical = false;
+  bool telemetry = false;
   size_t clients = 4;
   size_t requests = 8;  // per client
   uint16_t port = 0;    // 0 = start an in-process server
@@ -70,6 +84,8 @@ Options ParseArgs(int argc, char** argv) {
       options.json = true;
     } else if (arg == "--assert-identical") {
       options.assert_identical = true;
+    } else if (arg == "--telemetry") {
+      options.telemetry = true;
     } else if (const char* v = value_of("--clients")) {
       if (ParseInt64(v, &n) && n > 0) options.clients = (size_t)n;
     } else if (const char* v = value_of("--requests")) {
@@ -217,9 +233,23 @@ int Run(int argc, char** argv) {
     options.data_dir = WriteBenchData();
   }
 
+  if (options.telemetry && !in_process) {
+    std::fprintf(stderr, "--telemetry requires the in-process server "
+                         "(a daemon's telemetry lives in its own "
+                         "process)\n");
+    return 2;
+  }
+
   service::ServiceConfig config;
   config.data_dir = options.data_dir;
   config.max_queue_depth = std::max<size_t>(options.clients, 8);
+  if (options.telemetry) {
+    // Worst-case telemetry load: every request passes the slow-request
+    // threshold and logs its full per-stage breakdown as JSON.
+    config.slow_request_ms = 1e-6;
+    log::SetLevel(log::Level::kInfo);
+    log::SetFormat(log::Format::kJson);
+  }
   service::ArdaService server(config);
   uint16_t port = options.port;
   if (in_process) {
@@ -230,6 +260,26 @@ int Run(int argc, char** argv) {
       return 1;
     }
     port = server.port();
+  }
+
+  // Concurrent scraper: does the exact work one GET /metrics does
+  // (publish the derived gauges, render the exposition document) every
+  // 10 ms for the whole load window, like a very aggressive Prometheus.
+  std::atomic<bool> stop_scraper{false};
+  std::atomic<uint64_t> scrapes{0};
+  std::atomic<uint64_t> scrape_bytes{0};
+  std::thread scraper;
+  if (options.telemetry) {
+    scraper = std::thread([&] {
+      while (!stop_scraper.load(std::memory_order_relaxed)) {
+        server.PublishTelemetryGauges();
+        const std::string body = telemetry::RenderPrometheus(
+            metrics::GlobalRegistry().Snapshot());
+        scrapes.fetch_add(1, std::memory_order_relaxed);
+        scrape_bytes.fetch_add(body.size(), std::memory_order_relaxed);
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+      }
+    });
   }
 
   const std::string request = AugmentRequest(options);
@@ -243,6 +293,10 @@ int Run(int argc, char** argv) {
   }
   for (std::thread& t : clients) t.join();
   const double wall_seconds = wall.ElapsedSeconds();
+  if (scraper.joinable()) {
+    stop_scraper.store(true, std::memory_order_relaxed);
+    scraper.join();
+  }
   if (in_process) {
     server.BeginShutdown();
     server.Wait();
@@ -335,6 +389,12 @@ int Run(int argc, char** argv) {
     std::printf("  \"p99_ms\": %.3f,\n", p99_ms);
     std::printf("  \"assert_identical\": %s,\n",
                 options.assert_identical ? "true" : "false");
+    std::printf("  \"telemetry\": %s,\n",
+                options.telemetry ? "true" : "false");
+    std::printf("  \"scrapes\": %llu,\n",
+                (unsigned long long)scrapes.load());
+    std::printf("  \"scrape_bytes\": %llu,\n",
+                (unsigned long long)scrape_bytes.load());
     std::printf("  \"identical\": %s\n", identical ? "true" : "false");
     std::printf("}\n");
   } else {
@@ -344,6 +404,11 @@ int Run(int argc, char** argv) {
                 responses.size(), overloaded, errors);
     std::printf("  wall %.3fs, qps %.2f, p50 %.3fms, p99 %.3fms\n",
                 wall_seconds, qps, p50_ms, p99_ms);
+    if (options.telemetry) {
+      std::printf("  telemetry on: %llu scrapes, %llu exposition bytes\n",
+                  (unsigned long long)scrapes.load(),
+                  (unsigned long long)scrape_bytes.load());
+    }
     if (options.assert_identical) {
       std::printf("  byte-identity: %s\n",
                   identical ? "ok" : identity_error.c_str());

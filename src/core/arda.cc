@@ -370,7 +370,7 @@ Result<ArdaReport> Arda::Run(const AugmentationTask& task) const {
   double current_score = base_evaluator.ScoreAllFeatures();
 
   report.num_threads = ResolveNumThreads(config_.num_threads);
-  report.simd_level = simd::ActiveLevelName();
+  report.simd_level = simd::DispatchSummary();
 
   // 4. Batched join execution + feature selection. The interrupt probe is
   // polled only at batch boundaries (and before the final estimate): a

@@ -1,6 +1,21 @@
 #include "core/options.h"
 
+#include "util/log.h"
+
 namespace arda::core {
+
+Status ApplyLogOptions(const LogOptions& options) {
+  if (!options.level.empty() && !log::SetLevelFromSpec(options.level)) {
+    return Status::InvalidArgument(
+        "bad log level: " + options.level +
+        " (want debug|info|warn|error|off)");
+  }
+  if (!options.format.empty() && !log::SetFormatFromSpec(options.format)) {
+    return Status::InvalidArgument("bad log format: " + options.format +
+                                   " (want text|json)");
+  }
+  return Status::Ok();
+}
 
 Result<ml::TaskType> ParseTaskType(const std::string& task) {
   if (task == "regression") return ml::TaskType::kRegression;

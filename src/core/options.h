@@ -38,6 +38,20 @@ Result<ArdaConfig> MakeArdaConfig(const RunOptions& options);
 /// Parses "regression" / "classification"; InvalidArgument otherwise.
 Result<ml::TaskType> ParseTaskType(const std::string& task);
 
+/// Logging knobs shared by both front ends (`--log-level`,
+/// `--log-format`; docs/observability.md "Structured logging"). Empty
+/// string = leave the process default (warn / text, or whatever
+/// `ARDA_LOG` armed) untouched.
+struct LogOptions {
+  std::string level;   // debug | info | warn | error | off
+  std::string format;  // text | json
+};
+
+/// Applies the non-empty fields to the process logger
+/// (util/log.h). InvalidArgument on an unknown spelling — flags fail
+/// loudly where the ARDA_LOG environment fallback only warns.
+Status ApplyLogOptions(const LogOptions& options);
+
 }  // namespace arda::core
 
 #endif  // ARDA_CORE_OPTIONS_H_

@@ -56,9 +56,11 @@ std::string MetricsToJson(const metrics::MetricsSnapshot& snapshot,
     out += "\"buckets\": [";
     for (size_t b = 0; b < h.bucket_counts.size(); ++b) {
       if (b > 0) out += ", ";
-      std::string le = b < h.bounds.size()
-                           ? StrFormat("%.6g", h.bounds[b])
-                           : std::string("\"+Inf\"");
+      // Shared with the Prometheus exposition: both surfaces must render
+      // identical le edges (metrics::BucketBoundLabel). Finite bounds are
+      // JSON numbers; the overflow label "+Inf" needs quoting.
+      std::string le = metrics::BucketBoundLabel(h.bounds, b);
+      if (b >= h.bounds.size()) le = "\"" + le + "\"";
       out += StrFormat(
           "{\"le\": %s, \"count\": %llu}", le.c_str(),
           static_cast<unsigned long long>(h.bucket_counts[b]));

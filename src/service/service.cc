@@ -7,6 +7,7 @@
 #include "dataframe/csv.h"
 #include "simd/simd.h"
 #include "util/fault.h"
+#include "util/log.h"
 #include "util/metrics.h"
 #include "util/string_util.h"
 #include "util/thread_pool.h"
@@ -27,19 +28,27 @@ namespace {
 
 // Response payloads are json::Serialize output (members in sorted key
 // order), so two processes building the same logical response agree on
-// the bytes — the service half of the byte-identity contract.
-std::string StatusResponse(const char* status, const std::string& error) {
+// the bytes — the service half of the byte-identity contract. Status and
+// error responses carry the request id for log correlation; augment "ok"
+// responses never do (they ARE the byte-identity surface, and two
+// clients sending the same request must read the same bytes).
+std::string StatusResponse(const char* status, const std::string& error,
+                           const std::string& request_id = "") {
   std::map<std::string, json::Value> members;
   members.emplace("status", json::Value::MakeString(status));
   if (!error.empty()) {
     members.emplace("error", json::Value::MakeString(error));
   }
+  if (!request_id.empty()) {
+    members.emplace("request_id", json::Value::MakeString(request_id));
+  }
   return json::Serialize(json::Value::MakeObject(std::move(members)));
 }
 
-std::string ShuttingDownResponse() {
+std::string ShuttingDownResponse(const std::string& request_id) {
   return StatusResponse("shutting_down",
-                        "server is draining; retry against a new instance");
+                        "server is draining; retry against a new instance",
+                        request_id);
 }
 
 // The request fields that determine augmentation results, in their
@@ -155,6 +164,10 @@ Status ArdaService::Start() {
   ARDA_ASSIGN_OR_RETURN(port_, BoundPort(listener_));
   accept_thread_ = std::thread(&ArdaService::AcceptLoop, this);
   started_ = true;
+  log::Info("service.started",
+            {log::Field::Int("port", static_cast<int64_t>(port_)),
+             log::Field::Uint("tables_loaded",
+                              snapshot_info().tables_loaded)});
   return Status::Ok();
 }
 
@@ -172,6 +185,7 @@ SnapshotInfo ArdaService::snapshot_info() const {
 void ArdaService::BeginShutdown() {
   bool expected = false;
   if (!shutting_down_.compare_exchange_strong(expected, true)) return;
+  log::Info("service.draining");
 #if defined(ARDA_SERVICE_HAVE_PIPE)
   if (wake_write_fd_ >= 0) {
     // Single wake byte; see Start. A full pipe would mean it was already
@@ -214,47 +228,116 @@ void ArdaService::AcceptLoop() {
 }
 
 void ArdaService::ConnectionLoop(Socket socket) {
+  // The connection id is minted at accept; every request on this
+  // connection derives its request id from it, so one id correlates the
+  // request log record, the trace span and any error response.
+  const uint64_t conn_id =
+      next_conn_id_.fetch_add(1, std::memory_order_relaxed) + 1;
+  uint64_t request_seq = 0;
+  log::Debug("service.connection_open",
+             {log::Field::Uint("conn", conn_id)});
   for (;;) {
     if (shutting_down_.load(std::memory_order_relaxed)) break;
     Result<std::string> request = RecvFrame(socket.fd(), wake_read_fd_);
     if (!request.ok()) break;  // clean close, shutdown wake, or error
     // A request already on the wire when shutdown begins still gets a
     // response (graceful drain); the next poll breaks the loop.
-    const std::string response = HandleRequest(request.value());
+    const std::string request_id = StrFormat(
+        "c%llu-%llu", static_cast<unsigned long long>(conn_id),
+        static_cast<unsigned long long>(++request_seq));
+    const std::string response = HandleRequest(request.value(), request_id);
     if (!SendFrame(socket.fd(), response).ok()) break;
   }
+  log::Debug("service.connection_close",
+             {log::Field::Uint("conn", conn_id),
+              log::Field::Uint("requests", request_seq)});
 }
 
 std::string ArdaService::HandleRequest(const std::string& request_json) {
+  return HandleRequest(
+      request_json,
+      StrFormat("r%llu",
+                static_cast<unsigned long long>(
+                    fallback_request_seq_.fetch_add(
+                        1, std::memory_order_relaxed) +
+                    1)));
+}
+
+std::string ArdaService::HandleRequest(const std::string& request_json,
+                                       const std::string& request_id) {
   requests_total_.fetch_add(1, std::memory_order_relaxed);
   metrics::IncrementCounter("service.requests_total");
   Stopwatch watch;
-  Result<std::string> response = Dispatch(request_json);
-  metrics::ObserveLatency("service.request_seconds",
-                          watch.ElapsedSeconds());
-  if (response.ok()) return std::move(response).value();
-  metrics::IncrementCounter("service.request_errors_total");
-  return StatusResponse("error", response.status().ToString());
+  std::string type;
+  std::vector<trace::StageCollector::Entry> stages;
+  Result<std::string> response =
+      Dispatch(request_json, request_id, &type, &stages);
+  const double elapsed = watch.ElapsedSeconds();
+  metrics::ObserveLatency("service.request_seconds", elapsed);
+  std::string out;
+  if (response.ok()) {
+    out = std::move(response).value();
+  } else {
+    metrics::IncrementCounter("service.request_errors_total");
+    out = StatusResponse("error", response.status().ToString(),
+                         request_id);
+  }
+  if (log::Enabled(log::Level::kInfo)) {
+    log::Info("service.request",
+              {log::Field::Str("request_id", request_id),
+               log::Field::Str("type", type.empty() ? "?" : type),
+               log::Field::F64("elapsed_ms", elapsed * 1000.0),
+               log::Field::Bool("ok", response.ok())});
+  }
+  const double elapsed_ms = elapsed * 1000.0;
+  if (config_.slow_request_ms > 0.0 &&
+      elapsed_ms >= config_.slow_request_ms) {
+    // The offender record carries the full per-stage breakdown collected
+    // during the run, so "where did the time go" is answerable from the
+    // log alone, without a trace armed.
+    std::vector<log::Field> fields;
+    fields.push_back(log::Field::Str("request_id", request_id));
+    fields.push_back(log::Field::Str("type", type.empty() ? "?" : type));
+    fields.push_back(log::Field::F64("elapsed_ms", elapsed_ms));
+    fields.push_back(
+        log::Field::F64("threshold_ms", config_.slow_request_ms));
+    for (const trace::StageCollector::Entry& e : stages) {
+      fields.push_back(log::Field::F64(
+          std::string("stage_ms.") + e.stage, e.seconds * 1000.0));
+    }
+    log::Log(log::Level::kWarn, "service.slow_request", fields);
+    metrics::IncrementCounter("service.slow_requests_total");
+  }
+  return out;
 }
 
-Result<std::string> ArdaService::Dispatch(const std::string& request_json) {
+Result<std::string> ArdaService::Dispatch(
+    const std::string& request_json, const std::string& request_id,
+    std::string* type_out,
+    std::vector<trace::StageCollector::Entry>* stages_out) {
   // The admission/decode fault site: an armed `service_accept` rejects
   // the request with an error response while the connection and server
   // keep going.
   ARDA_FAULT_POINT(fault::kServiceAccept);
   ARDA_ASSIGN_OR_RETURN(json::Value request, json::Parse(request_json));
   const std::string type = request.StringOr("type", "");
-  trace::TraceSpan span("service.request", "service", type);
+  *type_out = type;
+  trace::TraceSpan span("service.request", "service",
+                        type + " id=" + request_id);
   if (type == "ping") return HandlePing();
   if (type == "stats") return HandleStats();
-  if (type == "augment") return HandleAugment(request);
-  if (type == "ingest") return HandleIngest(request);
+  if (type == "augment") {
+    return HandleAugment(request, request_id, stages_out);
+  }
+  if (type == "ingest") return HandleIngest(request, request_id);
   if (type == "shutdown") {
     // The response is serialized back on the connection thread after this
     // returns, so the client sees the acknowledgement before the drain
     // closes its connection.
+    log::Info("service.shutdown_requested",
+              {log::Field::Str("request_id", request_id)});
     BeginShutdown();
-    return StatusResponse("ok", "");
+    return StatusResponse("ok", "", request_id);
   }
   return Status::InvalidArgument("unknown request type: " +
                                  (type.empty() ? "(missing)" : type));
@@ -265,7 +348,7 @@ std::string ArdaService::HandlePing() {
   const SnapshotInfo info = snapshot_info();
   members.emplace("server", json::Value::MakeString("arda_serve"));
   members.emplace("simd_level",
-                  json::Value::MakeString(simd::ActiveLevelName()));
+                  json::Value::MakeString(simd::DispatchSummary()));
   members.emplace("snapshot_generation",
                   json::Value::MakeInt(static_cast<int64_t>(
                       info.generation)));
@@ -277,6 +360,10 @@ std::string ArdaService::HandlePing() {
 }
 
 std::string ArdaService::HandleStats() {
+  // Refresh the derived gauges first so the embedded metrics snapshot
+  // (and the explicit latency fields below) report live window
+  // quantiles, same as a /metrics scrape.
+  PublishTelemetryGauges();
   const SnapshotInfo info = snapshot_info();
   size_t queue_depth;
   {
@@ -301,14 +388,25 @@ std::string ArdaService::HandleStats() {
       "\"requests_total\": %llu, ",
       static_cast<unsigned long long>(
           requests_total_.load(std::memory_order_relaxed)));
+  {
+    metrics::Histogram& latency = metrics::GlobalRegistry().GetHistogram(
+        "service.request_seconds", metrics::LatencyBucketsSeconds());
+    out += StrFormat(
+        "\"request_latency\": {\"p50\": %.6g, \"p90\": %.6g, "
+        "\"p99\": %.6g}, ",
+        latency.WindowQuantile(0.50), latency.WindowQuantile(0.90),
+        latency.WindowQuantile(0.99));
+  }
   out += "\"metrics\": " +
          core::MetricsToJson(metrics::GlobalRegistry().Snapshot()) + "}";
   return out;
 }
 
-Result<std::string> ArdaService::HandleAugment(const json::Value& request) {
+Result<std::string> ArdaService::HandleAugment(
+    const json::Value& request, const std::string& request_id,
+    std::vector<trace::StageCollector::Entry>* stages_out) {
   if (shutting_down_.load(std::memory_order_relaxed)) {
-    return ShuttingDownResponse();
+    return ShuttingDownResponse(request_id);
   }
   std::shared_ptr<const Snapshot> snapshot = CurrentSnapshot();
   const std::string key = CanonicalAugmentKey(request,
@@ -328,9 +426,13 @@ Result<std::string> ArdaService::HandleAugment(const json::Value& request) {
     std::lock_guard<std::mutex> lock(admit_mu_);
     if (inflight_ >= config_.max_queue_depth) {
       metrics::IncrementCounter("service.overload_rejected_total");
+      log::Warn("service.overloaded",
+                {log::Field::Str("request_id", request_id),
+                 log::Field::Uint("inflight", inflight_)});
       return StatusResponse(
           "overloaded",
-          StrFormat("admission queue full (%zu in flight)", inflight_));
+          StrFormat("admission queue full (%zu in flight)", inflight_),
+          request_id);
     }
     ++inflight_;
     metrics::SetGauge("service.queue_depth",
@@ -342,9 +444,10 @@ Result<std::string> ArdaService::HandleAugment(const json::Value& request) {
   Stopwatch watch;
   std::promise<Result<std::string>> promise;
   std::future<Result<std::string>> future = promise.get_future();
-  GlobalThreadPool().Submit([this, &request, &snapshot, &promise] {
-    promise.set_value(RunAugment(request, snapshot));
-  });
+  GlobalThreadPool().Submit(
+      [this, &request, &snapshot, &promise, stages_out] {
+        promise.set_value(RunAugment(request, snapshot, stages_out));
+      });
   Result<std::string> result = future.get();
   {
     std::lock_guard<std::mutex> lock(admit_mu_);
@@ -374,8 +477,14 @@ Result<std::string> ArdaService::HandleAugment(const json::Value& request) {
 
 Result<std::string> ArdaService::RunAugment(
     const json::Value& request,
-    std::shared_ptr<const Snapshot> snapshot) {
-  trace::StageScope scope("service.run_augment");
+    std::shared_ptr<const Snapshot> snapshot,
+    std::vector<trace::StageCollector::Entry>* stages_out) {
+  // Collect the per-stage wall times of this run (on this pool thread)
+  // for the slow-request log record. The caller blocks on the future, so
+  // writing into its vector after the scopes close is race-free.
+  trace::StageCollector collector;
+  Result<std::string> result = [&]() -> Result<std::string> {
+    trace::StageScope scope("service.run_augment");
   const std::string base_name = request.StringOr("base", "");
   const std::string target = request.StringOr("target", "");
   if (base_name.empty() || target.empty()) {
@@ -415,11 +524,15 @@ Result<std::string> ArdaService::RunAugment(
                                      core::DeterministicReportJson(report)));
   members.emplace("status", json::Value::MakeString("ok"));
   return json::Serialize(json::Value::MakeObject(std::move(members)));
+  }();
+  if (stages_out != nullptr) *stages_out = collector.entries();
+  return result;
 }
 
-Result<std::string> ArdaService::HandleIngest(const json::Value& request) {
+Result<std::string> ArdaService::HandleIngest(
+    const json::Value& request, const std::string& request_id) {
   if (shutting_down_.load(std::memory_order_relaxed)) {
-    return ShuttingDownResponse();
+    return ShuttingDownResponse(request_id);
   }
   // One ingest at a time; augment readers never block on this (they hold
   // their own shared_ptr to the snapshot they started with).
@@ -464,7 +577,39 @@ Result<std::string> ArdaService::HandleIngest(const json::Value& request) {
                     static_cast<double>(generation));
   metrics::ObserveLatency("service.ingest_seconds",
                           watch.ElapsedSeconds());
+  log::Info("service.ingested",
+            {log::Field::Str("request_id", request_id),
+             log::Field::Uint("generation", generation),
+             log::Field::F64("elapsed_ms",
+                             watch.ElapsedSeconds() * 1000.0)});
   return json::Serialize(json::Value::MakeObject(std::move(members)));
+}
+
+bool ArdaService::Ready(std::string* reason) const {
+  if (shutting_down_.load(std::memory_order_relaxed)) {
+    if (reason != nullptr) *reason = "draining";
+    return false;
+  }
+  if (CurrentSnapshot() == nullptr) {
+    if (reason != nullptr) *reason = "no repository snapshot loaded";
+    return false;
+  }
+  return true;
+}
+
+void ArdaService::PublishTelemetryGauges() {
+  metrics::Registry& registry = metrics::GlobalRegistry();
+  registry.AdvanceWindows(log::MonotonicSeconds());
+  metrics::Histogram& latency = registry.GetHistogram(
+      "service.request_seconds", metrics::LatencyBucketsSeconds());
+  metrics::SetGauge("service.request_latency_p50",
+                    latency.WindowQuantile(0.50));
+  metrics::SetGauge("service.request_latency_p90",
+                    latency.WindowQuantile(0.90));
+  metrics::SetGauge("service.request_latency_p99",
+                    latency.WindowQuantile(0.99));
+  metrics::UpdatePeakRssGauge();
+  simd::PublishLevelMetrics();
 }
 
 }  // namespace arda::service

@@ -17,6 +17,7 @@
 #include "service/wire.h"
 #include "util/json.h"
 #include "util/status.h"
+#include "util/trace.h"
 
 /// \file
 /// Long-lived augmentation service (docs/service.md): loads the data
@@ -49,6 +50,9 @@ struct ServiceConfig {
   /// Threads used to parse CSVs at Start/ingest (0 = hardware
   /// concurrency).
   size_t load_threads = 0;
+  /// Requests slower than this log a `service.slow_request` record with
+  /// the full per-stage breakdown (docs/observability.md); 0 disables.
+  double slow_request_ms = 0.0;
 };
 
 /// What LoadDirectory produced for one published snapshot.
@@ -99,7 +103,29 @@ class ArdaService {
   /// Handles one request payload and returns the response payload —
   /// the single entry point used by both the socket path and in-process
   /// tests. Never throws; malformed requests produce an "error" response.
+  /// The overload without an id mints a fallback one ("r<seq>"); the
+  /// socket path passes the per-connection id generated at accept.
+  /// Request ids never appear in augment "ok" responses (those are the
+  /// byte-identity surface, docs/service.md) — only in logs, trace spans
+  /// and status/error responses.
   std::string HandleRequest(const std::string& request_json);
+  std::string HandleRequest(const std::string& request_json,
+                            const std::string& request_id);
+
+  /// Readiness probe for the telemetry endpoint's /readyz: true once a
+  /// repository snapshot is published and the server is not draining.
+  /// Stays true across a COW ingest swap (the old snapshot keeps
+  /// serving); flips false on BeginShutdown. On false, `reason` (when
+  /// non-null) gets a short explanation.
+  bool Ready(std::string* reason = nullptr) const;
+
+  /// Refreshes the exported telemetry derived from the registry: rotates
+  /// the sliding quantile windows and publishes
+  /// `service.request_latency_p50/p90/p99` gauges (live window quantiles
+  /// of `service.request_seconds`), the peak-RSS gauge, and the SIMD
+  /// level gauges. Called before every /metrics scrape and every `stats`
+  /// response; safe from any thread.
+  void PublishTelemetryGauges();
 
  private:
   struct Snapshot {
@@ -125,16 +151,27 @@ class ArdaService {
                                            base = nullptr);
 
   /// Parses and dispatches one request; the Status arm of the result is
-  /// what HandleRequest turns into an "error" response.
-  Result<std::string> Dispatch(const std::string& request_json);
-  Result<std::string> HandleAugment(const json::Value& request);
-  Result<std::string> HandleIngest(const json::Value& request);
+  /// what HandleRequest turns into an "error" response. `type_out` gets
+  /// the request type for the request log; `stages_out` collects the
+  /// per-stage breakdown of an augment run for slow-request records.
+  Result<std::string> Dispatch(
+      const std::string& request_json, const std::string& request_id,
+      std::string* type_out,
+      std::vector<trace::StageCollector::Entry>* stages_out);
+  Result<std::string> HandleAugment(
+      const json::Value& request, const std::string& request_id,
+      std::vector<trace::StageCollector::Entry>* stages_out);
+  Result<std::string> HandleIngest(const json::Value& request,
+                                   const std::string& request_id);
   std::string HandleStats();
   std::string HandlePing();
 
-  /// Runs one augment request on the calling (pool) thread.
-  Result<std::string> RunAugment(const json::Value& request,
-                                 std::shared_ptr<const Snapshot> snapshot);
+  /// Runs one augment request on the calling (pool) thread; the stage
+  /// breakdown of the run lands in `stages_out`.
+  Result<std::string> RunAugment(
+      const json::Value& request,
+      std::shared_ptr<const Snapshot> snapshot,
+      std::vector<trace::StageCollector::Entry>* stages_out);
 
   void AcceptLoop();
   void ConnectionLoop(Socket socket);
@@ -169,6 +206,11 @@ class ArdaService {
   std::deque<std::string> results_order_;
 
   std::atomic<uint64_t> requests_total_{0};
+  /// Request-id generators: connections number themselves at accept and
+  /// requests within a connection get a sequence ("c<conn>-<seq>");
+  /// in-process callers without a connection get "r<seq>".
+  std::atomic<uint64_t> next_conn_id_{0};
+  std::atomic<uint64_t> fallback_request_seq_{0};
 
   std::thread accept_thread_;
   std::mutex conn_mu_;

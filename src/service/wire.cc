@@ -206,6 +206,23 @@ Result<std::string> RecvFrame(int fd, int wake_fd) {
   return payload;
 }
 
+Result<size_t> RecvSome(int fd, int wake_fd, char* out, size_t cap) {
+  for (;;) {
+    ARDA_RETURN_IF_ERROR(WaitReadable(fd, wake_fd));
+    ssize_t n = ::recv(fd, out, cap, 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Errno("recv");
+    }
+    if (n == 0) return Status::NotFound("closed");
+    return static_cast<size_t>(n);
+  }
+}
+
+Status SendAll(int fd, std::string_view data) {
+  return WriteExact(fd, data.data(), data.size());
+}
+
 Result<ServiceClient> ServiceClient::Connect(uint16_t port) {
   ARDA_ASSIGN_OR_RETURN(Socket sock, ConnectLocal(port));
   return ServiceClient(std::move(sock));
@@ -252,6 +269,8 @@ Result<Socket> AcceptInterruptible(const Socket&, int) {
 }
 Status SendFrame(int, std::string_view) { return Unsupported(); }
 Result<std::string> RecvFrame(int, int) { return Unsupported(); }
+Result<size_t> RecvSome(int, int, char*, size_t) { return Unsupported(); }
+Status SendAll(int, std::string_view) { return Unsupported(); }
 Result<ServiceClient> ServiceClient::Connect(uint16_t) {
   return Unsupported();
 }

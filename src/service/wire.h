@@ -72,6 +72,15 @@ Status SendFrame(int fd, std::string_view payload);
 /// IoError.
 Result<std::string> RecvFrame(int fd, int wake_fd = -1);
 
+/// Raw-stream helpers for protocols that are not length-prefixed frames
+/// (the telemetry HTTP endpoint rides on the same socket plumbing).
+/// RecvSome blocks until at least one byte is readable and reads up to
+/// `cap` bytes; a clean close returns NotFound("closed"), a wake with no
+/// pending data FailedPrecondition("interrupted"), as above.
+Result<size_t> RecvSome(int fd, int wake_fd, char* out, size_t cap);
+/// Writes all of `data` (EINTR/partial-write safe, no SIGPIPE).
+Status SendAll(int fd, std::string_view data);
+
 /// A blocking request/response client of the service, used by the load
 /// generator, the tests and the CI smoke lane.
 class ServiceClient {

@@ -3,6 +3,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <string>
 #include <string_view>
 
 /// \file
@@ -57,16 +58,43 @@ const char* LevelName(SimdLevel level);
 const char* ActiveLevelName();
 
 /// Pins the dispatch level. Returns false (and leaves the level alone)
-/// when the requested level is not supported on this machine.
+/// when the requested level is not supported on this machine. An explicit
+/// pin also pins the probe level (below) to the same value — "I asked for
+/// avx2" means all kernels, including the probes.
 bool SetLevel(SimdLevel level);
 
 /// Parses `auto` / `avx2` / `scalar` and pins the level. `auto` picks the
-/// highest supported level. Returns false on an unknown spec or an
+/// highest supported level for the bulk kernels but keeps the dict-probe
+/// kernels scalar (see ProbeLevel); explicit `scalar`/`avx2` pin every
+/// kernel to that level. Returns false on an unknown spec or an
 /// unsupported explicit level.
 bool SetLevelFromSpec(std::string_view spec);
 
-/// Exports the resolved level into the metrics registry: gauge
-/// `simd.level` (numeric SimdLevel) and `simd.avx2_supported` (0/1).
+/// The level the open-addressing probe kernels (Int64DictLookup,
+/// GroupLookup) dispatch on. Under `auto` this defaults to kScalar even
+/// on AVX2 machines: the home-slot probe is load-latency-bound, and
+/// out-of-order scalar loads beat AVX2 gathers there (the bench_kernels
+/// `simd_hash_probe` pair measured ~0.8x for the AVX2 path — see
+/// docs/benchmarks.md). Explicit `--simd=avx2` / `SetLevel(kAvx2)` /
+/// `ARDA_SIMD=avx2` still select AVX2 probes; the determinism contract
+/// holds either way.
+SimdLevel ProbeLevel();
+
+/// Pins the probe-kernel level independently of the bulk level (used by
+/// bench A/B harnesses to save/restore the full dispatch state). Returns
+/// false when the level is not supported on this machine.
+bool SetProbeLevel(SimdLevel level);
+
+/// Human-readable dispatch summary for reports and benchmarks: the plain
+/// level name when every kernel shares one level ("scalar", "avx2"),
+/// otherwise the bulk level annotated with the probe exception, e.g.
+/// "avx2(probe=scalar)". This is what the `simd_level` report field and
+/// the service ping carry.
+std::string DispatchSummary();
+
+/// Exports the resolved levels into the metrics registry: gauges
+/// `simd.level` and `simd.probe_level` (numeric SimdLevel) and
+/// `simd.avx2_supported` (0/1).
 void PublishLevelMetrics();
 
 // ---------------------------------------------------------------------------

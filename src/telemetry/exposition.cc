@@ -1,0 +1,102 @@
+#include "telemetry/exposition.h"
+
+#include <cctype>
+
+#include "util/string_util.h"
+
+namespace arda::telemetry {
+
+namespace {
+
+bool ValidNameChar(char c, bool first) {
+  if ((c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_' ||
+      c == ':') {
+    return true;
+  }
+  return !first && c >= '0' && c <= '9';
+}
+
+void AppendHeader(std::string* out, const std::string& prom_name,
+                  std::string_view repo_name, const char* type) {
+  *out += "# HELP " + prom_name + " ARDA metric " +
+          std::string(repo_name) + "\n";
+  *out += "# TYPE " + prom_name + " " + type + "\n";
+}
+
+}  // namespace
+
+std::string SanitizeMetricName(std::string_view name) {
+  std::string out;
+  out.reserve(name.size() + 1);
+  for (size_t i = 0; i < name.size(); ++i) {
+    const char c = name[i];
+    if (out.empty() && !ValidNameChar(c, /*first=*/true) &&
+        ValidNameChar(c, /*first=*/false)) {
+      out += '_';  // leading digit
+    }
+    out += ValidNameChar(c, /*first=*/out.empty()) ? c : '_';
+  }
+  if (out.empty()) out = "_";
+  return out;
+}
+
+std::string EscapeLabelValue(std::string_view value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '"':
+        out += "\\\"";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+std::string RenderPrometheus(const metrics::MetricsSnapshot& snapshot) {
+  std::string out;
+  out.reserve(4096);
+
+  for (const metrics::CounterSnapshot& c : snapshot.counters) {
+    const std::string name = SanitizeMetricName(c.name);
+    AppendHeader(&out, name, c.name, "counter");
+    out += name +
+           StrFormat(" %llu\n", static_cast<unsigned long long>(c.value));
+  }
+
+  for (const metrics::GaugeSnapshot& g : snapshot.gauges) {
+    const std::string name = SanitizeMetricName(g.name);
+    AppendHeader(&out, name, g.name, "gauge");
+    out += name + StrFormat(" %.10g\n", g.value);
+  }
+
+  for (const metrics::HistogramSnapshot& h : snapshot.histograms) {
+    const std::string name = SanitizeMetricName(h.name);
+    AppendHeader(&out, name, h.name, "histogram");
+    // The registry stores per-bucket counts; the exposition wants
+    // cumulative ones.
+    uint64_t cumulative = 0;
+    for (size_t b = 0; b < h.bucket_counts.size(); ++b) {
+      cumulative += h.bucket_counts[b];
+      const std::string le = metrics::BucketBoundLabel(h.bounds, b);
+      out += name + "_bucket{le=\"" + EscapeLabelValue(le) + "\"}" +
+             StrFormat(" %llu\n",
+                       static_cast<unsigned long long>(cumulative));
+    }
+    out += name + "_sum" + StrFormat(" %.10g\n", h.sum);
+    out += name + "_count" +
+           StrFormat(" %llu\n", static_cast<unsigned long long>(h.count));
+  }
+
+  return out;
+}
+
+}  // namespace arda::telemetry

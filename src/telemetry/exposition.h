@@ -1,0 +1,45 @@
+#ifndef ARDA_TELEMETRY_EXPOSITION_H_
+#define ARDA_TELEMETRY_EXPOSITION_H_
+
+#include <string>
+#include <string_view>
+
+#include "util/metrics.h"
+
+/// \file
+/// Prometheus text exposition (version 0.0.4) of the process metrics
+/// registry — the standard-scraper half of the telemetry subsystem
+/// (PR 9, docs/observability.md). The repo's dotted metric names
+/// (`service.requests_total`) are sanitized to the Prometheus charset
+/// (`service_requests_total`); the original dotted name rides along in
+/// the `# HELP` line so the two spellings stay correlatable.
+///
+/// Histograms render with CUMULATIVE `le` buckets (the registry stores
+/// per-bucket counts), a `+Inf` bucket equal to `_count`, and `_sum` /
+/// `_count` series. Bucket upper bounds go through
+/// `metrics::BucketBoundLabel` — the same helper `MetricsToJson` uses —
+/// so the JSON report and the exposition agree on every `le` edge
+/// byte-for-byte (tests/telemetry_test.cc pins this).
+
+namespace arda::telemetry {
+
+/// Content-Type of the rendered document.
+inline constexpr char kExpositionContentType[] =
+    "text/plain; version=0.0.4; charset=utf-8";
+
+/// Maps a repo metric name onto the Prometheus name charset
+/// [a-zA-Z_:][a-zA-Z0-9_:]*: every other byte becomes '_', and a leading
+/// digit gets a '_' prefix.
+std::string SanitizeMetricName(std::string_view name);
+
+/// Escapes a label value for the exposition format: backslash, double
+/// quote and newline become \\, \" and \n.
+std::string EscapeLabelValue(std::string_view value);
+
+/// Renders the whole snapshot as one exposition document (counters,
+/// gauges, histograms; series sorted by name within each kind).
+std::string RenderPrometheus(const metrics::MetricsSnapshot& snapshot);
+
+}  // namespace arda::telemetry
+
+#endif  // ARDA_TELEMETRY_EXPOSITION_H_

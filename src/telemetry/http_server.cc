@@ -1,0 +1,188 @@
+#include "telemetry/http_server.h"
+
+#include <cstring>
+
+#include "telemetry/exposition.h"
+#include "util/log.h"
+#include "util/metrics.h"
+#include "util/string_util.h"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#define ARDA_TELEMETRY_HAVE_PIPE 1
+#endif
+
+namespace arda::telemetry {
+
+namespace {
+
+/// Upper bound on a request head (request line + headers). A scraper's
+/// GET fits in a fraction of this; anything bigger is a client bug.
+constexpr size_t kMaxRequestHeadBytes = 8 * 1024;
+
+const char* ReasonPhrase(int status) {
+  switch (status) {
+    case 200:
+      return "OK";
+    case 400:
+      return "Bad Request";
+    case 404:
+      return "Not Found";
+    case 405:
+      return "Method Not Allowed";
+    case 503:
+      return "Service Unavailable";
+  }
+  return "Unknown";
+}
+
+std::string BuildResponse(int status, const std::string& content_type,
+                          const std::string& body) {
+  std::string out = StrFormat("HTTP/1.1 %d %s\r\n", status,
+                              ReasonPhrase(status));
+  out += "Content-Type: " + content_type + "\r\n";
+  out += StrFormat("Content-Length: %zu\r\n", body.size());
+  out += "Connection: close\r\n\r\n";
+  out += body;
+  return out;
+}
+
+}  // namespace
+
+HttpServer::~HttpServer() { Stop(); }
+
+Status HttpServer::Start(uint16_t port, Hooks hooks) {
+  if (started_) return Status::FailedPrecondition("already started");
+#if defined(ARDA_TELEMETRY_HAVE_PIPE)
+  int fds[2];
+  if (::pipe(fds) != 0) {
+    return Status::IoError("pipe for telemetry wakeup failed");
+  }
+  wake_read_fd_ = fds[0];
+  wake_write_fd_ = fds[1];
+#endif
+  ARDA_ASSIGN_OR_RETURN(listener_, service::ListenLocal(port));
+  ARDA_ASSIGN_OR_RETURN(port_, service::BoundPort(listener_));
+  hooks_ = std::move(hooks);
+  started_ = true;
+  thread_ = std::thread([this] { ServeLoop(); });
+  log::Info("telemetry.listening",
+            {log::Field::Int("port", static_cast<int64_t>(port_))});
+  return Status::Ok();
+}
+
+void HttpServer::Stop() {
+  if (started_) {
+#if defined(ARDA_TELEMETRY_HAVE_PIPE)
+    if (wake_write_fd_ >= 0) {
+      [[maybe_unused]] ssize_t n = ::write(wake_write_fd_, "x", 1);
+    }
+#endif
+    if (thread_.joinable()) thread_.join();
+    listener_.Close();
+    started_ = false;
+  }
+#if defined(ARDA_TELEMETRY_HAVE_PIPE)
+  if (wake_read_fd_ >= 0) ::close(wake_read_fd_);
+  if (wake_write_fd_ >= 0) ::close(wake_write_fd_);
+  wake_read_fd_ = -1;
+  wake_write_fd_ = -1;
+#endif
+}
+
+std::string HttpServer::HandlePath(const std::string& path,
+                                   int* status_out,
+                                   std::string* content_type_out) {
+  *content_type_out = "text/plain; charset=utf-8";
+  if (path == "/metrics") {
+    *status_out = 200;
+    *content_type_out = kExpositionContentType;
+    metrics::IncrementCounter("telemetry.scrapes_total");
+    return hooks_.collect_metrics
+               ? hooks_.collect_metrics()
+               : RenderPrometheus(metrics::GlobalRegistry().Snapshot());
+  }
+  if (path == "/healthz") {
+    *status_out = 200;
+    return "ok\n";
+  }
+  if (path == "/readyz") {
+    std::string reason;
+    const bool ready = !hooks_.ready || hooks_.ready(&reason);
+    *status_out = ready ? 200 : 503;
+    if (ready) return "ready\n";
+    return reason.empty() ? "not ready\n" : reason + "\n";
+  }
+  *status_out = 404;
+  return "not found\n";
+}
+
+void HttpServer::ServeLoop() {
+  for (;;) {
+    Result<service::Socket> conn =
+        service::AcceptInterruptible(listener_, wake_read_fd_);
+    if (!conn.ok()) {
+      // The wake pipe (shutdown) and real socket errors both end the
+      // loop; the endpoint is best-effort and never takes the daemon
+      // down with it.
+      if (conn.status().code() != StatusCode::kFailedPrecondition) {
+        log::Warn("telemetry.accept_error",
+                  {log::Field::Str("error", conn.status().message())});
+      }
+      return;
+    }
+    HandleConnection(std::move(conn).value());
+  }
+}
+
+void HttpServer::HandleConnection(service::Socket conn) {
+  // Read until the end of the request head. One connection at a time on
+  // the server thread: a scraper request is a handful of bytes and the
+  // response is Connection: close, so serialization is the simplest
+  // correct policy.
+  std::string head;
+  char buf[1024];
+  bool complete = false;
+  while (head.size() < kMaxRequestHeadBytes) {
+    Result<size_t> n =
+        service::RecvSome(conn.fd(), wake_read_fd_, buf, sizeof(buf));
+    if (!n.ok()) return;  // peer vanished or shutdown wake: drop it
+    head.append(buf, n.value());
+    if (head.find("\r\n\r\n") != std::string::npos ||
+        head.find("\n\n") != std::string::npos) {
+      complete = true;
+      break;
+    }
+  }
+
+  int status = 400;
+  std::string content_type = "text/plain; charset=utf-8";
+  std::string body = "bad request\n";
+  if (complete) {
+    // Request line: METHOD SP PATH SP VERSION.
+    const size_t eol = head.find_first_of("\r\n");
+    const std::string line = head.substr(0, eol);
+    const size_t sp1 = line.find(' ');
+    const size_t sp2 =
+        sp1 == std::string::npos ? std::string::npos
+                                 : line.find(' ', sp1 + 1);
+    if (sp1 != std::string::npos && sp2 != std::string::npos) {
+      const std::string method = line.substr(0, sp1);
+      std::string path = line.substr(sp1 + 1, sp2 - sp1 - 1);
+      const size_t query = path.find('?');
+      if (query != std::string::npos) path.resize(query);
+      if (method != "GET") {
+        status = 405;
+        body = "method not allowed\n";
+      } else {
+        body = HandlePath(path, &status, &content_type);
+      }
+    }
+  }
+  if (!service::SendAll(conn.fd(), BuildResponse(status, content_type, body))
+           .ok()) {
+    log::Debug("telemetry.send_failed");
+  }
+}
+
+}  // namespace arda::telemetry

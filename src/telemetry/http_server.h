@@ -1,0 +1,86 @@
+#ifndef ARDA_TELEMETRY_HTTP_SERVER_H_
+#define ARDA_TELEMETRY_HTTP_SERVER_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <thread>
+
+#include "service/wire.h"
+#include "util/status.h"
+
+/// \file
+/// Minimal embedded HTTP/1.1 endpoint for telemetry (PR 9): one thread,
+/// one connection at a time, GET only, `Connection: close` on every
+/// response — deliberately the smallest server that an off-the-shelf
+/// Prometheus scraper, `curl`, or a load-balancer health check can talk
+/// to. It reuses the service's socket plumbing (`service/wire.h`:
+/// ListenLocal / AcceptInterruptible / RecvSome / SendAll) including the
+/// wake-pipe shutdown idiom, and binds 127.0.0.1 only, like the service
+/// socket.
+///
+/// Routes:
+///   GET /metrics  -> 200, Prometheus text exposition (collect hook)
+///   GET /healthz  -> 200 "ok" while the process is up (liveness)
+///   GET /readyz   -> 200 "ready", or 503 + reason (readiness hook)
+/// Anything else  -> 404; non-GET methods -> 405; oversized or
+/// malformed request heads -> 400. Request heads are capped at 8 KiB.
+///
+/// This is the first increment of the roadmap's "HTTP front end"
+/// headroom item: scrape-sized traffic only — augmentation requests stay
+/// on the framed JSON protocol (docs/service.md).
+
+namespace arda::telemetry {
+
+class HttpServer {
+ public:
+  struct Hooks {
+    /// Returns the /metrics body (Prometheus text exposition). Called
+    /// once per scrape, on the server thread.
+    std::function<std::string()> collect_metrics;
+    /// Readiness probe: true when ready; on false, `reason` (may be
+    /// null-checked by the caller) carries a short explanation for the
+    /// 503 body. Unset means "always ready".
+    std::function<bool(std::string* reason)> ready;
+  };
+
+  HttpServer() = default;
+  ~HttpServer();
+
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  /// Binds 127.0.0.1:`port` (0 picks an ephemeral port) and starts the
+  /// serving thread.
+  Status Start(uint16_t port, Hooks hooks);
+
+  /// The bound port; 0 before Start.
+  uint16_t port() const { return port_; }
+
+  /// Wakes the serving thread, joins it, closes the listener.
+  /// Idempotent.
+  void Stop();
+
+  /// Routes one request path in-process — the unit-test surface and the
+  /// single implementation behind the socket loop. Returns the body;
+  /// `status_out` gets the HTTP status code, `content_type_out` the
+  /// Content-Type.
+  std::string HandlePath(const std::string& path, int* status_out,
+                         std::string* content_type_out);
+
+ private:
+  void ServeLoop();
+  void HandleConnection(service::Socket conn);
+
+  service::Socket listener_;
+  uint16_t port_ = 0;
+  Hooks hooks_;
+  std::thread thread_;
+  int wake_read_fd_ = -1;
+  int wake_write_fd_ = -1;
+  bool started_ = false;
+};
+
+}  // namespace arda::telemetry
+
+#endif  // ARDA_TELEMETRY_HTTP_SERVER_H_

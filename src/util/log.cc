@@ -1,0 +1,271 @@
+#include "util/log.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+
+#include "util/string_util.h"
+
+namespace arda::log {
+
+namespace {
+
+std::atomic<int> g_level{static_cast<int>(Level::kWarn)};
+std::atomic<int> g_format{static_cast<int>(Format::kText)};
+
+std::mutex& SinkMutex() {
+  static std::mutex* mu = new std::mutex();
+  return *mu;
+}
+
+// Guarded by SinkMutex(). Leaked so logging stays safe during shutdown.
+std::function<void(const std::string&)>*& SinkSlot() {
+  static std::function<void(const std::string&)>* sink = nullptr;
+  return sink;
+}
+
+std::chrono::steady_clock::time_point ProcessStart() {
+  static const std::chrono::steady_clock::time_point start =
+      std::chrono::steady_clock::now();
+  return start;
+}
+
+double WallSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();
+}
+
+void WriteLine(const std::string& line) {
+  std::lock_guard<std::mutex> lock(SinkMutex());
+  if (SinkSlot() != nullptr) {
+    (*SinkSlot())(line);
+    return;
+  }
+  std::fprintf(stderr, "%s\n", line.c_str());
+  std::fflush(stderr);
+}
+
+const char* LevelNameUpper(Level level) {
+  switch (level) {
+    case Level::kDebug:
+      return "DEBUG";
+    case Level::kInfo:
+      return "INFO";
+    case Level::kWarn:
+      return "WARN";
+    case Level::kError:
+      return "ERROR";
+    case Level::kOff:
+      return "OFF";
+  }
+  return "?";
+}
+
+template <typename Fields>
+void LogImpl(Level level, std::string_view event, const Fields& fields) {
+  if (!Enabled(level) || level == Level::kOff) return;
+  const double mono = MonotonicSeconds();
+  const double wall = WallSeconds();
+  std::string line;
+  line.reserve(128);
+  if (GlobalFormat() == Format::kJson) {
+    line += StrFormat("{\"ts\": %.6f, \"mono\": %.6f, \"level\": \"%s\", ",
+                      wall, mono, LevelName(level));
+    line += "\"event\": \"" + JsonEscape(event) + "\"";
+    for (const Field& f : fields) {
+      line += ", ";
+      f.AppendJson(&line);
+    }
+    line += "}";
+  } else {
+    line += "[";
+    line += LevelNameUpper(level);
+    line += "] ";
+    line += event;
+    for (const Field& f : fields) {
+      line += " ";
+      f.AppendText(&line);
+    }
+  }
+  WriteLine(line);
+}
+
+}  // namespace
+
+const char* LevelName(Level level) {
+  switch (level) {
+    case Level::kDebug:
+      return "debug";
+    case Level::kInfo:
+      return "info";
+    case Level::kWarn:
+      return "warn";
+    case Level::kError:
+      return "error";
+    case Level::kOff:
+      return "off";
+  }
+  return "?";
+}
+
+Field Field::Str(std::string_view key, std::string_view value) {
+  Field f(key, Kind::kString);
+  f.str_ = std::string(value);
+  return f;
+}
+
+Field Field::Int(std::string_view key, int64_t value) {
+  Field f(key, Kind::kInt);
+  f.int_ = value;
+  return f;
+}
+
+Field Field::Uint(std::string_view key, uint64_t value) {
+  Field f(key, Kind::kUint);
+  f.uint_ = value;
+  return f;
+}
+
+Field Field::F64(std::string_view key, double value) {
+  Field f(key, Kind::kDouble);
+  f.double_ = value;
+  return f;
+}
+
+Field Field::Bool(std::string_view key, bool value) {
+  Field f(key, Kind::kBool);
+  f.bool_ = value;
+  return f;
+}
+
+void Field::AppendText(std::string* out) const {
+  *out += key_;
+  *out += "=";
+  switch (kind_) {
+    case Kind::kString:
+      *out += str_;
+      break;
+    case Kind::kInt:
+      *out += StrFormat("%lld", static_cast<long long>(int_));
+      break;
+    case Kind::kUint:
+      *out += StrFormat("%llu", static_cast<unsigned long long>(uint_));
+      break;
+    case Kind::kDouble:
+      *out += StrFormat("%.6g", double_);
+      break;
+    case Kind::kBool:
+      *out += bool_ ? "true" : "false";
+      break;
+  }
+}
+
+void Field::AppendJson(std::string* out) const {
+  *out += "\"" + JsonEscape(key_) + "\": ";
+  switch (kind_) {
+    case Kind::kString:
+      *out += "\"" + JsonEscape(str_) + "\"";
+      break;
+    case Kind::kInt:
+      *out += StrFormat("%lld", static_cast<long long>(int_));
+      break;
+    case Kind::kUint:
+      *out += StrFormat("%llu", static_cast<unsigned long long>(uint_));
+      break;
+    case Kind::kDouble:
+      *out += StrFormat("%.6g", double_);
+      break;
+    case Kind::kBool:
+      *out += bool_ ? "true" : "false";
+      break;
+  }
+}
+
+Level GlobalLevel() {
+  return static_cast<Level>(g_level.load(std::memory_order_relaxed));
+}
+
+void SetLevel(Level level) {
+  g_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+bool SetLevelFromSpec(std::string_view spec) {
+  const std::string lower = ToLower(spec);
+  if (lower == "debug") {
+    SetLevel(Level::kDebug);
+  } else if (lower == "info") {
+    SetLevel(Level::kInfo);
+  } else if (lower == "warn" || lower == "warning") {
+    SetLevel(Level::kWarn);
+  } else if (lower == "error") {
+    SetLevel(Level::kError);
+  } else if (lower == "off" || lower == "none") {
+    SetLevel(Level::kOff);
+  } else {
+    return false;
+  }
+  return true;
+}
+
+Format GlobalFormat() {
+  return static_cast<Format>(g_format.load(std::memory_order_relaxed));
+}
+
+void SetFormat(Format format) {
+  g_format.store(static_cast<int>(format), std::memory_order_relaxed);
+}
+
+bool SetFormatFromSpec(std::string_view spec) {
+  const std::string lower = ToLower(spec);
+  if (lower == "text") {
+    SetFormat(Format::kText);
+  } else if (lower == "json") {
+    SetFormat(Format::kJson);
+  } else {
+    return false;
+  }
+  return true;
+}
+
+void InitFromEnvironment() {
+  static std::once_flag once;
+  std::call_once(once, [] {
+    const char* spec = std::getenv("ARDA_LOG");
+    if (spec == nullptr || spec[0] == '\0') return;
+    if (!SetLevelFromSpec(spec)) {
+      std::fprintf(stderr,
+                   "[WARN] log.bad_level spec=%s (expected "
+                   "debug|info|warn|error|off; keeping %s)\n",
+                   spec, LevelName(GlobalLevel()));
+    }
+  });
+}
+
+void Log(Level level, std::string_view event,
+         std::initializer_list<Field> fields) {
+  LogImpl(level, event, fields);
+}
+
+void Log(Level level, std::string_view event,
+         const std::vector<Field>& fields) {
+  LogImpl(level, event, fields);
+}
+
+void SetSinkForTest(std::function<void(const std::string&)> sink) {
+  std::lock_guard<std::mutex> lock(SinkMutex());
+  delete SinkSlot();
+  SinkSlot() = sink ? new std::function<void(const std::string&)>(
+                          std::move(sink))
+                    : nullptr;
+}
+
+double MonotonicSeconds() {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       ProcessStart())
+      .count();
+}
+
+}  // namespace arda::log

@@ -1,0 +1,138 @@
+#ifndef ARDA_UTIL_LOG_H_
+#define ARDA_UTIL_LOG_H_
+
+#include <cstdint>
+#include <functional>
+#include <initializer_list>
+#include <string>
+#include <string_view>
+#include <vector>
+
+/// \file
+/// Structured, leveled logging for the long-lived service (PR 9).
+///
+/// Every record is a single line on stderr. Two formats:
+///
+/// - `text` (the default — the always-safe fallback matching the repo's
+///   historical plain-text diagnostics):
+///   `[WARN] service.slow_request request_id=c3-7 elapsed_ms=912.4`
+/// - `json` (for log aggregators): one RFC 8259 object per line with
+///   fixed envelope fields `ts` (wall clock, seconds since the Unix
+///   epoch), `mono` (monotonic seconds since process start — subtraction
+///   between records is immune to wall-clock steps), `level`, `event`,
+///   then the record's own fields in call order.
+///
+/// The default level is `warn`: the one-shot CLI and the benches stay
+/// quiet unless something is wrong. The service turns request logging on
+/// with `--log-level=info`. `ARDA_LOG=<level>` is the environment
+/// spelling; like `ARDA_SIMD` / `ARDA_FAULT` it is read exactly once per
+/// process (`InitFromEnvironment` from `main`, idempotent, before worker
+/// threads start — docs/observability.md).
+///
+/// Logging is observation-only and must never feed back into results
+/// (the determinism contract in DESIGN.md covers it): a record is
+/// rendered and written, nothing more. Writes take one mutex so
+/// concurrent records never interleave mid-line.
+
+namespace arda::log {
+
+enum class Level : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarn = 2,
+  kError = 3,
+  kOff = 4,
+};
+
+/// "debug" / "info" / "warn" / "error" / "off".
+const char* LevelName(Level level);
+
+enum class Format : int {
+  kText = 0,
+  kJson = 1,
+};
+
+/// One key/value pair in a record. Values keep their type in the JSON
+/// format (numbers and booleans unquoted); the text format renders
+/// `key=value` with strings unescaped.
+class Field {
+ public:
+  static Field Str(std::string_view key, std::string_view value);
+  static Field Int(std::string_view key, int64_t value);
+  static Field Uint(std::string_view key, uint64_t value);
+  static Field F64(std::string_view key, double value);
+  static Field Bool(std::string_view key, bool value);
+
+  void AppendText(std::string* out) const;
+  void AppendJson(std::string* out) const;
+  const std::string& key() const { return key_; }
+
+ private:
+  enum class Kind { kString, kInt, kUint, kDouble, kBool };
+  Field(std::string_view key, Kind kind) : key_(key), kind_(kind) {}
+
+  std::string key_;
+  Kind kind_;
+  std::string str_;
+  int64_t int_ = 0;
+  uint64_t uint_ = 0;
+  double double_ = 0.0;
+  bool bool_ = false;
+};
+
+/// Current threshold: records below it are dropped before rendering.
+Level GlobalLevel();
+void SetLevel(Level level);
+/// Accepts the level names above; returns false (and changes nothing)
+/// on an unknown spelling.
+bool SetLevelFromSpec(std::string_view spec);
+
+Format GlobalFormat();
+void SetFormat(Format format);
+/// "text" or "json"; returns false on an unknown spelling.
+bool SetFormatFromSpec(std::string_view spec);
+
+/// Reads `ARDA_LOG` (a level name) once per process; idempotent.
+void InitFromEnvironment();
+
+/// Cheap pre-check for call sites that build expensive fields.
+inline bool Enabled(Level level) {
+  return static_cast<int>(level) >= static_cast<int>(GlobalLevel());
+}
+
+/// Renders and writes one record (one line) if `level` passes the
+/// threshold. `event` follows the metric naming convention: lower-case
+/// dotted path, e.g. `service.request`, `service.slow_request`.
+void Log(Level level, std::string_view event,
+         std::initializer_list<Field> fields = {});
+void Log(Level level, std::string_view event,
+         const std::vector<Field>& fields);
+
+inline void Debug(std::string_view event,
+                  std::initializer_list<Field> fields = {}) {
+  Log(Level::kDebug, event, fields);
+}
+inline void Info(std::string_view event,
+                 std::initializer_list<Field> fields = {}) {
+  Log(Level::kInfo, event, fields);
+}
+inline void Warn(std::string_view event,
+                 std::initializer_list<Field> fields = {}) {
+  Log(Level::kWarn, event, fields);
+}
+inline void Error(std::string_view event,
+                  std::initializer_list<Field> fields = {}) {
+  Log(Level::kError, event, fields);
+}
+
+/// Redirects rendered lines (without the trailing newline) to `sink`
+/// instead of stderr; pass nullptr to restore stderr. Test-only.
+void SetSinkForTest(std::function<void(const std::string&)> sink);
+
+/// Monotonic seconds since process start (first use). Exposed so other
+/// subsystems can stamp the same clock the `mono` field uses.
+double MonotonicSeconds();
+
+}  // namespace arda::log
+
+#endif  // ARDA_UTIL_LOG_H_

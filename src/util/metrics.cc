@@ -90,6 +90,91 @@ void Histogram::Reset() {
              std::memory_order_relaxed);
   max_.store(-std::numeric_limits<double>::infinity(),
              std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(window_mu_);
+  ring_.clear();
+  last_rotate_seconds_ = 0.0;
+  ring_started_ = false;
+}
+
+Histogram::WindowSnapshot Histogram::CaptureSnapshot() const {
+  WindowSnapshot snap;
+  snap.counts = BucketCounts();
+  snap.count = Count();
+  return snap;
+}
+
+double Histogram::QuantileSince(double q,
+                                const WindowSnapshot* baseline) const {
+  q = std::min(1.0, std::max(0.0, q));
+  std::vector<uint64_t> counts = BucketCounts();
+  uint64_t total = count_.load(std::memory_order_relaxed);
+  if (baseline != nullptr && baseline->counts.size() == counts.size()) {
+    for (size_t i = 0; i < counts.size(); ++i) {
+      counts[i] -= std::min(counts[i], baseline->counts[i]);
+    }
+    total -= std::min(total, baseline->count);
+  }
+  if (total == 0) return 0.0;
+  if (bounds_.empty()) return 0.0;
+  // Prometheus histogram_quantile: find the bucket the rank lands in,
+  // interpolate linearly inside it. Rank is 1-based like Prometheus's
+  // `rank = q * total`.
+  const double rank = q * static_cast<double>(total);
+  uint64_t cumulative = 0;
+  for (size_t i = 0; i < counts.size(); ++i) {
+    cumulative += counts[i];
+    if (static_cast<double>(cumulative) < rank) continue;
+    if (i == bounds_.size()) {
+      // Rank lands in the overflow bucket: the best bounded statement we
+      // can make is the highest finite bound.
+      return bounds_.back();
+    }
+    const double upper = bounds_[i];
+    const double lower = i == 0 ? 0.0 : bounds_[i - 1];
+    const uint64_t in_bucket = counts[i];
+    if (in_bucket == 0) return upper;
+    const uint64_t below = cumulative - in_bucket;
+    const double fraction =
+        (rank - static_cast<double>(below)) / static_cast<double>(in_bucket);
+    return lower + (upper - lower) * std::min(1.0, std::max(0.0, fraction));
+  }
+  return bounds_.back();
+}
+
+double Histogram::Quantile(double q) const {
+  return QuantileSince(q, nullptr);
+}
+
+double Histogram::WindowQuantile(double q) const {
+  std::lock_guard<std::mutex> lock(window_mu_);
+  if (ring_.empty()) return QuantileSince(q, nullptr);
+  return QuantileSince(q, &ring_.front());
+}
+
+void Histogram::MaybeRotate(double now_seconds) {
+  std::lock_guard<std::mutex> lock(window_mu_);
+  if (!ring_started_) {
+    ring_started_ = true;
+    last_rotate_seconds_ = now_seconds;
+    ring_.push_back(CaptureSnapshot());
+    return;
+  }
+  double elapsed = now_seconds - last_rotate_seconds_;
+  if (elapsed < kQuantileWindowSeconds) return;
+  if (elapsed >= kQuantileWindowSeconds * (kQuantileWindows + 1)) {
+    // The exporter went away for longer than the whole ring covers:
+    // everything in it is stale, start over from a fresh baseline.
+    ring_.clear();
+    ring_.push_back(CaptureSnapshot());
+    last_rotate_seconds_ = now_seconds;
+    return;
+  }
+  while (elapsed >= kQuantileWindowSeconds) {
+    ring_.push_back(CaptureSnapshot());
+    while (ring_.size() > kQuantileWindows) ring_.pop_front();
+    last_rotate_seconds_ += kQuantileWindowSeconds;
+    elapsed -= kQuantileWindowSeconds;
+  }
 }
 
 const std::vector<double>& LatencyBucketsSeconds() {
@@ -102,6 +187,14 @@ const std::vector<double>& SizeBuckets() {
   static const std::vector<double>* buckets = new std::vector<double>{
       1.0, 10.0, 100.0, 1e3, 1e4, 1e5, 1e6, 1e7, 1e8, 1e9};
   return *buckets;
+}
+
+std::string BucketBoundLabel(const std::vector<double>& bounds,
+                             size_t bucket_index) {
+  if (bucket_index >= bounds.size()) return "+Inf";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", bounds[bucket_index]);
+  return buf;
 }
 
 uint64_t MetricsSnapshot::CounterValue(std::string_view name) const {
@@ -169,6 +262,11 @@ MetricsSnapshot Registry::Snapshot() const {
     snap.histograms.push_back(std::move(h));
   }
   return snap;
+}
+
+void Registry::AdvanceWindows(double now_seconds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, hist] : histograms_) hist->MaybeRotate(now_seconds);
 }
 
 void Registry::ResetForTest() {

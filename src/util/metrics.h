@@ -3,6 +3,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <deque>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -61,8 +62,20 @@ class Gauge {
 /// upper bounds ("le" semantics — a value lands in the first bucket whose
 /// bound is >= the value); one implicit overflow bucket catches the rest.
 /// Also tracks count, sum, min and max of observed values.
+///
+/// On top of the cumulative counts the histogram keeps a sliding-window
+/// quantile estimator: a ring of bucket-count snapshots (kQuantileWindows
+/// windows of kQuantileWindowSeconds each) advanced by MaybeRotate —
+/// exporters call it on their own cadence (the /metrics scrape path, the
+/// service `stats` request); Observe never touches the ring, so the hot
+/// path stays a handful of relaxed atomics.
 class Histogram {
  public:
+  /// Sliding-window shape: 12 windows x 10 s = quantiles over roughly the
+  /// last two minutes once the ring is warm.
+  static constexpr size_t kQuantileWindows = 12;
+  static constexpr double kQuantileWindowSeconds = 10.0;
+
   explicit Histogram(std::vector<double> bounds);
 
   void Observe(double value);
@@ -77,13 +90,48 @@ class Histogram {
   double Max() const;
   void Reset();
 
+  /// Prometheus-style quantile estimate (histogram_quantile semantics:
+  /// linear interpolation inside the bucket the rank lands in; the
+  /// overflow bucket reports the highest finite bound) over every
+  /// observation so far. `q` in [0, 1]; 0 when nothing was observed.
+  double Quantile(double q) const;
+
+  /// Quantile estimate over the sliding window: observations since the
+  /// oldest snapshot in the ring (up to kQuantileWindows windows back,
+  /// window-granular). Before the first rotation this is the all-time
+  /// estimate.
+  double WindowQuantile(double q) const;
+
+  /// Advances the snapshot ring. `now_seconds` is any monotonic clock in
+  /// seconds; the first call fixes the baseline, later calls push one
+  /// snapshot per elapsed window (a gap longer than the whole ring
+  /// resets it to a single fresh baseline). Cheap no-op within a window.
+  void MaybeRotate(double now_seconds);
+
  private:
+  /// Cumulative state captured at one window boundary.
+  struct WindowSnapshot {
+    std::vector<uint64_t> counts;  // bounds_.size() + 1
+    uint64_t count = 0;
+  };
+
+  WindowSnapshot CaptureSnapshot() const;
+  /// Quantile over (current cumulative counts - `baseline`); `baseline`
+  /// may be null for the all-time estimate.
+  double QuantileSince(double q, const WindowSnapshot* baseline) const;
+
   std::vector<double> bounds_;
   std::unique_ptr<std::atomic<uint64_t>[]> counts_;  // bounds_.size() + 1
   std::atomic<uint64_t> count_{0};
   std::atomic<double> sum_{0.0};
   std::atomic<double> min_;
   std::atomic<double> max_;
+
+  /// Ring state (cold path only: rotation and quantile reads).
+  mutable std::mutex window_mu_;
+  std::deque<WindowSnapshot> ring_;
+  double last_rotate_seconds_ = 0.0;
+  bool ring_started_ = false;
 };
 
 /// Default latency buckets in seconds: 1µs … 100s, decade-spaced.
@@ -91,6 +139,14 @@ const std::vector<double>& LatencyBucketsSeconds();
 
 /// Default size/count buckets: 1 … 1e9, decade-spaced.
 const std::vector<double>& SizeBuckets();
+
+/// Canonical rendering of one histogram bucket upper bound: `%.6g` for
+/// the finite bounds, `"+Inf"` for the overflow bucket
+/// (`bucket_index == bounds.size()`). Every emitter of `le` edges — the
+/// JSON report's `MetricsToJson` and the Prometheus exposition — must go
+/// through this helper so the two surfaces agree byte-for-byte.
+std::string BucketBoundLabel(const std::vector<double>& bounds,
+                             size_t bucket_index);
 
 /// Point-in-time copy of every registered metric, sorted by name.
 struct CounterSnapshot {
@@ -132,6 +188,12 @@ class Registry {
                           const std::vector<double>& bounds);
 
   MetricsSnapshot Snapshot() const;
+
+  /// Rotates every histogram's sliding quantile window
+  /// (Histogram::MaybeRotate). Exporters call this right before reading
+  /// WindowQuantile so windows age even when individual histograms go
+  /// quiet.
+  void AdvanceWindows(double now_seconds);
 
   /// Zeroes every metric in place. References handed out earlier remain
   /// valid; histogram bounds are preserved.

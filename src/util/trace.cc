@@ -208,6 +208,20 @@ Status WriteJson(const std::string& path) {
   return Status::Ok();
 }
 
+namespace {
+
+thread_local StageCollector* g_stage_collector = nullptr;
+
+}  // namespace
+
+StageCollector::StageCollector() : previous_(g_stage_collector) {
+  g_stage_collector = this;
+}
+
+StageCollector::~StageCollector() { g_stage_collector = previous_; }
+
+StageCollector* StageCollector::Current() { return g_stage_collector; }
+
 }  // namespace arda::trace
 
 namespace arda::trace_internal {
@@ -217,6 +231,9 @@ void ObserveStageSeconds(const char* stage, double seconds) {
       .GetHistogram(std::string("stage.") + stage,
                     metrics::LatencyBucketsSeconds())
       .Observe(seconds);
+  if (trace::StageCollector* collector = trace::StageCollector::Current()) {
+    collector->Add(stage, seconds);
+  }
 }
 
 }  // namespace arda::trace_internal

@@ -5,6 +5,7 @@
 #include <chrono>
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "util/status.h"
 
@@ -109,6 +110,43 @@ void ObserveStageSeconds(const char* stage, double seconds);
 }  // namespace arda::trace_internal
 
 namespace arda::trace {
+
+/// Thread-local collector of per-stage wall times, for slow-request
+/// diagnostics (PR 9): while one is installed on a thread, every
+/// StageScope ending on that thread also appends `{stage, seconds}`
+/// here (the always-on `stage.*` histogram still gets its observation —
+/// collection is strictly additive). The service's RunAugment installs
+/// one on the pool thread running a request, so a request that trips
+/// `--slow-request-ms` can log its full stage breakdown without tracing
+/// armed. Collectors nest: the innermost installed one wins until it
+/// goes out of scope.
+class StageCollector {
+ public:
+  struct Entry {
+    const char* stage;  // static-lifetime (StageScope contract)
+    double seconds;
+  };
+
+  StageCollector();
+  ~StageCollector();
+
+  StageCollector(const StageCollector&) = delete;
+  StageCollector& operator=(const StageCollector&) = delete;
+
+  const std::vector<Entry>& entries() const { return entries_; }
+
+  /// The collector currently installed on this thread; null when none.
+  static StageCollector* Current();
+
+ private:
+  friend void trace_internal::ObserveStageSeconds(const char*, double);
+  void Add(const char* stage, double seconds) {
+    entries_.push_back({stage, seconds});
+  }
+
+  std::vector<Entry> entries_;
+  StageCollector* previous_ = nullptr;
+};
 
 /// Combined pipeline-stage scope: opens a TraceSpan named `stage` and, on
 /// destruction, records the elapsed wall time into the always-on metrics

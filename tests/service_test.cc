@@ -9,6 +9,7 @@
 
 #include <filesystem>
 #include <fstream>
+#include <mutex>
 #include <set>
 #include <string>
 #include <thread>
@@ -25,6 +26,7 @@
 #include "util/fault.h"
 #include "util/interrupt.h"
 #include "util/json.h"
+#include "util/log.h"
 #include "util/metrics.h"
 #include "util/rng.h"
 #include "util/string_util.h"
@@ -297,6 +299,44 @@ TEST(ServiceTest, ConcurrentAugmentsAreByteIdenticalToPipeline) {
   json::Value threaded =
       MustParse(server.HandleRequest(AugmentRequest(42, 4)));
   EXPECT_EQ(threaded.StringOr("report_json", ""), *reference);
+}
+
+TEST(ServiceTest, TelemetryEnabledAugmentsStayByteIdentical) {
+  // The observability machinery (PR 9) is observation-only: with request
+  // logging at debug, JSON records, and the slow-request breakdown armed
+  // for every request, augment responses still match the one-shot
+  // pipeline byte for byte and carry no request id.
+  ServiceDir data("arda_svc_telemetry");
+  Result<std::string> reference = ReferenceReport(data);
+  ASSERT_TRUE(reference.ok()) << reference.status().ToString();
+
+  std::vector<std::string> lines;
+  log::SetSinkForTest([&lines](const std::string& line) {
+    static std::mutex mu;
+    std::lock_guard<std::mutex> lock(mu);
+    lines.push_back(line);
+  });
+  log::SetLevel(log::Level::kDebug);
+  log::SetFormat(log::Format::kJson);
+
+  service::ServiceConfig config;
+  config.data_dir = data.dir.string();
+  config.slow_request_ms = 0.000001;  // every request logs its breakdown
+  service::ArdaService server(config);
+  ASSERT_TRUE(server.Start().ok());
+  const std::string response =
+      server.HandleRequest(AugmentRequest(), "c5-1");
+
+  log::SetSinkForTest(nullptr);
+  log::SetLevel(log::Level::kWarn);
+  log::SetFormat(log::Format::kText);
+
+  json::Value parsed = MustParse(response);
+  ASSERT_EQ(parsed.StringOr("status", ""), "ok")
+      << parsed.StringOr("error", "");
+  EXPECT_EQ(parsed.StringOr("report_json", ""), *reference);
+  EXPECT_EQ(response.find("request_id"), std::string::npos);
+  EXPECT_FALSE(lines.empty());
 }
 
 TEST(ServiceTest, ResidentResultCacheServesRepeats) {

@@ -32,14 +32,19 @@ uint64_t NextRand(uint64_t* state) {
 const size_t kSizes[] = {0,  1,  2,  3,  4,  5,  7,  8,  31, 32,
                          33, 63, 64, 65, 100, 255, 256, 1000};
 
-// Restores the entry dispatch level when a test exits.
+// Restores the entry dispatch state (bulk level and probe level — an
+// explicit SetLevel pins both) when a test exits.
 class LevelGuard {
  public:
-  LevelGuard() : saved_(ActiveLevel()) {}
-  ~LevelGuard() { SetLevel(saved_); }
+  LevelGuard() : saved_(ActiveLevel()), saved_probe_(ProbeLevel()) {}
+  ~LevelGuard() {
+    SetLevel(saved_);
+    SetProbeLevel(saved_probe_);
+  }
 
  private:
   SimdLevel saved_;
+  SimdLevel saved_probe_;
 };
 
 // Runs `body` once per supported dispatch level (always at least
@@ -80,6 +85,34 @@ TEST(SimdDispatchTest, SpecParsing) {
   EXPECT_FALSE(SetLevelFromSpec("sse9"));
   EXPECT_FALSE(SetLevelFromSpec(""));
   EXPECT_EQ(SetLevelFromSpec("avx2"), Avx2Supported());
+}
+
+TEST(SimdDispatchTest, AutoKeepsProbesScalarExplicitPinsEverything) {
+  LevelGuard guard;
+  // `auto` resolves the bulk level to the highest supported one but keeps
+  // the load-latency-bound probe kernels scalar (docs/benchmarks.md,
+  // `simd_hash_probe`).
+  ASSERT_TRUE(SetLevelFromSpec("auto"));
+  EXPECT_EQ(ProbeLevel(), SimdLevel::kScalar);
+  if (Avx2Supported()) {
+    EXPECT_EQ(ActiveLevel(), SimdLevel::kAvx2);
+    EXPECT_EQ(DispatchSummary(), "avx2(probe=scalar)");
+    // Explicit avx2 pins the probes too — the opt-in is preserved.
+    ASSERT_TRUE(SetLevelFromSpec("avx2"));
+    EXPECT_EQ(ProbeLevel(), SimdLevel::kAvx2);
+    EXPECT_EQ(DispatchSummary(), "avx2");
+    ASSERT_TRUE(SetLevel(SimdLevel::kAvx2));
+    EXPECT_EQ(ProbeLevel(), SimdLevel::kAvx2);
+  } else {
+    EXPECT_EQ(DispatchSummary(), "scalar");
+  }
+  // Explicit scalar pins everything scalar.
+  ASSERT_TRUE(SetLevelFromSpec("scalar"));
+  EXPECT_EQ(ProbeLevel(), SimdLevel::kScalar);
+  EXPECT_EQ(DispatchSummary(), "scalar");
+  // The probe level can be restored independently (bench harness idiom).
+  EXPECT_TRUE(SetProbeLevel(SimdLevel::kScalar));
+  EXPECT_EQ(SetProbeLevel(SimdLevel::kAvx2), Avx2Supported());
 }
 
 TEST(SimdDispatchTest, MetricsGauge) {

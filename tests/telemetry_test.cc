@@ -1,0 +1,891 @@
+// Tests for the telemetry surface (PR 9): Prometheus text exposition
+// conformance (hand-rolled parser — no scraper dependency), the shared
+// bucket-edge contract between MetricsToJson and the exposition, the
+// sliding-window quantile estimator, structured logging, the per-stage
+// collector, the embedded HTTP endpoint (in-process routing plus a real
+// socket round trip), and the service readiness probe flipping across a
+// COW ingest swap and a graceful drain.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <limits>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/options.h"
+#include "core/report_io.h"
+#include "service/service.h"
+#include "telemetry/exposition.h"
+#include "telemetry/http_server.h"
+#include "util/json.h"
+#include "util/log.h"
+#include "util/metrics.h"
+#include "util/rng.h"
+#include "util/string_util.h"
+#include "util/trace.h"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+#define ARDA_TELEMETRY_TEST_SOCKETS 1
+#endif
+
+namespace arda {
+namespace {
+
+namespace fs = std::filesystem;
+
+json::Value MustParse(const std::string& text) {
+  Result<json::Value> parsed = json::Parse(text);
+  ARDA_CHECK(parsed.ok());
+  return std::move(*parsed);
+}
+
+// --- hand-rolled exposition parser (the conformance reference) ---
+
+struct PromSample {
+  std::string name;
+  std::map<std::string, std::string> labels;
+  double value = 0.0;
+};
+
+struct PromDoc {
+  std::map<std::string, std::string> help;  // family -> help text
+  std::map<std::string, std::string> type;  // family -> counter|gauge|...
+  std::vector<PromSample> samples;
+};
+
+bool ValidPromName(const std::string& name) {
+  if (name.empty()) return false;
+  for (size_t i = 0; i < name.size(); ++i) {
+    const char c = name[i];
+    const bool alpha = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                       c == '_' || c == ':';
+    const bool digit = c >= '0' && c <= '9';
+    if (!(alpha || (i > 0 && digit))) return false;
+  }
+  return true;
+}
+
+// Parses one exposition document; returns false (with a diagnostic in
+// `error`) on any malformed line. Escape handling mirrors the format
+// spec: \\, \" and \n inside label values.
+bool ParsePromText(const std::string& text, PromDoc* doc,
+                   std::string* error) {
+  size_t pos = 0;
+  while (pos < text.size()) {
+    size_t eol = text.find('\n', pos);
+    if (eol == std::string::npos) {
+      *error = "document does not end in a newline";
+      return false;
+    }
+    const std::string line = text.substr(pos, eol - pos);
+    pos = eol + 1;
+    if (line.empty()) continue;
+    if (line[0] == '#') {
+      // "# HELP name text" / "# TYPE name kind"
+      if (line.rfind("# HELP ", 0) == 0) {
+        const std::string rest = line.substr(7);
+        const size_t sp = rest.find(' ');
+        if (sp == std::string::npos) {
+          *error = "HELP without text: " + line;
+          return false;
+        }
+        doc->help[rest.substr(0, sp)] = rest.substr(sp + 1);
+      } else if (line.rfind("# TYPE ", 0) == 0) {
+        const std::string rest = line.substr(7);
+        const size_t sp = rest.find(' ');
+        if (sp == std::string::npos) {
+          *error = "TYPE without kind: " + line;
+          return false;
+        }
+        doc->type[rest.substr(0, sp)] = rest.substr(sp + 1);
+      }
+      continue;  // other comments are legal and ignored
+    }
+    PromSample sample;
+    size_t name_end = line.find_first_of("{ ");
+    if (name_end == std::string::npos) {
+      *error = "sample without value: " + line;
+      return false;
+    }
+    sample.name = line.substr(0, name_end);
+    size_t cursor = name_end;
+    if (line[cursor] == '{') {
+      ++cursor;
+      while (cursor < line.size() && line[cursor] != '}') {
+        const size_t eq = line.find('=', cursor);
+        if (eq == std::string::npos || line[eq + 1] != '"') {
+          *error = "bad label syntax: " + line;
+          return false;
+        }
+        const std::string key = line.substr(cursor, eq - cursor);
+        std::string value;
+        size_t v = eq + 2;
+        for (; v < line.size() && line[v] != '"'; ++v) {
+          if (line[v] == '\\') {
+            ++v;
+            if (v >= line.size()) {
+              *error = "dangling escape: " + line;
+              return false;
+            }
+            if (line[v] == 'n') {
+              value += '\n';
+            } else if (line[v] == '\\' || line[v] == '"') {
+              value += line[v];
+            } else {
+              *error = "unknown escape: " + line;
+              return false;
+            }
+          } else {
+            value += line[v];
+          }
+        }
+        if (v >= line.size()) {
+          *error = "unterminated label value: " + line;
+          return false;
+        }
+        sample.labels[key] = value;
+        cursor = v + 1;
+        if (cursor < line.size() && line[cursor] == ',') ++cursor;
+      }
+      if (cursor >= line.size() || line[cursor] != '}') {
+        *error = "unterminated label set: " + line;
+        return false;
+      }
+      ++cursor;
+    }
+    if (cursor >= line.size() || line[cursor] != ' ') {
+      *error = "missing value separator: " + line;
+      return false;
+    }
+    const std::string value_text = line.substr(cursor + 1);
+    if (value_text == "+Inf") {
+      sample.value = std::numeric_limits<double>::infinity();
+    } else {
+      char* end = nullptr;
+      sample.value = std::strtod(value_text.c_str(), &end);
+      if (end == value_text.c_str() || *end != '\0') {
+        *error = "bad sample value: " + line;
+        return false;
+      }
+    }
+    doc->samples.push_back(std::move(sample));
+  }
+  return true;
+}
+
+const PromSample* FindSample(const PromDoc& doc, const std::string& name,
+                             const std::string& le = "") {
+  for (const PromSample& s : doc.samples) {
+    if (s.name != name) continue;
+    if (le.empty() && s.labels.empty()) return &s;
+    auto it = s.labels.find("le");
+    if (!le.empty() && it != s.labels.end() && it->second == le) return &s;
+  }
+  return nullptr;
+}
+
+// --- metric-name sanitization and label escaping ---
+
+TEST(ExpositionTest, SanitizesRepoNamesToPrometheusCharset) {
+  EXPECT_EQ(telemetry::SanitizeMetricName("service.requests_total"),
+            "service_requests_total");
+  EXPECT_EQ(telemetry::SanitizeMetricName("stage.run_augment"),
+            "stage_run_augment");
+  EXPECT_EQ(telemetry::SanitizeMetricName("9lives"), "_9lives");
+  EXPECT_EQ(telemetry::SanitizeMetricName("a-b c"), "a_b_c");
+  EXPECT_EQ(telemetry::SanitizeMetricName(""), "_");
+  EXPECT_TRUE(ValidPromName(telemetry::SanitizeMetricName("9.дот")));
+}
+
+TEST(ExpositionTest, EscapesLabelValues) {
+  EXPECT_EQ(telemetry::EscapeLabelValue("plain"), "plain");
+  EXPECT_EQ(telemetry::EscapeLabelValue("a\\b"), "a\\\\b");
+  EXPECT_EQ(telemetry::EscapeLabelValue("a\"b"), "a\\\"b");
+  EXPECT_EQ(telemetry::EscapeLabelValue("a\nb"), "a\\nb");
+}
+
+// --- exposition conformance over a real registry ---
+
+TEST(ExpositionTest, RendersParsableDocumentWithHelpTypeAndBuckets) {
+  metrics::Registry registry;
+  registry.GetCounter("service.requests_total").Increment(3);
+  registry.GetGauge("simd.level").Set(1.0);
+  metrics::Histogram& h = registry.GetHistogram(
+      "service.request_seconds", metrics::LatencyBucketsSeconds());
+  h.Observe(1e-7);  // first bucket (le 1e-06)
+  h.Observe(0.5);   // le 1
+  h.Observe(1e9);   // overflow (+Inf only)
+
+  const std::string text = telemetry::RenderPrometheus(registry.Snapshot());
+  PromDoc doc;
+  std::string error;
+  ASSERT_TRUE(ParsePromText(text, &doc, &error)) << error;
+
+  // Every sample name is charset-legal and belongs to a family with
+  // # HELP and # TYPE lines (bucket/sum/count roll up to their family).
+  for (const PromSample& s : doc.samples) {
+    EXPECT_TRUE(ValidPromName(s.name)) << s.name;
+    std::string family = s.name;
+    for (const char* suffix : {"_bucket", "_sum", "_count"}) {
+      const size_t n = std::strlen(suffix);
+      if (family.size() > n &&
+          family.compare(family.size() - n, n, suffix) == 0 &&
+          doc.type.count(family.substr(0, family.size() - n)) > 0) {
+        family = family.substr(0, family.size() - n);
+        break;
+      }
+    }
+    EXPECT_EQ(doc.help.count(family), 1u) << family;
+    EXPECT_EQ(doc.type.count(family), 1u) << family;
+  }
+  EXPECT_EQ(doc.type["service_requests_total"], "counter");
+  EXPECT_EQ(doc.type["simd_level"], "gauge");
+  EXPECT_EQ(doc.type["service_request_seconds"], "histogram");
+  // The dotted repo name survives in HELP for correlation.
+  EXPECT_NE(doc.help["service_requests_total"].find(
+                "service.requests_total"),
+            std::string::npos);
+
+  const PromSample* count =
+      FindSample(doc, "service_request_seconds_count");
+  ASSERT_NE(count, nullptr);
+  EXPECT_DOUBLE_EQ(count->value, 3.0);
+
+  // Buckets must be cumulative and non-decreasing, ending at +Inf ==
+  // _count.
+  double previous = 0.0;
+  const PromSample* inf_bucket = nullptr;
+  for (const PromSample& s : doc.samples) {
+    if (s.name != "service_request_seconds_bucket") continue;
+    ASSERT_EQ(s.labels.count("le"), 1u);
+    EXPECT_GE(s.value, previous) << "le=" << s.labels.at("le");
+    previous = s.value;
+    if (s.labels.at("le") == "+Inf") inf_bucket = &s;
+  }
+  ASSERT_NE(inf_bucket, nullptr);
+  EXPECT_DOUBLE_EQ(inf_bucket->value, count->value);
+  // The 1e9 observation is only in the overflow bucket.
+  const PromSample* top_finite =
+      FindSample(doc, "service_request_seconds_bucket", "100");
+  ASSERT_NE(top_finite, nullptr);
+  EXPECT_DOUBLE_EQ(top_finite->value, 2.0);
+}
+
+TEST(ExpositionTest, CountersAreMonotonicAcrossScrapes) {
+  metrics::Registry registry;
+  metrics::Counter& counter = registry.GetCounter("test.scrapes");
+  counter.Increment(5);
+  auto read = [&registry]() {
+    PromDoc doc;
+    std::string error;
+    const std::string text =
+        telemetry::RenderPrometheus(registry.Snapshot());
+    EXPECT_TRUE(ParsePromText(text, &doc, &error)) << error;
+    const PromSample* s = FindSample(doc, "test_scrapes");
+    EXPECT_NE(s, nullptr);
+    return s != nullptr ? s->value : -1.0;
+  };
+  const double first = read();
+  counter.Increment(2);
+  const double second = read();
+  counter.Increment(1);
+  const double third = read();
+  EXPECT_DOUBLE_EQ(first, 5.0);
+  EXPECT_DOUBLE_EQ(second, 7.0);
+  EXPECT_DOUBLE_EQ(third, 8.0);
+}
+
+// --- shared bucket-edge contract (MetricsToJson <-> exposition) ---
+
+TEST(ExpositionTest, JsonReportAndExpositionAgreeOnEveryBucketEdge) {
+  metrics::Registry registry;
+  metrics::Histogram& h = registry.GetHistogram(
+      "stage.join", metrics::LatencyBucketsSeconds());
+  h.Observe(0.002);
+  metrics::Histogram& sizes =
+      registry.GetHistogram("join.rows", metrics::SizeBuckets());
+  sizes.Observe(12345.0);
+
+  const metrics::MetricsSnapshot snapshot = registry.Snapshot();
+  const std::string json_text = core::MetricsToJson(snapshot);
+  PromDoc doc;
+  std::string error;
+  ASSERT_TRUE(ParsePromText(telemetry::RenderPrometheus(snapshot), &doc,
+                            &error))
+      << error;
+
+  for (const metrics::HistogramSnapshot& hist : snapshot.histograms) {
+    const std::string prom_name =
+        telemetry::SanitizeMetricName(hist.name) + "_bucket";
+    for (size_t b = 0; b < hist.bucket_counts.size(); ++b) {
+      const std::string label =
+          metrics::BucketBoundLabel(hist.bounds, b);
+      // The exposition has exactly this le edge...
+      EXPECT_NE(FindSample(doc, prom_name, label), nullptr)
+          << hist.name << " le=" << label;
+      // ...and the JSON report renders the same bytes (finite edges as
+      // bare numbers, the overflow edge as the quoted "+Inf" string).
+      const std::string json_le =
+          b < hist.bounds.size() ? "{\"le\": " + label + ","
+                                 : "{\"le\": \"" + label + "\",";
+      EXPECT_NE(json_text.find(json_le), std::string::npos)
+          << hist.name << " le=" << label;
+    }
+  }
+}
+
+TEST(ExpositionTest, BucketBoundLabelRendersFiniteAndOverflow) {
+  const std::vector<double>& bounds = metrics::LatencyBucketsSeconds();
+  EXPECT_EQ(metrics::BucketBoundLabel(bounds, 0), "1e-06");
+  EXPECT_EQ(metrics::BucketBoundLabel(bounds, bounds.size() - 1), "100");
+  EXPECT_EQ(metrics::BucketBoundLabel(bounds, bounds.size()), "+Inf");
+}
+
+// --- sliding-window quantiles ---
+
+TEST(QuantileTest, AllTimeQuantileInterpolatesWithinBucket) {
+  metrics::Registry registry;
+  metrics::Histogram& h = registry.GetHistogram(
+      "q.alltime", metrics::LatencyBucketsSeconds());
+  for (int i = 0; i < 1000; ++i) h.Observe(5e-5);  // bucket (1e-5, 1e-4]
+  const double p50 = h.Quantile(0.5);
+  EXPECT_GT(p50, 1e-5);
+  EXPECT_LE(p50, 1e-4);
+  // Overflow-bucket ranks clamp to the highest finite bound.
+  metrics::Histogram& over = registry.GetHistogram(
+      "q.overflow", metrics::LatencyBucketsSeconds());
+  over.Observe(1e9);
+  EXPECT_DOUBLE_EQ(over.Quantile(0.99), 100.0);
+  // Nothing observed -> 0.
+  metrics::Histogram& empty = registry.GetHistogram(
+      "q.empty", metrics::LatencyBucketsSeconds());
+  EXPECT_DOUBLE_EQ(empty.Quantile(0.5), 0.0);
+}
+
+TEST(QuantileTest, WindowQuantileAgesOutOldObservations) {
+  metrics::Registry registry;
+  metrics::Histogram& h = registry.GetHistogram(
+      "q.window", metrics::LatencyBucketsSeconds());
+
+  h.MaybeRotate(0.0);  // fix the baseline before anything is observed
+  for (int i = 0; i < 1000; ++i) h.Observe(5e-5);
+  // Inside the window the estimate sees the fresh observations.
+  double p50 = h.WindowQuantile(0.5);
+  EXPECT_GT(p50, 1e-5);
+  EXPECT_LE(p50, 1e-4);
+
+  // A gap longer than the whole ring resets it: everything before the
+  // gap ages out of the window while the all-time estimate keeps it.
+  const double ring_span = (metrics::Histogram::kQuantileWindows + 1) *
+                           metrics::Histogram::kQuantileWindowSeconds;
+  h.MaybeRotate(ring_span * 2);
+  EXPECT_DOUBLE_EQ(h.WindowQuantile(0.5), 0.0);
+  EXPECT_GT(h.Quantile(0.5), 1e-5);
+
+  // New observations dominate the window even though the cumulative
+  // counts still hold 1000 old ones.
+  for (int i = 0; i < 100; ++i) h.Observe(5.0);  // bucket (1, 10]
+  p50 = h.WindowQuantile(0.5);
+  EXPECT_GT(p50, 1.0);
+  EXPECT_LE(p50, 10.0);
+  // ...and they age out too once the ring rotates past them.
+  h.MaybeRotate(ring_span * 4);
+  EXPECT_DOUBLE_EQ(h.WindowQuantile(0.5), 0.0);
+}
+
+TEST(QuantileTest, WindowRotatesGraduallyAndResetClearsRing) {
+  metrics::Registry registry;
+  metrics::Histogram& h = registry.GetHistogram(
+      "q.gradual", metrics::LatencyBucketsSeconds());
+  const double w = metrics::Histogram::kQuantileWindowSeconds;
+
+  h.MaybeRotate(0.0);
+  for (int i = 0; i < 100; ++i) h.Observe(5e-5);
+  // Rotating one window at a time keeps the observations visible while
+  // the pre-observation baseline is still in the ring (it falls out on
+  // the kQuantileWindows-th rotation).
+  for (size_t i = 1; i < metrics::Histogram::kQuantileWindows; ++i) {
+    h.MaybeRotate(w * static_cast<double>(i));
+    EXPECT_GT(h.WindowQuantile(0.5), 0.0) << "window " << i;
+  }
+  // One more rotation pushes the pre-observation baseline out.
+  h.MaybeRotate(w * metrics::Histogram::kQuantileWindows);
+  EXPECT_DOUBLE_EQ(h.WindowQuantile(0.5), 0.0);
+
+  for (int i = 0; i < 10; ++i) h.Observe(5e-5);
+  EXPECT_GT(h.WindowQuantile(0.5), 0.0);
+  h.Reset();
+  EXPECT_DOUBLE_EQ(h.WindowQuantile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.5), 0.0);
+}
+
+TEST(QuantileTest, RegistryAdvanceWindowsRotatesEveryHistogram) {
+  metrics::Registry registry;
+  metrics::Histogram& a =
+      registry.GetHistogram("q.a", metrics::LatencyBucketsSeconds());
+  metrics::Histogram& b =
+      registry.GetHistogram("q.b", metrics::LatencyBucketsSeconds());
+  registry.AdvanceWindows(0.0);
+  a.Observe(5e-5);
+  b.Observe(5e-5);
+  const double far = (metrics::Histogram::kQuantileWindows + 2) * 10.0 *
+                     metrics::Histogram::kQuantileWindowSeconds;
+  registry.AdvanceWindows(far);
+  EXPECT_DOUBLE_EQ(a.WindowQuantile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(b.WindowQuantile(0.5), 0.0);
+  EXPECT_GT(a.Quantile(0.5), 0.0);
+}
+
+// --- structured logging ---
+
+// Captures rendered log lines for one test and restores the defaults.
+struct LogCapture {
+  LogCapture() {
+    lines = std::make_shared<std::vector<std::string>>();
+    auto sink_lines = lines;
+    auto sink_mu = mu;
+    log::SetSinkForTest([sink_lines, sink_mu](const std::string& line) {
+      std::lock_guard<std::mutex> lock(*sink_mu);
+      sink_lines->push_back(line);
+    });
+  }
+  ~LogCapture() {
+    log::SetSinkForTest(nullptr);
+    log::SetLevel(log::Level::kWarn);
+    log::SetFormat(log::Format::kText);
+  }
+  std::vector<std::string> Lines() const {
+    std::lock_guard<std::mutex> lock(*mu);
+    return *lines;
+  }
+  std::shared_ptr<std::vector<std::string>> lines;
+  std::shared_ptr<std::mutex> mu = std::make_shared<std::mutex>();
+};
+
+TEST(LogTest, TextFormatRendersSingleLine) {
+  LogCapture capture;
+  log::SetLevel(log::Level::kInfo);
+  log::SetFormat(log::Format::kText);
+  log::Info("service.request", {log::Field::Str("request_id", "c1-2"),
+                                log::Field::F64("elapsed_ms", 12.5),
+                                log::Field::Bool("ok", true)});
+  const std::vector<std::string> lines = capture.Lines();
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_NE(lines[0].find("[INFO] service.request"), std::string::npos);
+  EXPECT_NE(lines[0].find("request_id=c1-2"), std::string::npos);
+  EXPECT_NE(lines[0].find("ok=true"), std::string::npos);
+  EXPECT_EQ(lines[0].find('\n'), std::string::npos);
+}
+
+TEST(LogTest, JsonFormatEmitsParsableRecordsWithEnvelope) {
+  LogCapture capture;
+  log::SetLevel(log::Level::kDebug);
+  log::SetFormat(log::Format::kJson);
+  log::Warn("service.slow_request",
+            {log::Field::Str("request_id", "c7-1"),
+             log::Field::F64("elapsed_ms", 912.25),
+             log::Field::Int("threshold_ms", 500),
+             log::Field::Str("quoted", "a\"b\nc")});
+  const std::vector<std::string> lines = capture.Lines();
+  ASSERT_EQ(lines.size(), 1u);
+  Result<json::Value> record = json::Parse(lines[0]);
+  ASSERT_TRUE(record.ok()) << lines[0];
+  EXPECT_EQ(record->StringOr("level", ""), "warn");
+  EXPECT_EQ(record->StringOr("event", ""), "service.slow_request");
+  EXPECT_EQ(record->StringOr("request_id", ""), "c7-1");
+  EXPECT_EQ(record->StringOr("quoted", ""), "a\"b\nc");
+  EXPECT_DOUBLE_EQ(record->NumberOr("elapsed_ms", 0.0), 912.25);
+  EXPECT_EQ(record->IntOr("threshold_ms", 0), 500);
+  // Envelope: wall timestamp and monotonic offset are both present and
+  // sane (mono is small and non-negative; ts is a modern epoch).
+  EXPECT_GE(record->NumberOr("mono", -1.0), 0.0);
+  EXPECT_GT(record->NumberOr("ts", 0.0), 1e9);
+}
+
+TEST(LogTest, LevelsFilterAndSpecsParse) {
+  LogCapture capture;
+  log::SetLevel(log::Level::kWarn);
+  log::Info("dropped.event");
+  log::Debug("dropped.too");
+  log::Error("kept.event");
+  EXPECT_EQ(capture.Lines().size(), 1u);
+  EXPECT_FALSE(log::Enabled(log::Level::kInfo));
+  EXPECT_TRUE(log::Enabled(log::Level::kError));
+
+  EXPECT_TRUE(log::SetLevelFromSpec("debug"));
+  EXPECT_EQ(log::GlobalLevel(), log::Level::kDebug);
+  EXPECT_TRUE(log::SetLevelFromSpec("off"));
+  EXPECT_FALSE(log::SetLevelFromSpec("loud"));
+  EXPECT_TRUE(log::SetFormatFromSpec("json"));
+  EXPECT_FALSE(log::SetFormatFromSpec("xml"));
+
+  // The flag surface fails loudly on bad specs (ARDA_LOG only warns).
+  core::LogOptions options;
+  options.level = "verbose";
+  EXPECT_FALSE(core::ApplyLogOptions(options).ok());
+  options.level = "info";
+  options.format = "yaml";
+  EXPECT_FALSE(core::ApplyLogOptions(options).ok());
+  options.format = "text";
+  EXPECT_TRUE(core::ApplyLogOptions(options).ok());
+  EXPECT_EQ(log::GlobalLevel(), log::Level::kInfo);
+}
+
+// --- per-stage collector ---
+
+TEST(StageCollectorTest, CollectsScopesAndNests) {
+  EXPECT_EQ(trace::StageCollector::Current(), nullptr);
+  trace::StageCollector outer;
+  EXPECT_EQ(trace::StageCollector::Current(), &outer);
+  {
+    trace::StageScope a("stage.test_outer");
+    trace::StageScope b("stage.test_inner");
+  }
+  ASSERT_EQ(outer.entries().size(), 2u);
+  // Scopes record at destruction, innermost first.
+  EXPECT_STREQ(outer.entries()[0].stage, "stage.test_inner");
+  EXPECT_STREQ(outer.entries()[1].stage, "stage.test_outer");
+  EXPECT_GE(outer.entries()[0].seconds, 0.0);
+  {
+    trace::StageCollector inner;
+    EXPECT_EQ(trace::StageCollector::Current(), &inner);
+    { trace::StageScope c("stage.test_nested"); }
+    ASSERT_EQ(inner.entries().size(), 1u);
+  }
+  // The outer collector is reinstated and did not see the inner scope.
+  EXPECT_EQ(trace::StageCollector::Current(), &outer);
+  EXPECT_EQ(outer.entries().size(), 2u);
+}
+
+// --- HTTP endpoint: in-process routing ---
+
+TEST(HttpServerTest, RoutesPathsInProcess) {
+  telemetry::HttpServer server;
+  int status = 0;
+  std::string content_type;
+
+  const uint64_t scrapes_before = metrics::GlobalRegistry()
+                                      .Snapshot()
+                                      .CounterValue("telemetry.scrapes_total");
+  std::string body = server.HandlePath("/metrics", &status, &content_type);
+  EXPECT_EQ(status, 200);
+  EXPECT_EQ(content_type, telemetry::kExpositionContentType);
+  PromDoc doc;
+  std::string error;
+  ASSERT_TRUE(ParsePromText(body, &doc, &error)) << error;
+  EXPECT_EQ(metrics::GlobalRegistry().Snapshot().CounterValue(
+                "telemetry.scrapes_total"),
+            scrapes_before + 1);
+
+  body = server.HandlePath("/healthz", &status, &content_type);
+  EXPECT_EQ(status, 200);
+  EXPECT_EQ(body, "ok\n");
+
+  // No readiness hook installed means "always ready".
+  body = server.HandlePath("/readyz", &status, &content_type);
+  EXPECT_EQ(status, 200);
+  EXPECT_EQ(body, "ready\n");
+
+  body = server.HandlePath("/nope", &status, &content_type);
+  EXPECT_EQ(status, 404);
+}
+
+#if defined(ARDA_TELEMETRY_TEST_SOCKETS)
+
+// Minimal HTTP client: one request, reads until the peer closes.
+std::string HttpRequest(uint16_t port, const std::string& head) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return "";
+  sockaddr_in addr = {};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    ::close(fd);
+    return "";
+  }
+  size_t sent = 0;
+  while (sent < head.size()) {
+    const ssize_t n = ::send(fd, head.data() + sent, head.size() - sent, 0);
+    if (n <= 0) break;
+    sent += static_cast<size_t>(n);
+  }
+  std::string response;
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;
+    response.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  return response;
+}
+
+std::string HttpGet(uint16_t port, const std::string& path) {
+  return HttpRequest(port, "GET " + path +
+                               " HTTP/1.1\r\nHost: 127.0.0.1\r\n\r\n");
+}
+
+TEST(HttpServerTest, ServesScrapesOverRealSockets) {
+  std::atomic<bool> ready{true};
+  telemetry::HttpServer server;
+  telemetry::HttpServer::Hooks hooks;
+  hooks.collect_metrics = [] {
+    metrics::Registry registry;
+    registry.GetCounter("scrape.test_total").Increment(9);
+    return telemetry::RenderPrometheus(registry.Snapshot());
+  };
+  hooks.ready = [&ready](std::string* reason) {
+    if (!ready.load()) {
+      if (reason != nullptr) *reason = "draining";
+      return false;
+    }
+    return true;
+  };
+  ASSERT_TRUE(server.Start(0, std::move(hooks)).ok());
+  ASSERT_GT(server.port(), 0);
+
+  const std::string metrics_response = HttpGet(server.port(), "/metrics");
+  EXPECT_EQ(metrics_response.rfind("HTTP/1.1 200 OK\r\n", 0), 0u)
+      << metrics_response;
+  EXPECT_NE(metrics_response.find("Connection: close"), std::string::npos);
+  EXPECT_NE(metrics_response.find(telemetry::kExpositionContentType),
+            std::string::npos);
+  const size_t body_at = metrics_response.find("\r\n\r\n");
+  ASSERT_NE(body_at, std::string::npos);
+  PromDoc doc;
+  std::string error;
+  ASSERT_TRUE(
+      ParsePromText(metrics_response.substr(body_at + 4), &doc, &error))
+      << error;
+  const PromSample* s = FindSample(doc, "scrape_test_total");
+  ASSERT_NE(s, nullptr);
+  EXPECT_DOUBLE_EQ(s->value, 9.0);
+
+  // Query strings are stripped before routing.
+  EXPECT_EQ(HttpGet(server.port(), "/healthz?probe=1")
+                .rfind("HTTP/1.1 200 OK\r\n", 0),
+            0u);
+
+  // Readiness flips through the hook.
+  EXPECT_EQ(HttpGet(server.port(), "/readyz").rfind("HTTP/1.1 200", 0), 0u);
+  ready.store(false);
+  const std::string not_ready = HttpGet(server.port(), "/readyz");
+  EXPECT_EQ(not_ready.rfind("HTTP/1.1 503", 0), 0u);
+  EXPECT_NE(not_ready.find("draining"), std::string::npos);
+
+  // Unknown paths, non-GET methods and malformed request lines.
+  EXPECT_EQ(HttpGet(server.port(), "/nope").rfind("HTTP/1.1 404", 0), 0u);
+  EXPECT_EQ(HttpRequest(server.port(),
+                        "POST /metrics HTTP/1.1\r\nHost: x\r\n\r\n")
+                .rfind("HTTP/1.1 405", 0),
+            0u);
+  EXPECT_EQ(HttpRequest(server.port(), "GARBAGE\r\n\r\n")
+                .rfind("HTTP/1.1 400", 0),
+            0u);
+
+  server.Stop();
+  // Stop is idempotent and the port no longer answers.
+  server.Stop();
+  EXPECT_EQ(HttpGet(server.port(), "/healthz"), "");
+}
+
+#endif  // ARDA_TELEMETRY_TEST_SOCKETS
+
+// --- service integration: readiness, request ids, slow-request logs ---
+
+// Tiny CSV fixture (mirrors service_test's layout).
+struct TelemetryDir {
+  fs::path dir;
+  explicit TelemetryDir(const char* tag) {
+    dir = fs::path(testing::TempDir()) / tag;
+    fs::remove_all(dir);
+    fs::create_directories(dir);
+    Rng rng(3);
+    std::string base_csv = "id,x,y\n";
+    std::string lookup_csv = "id,hidden\n";
+    for (int i = 0; i < 120; ++i) {
+      double hidden = rng.Normal();
+      double x = rng.Normal();
+      base_csv += StrFormat("%d,%.6f,%.6f\n", i, x,
+                            x + 3.0 * hidden + rng.Normal(0.0, 0.1));
+      lookup_csv += StrFormat("%d,%.6f\n", i, hidden);
+    }
+    Write("sales.csv", base_csv);
+    Write("lookup.csv", lookup_csv);
+  }
+  ~TelemetryDir() {
+    std::error_code ec;
+    fs::remove_all(dir, ec);
+  }
+  void Write(const std::string& name, const std::string& text) {
+    std::ofstream out(dir / name, std::ios::binary);
+    out << text;
+  }
+};
+
+std::string AugmentRequestJson(uint64_t seed = 42) {
+  std::map<std::string, json::Value> members;
+  members.emplace("type", json::Value::MakeString("augment"));
+  members.emplace("base", json::Value::MakeString("sales"));
+  members.emplace("target", json::Value::MakeString("y"));
+  members.emplace("seed",
+                  json::Value::MakeInt(static_cast<int64_t>(seed)));
+  return json::Serialize(json::Value::MakeObject(std::move(members)));
+}
+
+TEST(ServiceTelemetryTest, ReadyFlipsAcrossIngestAndDrain) {
+  TelemetryDir data("arda_tel_ready");
+  service::ServiceConfig config;
+  config.data_dir = data.dir.string();
+  service::ArdaService server(config);
+
+  std::string reason;
+  EXPECT_FALSE(server.Ready(&reason));
+  EXPECT_EQ(reason, "no repository snapshot loaded");
+
+  ASSERT_TRUE(server.Start().ok());
+  EXPECT_TRUE(server.Ready());
+
+  // Wire the probe through the HTTP endpoint the way arda_serve does.
+  telemetry::HttpServer telemetry_server;
+  telemetry::HttpServer::Hooks hooks;
+  hooks.ready = [&server](std::string* why) { return server.Ready(why); };
+  int status = 0;
+  std::string content_type;
+  // HandlePath routes without Start — hooks are installed directly for
+  // the in-process probe.
+  ASSERT_TRUE(telemetry_server.Start(0, std::move(hooks)).ok());
+  std::string body =
+      telemetry_server.HandlePath("/readyz", &status, &content_type);
+  EXPECT_EQ(status, 200);
+  EXPECT_EQ(body, "ready\n");
+
+  // A COW ingest swap must not drop readiness: the old snapshot serves
+  // until the new one is published.
+  data.Write("extra.csv", "id,z\n1,2.0\n2,3.0\n");
+  json::Value ingest =
+      MustParse(server.HandleRequest("{\"type\":\"ingest\"}", "c1-1"));
+  EXPECT_EQ(ingest.StringOr("status", ""), "ok");
+  EXPECT_TRUE(server.Ready());
+  body = telemetry_server.HandlePath("/readyz", &status, &content_type);
+  EXPECT_EQ(status, 200);
+
+  // Draining (the SIGTERM path funnels into BeginShutdown) flips the
+  // probe to 503 with the reason in the body.
+  server.BeginShutdown();
+  EXPECT_FALSE(server.Ready(&reason));
+  EXPECT_EQ(reason, "draining");
+  body = telemetry_server.HandlePath("/readyz", &status, &content_type);
+  EXPECT_EQ(status, 503);
+  EXPECT_EQ(body, "draining\n");
+  server.Wait();
+  telemetry_server.Stop();
+}
+
+TEST(ServiceTelemetryTest, RequestIdsLandInLogsAndErrorsButNeverInOkAugments) {
+  TelemetryDir data("arda_tel_ids");
+  service::ServiceConfig config;
+  config.data_dir = data.dir.string();
+  // Any finished request is "slow" at a zero-adjacent threshold, so the
+  // per-stage breakdown record fires deterministically.
+  config.slow_request_ms = 0.000001;
+  service::ArdaService server(config);
+  ASSERT_TRUE(server.Start().ok());
+
+  LogCapture capture;
+  log::SetLevel(log::Level::kInfo);
+  log::SetFormat(log::Format::kJson);
+
+  // Malformed request: the error response carries the caller's id.
+  json::Value error_response =
+      MustParse(server.HandleRequest("not json at all", "c9-3"));
+  EXPECT_EQ(error_response.StringOr("status", ""), "error");
+  EXPECT_EQ(error_response.StringOr("request_id", ""), "c9-3");
+  // The id-less overload mints a fallback id ("r<seq>") — visible in the
+  // request log, not in the response of an ok augment.
+  json::Value fallback = MustParse(server.HandleRequest("{}"));
+  EXPECT_EQ(fallback.StringOr("status", ""), "error");
+  EXPECT_EQ(fallback.StringOr("request_id", "").rfind("r", 0), 0u);
+
+  const std::string first =
+      server.HandleRequest(AugmentRequestJson(), "c9-7");
+  const std::string second =
+      server.HandleRequest(AugmentRequestJson(), "c9-8");
+  // Byte-identity surface: ok augment responses never vary with the
+  // request id (the result cache and cross-client comparisons depend on
+  // it).
+  EXPECT_EQ(first, second);
+  EXPECT_EQ(first.find("request_id"), std::string::npos);
+  EXPECT_EQ(MustParse(first).StringOr("status", ""), "ok");
+
+  // The logs carry the ids: a service.request record per request and a
+  // slow-request record with the per-stage breakdown.
+  bool saw_request_log = false;
+  bool saw_slow_log = false;
+  for (const std::string& line : capture.Lines()) {
+    Result<json::Value> record = json::Parse(line);
+    ASSERT_TRUE(record.ok()) << line;
+    const std::string event = record->StringOr("event", "");
+    if (event == "service.request" &&
+        record->StringOr("request_id", "") == "c9-7") {
+      saw_request_log = true;
+      EXPECT_EQ(record->StringOr("type", ""), "augment");
+      EXPECT_GE(record->NumberOr("elapsed_ms", -1.0), 0.0);
+    }
+    if (event == "service.slow_request" &&
+        record->StringOr("request_id", "") == "c9-7") {
+      saw_slow_log = true;
+      // The breakdown names pipeline stages, stage_ms.<stage> fields.
+      bool has_stage_field = false;
+      // service.run_augment wraps the whole run, so it is always there.
+      if (record->Find("stage_ms.service.run_augment") != nullptr) {
+        has_stage_field = true;
+      }
+      EXPECT_TRUE(has_stage_field) << line;
+    }
+  }
+  EXPECT_TRUE(saw_request_log);
+  EXPECT_TRUE(saw_slow_log);
+
+  // Counters moved: the slow-request path is also counted.
+  EXPECT_GE(metrics::GlobalRegistry().Snapshot().CounterValue(
+                "service.slow_requests_total"),
+            1u);
+
+  // Stats exposes the live window quantiles PublishTelemetryGauges
+  // maintains.
+  json::Value stats =
+      MustParse(server.HandleRequest("{\"type\":\"stats\"}", "c9-9"));
+  EXPECT_EQ(stats.StringOr("status", ""), "ok");
+  const json::Value* latency = stats.Find("request_latency");
+  ASSERT_NE(latency, nullptr);
+  EXPECT_GE(latency->NumberOr("p50", -1.0), 0.0);
+  EXPECT_GE(latency->NumberOr("p99", -1.0),
+            latency->NumberOr("p50", -1.0));
+  // The gauges are published for the next scrape too.
+  bool found_gauge = false;
+  for (const auto& g : metrics::GlobalRegistry().Snapshot().gauges) {
+    if (g.name == "service.request_latency_p99") found_gauge = true;
+  }
+  EXPECT_TRUE(found_gauge);
+
+  server.BeginShutdown();
+  server.Wait();
+}
+
+}  // namespace
+}  // namespace arda

@@ -7,6 +7,7 @@
 #include "tools/cli.h"
 #include "util/fault.h"
 #include "util/interrupt.h"
+#include "util/log.h"
 
 int main(int argc, char** argv) {
   // One-time environment reads (ARDA_FAULT, ARDA_SIMD) happen here, on
@@ -17,6 +18,7 @@ int main(int argc, char** argv) {
   // default abort.
   arda::fault::InitFromEnvironment();
   arda::simd::InitFromEnvironment();
+  arda::log::InitFromEnvironment();
   arda::interrupt::InstallSignalHandlers();
   std::vector<std::string> args(argv + 1, argv + argc);
   arda::Result<arda::tools::CliOptions> options =

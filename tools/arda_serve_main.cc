@@ -16,10 +16,15 @@
 #include <poll.h>
 #endif
 
+#include "core/options.h"
 #include "service/service.h"
 #include "simd/simd.h"
+#include "telemetry/exposition.h"
+#include "telemetry/http_server.h"
 #include "util/interrupt.h"
 #include "util/fault.h"
+#include "util/log.h"
+#include "util/metrics.h"
 #include "util/string_util.h"
 #include "util/trace.h"
 
@@ -45,15 +50,29 @@ const char kUsage[] =
     "                   bit-identical for every level)\n"
     "  --trace-out=F    enable span tracing; the trace file is written on\n"
     "                   shutdown (including signal-triggered shutdown)\n"
+    "  --metrics-port=N expose HTTP telemetry (GET /metrics /healthz\n"
+    "                   /readyz) on 127.0.0.1:N (0 = ephemeral; omit the\n"
+    "                   flag to disable the endpoint entirely)\n"
+    "  --metrics-port-file=F  write the bound telemetry port to F\n"
+    "  --log-level=L    debug | info | warn (default) | error | off;\n"
+    "                   ARDA_LOG=L is the environment spelling\n"
+    "  --log-format=F   text (default) | json (single-line records)\n"
+    "  --slow-request-ms=N  log a per-stage breakdown for requests\n"
+    "                   slower than N ms (0 = disabled)\n"
     "  --help           show this message\n"
     "\n"
-    "Wire protocol and request JSON: docs/service.md\n";
+    "Wire protocol and request JSON: docs/service.md\n"
+    "Telemetry endpoint and log schema: docs/observability.md\n";
 
 struct ServeOptions {
   arda::service::ServiceConfig service;
   std::string port_file;
   std::string simd = "auto";
   std::string trace_out;
+  arda::core::LogOptions log;
+  bool metrics_enabled = false;
+  uint16_t metrics_port = 0;
+  std::string metrics_port_file;
   bool show_help = false;
 };
 
@@ -101,6 +120,27 @@ arda::Result<ServeOptions> ParseArgs(const std::vector<std::string>& args) {
       options.simd = v;
     } else if (const char* v = value_of("--trace-out")) {
       options.trace_out = v;
+    } else if (const char* v = value_of("--metrics-port")) {
+      int64_t port = 0;
+      if (!ParseInt64(v, &port) || port < 0 || port > 65535) {
+        return Status::InvalidArgument("bad --metrics-port value: " +
+                                       std::string(v));
+      }
+      options.metrics_enabled = true;
+      options.metrics_port = static_cast<uint16_t>(port);
+    } else if (const char* v = value_of("--metrics-port-file")) {
+      options.metrics_port_file = v;
+    } else if (const char* v = value_of("--log-level")) {
+      options.log.level = v;
+    } else if (const char* v = value_of("--log-format")) {
+      options.log.format = v;
+    } else if (const char* v = value_of("--slow-request-ms")) {
+      int64_t ms = 0;
+      if (!ParseInt64(v, &ms) || ms < 0) {
+        return Status::InvalidArgument("bad --slow-request-ms value: " +
+                                       std::string(v));
+      }
+      options.service.slow_request_ms = static_cast<double>(ms);
     } else {
       return Status::InvalidArgument("unknown flag: " + arg);
     }
@@ -114,6 +154,7 @@ arda::Result<ServeOptions> ParseArgs(const std::vector<std::string>& args) {
 
 arda::Status Serve(const ServeOptions& options) {
   using arda::Status;
+  ARDA_RETURN_IF_ERROR(arda::core::ApplyLogOptions(options.log));
   if (!options.trace_out.empty()) arda::trace::Enable();
   if (!arda::simd::SetLevelFromSpec(options.simd)) {
     if (options.simd != "avx2") {
@@ -124,7 +165,7 @@ arda::Status Serve(const ServeOptions& options) {
                  "warning: --simd=avx2 not supported on this CPU; "
                  "using scalar\n");
   }
-  std::printf("simd level: %s\n", arda::simd::ActiveLevelName());
+  std::printf("simd level: %s\n", arda::simd::DispatchSummary().c_str());
 
   arda::service::ArdaService server(options.service);
   ARDA_RETURN_IF_ERROR(server.Start());
@@ -142,6 +183,36 @@ arda::Status Serve(const ServeOptions& options) {
                              options.port_file);
     }
     port_file << server.port() << "\n";
+  }
+
+  // HTTP telemetry endpoint (docs/observability.md). Started after the
+  // service so /readyz never reports ready before the snapshot is
+  // published, and stopped after the drain completes so scrapers see the
+  // 503 "draining" window.
+  arda::telemetry::HttpServer telemetry;
+  if (options.metrics_enabled) {
+    arda::telemetry::HttpServer::Hooks hooks;
+    hooks.collect_metrics = [&server] {
+      server.PublishTelemetryGauges();
+      return arda::telemetry::RenderPrometheus(
+          arda::metrics::GlobalRegistry().Snapshot());
+    };
+    hooks.ready = [&server](std::string* reason) {
+      return server.Ready(reason);
+    };
+    ARDA_RETURN_IF_ERROR(
+        telemetry.Start(options.metrics_port, std::move(hooks)));
+    std::printf("telemetry on http://127.0.0.1:%u/metrics\n",
+                static_cast<unsigned>(telemetry.port()));
+    std::fflush(stdout);
+    if (!options.metrics_port_file.empty()) {
+      std::ofstream metrics_port_file(options.metrics_port_file);
+      if (!metrics_port_file) {
+        return Status::IoError("cannot write metrics port file: " +
+                               options.metrics_port_file);
+      }
+      metrics_port_file << telemetry.port() << "\n";
+    }
   }
 
   // Bridge the process interrupt (SIGINT/SIGTERM) into the service's
@@ -164,6 +235,7 @@ arda::Status Serve(const ServeOptions& options) {
 #if defined(__unix__) || defined(__APPLE__)
   if (watcher.joinable()) watcher.join();
 #endif
+  telemetry.Stop();
 
   if (arda::interrupt::InterruptSignal() != 0) {
     std::printf("caught signal %d: drained in-flight requests\n",
@@ -187,6 +259,7 @@ int main(int argc, char** argv) {
   // one-time-init contract").
   arda::fault::InitFromEnvironment();
   arda::simd::InitFromEnvironment();
+  arda::log::InitFromEnvironment();
   arda::interrupt::InstallSignalHandlers();
 
   std::vector<std::string> args(argv + 1, argv + argc);

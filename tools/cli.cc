@@ -62,6 +62,9 @@ std::string CliUsage() {
       "  --simd=LEVEL     auto (default: highest supported) | scalar | "
       "avx2;\n"
       "                   results are bit-identical for every level\n"
+      "  --log-level=L    debug | info | warn (default) | error | off;\n"
+      "                   ARDA_LOG=L is the environment spelling\n"
+      "  --log-format=F   text (default) | json single-line records\n"
       "  --help           show this message\n";
 }
 
@@ -124,6 +127,10 @@ Result<CliOptions> ParseCliArgs(const std::vector<std::string>& args) {
                                        " (want auto|scalar|avx2)");
       }
       options.simd = v;
+    } else if (const char* v = value_of("--log-level")) {
+      options.log_level = v;
+    } else if (const char* v = value_of("--log-format")) {
+      options.log_format = v;
     } else {
       return Status::InvalidArgument("unknown flag: " + arg);
     }
@@ -188,6 +195,12 @@ void PrintStageSummary(const metrics::MetricsSnapshot& snapshot) {
 }  // namespace
 
 Status RunCli(const CliOptions& options) {
+  {
+    core::LogOptions log_options;
+    log_options.level = options.log_level;
+    log_options.format = options.log_format;
+    ARDA_RETURN_IF_ERROR(core::ApplyLogOptions(log_options));
+  }
   ARDA_ASSIGN_OR_RETURN(core::ArdaConfig config, MakeConfig(options));
   // Cooperative Ctrl-C/SIGTERM: the pipeline checks the process interrupt
   // flag at stage boundaries and winds down with a partial report (marked
@@ -211,7 +224,7 @@ Status RunCli(const CliOptions& options) {
                  "warning: --simd=avx2 not supported on this CPU; "
                  "using scalar\n");
   }
-  std::printf("simd level: %s\n", simd::ActiveLevelName());
+  std::printf("simd level: %s\n", simd::DispatchSummary().c_str());
 
   // Load every CSV in the data directory, via the binary table cache
   // when --table-cache is set.

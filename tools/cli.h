@@ -55,6 +55,11 @@ struct CliOptions {
   /// Results are bit-identical for every level; overrides the ARDA_SIMD
   /// environment variable.
   std::string simd = "auto";
+  /// Log level ("" = keep the process default / ARDA_LOG): debug, info,
+  /// warn, error, off.
+  std::string log_level;
+  /// Log format ("" = text): text or json single-line records.
+  std::string log_format;
   bool show_help = false;
 };
 
@@ -63,7 +68,8 @@ struct CliOptions {
 ///   [--selector=NAME] [--plan=budget|table|full] [--plan-order=cost|score]
 ///   [--soft-join=2way|nearest|hard] [--table-cache=DIR] [--output=FILE]
 ///   [--report-json=FILE] [--trace-out=FILE] [--seed=N] [--threads=N]
-///   [--simd=auto|scalar|avx2] [--help]
+///   [--simd=auto|scalar|avx2] [--log-level=L] [--log-format=text|json]
+///   [--help]
 /// Fails with InvalidArgument on unknown flags or missing required ones
 /// (unless --help was given).
 Result<CliOptions> ParseCliArgs(const std::vector<std::string>& args);

@@ -8,6 +8,7 @@
 #   tools/run_bench.sh --smoke                  # fast build-health variant
 #   tools/run_bench.sh --trace-overhead         # also measure tracing cost
 #   tools/run_bench.sh --service -o BENCH_PR8.json   # service load bench
+#   tools/run_bench.sh --telemetry-overhead -o BENCH_PR9.json
 #
 # --service runs the augmentation-service load generator
 # (bench/bench_service) instead of the kernel benches: concurrent clients
@@ -17,6 +18,13 @@
 # --trace-overhead repeats every run with span tracing armed (--trace),
 # checks that checksums are bit-identical either way (tracing must never
 # change results), and records per-kernel and overall on-vs-off deltas.
+#
+# --telemetry-overhead runs the service load bench with the full PR 9
+# telemetry surface off and on (JSON request logging, per-stage
+# slow-request records, a concurrent /metrics scraper), best-of-RUNS wall
+# time per side, byte-identity asserted both ways, and fails when the
+# on-vs-off delta exceeds TELEMETRY_OVERHEAD_MAX_PCT (default 5; CI
+# loosens it because shared runners are noisy — docs/observability.md).
 #
 # Times are wall-clock on the current machine; compare only records taken
 # on the same machine (see docs/benchmarks.md).
@@ -29,6 +37,7 @@ RUNS="${RUNS:-3}"
 SMOKE=""
 TRACE_OVERHEAD=""
 SERVICE=""
+TELEMETRY_OVERHEAD=""
 while [[ $# -gt 0 ]]; do
   case "$1" in
     -o) OUT="$2"; shift 2 ;;
@@ -36,9 +45,84 @@ while [[ $# -gt 0 ]]; do
     --smoke) SMOKE="--smoke"; shift ;;
     --trace-overhead) TRACE_OVERHEAD=1; shift ;;
     --service) SERVICE=1; shift ;;
+    --telemetry-overhead) TELEMETRY_OVERHEAD=1; shift ;;
     *) echo "unknown argument: $1" >&2; exit 2 ;;
   esac
 done
+
+if [[ -n "$TELEMETRY_OVERHEAD" ]]; then
+  [[ "$OUT" == "BENCH_kernels.json" ]] && OUT="BENCH_telemetry.json"
+  cmake --build "$BUILD_DIR" --target bench_service -j >/dev/null
+  FAST=""
+  [[ -n "$SMOKE" ]] && FAST="--fast"
+  RAW_OFF=$(mktemp)
+  RAW_ON=$(mktemp)
+  LOG_LINES=$(mktemp)
+  trap 'rm -f "$RAW_OFF" "$RAW_ON" "$LOG_LINES"' EXIT
+  for ((i = 0; i < RUNS; i++)); do
+    "$BUILD_DIR/bench/bench_service" --json --assert-identical $FAST \
+      >> "$RAW_OFF"
+    "$BUILD_DIR/bench/bench_service" --json --assert-identical \
+      --telemetry $FAST >> "$RAW_ON" 2>> "$LOG_LINES"
+  done
+  MAX_PCT="${TELEMETRY_OVERHEAD_MAX_PCT:-5}" \
+    python3 - "$RAW_OFF" "$RAW_ON" "$LOG_LINES" "$OUT" <<'PY'
+import json, os, sys
+
+off_path, on_path, log_path, out_path = sys.argv[1:5]
+max_pct = float(os.environ["MAX_PCT"])
+
+def load_runs(path):
+    decoder = json.JSONDecoder()
+    text = open(path).read()
+    runs, pos = [], 0
+    while pos < len(text):
+        while pos < len(text) and text[pos].isspace():
+            pos += 1
+        if pos >= len(text):
+            break
+        obj, pos = decoder.raw_decode(text, pos)
+        runs.append(obj)
+    return runs
+
+def best_wall(runs, label):
+    for r in runs:
+        # Byte-identity must hold on every run, telemetry on or off.
+        assert r["identical"] and r["errors"] == 0, (label, r)
+    return min(runs, key=lambda r: r["wall_seconds"])
+
+off = best_wall(load_runs(off_path), "telemetry off")
+on = best_wall(load_runs(on_path), "telemetry on")
+assert on["telemetry"] and not off["telemetry"], (off, on)
+assert on["scrapes"] > 0, on  # the scraper thread really ran
+log_lines = sum(1 for line in open(log_path) if line.strip())
+assert log_lines > 0, "telemetry runs produced no log records"
+
+pct = round((on["wall_seconds"] / off["wall_seconds"] - 1.0) * 100.0, 2)
+record = {
+    "bench": "service_telemetry_overhead",
+    "runs_per_side": len(load_runs(off_path)),
+    "off": off,
+    "on": on,
+    "telemetry_overhead_pct": pct,
+    "log_lines": log_lines,
+    "max_overhead_pct": max_pct,
+}
+json.dump(record, open(out_path, "w"), indent=2)
+print(f"wrote {out_path}")
+print(f'  off: wall {off["wall_seconds"]:.3f}s, qps {off["qps"]:.1f}, '
+      f'p50 {off["p50_ms"]:.3f}ms, p99 {off["p99_ms"]:.3f}ms')
+print(f'  on : wall {on["wall_seconds"]:.3f}s, qps {on["qps"]:.1f}, '
+      f'p50 {on["p50_ms"]:.3f}ms, p99 {on["p99_ms"]:.3f}ms, '
+      f'{on["scrapes"]} scrapes, {log_lines} log records')
+print(f'  telemetry overhead: {pct:+.2f}% (gate < {max_pct:g}%), '
+      f'byte-identity ok both ways')
+if pct >= max_pct:
+    sys.exit(f"telemetry overhead {pct:+.2f}% exceeds the "
+             f"{max_pct:g}% gate")
+PY
+  exit 0
+fi
 
 if [[ -n "$SERVICE" ]]; then
   [[ "$OUT" == "BENCH_kernels.json" ]] && OUT="BENCH_service.json"

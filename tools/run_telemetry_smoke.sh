@@ -1,0 +1,198 @@
+#!/usr/bin/env bash
+# End-to-end smoke of the arda_serve telemetry surface (PR 9,
+# docs/observability.md), the lane CI runs after the service smoke:
+#
+#   1. endpoints: /healthz answers 200 "ok", /readyz answers 200 "ready",
+#      unknown paths 404, non-GET methods 405,
+#   2. exposition: GET /metrics returns a parsable Prometheus 0.0.4
+#      document (correct Content-Type, valid series lines, cumulative
+#      non-decreasing histogram buckets, +Inf bucket == _count) whose
+#      service counters advance across real augment requests,
+#   3. logging: with --log-level=info --log-format=json every request
+#      leaves a single-line JSON `service.request` record carrying the
+#      connection-scoped request id, and the armed --slow-request-ms
+#      threshold adds a `service.slow_request` per-stage breakdown,
+#   4. graceful SIGTERM with the telemetry endpoint up: exit 0.
+#
+#   tools/run_telemetry_smoke.sh          # BUILD_DIR=build by default
+set -euo pipefail
+
+BUILD_DIR="${BUILD_DIR:-build}"
+WORK=$(mktemp -d)
+SERVE_PID=""
+cleanup() {
+  [[ -n "$SERVE_PID" ]] && kill -9 "$SERVE_PID" 2>/dev/null || true
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+cmake --build "$BUILD_DIR" --target arda_serve -j >/dev/null
+
+# Deterministic toy repository (same shape the service smoke uses).
+DATA="$WORK/data"
+mkdir -p "$DATA"
+python3 - "$DATA" <<'PY'
+import os, random, sys
+data = sys.argv[1]
+rng = random.Random(3)
+with open(os.path.join(data, "sales.csv"), "w") as base, \
+     open(os.path.join(data, "lookup.csv"), "w") as lookup:
+    base.write("id,x,y\n")
+    lookup.write("id,hidden\n")
+    for i in range(150):
+        hidden = rng.gauss(0, 1)
+        x = rng.gauss(0, 1)
+        y = x + 3.0 * hidden + rng.gauss(0, 0.1)
+        base.write(f"{i},{x:.6f},{y:.6f}\n")
+        lookup.write(f"{i},{hidden:.6f}\n")
+PY
+
+wait_for_port() {
+  for _ in $(seq 100); do
+    [[ -s "$1" ]] && return 0
+    sleep 0.1
+  done
+  echo "FAIL: daemon never wrote $1" >&2
+  return 1
+}
+
+"$BUILD_DIR/tools/arda_serve" --data="$DATA" --port-file="$WORK/port" \
+  --metrics-port=0 --metrics-port-file="$WORK/metrics_port" \
+  --log-level=info --log-format=json --slow-request-ms=1 \
+  2> "$WORK/serve.log" &
+SERVE_PID=$!
+wait_for_port "$WORK/port"
+wait_for_port "$WORK/metrics_port"
+
+python3 - "$(cat "$WORK/port")" "$(cat "$WORK/metrics_port")" <<'PY'
+import http.client, json, socket, struct, sys
+
+service_port, metrics_port = int(sys.argv[1]), int(sys.argv[2])
+
+def http_get(path, method="GET"):
+    conn = http.client.HTTPConnection("127.0.0.1", metrics_port, timeout=10)
+    conn.request(method, path)
+    resp = conn.getresponse()
+    body = resp.read().decode()
+    ctype = resp.getheader("Content-Type", "")
+    conn.close()
+    return resp.status, ctype, body
+
+# --- leg 1: health/readiness/error routes ---
+status, _, body = http_get("/healthz")
+assert (status, body) == (200, "ok\n"), (status, body)
+status, _, body = http_get("/readyz")
+assert (status, body) == (200, "ready\n"), (status, body)
+status, _, _ = http_get("/nope")
+assert status == 404, status
+status, _, _ = http_get("/metrics", method="POST")
+assert status == 405, status
+print("health/ready/404/405 routes: ok")
+
+# --- leg 2: exposition parses; counters advance across real requests ---
+def scrape():
+    status, ctype, body = http_get("/metrics")
+    assert status == 200, status
+    assert ctype == "text/plain; version=0.0.4; charset=utf-8", ctype
+    series = {}
+    for line in body.splitlines():
+        assert line, "blank line in exposition"
+        if line.startswith("#"):
+            assert line.startswith(("# HELP ", "# TYPE ")), line
+            continue
+        name_and_labels, value = line.rsplit(" ", 1)
+        series[name_and_labels] = float(value)
+    return series
+
+def bucket_of(series, name, le):
+    return series[f'{name}_bucket{{le="{le}"}}']
+
+# Counters register lazily on first increment, so a fresh daemon only
+# guarantees the scrape counter (bumped by this very request) and the
+# gauges PublishTelemetryGauges refreshes on every scrape.
+first = scrape()
+assert "telemetry_scrapes_total" in first, sorted(first)
+assert "process_peak_rss_bytes" in first, sorted(first)
+
+def recvn(sock, n):
+    buf = b""
+    while len(buf) < n:
+        chunk = sock.recv(n - len(buf))
+        if not chunk:
+            raise RuntimeError("connection closed")
+        buf += chunk
+    return buf
+
+def call(sock, obj):
+    payload = json.dumps(obj).encode()
+    sock.sendall(struct.pack(">I", len(payload)) + payload)
+    (n,) = struct.unpack(">I", recvn(sock, 4))
+    return json.loads(recvn(sock, n))
+
+sock = socket.create_connection(("127.0.0.1", service_port))
+for _ in range(2):
+    aug = call(sock, {"type": "augment", "base": "sales", "target": "y"})
+    assert aug["status"] == "ok", aug
+    assert "request_id" not in aug, aug  # byte-identity surface
+sock.close()
+
+second = scrape()
+for required in ("service_requests_total", "service_snapshot_generation",
+                 "service_request_latency_p50",
+                 "service_request_latency_p99",
+                 "service_request_seconds_sum"):
+    assert required in second, f"missing series {required}"
+assert second["service_requests_total"] >= \
+    first.get("service_requests_total", 0) + 2
+assert second["telemetry_scrapes_total"] > first["telemetry_scrapes_total"]
+count = second["service_request_seconds_count"]
+assert count >= 2, count
+# Cumulative le buckets: non-decreasing, +Inf equal to _count.
+buckets = sorted(((float("inf") if le == "+Inf" else float(le)), v)
+                 for k, v in second.items()
+                 if k.startswith('service_request_seconds_bucket{le="')
+                 for le in [k.split('le="')[1].rstrip('"}')])
+assert buckets, "no service_request_seconds buckets"
+values = [v for _, v in buckets]
+assert values == sorted(values), values
+assert bucket_of(second, "service_request_seconds", "+Inf") == count
+print(f"exposition: ok ({len(second)} series, "
+      f"{int(second['service_requests_total'])} requests recorded)")
+PY
+
+kill -TERM "$SERVE_PID"
+if wait "$SERVE_PID"; then
+  echo "graceful SIGTERM with telemetry endpoint up (exit 0): ok"
+else
+  echo "FAIL: daemon exited nonzero after SIGTERM" >&2
+  exit 1
+fi
+SERVE_PID=""
+
+# --- leg 3: structured request log ---
+python3 - "$WORK/serve.log" <<'PY'
+import json, sys
+
+requests, slow = [], []
+for line in open(sys.argv[1]):
+    record = json.loads(line)  # every line must be one JSON object
+    for key in ("ts", "mono", "level", "event"):
+        assert key in record, (key, record)
+    if record["event"] == "service.request":
+        requests.append(record)
+    elif record["event"] == "service.slow_request":
+        slow.append(record)
+
+augments = [r for r in requests if r.get("type") == "augment"]
+assert len(augments) >= 2, requests
+for r in augments:
+    # Socket-path ids are connection-scoped: "c<conn>-<seq>".
+    assert r["request_id"].startswith("c"), r
+    assert r["elapsed_ms"] >= 0.0, r
+assert slow, "no service.slow_request record despite --slow-request-ms=1"
+assert any(k.startswith("stage_ms.") for k in slow[0]), slow[0]
+print(f"structured log: ok ({len(augments)} augment records, "
+      f"{len(slow)} slow-request breakdowns)")
+PY
+
+echo "telemetry smoke: all legs passed"
