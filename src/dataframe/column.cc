@@ -46,22 +46,63 @@ Column Column::Empty(std::string name, DataType type) {
   return Column(std::move(name), type);
 }
 
+Column Column::BorrowedDouble(std::string name, const double* values,
+                              const uint8_t* validity, size_t rows,
+                              std::shared_ptr<const void> owner) {
+  Column col(std::move(name), DataType::kDouble);
+  col.borrowed_ = true;
+  col.borrowed_rows_ = rows;
+  col.bdoubles_ = values;
+  col.bvalid_ = validity;
+  col.owner_ = std::move(owner);
+  return col;
+}
+
+Column Column::BorrowedInt64(std::string name, const int64_t* values,
+                             const uint8_t* validity, size_t rows,
+                             std::shared_ptr<const void> owner) {
+  Column col(std::move(name), DataType::kInt64);
+  col.borrowed_ = true;
+  col.borrowed_rows_ = rows;
+  col.bints_ = values;
+  col.bvalid_ = validity;
+  col.owner_ = std::move(owner);
+  return col;
+}
+
+void Column::Materialize() {
+  if (!borrowed_) return;
+  valid_.assign(bvalid_, bvalid_ + borrowed_rows_);
+  if (type_ == DataType::kDouble) {
+    doubles_.assign(bdoubles_, bdoubles_ + borrowed_rows_);
+  } else {
+    ints_.assign(bints_, bints_ + borrowed_rows_);
+  }
+  borrowed_ = false;
+  borrowed_rows_ = 0;
+  bvalid_ = nullptr;
+  bdoubles_ = nullptr;
+  bints_ = nullptr;
+  owner_.reset();
+}
+
 size_t Column::NullCount() const {
+  const uint8_t* valid = ValidityData();
   size_t count = 0;
-  for (uint8_t v : valid_) count += (v == 0);
+  for (size_t i = 0; i < size(); ++i) count += (valid[i] == 0);
   return count;
 }
 
 double Column::DoubleAt(size_t i) const {
   ARDA_CHECK(type_ == DataType::kDouble);
   ARDA_CHECK(!IsNull(i));
-  return doubles_[i];
+  return DoubleData()[i];
 }
 
 int64_t Column::Int64At(size_t i) const {
   ARDA_CHECK(type_ == DataType::kInt64);
   ARDA_CHECK(!IsNull(i));
-  return ints_[i];
+  return Int64Data()[i];
 }
 
 const std::string& Column::StringAt(size_t i) const {
@@ -73,18 +114,20 @@ const std::string& Column::StringAt(size_t i) const {
 double Column::NumericAt(size_t i) const {
   ARDA_CHECK(IsNumeric());
   ARDA_CHECK(!IsNull(i));
-  return type_ == DataType::kDouble ? doubles_[i]
-                                    : static_cast<double>(ints_[i]);
+  return type_ == DataType::kDouble ? DoubleData()[i]
+                                    : static_cast<double>(Int64Data()[i]);
 }
 
 void Column::AppendDouble(double value) {
   ARDA_CHECK(type_ == DataType::kDouble);
+  Materialize();
   doubles_.push_back(value);
   valid_.push_back(1);
 }
 
 void Column::AppendInt64(int64_t value) {
   ARDA_CHECK(type_ == DataType::kInt64);
+  Materialize();
   ints_.push_back(value);
   valid_.push_back(1);
 }
@@ -96,6 +139,7 @@ void Column::AppendString(std::string value) {
 }
 
 void Column::AppendNull() {
+  Materialize();
   switch (type_) {
     case DataType::kDouble:
       doubles_.push_back(0.0);
@@ -112,6 +156,8 @@ void Column::AppendNull() {
 
 void Column::AppendColumn(Column&& other) {
   ARDA_CHECK(type_ == other.type_);
+  Materialize();
+  other.Materialize();
   if (valid_.empty()) {
     valid_ = std::move(other.valid_);
     doubles_ = std::move(other.doubles_);
@@ -129,6 +175,7 @@ void Column::AppendColumn(Column&& other) {
 }
 
 void Column::Reserve(size_t n) {
+  Materialize();
   valid_.reserve(n);
   switch (type_) {
     case DataType::kDouble:
@@ -151,10 +198,10 @@ void Column::AppendFrom(const Column& other, size_t i) {
   }
   switch (type_) {
     case DataType::kDouble:
-      AppendDouble(other.doubles_[i]);
+      AppendDouble(other.DoubleData()[i]);
       break;
     case DataType::kInt64:
-      AppendInt64(other.ints_[i]);
+      AppendInt64(other.Int64Data()[i]);
       break;
     case DataType::kString:
       AppendString(other.strings_[i]);
@@ -165,6 +212,7 @@ void Column::AppendFrom(const Column& other, size_t i) {
 void Column::SetDouble(size_t i, double value) {
   ARDA_CHECK(type_ == DataType::kDouble);
   ARDA_CHECK_LT(i, size());
+  Materialize();
   doubles_[i] = value;
   valid_[i] = 1;
 }
@@ -172,6 +220,7 @@ void Column::SetDouble(size_t i, double value) {
 void Column::SetInt64(size_t i, int64_t value) {
   ARDA_CHECK(type_ == DataType::kInt64);
   ARDA_CHECK_LT(i, size());
+  Materialize();
   ints_[i] = value;
   valid_[i] = 1;
 }
@@ -185,11 +234,13 @@ void Column::SetString(size_t i, std::string value) {
 
 void Column::SetNull(size_t i) {
   ARDA_CHECK_LT(i, size());
+  Materialize();
   valid_[i] = 0;
 }
 
 void Column::SetValidity(std::vector<uint8_t> valid) {
   ARDA_CHECK_EQ(valid.size(), size());
+  Materialize();
   valid_ = std::move(valid);
 }
 
@@ -205,10 +256,11 @@ Column Column::Take(const std::vector<size_t>& indices) const {
 
 std::vector<double> Column::NonNullNumericValues() const {
   ARDA_CHECK(IsNumeric());
+  const uint8_t* valid = ValidityData();
   std::vector<double> out;
   out.reserve(size());
   for (size_t i = 0; i < size(); ++i) {
-    if (valid_[i]) out.push_back(NumericAt(i));
+    if (valid[i]) out.push_back(NumericAt(i));
   }
   return out;
 }
@@ -233,21 +285,22 @@ double Column::NumericMean() const {
 }
 
 std::vector<std::string> Column::DistinctValuesAsString() const {
+  const uint8_t* valid = ValidityData();
   std::set<std::string> distinct;
   for (size_t i = 0; i < size(); ++i) {
-    if (valid_[i]) distinct.insert(ValueToString(i));
+    if (valid[i]) distinct.insert(ValueToString(i));
   }
   return std::vector<std::string>(distinct.begin(), distinct.end());
 }
 
 std::string Column::ValueToString(size_t i) const {
   ARDA_CHECK_LT(i, size());
-  if (!valid_[i]) return "";
+  if (!ValidityData()[i]) return "";
   switch (type_) {
     case DataType::kDouble:
-      return StrFormat("%.10g", doubles_[i]);
+      return StrFormat("%.10g", DoubleData()[i]);
     case DataType::kInt64:
-      return StrFormat("%lld", static_cast<long long>(ints_[i]));
+      return StrFormat("%lld", static_cast<long long>(Int64Data()[i]));
     case DataType::kString:
       return strings_[i];
   }

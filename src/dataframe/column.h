@@ -2,6 +2,7 @@
 #define ARDA_DATAFRAME_COLUMN_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -22,6 +23,14 @@ const char* DataTypeName(DataType type);
 
 /// A named, typed, nullable column of values. Storage is one dense vector
 /// per type plus a validity mask; only the vector matching type() is used.
+///
+/// Numeric columns can alternatively *borrow* their storage: raw pointers
+/// into memory kept alive by a shared owner (an mmap'd `.ardac` v3 file —
+/// see dataframe/mapped_columnar.h). Borrowed columns are read-identical
+/// to owned ones through every accessor; any mutation first materializes
+/// the borrowed data into owned vectors, so callers never observe the
+/// difference. Copies share the owner (cheap), and the backing mapping is
+/// released only when the last copy is destroyed.
 class Column {
  public:
   /// Builds a non-null double column.
@@ -33,14 +42,29 @@ class Column {
   /// Builds an empty column of the given type, ready for appends.
   static Column Empty(std::string name, DataType type);
 
+  /// Builds a column borrowing external storage: `values`/`validity` point
+  /// at `rows` entries (validity: one 0/1 byte per row) that must stay
+  /// valid and unchanged for as long as `owner` is alive. The column keeps
+  /// `owner` alive; it never frees the pointers itself.
+  static Column BorrowedDouble(std::string name, const double* values,
+                               const uint8_t* validity, size_t rows,
+                               std::shared_ptr<const void> owner);
+  static Column BorrowedInt64(std::string name, const int64_t* values,
+                              const uint8_t* validity, size_t rows,
+                              std::shared_ptr<const void> owner);
+
+  /// True when this column reads from borrowed (e.g. mmap-backed)
+  /// storage instead of its own vectors.
+  bool IsBorrowed() const { return borrowed_; }
+
   const std::string& name() const { return name_; }
   void set_name(std::string name) { name_ = std::move(name); }
   DataType type() const { return type_; }
-  size_t size() const { return valid_.size(); }
+  size_t size() const { return borrowed_ ? borrowed_rows_ : valid_.size(); }
 
   bool IsNull(size_t i) const {
     ARDA_CHECK_LT(i, size());
-    return valid_[i] == 0;
+    return ValidityData()[i] == 0;
   }
   /// Number of null entries.
   size_t NullCount() const;
@@ -58,15 +82,18 @@ class Column {
 
   /// Raw dense storage views for the SIMD kernels. One entry per row,
   /// nulls included (null slots hold the 0.0 / 0 placeholder that
-  /// AppendNull writes); consult ValidityData() before trusting a value.
-  const uint8_t* ValidityData() const { return valid_.data(); }
+  /// AppendNull writes; borrowed storage guarantees the same); consult
+  /// ValidityData() before trusting a value.
+  const uint8_t* ValidityData() const {
+    return borrowed_ ? bvalid_ : valid_.data();
+  }
   const double* DoubleData() const {
     ARDA_CHECK(type_ == DataType::kDouble);
-    return doubles_.data();
+    return borrowed_ ? bdoubles_ : doubles_.data();
   }
   const int64_t* Int64Data() const {
     ARDA_CHECK(type_ == DataType::kInt64);
-    return ints_.data();
+    return borrowed_ ? bints_ : ints_.data();
   }
 
   /// Appends a value (type must match) or a null.
@@ -117,12 +144,27 @@ class Column {
   Column(std::string name, DataType type)
       : name_(std::move(name)), type_(type) {}
 
+  /// Copies borrowed storage into owned vectors (no-op for owned
+  /// columns). Every mutator calls this first, so borrowed columns are
+  /// immutable only in the sense that writes pay a one-time copy.
+  void Materialize();
+
   std::string name_;
   DataType type_;
   std::vector<uint8_t> valid_;
   std::vector<double> doubles_;
   std::vector<int64_t> ints_;
   std::vector<std::string> strings_;
+
+  /// Borrowed-storage state (numeric columns only). When `borrowed_` is
+  /// set the vectors above are empty and reads go through the pointers,
+  /// which `owner_` keeps alive; copies of the column share the owner.
+  bool borrowed_ = false;
+  size_t borrowed_rows_ = 0;
+  const uint8_t* bvalid_ = nullptr;
+  const double* bdoubles_ = nullptr;
+  const int64_t* bints_ = nullptr;
+  std::shared_ptr<const void> owner_;
 };
 
 }  // namespace arda::df

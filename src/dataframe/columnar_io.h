@@ -15,29 +15,37 @@
 /// same candidate pool deserialize columns with a handful of bulk reads
 /// instead of re-parsing and re-inferring CSV text.
 ///
-/// Layout (all integers little-endian; full spec in
+/// Version 3 layout (all integers little-endian; full spec in
 /// docs/columnar_format.md):
 ///
 ///   [0)  magic "ARDC" (4 bytes)
-///   [4)  u32 format version (currently 2; version-1 files still load)
+///   [4)  u32 format version (currently 3; version 1/2 files still load)
 ///   [8)  u64 row count
 ///   [16) u32 column count
 ///   [20) u32 reserved (0)
-///   [24) u64 FNV-1a checksum of the payload (everything after byte 32)
-///   [32) payload: per column, in frame order:
+///   [24) u64 FNV-1a checksum of bytes [48, EOF)
+///   [32) u64 index_end: offset one past the column index
+///   [40) u64 FNV-1a checksum of the column index, bytes [48, index_end)
+///   [48) column index, per column in frame order:
 ///          u32 name length, name bytes
 ///          u8 type (0 = double, 1 = int64, 2 = string)
-///          null bitmap: ceil(rows/8) bytes, LSB-first; bit set = valid
-///          data: doubles/int64s as rows * 8 bytes; strings as one
-///                u32 length + bytes per row (nulls: length 0)
-///        then (version >= 2) a meta block:
-///          magic "ARDM", u32 meta version (1)
-///          u64 source file size, u64 source FNV-1a hash (0,0 = unknown)
-///          u8 has_stats; when set, per column in frame order:
-///            u64 row count, u64 non-null count
-///            u8 has_range, f64 min, f64 max
-///            u32 HLL register count + register bytes
-///            u32 MinHash slot count + slots as u64s
+///          u64 validity offset, u64 data offset, u64 data length
+///        then u64 meta offset, u64 meta length
+///   [index_end) column payload blocks, addressed only through the index:
+///          validity: `rows` bytes, one 0/1 byte per row (1 = valid)
+///          numeric data: rows * 8 bytes at an 8-byte-aligned offset
+///          string data: u32 length + bytes per row (nulls: length 0)
+///        and the meta block ("ARDM", fingerprint + stats catalog —
+///        same encoding as version 2); EOF == meta offset + meta length
+///
+/// The fixed-offset index is what makes v3 mmap-able (see
+/// dataframe/mapped_columnar.h): a mapped open validates the header, the
+/// index checksum and every recorded extent against the real file size
+/// before the first payload access, so truncation surfaces as Status —
+/// never SIGBUS — and validity/numeric blocks can then be borrowed
+/// zero-copy straight out of the mapping. Versions 1/2 pack a null
+/// *bitmap* and unaligned values (docs/columnar_format.md keeps their
+/// layout) and always load through the eager path.
 ///
 /// Readers validate magic, version, checksum and every length before
 /// touching the data, and return `Status` — never crash — on truncated,
@@ -56,7 +64,7 @@ struct ColumnarMeta {
   TableStats stats;
 };
 
-/// Serializes `frame` into the `.ardac` byte format (version 2). With a
+/// Serializes `frame` into the `.ardac` byte format (version 3). With a
 /// null `meta` the meta block carries no fingerprint and no stats.
 std::string WriteColumnarString(const DataFrame& frame,
                                 const ColumnarMeta* meta = nullptr);
@@ -65,11 +73,20 @@ std::string WriteColumnarString(const DataFrame& frame,
 /// kept so backward-compatibility can be tested against real v1 bytes.
 std::string WriteColumnarStringV1(const DataFrame& frame);
 
-/// Writes `frame` to `path` in the `.ardac` format.
+/// Serializes `frame` in the legacy version-2 layout (meta block, packed
+/// null bitmap, no column index) — kept so backward-compatibility can be
+/// tested against real v2 bytes.
+std::string WriteColumnarStringV2(const DataFrame& frame,
+                                  const ColumnarMeta* meta = nullptr);
+
+/// Writes `frame` to `path` in the `.ardac` format. The bytes land in a
+/// sibling temp file first and are rename()d into place, so a concurrent
+/// reader — in particular an mmap of the previous cache generation —
+/// keeps its old inode and never observes a truncated or torn file.
 Status WriteColumnar(const DataFrame& frame, const std::string& path,
                      const ColumnarMeta* meta = nullptr);
 
-/// Deserializes a `.ardac` byte buffer (version 1 or 2). Fails with
+/// Deserializes a `.ardac` byte buffer (version 1, 2 or 3). Fails with
 /// InvalidArgument on bad magic / truncation / trailing garbage /
 /// corrupted lengths, and with FailedPrecondition on version skew or a
 /// checksum mismatch. When `meta` is non-null it receives the decoded
@@ -77,11 +94,18 @@ Status WriteColumnar(const DataFrame& frame, const std::string& path,
 Result<DataFrame> ReadColumnarString(std::string_view data,
                                      ColumnarMeta* meta = nullptr);
 
-/// Reads a `.ardac` file. Carries the `fault::kColumnarRead` injection
-/// site (and `fault::kStatsDecode` inside the meta-block decode), so the
+/// Reads a `.ardac` file eagerly (full buffer + checksum validation).
+/// Carries the `fault::kColumnarRead` injection site (and
+/// `fault::kStatsDecode` inside the meta-block decode), so the
 /// cache-fallback path is testable under ARDA_FAULT.
 Result<DataFrame> ReadColumnar(const std::string& path,
                                ColumnarMeta* meta = nullptr);
+
+/// 64-bit size of `path` from filesystem metadata. Unlike the old
+/// `fseek`+`ftell` probe this never truncates past 2 GiB (ftell returns
+/// a `long`) and failure is an explicit IoError instead of a silent
+/// zero-byte reserve.
+Result<uint64_t> FileSizeBytes(const std::string& path);
 
 }  // namespace arda::df
 

@@ -1,0 +1,111 @@
+#include "dataframe/partition.h"
+
+#include <cmath>
+#include <cstdio>
+#include <functional>
+#include <string_view>
+
+#include "util/check.h"
+
+namespace arda::df {
+
+namespace {
+
+// splitmix64 finalizer (same mixer key_encoder.cc uses; shared equality
+// relation, independent hash values).
+uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+uint64_t HashString(std::string_view s) {
+  return Mix64(std::hash<std::string_view>{}(s));
+}
+
+// Per-column hash of nulls. Any constant works: KeyEncoder gives null a
+// reserved value id, so null == null and null != everything else; a
+// constant hash preserves exactly that.
+constexpr uint64_t kNullHash = 0x9ae16a3b2f90404full;
+
+// Renders row `r` of `col` the way key_encoder.cc's RenderValue does, so
+// two rows that KeyEncoder would place in one group render identically
+// here and hash to the same partition.
+uint64_t HashKeyValue(const Column& col, size_t r,
+                      const PartitionKeySpec& spec, char* buf,
+                      size_t cap) {
+  if (col.IsNull(r)) return kNullHash;
+  if (spec.native) {
+    return Mix64(static_cast<uint64_t>(col.Int64At(r)));
+  }
+  if (col.type() == DataType::kString) return HashString(col.StringAt(r));
+  if (spec.granularity > 0.0) {
+    double v = std::floor(col.NumericAt(r) / spec.granularity) *
+               spec.granularity;
+    int len = std::snprintf(buf, cap, "%.10g", v);
+    return HashString(std::string_view(buf, static_cast<size_t>(len)));
+  }
+  int len = col.type() == DataType::kDouble
+                ? std::snprintf(buf, cap, "%.10g", col.DoubleAt(r))
+                : std::snprintf(buf, cap, "%lld",
+                                static_cast<long long>(col.Int64At(r)));
+  return HashString(std::string_view(buf, static_cast<size_t>(len)));
+}
+
+}  // namespace
+
+std::vector<std::vector<size_t>> PartitionRowsByKey(
+    const DataFrame& frame, const std::vector<PartitionKeySpec>& keys,
+    size_t num_partitions) {
+  const size_t p = num_partitions == 0 ? 1 : num_partitions;
+  const size_t n = frame.NumRows();
+  std::vector<std::vector<size_t>> out(p);
+  if (p == 1) {
+    out[0].resize(n);
+    for (size_t r = 0; r < n; ++r) out[0][r] = r;
+    return out;
+  }
+  for (const PartitionKeySpec& spec : keys) {
+    ARDA_CHECK_LT(spec.col, frame.NumCols());
+    if (spec.native) {
+      ARDA_CHECK(frame.col(spec.col).type() == DataType::kInt64);
+    }
+  }
+  char buf[64];
+  for (size_t r = 0; r < n; ++r) {
+    // FNV-1a over the per-column hashes, then a final mix; modulo (not
+    // masking) so any partition count works.
+    uint64_t h = 1469598103934665603ull;
+    for (const PartitionKeySpec& spec : keys) {
+      uint64_t ch = HashKeyValue(frame.col(spec.col), r, spec, buf,
+                                 sizeof(buf));
+      for (int i = 0; i < 8; ++i) {
+        h = (h ^ ((ch >> (8 * i)) & 0xff)) * 1099511628211ull;
+      }
+    }
+    out[Mix64(h) % p].push_back(r);
+  }
+  return out;
+}
+
+uint64_t EstimateFrameBytes(const DataFrame& frame) {
+  const uint64_t rows = frame.NumRows();
+  uint64_t per_row = 0;
+  for (size_t c = 0; c < frame.NumCols(); ++c) {
+    per_row += frame.col(c).type() == DataType::kString ? 40 : 9;
+  }
+  return rows * per_row;
+}
+
+size_t ChoosePartitionCount(size_t requested, uint64_t budget_bytes,
+                            uint64_t estimated_bytes) {
+  if (requested > 0) return requested;
+  if (budget_bytes == 0) return 1;
+  uint64_t p = (estimated_bytes + budget_bytes - 1) / budget_bytes;
+  if (p < 1) p = 1;
+  if (p > 256) p = 256;
+  return static_cast<size_t>(p);
+}
+
+}  // namespace arda::df

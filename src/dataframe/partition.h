@@ -1,0 +1,74 @@
+#ifndef ARDA_DATAFRAME_PARTITION_H_
+#define ARDA_DATAFRAME_PARTITION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "dataframe/data_frame.h"
+
+/// \file
+/// Radix partitioning of rows by join/group-by key, the splitting stage
+/// of the out-of-core kernels (join_executor.cc, aggregate.cc). Rows
+/// whose key tuples are *equal under KeyEncoder's equality relation*
+/// always land in the same partition, so each partition can be built,
+/// probed and aggregated independently and the per-partition results
+/// merged without any cross-partition duplicate handling.
+///
+/// The partition hash is self-consistent, not equal to KeyEncoder's
+/// internal hashes — it only has to respect the same equality relation:
+///   - native int64 keys (both sides int64, no bucketing) hash the raw
+///     value;
+///   - everything else hashes the *rendered* key string ("%.10g" for
+///     doubles — so doubles that render identically, and therefore
+///     compare equal, cannot be split — "%lld" for int64, strings as-is,
+///     bucketed values as "%.10g" of floor(v/g)*g), exactly mirroring
+///     key_encoder.cc's RenderValue;
+///   - nulls hash to a per-column constant (KeyEncoder treats null as a
+///     distinct value that equals itself).
+///
+/// IMPORTANT: for a join, the `native` flag must be computed once per
+/// key *pair* (build type, probe type, pair granularity) and set
+/// identically in both sides' specs; per-side computation would let the
+/// two sides of one key disagree on the hash domain and split matching
+/// rows across partitions.
+
+namespace arda::df {
+
+/// How to hash one key column of a frame.
+struct PartitionKeySpec {
+  /// Column index within the frame being partitioned.
+  size_t col = 0;
+  /// Bucketing granularity (probe side of a soft-tolerance numeric key);
+  /// 0 = exact. Mirrors KeyEncoder::Options::probe_granularity.
+  double granularity = 0.0;
+  /// Hash raw int64 values instead of rendered strings. Only sound when
+  /// the key pair uses KeyEncoder's native int64 dictionary (both sides
+  /// kInt64, granularity <= 0) — see the file comment.
+  bool native = false;
+};
+
+/// Splits the rows of `frame` into `num_partitions` buckets by key hash.
+/// Returns one ascending row-index list per partition (their
+/// concatenation is a permutation of 0..NumRows()-1). Deterministic:
+/// depends only on key values and `num_partitions` (which need not be a
+/// power of two). With num_partitions <= 1 every row lands in bucket 0.
+std::vector<std::vector<size_t>> PartitionRowsByKey(
+    const DataFrame& frame, const std::vector<PartitionKeySpec>& keys,
+    size_t num_partitions);
+
+/// Rough resident-footprint estimate of `frame` used to size partitions
+/// against a memory budget: 9 bytes/row per numeric column (8-byte value
+/// + validity byte), 40 bytes/row per string column (small-string
+/// header + typical short key). Deliberately cheap and row-count-based —
+/// it never scans values.
+uint64_t EstimateFrameBytes(const DataFrame& frame);
+
+/// Picks a partition count: an explicit `requested` > 0 wins; otherwise
+/// 0 budget means "unbounded" (1 partition, the in-memory fast path);
+/// otherwise ceil(estimated / budget) clamped to [1, 256].
+size_t ChoosePartitionCount(size_t requested, uint64_t budget_bytes,
+                            uint64_t estimated_bytes);
+
+}  // namespace arda::df
+
+#endif  // ARDA_DATAFRAME_PARTITION_H_

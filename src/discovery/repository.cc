@@ -5,6 +5,7 @@
 #include <filesystem>
 
 #include "dataframe/columnar_io.h"
+#include "dataframe/mapped_columnar.h"
 #include "util/metrics.h"
 
 namespace arda::discovery {
@@ -54,8 +55,9 @@ Result<std::string> ReadFileBytes(const std::string& path) {
 
 Status DataRepository::LoadDirectory(const std::string& data_dir,
                                      const std::string& cache_dir,
-                                     const df::CsvOptions& csv_options,
+                                     const LoadOptions& options,
                                      LoadStats* stats) {
+  const df::CsvOptions& csv_options = options.csv;
   LoadStats local_stats;
   if (stats == nullptr) stats = &local_stats;
 
@@ -93,8 +95,19 @@ Status DataRepository::LoadDirectory(const std::string& data_dir,
     std::error_code exists_ec;
     if (!cache_path.empty() && fs::exists(cache_path, exists_ec)) {
       df::ColumnarMeta meta;
-      Result<df::DataFrame> cached =
-          df::ReadColumnar(cache_path.string(), &meta);
+      Result<df::DataFrame> cached = [&]() -> Result<df::DataFrame> {
+        if (options.map_cache) {
+          bool unsupported_version = false;
+          Result<df::DataFrame> mapped = df::MapColumnar(
+              cache_path.string(), &meta, &unsupported_version);
+          // A version-1/2 cache predates the mmap-able column index:
+          // serve it eagerly with no fallback recorded (it migrates to
+          // v3 whenever the CSV changes and the rewrite below runs). Any
+          // *failed* map falls through the normal degradation path.
+          if (mapped.ok() || !unsupported_version) return mapped;
+        }
+        return df::ReadColumnar(cache_path.string(), &meta);
+      }();
       if (cached.ok()) {
         // Freshness: the recorded source fingerprint must match the CSV
         // bytes on disk. Fingerprint-less (version-1) caches degrade to

@@ -21,6 +21,21 @@ struct IngestSkip {
   std::string reason;
 };
 
+/// Options for DataRepository::LoadDirectory.
+struct LoadOptions {
+  /// CSV parsing options used when a table is (re-)parsed from source.
+  df::CsvOptions csv;
+  /// Serve fresh version-3 `.ardac` caches through an mmap
+  /// (df::MapColumnar) instead of an eager read: numeric columns borrow
+  /// the mapping zero-copy and pages fault in lazily, so resident memory
+  /// scales with the columns actually touched — the out-of-core
+  /// repository mode. Version-1/2 caches silently fall through to the
+  /// eager reader (they predate the mmap-able column index; no fallback
+  /// is recorded); any *failed* map degrades exactly like a failed eager
+  /// read (CSV re-parse + `stats->fallbacks` entry).
+  bool map_cache = false;
+};
+
 /// What DataRepository::LoadDirectory did, for reporting and tests.
 struct LoadStats {
   /// Tables registered in the repository.
@@ -99,10 +114,11 @@ class DataRepository {
   /// `stats->fallbacks` (plus a `skips.ingest` counter increment); a CSV
   /// that fails to read or parse lands in `stats->failures` and the table
   /// is skipped. Only an unreadable `data_dir` fails the call. `stats`
-  /// may be null.
+  /// may be null. LoadOptions::map_cache selects the mmap-backed cache
+  /// path (out-of-core repository mode).
   Status LoadDirectory(const std::string& data_dir,
                        const std::string& cache_dir,
-                       const df::CsvOptions& csv_options = {},
+                       const LoadOptions& options = {},
                        LoadStats* stats = nullptr);
 
   /// Per-column statistics catalog of a table (docs: DESIGN.md "Discovery

@@ -65,6 +65,11 @@ core::RunOptions OptionsFromRequest(const json::Value& request) {
   options.seed = static_cast<uint64_t>(
       request.IntOr("seed", static_cast<int64_t>(options.seed)));
   options.num_threads = static_cast<size_t>(request.IntOr("threads", 0));
+  // Like `threads`, `memory_budget` never affects results (partitioned
+  // kernels are bit-identical to single-pass), so it is also excluded
+  // from the canonical key below.
+  options.memory_budget_bytes =
+      static_cast<uint64_t>(request.IntOr("memory_budget", 0));
   return options;
 }
 
@@ -106,7 +111,7 @@ ArdaService::~ArdaService() {
 
 Result<ArdaService::Snapshot> ArdaService::LoadSnapshot(
     const std::string& data_dir, const std::string& table_cache,
-    size_t load_threads, uint64_t generation,
+    size_t load_threads, bool map_cache, uint64_t generation,
     const discovery::DataRepository* base) {
   Snapshot snapshot;
   snapshot.generation = generation;
@@ -119,11 +124,16 @@ Result<ArdaService::Snapshot> ArdaService::LoadSnapshot(
   auto repo = base == nullptr
                   ? std::make_shared<discovery::DataRepository>()
                   : std::make_shared<discovery::DataRepository>(*base);
-  df::CsvOptions csv_options;
-  csv_options.num_threads = load_threads;
+  discovery::LoadOptions load_options;
+  load_options.csv.num_threads = load_threads;
+  // Out-of-core mode: serve fresh v3 caches through an mmap. The frames
+  // hold the mapping alive through shared ownership, so the COW swap
+  // below never unmaps a table an in-flight request still reads — the
+  // mapping is released only when the last reader drops its snapshot.
+  load_options.map_cache = map_cache;
   discovery::LoadStats stats;
   ARDA_RETURN_IF_ERROR(
-      repo->LoadDirectory(data_dir, table_cache, csv_options, &stats));
+      repo->LoadDirectory(data_dir, table_cache, load_options, &stats));
   for (const discovery::IngestSkip& fallback : stats.fallbacks) {
     snapshot.ingest_skips.push_back(
         {fallback.table, "ingest", fallback.reason});
@@ -139,7 +149,8 @@ Status ArdaService::Start() {
   ARDA_ASSIGN_OR_RETURN(
       Snapshot snapshot,
       LoadSnapshot(config_.data_dir, config_.table_cache,
-                   config_.load_threads, /*generation=*/1));
+                   config_.load_threads, config_.map_cache,
+                   /*generation=*/1));
   {
     std::lock_guard<std::mutex> lock(snapshot_mu_);
     snapshot_ = std::make_shared<const Snapshot>(std::move(snapshot));
@@ -551,7 +562,8 @@ Result<std::string> ArdaService::HandleIngest(
   std::shared_ptr<const Snapshot> current = CurrentSnapshot();
   ARDA_ASSIGN_OR_RETURN(
       Snapshot snapshot,
-      LoadSnapshot(data_dir, table_cache, config_.load_threads, generation,
+      LoadSnapshot(data_dir, table_cache, config_.load_threads,
+                   config_.map_cache, generation,
                    current == nullptr ? nullptr : current->repo.get()));
   // The swap fault site sits after the (expensive) load, modelling a
   // failure at the last moment: the new snapshot is discarded and the

@@ -53,6 +53,11 @@ struct ServiceConfig {
   /// Requests slower than this log a `service.slow_request` record with
   /// the full per-stage breakdown (docs/observability.md); 0 disables.
   double slow_request_ms = 0.0;
+  /// Serve fresh v3 `.ardac` caches via mmap (discovery::LoadOptions::
+  /// map_cache): the out-of-core repository mode. Column lifetime is tied
+  /// to the mapping through shared ownership, so a COW ingest swap never
+  /// unmaps a table an in-flight request still reads.
+  bool map_cache = false;
 };
 
 /// What LoadDirectory produced for one published snapshot.
@@ -145,7 +150,7 @@ class ArdaService {
   /// the copy only.
   static Result<Snapshot> LoadSnapshot(const std::string& data_dir,
                                        const std::string& table_cache,
-                                       size_t load_threads,
+                                       size_t load_threads, bool map_cache,
                                        uint64_t generation,
                                        const discovery::DataRepository*
                                            base = nullptr);

@@ -93,9 +93,10 @@ void ArmFromEnvOnce() {
 const std::vector<std::string_view>& AllFaultSites() {
   static const std::vector<std::string_view>* sites =
       new std::vector<std::string_view>{
-          kCsvParse, kColumnarRead, kStatsDecode, kJoinKeyEncode,
-          kPreAggregate, kResample, kImpute, kCholesky, kCoreset,
-          kRifs, kServiceAccept, kServiceIngest,
+          kCsvParse, kColumnarRead, kColumnarMap, kStatsDecode,
+          kJoinKeyEncode, kPreAggregate, kPartitionSpill, kResample,
+          kImpute, kCholesky, kCoreset, kRifs, kServiceAccept,
+          kServiceIngest,
       };
   return *sites;
 }

@@ -32,9 +32,18 @@ namespace arda::fault {
 /// site name is an error surfaced by SetFaultSpecForTest.
 inline constexpr std::string_view kCsvParse = "csv_parse";
 inline constexpr std::string_view kColumnarRead = "columnar_read";
+/// Mmap-backed open of a v3 `.ardac` file (dataframe/mapped_columnar.h).
+/// A failed map degrades like a failed read: the loader falls back to the
+/// CSV and records the table in LoadStats::fallbacks.
+inline constexpr std::string_view kColumnarMap = "columnar_map";
 inline constexpr std::string_view kStatsDecode = "stats_decode";
 inline constexpr std::string_view kJoinKeyEncode = "join_key_encode";
 inline constexpr std::string_view kPreAggregate = "preaggregate";
+/// Radix-partitioned join/group-by drivers, hit before any partition
+/// scatter buffer is built. An injected failure aborts the partitioned
+/// kernel with a Status; the pipeline skips the candidate exactly like a
+/// join_key_encode fault.
+inline constexpr std::string_view kPartitionSpill = "partition_spill";
 inline constexpr std::string_view kResample = "resample";
 inline constexpr std::string_view kImpute = "impute";
 inline constexpr std::string_view kCholesky = "cholesky";

@@ -81,6 +81,28 @@ bool ParseInt64(std::string_view text, int64_t* out) {
   return true;
 }
 
+bool ParseByteSize(std::string_view text, uint64_t* out) {
+  text = Trim(text);
+  if (text.empty()) return false;
+  uint64_t scale = 1;
+  const char last =
+      static_cast<char>(std::tolower(static_cast<unsigned char>(text.back())));
+  if (last == 'k' || last == 'm' || last == 'g') {
+    scale = last == 'k' ? (uint64_t{1} << 10)
+                        : last == 'm' ? (uint64_t{1} << 20)
+                                      : (uint64_t{1} << 30);
+    text.remove_suffix(1);
+    if (text.empty()) return false;
+  }
+  uint64_t value = 0;
+  auto [end, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), value, 10);
+  if (ec != std::errc() || end != text.data() + text.size()) return false;
+  if (value != 0 && value > UINT64_MAX / scale) return false;
+  *out = value * scale;
+  return true;
+}
+
 std::string ToLower(std::string_view text) {
   std::string out(text);
   for (char& c : out) {

@@ -1,6 +1,7 @@
 #ifndef ARDA_UTIL_STRING_UTIL_H_
 #define ARDA_UTIL_STRING_UTIL_H_
 
+#include <cstdint>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -32,6 +33,13 @@ bool ParseDouble(std::string_view text, double* out);
 /// optional single leading '-', decimal digits only (no '+', no hex).
 /// Rejects trailing garbage and out-of-range values.
 bool ParseInt64(std::string_view text, int64_t* out);
+
+/// Parses a byte-size spelling: a non-negative decimal integer with an
+/// optional single case-insensitive binary suffix `k`/`m`/`g` (multiples
+/// of 1024; "64m" = 64 MiB). Rejects signs, fractions, trailing garbage,
+/// and values that overflow uint64 after scaling. Used by the
+/// `--memory-budget` flags.
+bool ParseByteSize(std::string_view text, uint64_t* out);
 
 /// Lower-cases ASCII letters.
 std::string ToLower(std::string_view text);

@@ -440,6 +440,93 @@ TEST(ServiceTest, IngestFaultKeepsOldSnapshotServing) {
   EXPECT_EQ(server.snapshot_info().generation, 2u);
 }
 
+TEST(ServiceTest, MappedCacheServesIdenticalBytesAndSurvivesIngestRaces) {
+  // Out-of-core serving mode (satellite of the mmap'd-repository work):
+  // with map_cache on, fresh v3 caches are served through an mmap whose
+  // lifetime is tied to the frames via shared ownership. A COW ingest
+  // swap must therefore never unmap a table an in-flight augment still
+  // reads — the old mapping dies only when the last reader drops its
+  // snapshot — and the bytes served must equal the eager-load bytes.
+  ServiceDir data("arda_svc_mmap");
+  const fs::path cache_dir = data.dir / "cache";
+
+  service::ServiceConfig config;
+  config.data_dir = data.dir.string();
+  config.table_cache = cache_dir.string();
+  config.map_cache = true;
+  config.max_queue_depth = 16;
+  service::ArdaService server(config);
+  // First load parses CSVs and writes the caches (nothing to map yet).
+  ASSERT_TRUE(server.Start().ok());
+  const double mapped_before =
+      metrics::GlobalRegistry().Snapshot().CounterValue(
+          "ingest.columnar_map_tables");
+  // Re-ingest: every cache is now fresh, so generation 2 serves through
+  // the mmap path.
+  json::Value ingest =
+      MustParse(server.HandleRequest("{\"type\":\"ingest\"}"));
+  ASSERT_EQ(ingest.StringOr("status", ""), "ok")
+      << ingest.StringOr("error", "");
+  EXPECT_GE(metrics::GlobalRegistry().Snapshot().CounterValue(
+                "ingest.columnar_map_tables"),
+            mapped_before + 2);
+
+  // Byte identity: mapped tables produce the same report as the eager
+  // one-shot pipeline.
+  Result<std::string> reference = ReferenceReport(data);
+  ASSERT_TRUE(reference.ok());
+  json::Value mapped = MustParse(server.HandleRequest(AugmentRequest()));
+  ASSERT_EQ(mapped.StringOr("status", ""), "ok")
+      << mapped.StringOr("error", "");
+  EXPECT_EQ(mapped.StringOr("report_json", ""), *reference);
+
+  // Race the swap: augments (distinct seeds defeat the result cache) run
+  // while the main thread rewrites a CSV and re-ingests, which rewrites
+  // the mapped cache file (rename keeps the old inode alive) and swaps
+  // the snapshot under the readers.
+  constexpr int kClients = 4;
+  constexpr int kRoundsPerClient = 3;
+  std::vector<std::string> responses(kClients * kRoundsPerClient);
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&server, &responses, c] {
+      for (int r = 0; r < kRoundsPerClient; ++r) {
+        const uint64_t seed = 100 + static_cast<uint64_t>(c * 17 + r);
+        responses[static_cast<size_t>(c * kRoundsPerClient + r)] =
+            server.HandleRequest(AugmentRequest(seed));
+      }
+    });
+  }
+  Rng rng(23);
+  for (int round = 0; round < 3; ++round) {
+    std::string lookup_csv = "id,hidden\n";
+    for (int i = 0; i < 120; ++i) {
+      lookup_csv += StrFormat("%d,%.6f\n", i, rng.Normal());
+    }
+    data.Write("lookup.csv", lookup_csv);
+    json::Value swap =
+        MustParse(server.HandleRequest("{\"type\":\"ingest\"}"));
+    ASSERT_EQ(swap.StringOr("status", ""), "ok")
+        << swap.StringOr("error", "");
+  }
+  for (std::thread& t : clients) t.join();
+  for (size_t i = 0; i < responses.size(); ++i) {
+    json::Value response = MustParse(responses[i]);
+    EXPECT_EQ(response.StringOr("status", ""), "ok")
+        << "client response " << i << ": "
+        << response.StringOr("error", "");
+  }
+
+  // After the dust settles, the served bytes again equal a fresh eager
+  // run over the final data.
+  Result<std::string> final_reference = ReferenceReport(data);
+  ASSERT_TRUE(final_reference.ok());
+  json::Value after = MustParse(server.HandleRequest(AugmentRequest()));
+  ASSERT_EQ(after.StringOr("status", ""), "ok");
+  EXPECT_EQ(after.StringOr("report_json", ""), *final_reference);
+}
+
 TEST(ServiceTest, AcceptFaultRejectsOneRequestAndServerSurvives) {
   FaultGuard guard;
   ServiceDir data("arda_svc_accept_fault");

@@ -38,6 +38,11 @@ const char kUsage[] =
     "\n"
     "  --data=DIR       directory containing *.csv tables (required)\n"
     "  --table-cache=D  binary .ardac table cache directory\n"
+    "  --mmap-cache     serve fresh v3 cache files through an mmap "
+    "instead of\n"
+    "                   an eager read (out-of-core repository mode; "
+    "needs\n"
+    "                   --table-cache; results are identical)\n"
     "  --port=N         TCP port on 127.0.0.1 (default 0 = ephemeral)\n"
     "  --port-file=F    write the bound port to F once listening\n"
     "  --max-queue=N    admission bound: concurrent augment requests\n"
@@ -93,6 +98,8 @@ arda::Result<ServeOptions> ParseArgs(const std::vector<std::string>& args) {
       options.service.data_dir = v;
     } else if (const char* v = value_of("--table-cache")) {
       options.service.table_cache = v;
+    } else if (arg == "--mmap-cache") {
+      options.service.map_cache = true;
     } else if (const char* v = value_of("--port")) {
       int64_t port = 0;
       if (!ParseInt64(v, &port) || port < 0 || port > 65535) {
@@ -148,6 +155,11 @@ arda::Result<ServeOptions> ParseArgs(const std::vector<std::string>& args) {
   if (options.show_help) return options;
   if (options.service.data_dir.empty()) {
     return Status::InvalidArgument("--data is required (see --help)");
+  }
+  if (options.service.map_cache && options.service.table_cache.empty()) {
+    return Status::InvalidArgument(
+        "--mmap-cache requires --table-cache (there is nothing to map "
+        "without a cache directory)");
   }
   return options;
 }

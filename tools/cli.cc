@@ -46,6 +46,18 @@ std::string CliUsage() {
       "                   repeated runs load the cache instead of "
       "re-parsing\n"
       "                   CSVs (corrupt caches fall back to CSV)\n"
+      "  --mmap-cache     serve fresh v3 cache files through an mmap "
+      "instead of\n"
+      "                   an eager read (out-of-core repository mode; "
+      "needs\n"
+      "                   --table-cache; results are identical)\n"
+      "  --memory-budget=SIZE  soft per-kernel working-set budget for "
+      "the\n"
+      "                   radix-partitioned join/group-by paths; bytes "
+      "with an\n"
+      "                   optional k/m/g suffix (0 = unbounded single "
+      "pass;\n"
+      "                   results are bit-identical for every value)\n"
       "  --output=FILE    write the augmented table as CSV\n"
       "  --report-json=F  write a machine-readable run report\n"
       "  --canonical-report=F  write only the deterministic report subset\n"
@@ -96,6 +108,14 @@ Result<CliOptions> ParseCliArgs(const std::vector<std::string>& args) {
       options.soft_join = v;
     } else if (const char* v = value_of("--table-cache")) {
       options.table_cache = v;
+    } else if (arg == "--mmap-cache") {
+      options.mmap_cache = true;
+    } else if (const char* v = value_of("--memory-budget")) {
+      if (!ParseByteSize(v, &options.memory_budget_bytes)) {
+        return Status::InvalidArgument(
+            "bad --memory-budget value: " + std::string(v) +
+            " (want BYTES with optional k/m/g suffix)");
+      }
     } else if (const char* v = value_of("--output")) {
       options.output = v;
     } else if (const char* v = value_of("--report-json")) {
@@ -144,6 +164,11 @@ Result<CliOptions> ParseCliArgs(const std::vector<std::string>& args) {
   if (options.task != "regression" && options.task != "classification") {
     return Status::InvalidArgument("bad --task: " + options.task);
   }
+  if (options.mmap_cache && options.table_cache.empty()) {
+    return Status::InvalidArgument(
+        "--mmap-cache requires --table-cache (there is nothing to map "
+        "without a cache directory)");
+  }
   return options;
 }
 
@@ -159,6 +184,7 @@ Result<core::ArdaConfig> MakeConfig(const CliOptions& options) {
   run.soft_join = options.soft_join;
   run.seed = options.seed;
   run.num_threads = options.num_threads;
+  run.memory_budget_bytes = options.memory_budget_bytes;
   return core::MakeArdaConfig(run);
 }
 
@@ -229,11 +255,12 @@ Status RunCli(const CliOptions& options) {
   // Load every CSV in the data directory, via the binary table cache
   // when --table-cache is set.
   discovery::DataRepository repo;
-  df::CsvOptions csv_options;
-  csv_options.num_threads = options.num_threads;
+  discovery::LoadOptions load_options;
+  load_options.csv.num_threads = options.num_threads;
+  load_options.map_cache = options.mmap_cache;
   discovery::LoadStats load_stats;
   ARDA_RETURN_IF_ERROR(repo.LoadDirectory(options.data_dir,
-                                          options.table_cache, csv_options,
+                                          options.table_cache, load_options,
                                           &load_stats));
   for (const discovery::IngestSkip& failure : load_stats.failures) {
     std::fprintf(stderr, "warning: skipping table %s: %s\n",

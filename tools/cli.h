@@ -35,6 +35,14 @@ struct CliOptions {
   /// stale entries are rewritten after the CSV parse. Corrupt cache files
   /// degrade to the CSV path (reported as `ingest` skips).
   std::string table_cache;
+  /// Serve fresh v3 `.ardac` caches through an mmap instead of an eager
+  /// read (out-of-core repository mode; requires --table-cache). Results
+  /// are identical either way.
+  bool mmap_cache = false;
+  /// Soft per-kernel working-set budget for the radix-partitioned join /
+  /// group-by paths, in bytes (0 = unbounded single-pass kernels).
+  /// Results are bit-identical for every value.
+  uint64_t memory_budget_bytes = 0;
   /// Output CSV path for the augmented table ("" = don't write).
   std::string output;
   /// Output path for a machine-readable JSON report ("" = don't write).
@@ -66,8 +74,9 @@ struct CliOptions {
 /// Parses argv. Recognized flags:
 ///   --data=DIR --base=NAME --target=COL [--task=regression|classification]
 ///   [--selector=NAME] [--plan=budget|table|full] [--plan-order=cost|score]
-///   [--soft-join=2way|nearest|hard] [--table-cache=DIR] [--output=FILE]
-///   [--report-json=FILE] [--trace-out=FILE] [--seed=N] [--threads=N]
+///   [--soft-join=2way|nearest|hard] [--table-cache=DIR] [--mmap-cache]
+///   [--memory-budget=SIZE] [--output=FILE] [--report-json=FILE]
+///   [--trace-out=FILE] [--seed=N] [--threads=N]
 ///   [--simd=auto|scalar|avx2] [--log-level=L] [--log-format=text|json]
 ///   [--help]
 /// Fails with InvalidArgument on unknown flags or missing required ones
